@@ -1,0 +1,52 @@
+"""E0 — Figure 1: the SHyRA architecture itself.
+
+The paper's Figure 1 is the architecture diagram; the corresponding
+runnable artifact is the cycle-accurate simulator.  This bench checks
+the machine's integrity invariants on the paper workload and measures
+simulation throughput (cycles/second) for the 110-cycle counter run.
+"""
+
+from repro.shyra.apps.counter import (
+    build_counter_program,
+    counter_registers,
+    expected_counter_cycles,
+)
+from repro.shyra.config import N_CONFIG_BITS
+from repro.shyra.machine import ShyraMachine
+from repro.shyra.tasks import shyra_universe
+
+
+def test_bench_counter_execution(benchmark):
+    """Time one full counter run (0000 → 1010, 110 cycles)."""
+    program = build_counter_program(hold_unused=False)
+
+    def run():
+        machine = ShyraMachine(counter_registers(0, 10))
+        machine.run(program, record=False, max_cycles=1000)
+        return machine
+
+    machine = benchmark(run)
+    assert machine.cycles == expected_counter_cycles(0, 10) == 110
+
+
+def test_bench_trace_capture(benchmark, counter_trace):
+    """Time execution *with* per-cycle record + requirement extraction."""
+    from repro.shyra.trace import run_and_trace
+
+    program = build_counter_program(hold_unused=False)
+    trace = benchmark(
+        run_and_trace, program, initial_registers=counter_registers(0, 10)
+    )
+    assert trace.n == 110
+    assert trace.requirements.universe.size == N_CONFIG_BITS
+    print()
+    print("E0: SHyRA machine — 48 config bits =", dict(
+        LUT1=8, LUT2=8, DEMUX=8, MUX=24
+    ))
+    print(f"E0: counter run: {trace.n} reconfigurations, "
+          f"final registers {trace.final_registers}")
+
+
+def test_bench_universe_construction(benchmark):
+    universe = benchmark(shyra_universe)
+    assert universe.size == 48

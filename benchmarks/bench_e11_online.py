@@ -1,0 +1,98 @@
+"""E11 (extension) — online hyperreconfiguration scheduling.
+
+The offline solvers know the whole trace; a run-time scheduler does
+not.  This bench measures the competitive ratio of the rent-or-buy
+policy (and the fixed-window straw man) against the offline optimum on
+the paper trace and on synthetic workloads, plus the asynchronous-vs-
+synchronized machine comparison enabled by the exact async solver.
+"""
+
+from repro.analysis.workloads import bursty_workload, phased_workload
+from repro.core.switches import SwitchUniverse
+from repro.shyra.tasks import shyra_task_system
+from repro.solvers.mt_async import async_vs_sync_gap, solve_mt_async
+from repro.solvers.online import (
+    RentOrBuyScheduler,
+    WindowScheduler,
+    competitive_report,
+)
+from repro.util.texttable import format_table
+
+
+def test_bench_online_on_counter(benchmark, counter_trace):
+    seq = counter_trace.requirements
+    w = 48.0
+    schedulers = [
+        RentOrBuyScheduler(w, alpha=1.0, memory=4),
+        RentOrBuyScheduler(w, alpha=2.0, memory=11),
+        WindowScheduler(w, k=11),
+    ]
+    rows = benchmark(competitive_report, seq, w, schedulers)
+    print()
+    print(
+        format_table(
+            ["policy", "cost", "vs offline optimum"],
+            rows,
+            title="E11: online scheduling on the counter trace (w=48)",
+        )
+    )
+    ratios = {name: ratio for name, _c, ratio in rows}
+    assert all(r >= 1.0 - 1e-9 for r in ratios.values())
+    best_online = min(
+        r for name, r in ratios.items() if name != "offline optimum"
+    )
+    assert best_online <= 2.5  # a sane policy stays within 2.5× offline
+
+
+def test_bench_online_synthetic(benchmark):
+    universe = SwitchUniverse.of_size(48)
+    w = 48.0
+
+    def run():
+        rows = []
+        for name, seq in (
+            ("phased", phased_workload(universe, 200, phases=8, seed=1)),
+            ("bursty", bursty_workload(universe, 200, seed=2)),
+        ):
+            report = competitive_report(
+                seq, w, [RentOrBuyScheduler(w), WindowScheduler(w, k=16)]
+            )
+            for policy, cost, ratio in report:
+                rows.append([name, policy, cost, ratio])
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(
+        format_table(
+            ["workload", "policy", "cost", "ratio"],
+            rows,
+            title="E11: online policies on synthetic workloads",
+        )
+    )
+    for _w, _p, _c, ratio in rows:
+        assert ratio < 5.0
+
+
+def test_bench_async_vs_sync(benchmark, mt_system, counter_task_seqs):
+    """Asynchronous optimum vs the synchronized machine on the counter."""
+    gap = benchmark(async_vs_sync_gap, mt_system, counter_task_seqs)
+    async_result = solve_mt_async(mt_system, counter_task_seqs)
+    print()
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["async optimal (max over tasks)", gap["async_optimal"]],
+                ["sync cost, same hyper steps", gap["sync_same_schedule"]],
+                ["sync / async ratio", round(gap["ratio"], 3)],
+                ["critical task",
+                 mt_system.tasks[async_result.critical_task].name],
+            ],
+            title="E11: asynchronous vs fully synchronized execution",
+        )
+    )
+    # The async machine overlaps reconfiguration with other tasks'
+    # computation, so its phase time is the per-task max; both numbers
+    # must dominate the largest single-task optimum.
+    assert gap["async_optimal"] <= gap["sync_same_schedule"] * 1.5

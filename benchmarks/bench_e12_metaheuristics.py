@@ -1,0 +1,77 @@
+"""E12 (extension) — metaheuristic head-to-head and GA sensitivity on
+the paper instance.
+
+The paper reports one GA number without hyper-parameters.  This bench
+(a) races GA vs simulated annealing vs greedy on the counter instance
+(m=4, n=110), and (b) sweeps the GA's population size and mutation rate
+to document how much the unpublished choices could matter.
+"""
+
+from repro.analysis.sweeps import ga_hyperparameter_sweep
+from repro.solvers.mt_annealing import AnnealParams, solve_mt_annealing
+from repro.solvers.mt_genetic import GAParams, solve_mt_genetic
+from repro.solvers.mt_greedy import solve_mt_greedy_merge
+from repro.util.texttable import format_table
+
+
+def test_bench_metaheuristic_race(benchmark, mt_system, counter_task_seqs):
+    def race():
+        greedy = solve_mt_greedy_merge(mt_system, counter_task_seqs)
+        ga = solve_mt_genetic(
+            mt_system,
+            counter_task_seqs,
+            params=GAParams(
+                population_size=48, generations=150, stall_generations=60
+            ),
+            seed=0,
+        )
+        sa = solve_mt_annealing(
+            mt_system,
+            counter_task_seqs,
+            params=AnnealParams(iterations=8000),
+            seed=0,
+        )
+        return greedy, ga, sa
+
+    greedy, ga, sa = benchmark.pedantic(race, iterations=1, rounds=1)
+    rows = [
+        ["greedy + local search", greedy.cost],
+        ["genetic algorithm", ga.cost],
+        ["simulated annealing", sa.cost],
+    ]
+    print()
+    print(
+        format_table(
+            ["solver", "cost"],
+            rows,
+            title="E12: metaheuristics on the counter instance (m=4, n=110)",
+        )
+    )
+    best = min(greedy.cost, ga.cost, sa.cost)
+    worst = max(greedy.cost, ga.cost, sa.cost)
+    assert worst <= best * 1.15  # the three agree within 15%
+
+
+def test_bench_ga_sensitivity(benchmark, mt_system, counter_task_seqs):
+    rows = benchmark.pedantic(
+        ga_hyperparameter_sweep,
+        args=(mt_system, counter_task_seqs),
+        kwargs=dict(
+            populations=(16, 48),
+            mutation_factors=(0.5, 1.5, 4.0),
+            generations=100,
+            seed=0,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(
+        format_table(
+            ["population", "mutation ×1/(mn)", "best cost", "generations"],
+            rows,
+            title="E12: GA hyper-parameter sensitivity (counter instance)",
+        )
+    )
+    costs = [r[2] for r in rows]
+    assert max(costs) <= min(costs) * 1.3  # robust within 30% across grid

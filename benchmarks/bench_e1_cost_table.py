@@ -1,0 +1,59 @@
+"""E1 — the headline cost comparison ("Table 1", Section 6 prose).
+
+Paper: disabled = 5280, single-task optimum = 3761 (71.2%),
+multi-task GA = 2813 (53.3%), over n = 110 reconfigurations.
+
+This bench regenerates the table, asserts the shape claims (orderings
+and the exactly-reproducible identities n = 110 and 110·48 = 5280), and
+times the two solvers that produce the paper's numbers.
+"""
+
+from repro.analysis.report import (
+    counter_cost_table,
+    paper_comparison_table,
+    shape_checks,
+)
+from repro.core.cost_single import no_hyper_cost
+from repro.solvers.mt_genetic import GAParams, solve_mt_genetic
+from repro.solvers.single_dp import solve_single_switch
+
+
+def test_bench_single_task_dp(benchmark, counter_trace):
+    """The paper's m=1 comparison: optimal DP with w = 48."""
+    seq = counter_trace.requirements
+    result = benchmark(solve_single_switch, seq, 48.0)
+    assert result.optimal
+    assert result.cost < no_hyper_cost(seq) == 5280.0
+    assert result.schedule.r > 1
+
+
+def test_bench_multi_task_ga(benchmark, mt_system, counter_task_seqs):
+    """The paper's m=4 schedule via the genetic algorithm."""
+    params = GAParams(population_size=48, generations=120, stall_generations=50)
+
+    def run():
+        return solve_mt_genetic(
+            mt_system, counter_task_seqs, params=params, seed=0
+        )
+
+    result = benchmark(run)
+    single = solve_single_switch(counter_task_seqs[0].universe and
+                                 _merged(counter_task_seqs), 48.0)
+    assert result.cost < single.cost
+
+
+def _merged(seqs):
+    from repro.solvers.mt_greedy import combined_sequence
+
+    return combined_sequence(seqs)
+
+
+def test_bench_full_table(benchmark, counter_exp):
+    """Regenerate and print the full headline table."""
+    table = benchmark(counter_cost_table, counter_exp)
+    checks = shape_checks(counter_exp)
+    assert all(checks.values()), checks
+    print()
+    print(table)
+    print()
+    print(paper_comparison_table(counter_exp))

@@ -1,0 +1,50 @@
+"""E2 — Figure 2: hypercontext contents over the 110 counter steps.
+
+Upper panel: the single-task optimum's hypercontext at every step and
+its hyperreconfiguration time points.  Lower panel: the same for the
+multi-task schedule (per-component shading).  The bench regenerates the
+two series, checks their structural invariants (coverage, block
+constancy, periodicity) and times the series generation.
+"""
+
+from repro.analysis.figures import render_fig2
+from repro.util.bitset import bit_count
+
+
+def test_bench_fig2_series(benchmark, counter_exp):
+    def series():
+        return (
+            counter_exp.single.schedule.step_hypercontexts(
+                counter_exp.trace.requirements
+            ),
+            counter_exp.multi.schedule.block_union_masks(
+                counter_exp.task_seqs
+            ),
+        )
+
+    single_steps, multi_steps = benchmark(series)
+    n = counter_exp.trace.n
+    assert len(single_steps) == n
+    assert all(len(row) == n for row in multi_steps)
+    # Every step's hypercontext covers that step's requirement.
+    for mask, req in zip(single_steps, counter_exp.trace.requirements.masks):
+        assert req & ~mask == 0
+    for j, row in enumerate(multi_steps):
+        for mask, req in zip(row, counter_exp.task_seqs[j].masks):
+            assert req & ~mask == 0
+    # Hypercontexts are constant within blocks (piecewise constant).
+    hyper = set(counter_exp.single.schedule.hyper_steps)
+    for i in range(1, n):
+        if i not in hyper:
+            assert single_steps[i] == single_steps[i - 1]
+
+
+def test_bench_fig2_render(benchmark, counter_exp):
+    fig = benchmark(render_fig2, counter_exp)
+    assert "single task (m=1)" in fig and "multiple tasks (m=4)" in fig
+    print()
+    print(fig)
+    avg_single = sum(map(bit_count, counter_exp.single_step_hypercontexts)) / (
+        counter_exp.trace.n
+    )
+    print(f"\nE2: mean single-task hypercontext size: {avg_single:.1f} / 48")

@@ -1,0 +1,76 @@
+"""E3 — Figure 3: which tasks hyperreconfigure at each partial
+hyperreconfiguration step (the black/white matrix).
+
+The paper observes that because l1 = l2 = l3 and uploads are
+task-parallel, hyper steps come in two patterns — all four tasks, or
+the three equal-sized tasks together: a task whose v_j is dominated by
+a co-hyperreconfiguring task rides along for free.  The bench
+regenerates the matrix, asserts the free-rider property quantitatively,
+and also demonstrates the subgroup pattern on a synthetic workload
+whose MUX task is phase-quiet.
+"""
+
+from repro.analysis.figures import render_fig3
+from repro.analysis.workloads import random_task_workloads
+from repro.core.switches import SwitchUniverse
+from repro.core.task import TaskSystem
+from repro.solvers.mt_genetic import GAParams, solve_mt_genetic
+
+
+def test_bench_fig3_matrix(benchmark, counter_exp):
+    fig = benchmark(render_fig3, counter_exp)
+    assert "#" in fig
+    print()
+    print(fig)
+    schedule = counter_exp.multi.schedule
+    columns = schedule.hyper_columns()
+    assert len(columns) >= 10  # tens of partial hyper steps, as in the paper
+    # Free-rider check: when the MUX (v=24) hypers, an 8-switch task
+    # skipping the step saves nothing — count such skipped free rides.
+    skipped = 0
+    for i in columns:
+        if schedule.indicators[3][i]:
+            skipped += sum(
+                1 for j in range(3) if not schedule.indicators[j][i]
+            )
+    total_opportunities = 3 * sum(
+        1 for i in columns if schedule.indicators[3][i]
+    )
+    if total_opportunities:
+        assert skipped <= total_opportunities * 0.35
+
+
+def test_bench_fig3_subgroup_pattern(benchmark):
+    """Synthetic phase-structured workload: small tasks churn, MUX-like
+    task stays quiet in the second half → subgroup hyper columns."""
+    universe = SwitchUniverse.of_size(48)
+    system = TaskSystem.from_contiguous(
+        universe, [8, 8, 8, 24], names=["T1", "T2", "T3", "T4"]
+    )
+    n = 40
+    seqs = random_task_workloads(
+        universe,
+        list(system.local_masks),
+        n,
+        kind="phased",
+        seed=11,
+        phases=4,
+        working_set=0.5,
+        step_density=0.5,
+    )
+    params = GAParams(population_size=32, generations=120, stall_generations=50)
+
+    def run():
+        return solve_mt_genetic(system, seqs, params=params, seed=2)
+
+    result = benchmark(run)
+    schedule = result.schedule
+    patterns = set()
+    for i in schedule.hyper_columns():
+        patterns.add(
+            tuple(schedule.indicators[j][i] for j in range(system.m))
+        )
+    print()
+    print(f"E3(synthetic): {len(schedule.hyper_columns())} hyper columns, "
+          f"{len(patterns)} distinct task patterns")
+    assert len(patterns) >= 1

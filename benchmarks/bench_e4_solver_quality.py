@@ -1,0 +1,46 @@
+"""E4 (ablation) — solver quality: GA and greedy vs the exact optimum.
+
+The paper uses the exact DP for m = 1 and a GA for m = 4 without
+quantifying GA quality; this ablation measures the optimality gaps on
+instances small enough for the exact solvers.
+"""
+
+from repro.analysis.sweeps import make_instance, solver_quality_sweep
+from repro.solvers.exhaustive import solve_mt_exhaustive
+from repro.solvers.mt_exact import solve_mt_exact
+from repro.util.texttable import format_table
+
+
+def test_bench_quality_sweep(benchmark):
+    rows = benchmark.pedantic(
+        solver_quality_sweep,
+        kwargs=dict(
+            sizes=((2, 6), (2, 8), (3, 5)), instances=2, seed=0
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(
+        format_table(
+            ["instance size", "GA gap %", "greedy gap %", "annealing gap %"],
+            rows,
+            title="E4: mean optimality gaps vs exact optimum",
+        )
+    )
+    for _label, ga_gap, greedy_gap, sa_gap in rows:
+        assert ga_gap >= -1e-6 and greedy_gap >= -1e-6 and sa_gap >= -1e-6
+        assert ga_gap < 50.0  # sanity: the GA is never wildly off
+        assert sa_gap < 50.0
+
+
+def test_bench_exact_dp(benchmark):
+    system, seqs = make_instance(2, 8, 6, seed=3)
+    result = benchmark(solve_mt_exact, system, seqs)
+    assert result.optimal
+
+
+def test_bench_exhaustive(benchmark):
+    system, seqs = make_instance(2, 6, 6, seed=4)
+    result = benchmark(solve_mt_exhaustive, system, seqs)
+    assert result.optimal

@@ -1,0 +1,49 @@
+"""E5 (ablation) — solver scaling with trace length and task count.
+
+Times the O(n²) single-task DP on growing prefixes of synthetic traces
+and the GA/greedy multi-task solvers on growing n, printing the cost
+series (who wins and by how much as instances grow).
+"""
+
+import pytest
+
+from repro.analysis.sweeps import make_instance, scaling_sweep
+from repro.analysis.workloads import periodic_workload
+from repro.core.switches import SwitchUniverse
+from repro.solvers.mt_greedy import solve_mt_greedy_merge
+from repro.solvers.single_dp import solve_single_switch
+from repro.util.texttable import format_table
+
+
+@pytest.mark.parametrize("n", [50, 200, 800])
+def test_bench_single_dp_scaling(benchmark, n):
+    universe = SwitchUniverse.of_size(48)
+    seq = periodic_workload(universe, n, period=11, body_density=0.25, seed=0)
+    result = benchmark(solve_single_switch, seq, 48.0)
+    assert result.optimal
+
+
+@pytest.mark.parametrize("m", [2, 4, 8])
+def test_bench_greedy_scaling_with_tasks(benchmark, m):
+    system, seqs = make_instance(m, 60, 6, kind="periodic", seed=1)
+    result = benchmark(solve_mt_greedy_merge, system, seqs)
+    assert result.cost > 0
+
+
+def test_bench_cost_series(benchmark):
+    rows = benchmark.pedantic(
+        scaling_sweep,
+        kwargs=dict(ns=(20, 40, 80), m=4, switches_per_task=8, seed=0),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(
+        format_table(
+            ["n", "greedy cost", "GA cost"],
+            rows,
+            title="E5: multi-task solver costs vs trace length (m=4)",
+        )
+    )
+    for _n, greedy, ga in rows:
+        assert ga <= greedy * 1.25  # GA stays competitive as n grows

@@ -1,0 +1,70 @@
+"""E6 (ablation) — synchronization/upload modes and machine classes.
+
+Section 4.2 gives per-step formulas where each task-sequential
+operation replaces a max by a sum.  This bench evaluates the paper's
+counter schedule under all four upload-mode combinations and compares
+machine classes (can partial hyperreconfiguration be restricted without
+losing much?).
+"""
+
+from repro.analysis.sweeps import sync_mode_sweep
+from repro.core.machine import MachineClass, MachineModel, SyncMode
+from repro.core.sync_cost import sync_switch_cost
+from repro.solvers.mt_greedy import solve_mt_greedy_merge
+from repro.util.texttable import format_table
+
+
+def test_bench_upload_modes(benchmark, counter_exp):
+    rows = benchmark(
+        sync_mode_sweep,
+        counter_exp.system,
+        counter_exp.task_seqs,
+        counter_exp.multi.schedule,
+    )
+    print()
+    print(
+        format_table(
+            ["hyper upload", "reconfig upload", "total cost"],
+            rows,
+            title="E6: counter schedule cost by upload mode",
+        )
+    )
+    costs = {(r[0], r[1]): r[2] for r in rows}
+    par_par = costs[("task_parallel", "task_parallel")]
+    seq_seq = costs[("task_sequential", "task_sequential")]
+    assert par_par <= seq_seq
+    assert all(par_par <= c for c in costs.values())
+
+
+def test_bench_machine_class_restriction(benchmark, mt_system, counter_task_seqs):
+    """Partially *reconfigurable* machines must hyperreconfigure all
+    tasks together; measure the cost of that restriction."""
+    aligned_model = MachineModel(
+        machine_class=MachineClass.PARTIALLY_RECONFIGURABLE,
+        sync_mode=SyncMode.FULLY_SYNCHRONIZED,
+    )
+
+    def solve_both():
+        free = solve_mt_greedy_merge(mt_system, counter_task_seqs)
+        aligned = solve_mt_greedy_merge(
+            mt_system, counter_task_seqs, aligned_model
+        )
+        return free, aligned
+
+    free, aligned = benchmark(solve_both)
+    print()
+    print(
+        format_table(
+            ["machine class", "greedy cost"],
+            [
+                ["partially hyperreconfigurable", free.cost],
+                ["partially reconfigurable (aligned hypers)", aligned.cost],
+            ],
+            title="E6: cost of restricting partial hyperreconfiguration",
+        )
+    )
+    # Aligned schedules are a subset of free schedules, but both solvers
+    # are heuristics — verify the aligned result is at least valid.
+    assert sync_switch_cost(
+        mt_system, counter_task_seqs, aligned.schedule, aligned_model
+    ) == aligned.cost

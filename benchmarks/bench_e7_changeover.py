@@ -1,0 +1,74 @@
+"""E7 (ablation) — the changeover-cost model variant.
+
+The Section 4.1 variant charges hyperreconfigurations ``w + |h Δ h'|``.
+This bench compares plain vs changeover costs of the counter's
+single-task schedules, verifies carrying behaviour on the trace, and
+times the changeover solvers.
+"""
+
+from repro.core.cost_single import switch_cost, switch_cost_changeover
+from repro.solvers.changeover import (
+    optimal_hypercontexts_for_partition,
+    solve_changeover_exact,
+    solve_changeover_heuristic,
+)
+from repro.solvers.single_dp import solve_single_switch
+from repro.util.texttable import format_table
+
+
+def test_bench_changeover_heuristic_counter(benchmark, counter_trace):
+    seq = counter_trace.requirements
+    result = benchmark.pedantic(
+        solve_changeover_heuristic,
+        args=(seq, 8.0),
+        iterations=1,
+        rounds=1,
+    )
+    plain = solve_single_switch(seq, w=8.0)
+    plain_under_changeover = switch_cost_changeover(
+        seq,
+        type(plain.schedule)(
+            n=plain.schedule.n,
+            hyper_steps=plain.schedule.hyper_steps,
+            explicit_masks=tuple(
+                optimal_hypercontexts_for_partition(
+                    seq, plain.schedule.hyper_steps
+                )
+            ),
+        ),
+        w=8.0,
+    )
+    print()
+    print(
+        format_table(
+            ["schedule", "changeover cost"],
+            [
+                ["plain-DP partition + optimal carries", plain_under_changeover],
+                ["changeover local search", result.cost],
+            ],
+            title="E7: changeover-model costs on the counter trace (w=8)",
+        )
+    )
+    assert result.cost <= plain_under_changeover + 1e-9
+
+
+def test_bench_changeover_exact_small(benchmark, counter_trace):
+    seq = counter_trace.requirements[:12]
+    result = benchmark.pedantic(
+        solve_changeover_exact, args=(seq, 4.0), iterations=1, rounds=1
+    )
+    heur = solve_changeover_heuristic(seq, 4.0)
+    assert result.optimal
+    assert result.cost <= heur.cost + 1e-9
+    print()
+    print(
+        f"E7: exact changeover optimum on 12-step prefix: {result.cost:.0f} "
+        f"(heuristic: {heur.cost:.0f})"
+    )
+
+
+def test_bench_per_switch_dp(benchmark, counter_trace):
+    seq = counter_trace.requirements
+    steps = tuple(range(0, len(seq), 11))
+    masks = benchmark(optimal_hypercontexts_for_partition, seq, steps)
+    assert len(masks) == len(steps)

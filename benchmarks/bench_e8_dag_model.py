@@ -1,0 +1,77 @@
+"""E8 (ablation) — the coarse-grained DAG cost model.
+
+Builds a layered hypercontext lattice (quality levels × feature
+groups), runs the DAG DP on phase-structured token sequences, and
+reports how schedule cost varies with the hyperreconfiguration cost w
+(cheap w → many small hypercontexts; expensive w → camp on the top).
+"""
+
+import pytest
+
+from repro.core.hypercontext import DagHypercontextSystem, DagNode
+from repro.solvers.dag_dp import solve_dag
+from repro.util.texttable import format_table
+
+
+def _lattice(init_cost: float) -> DagHypercontextSystem:
+    """Three feature groups × two quality levels plus a top node."""
+    groups = ("routing", "compute", "io")
+    nodes = []
+    edges = []
+    all_tokens = set()
+    for g in groups:
+        low = {f"{g}/basic"}
+        high = {f"{g}/basic", f"{g}/full"}
+        all_tokens |= high
+        nodes.append(DagNode(f"{g}-low", low, cost=1))
+        nodes.append(DagNode(f"{g}-high", high, cost=3))
+        edges.append((f"{g}-low", f"{g}-high"))
+    nodes.append(DagNode("top", frozenset(all_tokens), cost=8))
+    for g in groups:
+        edges.append((f"{g}-high", "top"))
+    return DagHypercontextSystem(nodes, edges, init_cost=init_cost)
+
+
+def _phase_tokens(n_per_phase: int) -> list:
+    tokens = []
+    tokens += ["routing/basic"] * n_per_phase
+    tokens += ["compute/basic", "compute/full"] * (n_per_phase // 2)
+    tokens += ["io/basic"] * n_per_phase
+    tokens += ["routing/basic", "io/basic"] * (n_per_phase // 2)
+    return tokens
+
+
+@pytest.mark.parametrize("w", [1.0, 10.0, 100.0])
+def test_bench_dag_dp(benchmark, w):
+    system = _lattice(w)
+    tokens = _phase_tokens(20)
+    result = benchmark(solve_dag, system, tokens)
+    assert result.optimal
+    if w >= 100.0:
+        # Expensive hyperreconfigurations push toward fewer blocks than
+        # the cheap-w regime (one per phase).
+        cheap = solve_dag(_lattice(1.0), tokens)
+        assert len(result.blocks) <= len(cheap.blocks)
+
+
+def test_bench_dag_w_sweep(benchmark):
+    tokens = _phase_tokens(20)
+
+    def sweep():
+        rows = []
+        for w in (0.5, 2.0, 8.0, 32.0, 128.0):
+            res = solve_dag(_lattice(w), tokens)
+            rows.append([w, res.cost, len(res.blocks)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print()
+    print(
+        format_table(
+            ["w", "optimal cost", "blocks"],
+            rows,
+            title="E8: DAG model — blocks vs hyperreconfiguration cost",
+        )
+    )
+    blocks = [r[2] for r in rows]
+    assert blocks == sorted(blocks, reverse=True)  # monotone coarsening

@@ -1,0 +1,76 @@
+"""E9 (ablation) — private global resources and global
+hyperreconfigurations.
+
+Two tasks share a private pool whose ownership must flip between
+phases; the two-level solver chooses global hyperreconfiguration points
+and assignments.  The bench measures how total cost depends on the
+global hyperreconfiguration cost w and times the segmentation DP.
+"""
+
+from repro.core.context import RequirementSequence
+from repro.core.switches import SwitchSet, SwitchUniverse
+from repro.core.task import Task, TaskSystem
+from repro.solvers.private_global import solve_private_global
+from repro.util.texttable import format_table
+
+U = SwitchUniverse.of_size(16)
+PRIV = 0xF000  # bits 12-15 shared
+
+
+def _system() -> TaskSystem:
+    return TaskSystem(
+        U,
+        [Task("A", SwitchSet(U, 0x003F)), Task("B", SwitchSet(U, 0x0FC0))],
+        private_global=SwitchSet(U, PRIV),
+    )
+
+
+def _seqs(n_half: int) -> list[RequirementSequence]:
+    """Phase 1: A owns private bits 12–13; phase 2: B demands the *same*
+    bits, which forces a global hyperreconfiguration between the
+    halves (ownership can only change at a global hypercontext)."""
+    a = [0x0003 | 0x3000] * n_half + [0x0001] * n_half
+    b = [0x0040] * n_half + [0x00C0 | 0x3000] * n_half
+    return [RequirementSequence(U, a), RequirementSequence(U, b)]
+
+
+def test_bench_private_global_solver(benchmark):
+    system = _system()
+    seqs = _seqs(10)
+    result = benchmark.pedantic(
+        solve_private_global,
+        args=(system, seqs),
+        kwargs=dict(w=20.0),
+        iterations=1,
+        rounds=1,
+    )
+    # Ownership flips between halves → at least two global phases.
+    assert result.schedule.r_global >= 2
+    boundary = result.schedule.phases[0].stop
+    assert 0 < boundary <= 10 or boundary == 10
+
+
+def test_bench_w_sweep(benchmark):
+    system = _system()
+    seqs = _seqs(8)
+
+    def sweep():
+        rows = []
+        for w in (2.0, 10.0, 50.0):
+            res = solve_private_global(system, seqs, w=w)
+            rows.append([w, res.cost, res.schedule.r_global])
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print()
+    print(
+        format_table(
+            ["global w", "total cost", "global phases"],
+            rows,
+            title="E9: private-global scheduling vs global hyper cost",
+        )
+    )
+    phases = [r[2] for r in rows]
+    assert phases == sorted(phases, reverse=True)  # fewer phases as w grows
+    costs = [r[1] for r in rows]
+    assert costs == sorted(costs)  # dearer w → dearer optimum

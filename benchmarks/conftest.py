@@ -1,0 +1,43 @@
+"""Shared session fixtures for the benchmark harness.
+
+Heavy artifacts (the counter experiment with its GA run) are computed
+once per session; the individual benchmark files time their own
+components and print the regenerated paper tables/figures (run with
+``-s`` to see them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_counter_experiment
+from repro.shyra.apps.counter import build_counter_program, counter_registers
+from repro.shyra.tasks import shyra_task_system
+from repro.shyra.trace import run_and_trace
+from repro.solvers.mt_genetic import GAParams
+
+
+@pytest.fixture(scope="session")
+def ga_params() -> GAParams:
+    return GAParams(population_size=64, generations=250, stall_generations=80)
+
+
+@pytest.fixture(scope="session")
+def counter_exp(ga_params):
+    return run_counter_experiment(ga_params=ga_params, seed=0)
+
+
+@pytest.fixture(scope="session")
+def counter_trace():
+    program = build_counter_program(hold_unused=False)
+    return run_and_trace(program, initial_registers=counter_registers(0, 10))
+
+
+@pytest.fixture(scope="session")
+def mt_system():
+    return shyra_task_system()
+
+
+@pytest.fixture(scope="session")
+def counter_task_seqs(mt_system, counter_trace):
+    return mt_system.split_requirements(counter_trace.requirements)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Bring your own application: map a design onto SHyRA and analyze it.
+
+Shows the full workflow for a *new* workload (not in the paper): the
+4-bit ripple-carry adder and the magnitude comparator from
+``repro.shyra.apps``, traced under both requirement semantics and both
+compiler mappings, with single- and multi-task scheduling on top.  Use
+this as the template for mapping your own microprograms.
+
+Run:  python examples/custom_architecture.py
+"""
+
+from repro.core import no_hyper_cost
+from repro.shyra import run_and_trace, shyra_task_system
+from repro.shyra.apps.adder import adder_registers, build_adder_program
+from repro.shyra.apps.comparator import (
+    build_comparator_program,
+    comparator_registers,
+)
+from repro.shyra.trace import RequirementSemantics
+from repro.solvers import solve_mt_greedy_merge, solve_single_switch
+from repro.util import format_table
+
+
+def analyze(name, build_program, registers):
+    system = shyra_task_system()
+    rows = []
+    for hold in (True, False):
+        program = build_program(hold_unused=hold)
+        for sem in RequirementSemantics:
+            trace = run_and_trace(
+                program, initial_registers=registers, semantics=sem
+            )
+            seq = trace.requirements
+            base = no_hyper_cost(seq)
+            single = solve_single_switch(seq, w=48.0)
+            multi = solve_mt_greedy_merge(
+                system, system.split_requirements(seq)
+            )
+            rows.append([
+                "hold" if hold else "naive",
+                sem.value,
+                trace.n,
+                base,
+                round(100 * single.cost / base, 1),
+                round(100 * multi.cost / base, 1),
+            ])
+    print(format_table(
+        ["mapping", "semantics", "n", "disabled", "single %", "multi %"],
+        rows,
+        title=f"{name}: scheduling analysis",
+    ))
+    print()
+
+
+def main() -> None:
+    print("Mapping two straight-line designs onto SHyRA\n")
+    # Show the microprogram the assembler produced for one case.
+    program = build_adder_program()
+    print("4-bit adder microprogram:")
+    print(program.disassemble())
+    print()
+    analyze("4-bit ripple-carry adder (9+6)", build_adder_program,
+            adder_registers(9, 6))
+    analyze("4-bit comparator (11 vs 5)", build_comparator_program,
+            comparator_registers(11, 5))
+    print("Reading: straight-line designs reconfigure only a handful of")
+    print("times, so hyperreconfiguration pays off less than on the")
+    print("counter loop — the phase structure is what creates savings.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The DAG cost model on a coarse-grained machine.
+
+Models a machine with three reconfigurable feature groups (routing,
+compute, I/O), each at two quality levels, ordered in a precedence DAG
+with a top hypercontext.  Solves phase-structured token workloads
+optimally and sweeps the hyperreconfiguration cost w to show the
+granularity trade-off the model captures.
+
+Run:  python examples/dag_coarse_grained.py
+"""
+
+from repro.core.hypercontext import DagHypercontextSystem, DagNode
+from repro.solvers.dag_dp import solve_dag
+from repro.util import format_table
+
+
+def build_lattice(w: float) -> DagHypercontextSystem:
+    groups = ("routing", "compute", "io")
+    nodes, edges, everything = [], [], set()
+    for g in groups:
+        basic = {f"{g}/basic"}
+        full = {f"{g}/basic", f"{g}/full"}
+        everything |= full
+        nodes.append(DagNode(f"{g}-low", basic, cost=1))
+        nodes.append(DagNode(f"{g}-high", full, cost=3))
+        edges.append((f"{g}-low", f"{g}-high"))
+    nodes.append(DagNode("top", frozenset(everything), cost=8))
+    edges += [(f"{g}-high", "top") for g in groups]
+    return DagHypercontextSystem(nodes, edges, init_cost=w)
+
+
+def main() -> None:
+    # A computation that wanders through feature groups.
+    tokens = (
+        ["routing/basic"] * 8
+        + ["compute/basic", "compute/full"] * 4
+        + ["io/basic"] * 8
+        + ["routing/basic", "io/basic"] * 4
+    )
+    print(f"workload: {len(tokens)} reconfigurations over "
+          f"{len(set(tokens))} distinct requirement tokens\n")
+
+    system = build_lattice(4.0)
+    result = solve_dag(system, tokens)
+    print("optimal schedule at w=4:")
+    for block in result.blocks:
+        print(f"  steps [{block.start:2d},{block.stop:2d}) "
+              f"under {block.node!r} (cost {system.node(block.node).cost})")
+    print(f"total cost: {result.cost:.0f}\n")
+
+    rows = []
+    for w in (0.5, 2.0, 8.0, 32.0, 128.0):
+        res = solve_dag(build_lattice(w), tokens)
+        nodes_used = ",".join(sorted({b.node for b in res.blocks}))
+        rows.append([w, res.cost, len(res.blocks), nodes_used])
+    print(format_table(
+        ["w", "cost", "blocks", "hypercontexts used"],
+        rows,
+        title="Granularity vs hyperreconfiguration cost",
+    ))
+    print()
+    print("Cheap hyperreconfigurations → many small, cheap hypercontexts;")
+    print("expensive ones → few blocks, eventually camping on 'top'.")
+
+
+if __name__ == "__main__":
+    main()

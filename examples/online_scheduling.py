@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Online (run-time) hyperreconfiguration without future knowledge.
+
+A machine deciding at run time when to hyperreconfigure cannot see the
+rest of the trace.  This example runs the rent-or-buy policy against
+the offline optimum on the paper's counter trace and on a workload with
+abrupt phase changes, printing competitive ratios and the schedules'
+hyper steps side by side.
+
+Run:  python examples/online_scheduling.py
+"""
+
+from repro.analysis.workloads import phased_workload
+from repro.core.switches import SwitchUniverse
+from repro.shyra import run_and_trace
+from repro.shyra.apps import build_counter_program, counter_registers
+from repro.solvers import (
+    RentOrBuyScheduler,
+    WindowScheduler,
+    competitive_report,
+    run_online,
+    solve_single_switch,
+)
+from repro.util import format_table
+
+
+def main() -> None:
+    # --- the paper trace ------------------------------------------------
+    trace = run_and_trace(
+        build_counter_program(hold_unused=False),
+        initial_registers=counter_registers(0, 10),
+    )
+    seq = trace.requirements
+    w = 48.0
+    print(format_table(
+        ["policy", "cost", "vs offline"],
+        competitive_report(seq, w, [
+            RentOrBuyScheduler(w, alpha=1.0, memory=4),
+            RentOrBuyScheduler(w, alpha=2.0, memory=11),
+            WindowScheduler(w, k=11),
+        ]),
+        title="Counter trace (n=110, w=48)",
+    ))
+    print()
+
+    offline = solve_single_switch(seq, w=w)
+    online = run_online(RentOrBuyScheduler(w, alpha=2.0, memory=11), seq, w)
+    print("offline hyper steps:", offline.schedule.hyper_steps[:12], "…")
+    print("online  hyper steps:", online.schedule.hyper_steps[:12], "…")
+    print()
+
+    # --- abrupt phase changes --------------------------------------------
+    universe = SwitchUniverse.of_size(48)
+    phased = phased_workload(
+        universe, 160, phases=8, working_set=0.25, seed=4
+    )
+    print(format_table(
+        ["policy", "cost", "vs offline"],
+        competitive_report(phased, w, [
+            RentOrBuyScheduler(w, alpha=1.0),
+            RentOrBuyScheduler(w, alpha=0.5),
+            WindowScheduler(w, k=20),
+        ]),
+        title="Synthetic 8-phase workload (n=160)",
+    ))
+    print()
+    print("Reading: rent-or-buy tracks phase boundaries without future")
+    print("knowledge and stays within a small constant of the optimum;")
+    print("fixed windows pay for hyperreconfigurations the workload")
+    print("never asked for.")
+
+
+if __name__ == "__main__":
+    main()

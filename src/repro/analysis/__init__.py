@@ -1,0 +1,49 @@
+"""Experiment drivers, workload generators and reporting.
+
+* :mod:`repro.analysis.workloads` — synthetic context-requirement
+  generators (phased, periodic, bursty) for scaling and ablation
+  studies;
+* :mod:`repro.analysis.experiments` — drivers that regenerate every
+  figure and headline number of the paper's Section 6;
+* :mod:`repro.analysis.figures` — plain-text renderings of Figures 2
+  and 3;
+* :mod:`repro.analysis.report` — measured-vs-paper comparison tables;
+* :mod:`repro.analysis.sweeps` — parameter sweeps over solvers and
+  machine models (experiments E4–E9).
+"""
+
+from repro.analysis.workloads import (
+    phased_workload,
+    periodic_workload,
+    bursty_workload,
+    random_task_workloads,
+)
+from repro.analysis.experiments import (
+    CounterExperiment,
+    run_counter_experiment,
+    PAPER_NUMBERS,
+)
+from repro.analysis.figures import render_fig2, render_fig3
+from repro.analysis.report import counter_cost_table, paper_comparison_table
+from repro.analysis.trace_stats import (
+    demand_profile,
+    detect_period,
+    segment_phases,
+)
+
+__all__ = [
+    "phased_workload",
+    "periodic_workload",
+    "bursty_workload",
+    "random_task_workloads",
+    "CounterExperiment",
+    "run_counter_experiment",
+    "PAPER_NUMBERS",
+    "render_fig2",
+    "render_fig3",
+    "counter_cost_table",
+    "paper_comparison_table",
+    "demand_profile",
+    "detect_period",
+    "segment_phases",
+]

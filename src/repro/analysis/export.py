@@ -1,0 +1,93 @@
+"""JSON export of experiment artifacts.
+
+Reproducibility plumbing: schedules, costs and traces serialize to
+plain JSON so runs can be archived, diffed, and re-validated without
+re-running solvers.  ``import_and_validate`` re-evaluates an archived
+schedule against a freshly computed trace — the strongest check that an
+archive still describes reality.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from pathlib import Path
+
+from repro.analysis.experiments import CounterExperiment
+from repro.core.schedule import MultiTaskSchedule, SingleTaskSchedule
+from repro.core.sync_cost import sync_switch_cost
+from repro.core.cost_single import switch_cost
+
+__all__ = ["experiment_to_dict", "dump_experiment", "import_and_validate"]
+
+
+def experiment_to_dict(exp: CounterExperiment) -> dict:
+    """Everything needed to re-check a counter experiment, as JSON types."""
+    return {
+        "format": "repro.counter_experiment/1",
+        "n": exp.trace.n,
+        "requirement_masks": [hex(m) for m in exp.trace.requirements.masks],
+        "cost_disabled": exp.cost_disabled,
+        "single": {
+            "schedule": exp.single.schedule.to_dict(),
+            "cost": exp.single.cost,
+            "solver": exp.single.solver,
+        },
+        "multi": {
+            "schedule": exp.multi.schedule.to_dict(),
+            "cost": exp.multi.cost,
+            "solver": exp.multi.solver,
+        },
+        "task_sizes": list(exp.system.sizes),
+    }
+
+
+def dump_experiment(exp: CounterExperiment, path: str | Path) -> Path:
+    """Write the archive; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(experiment_to_dict(exp), indent=2))
+    return path
+
+
+def import_and_validate(
+    payload: Mapping | str | Path,
+    exp: CounterExperiment,
+) -> dict:
+    """Validate an archived run against a live experiment's trace.
+
+    Re-evaluates the archived schedules on the live requirement
+    sequences and compares costs.  Returns a report dict; raises
+    ``ValueError`` on any mismatch (wrong trace, drifted cost).
+    """
+    if isinstance(payload, (str, Path)):
+        payload = json.loads(Path(payload).read_text())
+    if payload.get("format") != "repro.counter_experiment/1":
+        raise ValueError("unknown archive format")
+    live_masks = [hex(m) for m in exp.trace.requirements.masks]
+    if payload["requirement_masks"] != live_masks:
+        raise ValueError("archived trace differs from the live trace")
+
+    single_schedule = SingleTaskSchedule.from_dict(payload["single"]["schedule"])
+    single_cost = switch_cost(
+        exp.trace.requirements, single_schedule, w=float(
+            exp.trace.requirements.universe.size
+        )
+    )
+    if abs(single_cost - payload["single"]["cost"]) > 1e-9:
+        raise ValueError(
+            f"archived single-task cost {payload['single']['cost']} does not "
+            f"re-evaluate ({single_cost})"
+        )
+
+    multi_schedule = MultiTaskSchedule.from_dict(payload["multi"]["schedule"])
+    multi_cost = sync_switch_cost(exp.system, exp.task_seqs, multi_schedule)
+    if abs(multi_cost - payload["multi"]["cost"]) > 1e-9:
+        raise ValueError(
+            f"archived multi-task cost {payload['multi']['cost']} does not "
+            f"re-evaluate ({multi_cost})"
+        )
+    return {
+        "trace_match": True,
+        "single_cost": single_cost,
+        "multi_cost": multi_cost,
+    }

@@ -1,0 +1,125 @@
+"""Plain-text renderings of the paper's result figures.
+
+* **Figure 2** — per-step hypercontext contents for the counter run,
+  single-task (upper panel) and multi-task (lower panel), with the
+  time steps of (partial) hyperreconfigurations marked.
+* **Figure 3** — for the multi-task run, which tasks perform a partial
+  hyperreconfiguration at each hyperreconfiguration step (black = yes,
+  white = no-hyperreconfiguration in the paper; here ``#`` / ``.``).
+
+The renderers draw one character per reconfiguration step, wrapping
+long runs; characters encode how much of a component's configuration
+is inside the current hypercontext (`` `` none, ``░▒▓█`` quarters).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import CounterExperiment
+from repro.shyra.config import COMPONENT_BIT_RANGES
+from repro.util.bitset import bit_count
+
+__all__ = ["render_fig2", "render_fig3"]
+
+_SHADES = " ░▒▓█"
+
+
+def _shade(avail: int, width: int) -> str:
+    """Map availability fraction to a shade character."""
+    if width == 0:
+        return " "
+    level = round(4 * avail / width)
+    return _SHADES[max(0, min(4, level))]
+
+
+def _component_rows(
+    step_masks: list[int],
+    hyper_flags: list[bool],
+) -> list[str]:
+    rows = []
+    for comp, (lsb, width) in COMPONENT_BIT_RANGES.items():
+        comp_mask = ((1 << width) - 1) << lsb
+        chars = []
+        for mask in step_masks:
+            chars.append(_shade(bit_count(mask & comp_mask), width))
+        rows.append(f"{comp:>5} |{''.join(chars)}|")
+    marks = "".join("^" if f else " " for f in hyper_flags)
+    rows.append(f"{'hyper':>5}  {marks}")
+    return rows
+
+
+def _wrap(lines: list[str], width: int) -> str:
+    """Wrap the fixed-prefix rows into chunks of ``width`` columns."""
+    prefix_len = 7  # '  MUX |' / 'hyper  ' style prefix
+    heads = [ln[:prefix_len] for ln in lines]
+    bodies = [ln[prefix_len:] for ln in lines]
+    total = max(len(b) for b in bodies)
+    out = []
+    for off in range(0, total, width):
+        for head, body in zip(heads, bodies):
+            out.append(head + body[off : off + width])
+        out.append("")
+    return "\n".join(out).rstrip()
+
+
+def render_fig2(exp: CounterExperiment, *, wrap: int = 110) -> str:
+    """Figure 2: hypercontext timelines, single task above multi task."""
+    n = exp.trace.n
+    single_flags = [False] * n
+    for s in exp.single.schedule.hyper_steps:
+        single_flags[s] = True
+    upper = _component_rows(exp.single_step_hypercontexts, single_flags)
+
+    # Multi panel: per step, the union of all tasks' hypercontexts
+    # (component shading is per owning task by construction).
+    multi_masks = []
+    for i in range(n):
+        mask = 0
+        for j in range(exp.system.m):
+            mask |= exp.multi_step_hypercontexts[j][i]
+        multi_masks.append(mask)
+    multi_flags = [
+        any(exp.multi.schedule.indicators[j][i] for j in range(exp.system.m))
+        for i in range(n)
+    ]
+    lower = _component_rows(multi_masks, multi_flags)
+
+    parts = [
+        "Figure 2 (reproduction): hypercontexts for the 4-bit counter",
+        "shade = fraction of the component's switches in the hypercontext",
+        "",
+        f"single task (m=1): {exp.single.schedule.r} hyperreconfigurations, "
+        f"cost {exp.single.cost:.0f}",
+        _wrap(upper, wrap),
+        "",
+        f"multiple tasks (m=4): {len(exp.hyper_columns_multi)} partial "
+        f"hyperreconfiguration steps, cost {exp.multi.cost:.0f}",
+        _wrap(lower, wrap),
+    ]
+    return "\n".join(parts)
+
+
+def render_fig3(exp: CounterExperiment) -> str:
+    """Figure 3: which tasks hyperreconfigure at each hyper step.
+
+    One column per step at which at least one task performs a partial
+    hyperreconfiguration; ``#`` = partial hyperreconfiguration,
+    ``.`` = no-hyperreconfiguration operation.
+    """
+    columns = exp.hyper_columns_multi
+    names = [t.name for t in exp.system.tasks]
+    width = max(len(nm) for nm in names)
+    lines = [
+        "Figure 3 (reproduction): partial hyperreconfiguration operations",
+        f"{len(columns)} hyperreconfiguration steps "
+        f"(# = hyper, . = no-hyper)",
+        "",
+    ]
+    for j, nm in enumerate(names):
+        row = "".join(
+            "#" if exp.multi.schedule.indicators[j][i] else "." for i in columns
+        )
+        lines.append(f"{nm:>{width}} |{row}|")
+    steps = " ".join(str(c) for c in columns)
+    lines.append("")
+    lines.append(f"step indices: {steps}")
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Parameter sweeps for the ablation experiments E4–E9.
+
+Each sweep is a plain function returning rows (lists) ready for
+:func:`repro.util.texttable.format_table`; the benchmark harness both
+times them and prints the regenerated series.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.workloads import random_task_workloads
+from repro.core.context import RequirementSequence
+from repro.core.machine import MachineClass, MachineModel, SyncMode, UploadMode
+from repro.core.switches import SwitchUniverse
+from repro.core.sync_cost import sync_switch_cost
+from repro.core.task import TaskSystem
+from repro.solvers.exhaustive import solve_mt_exhaustive
+from repro.solvers.mt_annealing import AnnealParams, solve_mt_annealing
+from repro.solvers.mt_exact import solve_mt_exact
+from repro.solvers.mt_genetic import GAParams, solve_mt_genetic
+from repro.solvers.mt_greedy import solve_mt_greedy_merge
+from repro.util.rng import SeedLike, make_rng
+
+__all__ = [
+    "make_instance",
+    "solver_quality_sweep",
+    "scaling_sweep",
+    "sync_mode_sweep",
+    "ga_hyperparameter_sweep",
+]
+
+
+def make_instance(
+    m: int,
+    n: int,
+    switches_per_task: int,
+    *,
+    kind: str = "phased",
+    seed: SeedLike = 0,
+) -> tuple[TaskSystem, list[RequirementSequence]]:
+    """A random fully synchronized MT-Switch instance."""
+    universe = SwitchUniverse.of_size(m * switches_per_task)
+    system = TaskSystem.from_contiguous(universe, [switches_per_task] * m)
+    seqs = random_task_workloads(
+        universe, list(system.local_masks), n, kind=kind, seed=seed
+    )
+    return system, seqs
+
+
+def solver_quality_sweep(
+    *,
+    sizes: Sequence[tuple[int, int]] = ((2, 6), (2, 8), (3, 5)),
+    switches_per_task: int = 6,
+    instances: int = 3,
+    seed: SeedLike = 0,
+) -> list[list]:
+    """Optimality gaps of GA and greedy against the exact optimum.
+
+    For each (m, n) size, ``instances`` random instances are solved by
+    the exhaustive/exact solver, the GA and the greedy pipeline; rows
+    report mean relative gaps.
+    """
+    rng = make_rng(seed)
+    rows = []
+    ga_params = GAParams(population_size=32, generations=150, stall_generations=60)
+    sa_params = AnnealParams(iterations=4000)
+    for m, n in sizes:
+        gaps: dict[str, list[float]] = {"ga": [], "greedy": [], "sa": []}
+        for k in range(instances):
+            system, seqs = make_instance(
+                m, n, switches_per_task, seed=int(rng.integers(2**31))
+            )
+            if m * (n - 1) <= 18:
+                opt = solve_mt_exhaustive(system, seqs)
+            else:
+                opt = solve_mt_exact(system, seqs)
+            ga = solve_mt_genetic(system, seqs, params=ga_params, seed=k)
+            greedy = solve_mt_greedy_merge(system, seqs)
+            sa = solve_mt_annealing(system, seqs, params=sa_params, seed=k)
+            if opt.cost > 0:
+                gaps["ga"].append(ga.cost / opt.cost - 1.0)
+                gaps["greedy"].append(greedy.cost / opt.cost - 1.0)
+                gaps["sa"].append(sa.cost / opt.cost - 1.0)
+        rows.append(
+            [
+                f"m={m}, n={n}",
+                round(100 * sum(gaps["ga"]) / len(gaps["ga"]), 2),
+                round(100 * sum(gaps["greedy"]) / len(gaps["greedy"]), 2),
+                round(100 * sum(gaps["sa"]) / len(gaps["sa"]), 2),
+            ]
+        )
+    return rows
+
+
+def scaling_sweep(
+    *,
+    ns: Sequence[int] = (20, 40, 80),
+    m: int = 4,
+    switches_per_task: int = 8,
+    seed: SeedLike = 0,
+) -> list[list]:
+    """Cost of greedy vs GA as the trace length grows."""
+    rows = []
+    ga_params = GAParams(population_size=32, generations=150, stall_generations=60)
+    for n in ns:
+        system, seqs = make_instance(m, n, switches_per_task, seed=seed)
+        greedy = solve_mt_greedy_merge(system, seqs)
+        ga = solve_mt_genetic(system, seqs, params=ga_params, seed=0)
+        rows.append([n, greedy.cost, ga.cost])
+    return rows
+
+
+def ga_hyperparameter_sweep(
+    system: TaskSystem,
+    seqs: list[RequirementSequence],
+    *,
+    populations: Sequence[int] = (16, 48, 96),
+    mutation_factors: Sequence[float] = (0.5, 1.5, 4.0),
+    generations: int = 150,
+    seed: SeedLike = 0,
+) -> list[list]:
+    """GA sensitivity to population size and mutation rate (E12).
+
+    The paper gives no GA hyper-parameters; this sweep documents how
+    much they matter on the actual paper instance.  Rows:
+    ``[population, mutation factor, best cost, generations run]``.
+    """
+    m = system.m
+    n = len(seqs[0])
+    rows = []
+    for pop in populations:
+        for factor in mutation_factors:
+            params = GAParams(
+                population_size=pop,
+                generations=generations,
+                mutation_rate=factor / (m * n),
+                stall_generations=max(40, generations // 3),
+            )
+            result = solve_mt_genetic(system, seqs, params=params, seed=seed)
+            rows.append(
+                [pop, factor, result.cost, result.stats["generations"]]
+            )
+    return rows
+
+
+def sync_mode_sweep(
+    system: TaskSystem,
+    seqs: list[RequirementSequence],
+    schedule,
+) -> list[list]:
+    """Cost of one schedule under the four upload-mode combinations.
+
+    Demonstrates the Section 4.2 formulas: replacing a parallel ``max``
+    by a sequential ``Σ`` can only increase the per-step terms.
+    """
+    rows = []
+    for hyper_upload in UploadMode:
+        for reconf_upload in UploadMode:
+            model = MachineModel(
+                machine_class=MachineClass.PARTIALLY_HYPERRECONFIGURABLE,
+                sync_mode=SyncMode.FULLY_SYNCHRONIZED,
+                hyper_upload=hyper_upload,
+                reconfig_upload=reconf_upload,
+            )
+            cost = sync_switch_cost(system, seqs, schedule, model)
+            rows.append([hyper_upload.value, reconf_upload.value, cost])
+    return rows

@@ -1,0 +1,139 @@
+"""Trace statistics: what makes a workload hyperreconfiguration-friendly.
+
+The savings the paper reports come from structure in the requirement
+sequence — small per-step demands, periodicity, and phase-disjoint
+working sets.  This module quantifies each property, both to explain
+experiment outcomes and to characterize new workloads before solving:
+
+* :func:`demand_profile` — per-step and per-component demand sizes;
+* :func:`detect_period` — smallest period of the (suffix of the) trace;
+* :func:`segment_phases` — greedy phase segmentation by working-set
+  drift, with a summary usable as solver seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.core.context import RequirementSequence
+from repro.util.bitset import bit_count
+
+__all__ = [
+    "DemandProfile",
+    "demand_profile",
+    "detect_period",
+    "PhaseSegment",
+    "segment_phases",
+]
+
+
+@dataclass(frozen=True)
+class DemandProfile:
+    """Summary statistics of a requirement sequence."""
+
+    n: int
+    mean_demand: float
+    max_demand: int
+    total_union_size: int
+    universe_size: int
+    per_component_mean: dict
+
+    @property
+    def sparsity(self) -> float:
+        """Mean demand as a fraction of the universe (0 = free lunch)."""
+        if self.universe_size == 0:
+            return 0.0
+        return self.mean_demand / self.universe_size
+
+
+def demand_profile(
+    seq: RequirementSequence,
+    components: Mapping[str, int] | None = None,
+) -> DemandProfile:
+    """Compute the demand statistics of a trace.
+
+    ``components`` optionally maps component names to switch masks
+    (e.g. :func:`repro.shyra.tasks.component_masks`) for a per-component
+    breakdown.
+    """
+    n = len(seq)
+    sizes = [bit_count(m) for m in seq.masks]
+    per_component: dict = {}
+    if components:
+        for name, mask in components.items():
+            comp_sizes = [bit_count(m & mask) for m in seq.masks]
+            per_component[name] = (
+                sum(comp_sizes) / n if n else 0.0
+            )
+    return DemandProfile(
+        n=n,
+        mean_demand=sum(sizes) / n if n else 0.0,
+        max_demand=max(sizes, default=0),
+        total_union_size=bit_count(seq.union_mask()),
+        universe_size=seq.universe.size,
+        per_component_mean=per_component,
+    )
+
+
+def detect_period(seq: RequirementSequence, *, skip: int = 0) -> int | None:
+    """Smallest p with ``masks[i] == masks[i+p]`` for all i ≥ skip.
+
+    Loop-structured programs produce periodic requirement traces after
+    their first iteration; ``skip`` ignores the aperiodic prefix.
+    Returns ``None`` when no period < n/2 exists.
+    """
+    masks = seq.masks[skip:]
+    n = len(masks)
+    for p in range(1, n // 2 + 1):
+        if all(masks[i] == masks[i + p] for i in range(n - p)):
+            return p
+    return None
+
+
+@dataclass(frozen=True)
+class PhaseSegment:
+    """One detected phase: a window plus its working set."""
+
+    start: int
+    stop: int
+    working_set_mask: int
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+
+def segment_phases(
+    seq: RequirementSequence,
+    *,
+    drift_threshold: float = 0.5,
+) -> list[PhaseSegment]:
+    """Greedy working-set phase segmentation.
+
+    Grows a window while each new requirement keeps substantial overlap
+    with the window's working set; a step whose requirement overlaps
+    less than ``drift_threshold`` of its own bits starts a new phase.
+    Empty requirements never break a phase.
+    """
+    if not 0.0 <= drift_threshold <= 1.0:
+        raise ValueError("drift_threshold must be within [0, 1]")
+    masks = seq.masks
+    n = len(masks)
+    if n == 0:
+        return []
+    segments: list[PhaseSegment] = []
+    start = 0
+    working = masks[0]
+    for i in range(1, n):
+        req = masks[i]
+        if req:
+            overlap = bit_count(req & working)
+            if overlap < drift_threshold * bit_count(req):
+                segments.append(PhaseSegment(start, i, working))
+                start = i
+                working = req
+                continue
+        working |= req
+    segments.append(PhaseSegment(start, n, working))
+    return segments

@@ -1,0 +1,137 @@
+"""Synthetic context-requirement workloads.
+
+The paper motivates hyperreconfiguration with computations "that
+typically consist of different phases that use only small parts of the
+whole reconfiguration potential".  These generators produce exactly
+such structures, parameterized enough for the scaling/ablation
+experiments (E4–E9):
+
+* :func:`phased_workload` — consecutive phases, each touching a random
+  small working set;
+* :func:`periodic_workload` — a loop body repeated with jitter (the
+  shape of the SHyRA counter trace);
+* :func:`bursty_workload` — mostly tiny requirements with occasional
+  dense bursts (worst-ish case for a single hypercontext).
+"""
+
+from __future__ import annotations
+
+from repro.core.context import RequirementSequence
+from repro.core.switches import SwitchUniverse
+from repro.util.bitset import random_mask
+from repro.util.rng import SeedLike, make_rng
+
+__all__ = [
+    "phased_workload",
+    "periodic_workload",
+    "bursty_workload",
+    "random_task_workloads",
+]
+
+
+def phased_workload(
+    universe: SwitchUniverse,
+    n: int,
+    *,
+    phases: int = 4,
+    working_set: float = 0.3,
+    step_density: float = 0.5,
+    seed: SeedLike = None,
+) -> RequirementSequence:
+    """Phases with small working sets.
+
+    The run is split into ``phases`` roughly equal windows; each phase
+    draws a working-set mask covering about ``working_set`` of the
+    universe, and every step requires a ``step_density`` subset of it.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if phases < 1:
+        raise ValueError("need at least one phase")
+    rng = make_rng(seed)
+    masks: list[int] = []
+    bounds = [round(k * n / phases) for k in range(phases + 1)]
+    for k in range(phases):
+        ws = random_mask(rng, universe.size, working_set)
+        for _ in range(bounds[k], bounds[k + 1]):
+            step = ws & random_mask(rng, universe.size, step_density)
+            masks.append(step)
+    return RequirementSequence(universe, masks)
+
+
+def periodic_workload(
+    universe: SwitchUniverse,
+    n: int,
+    *,
+    period: int = 8,
+    body_density: float = 0.2,
+    jitter: float = 0.02,
+    seed: SeedLike = None,
+) -> RequirementSequence:
+    """A repeated loop body with per-iteration jitter.
+
+    A fixed pattern of ``period`` requirement masks is tiled to length
+    ``n``; every step additionally flips in a sparse jitter mask,
+    modelling data-dependent extra demands.
+    """
+    if period < 1:
+        raise ValueError("period must be positive")
+    rng = make_rng(seed)
+    body = [random_mask(rng, universe.size, body_density) for _ in range(period)]
+    masks = []
+    for i in range(n):
+        step = body[i % period]
+        if jitter > 0:
+            step |= random_mask(rng, universe.size, jitter)
+        masks.append(step)
+    return RequirementSequence(universe, masks)
+
+
+def bursty_workload(
+    universe: SwitchUniverse,
+    n: int,
+    *,
+    base_density: float = 0.05,
+    burst_density: float = 0.8,
+    burst_probability: float = 0.1,
+    seed: SeedLike = None,
+) -> RequirementSequence:
+    """Sparse baseline demands with occasional dense bursts."""
+    rng = make_rng(seed)
+    masks = []
+    for _ in range(n):
+        density = (
+            burst_density if rng.random() < burst_probability else base_density
+        )
+        masks.append(random_mask(rng, universe.size, density))
+    return RequirementSequence(universe, masks)
+
+
+def random_task_workloads(
+    universe: SwitchUniverse,
+    local_masks: list[int],
+    n: int,
+    *,
+    kind: str = "phased",
+    seed: SeedLike = None,
+    **kwargs,
+) -> list[RequirementSequence]:
+    """Per-task workloads restricted to each task's local switches.
+
+    Generates one whole-universe workload per task with the chosen
+    generator (``phased``/``periodic``/``bursty``) and projects it onto
+    the task's local mask, so tasks demand only what they own.
+    """
+    generators = {
+        "phased": phased_workload,
+        "periodic": periodic_workload,
+        "bursty": bursty_workload,
+    }
+    if kind not in generators:
+        raise ValueError(f"unknown workload kind {kind!r}")
+    rng = make_rng(seed)
+    out = []
+    for mask in local_masks:
+        seq = generators[kind](universe, n, seed=rng, **kwargs)
+        out.append(seq.restrict(mask))
+    return out

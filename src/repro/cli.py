@@ -1,0 +1,223 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows without writing Python:
+
+* ``repro trace <app>`` — simulate a SHyRA application and dump its
+  requirement trace (optionally as JSON);
+* ``repro solve <app>`` — trace + solve single- and multi-task
+  scheduling, print the cost table;
+* ``repro experiment`` — the full paper reproduction (E1–E3 artifacts).
+
+Installed as the ``repro`` console script; also runnable via
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.experiments import run_counter_experiment
+from repro.analysis.figures import render_fig2, render_fig3
+from repro.analysis.report import counter_cost_table, paper_comparison_table
+from repro.analysis.trace_stats import demand_profile, detect_period
+from repro.core.cost_single import no_hyper_cost
+from repro.shyra.apps.adder import adder_registers, build_adder_program
+from repro.shyra.apps.comparator import (
+    build_comparator_program,
+    comparator_registers,
+)
+from repro.shyra.apps.counter import build_counter_program, counter_registers
+from repro.shyra.apps.gray import build_gray_program, gray_registers
+from repro.shyra.apps.lfsr import build_lfsr_program, lfsr_registers
+from repro.shyra.apps.parity import build_parity_program, parity_registers
+from repro.shyra.tasks import component_masks, shyra_task_system
+from repro.shyra.trace import RequirementSemantics, run_and_trace
+from repro.solvers.mt_greedy import solve_mt_greedy_merge
+from repro.solvers.single_dp import solve_single_switch
+from repro.util.texttable import format_table
+
+__all__ = ["main", "APPS"]
+
+#: app name -> (program builder, default initial registers)
+APPS = {
+    "counter": (build_counter_program, lambda: counter_registers(0, 10)),
+    "comparator": (build_comparator_program, lambda: comparator_registers(11, 5)),
+    "adder": (build_adder_program, lambda: adder_registers(9, 6)),
+    "gray": (build_gray_program, lambda: gray_registers(12)),
+    "parity": (build_parity_program, lambda: parity_registers(0xA5)),
+    "lfsr": (build_lfsr_program, lambda: lfsr_registers(1)),
+}
+
+
+def _trace_app(args) -> "tuple":
+    build, registers = APPS[args.app]
+    program = build(hold_unused=not args.naive)
+    semantics = (
+        RequirementSemantics.WRITTEN
+        if args.semantics == "written"
+        else RequirementSemantics.DELTA
+    )
+    trace = run_and_trace(
+        program, initial_registers=registers(), semantics=semantics
+    )
+    return program, trace
+
+
+def cmd_trace(args) -> int:
+    _program, trace = _trace_app(args)
+    profile = demand_profile(trace.requirements, component_masks())
+    if args.json:
+        payload = {
+            "app": args.app,
+            "n": trace.n,
+            "requirement_masks": [hex(m) for m in trace.requirements.masks],
+            "config_words": [hex(w) for w in trace.config_words],
+            "final_registers": list(trace.final_registers),
+            "mean_demand": profile.mean_demand,
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
+    print(f"app: {args.app}  n = {trace.n} reconfigurations")
+    print(f"mean demand: {profile.mean_demand:.1f} / {profile.universe_size}")
+    print(f"trace union: {profile.total_union_size} switches")
+    period = detect_period(trace.requirements, skip=trace.n // 4)
+    print(f"detected period (after warm-up): {period}")
+    rows = [
+        [name, round(mean, 2)]
+        for name, mean in profile.per_component_mean.items()
+    ]
+    print(format_table(["component", "mean demand"], rows))
+    return 0
+
+
+def cmd_solve(args) -> int:
+    _program, trace = _trace_app(args)
+    seq = trace.requirements
+    system = shyra_task_system()
+    base = no_hyper_cost(seq)
+    single = solve_single_switch(seq, w=float(seq.universe.size))
+    multi = solve_mt_greedy_merge(system, system.split_requirements(seq))
+    rows = [
+        ["hyperreconfiguration disabled", base, 100.0, "-"],
+        ["single task (optimal DP)", single.cost,
+         round(100 * single.cost / base, 1), single.schedule.r],
+        ["multi task (greedy+LS)", multi.cost,
+         round(100 * multi.cost / base, 1),
+         len(multi.schedule.hyper_columns())],
+    ]
+    print(format_table(
+        ["configuration", "cost", "% of disabled", "hyper steps"],
+        rows,
+        title=f"{args.app}: scheduling (n={trace.n})",
+    ))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.solvers.mt_genetic import GAParams
+
+    params = (
+        GAParams(population_size=32, generations=120, stall_generations=40)
+        if args.fast
+        else None
+    )
+    exp = run_counter_experiment(ga_params=params, seed=args.seed)
+    print(counter_cost_table(exp))
+    print()
+    print(paper_comparison_table(exp))
+    if args.figures:
+        print()
+        print(render_fig2(exp))
+        print()
+        print(render_fig3(exp))
+    if args.archive:
+        from repro.analysis.export import dump_experiment
+
+        path = dump_experiment(exp, args.archive)
+        print(f"\narchived run to {path}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.analysis.trace_stats import segment_phases
+
+    _program, trace = _trace_app(args)
+    seq = trace.requirements
+    profile = demand_profile(seq, component_masks())
+    print(f"app: {args.app}  n = {trace.n}")
+    print(f"mean demand {profile.mean_demand:.2f}, max {profile.max_demand}, "
+          f"union {profile.total_union_size}/{profile.universe_size}")
+    period = detect_period(seq, skip=trace.n // 4)
+    print(f"period after warm-up: {period}")
+    segments = segment_phases(seq, drift_threshold=args.drift)
+    rows = [
+        [s.start, s.stop, s.length, bin(s.working_set_mask).count("1")]
+        for s in segments
+    ]
+    print(format_table(
+        ["start", "stop", "len", "|working set|"],
+        rows,
+        title=f"phase segmentation (drift threshold {args.drift})",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-task hyperreconfigurable architectures (IPPS 2004 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("app", choices=sorted(APPS))
+    common.add_argument(
+        "--semantics", choices=["delta", "written"], default="delta"
+    )
+    common.add_argument(
+        "--naive", action="store_true",
+        help="use the naive (non-holding) compiler mapping",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", parents=[common], help="simulate an app and dump its trace"
+    )
+    p_trace.add_argument("--json", action="store_true")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_solve = sub.add_parser(
+        "solve", parents=[common], help="trace an app and solve scheduling"
+    )
+    p_solve.set_defaults(func=cmd_solve)
+
+    p_exp = sub.add_parser(
+        "experiment", help="run the full paper reproduction"
+    )
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--fast", action="store_true")
+    p_exp.add_argument("--figures", action="store_true")
+    p_exp.add_argument(
+        "--archive", metavar="PATH", default=None,
+        help="write a JSON archive of the run",
+    )
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_stats = sub.add_parser(
+        "stats", parents=[common], help="trace statistics and phase structure"
+    )
+    p_stats.add_argument("--drift", type=float, default=0.5)
+    p_stats.set_defaults(func=cmd_stats)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

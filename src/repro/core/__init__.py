@@ -1,0 +1,70 @@
+"""Core models of (multi-task) hyperreconfigurable machines.
+
+This package implements Sections 2–4 of Lange & Middendorf (IPPS 2004):
+
+* the switch/context algebra (:mod:`repro.core.switches`,
+  :mod:`repro.core.context`, :mod:`repro.core.hypercontext`),
+* the multi-task taxonomy — resource kinds, machine classes,
+  synchronization and upload modes (:mod:`repro.core.resources`,
+  :mod:`repro.core.machine`, :mod:`repro.core.task`),
+* single-task cost models (:mod:`repro.core.cost_single`),
+* asynchronous multi-task cost models (:mod:`repro.core.mt_cost`),
+* the fully synchronized per-step cost model of Section 4.2
+  (:mod:`repro.core.sync_cost`), and
+* schedule representations with validity checking
+  (:mod:`repro.core.schedule`, :mod:`repro.core.globalres`).
+"""
+
+from repro.core.switches import SwitchSet, SwitchUniverse
+from repro.core.context import RequirementSequence
+from repro.core.hypercontext import DagHypercontextSystem, DagNode
+from repro.core.resources import ResourceKind
+from repro.core.machine import (
+    MachineClass,
+    SyncMode,
+    UploadMode,
+    MachineModel,
+)
+from repro.core.task import Task, TaskSystem
+from repro.core.schedule import MultiTaskSchedule, SingleTaskSchedule
+from repro.core.cost_single import (
+    general_cost,
+    switch_cost,
+    switch_cost_changeover,
+    no_hyper_cost,
+)
+from repro.core.sync_cost import (
+    sync_switch_cost,
+    sync_cost_breakdown,
+    StepCost,
+)
+from repro.core.mt_cost import (
+    async_general_cost,
+    async_switch_cost,
+)
+
+__all__ = [
+    "SwitchSet",
+    "SwitchUniverse",
+    "RequirementSequence",
+    "DagHypercontextSystem",
+    "DagNode",
+    "ResourceKind",
+    "MachineClass",
+    "SyncMode",
+    "UploadMode",
+    "MachineModel",
+    "Task",
+    "TaskSystem",
+    "MultiTaskSchedule",
+    "SingleTaskSchedule",
+    "general_cost",
+    "switch_cost",
+    "switch_cost_changeover",
+    "no_hyper_cost",
+    "sync_switch_cost",
+    "sync_cost_breakdown",
+    "StepCost",
+    "async_general_cost",
+    "async_switch_cost",
+]

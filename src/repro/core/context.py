@@ -1,0 +1,154 @@
+"""Context-requirement sequences.
+
+An algorithm/computation is characterized by a sequence
+``C = c_1 … c_n`` of context requirements (Section 2): ``c_i`` names
+the reconfigurable features that reconfiguration step ``i`` must be
+able to write.  In the switch model each ``c_i`` is a subset of the
+switch universe; :class:`RequirementSequence` stores such a sequence as
+raw int masks plus the universe, and provides the window/union
+operations every solver needs (prefix unions, window unions, restriction
+to a task's local switches).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.core.switches import SwitchSet, SwitchUniverse
+from repro.util.bitset import bit_count
+
+__all__ = ["RequirementSequence"]
+
+
+class RequirementSequence:
+    """A sequence of switch-model context requirements.
+
+    Steps are indexed ``0 … n-1`` internally (the paper uses ``1 … n``).
+
+    Parameters
+    ----------
+    universe:
+        The switch universe the requirements live in.
+    masks:
+        One int bitmask per reconfiguration step.
+    """
+
+    __slots__ = ("_universe", "_masks")
+
+    def __init__(self, universe: SwitchUniverse, masks: Iterable[int]):
+        masks = tuple(masks)
+        full = universe.full_mask
+        for i, m in enumerate(masks):
+            if m < 0 or m > full:
+                raise ValueError(f"requirement {i} out of universe range: {m:#x}")
+        self._universe = universe
+        self._masks = masks
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_sets(cls, sets: Sequence[SwitchSet]) -> "RequirementSequence":
+        if not sets:
+            raise ValueError("cannot infer universe from an empty sequence; "
+                             "use RequirementSequence(universe, [])")
+        universe = sets[0].universe
+        for s in sets:
+            if s.universe != universe:
+                raise ValueError("requirements belong to different universes")
+        return cls(universe, (s.mask for s in sets))
+
+    @classmethod
+    def from_names(
+        cls, universe: SwitchUniverse, steps: Sequence[Iterable[str]]
+    ) -> "RequirementSequence":
+        return cls(universe, (universe.set(names).mask for names in steps))
+
+    # -- basic access ---------------------------------------------------------
+
+    @property
+    def universe(self) -> SwitchUniverse:
+        return self._universe
+
+    @property
+    def masks(self) -> tuple[int, ...]:
+        """Raw masks (the solver-facing representation)."""
+        return self._masks
+
+    def __len__(self) -> int:
+        return len(self._masks)
+
+    def __iter__(self) -> Iterator[SwitchSet]:
+        for m in self._masks:
+            yield SwitchSet(self._universe, m)
+
+    def __getitem__(self, i: int | slice):
+        if isinstance(i, slice):
+            return RequirementSequence(self._universe, self._masks[i])
+        return SwitchSet(self._universe, self._masks[i])
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RequirementSequence)
+            and self._universe == other._universe
+            and self._masks == other._masks
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._universe, self._masks))
+
+    def __repr__(self) -> str:
+        return f"RequirementSequence(n={len(self)}, universe={self._universe!r})"
+
+    # -- unions and window queries --------------------------------------------
+
+    def union_mask(self, start: int = 0, stop: int | None = None) -> int:
+        """Union of requirements in the half-open window ``[start, stop)``.
+
+        This is the minimal hypercontext able to serve every
+        reconfiguration in the window.
+        """
+        stop = len(self._masks) if stop is None else stop
+        if not 0 <= start <= stop <= len(self._masks):
+            raise IndexError(f"invalid window [{start}, {stop})")
+        u = 0
+        for m in self._masks[start:stop]:
+            u |= m
+        return u
+
+    def union(self, start: int = 0, stop: int | None = None) -> SwitchSet:
+        return SwitchSet(self._universe, self.union_mask(start, stop))
+
+    def window_union_sizes(self) -> list[list[int]]:
+        """``sizes[i][j] = |c_i ∪ … ∪ c_{i+j}|`` triangular table.
+
+        Materializing the table costs O(n²) time/space and is used by
+        exhaustive solvers and tests; the DP solvers compute unions
+        incrementally instead.
+        """
+        n = len(self._masks)
+        out: list[list[int]] = []
+        for i in range(n):
+            row: list[int] = []
+            u = 0
+            for j in range(i, n):
+                u |= self._masks[j]
+                row.append(bit_count(u))
+            out.append(row)
+        return out
+
+    def restrict(self, scope_mask: int) -> "RequirementSequence":
+        """Project every requirement onto ``scope_mask``.
+
+        Used to split a whole-machine trace into per-task requirement
+        sequences: a task only ever sees the bits of its own resources.
+        """
+        return RequirementSequence(
+            self._universe, (m & scope_mask for m in self._masks)
+        )
+
+    def total_demand(self) -> int:
+        """``Σ_i |c_i|`` — a lower bound on any reconfiguration cost."""
+        return sum(bit_count(m) for m in self._masks)
+
+    def is_empty_everywhere(self) -> bool:
+        return all(m == 0 for m in self._masks)

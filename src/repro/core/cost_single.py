@@ -1,0 +1,129 @@
+"""Single-task cost models (Section 2).
+
+Three models measure the total reconfiguration time of a computation
+``h_1 S_1 … h_r S_r`` (hyperreconfigurations ``h_i`` followed by
+reconfiguration sequences ``S_i``):
+
+* **General model** — ``Σ_i (init(h_i) + cost(h_i)·|S_i|)`` with
+  arbitrary user-supplied ``init``/``cost`` functions; finding optimal
+  schedules is NP-hard (see :mod:`repro.solvers.general_bb`).
+* **Switch model** — ``r·w + Σ_i |h_i|·|S_i|``; optimal schedules in
+  polynomial time (:mod:`repro.solvers.single_dp`).
+* **Changeover variant** — hyperreconfiguration ``i`` costs
+  ``w + |h_i Δ h_{i-1}|`` (symmetric difference to the predecessor
+  hypercontext): only the difference information is loaded.
+
+The DAG model lives with its solver in :mod:`repro.solvers.dag_dp`
+because its cost function is inseparable from node feasibility.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.context import RequirementSequence
+from repro.core.schedule import SingleTaskSchedule
+from repro.util.bitset import bit_count
+
+__all__ = [
+    "no_hyper_cost",
+    "switch_cost",
+    "switch_cost_changeover",
+    "general_cost",
+]
+
+
+def no_hyper_cost(seq: RequirementSequence, available: int | None = None) -> float:
+    """Cost with hyperreconfiguration disabled.
+
+    Every reconfiguration step must (re)write the state of every
+    available switch: ``n · |X|``.  This is the paper's baseline
+    (110 · 48 = 5280 for the SHyRA counter).
+
+    Parameters
+    ----------
+    available:
+        Number of switches the machine exposes; defaults to the full
+        universe size.
+    """
+    width = seq.universe.size if available is None else available
+    if width < 0:
+        raise ValueError("available switch count must be non-negative")
+    return float(len(seq) * width)
+
+
+def switch_cost(
+    seq: RequirementSequence,
+    schedule: SingleTaskSchedule,
+    w: float,
+) -> float:
+    """Switch-model cost ``r·w + Σ_i |h_i|·|S_i|``.
+
+    ``w > 0`` is the constant hyperreconfiguration cost (the paper
+    suggests ``w = |X|`` — every switch's availability flag must be
+    written).  Hypercontexts are the schedule's (explicit or minimal
+    union) block hypercontexts.
+    """
+    if w <= 0:
+        raise ValueError("hyperreconfiguration cost w must be positive")
+    masks = schedule.hypercontext_masks(seq)
+    total = schedule.r * w
+    for mask, (start, stop) in zip(masks, schedule.blocks()):
+        total += bit_count(mask) * (stop - start)
+    return float(total)
+
+
+def switch_cost_changeover(
+    seq: RequirementSequence,
+    schedule: SingleTaskSchedule,
+    w: float,
+    initial_mask: int = 0,
+) -> float:
+    """Changeover variant: hyperreconfigurations pay ``w + |h Δ h'|``.
+
+    ``initial_mask`` is the hypercontext the machine is in before the
+    run (default: nothing available, so the first hyperreconfiguration
+    pays for every switch it enables).
+
+    With changeover costs a *larger-than-minimal* hypercontext can be
+    optimal (keeping a switch enabled avoids paying Δ twice), which is
+    why :class:`~repro.core.schedule.SingleTaskSchedule` supports
+    explicit hypercontext masks.
+    """
+    if w < 0:
+        raise ValueError("fixed hyperreconfiguration cost w must be non-negative")
+    masks = schedule.hypercontext_masks(seq)
+    total = 0.0
+    prev = initial_mask
+    for mask, (start, stop) in zip(masks, schedule.blocks()):
+        total += w + bit_count(mask ^ prev)
+        total += bit_count(mask) * (stop - start)
+        prev = mask
+    return float(total)
+
+
+def general_cost(
+    blocks: Sequence[tuple[object, int]],
+    init: Callable[[object], float],
+    cost: Callable[[object], float],
+) -> float:
+    """General-model cost for an explicit run ``h_1 S_1 … h_r S_r``.
+
+    Parameters
+    ----------
+    blocks:
+        Pairs ``(hypercontext, |S_i|)`` in execution order; the
+        hypercontext may be any object understood by ``init``/``cost``.
+    init, cost:
+        The model's cost functions.
+
+    Returns ``Σ_i (init(h_i) + cost(h_i)·|S_i|)``; feasibility (does
+    ``h_i`` satisfy every requirement in ``S_i``) is the caller's or
+    the solver's responsibility, since requirements are opaque here.
+    """
+    total = 0.0
+    for h, length in blocks:
+        if length < 0:
+            raise ValueError("block length must be non-negative")
+        total += init(h) + cost(h) * length
+    return float(total)

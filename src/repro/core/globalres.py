@@ -1,0 +1,197 @@
+"""Global hypercontexts and private-global resource assignment.
+
+With private global resources the run is segmented by **global
+hyperreconfigurations** (always barrier-synchronized).  Each global
+hypercontext ``h = (h_0, h_1, …, h_m)`` fixes the available public
+resources ``h_0`` and assigns disjoint private-global slices ``h_j`` to
+the tasks; local hyperreconfigurations then pick **extended local
+hypercontexts** ``(h^loc_j, h^priv_j)`` with ``h^priv_j ⊆ h_j`` and
+``h^loc_j ⊆ f^loc_j``.
+
+This module provides the data types plus validity checking; the
+two-level optimizer lives in :mod:`repro.solvers.private_global`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.context import RequirementSequence
+from repro.core.machine import MachineModel
+from repro.core.schedule import MultiTaskSchedule, ScheduleError
+from repro.core.sync_cost import sync_switch_cost
+from repro.core.task import TaskSystem
+
+__all__ = ["GlobalHypercontext", "GlobalPhase", "GlobalSchedule"]
+
+
+@dataclass(frozen=True)
+class GlobalHypercontext:
+    """One global hypercontext ``(h_0, h_1, …, h_m)``.
+
+    Attributes
+    ----------
+    public_mask:
+        ``h_0`` — available public-global switches (0 if none).
+    assignments:
+        ``(h_1 … h_m)`` — per-task private-global assignment masks;
+        pairwise disjoint subsets of ``X^priv``.
+    """
+
+    public_mask: int
+    assignments: tuple[int, ...]
+
+    def validate(self, system: TaskSystem) -> None:
+        """Raise :class:`ScheduleError` unless consistent with ``system``."""
+        if len(self.assignments) != system.m:
+            raise ScheduleError("need one private-global assignment per task")
+        if self.public_mask & ~system.public_global_mask:
+            raise ScheduleError("public mask exceeds the public-global pool")
+        seen = 0
+        for j, mask in enumerate(self.assignments):
+            if mask & ~system.private_global_mask:
+                raise ScheduleError(
+                    f"assignment for task {j} exceeds the private-global pool"
+                )
+            if mask & seen:
+                raise ScheduleError(
+                    f"assignment for task {j} overlaps another task's"
+                )
+            seen |= mask
+
+    @classmethod
+    def empty(cls, m: int) -> "GlobalHypercontext":
+        return cls(public_mask=0, assignments=(0,) * m)
+
+
+@dataclass(frozen=True)
+class GlobalPhase:
+    """One segment between consecutive global hyperreconfigurations.
+
+    Attributes
+    ----------
+    start, stop:
+        Half-open step window ``[start, stop)`` of the phase.
+    hypercontext:
+        The global hypercontext installed at ``start``.
+    schedule:
+        Local (no-)hyperreconfiguration indicators for the phase; its
+        ``n`` must equal ``stop - start``, and its first column must be
+        all ones (after a global hyperreconfiguration every task must
+        perform a local hyperreconfiguration).
+    """
+
+    start: int
+    stop: int
+    hypercontext: GlobalHypercontext
+    schedule: MultiTaskSchedule
+
+    def __post_init__(self):
+        if not 0 <= self.start < self.stop:
+            raise ScheduleError("phase window must be non-empty and ordered")
+        if self.schedule.n != self.stop - self.start:
+            raise ScheduleError("phase schedule length mismatch")
+
+    def task_system(self, system: TaskSystem) -> TaskSystem:
+        """Task system with phase-specific local-hyper costs.
+
+        The paper's example cost is ``init(h_j, f^loc_j) = |h_j| +
+        |f^loc_j|``: a local hyperreconfiguration writes availability
+        flags for the task's local switches *and* its currently
+        assigned private-global switches.  Tasks with an explicit
+        ``init_cost`` keep it.
+        """
+        from repro.core.switches import SwitchSet
+        from repro.core.task import Task
+
+        tasks = []
+        for task, assign in zip(system.tasks, self.hypercontext.assignments):
+            v = task.init_cost
+            if v is None:
+                v = task.size + assign.bit_count()
+            tasks.append(Task(task.name, task.local, init_cost=float(v)))
+        return TaskSystem(
+            system.universe,
+            tasks,
+            private_global=SwitchSet(
+                system.universe, system.private_global_mask
+            )
+            if system.private_global_mask
+            else None,
+            public_global=SwitchSet(system.universe, system.public_global_mask)
+            if system.public_global_mask
+            else None,
+        )
+
+
+class GlobalSchedule:
+    """A full two-level schedule: global segmentation + local indicators."""
+
+    def __init__(self, n: int, phases: Sequence[GlobalPhase]):
+        phases = tuple(phases)
+        if n > 0 and not phases:
+            raise ScheduleError("non-empty instance needs at least one phase")
+        expected = 0
+        for phase in phases:
+            if phase.start != expected:
+                raise ScheduleError(
+                    f"phase starting at {phase.start} leaves a gap/overlap "
+                    f"(expected start {expected})"
+                )
+            expected = phase.stop
+        if expected != n:
+            raise ScheduleError("phases must exactly cover the n steps")
+        self.n = n
+        self.phases = phases
+
+    @property
+    def r_global(self) -> int:
+        """Number of global hyperreconfigurations."""
+        return len(self.phases)
+
+    def validate(
+        self,
+        system: TaskSystem,
+        seqs: Sequence[RequirementSequence],
+    ) -> None:
+        """Check assignments cover every private-global demand.
+
+        ``seqs[j]`` is task ``j``'s full requirement sequence (local and
+        private-global bits mixed); within each phase the private bits
+        demanded by a task must lie inside its assignment.
+        """
+        if len(seqs) != system.m:
+            raise ScheduleError("need one sequence per task")
+        priv_pool = system.private_global_mask
+        for phase in self.phases:
+            phase.hypercontext.validate(system)
+            for j, seq in enumerate(seqs):
+                demand = seq.union_mask(phase.start, phase.stop) & priv_pool
+                if demand & ~phase.hypercontext.assignments[j]:
+                    raise ScheduleError(
+                        f"task {j} demands private switches outside its "
+                        f"assignment in phase [{phase.start},{phase.stop})"
+                    )
+
+    def cost(
+        self,
+        system: TaskSystem,
+        seqs: Sequence[RequirementSequence],
+        *,
+        w: float,
+        model: MachineModel | None = None,
+    ) -> float:
+        """Total cost: per phase ``w`` plus its synchronized sum.
+
+        ``w`` is the (constant) global hyperreconfiguration cost,
+        e.g. ``|X| + |X^priv|`` in the Section 4.1 special case.
+        """
+        self.validate(system, seqs)
+        total = 0.0
+        for phase in self.phases:
+            segment = [seq[phase.start : phase.stop] for seq in seqs]
+            total += sync_switch_cost(
+                phase.task_system(system), segment, phase.schedule, model, w=w
+            )
+        return total

@@ -1,0 +1,176 @@
+"""Hypercontext systems for the DAG cost model.
+
+The DAG model (Section 2) targets coarse-grained machines with a small
+explicit set ``H`` of hypercontexts, partially ordered by computational
+power: an edge ``(h1, h2)`` in the precedence DAG means
+``h1(C) ⊂ h2(C)`` and ``cost(h1) ≤ cost(h2)``.  There must be a top
+hypercontext satisfying every possible requirement.
+
+Requirements in this model are opaque hashable tokens; each node lists
+the tokens it satisfies (its *context set* ``h(C)``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.util import dagtools
+
+__all__ = ["DagNode", "DagHypercontextSystem"]
+
+Token = Hashable
+
+
+@dataclass(frozen=True)
+class DagNode:
+    """One hypercontext of a coarse-grained machine.
+
+    Attributes
+    ----------
+    name:
+        Unique node identifier.
+    context_set:
+        ``h(C)`` — the requirement tokens this hypercontext satisfies.
+    cost:
+        ``cost(h) > 0``, the per-reconfiguration cost in this
+        hypercontext.
+    """
+
+    name: str
+    context_set: frozenset = field(default_factory=frozenset)
+    cost: float = 1.0
+
+    def __post_init__(self):
+        if self.cost <= 0:
+            raise ValueError(f"cost(h) must be positive, got {self.cost}")
+        object.__setattr__(self, "context_set", frozenset(self.context_set))
+
+    def satisfies(self, token: Token) -> bool:
+        return token in self.context_set
+
+
+class DagHypercontextSystem:
+    """A validated precedence DAG over hypercontexts.
+
+    Parameters
+    ----------
+    nodes:
+        The hypercontexts (unique names).
+    edges:
+        Pairs ``(lower, upper)`` of node names; every edge must satisfy
+        the model's monotonicity conditions
+        ``lower(C) ⊂ upper(C)`` and ``cost(lower) ≤ cost(upper)``.
+    init_cost:
+        ``w`` — the (constant) cost of a hyperreconfiguration.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[DagNode],
+        edges: Iterable[tuple[str, str]],
+        init_cost: float = 1.0,
+    ):
+        if init_cost < 0:
+            raise ValueError("init cost w must be non-negative")
+        self._nodes: dict[str, DagNode] = {}
+        for node in nodes:
+            if node.name in self._nodes:
+                raise ValueError(f"duplicate hypercontext name {node.name!r}")
+            self._nodes[node.name] = node
+        self._adj: dict[str, list[str]] = {name: [] for name in self._nodes}
+        for lo, hi in edges:
+            if lo not in self._nodes or hi not in self._nodes:
+                raise ValueError(f"edge ({lo!r}, {hi!r}) references unknown node")
+            self._adj[lo].append(hi)
+        # Validity: acyclic + the two monotonicity conditions.
+        dagtools.topological_order(self._adj)
+        for lo, his in self._adj.items():
+            nlo = self._nodes[lo]
+            for hi in his:
+                nhi = self._nodes[hi]
+                if not nlo.context_set < nhi.context_set:
+                    raise ValueError(
+                        f"edge ({lo!r}, {hi!r}) violates h1(C) ⊂ h2(C)"
+                    )
+                if nlo.cost > nhi.cost:
+                    raise ValueError(
+                        f"edge ({lo!r}, {hi!r}) violates cost(h1) ≤ cost(h2)"
+                    )
+        self._init_cost = float(init_cost)
+        universe_tokens = set()
+        for node in self._nodes.values():
+            universe_tokens |= node.context_set
+        tops = [
+            n.name
+            for n in self._nodes.values()
+            if n.context_set == universe_tokens
+        ]
+        if not tops:
+            raise ValueError(
+                "the DAG model requires a hypercontext h with h(C) = C "
+                "(one node must satisfy every requirement token)"
+            )
+        self._tokens = frozenset(universe_tokens)
+        self._top_names = tuple(sorted(tops))
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def init_cost(self) -> float:
+        """``w`` — constant hyperreconfiguration cost."""
+        return self._init_cost
+
+    @property
+    def tokens(self) -> frozenset:
+        """All requirement tokens any hypercontext satisfies (``C``)."""
+        return self._tokens
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        return tuple(self._nodes)
+
+    @property
+    def top_names(self) -> tuple[str, ...]:
+        """Names of hypercontexts with ``h(C) = C``."""
+        return self._top_names
+
+    def node(self, name: str) -> DagNode:
+        return self._nodes[name]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def adjacency(self) -> Mapping[str, Sequence[str]]:
+        return {k: tuple(v) for k, v in self._adj.items()}
+
+    # -- model queries -------------------------------------------------------
+
+    def satisfying(self, token: Token) -> set[str]:
+        """All hypercontexts satisfying ``token``."""
+        return {n.name for n in self._nodes.values() if n.satisfies(token)}
+
+    def minimal_satisfying(self, token: Token) -> set[str]:
+        """``c(H)``: minimal hypercontexts (w.r.t. the DAG) satisfying c."""
+        return dagtools.minimal_elements(self._adj, self.satisfying(token))
+
+    def satisfying_window(self, tokens: Iterable[Token]) -> set[str]:
+        """Hypercontexts satisfying *every* token of a window.
+
+        Feasible hypercontexts for one hyperreconfiguration phase whose
+        reconfigurations require exactly ``tokens``.
+        """
+        out: set[str] | None = None
+        for t in tokens:
+            s = self.satisfying(t)
+            out = s if out is None else out & s
+        return set(self._nodes) if out is None else out
+
+    def cheapest_satisfying(self, tokens: Iterable[Token]) -> DagNode:
+        """Min-cost hypercontext covering a window (ties by name)."""
+        feasible = self.satisfying_window(tokens)
+        if not feasible:
+            raise ValueError("no hypercontext satisfies the window")
+        name = min(feasible, key=lambda nm: (self._nodes[nm].cost, nm))
+        return self._nodes[name]

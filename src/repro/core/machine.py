@@ -1,0 +1,146 @@
+"""Machine classes, synchronization modes and upload modes.
+
+Section 3 classifies partially hyperreconfigurable machines along three
+axes, all of which change which schedules are legal and how their cost
+is counted (Section 4):
+
+* **machine class** — which operations a *subset* of tasks may perform
+  without interrupting the others;
+* **synchronization mode** — which operation types are barrier-
+  synchronized between the tasks;
+* **upload mode** — whether reconfiguration bits for different tasks
+  are uploaded task-parallel or task-sequentially.
+
+:class:`MachineModel` bundles one choice per axis and enforces the
+paper's consistency rules (e.g. non-synchronized operations are always
+task-parallel; public global resources require context
+synchronization).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["MachineClass", "SyncMode", "UploadMode", "MachineModel"]
+
+
+class MachineClass(enum.Enum):
+    """Degree of partial (hyper)reconfigurability (Section 3).
+
+    * ``PARTIALLY_RECONFIGURABLE`` — subsets of tasks may reconfigure
+      independently, but hyperreconfigurations involve *all* tasks.
+    * ``PARTIALLY_HYPERRECONFIGURABLE`` — subsets of tasks may both
+      locally hyperreconfigure and reconfigure independently.
+    * ``RESTRICTED_PARTIALLY_HYPERRECONFIGURABLE`` — subsets of tasks
+      may locally hyperreconfigure independently, but reconfigurations
+      involve all tasks.
+    """
+
+    PARTIALLY_RECONFIGURABLE = "partially_reconfigurable"
+    PARTIALLY_HYPERRECONFIGURABLE = "partially_hyperreconfigurable"
+    RESTRICTED_PARTIALLY_HYPERRECONFIGURABLE = (
+        "restricted_partially_hyperreconfigurable"
+    )
+
+    @property
+    def allows_partial_hyper(self) -> bool:
+        """May a strict subset of tasks perform a local hyperreconfiguration?"""
+        return self is not MachineClass.PARTIALLY_RECONFIGURABLE
+
+    @property
+    def allows_partial_reconfig(self) -> bool:
+        """May a strict subset of tasks perform an ordinary reconfiguration?"""
+        return (
+            self is not MachineClass.RESTRICTED_PARTIALLY_HYPERRECONFIGURABLE
+        )
+
+
+class SyncMode(enum.Enum):
+    """Barrier-synchronization mode between tasks (Section 3)."""
+
+    NON_SYNCHRONIZED = "non_synchronized"
+    HYPERCONTEXT_SYNCHRONIZED = "hypercontext_synchronized"
+    CONTEXT_SYNCHRONIZED = "context_synchronized"
+    FULLY_SYNCHRONIZED = "fully_synchronized"
+
+    @property
+    def hypercontext_synced(self) -> bool:
+        return self in (
+            SyncMode.HYPERCONTEXT_SYNCHRONIZED,
+            SyncMode.FULLY_SYNCHRONIZED,
+        )
+
+    @property
+    def context_synced(self) -> bool:
+        return self in (
+            SyncMode.CONTEXT_SYNCHRONIZED,
+            SyncMode.FULLY_SYNCHRONIZED,
+        )
+
+
+class UploadMode(enum.Enum):
+    """How per-task reconfiguration bits reach the machine (Section 4)."""
+
+    TASK_PARALLEL = "task_parallel"
+    TASK_SEQUENTIAL = "task_sequential"
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """One point in the machine-design space of Sections 3–4.
+
+    Attributes
+    ----------
+    machine_class:
+        Degree of partial (hyper)reconfigurability.
+    sync_mode:
+        Barrier synchronization between tasks.
+    hyper_upload:
+        Upload mode of partial-hyperreconfiguration bits.
+    reconfig_upload:
+        Upload mode of ordinary-reconfiguration bits.
+    allow_public_global:
+        Whether the machine exposes public global resources.
+    """
+
+    machine_class: MachineClass = MachineClass.PARTIALLY_HYPERRECONFIGURABLE
+    sync_mode: SyncMode = SyncMode.FULLY_SYNCHRONIZED
+    hyper_upload: UploadMode = UploadMode.TASK_PARALLEL
+    reconfig_upload: UploadMode = UploadMode.TASK_PARALLEL
+    allow_public_global: bool = False
+
+    def __post_init__(self):
+        # Non-synchronized operations are always executed task-parallel
+        # (Section 4): a sequential upload would itself be a barrier.
+        if not self.sync_mode.hypercontext_synced:
+            if self.hyper_upload is not UploadMode.TASK_PARALLEL:
+                raise ValueError(
+                    "non-hypercontext-synchronized machines must upload "
+                    "hyperreconfiguration bits task-parallel"
+                )
+        if not self.sync_mode.context_synced:
+            if self.reconfig_upload is not UploadMode.TASK_PARALLEL:
+                raise ValueError(
+                    "non-context-synchronized machines must upload "
+                    "reconfiguration bits task-parallel"
+                )
+        # Public global resources exist only when reconfigurations are
+        # synchronized, because writing them (potentially) influences
+        # every task (Section 3, last paragraph).
+        if self.allow_public_global and not self.sync_mode.context_synced:
+            raise ValueError(
+                "public global resources require a context-synchronized "
+                "or fully synchronized machine"
+            )
+
+    @classmethod
+    def paper_experimental(cls) -> "MachineModel":
+        """The configuration used in Section 6: SHyRA runs fully
+        synchronized with task-parallel partial hyperreconfigurations."""
+        return cls(
+            machine_class=MachineClass.PARTIALLY_HYPERRECONFIGURABLE,
+            sync_mode=SyncMode.FULLY_SYNCHRONIZED,
+            hyper_upload=UploadMode.TASK_PARALLEL,
+            reconfig_upload=UploadMode.TASK_PARALLEL,
+        )

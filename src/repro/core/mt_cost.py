@@ -1,0 +1,116 @@
+"""Asynchronous multi-task cost models (Section 4.1).
+
+On a non-synchronized machine the reconfiguration times of some tasks
+overlap with the computation times of others; the models therefore
+charge the *maximum* over the tasks of the per-task totals (operations
+are always executed task-parallel in the asynchronous case), plus the
+cost of the barrier-synchronized global hyperreconfiguration that
+delimits the evaluated phase:
+
+* **General Multi Task model** —
+  ``init(h) + max_j Σ_i (init(h_j, f^loc_j) + cost(h^loc_ij, h^priv_ij)·|S_ji|)``
+* **MT-DAG model** — same shape with ``init(h) = w`` and
+  ``init(h_j, f^loc_j) = v_j`` constants.
+* **MT-Switch model** —
+  ``w + max_j Σ_i (v_j + (|h^loc_ij| + |h^priv_ij|)·|S_ji|)``.
+
+Each task contributes an independent partition of its own requirement
+sequence (tasks are not aligned step-by-step here — contrast with
+:mod:`repro.core.sync_cost`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.context import RequirementSequence
+from repro.core.schedule import SingleTaskSchedule
+from repro.core.task import TaskSystem
+from repro.util.bitset import bit_count
+
+__all__ = [
+    "async_general_cost",
+    "async_switch_cost",
+    "async_switch_task_total",
+]
+
+
+def async_general_cost(
+    global_init: float,
+    per_task_blocks: Sequence[Sequence[tuple[float, float, int]]],
+) -> float:
+    """General Multi Task model cost.
+
+    Parameters
+    ----------
+    global_init:
+        ``init(h)`` — cost of the global hyperreconfiguration opening
+        the phase (0 if the machine has no global resources).
+    per_task_blocks:
+        For each task ``j`` a sequence of blocks
+        ``(local_init_cost, per_reconfig_cost, n_reconfigs)`` — one
+        entry per local hyperreconfiguration ``(h^loc, h^priv)`` and
+        the reconfiguration sequence executed under it.
+
+    Every task must perform at least one local hyperreconfiguration
+    after the global one (the paper's assumption), so an empty block
+    list is rejected.
+    """
+    if global_init < 0:
+        raise ValueError("global init cost must be non-negative")
+    if not per_task_blocks:
+        raise ValueError("need at least one task")
+    worst = 0.0
+    for j, blocks in enumerate(per_task_blocks):
+        if not blocks:
+            raise ValueError(
+                f"task {j} must perform a local hyperreconfiguration "
+                "after the global hyperreconfiguration"
+            )
+        total = 0.0
+        for init_cost, reconf_cost, length in blocks:
+            if init_cost < 0 or reconf_cost < 0 or length < 0:
+                raise ValueError("block costs/lengths must be non-negative")
+            total += init_cost + reconf_cost * length
+        worst = max(worst, total)
+    return float(global_init + worst)
+
+
+def async_switch_task_total(
+    seq: RequirementSequence,
+    schedule: SingleTaskSchedule,
+    v: float,
+) -> float:
+    """One task's term ``Σ_i (v_j + |h_ij|·|S_ji|)`` in the MT-Switch sum."""
+    if v <= 0:
+        raise ValueError("local hyperreconfiguration cost v_j must be positive")
+    masks = schedule.hypercontext_masks(seq)
+    total = 0.0
+    for mask, (start, stop) in zip(masks, schedule.blocks()):
+        total += v + bit_count(mask) * (stop - start)
+    return float(total)
+
+
+def async_switch_cost(
+    system: TaskSystem,
+    seqs: Sequence[RequirementSequence],
+    schedules: Sequence[SingleTaskSchedule],
+    w: float = 0.0,
+) -> float:
+    """MT-Switch model cost ``w + max_j Σ_i (v_j + |h_ij|·|S_ji|)``.
+
+    ``seqs[j]`` holds task ``j``'s *combined* per-step requirement masks
+    (local plus assigned private-global bits — the cost only depends on
+    ``|h^loc| + |h^priv| = |h^loc ∪ h^priv|`` since the sets are
+    disjoint).  ``w`` is the global hyperreconfiguration cost; pass 0
+    when the machine has only local resources (then no global
+    hyperreconfigurations exist, Section 5).
+    """
+    if w < 0:
+        raise ValueError("global hyperreconfiguration cost w must be non-negative")
+    if not (len(seqs) == len(schedules) == system.m):
+        raise ValueError("need one sequence and one schedule per task")
+    worst = 0.0
+    for task, seq, schedule in zip(system.tasks, seqs, schedules):
+        worst = max(worst, async_switch_task_total(seq, schedule, task.v))
+    return float(w + worst)

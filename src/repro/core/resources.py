@@ -1,0 +1,130 @@
+"""Resource taxonomy of multi-task hyperreconfigurable machines.
+
+Section 3 distinguishes three kinds of hyperreconfigurable resources:
+
+* **local** — amount/quality per task set independently by local
+  hyperreconfigurations; ownership fixed at initialization;
+* **private global** — shared pool, *assigned* to tasks by global
+  hyperreconfigurations (ownership can change), availability within the
+  assignment refined by local hyperreconfigurations;
+* **public global** — usable by all tasks at the same time at the same
+  quality; exists only on context- or fully-synchronized machines.
+
+:class:`ResourcePartition` pins each switch of a universe to one kind
+and validates the partition.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping
+
+from repro.core.switches import SwitchUniverse
+from repro.util.bitset import bit_count
+
+__all__ = ["ResourceKind", "ResourcePartition"]
+
+
+class ResourceKind(enum.Enum):
+    """Kind of a hyperreconfigurable resource (Section 3)."""
+
+    LOCAL = "local"
+    PRIVATE_GLOBAL = "private_global"
+    PUBLIC_GLOBAL = "public_global"
+
+
+class ResourcePartition:
+    """Partition of a switch universe into resource kinds.
+
+    Parameters
+    ----------
+    universe:
+        The switch universe being partitioned.
+    kinds:
+        Mapping from switch name to :class:`ResourceKind`.  Switches not
+        mentioned default to :data:`ResourceKind.LOCAL`.
+    """
+
+    __slots__ = ("_universe", "_local", "_private", "_public")
+
+    def __init__(
+        self,
+        universe: SwitchUniverse,
+        kinds: Mapping[str, ResourceKind] | None = None,
+    ):
+        kinds = dict(kinds or {})
+        local = private = public = 0
+        for name in universe.names:
+            kind = kinds.pop(name, ResourceKind.LOCAL)
+            bit = 1 << universe.index(name)
+            if kind is ResourceKind.LOCAL:
+                local |= bit
+            elif kind is ResourceKind.PRIVATE_GLOBAL:
+                private |= bit
+            elif kind is ResourceKind.PUBLIC_GLOBAL:
+                public |= bit
+            else:  # pragma: no cover - enum is closed
+                raise ValueError(f"unknown resource kind {kind!r}")
+        if kinds:
+            raise ValueError(f"unknown switch names in kinds: {sorted(kinds)}")
+        self._universe = universe
+        self._local = local
+        self._private = private
+        self._public = public
+
+    @classmethod
+    def all_local(cls, universe: SwitchUniverse) -> "ResourcePartition":
+        """The paper's experimental setting: every switch is local."""
+        return cls(universe, {})
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def universe(self) -> SwitchUniverse:
+        return self._universe
+
+    @property
+    def local_mask(self) -> int:
+        """``X^loc`` as a bitmask."""
+        return self._local
+
+    @property
+    def private_global_mask(self) -> int:
+        """``X^priv`` as a bitmask."""
+        return self._private
+
+    @property
+    def public_global_mask(self) -> int:
+        """``X^pub`` (the paper calls these H^pub resources)."""
+        return self._public
+
+    def kind_of(self, name: str) -> ResourceKind:
+        bit = 1 << self._universe.index(name)
+        if self._local & bit:
+            return ResourceKind.LOCAL
+        if self._private & bit:
+            return ResourceKind.PRIVATE_GLOBAL
+        return ResourceKind.PUBLIC_GLOBAL
+
+    def counts(self) -> dict[ResourceKind, int]:
+        return {
+            ResourceKind.LOCAL: bit_count(self._local),
+            ResourceKind.PRIVATE_GLOBAL: bit_count(self._private),
+            ResourceKind.PUBLIC_GLOBAL: bit_count(self._public),
+        }
+
+    @property
+    def has_private_global(self) -> bool:
+        return self._private != 0
+
+    @property
+    def has_public_global(self) -> bool:
+        return self._public != 0
+
+    def __repr__(self) -> str:
+        c = self.counts()
+        return (
+            f"ResourcePartition(local={c[ResourceKind.LOCAL]}, "
+            f"private_global={c[ResourceKind.PRIVATE_GLOBAL]}, "
+            f"public_global={c[ResourceKind.PUBLIC_GLOBAL]})"
+        )

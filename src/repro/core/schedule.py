@@ -1,0 +1,350 @@
+"""Schedule representations for (hyper)reconfiguration problems.
+
+A *schedule* answers the optimization question of Section 5: **when**
+does each task perform a (local) hyperreconfiguration and **which**
+hypercontext does it install.
+
+Two representations are provided:
+
+* :class:`SingleTaskSchedule` — a partition of the ``n`` reconfiguration
+  steps into consecutive blocks; one hyperreconfiguration precedes each
+  block (the classic Partition-into-Hypercontexts form, m = 1);
+* :class:`MultiTaskSchedule` — for fully synchronized machines, an
+  ``m × n`` indicator matrix ``I`` with ``I[j][i] = 1`` iff task ``j``
+  performs a partial hyperreconfiguration immediately before
+  reconfiguration step ``i`` (the paper's formalization assumes a
+  (no-)hyperreconfiguration slot before *every* reconfiguration).
+
+Hypercontexts default to the **minimal union** of the covered block's
+requirements — optimal under any cost monotone in the switch set, which
+includes the switch model.  Explicit hypercontexts can be attached for
+the changeover variant, where carrying switches across blocks can pay
+off.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.context import RequirementSequence
+
+__all__ = ["SingleTaskSchedule", "MultiTaskSchedule", "ScheduleError"]
+
+
+class ScheduleError(ValueError):
+    """Raised when a schedule is structurally invalid for its instance."""
+
+
+@dataclass(frozen=True)
+class SingleTaskSchedule:
+    """Blocks of consecutive reconfiguration steps for one task.
+
+    Attributes
+    ----------
+    n:
+        Number of reconfiguration steps in the instance.
+    hyper_steps:
+        Strictly increasing step indices at which a hyperreconfiguration
+        happens; must start with 0 (the machine needs an initial
+        hypercontext before the first reconfiguration) unless ``n == 0``.
+    explicit_masks:
+        Optional hypercontext masks, one per hyper step.  ``None``
+        derives the minimal union per block.
+    """
+
+    n: int
+    hyper_steps: tuple[int, ...]
+    explicit_masks: tuple[int, ...] | None = None
+
+    def __post_init__(self):
+        steps = tuple(self.hyper_steps)
+        object.__setattr__(self, "hyper_steps", steps)
+        if self.n < 0:
+            raise ScheduleError("n must be non-negative")
+        if self.n == 0:
+            if steps:
+                raise ScheduleError("empty instance cannot have hyper steps")
+            return
+        if not steps or steps[0] != 0:
+            raise ScheduleError(
+                "the first hyperreconfiguration must happen at step 0"
+            )
+        for a, b in zip(steps, steps[1:]):
+            if b <= a:
+                raise ScheduleError("hyper steps must be strictly increasing")
+        if steps[-1] >= self.n:
+            raise ScheduleError("hyper step beyond the last reconfiguration")
+        if self.explicit_masks is not None:
+            masks = tuple(self.explicit_masks)
+            object.__setattr__(self, "explicit_masks", masks)
+            if len(masks) != len(steps):
+                raise ScheduleError(
+                    "explicit_masks must have one mask per hyper step"
+                )
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def r(self) -> int:
+        """Number of hyperreconfigurations."""
+        return len(self.hyper_steps)
+
+    def blocks(self) -> list[tuple[int, int]]:
+        """Half-open ``[start, stop)`` windows, one per hyperreconfiguration."""
+        out = []
+        for k, start in enumerate(self.hyper_steps):
+            stop = (
+                self.hyper_steps[k + 1] if k + 1 < len(self.hyper_steps) else self.n
+            )
+            out.append((start, stop))
+        return out
+
+    def block_of_step(self, i: int) -> int:
+        """Index of the block containing reconfiguration step ``i``."""
+        if not 0 <= i < self.n:
+            raise IndexError(i)
+        lo, hi = 0, len(self.hyper_steps) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.hyper_steps[mid] <= i:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    # -- hypercontexts ---------------------------------------------------------
+
+    def hypercontext_masks(self, seq: RequirementSequence) -> list[int]:
+        """One hypercontext mask per block (explicit or minimal union)."""
+        if len(seq) != self.n:
+            raise ScheduleError(
+                f"sequence length {len(seq)} does not match schedule n={self.n}"
+            )
+        if self.explicit_masks is not None:
+            for (start, stop), mask in zip(self.blocks(), self.explicit_masks):
+                need = seq.union_mask(start, stop)
+                if need & ~mask:
+                    raise ScheduleError(
+                        f"explicit hypercontext for block [{start},{stop}) "
+                        "does not cover its requirements"
+                    )
+            return list(self.explicit_masks)
+        return [seq.union_mask(start, stop) for start, stop in self.blocks()]
+
+    def step_hypercontexts(self, seq: RequirementSequence) -> list[int]:
+        """Hypercontext mask in effect at each reconfiguration step."""
+        per_block = self.hypercontext_masks(seq)
+        out = []
+        for k, (start, stop) in enumerate(self.blocks()):
+            out.extend([per_block[k]] * (stop - start))
+        return out
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "hyper_steps": list(self.hyper_steps),
+            "explicit_masks": (
+                list(self.explicit_masks) if self.explicit_masks else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "SingleTaskSchedule":
+        masks = d.get("explicit_masks")
+        return cls(
+            n=int(d["n"]),
+            hyper_steps=tuple(int(s) for s in d["hyper_steps"]),
+            explicit_masks=tuple(int(m) for m in masks) if masks else None,
+        )
+
+    @classmethod
+    def no_hyper(cls, n: int) -> "SingleTaskSchedule":
+        """One block covering everything (single initial hypercontext)."""
+        return cls(n=n, hyper_steps=(0,) if n else ())
+
+
+class MultiTaskSchedule:
+    """Per-task hyperreconfiguration indicators for a synchronized run.
+
+    The machine executes ``n`` barrier-synchronized rounds; in round
+    ``i`` every task first performs a local hyperreconfiguration or a
+    no-hyperreconfiguration (``I[j][i]``), then a reconfiguration.
+
+    Column 0 must be all ones: every task needs an initial local
+    hypercontext (the paper requires a local hyperreconfiguration after
+    every global hyperreconfiguration, and the start of the run behaves
+    like one).
+    """
+
+    __slots__ = ("_indicators", "_m", "_n")
+
+    def __init__(self, indicators: Sequence[Sequence[bool]]):
+        rows = tuple(tuple(bool(x) for x in row) for row in indicators)
+        if not rows:
+            raise ScheduleError("schedule needs at least one task row")
+        n = len(rows[0])
+        for row in rows:
+            if len(row) != n:
+                raise ScheduleError("all task rows must have equal length")
+        if n > 0:
+            for j, row in enumerate(rows):
+                if not row[0]:
+                    raise ScheduleError(
+                        f"task {j} must hyperreconfigure at step 0"
+                    )
+        self._indicators = rows
+        self._m = len(rows)
+        self._n = n
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_hyper_steps(
+        cls, m: int, n: int, steps_per_task: Sequence[Iterable[int]]
+    ) -> "MultiTaskSchedule":
+        if len(steps_per_task) != m:
+            raise ScheduleError("need one step list per task")
+        rows = []
+        for steps in steps_per_task:
+            row = [False] * n
+            for s in steps:
+                if not 0 <= s < n:
+                    raise ScheduleError(f"hyper step {s} out of range")
+                row[s] = True
+            if n:
+                row[0] = True
+            rows.append(row)
+        return cls(rows)
+
+    @classmethod
+    def all_tasks_at(cls, m: int, n: int, steps: Iterable[int]) -> "MultiTaskSchedule":
+        """Common hyper steps for every task (partially *reconfigurable*
+        machines allow only this shape)."""
+        steps = list(steps)
+        return cls.from_hyper_steps(m, n, [steps] * m)
+
+    @classmethod
+    def initial_only(cls, m: int, n: int) -> "MultiTaskSchedule":
+        """Hyperreconfigure only at step 0 (the do-nothing baseline)."""
+        return cls.from_hyper_steps(m, n, [[0]] * m)
+
+    @classmethod
+    def from_single(
+        cls, single: SingleTaskSchedule, m: int
+    ) -> "MultiTaskSchedule":
+        """Copy a single-task partition to all tasks.
+
+        Used to transfer the m=1 optimum to the multi-task machine —
+        the resulting schedule never costs more than the single-task
+        one under task-parallel uploads (max ≤ sum), which gives the
+        guaranteed-win argument of Section 6.
+        """
+        return cls.all_tasks_at(m, single.n, single.hyper_steps)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def indicators(self) -> tuple[tuple[bool, ...], ...]:
+        return self._indicators
+
+    def row(self, j: int) -> tuple[bool, ...]:
+        return self._indicators[j]
+
+    def hyper_steps_of(self, j: int) -> tuple[int, ...]:
+        return tuple(i for i, flag in enumerate(self._indicators[j]) if flag)
+
+    def as_single(self, j: int) -> SingleTaskSchedule:
+        """View task ``j``'s row as a single-task schedule."""
+        return SingleTaskSchedule(n=self._n, hyper_steps=self.hyper_steps_of(j))
+
+    def hyper_columns(self) -> tuple[int, ...]:
+        """Steps at which *at least one* task hyperreconfigures.
+
+        These are the time points plotted in Figure 3 of the paper.
+        """
+        return tuple(
+            i
+            for i in range(self._n)
+            if any(self._indicators[j][i] for j in range(self._m))
+        )
+
+    def total_hyper_ops(self) -> int:
+        """Total number of (task, step) hyperreconfiguration events."""
+        return sum(sum(row) for row in self._indicators)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MultiTaskSchedule)
+            and self._indicators == other._indicators
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._indicators)
+
+    def __repr__(self) -> str:
+        return f"MultiTaskSchedule(m={self._m}, n={self._n}, hyper_ops={self.total_hyper_ops()})"
+
+    # -- derived hypercontexts ---------------------------------------------------
+
+    def block_union_masks(
+        self, seqs: Sequence[RequirementSequence]
+    ) -> list[list[int]]:
+        """``masks[j][i]`` — the minimal hypercontext of task ``j`` at step ``i``.
+
+        For each task this is the union of its requirements from its
+        last hyperreconfiguration step up to (and including) the last
+        step before its next one — i.e. the smallest hypercontext that
+        makes the whole block feasible.  Computed in O(m·n) by sweeping
+        backwards once to find block ends and forwards to accumulate.
+        """
+        if len(seqs) != self._m:
+            raise ScheduleError("need one requirement sequence per task")
+        out: list[list[int]] = []
+        for j, seq in enumerate(seqs):
+            if len(seq) != self._n:
+                raise ScheduleError(
+                    f"sequence for task {j} has length {len(seq)}, "
+                    f"expected {self._n}"
+                )
+            row = self._indicators[j]
+            masks = seq.masks
+            # Backward sweep: suffix union up to the end of the block.
+            per_step = [0] * self._n
+            acc = 0
+            for i in range(self._n - 1, -1, -1):
+                acc |= masks[i]
+                per_step[i] = acc
+                if row[i]:
+                    acc = 0
+            # per_step[i] currently holds union from i to block end; the
+            # hypercontext at step i is the union over the *whole* block,
+            # i.e. the value at the block's start.
+            current = 0
+            for i in range(self._n):
+                if row[i]:
+                    current = per_step[i]
+                per_step[i] = current
+            out.append(per_step)
+        return out
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "indicators": [[int(x) for x in row] for row in self._indicators]
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "MultiTaskSchedule":
+        return cls([[bool(x) for x in row] for row in d["indicators"]])

@@ -1,0 +1,221 @@
+"""Fully synchronized MT-Switch cost model (Section 4.2).
+
+The machine executes ``n`` barrier-synchronized rounds between global
+hyperreconfigurations; in round ``i`` every task performs a local
+(no-)hyperreconfiguration followed by a reconfiguration.  With
+indicators ``I_{j,i}`` and the hypercontext ``h_{f_j(i),j}`` installed
+by task ``j``'s most recent local hyperreconfiguration, the total
+(hyper)reconfiguration time is
+
+* task-parallel hyper, task-parallel reconfig::
+
+      w + Σ_i ( max_j I_{j,i}·v_j
+                + max( |h^pub|, max_j (|h^loc_{f_j(i),j}| + |h^priv_{f_j(i),j}|) ) )
+
+* a task-sequential operation replaces its ``max_j`` by ``Σ_j``.
+
+``w`` is the cost of the global hyperreconfiguration that opened the
+phase (0 when the machine has only local resources — then no global
+hyperreconfigurations exist at all, Section 5).
+
+The public-global term is modelled as an optional pseudo-row: a
+requirement sequence plus indicator row of its own, since public
+resources are reconfigured synchronously for all tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.context import RequirementSequence
+from repro.core.machine import MachineModel, UploadMode
+from repro.core.schedule import MultiTaskSchedule, ScheduleError
+from repro.core.task import TaskSystem
+from repro.util.bitset import bit_count
+
+__all__ = ["StepCost", "sync_cost_breakdown", "sync_switch_cost", "PublicGlobalPlan"]
+
+
+@dataclass(frozen=True)
+class StepCost:
+    """Cost contributions of one synchronized round.
+
+    ``hyper`` is the (parallel or sequential) partial-hyperreconfiguration
+    term, ``reconfig`` the reconfiguration term; ``total = hyper +
+    reconfig``.
+    """
+
+    step: int
+    hyper: float
+    reconfig: float
+
+    @property
+    def total(self) -> float:
+        return self.hyper + self.reconfig
+
+
+@dataclass(frozen=True)
+class PublicGlobalPlan:
+    """Schedule row for the public-global resources.
+
+    Attributes
+    ----------
+    seq:
+        Requirement sequence on the public pool (length ``n``).
+    hyper_steps:
+        Steps at which the public hypercontext is re-installed
+        (step 0 mandatory).
+    v:
+        Hyperreconfiguration cost of the public row.
+    """
+
+    seq: RequirementSequence
+    hyper_steps: tuple[int, ...]
+    v: float
+
+    def step_masks(self) -> list[int]:
+        from repro.core.schedule import SingleTaskSchedule
+
+        sched = SingleTaskSchedule(n=len(self.seq), hyper_steps=self.hyper_steps)
+        return sched.step_hypercontexts(self.seq)
+
+
+def sync_cost_breakdown(
+    system: TaskSystem,
+    seqs: Sequence[RequirementSequence],
+    schedule: MultiTaskSchedule,
+    model: MachineModel | None = None,
+    *,
+    w: float = 0.0,
+    public: PublicGlobalPlan | None = None,
+    changeover: bool = False,
+    changeover_fixed: Sequence[float] | None = None,
+) -> list[StepCost]:
+    """Per-step cost decomposition of a fully synchronized run.
+
+    Parameters
+    ----------
+    system:
+        Task system (supplies ``v_j``).
+    seqs:
+        Per-task requirement sequences, all of length ``n`` (combined
+        local + assigned private-global bits).
+    schedule:
+        The ``m × n`` indicator matrix.
+    model:
+        Machine model; defaults to the paper's experimental setting
+        (fully synchronized, task-parallel uploads).  Upload modes
+        select max vs. sum per the Section 4.2 formulas; the machine
+        class restricts legal indicator patterns.
+    w:
+        Global hyperreconfiguration cost amortized into step 0 (kept
+        separate from the per-step sums by :func:`sync_switch_cost`).
+        Only validated here.
+    public:
+        Optional public-global pseudo-row.
+    changeover:
+        If true, a task's hyperreconfiguration at step ``i`` costs
+        ``fixed_j + |h_new Δ h_old|`` instead of ``v_j`` (the Section
+        4.1 model variant applied per task); ``changeover_fixed``
+        supplies ``fixed_j`` (default 0 per task).
+    """
+    if model is None:
+        model = MachineModel.paper_experimental()
+    if w < 0:
+        raise ValueError("global hyperreconfiguration cost w must be non-negative")
+    if len(seqs) != system.m or schedule.m != system.m:
+        raise ScheduleError("system, sequences and schedule disagree on m")
+    n = schedule.n
+    for j, seq in enumerate(seqs):
+        if len(seq) != n:
+            raise ScheduleError(f"sequence for task {j} has wrong length")
+    if public is not None:
+        if not model.sync_mode.context_synced:
+            raise ScheduleError(
+                "public global resources require context synchronization"
+            )
+        if len(public.seq) != n:
+            raise ScheduleError("public sequence has wrong length")
+    if not model.machine_class.allows_partial_hyper:
+        rows = schedule.indicators
+        if any(rows[0] != rows[j] for j in range(1, schedule.m)):
+            raise ScheduleError(
+                "a partially reconfigurable machine hyperreconfigures all "
+                "tasks at a time; indicator rows must be identical"
+            )
+    if changeover_fixed is not None and len(changeover_fixed) != system.m:
+        raise ScheduleError("changeover_fixed needs one entry per task")
+
+    hyper_parallel = model.hyper_upload is UploadMode.TASK_PARALLEL
+    reconf_parallel = model.reconfig_upload is UploadMode.TASK_PARALLEL
+    v = system.v
+    unions = schedule.block_union_masks(seqs)
+    union_sizes = [[bit_count(mask) for mask in row] for row in unions]
+    pub_sizes = None
+    pub_hyper = None
+    if public is not None:
+        pub_sizes = [bit_count(m) for m in public.step_masks()]
+        pub_hyper = set(public.hyper_steps)
+
+    out: list[StepCost] = []
+    for i in range(n):
+        # --- partial hyperreconfiguration term -------------------------
+        hyper_costs: list[float] = []
+        for j in range(system.m):
+            if not schedule.indicators[j][i]:
+                continue
+            if changeover:
+                fixed = changeover_fixed[j] if changeover_fixed else 0.0
+                prev = unions[j][i - 1] if i > 0 else 0
+                hyper_costs.append(fixed + bit_count(unions[j][i] ^ prev))
+            else:
+                hyper_costs.append(v[j])
+        if pub_hyper is not None and i in pub_hyper:
+            hyper_costs.append(public.v)
+        if hyper_costs:
+            hyper = max(hyper_costs) if hyper_parallel else sum(hyper_costs)
+        else:
+            hyper = 0.0
+        # --- reconfiguration term -------------------------------------
+        sizes = [union_sizes[j][i] for j in range(system.m)]
+        if reconf_parallel:
+            reconf = float(max(sizes))
+            if pub_sizes is not None:
+                reconf = max(reconf, float(pub_sizes[i]))
+        else:
+            reconf = float(sum(sizes))
+            if pub_sizes is not None:
+                reconf += float(pub_sizes[i])
+        out.append(StepCost(step=i, hyper=float(hyper), reconfig=reconf))
+    return out
+
+
+def sync_switch_cost(
+    system: TaskSystem,
+    seqs: Sequence[RequirementSequence],
+    schedule: MultiTaskSchedule,
+    model: MachineModel | None = None,
+    *,
+    w: float = 0.0,
+    public: PublicGlobalPlan | None = None,
+    changeover: bool = False,
+    changeover_fixed: Sequence[float] | None = None,
+) -> float:
+    """Total fully synchronized MT-Switch cost ``w + Σ_i (hyper_i + reconf_i)``.
+
+    See :func:`sync_cost_breakdown` for parameters.  This is the
+    objective minimized by the Section 5 MT-Switch problem and by all
+    multi-task solvers in :mod:`repro.solvers`.
+    """
+    steps = sync_cost_breakdown(
+        system,
+        seqs,
+        schedule,
+        model,
+        w=w,
+        public=public,
+        changeover=changeover,
+        changeover_fixed=changeover_fixed,
+    )
+    return float(w + sum(s.total for s in steps))

@@ -1,0 +1,259 @@
+"""Tasks and task systems.
+
+A multi-task machine runs tasks ``T_1 … T_m`` in parallel.  Each task
+owns a fixed set of *local* switches (``f^loc_j`` — assigned at
+initialization, Section 3), has a local-hyperreconfiguration cost
+``v_j > 0`` (Section 4; the paper suggests ``v_j = |h_j| + |f^loc_j|``,
+which degenerates to ``v_j = |f^loc_j|`` without private global
+resources), and sees only its own slice of the machine's context
+requirements.
+
+:class:`TaskSystem` validates the ownership partition and performs the
+trace split used throughout the experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.context import RequirementSequence
+from repro.core.switches import SwitchSet, SwitchUniverse
+from repro.util.bitset import bit_count
+
+__all__ = ["Task", "TaskSystem"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One task of a multi-task hyperreconfigurable machine.
+
+    Attributes
+    ----------
+    name:
+        Unique task name.
+    local:
+        ``f^loc_j`` — the task's fixed local switches.
+    init_cost:
+        ``v_j`` — cost of one local hyperreconfiguration of this task.
+        Defaults (``None``) to ``|f^loc_j|``, the switch-model example
+        cost from Section 4.1.
+    """
+
+    name: str
+    local: SwitchSet
+    init_cost: float | None = None
+
+    @property
+    def v(self) -> float:
+        """Effective local-hyperreconfiguration cost ``v_j > 0``."""
+        v = len(self.local) if self.init_cost is None else self.init_cost
+        return float(v)
+
+    @property
+    def local_mask(self) -> int:
+        return self.local.mask
+
+    @property
+    def size(self) -> int:
+        """``l_j = |f^loc_j]`` — the number of local switches."""
+        return len(self.local)
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("task name must be non-empty")
+        if self.init_cost is not None and self.init_cost <= 0:
+            raise ValueError(f"v_j must be positive, got {self.init_cost}")
+        if self.local.mask == 0:
+            raise ValueError(f"task {self.name!r} owns no local switches")
+
+
+class TaskSystem:
+    """The tasks of one machine plus optional global resource pools.
+
+    Parameters
+    ----------
+    universe:
+        Switch universe of the whole machine.
+    tasks:
+        Tasks with pairwise-disjoint local switch sets.
+    private_global:
+        Optional ``X^priv`` pool (disjoint from all local sets),
+        assigned to tasks by global hyperreconfigurations.
+    public_global:
+        Optional ``X^pub`` pool (disjoint from local and private sets).
+    """
+
+    def __init__(
+        self,
+        universe: SwitchUniverse,
+        tasks: Sequence[Task],
+        private_global: SwitchSet | None = None,
+        public_global: SwitchSet | None = None,
+    ):
+        if not tasks:
+            raise ValueError("a task system needs at least one task")
+        names = set()
+        covered = 0
+        for t in tasks:
+            if t.local.universe != universe:
+                raise ValueError(
+                    f"task {t.name!r} local switches use a different universe"
+                )
+            if t.name in names:
+                raise ValueError(f"duplicate task name {t.name!r}")
+            names.add(t.name)
+            if covered & t.local_mask:
+                raise ValueError(
+                    f"task {t.name!r} overlaps another task's local switches"
+                )
+            covered |= t.local_mask
+        priv = private_global.mask if private_global is not None else 0
+        pub = public_global.mask if public_global is not None else 0
+        if private_global is not None and private_global.universe != universe:
+            raise ValueError("private_global uses a different universe")
+        if public_global is not None and public_global.universe != universe:
+            raise ValueError("public_global uses a different universe")
+        if covered & priv or covered & pub or priv & pub:
+            raise ValueError(
+                "local, private-global and public-global switch sets "
+                "must be pairwise disjoint"
+            )
+        self._universe = universe
+        self._tasks = tuple(tasks)
+        self._private = priv
+        self._public = pub
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_contiguous(
+        cls,
+        universe: SwitchUniverse,
+        sizes: Sequence[int],
+        names: Sequence[str] | None = None,
+    ) -> "TaskSystem":
+        """Carve the universe into contiguous local blocks of ``sizes``.
+
+        Convenience used by the SHyRA split (LUT1 | LUT2 | DeMUX | MUX)
+        and by synthetic workloads.
+        """
+        if names is None:
+            names = [f"T{j + 1}" for j in range(len(sizes))]
+        if len(names) != len(sizes):
+            raise ValueError("names and sizes must have equal length")
+        if sum(sizes) > universe.size:
+            raise ValueError("task sizes exceed the universe")
+        tasks = []
+        offset = 0
+        for name, size in zip(names, sizes):
+            if size <= 0:
+                raise ValueError("task sizes must be positive")
+            mask = ((1 << size) - 1) << offset
+            tasks.append(Task(name, SwitchSet(universe, mask)))
+            offset += size
+        return cls(universe, tasks)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def universe(self) -> SwitchUniverse:
+        return self._universe
+
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        return self._tasks
+
+    @property
+    def m(self) -> int:
+        """Number of tasks."""
+        return len(self._tasks)
+
+    @property
+    def local_masks(self) -> tuple[int, ...]:
+        return tuple(t.local_mask for t in self._tasks)
+
+    @property
+    def v(self) -> tuple[float, ...]:
+        """Per-task local hyperreconfiguration costs ``(v_1 … v_m)``."""
+        return tuple(t.v for t in self._tasks)
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        """Per-task local switch counts ``(l_1 … l_m)``."""
+        return tuple(t.size for t in self._tasks)
+
+    @property
+    def private_global_mask(self) -> int:
+        return self._private
+
+    @property
+    def public_global_mask(self) -> int:
+        return self._public
+
+    @property
+    def g(self) -> int:
+        """Number of private global switches (paper's ``g``)."""
+        return bit_count(self._private)
+
+    def task_index(self, name: str) -> int:
+        for j, t in enumerate(self._tasks):
+            if t.name == name:
+                return j
+        raise KeyError(name)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{t.name}:{t.size}" for t in self._tasks)
+        return f"TaskSystem({parts})"
+
+    # -- trace splitting -------------------------------------------------------
+
+    def split_requirements(
+        self, seq: RequirementSequence
+    ) -> list[RequirementSequence]:
+        """Project a whole-machine requirement trace onto each task.
+
+        Every step of the returned sequence ``j`` contains exactly the
+        bits of ``seq`` owned locally by task ``j``.  Bits belonging to
+        no task (global pools) are dropped here; the global solvers
+        handle them separately.
+        """
+        if seq.universe != self._universe:
+            raise ValueError("requirement sequence uses a different universe")
+        return [seq.restrict(t.local_mask) for t in self._tasks]
+
+    def unclaimed_mask(self, seq: RequirementSequence) -> int:
+        """Bits demanded by the trace that no task owns locally.
+
+        Non-zero results indicate requirements on global pools (or a
+        mis-specified task split) — callers decide which.
+        """
+        covered = 0
+        for t in self._tasks:
+            covered |= t.local_mask
+        covered |= self._private | self._public
+        demand = 0
+        for mask in seq.masks:
+            demand |= mask
+        return demand & ~covered
+
+    def merged_single_task(self, name: str = "ALL") -> "TaskSystem":
+        """Collapse all tasks into one (the paper's m=1 comparison).
+
+        The merged local set is the union of all local sets; its
+        ``v`` is the sum rule ``|f^loc| = Σ l_j`` (48 for SHyRA).
+        """
+        merged_mask = 0
+        for t in self._tasks:
+            merged_mask |= t.local_mask
+        merged = Task(name, SwitchSet(self._universe, merged_mask))
+        return TaskSystem(
+            self._universe,
+            [merged],
+            private_global=SwitchSet(self._universe, self._private)
+            if self._private
+            else None,
+            public_global=SwitchSet(self._universe, self._public)
+            if self._public
+            else None,
+        )

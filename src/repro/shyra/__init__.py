@@ -1,0 +1,51 @@
+"""SHyRA — the Simple HYperReconfigurable Architecture of Section 6.
+
+A minimalistic rapidly-reconfiguring machine: two 3-input/1-output
+look-up tables, a file of ten 1-bit registers, a 10:6 multiplexer
+feeding the LUT inputs and a 2:10 demultiplexer routing the LUT outputs
+back into the register file.  One configuration word has **48 bits**
+(2×8 LUT truth-table bits, 2×4 demultiplexer target bits, 6×4
+multiplexer selector bits), each of which is one *switch* of the
+MT-Switch cost model.
+
+The subpackage provides a cycle-accurate simulator
+(:mod:`repro.shyra.machine`), a configuration-word codec
+(:mod:`repro.shyra.config`), a micro-assembler with hold semantics
+(:mod:`repro.shyra.assembler`), trace capture that turns executions
+into context-requirement sequences (:mod:`repro.shyra.trace`), the
+standard task split (:mod:`repro.shyra.tasks`) and the example
+applications of the evaluation (:mod:`repro.shyra.apps`).
+"""
+
+from repro.shyra.config import ConfigWord, FIELD_LAYOUT, N_CONFIG_BITS
+from repro.shyra.machine import ShyraMachine, MachineError
+from repro.shyra.program import Microprogram, ProgramStep
+from repro.shyra.assembler import ProgramBuilder, LogicFn
+from repro.shyra.trace import (
+    RequirementSemantics,
+    TraceResult,
+    run_and_trace,
+)
+from repro.shyra.tasks import (
+    shyra_universe,
+    shyra_task_system,
+    shyra_single_task_system,
+)
+
+__all__ = [
+    "ConfigWord",
+    "FIELD_LAYOUT",
+    "N_CONFIG_BITS",
+    "ShyraMachine",
+    "MachineError",
+    "Microprogram",
+    "ProgramStep",
+    "ProgramBuilder",
+    "LogicFn",
+    "RequirementSemantics",
+    "TraceResult",
+    "run_and_trace",
+    "shyra_universe",
+    "shyra_task_system",
+    "shyra_single_task_system",
+]

@@ -1,0 +1,36 @@
+"""Example applications mapped onto SHyRA.
+
+* :mod:`repro.shyra.apps.counter` — the paper's evaluation workload:
+  a time-partitioned 4-bit counter with a variable upper bound
+  (11-cycle loop body, 110 reconfigurations for 0000 → 1010);
+* :mod:`repro.shyra.apps.comparator` — 4-bit equality/greater-than
+  comparator;
+* :mod:`repro.shyra.apps.adder` — 4-bit ripple-carry adder;
+* :mod:`repro.shyra.apps.gray` — Gray-code sequence generator;
+* :mod:`repro.shyra.apps.parity` — serial parity / LFSR-style stream.
+
+Each module exposes a ``build_*_program`` function plus a pure-Python
+reference model that the tests compare the simulated run against.
+"""
+
+from repro.shyra.apps.counter import (
+    build_counter_program,
+    counter_registers,
+    expected_counter_cycles,
+)
+from repro.shyra.apps.comparator import build_comparator_program
+from repro.shyra.apps.adder import build_adder_program
+from repro.shyra.apps.gray import build_gray_program
+from repro.shyra.apps.parity import build_parity_program
+from repro.shyra.apps.lfsr import build_lfsr_program
+
+__all__ = [
+    "build_counter_program",
+    "counter_registers",
+    "expected_counter_cycles",
+    "build_comparator_program",
+    "build_adder_program",
+    "build_gray_program",
+    "build_parity_program",
+    "build_lfsr_program",
+]

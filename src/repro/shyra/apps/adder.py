@@ -1,0 +1,68 @@
+"""4-bit ripple-carry adder on SHyRA.
+
+Computes ``A + B`` for operands in r0–r3 and r4–r7; the sum overwrites
+A (r0–r3), the carry ripples through r8, and the final carry-out lands
+in r9.  Sum and carry of one bit are both 3-input functions of
+``(a_k, b_k, carry)`` (``XOR3`` and ``MAJ3``), so each bit costs one
+cycle: 1 seed + 4 bit cycles + 1 carry-out copy = 6 reconfigurations.
+"""
+
+from __future__ import annotations
+
+from repro.shyra.assembler import LUT_OPS, ProgramBuilder
+from repro.shyra.program import Microprogram
+
+__all__ = [
+    "A_REGS",
+    "B_REGS",
+    "CARRY_REG",
+    "COUT_REG",
+    "build_adder_program",
+    "adder_registers",
+    "reference_add",
+]
+
+A_REGS = (0, 1, 2, 3)
+B_REGS = (4, 5, 6, 7)
+CARRY_REG = 8
+COUT_REG = 9
+
+
+def adder_registers(a: int, b: int) -> list[int]:
+    if not 0 <= a < 16 or not 0 <= b < 16:
+        raise ValueError("operands must be 4-bit values")
+    regs = [0] * 10
+    for k in range(4):
+        regs[A_REGS[k]] = (a >> k) & 1
+        regs[B_REGS[k]] = (b >> k) & 1
+    return regs
+
+
+def reference_add(a: int, b: int) -> tuple[int, int]:
+    """Reference model: ``(sum mod 16, carry_out)``."""
+    total = a + b
+    return total & 0xF, total >> 4
+
+
+def build_adder_program(hold_unused: bool = True) -> Microprogram:
+    """Clear the carry, ripple through the bits, publish carry-out."""
+    CONST0, ID = LUT_OPS["CONST0"], LUT_OPS["ID"]
+    XOR3, MAJ3 = LUT_OPS["XOR3"], LUT_OPS["MAJ3"]
+    b = ProgramBuilder(hold_unused=hold_unused)
+    b.step(
+        lut1=(CONST0, [0], CARRY_REG),
+        lut2=(CONST0, [0], COUT_REG),
+        comment="seed: carry=0, cout=0",
+    )
+    for k in range(4):
+        b.step(
+            lut1=(XOR3, [A_REGS[k], B_REGS[k], CARRY_REG], A_REGS[k]),
+            lut2=(MAJ3, [A_REGS[k], B_REGS[k], CARRY_REG], CARRY_REG),
+            comment=f"bit{k}: sum/carry",
+        )
+    b.step(
+        lut1=(ID, [CARRY_REG], COUT_REG),
+        lut2=(ID, [CARRY_REG], CARRY_REG),
+        comment="publish carry-out",
+    )
+    return b.build()

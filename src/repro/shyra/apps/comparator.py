@@ -1,0 +1,67 @@
+"""4-bit magnitude comparator on SHyRA.
+
+Computes ``A > B`` and ``A == B`` for the 4-bit operands in r0–r3 and
+r4–r7.  Scanning LSB → MSB with the recurrence
+
+    gt' = a_k·¬b_k  ∨  (a_k ≡ b_k)·gt
+    eq' = eq · (a_k ≡ b_k)
+
+both updates are 3-input functions (``GTSTEP`` and ``ANDXNOR`` cells),
+so each bit costs a single cycle: 1 seed cycle + 4 bit cycles = 5
+reconfigurations for the whole comparison.
+"""
+
+from __future__ import annotations
+
+from repro.shyra.assembler import LUT_OPS, ProgramBuilder
+from repro.shyra.program import Microprogram
+
+__all__ = [
+    "A_REGS",
+    "B_REGS",
+    "EQ_REG",
+    "GT_REG",
+    "build_comparator_program",
+    "comparator_registers",
+    "reference_compare",
+]
+
+A_REGS = (0, 1, 2, 3)
+B_REGS = (4, 5, 6, 7)
+EQ_REG = 8
+GT_REG = 9
+
+
+def comparator_registers(a: int, b: int) -> list[int]:
+    """Initial register contents for comparing ``a`` and ``b``."""
+    if not 0 <= a < 16 or not 0 <= b < 16:
+        raise ValueError("operands must be 4-bit values")
+    regs = [0] * 10
+    for k in range(4):
+        regs[A_REGS[k]] = (a >> k) & 1
+        regs[B_REGS[k]] = (b >> k) & 1
+    return regs
+
+
+def reference_compare(a: int, b: int) -> tuple[int, int]:
+    """Reference model: ``(A > B, A == B)`` flags."""
+    return int(a > b), int(a == b)
+
+
+def build_comparator_program(hold_unused: bool = True) -> Microprogram:
+    """Seed gt=0 / eq=1, then one GTSTEP+ANDXNOR cycle per bit."""
+    CONST0, CONST1 = LUT_OPS["CONST0"], LUT_OPS["CONST1"]
+    GTSTEP, ANDXNOR = LUT_OPS["GTSTEP"], LUT_OPS["ANDXNOR"]
+    b = ProgramBuilder(hold_unused=hold_unused)
+    b.step(
+        lut1=(CONST0, [0], GT_REG),
+        lut2=(CONST1, [0], EQ_REG),
+        comment="seed: gt=0, eq=1",
+    )
+    for k in range(4):  # LSB first
+        b.step(
+            lut1=(GTSTEP, [GT_REG, A_REGS[k], B_REGS[k]], GT_REG),
+            lut2=(ANDXNOR, [EQ_REG, A_REGS[k], B_REGS[k]], EQ_REG),
+            comment=f"bit{k}: gt/eq recurrence",
+        )
+    return b.build()

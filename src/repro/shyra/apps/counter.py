@@ -1,0 +1,124 @@
+"""The paper's test application: a 4-bit counter with variable upper
+bound (Section 6).
+
+    "The counter increments its value that is stored in the first four
+    registers until it has reached the value stored in registers five
+    to eight.  As all operations can only be performed through the use
+    of the LUTs it is impossible to implement the counter in one clock
+    cycle.  The design is thus time partitioned."
+
+Register map (LSB first)::
+
+    r0–r3   counter value
+    r4–r7   upper bound
+    r8      ripple carry / equality scratch
+    r9      equality accumulator (1 after the compare phase iff
+            counter == bound; the loop branch tests it)
+
+The loop body takes **11 cycles** — 4 increment cycles (sum via LUT1,
+carry via LUT2) and 7 compare cycles (bit 0 fused into the
+accumulator init, bits 1–3 as XNOR + AND pairs).  Counting 0000 → 1010
+therefore executes 10 iterations = **110 reconfigurations**, matching
+the trace length reported in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.shyra.assembler import LUT_OPS, ProgramBuilder
+from repro.shyra.program import HALT, Microprogram
+
+__all__ = [
+    "COUNTER_REGS",
+    "BOUND_REGS",
+    "CARRY_REG",
+    "ACC_REG",
+    "counter_registers",
+    "build_counter_program",
+    "expected_counter_cycles",
+    "CYCLES_PER_ITERATION",
+]
+
+COUNTER_REGS = (0, 1, 2, 3)
+BOUND_REGS = (4, 5, 6, 7)
+CARRY_REG = 8
+ACC_REG = 9
+
+#: Length of the loop body (4 increment + 7 compare cycles).
+CYCLES_PER_ITERATION = 11
+
+
+def counter_registers(start: int, bound: int) -> list[int]:
+    """Initial register-file contents for a counter run."""
+    if not 0 <= start < 16 or not 0 <= bound < 16:
+        raise ValueError("start and bound must be 4-bit values")
+    regs = [0] * 10
+    for k in range(4):
+        regs[COUNTER_REGS[k]] = (start >> k) & 1
+        regs[BOUND_REGS[k]] = (bound >> k) & 1
+    return regs
+
+
+def build_counter_program(hold_unused: bool = True) -> Microprogram:
+    """Build the 11-cycle counter loop.
+
+    Increment phase (ripple, LSB first): LUT1 computes the sum bit,
+    LUT2 the carry — both read the same operands, so the MUX selectors
+    are shared-shape and the per-cycle configuration deltas stay small.
+
+    Compare phase: cycle ``cmp0`` seeds the accumulator with
+    ``r0 XNOR r4``; each further bit takes an XNOR cycle (into the
+    scratch register) and an AND-accumulate cycle.  The idle LUT copies
+    a live register onto itself, which holds its configuration fields
+    nearly constant.
+    """
+    NOT, ID = LUT_OPS["NOT"], LUT_OPS["ID"]
+    XOR, AND, XNOR = LUT_OPS["XOR"], LUT_OPS["AND"], LUT_OPS["XNOR"]
+    b = ProgramBuilder(hold_unused=hold_unused)
+    # --- increment: counter += 1 (mod 16) ---------------------------------
+    b.step(
+        lut1=(NOT, [COUNTER_REGS[0]], COUNTER_REGS[0]),
+        lut2=(ID, [COUNTER_REGS[0]], CARRY_REG),
+        label="inc0",
+        comment="bit0: sum = NOT c0, carry = c0",
+    )
+    for k in (1, 2, 3):
+        b.step(
+            lut1=(XOR, [COUNTER_REGS[k], CARRY_REG], COUNTER_REGS[k]),
+            lut2=(AND, [COUNTER_REGS[k], CARRY_REG], CARRY_REG),
+            comment=f"bit{k}: sum = c{k} XOR carry, carry = c{k} AND carry",
+        )
+    # --- compare: acc = (counter == bound) --------------------------------
+    b.step(
+        lut1=(XNOR, [COUNTER_REGS[0], BOUND_REGS[0]], ACC_REG),
+        lut2=(ID, [CARRY_REG], CARRY_REG),
+        comment="cmp0: acc = c0 XNOR b0",
+    )
+    for k in (1, 2, 3):
+        b.step(
+            lut1=(XNOR, [COUNTER_REGS[k], BOUND_REGS[k]], CARRY_REG),
+            lut2=(ID, [ACC_REG], ACC_REG),
+            comment=f"cmp{k}a: e = c{k} XNOR b{k}",
+        )
+        b.step(
+            lut1=(AND, [ACC_REG, CARRY_REG], ACC_REG),
+            lut2=(ID, [CARRY_REG], CARRY_REG),
+            comment=f"cmp{k}b: acc = acc AND e",
+        )
+    # Loop while acc == 0; halt by falling through when acc == 1.
+    b.branch_if(ACC_REG, 0, "inc0")
+    return b.build()
+
+
+def expected_counter_cycles(start: int, bound: int) -> int:
+    """Reference model: cycles until the counter halts.
+
+    The body increments first and compares afterwards, so the run
+    executes ``(bound - start) mod 16`` iterations — except that equal
+    start and bound require a full wrap-around of 16 increments.
+    """
+    if not 0 <= start < 16 or not 0 <= bound < 16:
+        raise ValueError("start and bound must be 4-bit values")
+    iterations = (bound - start) % 16
+    if iterations == 0:
+        iterations = 16
+    return iterations * CYCLES_PER_ITERATION

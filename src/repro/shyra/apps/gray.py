@@ -1,0 +1,105 @@
+"""Gray-code sequence generator on SHyRA.
+
+Maintains a 4-bit binary counter in r0–r3 (incremented exactly like
+the paper's counter app) and keeps the corresponding reflected Gray
+code ``g = v XOR (v >> 1)`` in r4–r7, refreshed after every increment.
+One iteration = 4 increment cycles + 4 Gray cycles; the program runs a
+fixed number of iterations controlled by a countdown on the binary
+value (it halts when the counter wraps to zero), exercising a second
+loop-structured workload with a different task-activity mix than the
+counter (the DeMUX retargets on every cycle).
+"""
+
+from __future__ import annotations
+
+from repro.shyra.assembler import LUT_OPS, ProgramBuilder
+from repro.shyra.program import Microprogram
+
+__all__ = [
+    "VALUE_REGS",
+    "GRAY_REGS",
+    "CARRY_REG",
+    "ZERO_REG",
+    "build_gray_program",
+    "gray_registers",
+    "reference_gray",
+    "CYCLES_PER_ITERATION",
+]
+
+VALUE_REGS = (0, 1, 2, 3)
+GRAY_REGS = (4, 5, 6, 7)
+CARRY_REG = 8
+ZERO_REG = 9
+
+CYCLES_PER_ITERATION = 9
+
+
+def gray_registers(start: int) -> list[int]:
+    if not 0 <= start < 16:
+        raise ValueError("start must be a 4-bit value")
+    regs = [0] * 10
+    g = start ^ (start >> 1)
+    for k in range(4):
+        regs[VALUE_REGS[k]] = (start >> k) & 1
+        regs[GRAY_REGS[k]] = (g >> k) & 1
+    return regs
+
+
+def reference_gray(value: int) -> int:
+    """Reflected Gray code of a 4-bit value."""
+    return (value ^ (value >> 1)) & 0xF
+
+
+def build_gray_program(hold_unused: bool = True) -> Microprogram:
+    """Increment, recompute the Gray bits, loop until wrap to 0.
+
+    The wrap test reuses the carry chain: after the increment the
+    counter is zero iff every sum bit is 0, tracked by NOR-folding into
+    r9 during the Gray phase (g3 = v3 needs no XOR partner, freeing
+    LUT2 for the fold).
+    """
+    NOT, ID = LUT_OPS["NOT"], LUT_OPS["ID"]
+    XOR, AND = LUT_OPS["XOR"], LUT_OPS["AND"]
+    NOR, ANDN = LUT_OPS["NOR"], LUT_OPS["ANDN"]
+    b = ProgramBuilder(hold_unused=hold_unused)
+    # --- increment (as in the counter app) -----------------------------
+    b.step(
+        lut1=(NOT, [VALUE_REGS[0]], VALUE_REGS[0]),
+        lut2=(ID, [VALUE_REGS[0]], CARRY_REG),
+        label="loop",
+        comment="inc bit0",
+    )
+    for k in (1, 2, 3):
+        b.step(
+            lut1=(XOR, [VALUE_REGS[k], CARRY_REG], VALUE_REGS[k]),
+            lut2=(AND, [VALUE_REGS[k], CARRY_REG], CARRY_REG),
+            comment=f"inc bit{k}",
+        )
+    # --- Gray refresh + zero fold --------------------------------------
+    b.step(
+        lut1=(XOR, [VALUE_REGS[0], VALUE_REGS[1]], GRAY_REGS[0]),
+        lut2=(NOR, [VALUE_REGS[0], VALUE_REGS[1]], ZERO_REG),
+        comment="g0 = v0^v1; zero = ¬(v0∨v1)",
+    )
+    b.step(
+        lut1=(XOR, [VALUE_REGS[1], VALUE_REGS[2]], GRAY_REGS[1]),
+        lut2=(ANDN, [ZERO_REG, VALUE_REGS[2]], ZERO_REG),
+        comment="g1 = v1^v2; zero &= ¬v2",
+    )
+    b.step(
+        lut1=(XOR, [VALUE_REGS[2], VALUE_REGS[3]], GRAY_REGS[2]),
+        lut2=(ANDN, [ZERO_REG, VALUE_REGS[3]], ZERO_REG),
+        comment="g2 = v2^v3; zero &= ¬v3",
+    )
+    b.step(
+        lut1=(ID, [VALUE_REGS[3]], GRAY_REGS[3]),
+        lut2=(ID, [ZERO_REG], ZERO_REG),
+        comment="g3 = v3",
+    )
+    b.step(
+        lut1=(ID, [ZERO_REG], ZERO_REG),
+        lut2=(ID, [CARRY_REG], CARRY_REG),
+        comment="zero-flag commit",
+    )
+    b.branch_if(ZERO_REG, 0, "loop")
+    return b.build()

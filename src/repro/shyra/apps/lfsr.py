@@ -1,0 +1,124 @@
+"""4-bit Fibonacci LFSR on SHyRA (taps x⁴ + x³ + 1).
+
+Cycles the register through the maximal-length 15-state sequence until
+it returns to the seed, giving a third *loop-structured* workload with
+a different shape from the counter: the shift phase retargets the
+DeMUX every cycle while both truth tables stay almost constant, so its
+requirement mass sits in the DeMUX/MUX tasks.
+
+Register map: state in r0–r3 (r3 = newest bit), seed copy in r4–r7,
+feedback scratch r8, equality accumulator r9.  One iteration =
+5 shift/feedback cycles + 4 fused compare cycles = 9 cycles; a
+maximal-length run from a non-zero seed is 15 iterations = 135 cycles.
+"""
+
+from __future__ import annotations
+
+from repro.shyra.assembler import LUT_OPS, ProgramBuilder
+from repro.shyra.program import Microprogram
+
+__all__ = [
+    "STATE_REGS",
+    "SEED_REGS",
+    "FEEDBACK_REG",
+    "ACC_REG",
+    "CYCLES_PER_ITERATION",
+    "lfsr_registers",
+    "reference_lfsr_step",
+    "reference_lfsr_period",
+    "build_lfsr_program",
+]
+
+STATE_REGS = (0, 1, 2, 3)
+SEED_REGS = (4, 5, 6, 7)
+FEEDBACK_REG = 8
+ACC_REG = 9
+
+CYCLES_PER_ITERATION = 9
+
+
+def lfsr_registers(seed: int) -> list[int]:
+    """Initial registers; the seed must be non-zero (0 is a fixpoint)."""
+    if not 1 <= seed < 16:
+        raise ValueError("seed must be a non-zero 4-bit value")
+    regs = [0] * 10
+    for k in range(4):
+        regs[STATE_REGS[k]] = (seed >> k) & 1
+        regs[SEED_REGS[k]] = (seed >> k) & 1
+    return regs
+
+
+def reference_lfsr_step(state: int) -> int:
+    """One Fibonacci step: feedback = s3 XOR s2, shift left into bit 0.
+
+    Bit numbering: bit k of ``state`` is register r``k``; the newest
+    bit enters at r0 and bits shift toward r3.
+    """
+    feedback = ((state >> 3) ^ (state >> 2)) & 1
+    return ((state << 1) & 0xF) | feedback
+
+
+def reference_lfsr_period(seed: int) -> int:
+    """Iterations until the state returns to ``seed`` (15 for non-zero
+    seeds of the maximal-length polynomial)."""
+    state = reference_lfsr_step(seed)
+    steps = 1
+    while state != seed:
+        state = reference_lfsr_step(state)
+        steps += 1
+        if steps > 16:  # pragma: no cover - safety net
+            raise AssertionError("LFSR failed to cycle")
+    return steps
+
+
+def build_lfsr_program(hold_unused: bool = True) -> Microprogram:
+    """Shift/feedback phase then fused compare-to-seed phase.
+
+    The shift must respect simultaneous read/write semantics: each
+    cycle moves one bit (r2→r3, r1→r2, r0→r1, feedback→r0), reading the
+    old values before any overwrite in that cycle.
+    """
+    ID, XOR = LUT_OPS["ID"], LUT_OPS["XOR"]
+    XNOR, ANDXNOR = LUT_OPS["XNOR"], LUT_OPS["ANDXNOR"]
+    b = ProgramBuilder(hold_unused=hold_unused)
+    # feedback = s3 XOR s2 into r8; r3 takes old r2 in the same cycle.
+    b.step(
+        lut1=(XOR, [STATE_REGS[3], STATE_REGS[2]], FEEDBACK_REG),
+        lut2=(ID, [STATE_REGS[2]], STATE_REGS[3]),
+        label="loop",
+        comment="feedback = s3^s2 ; s3 <- s2",
+    )
+    b.step(
+        lut1=(ID, [STATE_REGS[1]], STATE_REGS[2]),
+        lut2=(ID, [FEEDBACK_REG], FEEDBACK_REG),
+        comment="s2 <- s1",
+    )
+    b.step(
+        lut1=(ID, [STATE_REGS[0]], STATE_REGS[1]),
+        lut2=(ID, [FEEDBACK_REG], FEEDBACK_REG),
+        comment="s1 <- s0",
+    )
+    b.step(
+        lut1=(ID, [FEEDBACK_REG], STATE_REGS[0]),
+        lut2=(ID, [STATE_REGS[3]], FEEDBACK_REG),
+        comment="s0 <- feedback",
+    )
+    b.step(
+        lut1=(ID, [ACC_REG], ACC_REG),
+        lut2=(ID, [FEEDBACK_REG], FEEDBACK_REG),
+        comment="pipeline settle",
+    )
+    # Fused compare: acc = Π (s_k ≡ seed_k), seeded by bit 0.
+    b.step(
+        lut1=(XNOR, [STATE_REGS[0], SEED_REGS[0]], ACC_REG),
+        lut2=(ID, [FEEDBACK_REG], FEEDBACK_REG),
+        comment="acc = s0 XNOR seed0",
+    )
+    for k in (1, 2, 3):
+        b.step(
+            lut1=(ANDXNOR, [ACC_REG, STATE_REGS[k], SEED_REGS[k]], ACC_REG),
+            lut2=(ID, [FEEDBACK_REG], FEEDBACK_REG),
+            comment=f"acc &= s{k} XNOR seed{k}",
+        )
+    b.branch_if(ACC_REG, 0, "loop")
+    return b.build()

@@ -1,0 +1,57 @@
+"""Serial parity accumulator on SHyRA.
+
+Folds the eight data bits r0–r7 into their XOR parity (r9) one bit per
+cycle.  A deliberately LUT-stable workload: the truth tables are
+configured once and only the MUX selectors advance, so its context
+requirements concentrate in the MUX task — the opposite activity mix
+of the counter.  Used by the trace-semantics and workload ablations.
+"""
+
+from __future__ import annotations
+
+from repro.shyra.assembler import LUT_OPS, ProgramBuilder
+from repro.shyra.program import Microprogram
+
+__all__ = [
+    "DATA_REGS",
+    "SCRATCH_REG",
+    "PARITY_REG",
+    "build_parity_program",
+    "parity_registers",
+    "reference_parity",
+]
+
+DATA_REGS = (0, 1, 2, 3, 4, 5, 6, 7)
+SCRATCH_REG = 8
+PARITY_REG = 9
+
+
+def parity_registers(data: int) -> list[int]:
+    if not 0 <= data < 256:
+        raise ValueError("data must be an 8-bit value")
+    regs = [0] * 10
+    for k in range(8):
+        regs[DATA_REGS[k]] = (data >> k) & 1
+    return regs
+
+
+def reference_parity(data: int) -> int:
+    return bin(data & 0xFF).count("1") & 1
+
+
+def build_parity_program(hold_unused: bool = True) -> Microprogram:
+    """Seed parity=0 then XOR-fold r0…r7, one bit per cycle."""
+    CONST0, ID, XOR = LUT_OPS["CONST0"], LUT_OPS["ID"], LUT_OPS["XOR"]
+    b = ProgramBuilder(hold_unused=hold_unused)
+    b.step(
+        lut1=(CONST0, [0], PARITY_REG),
+        lut2=(CONST0, [0], SCRATCH_REG),
+        comment="seed: parity=0",
+    )
+    for k, reg in enumerate(DATA_REGS):
+        b.step(
+            lut1=(XOR, [PARITY_REG, reg], PARITY_REG),
+            lut2=(ID, [reg], SCRATCH_REG),
+            comment=f"fold bit{k}",
+        )
+    return b.build()

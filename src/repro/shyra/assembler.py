@@ -1,0 +1,262 @@
+"""Micro-assembler for SHyRA with *hold* field semantics.
+
+Writing raw 48-bit words is error-prone; the builder accepts symbolic
+LUT operations and takes care of truth-table expansion, multiplexer
+selector allocation and demultiplexer routing.
+
+**Hold semantics** — configuration fields not touched by a step keep
+their previous value.  A real compiler for a hyperreconfigurable
+machine would do the same, because unchanged configuration bits are
+exactly what makes context requirements (deltas) sparse, and sparse
+periodic requirements are what hyperreconfiguration monetizes.  The
+builder records, per step, the mask of explicitly *written* fields for
+the alternative WRITTEN requirement semantics.
+
+Logic functions are arity-1/2/3 boolean functions expanded to 8-bit
+truth tables that ignore unused inputs (so a held third selector can
+never change behaviour).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.shyra.config import ConfigWord, FIELD_LAYOUT
+from repro.shyra.program import Branch, Microprogram, ProgramStep
+
+__all__ = ["LogicFn", "LUT_OPS", "ProgramBuilder"]
+
+
+@dataclass(frozen=True)
+class LogicFn:
+    """A boolean function of 1–3 inputs, expandable to a LUT table."""
+
+    name: str
+    arity: int
+    fn: Callable[..., int]
+
+    def __post_init__(self):
+        if self.arity not in (1, 2, 3):
+            raise ValueError("LUT functions take 1–3 inputs")
+
+    def truth_table(self) -> int:
+        """8-bit table indexed by ``a + 2b + 4c``; ignores unused inputs."""
+        tt = 0
+        for idx in range(8):
+            bits = (idx & 1, (idx >> 1) & 1, (idx >> 2) & 1)
+            out = self.fn(*bits[: self.arity])
+            if out not in (0, 1):
+                raise ValueError(f"{self.name} returned non-boolean {out!r}")
+            tt |= out << idx
+        return tt
+
+    def __call__(self, *args: int) -> int:
+        return self.fn(*args)
+
+
+#: The standard cell library used by the example applications.
+LUT_OPS: dict[str, LogicFn] = {
+    op.name: op
+    for op in [
+        LogicFn("CONST0", 1, lambda a: 0),
+        LogicFn("CONST1", 1, lambda a: 1),
+        LogicFn("ID", 1, lambda a: a),
+        LogicFn("NOT", 1, lambda a: 1 - a),
+        LogicFn("AND", 2, lambda a, b: a & b),
+        LogicFn("OR", 2, lambda a, b: a | b),
+        LogicFn("XOR", 2, lambda a, b: a ^ b),
+        LogicFn("XNOR", 2, lambda a, b: 1 - (a ^ b)),
+        LogicFn("NAND", 2, lambda a, b: 1 - (a & b)),
+        LogicFn("NOR", 2, lambda a, b: 1 - (a | b)),
+        LogicFn("ANDN", 2, lambda a, b: a & (1 - b)),
+        LogicFn("AND3", 3, lambda a, b, c: a & b & c),
+        LogicFn("OR3", 3, lambda a, b, c: a | b | c),
+        LogicFn("XOR3", 3, lambda a, b, c: a ^ b ^ c),
+        LogicFn("MAJ3", 3, lambda a, b, c: (a + b + c) >> 1),
+        LogicFn("ANDXNOR", 3, lambda a, b, c: a & (1 - (b ^ c))),
+        LogicFn("SEL", 3, lambda a, b, c: b if c else a),
+        # gt-recurrence cell: new_gt = a·¬b ∨ (a ≡ b)·g  (see comparator app)
+        LogicFn("GTSTEP", 3, lambda g, a, b: (a & (1 - b)) | (g & (1 - (a ^ b)))),
+    ]
+}
+
+LutSpec = tuple[LogicFn, Sequence[int], int]  # (function, input regs, target reg)
+
+
+_CANONICAL_FIELDS: dict[str, int] = {
+    "lut1_tt": 0,
+    "lut2_tt": 0,
+    "demux1": 0,
+    "demux2": 1,
+    "mux0": 0,
+    "mux1": 0,
+    "mux2": 0,
+    "mux3": 0,
+    "mux4": 0,
+    "mux5": 0,
+}
+
+
+class ProgramBuilder:
+    """Accumulates :class:`ProgramStep` objects.
+
+    Parameters
+    ----------
+    hold_unused:
+        Field policy for configuration bits a step does not need.
+        ``True`` (default) holds the previous value — a delta-minimizing
+        compiler.  ``False`` resets untouched fields to canonical
+        defaults every step — a naive compiler that re-emits don't-care
+        values, producing denser configuration deltas.  The policy is
+        ablated in experiment E10; the paper does not publish its
+        mapping tool, so both ends of the spectrum are provided.
+    """
+
+    def __init__(self, hold_unused: bool = True):
+        self._hold_unused = hold_unused
+        self._fields: dict[str, int] = dict(_CANONICAL_FIELDS)
+        self._steps: list[ProgramStep] = []
+
+    # -- internal ----------------------------------------------------------
+
+    def _apply_lut(
+        self,
+        which: int,
+        spec: LutSpec | None,
+        written: list[str],
+    ) -> None:
+        if spec is None:
+            return
+        fn, inputs, target = spec
+        if not isinstance(fn, LogicFn):
+            raise TypeError("LUT spec must start with a LogicFn")
+        inputs = list(inputs)
+        if len(inputs) != fn.arity:
+            raise ValueError(
+                f"{fn.name} takes {fn.arity} inputs, got {len(inputs)}"
+            )
+        tt_field = f"lut{which}_tt"
+        demux_field = f"demux{which}"
+        sel_base = 0 if which == 1 else 3
+        self._fields[tt_field] = fn.truth_table()
+        written.append(tt_field)
+        self._fields[demux_field] = target
+        written.append(demux_field)
+        for k, reg in enumerate(inputs):
+            field = f"mux{sel_base + k}"
+            self._fields[field] = reg
+            written.append(field)
+        if self._hold_unused:
+            # Unused selectors of this LUT hold their previous value; the
+            # expanded truth table ignores them by construction.
+            return
+        # Naive-compiler mode: re-emit unused selectors too, pointed at
+        # the step's first operand (don't-care values a real mapping tool
+        # would produce), which densifies the configuration deltas.
+        for k in range(len(inputs), 3):
+            field = f"mux{sel_base + k}"
+            self._fields[field] = inputs[0]
+            written.append(field)
+
+    def _current_config(self) -> ConfigWord:
+        f = self._fields
+        return ConfigWord(
+            lut1_tt=f["lut1_tt"],
+            lut2_tt=f["lut2_tt"],
+            demux1=f["demux1"],
+            demux2=f["demux2"],
+            mux=(f["mux0"], f["mux1"], f["mux2"], f["mux3"], f["mux4"], f["mux5"]),
+        )
+
+    # -- public API ----------------------------------------------------------
+
+    def step(
+        self,
+        lut1: LutSpec | None = None,
+        lut2: LutSpec | None = None,
+        *,
+        label: str | None = None,
+        comment: str = "",
+    ) -> "ProgramBuilder":
+        """Append one cycle; unspecified fields hold their values.
+
+        Raises ``ValueError`` if the resulting configuration routes
+        both LUT outputs to the same register — specify both targets
+        explicitly in that case.
+        """
+        if not self._hold_unused:
+            self._fields = dict(_CANONICAL_FIELDS)
+        written: list[str] = []
+        self._apply_lut(1, lut1, written)
+        self._apply_lut(2, lut2, written)
+        try:
+            config = self._current_config()
+        except ValueError as exc:
+            raise ValueError(
+                f"step {len(self._steps)} ({comment or label or 'unnamed'}): {exc}"
+            ) from exc
+        mask = 0
+        for name in written:
+            mask |= ConfigWord.field_mask(name)
+        self._steps.append(
+            ProgramStep(
+                config=config,
+                label=label,
+                branch=None,
+                written_mask=mask,
+                comment=comment,
+            )
+        )
+        return self
+
+    def branch_if(self, register: int, value: int, target: str) -> "ProgramBuilder":
+        """Attach a conditional branch to the most recent step."""
+        if not self._steps:
+            raise ValueError("no step to attach a branch to")
+        last = self._steps[-1]
+        if last.branch is not None:
+            raise ValueError("step already has a branch")
+        self._steps[-1] = ProgramStep(
+            config=last.config,
+            label=last.label,
+            branch=Branch(register, value, target),
+            written_mask=last.written_mask,
+            comment=last.comment,
+        )
+        return self
+
+    def raw_step(
+        self,
+        config: ConfigWord,
+        *,
+        written_mask: int | None = None,
+        label: str | None = None,
+        comment: str = "",
+    ) -> "ProgramBuilder":
+        """Escape hatch: append an explicit configuration word.
+
+        ``written_mask`` defaults to "everything" — a raw word claims
+        all 48 bits unless stated otherwise.  Builder hold-state is
+        synchronized to the raw word.
+        """
+        for name in FIELD_LAYOUT:
+            if name.startswith("mux"):
+                self._fields[name] = config.mux[int(name[3:])]
+            else:
+                self._fields[name] = getattr(config, name)
+        self._steps.append(
+            ProgramStep(
+                config=config,
+                label=label,
+                branch=None,
+                written_mask=(
+                    (1 << 48) - 1 if written_mask is None else written_mask
+                ),
+                comment=comment,
+            )
+        )
+        return self
+
+    def build(self) -> Microprogram:
+        return Microprogram(self._steps)

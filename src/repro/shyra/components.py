@@ -1,0 +1,114 @@
+"""Structural components of the SHyRA datapath.
+
+Each component mirrors one box of the paper's Figure 1.  They are
+deliberately tiny, pure classes — the machine wires them together once
+per cycle — so each can be unit-tested exhaustively against its truth
+semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.shyra.config import N_REGISTERS
+
+__all__ = ["Lut", "RegisterFile", "Mux", "Demux"]
+
+
+class Lut:
+    """A 3-input, 1-output look-up table.
+
+    The 8-bit truth table is indexed by ``a + 2·b + 4·c``.
+    """
+
+    __slots__ = ("truth_table",)
+
+    def __init__(self, truth_table: int):
+        if not 0 <= truth_table <= 0xFF:
+            raise ValueError("truth table must be an 8-bit value")
+        self.truth_table = truth_table
+
+    def evaluate(self, a: int, b: int, c: int) -> int:
+        for name, v in (("a", a), ("b", b), ("c", c)):
+            if v not in (0, 1):
+                raise ValueError(f"LUT input {name} must be 0 or 1, got {v}")
+        index = a + 2 * b + 4 * c
+        return (self.truth_table >> index) & 1
+
+
+class RegisterFile:
+    """Ten 1-bit registers with simultaneous read-then-write semantics."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, initial: Sequence[int] | None = None):
+        bits = list(initial) if initial is not None else [0] * N_REGISTERS
+        if len(bits) != N_REGISTERS:
+            raise ValueError(f"register file holds exactly {N_REGISTERS} bits")
+        for i, b in enumerate(bits):
+            if b not in (0, 1):
+                raise ValueError(f"register r{i} must be 0 or 1, got {b}")
+        self._bits = bits
+
+    def read(self, index: int) -> int:
+        return self._bits[index]
+
+    def write_many(self, writes: Sequence[tuple[int, int]]) -> None:
+        """Commit several writes atomically; duplicate targets are a bug."""
+        targets = [t for t, _ in writes]
+        if len(set(targets)) != len(targets):
+            raise ValueError(f"write conflict on registers {targets}")
+        for target, value in writes:
+            if value not in (0, 1):
+                raise ValueError("register values must be 0 or 1")
+            self._bits[target] = value
+
+    def snapshot(self) -> tuple[int, ...]:
+        return tuple(self._bits)
+
+    def load(self, values: Sequence[int]) -> None:
+        if len(values) != N_REGISTERS:
+            raise ValueError(f"register file holds exactly {N_REGISTERS} bits")
+        for i, v in enumerate(values):
+            if v not in (0, 1):
+                raise ValueError(f"register r{i} must be 0 or 1, got {v}")
+        self._bits = list(values)
+
+    def as_int(self, lsb_first: Sequence[int]) -> int:
+        """Interpret the listed registers as an unsigned int, LSB first."""
+        value = 0
+        for k, reg in enumerate(lsb_first):
+            value |= self._bits[reg] << k
+        return value
+
+    def set_int(self, lsb_first: Sequence[int], value: int) -> None:
+        """Store an unsigned int into the listed registers, LSB first."""
+        if value < 0 or value >= 1 << len(lsb_first):
+            raise ValueError(
+                f"value {value} does not fit into {len(lsb_first)} registers"
+            )
+        for k, reg in enumerate(lsb_first):
+            self._bits[reg] = (value >> k) & 1
+
+
+class Mux:
+    """The 10:6 multiplexer: routes register values to the LUT inputs."""
+
+    __slots__ = ()
+
+    @staticmethod
+    def select(registers: RegisterFile, selectors: Sequence[int]) -> list[int]:
+        return [registers.read(sel) for sel in selectors]
+
+
+class Demux:
+    """The 2:10 demultiplexer: routes both LUT outputs to registers."""
+
+    __slots__ = ()
+
+    @staticmethod
+    def route(
+        registers: RegisterFile,
+        writes: Sequence[tuple[int, int]],
+    ) -> None:
+        registers.write_many(writes)

@@ -1,0 +1,156 @@
+"""SHyRA configuration words.
+
+One configuration word fully determines one execution cycle.  Layout
+(48 bits, LSB first)::
+
+    bits  0– 7   LUT1 truth table  (bit k = output for input index k)
+    bits  8–15   LUT2 truth table
+    bits 16–19   DeMUX target register of LUT1's output (0–9)
+    bits 20–23   DeMUX target register of LUT2's output (0–9)
+    bits 24–47   MUX selectors: six 4-bit register indices (0–9),
+                 selectors 0–2 feed LUT1 inputs (a, b, c),
+                 selectors 3–5 feed LUT2 inputs (a, b, c)
+
+The truth-table input index of a LUT is ``a + 2·b + 4·c``.
+
+The per-component bit counts give the task sizes of the paper's
+multi-task split: LUT1 = 8, LUT2 = 8, DeMUX = 8, MUX = 24 local
+switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "N_REGISTERS",
+    "N_CONFIG_BITS",
+    "FIELD_LAYOUT",
+    "COMPONENT_BIT_RANGES",
+    "ConfigWord",
+]
+
+N_REGISTERS = 10
+N_CONFIG_BITS = 48
+
+#: name -> (lsb offset, width) for every configuration field.
+FIELD_LAYOUT: dict[str, tuple[int, int]] = {
+    "lut1_tt": (0, 8),
+    "lut2_tt": (8, 8),
+    "demux1": (16, 4),
+    "demux2": (20, 4),
+    "mux0": (24, 4),
+    "mux1": (28, 4),
+    "mux2": (32, 4),
+    "mux3": (36, 4),
+    "mux4": (40, 4),
+    "mux5": (44, 4),
+}
+
+#: component -> (lsb, width); the paper's four tasks.
+COMPONENT_BIT_RANGES: dict[str, tuple[int, int]] = {
+    "LUT1": (0, 8),
+    "LUT2": (8, 8),
+    "DEMUX": (16, 8),
+    "MUX": (24, 24),
+}
+
+
+def _check_reg(value: int, what: str) -> None:
+    if not 0 <= value < N_REGISTERS:
+        raise ValueError(f"{what} must be a register index 0–{N_REGISTERS - 1}, got {value}")
+
+
+def _check_tt(value: int, what: str) -> None:
+    if not 0 <= value <= 0xFF:
+        raise ValueError(f"{what} must be an 8-bit truth table, got {value}")
+
+
+@dataclass(frozen=True)
+class ConfigWord:
+    """A decoded 48-bit SHyRA configuration.
+
+    Attributes
+    ----------
+    lut1_tt, lut2_tt:
+        8-bit truth tables.
+    demux1, demux2:
+        Target register (0–9) of each LUT's output.
+    mux:
+        Six register indices: ``mux[0:3]`` feed LUT1's inputs a, b, c;
+        ``mux[3:6]`` feed LUT2's.
+    """
+
+    lut1_tt: int = 0
+    lut2_tt: int = 0
+    demux1: int = 0
+    demux2: int = 1
+    mux: tuple[int, int, int, int, int, int] = (0, 0, 0, 0, 0, 0)
+
+    def __post_init__(self):
+        _check_tt(self.lut1_tt, "lut1_tt")
+        _check_tt(self.lut2_tt, "lut2_tt")
+        _check_reg(self.demux1, "demux1")
+        _check_reg(self.demux2, "demux2")
+        mux = tuple(self.mux)
+        if len(mux) != 6:
+            raise ValueError("mux must contain exactly six selectors")
+        for k, sel in enumerate(mux):
+            _check_reg(sel, f"mux{k}")
+        object.__setattr__(self, "mux", mux)
+        if self.demux1 == self.demux2:
+            raise ValueError(
+                "demux1 and demux2 must target different registers "
+                "(simultaneous write conflict)"
+            )
+
+    # -- codec ---------------------------------------------------------------
+
+    def encode(self) -> int:
+        """Pack into the canonical 48-bit integer."""
+        word = self.lut1_tt
+        word |= self.lut2_tt << 8
+        word |= self.demux1 << 16
+        word |= self.demux2 << 20
+        for k, sel in enumerate(self.mux):
+            word |= sel << (24 + 4 * k)
+        return word
+
+    @classmethod
+    def decode(cls, word: int) -> "ConfigWord":
+        """Inverse of :meth:`encode`; validates every field."""
+        if word < 0 or word >= 1 << N_CONFIG_BITS:
+            raise ValueError(f"configuration word out of range: {word:#x}")
+        return cls(
+            lut1_tt=word & 0xFF,
+            lut2_tt=(word >> 8) & 0xFF,
+            demux1=(word >> 16) & 0xF,
+            demux2=(word >> 20) & 0xF,
+            mux=tuple((word >> (24 + 4 * k)) & 0xF for k in range(6)),
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    def delta_mask(self, previous: "ConfigWord | int") -> int:
+        """Bits that must change when reconfiguring from ``previous``."""
+        prev = previous if isinstance(previous, int) else previous.encode()
+        return self.encode() ^ prev
+
+    def lut1_inputs(self) -> tuple[int, int, int]:
+        return self.mux[0:3]
+
+    def lut2_inputs(self) -> tuple[int, int, int]:
+        return self.mux[3:6]
+
+    @staticmethod
+    def field_mask(name: str) -> int:
+        """Bitmask occupied by a named field (see :data:`FIELD_LAYOUT`)."""
+        lsb, width = FIELD_LAYOUT[name]
+        return ((1 << width) - 1) << lsb
+
+    @staticmethod
+    def component_mask(component: str) -> int:
+        """Bitmask of a component's switches (see
+        :data:`COMPONENT_BIT_RANGES`)."""
+        lsb, width = COMPONENT_BIT_RANGES[component]
+        return ((1 << width) - 1) << lsb

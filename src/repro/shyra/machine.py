@@ -1,0 +1,111 @@
+"""Cycle-accurate SHyRA execution.
+
+Per cycle the machine (Figure 1):
+
+1. routes six register values through the 10:6 MUX to the LUT inputs,
+2. evaluates both 3-input LUTs,
+3. routes both outputs through the 2:10 DeMUX into the register file
+   (simultaneous read-then-write: all reads see the cycle-start state).
+
+A full configuration word is applied before every cycle — SHyRA's tiny
+datapath forces time-partitioned designs into *extensive* runtime
+reconfiguration, which is exactly why it profits from (partial)
+hyperreconfiguration (Section 6).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.shyra.components import Demux, Lut, Mux, RegisterFile
+from repro.shyra.config import ConfigWord
+from repro.shyra.program import HALT, Microprogram
+
+__all__ = ["MachineError", "ExecutionRecord", "ShyraMachine"]
+
+
+class MachineError(RuntimeError):
+    """Raised on invalid executions (e.g. cycle-budget exhaustion)."""
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """What happened in one executed cycle."""
+
+    cycle: int
+    step_index: int
+    config_word: int
+    written_mask: int
+    registers_after: tuple[int, ...]
+
+
+class ShyraMachine:
+    """The simulator: a register file plus per-cycle configured datapath."""
+
+    def __init__(self, initial_registers: Sequence[int] | None = None):
+        self.registers = RegisterFile(initial_registers)
+        self._cycles = 0
+
+    @property
+    def cycles(self) -> int:
+        """Number of cycles executed so far."""
+        return self._cycles
+
+    # -- single cycle ---------------------------------------------------------
+
+    def step(self, config: ConfigWord) -> tuple[int, int]:
+        """Execute one cycle under ``config``; returns both LUT outputs."""
+        inputs = Mux.select(self.registers, config.mux)
+        lut1_out = Lut(config.lut1_tt).evaluate(*inputs[0:3])
+        lut2_out = Lut(config.lut2_tt).evaluate(*inputs[3:6])
+        Demux.route(
+            self.registers,
+            [(config.demux1, lut1_out), (config.demux2, lut2_out)],
+        )
+        self._cycles += 1
+        return lut1_out, lut2_out
+
+    # -- program execution -------------------------------------------------------
+
+    def run(
+        self,
+        program: Microprogram,
+        *,
+        max_cycles: int = 100_000,
+        record: bool = True,
+    ) -> list[ExecutionRecord]:
+        """Run ``program`` until it halts; returns the execution trace.
+
+        Raises :class:`MachineError` when ``max_cycles`` is exceeded —
+        the guard that catches diverging data-dependent loops.
+        """
+        records: list[ExecutionRecord] = []
+        pc = 0
+        executed = 0
+        while 0 <= pc < len(program):
+            step = program[pc]
+            self.step(step.config)
+            executed += 1
+            if record:
+                records.append(
+                    ExecutionRecord(
+                        cycle=executed,
+                        step_index=pc,
+                        config_word=step.config.encode(),
+                        written_mask=step.written_mask,
+                        registers_after=self.registers.snapshot(),
+                    )
+                )
+            if executed > max_cycles:
+                raise MachineError(
+                    f"program exceeded {max_cycles} cycles without halting"
+                )
+            branch = step.branch
+            if branch is not None and self.registers.read(branch.register) == branch.value:
+                if branch.target == HALT:
+                    break
+                pc = program.target_index(branch.target)
+            else:
+                pc += 1
+        return records

@@ -1,0 +1,137 @@
+"""Microprograms for SHyRA.
+
+A microprogram is a sequence of configuration words with (optional)
+data-dependent control flow — exactly the structure needed by the 4-bit
+counter with *variable* upper bound, whose iteration count depends on
+register contents.
+
+Control model: after a step's cycle executes, its (optional) branch is
+evaluated against the *new* register state.  A branch either jumps to a
+label or halts; without a branch (or when its condition fails) control
+falls through to the next step, and falling off the end halts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+
+from repro.shyra.config import ConfigWord, N_REGISTERS
+
+__all__ = ["Branch", "ProgramStep", "Microprogram", "HALT"]
+
+#: Sentinel branch target meaning "stop execution".
+HALT = "__halt__"
+
+
+@dataclass(frozen=True)
+class Branch:
+    """Conditional transfer of control evaluated after a cycle.
+
+    Jump to ``target`` (a label or :data:`HALT`) when register
+    ``register`` equals ``value``; fall through otherwise.
+    """
+
+    register: int
+    value: int
+    target: str
+
+    def __post_init__(self):
+        if not 0 <= self.register < N_REGISTERS:
+            raise ValueError(f"branch register out of range: {self.register}")
+        if self.value not in (0, 1):
+            raise ValueError("branch value must be 0 or 1")
+        if not self.target:
+            raise ValueError("branch target must be non-empty")
+
+
+@dataclass(frozen=True)
+class ProgramStep:
+    """One microinstruction: a configuration plus control metadata.
+
+    Attributes
+    ----------
+    config:
+        The full configuration word driving the cycle.
+    label:
+        Optional branch target name (unique within the program).
+    branch:
+        Optional conditional branch evaluated after the cycle.
+    written_mask:
+        Configuration bits the programmer explicitly set in this step
+        (the assembler records it; held fields are excluded).  Used by
+        the WRITTEN requirement semantics.
+    comment:
+        Free-form documentation shown by disassemblies.
+    """
+
+    config: ConfigWord
+    label: str | None = None
+    branch: Branch | None = None
+    written_mask: int = 0
+    comment: str = ""
+
+
+class Microprogram:
+    """A validated sequence of :class:`ProgramStep`."""
+
+    def __init__(self, steps: Sequence[ProgramStep]):
+        steps = tuple(steps)
+        if not steps:
+            raise ValueError("a microprogram needs at least one step")
+        labels: dict[str, int] = {}
+        for idx, step in enumerate(steps):
+            if step.label is not None:
+                if step.label in labels:
+                    raise ValueError(f"duplicate label {step.label!r}")
+                if step.label == HALT:
+                    raise ValueError(f"{HALT!r} is reserved")
+                labels[step.label] = idx
+        for step in steps:
+            if step.branch and step.branch.target != HALT:
+                if step.branch.target not in labels:
+                    raise ValueError(
+                        f"branch target {step.branch.target!r} undefined"
+                    )
+        self._steps = steps
+        self._labels = labels
+
+    @property
+    def steps(self) -> tuple[ProgramStep, ...]:
+        return self._steps
+
+    @property
+    def labels(self) -> Mapping[str, int]:
+        return dict(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __getitem__(self, idx: int) -> ProgramStep:
+        return self._steps[idx]
+
+    def target_index(self, label: str) -> int:
+        return self._labels[label]
+
+    def disassemble(self) -> str:
+        """Human-readable listing (used in docs and debugging)."""
+        lines = []
+        for idx, step in enumerate(self._steps):
+            head = f"{idx:3d}"
+            if step.label:
+                head += f" {step.label}:"
+            cfg = step.config
+            body = (
+                f" lut1=0x{cfg.lut1_tt:02x}->r{cfg.demux1}"
+                f" lut2=0x{cfg.lut2_tt:02x}->r{cfg.demux2}"
+                f" mux={','.join(f'r{s}' for s in cfg.mux)}"
+            )
+            if step.branch:
+                body += (
+                    f" ; if r{step.branch.register}=={step.branch.value}"
+                    f" goto {step.branch.target}"
+                )
+            if step.comment:
+                body += f"   # {step.comment}"
+            lines.append(head + body)
+        return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""The SHyRA switch universe and the paper's task splits.
+
+Every configuration bit is one local switch.  The multi-task split of
+Section 6 assigns each datapath component to one task::
+
+    T1 = LUT1   (l1 =  8 switches)
+    T2 = LUT2   (l2 =  8 switches)
+    T3 = DeMUX  (l3 =  8 switches)
+    T4 = MUX    (l4 = 24 switches)
+
+with local hyperreconfiguration costs ``v_j = l_j`` (switch-model
+default).  The single-task comparison merges all components into one
+task of 48 switches with ``w = 48``.
+"""
+
+from __future__ import annotations
+
+from repro.core.switches import SwitchSet, SwitchUniverse
+from repro.core.task import Task, TaskSystem
+from repro.shyra.config import COMPONENT_BIT_RANGES, FIELD_LAYOUT, N_CONFIG_BITS
+
+__all__ = [
+    "shyra_switch_names",
+    "shyra_universe",
+    "shyra_task_system",
+    "shyra_single_task_system",
+    "component_masks",
+]
+
+
+def shyra_switch_names() -> list[str]:
+    """Names for all 48 configuration bits, LSB-first per the layout."""
+    names: list[str] = [""] * N_CONFIG_BITS
+    for field, (lsb, width) in FIELD_LAYOUT.items():
+        for k in range(width):
+            names[lsb + k] = f"{field}_b{k}"
+    assert all(names)
+    return names
+
+
+def shyra_universe() -> SwitchUniverse:
+    """The 48-switch universe of SHyRA configuration bits."""
+    return SwitchUniverse(shyra_switch_names())
+
+
+def component_masks() -> dict[str, int]:
+    """Component name -> switch bitmask (LUT1/LUT2/DEMUX/MUX)."""
+    out = {}
+    for comp, (lsb, width) in COMPONENT_BIT_RANGES.items():
+        out[comp] = ((1 << width) - 1) << lsb
+    return out
+
+
+def shyra_task_system(universe: SwitchUniverse | None = None) -> TaskSystem:
+    """The m = 4 task system of the paper (T1=LUT1 … T4=MUX)."""
+    universe = universe or shyra_universe()
+    masks = component_masks()
+    tasks = [
+        Task("LUT1", SwitchSet(universe, masks["LUT1"])),
+        Task("LUT2", SwitchSet(universe, masks["LUT2"])),
+        Task("DEMUX", SwitchSet(universe, masks["DEMUX"])),
+        Task("MUX", SwitchSet(universe, masks["MUX"])),
+    ]
+    return TaskSystem(universe, tasks)
+
+
+def shyra_single_task_system(
+    universe: SwitchUniverse | None = None,
+) -> TaskSystem:
+    """The m = 1 comparison: all components combined into one task."""
+    return shyra_task_system(universe).merged_single_task("SHYRA")

@@ -1,0 +1,105 @@
+"""Reconfiguration-trace capture.
+
+Executing a microprogram yields one configuration word per cycle; the
+cost models consume the corresponding **context-requirement sequence**.
+Two extraction semantics are supported:
+
+* ``DELTA`` (paper-faithful default) — the requirement of cycle ``t``
+  is the set of configuration bits that *differ* from cycle ``t-1``
+  (for ``t = 0``: from the machine's reset configuration).  Bits
+  outside the current hypercontext keep their previous values, so a
+  reconfiguration is realizable iff the delta lies inside the
+  hypercontext — the minimal correct requirement.
+* ``WRITTEN`` — the bits of all fields the programmer explicitly wrote
+  in the step (hold fields excluded), a conservative superset of DELTA
+  on every executed cycle.
+
+The choice is ablated in experiment E10.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.context import RequirementSequence
+from repro.core.switches import SwitchUniverse
+from repro.shyra.machine import ExecutionRecord, ShyraMachine
+from repro.shyra.program import Microprogram
+from repro.shyra.tasks import shyra_universe
+
+__all__ = ["RequirementSemantics", "TraceResult", "run_and_trace"]
+
+
+class RequirementSemantics(enum.Enum):
+    """How context requirements are derived from an execution."""
+
+    DELTA = "delta"
+    WRITTEN = "written"
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """Everything the experiments need from one simulated run.
+
+    Attributes
+    ----------
+    config_words:
+        The 48-bit configuration of every executed cycle.
+    requirements:
+        The extracted context-requirement sequence (length = #cycles).
+    records:
+        Full per-cycle execution records (step index, registers, …).
+    final_registers:
+        Register file contents after the run halted.
+    """
+
+    config_words: tuple[int, ...]
+    requirements: RequirementSequence
+    records: tuple[ExecutionRecord, ...]
+    final_registers: tuple[int, ...]
+
+    @property
+    def n(self) -> int:
+        """Number of reconfiguration steps (one per executed cycle)."""
+        return len(self.config_words)
+
+
+def run_and_trace(
+    program: Microprogram,
+    *,
+    initial_registers: list[int] | None = None,
+    semantics: RequirementSemantics = RequirementSemantics.DELTA,
+    reset_config: int = 0,
+    universe: SwitchUniverse | None = None,
+    max_cycles: int = 100_000,
+) -> TraceResult:
+    """Execute ``program`` on a fresh machine and extract requirements.
+
+    ``reset_config`` is the configuration the machine powers up with
+    (all zeros by default); the first cycle's DELTA requirement is
+    measured against it.
+    """
+    universe = universe or shyra_universe()
+    machine = ShyraMachine(initial_registers)
+    records = machine.run(program, max_cycles=max_cycles)
+    words = tuple(r.config_word for r in records)
+
+    masks: list[int] = []
+    if semantics is RequirementSemantics.DELTA:
+        prev = reset_config
+        for word in words:
+            masks.append(word ^ prev)
+            prev = word
+    elif semantics is RequirementSemantics.WRITTEN:
+        for r in records:
+            masks.append(r.written_mask)
+    else:  # pragma: no cover - enum is closed
+        raise ValueError(f"unknown semantics {semantics!r}")
+
+    return TraceResult(
+        config_words=words,
+        requirements=RequirementSequence(universe, masks),
+        records=tuple(records),
+        final_registers=machine.registers.snapshot(),
+    )

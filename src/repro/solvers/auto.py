@@ -1,0 +1,101 @@
+"""Automatic solver selection for MT-Switch instances.
+
+Downstream users should not need to know which solver fits which
+instance size; :func:`solve_mt_auto` picks the cheapest method that is
+exact when exactness is affordable and falls back to the strongest
+heuristic stack otherwise:
+
+1. tiny instances (``m·(n-1) ≤ 18``) — exhaustive enumeration;
+2. small instances (window-commitment state estimate within budget) —
+   the exact DP of Theorem 1;
+3. everything else — GA and greedy + local search, best of both
+   (optionally annealing too with ``thorough=True``).
+
+The returned result's ``optimal`` flag always reflects which path ran.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.context import RequirementSequence
+from repro.core.machine import MachineModel
+from repro.core.task import TaskSystem
+from repro.solvers.base import MTSolveResult
+from repro.solvers.exhaustive import solve_mt_exhaustive
+from repro.solvers.mt_annealing import AnnealParams, solve_mt_annealing
+from repro.solvers.mt_exact import solve_mt_exact
+from repro.solvers.mt_genetic import GAParams, solve_mt_genetic
+from repro.solvers.mt_greedy import solve_mt_greedy_merge
+from repro.util.rng import SeedLike
+
+__all__ = ["solve_mt_auto"]
+
+_EXHAUSTIVE_BITS = 18
+_EXACT_STATE_BUDGET = 400_000
+
+
+def _exact_state_estimate(m: int, n: int) -> float:
+    """Pessimistic window-commitment state-count estimate: per task up
+    to n(n+1)/2 windows, coupled across tasks per round."""
+    windows = n * (n + 1) / 2
+    return n * (windows ** m)
+
+
+def solve_mt_auto(
+    system: TaskSystem,
+    seqs: Sequence[RequirementSequence],
+    model: MachineModel | None = None,
+    *,
+    seed: SeedLike = 0,
+    thorough: bool = False,
+) -> MTSolveResult:
+    """Solve with the best affordable method; see module docstring.
+
+    ``thorough=True`` additionally runs simulated annealing in the
+    heuristic regime and keeps the best result.
+    """
+    m = system.m
+    n = len(seqs[0]) if seqs else 0
+    if m * max(0, n - 1) <= _EXHAUSTIVE_BITS:
+        return solve_mt_exhaustive(system, seqs, model)
+    if _exact_state_estimate(m, n) <= _EXACT_STATE_BUDGET:
+        try:
+            return solve_mt_exact(
+                system, seqs, model, max_states=_EXACT_STATE_BUDGET
+            )
+        except ValueError:
+            pass  # estimate was optimistic; fall through to heuristics
+    candidates = [solve_mt_greedy_merge(system, seqs, model)]
+    if model is None or model.machine_class.allows_partial_hyper:
+        candidates.append(
+            solve_mt_genetic(
+                system,
+                seqs,
+                model,
+                params=GAParams(
+                    population_size=48,
+                    generations=200,
+                    stall_generations=80,
+                ),
+                seed=seed,
+            )
+        )
+        if thorough:
+            candidates.append(
+                solve_mt_annealing(
+                    system,
+                    seqs,
+                    model,
+                    params=AnnealParams(iterations=12_000),
+                    seed=seed,
+                )
+            )
+    best = min(candidates, key=lambda r: r.cost)
+    return MTSolveResult(
+        schedule=best.schedule,
+        cost=best.cost,
+        optimal=False,
+        solver=f"auto[{best.solver}]",
+        stats={"candidates": [c.solver for c in candidates]},
+    )

@@ -1,0 +1,52 @@
+"""Common solver result types.
+
+Every solver returns its schedule together with the objective value it
+certifies and bookkeeping that the experiment drivers report (solver
+name, optimality flag, node/evaluation counters).  Keeping a single
+result shape makes solvers interchangeable in benchmarks and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.schedule import MultiTaskSchedule, SingleTaskSchedule
+
+__all__ = ["SolveResult", "MTSolveResult"]
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Result of a single-task solver.
+
+    Attributes
+    ----------
+    schedule:
+        The produced schedule.
+    cost:
+        Objective value of ``schedule`` under the solver's cost model.
+    optimal:
+        True when the solver *proves* optimality (DP/exhaustive/B&B),
+        False for heuristics.
+    solver:
+        Human-readable solver name for reports.
+    stats:
+        Free-form counters (states expanded, generations, …).
+    """
+
+    schedule: SingleTaskSchedule
+    cost: float
+    optimal: bool
+    solver: str
+    stats: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class MTSolveResult:
+    """Result of a multi-task solver (same fields, multi-task schedule)."""
+
+    schedule: MultiTaskSchedule
+    cost: float
+    optimal: bool
+    solver: str
+    stats: dict = field(default_factory=dict)

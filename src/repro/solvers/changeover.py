@@ -1,0 +1,208 @@
+"""Solvers for the changeover-cost model variant.
+
+The variant (Section 4.1) charges a hyperreconfiguration ``w + |h Δ h'|``
+— fixed cost plus the symmetric difference to the predecessor
+hypercontext, modelling machines that load only difference information.
+
+Structure exploited here: **given a partition into blocks, the optimal
+hypercontexts decompose per switch.**  A switch must be available in
+every block that requires it and may additionally be *carried* through
+blocks that do not, trading its per-step availability cost (it gets
+rewritten by every reconfiguration of the block) against the two
+toggle costs it avoids.  Per switch this is a 2-state shortest path
+over the blocks, solved exactly in O(r) — so hypercontext assignment is
+polynomial once the partition is fixed, and the hardness (if any) sits
+only in the partition choice:
+
+* :func:`optimal_hypercontexts_for_partition` — the per-switch DP;
+* :func:`solve_changeover_exact` — enumerate all partitions (n ≤ 16);
+* :func:`solve_changeover_heuristic` — start from the plain switch-model
+  optimum and move/merge/split block boundaries while improving.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import RequirementSequence
+from repro.core.cost_single import switch_cost_changeover
+from repro.core.schedule import SingleTaskSchedule
+from repro.solvers.base import SolveResult
+from repro.solvers.exhaustive import enumerate_single_schedules
+from repro.solvers.single_dp import solve_single_switch
+from repro.util.bitset import bit_indices
+
+__all__ = [
+    "optimal_hypercontexts_for_partition",
+    "solve_changeover_exact",
+    "solve_changeover_heuristic",
+]
+
+_MAX_EXACT_N = 16
+
+
+def optimal_hypercontexts_for_partition(
+    seq: RequirementSequence,
+    hyper_steps: tuple[int, ...],
+    initial_mask: int = 0,
+) -> tuple[int, ...]:
+    """Optimal explicit hypercontexts for a fixed partition.
+
+    For every switch ``x`` solve a 2-state DP over the blocks: state 1
+    (available) costs ``len(block)`` (the switch is rewritten by each
+    reconfiguration) and is forced where the block requires ``x``;
+    transitions cost 1 when availability toggles (the changeover term).
+    The initial state is taken from ``initial_mask``; trailing state is
+    free.
+    """
+    schedule = SingleTaskSchedule(n=len(seq), hyper_steps=hyper_steps)
+    blocks = schedule.blocks()
+    r = len(blocks)
+    unions = [seq.union_mask(start, stop) for start, stop in blocks]
+    lengths = [stop - start for start, stop in blocks]
+    relevant = initial_mask
+    for u in unions:
+        relevant |= u
+    out = [u for u in unions]  # required switches are always in
+    INF = float("inf")
+    for x in bit_indices(relevant):
+        bit = 1 << x
+        init_state = 1 if initial_mask & bit else 0
+        # dp[state] = min cost so far ending in `state`
+        dp = [0.0, INF] if init_state == 0 else [INF, 0.0]
+        choices: list[tuple[int, int]] = []  # argmin predecessors per block
+        for b in range(r):
+            required = bool(unions[b] & bit)
+            ndp = [INF, INF]
+            pred = [(0, 0), (0, 0)]
+            for s in (0, 1):
+                if required and s == 0:
+                    continue
+                stay_cost = s * lengths[b]
+                for p in (0, 1):
+                    cand = dp[p] + (1 if p != s else 0) + stay_cost
+                    if cand < ndp[s]:
+                        ndp[s] = cand
+                        pred[s] = (p, s)
+            dp = ndp
+            choices.append(tuple(pred))
+        # Backtrack inclusion decisions for this switch.
+        state = 0 if dp[0] <= dp[1] else 1
+        include = [False] * r
+        for b in range(r - 1, -1, -1):
+            include[b] = state == 1
+            state = choices[b][state][0]
+        for b in range(r):
+            if include[b]:
+                out[b] |= bit
+    return tuple(out)
+
+
+def _evaluate_partition(
+    seq: RequirementSequence,
+    hyper_steps: tuple[int, ...],
+    w: float,
+    initial_mask: int,
+) -> tuple[float, SingleTaskSchedule]:
+    masks = optimal_hypercontexts_for_partition(seq, hyper_steps, initial_mask)
+    schedule = SingleTaskSchedule(
+        n=len(seq), hyper_steps=hyper_steps, explicit_masks=masks
+    )
+    cost = switch_cost_changeover(seq, schedule, w, initial_mask)
+    return cost, schedule
+
+
+def solve_changeover_exact(
+    seq: RequirementSequence,
+    w: float,
+    initial_mask: int = 0,
+) -> SolveResult:
+    """Exact changeover optimum by partition enumeration (n ≤ 16)."""
+    n = len(seq)
+    if n > _MAX_EXACT_N:
+        raise ValueError(
+            f"exact changeover search limited to n ≤ {_MAX_EXACT_N}; "
+            "use solve_changeover_heuristic"
+        )
+    if n == 0:
+        return SolveResult(
+            SingleTaskSchedule(n=0, hyper_steps=()), 0.0, True,
+            "changeover_exact", {},
+        )
+    best_cost = float("inf")
+    best_schedule = None
+    evaluated = 0
+    for base in enumerate_single_schedules(n):
+        evaluated += 1
+        cost, schedule = _evaluate_partition(
+            seq, base.hyper_steps, w, initial_mask
+        )
+        if cost < best_cost:
+            best_cost = cost
+            best_schedule = schedule
+    return SolveResult(
+        schedule=best_schedule,
+        cost=best_cost,
+        optimal=True,
+        solver="changeover_exact",
+        stats={"evaluated": evaluated},
+    )
+
+
+def solve_changeover_heuristic(
+    seq: RequirementSequence,
+    w: float,
+    initial_mask: int = 0,
+    *,
+    max_passes: int = 10,
+) -> SolveResult:
+    """Boundary local search seeded by the plain switch-model optimum.
+
+    Moves: toggle each interior boundary (merge/split) and shift each
+    boundary by ±1; every candidate partition is completed with its
+    per-switch-optimal hypercontexts before evaluation.
+    """
+    n = len(seq)
+    if n == 0:
+        return SolveResult(
+            SingleTaskSchedule(n=0, hyper_steps=()), 0.0, True,
+            "changeover_heuristic", {},
+        )
+    # Seed: optimal for the plain model with the same fixed cost w
+    # (changeover only adds terms, so this is a sensible start).
+    seed = solve_single_switch(seq, max(w, 1e-9)).schedule
+    boundaries = set(seed.hyper_steps)
+    best_cost, best_schedule = _evaluate_partition(
+        seq, tuple(sorted(boundaries)), w, initial_mask
+    )
+    evaluated = 1
+    for _ in range(max_passes):
+        improved = False
+        for i in range(1, n):
+            trial_sets = []
+            if i in boundaries:
+                trial_sets.append(boundaries - {i})
+                if i + 1 < n and i + 1 not in boundaries:
+                    trial_sets.append((boundaries - {i}) | {i + 1})
+                if i - 1 >= 1 and i - 1 not in boundaries:
+                    trial_sets.append((boundaries - {i}) | {i - 1})
+            else:
+                trial_sets.append(boundaries | {i})
+            for trial in trial_sets:
+                steps = tuple(sorted(trial | {0}))
+                cost, schedule = _evaluate_partition(
+                    seq, steps, w, initial_mask
+                )
+                evaluated += 1
+                if cost < best_cost - 1e-12:
+                    best_cost = cost
+                    best_schedule = schedule
+                    boundaries = set(steps)
+                    improved = True
+        if not improved:
+            break
+    return SolveResult(
+        schedule=best_schedule,
+        cost=best_cost,
+        optimal=False,
+        solver="changeover_heuristic",
+        stats={"evaluated": evaluated},
+    )

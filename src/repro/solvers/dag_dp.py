@@ -1,0 +1,154 @@
+"""Dynamic program for the single-task DAG cost model.
+
+In the DAG model (Section 2) the machine offers an explicit set ``H``
+of hypercontexts with per-reconfiguration costs ``cost(h)`` and a
+constant hyperreconfiguration cost ``w``; a computation pays
+
+    r·w + Σ_i cost(h_i)·|S_i|
+
+where block ``S_i`` is feasible under ``h_i`` iff every requirement
+token of the block lies in ``h_i(C)``.  Unlike the switch model the
+candidate hypercontexts are enumerated, not derived, so the DP carries
+a feasibility set per window:
+
+    D[j] = min_{i<j} D[i] + w + min{cost(h) : h satisfies tokens[i..j)}·(j-i)
+
+Window feasibility is intersected incrementally as bitmasks over the
+node list, giving O(n²·(|H|/wordsize + |H|)) time — comfortably
+polynomial in the instance size ``n + |H|`` noted by the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+
+from repro.core.hypercontext import DagHypercontextSystem
+
+__all__ = ["DagBlock", "DagSolveResult", "solve_dag", "dag_schedule_cost"]
+
+
+@dataclass(frozen=True)
+class DagBlock:
+    """One phase of a DAG-model schedule: window + installed node."""
+
+    start: int
+    stop: int
+    node: str
+
+
+@dataclass(frozen=True)
+class DagSolveResult:
+    """Schedule and cost returned by :func:`solve_dag`."""
+
+    blocks: tuple[DagBlock, ...]
+    cost: float
+    optimal: bool
+    solver: str
+    stats: dict
+
+
+def dag_schedule_cost(
+    system: DagHypercontextSystem,
+    tokens: Sequence[Hashable],
+    blocks: Sequence[DagBlock],
+) -> float:
+    """Evaluate (and validate) an explicit DAG-model schedule."""
+    expected = 0
+    total = 0.0
+    for block in blocks:
+        if block.start != expected:
+            raise ValueError("blocks must tile the sequence without gaps")
+        if block.stop <= block.start or block.stop > len(tokens):
+            raise ValueError("invalid block window")
+        node = system.node(block.node)
+        for t in tokens[block.start : block.stop]:
+            if not node.satisfies(t):
+                raise ValueError(
+                    f"hypercontext {block.node!r} does not satisfy token {t!r}"
+                )
+        total += system.init_cost + node.cost * (block.stop - block.start)
+        expected = block.stop
+    if expected != len(tokens):
+        raise ValueError("blocks do not cover the whole sequence")
+    return total
+
+
+def solve_dag(
+    system: DagHypercontextSystem,
+    tokens: Sequence[Hashable],
+) -> DagSolveResult:
+    """Optimal DAG-model schedule for a token sequence.
+
+    Raises ``ValueError`` when some token is satisfied by no
+    hypercontext (cannot happen for well-formed systems, which include
+    a top hypercontext with ``h(C) = C`` — unknown tokens are the only
+    way to trigger it).
+    """
+    n = len(tokens)
+    names = list(system.node_names)
+    index = {name: k for k, name in enumerate(names)}
+    full = (1 << len(names)) - 1
+
+    sat_cache: dict[Hashable, int] = {}
+    for t in tokens:
+        if t in sat_cache:
+            continue
+        mask = 0
+        for name in system.satisfying(t):
+            mask |= 1 << index[name]
+        if mask == 0:
+            raise ValueError(f"no hypercontext satisfies token {t!r}")
+        sat_cache[t] = mask
+
+    # Nodes in increasing cost order for cheapest-feasible lookups.
+    by_cost = sorted(names, key=lambda nm: (system.node(nm).cost, nm))
+    by_cost_bits = [1 << index[nm] for nm in by_cost]
+
+    if n == 0:
+        return DagSolveResult((), 0.0, True, "dag_dp", {"states": 0})
+
+    INF = float("inf")
+    best = [INF] * (n + 1)
+    best[0] = 0.0
+    parent: list[tuple[int, str]] = [(-1, "")] * (n + 1)
+    states = 0
+    for j in range(1, n + 1):
+        feasible = full
+        for i in range(j - 1, -1, -1):
+            feasible &= sat_cache[tokens[i]]
+            if feasible == 0:
+                break  # longer windows can only shrink the set further
+            states += 1
+            # cheapest node inside the feasible mask
+            for nm, bit in zip(by_cost, by_cost_bits):
+                if feasible & bit:
+                    cand = (
+                        best[i]
+                        + system.init_cost
+                        + system.node(nm).cost * (j - i)
+                    )
+                    if cand < best[j]:
+                        best[j] = cand
+                        parent[j] = (i, nm)
+                    break
+    if best[n] == INF:
+        raise ValueError("no feasible DAG-model schedule exists")
+
+    blocks: list[DagBlock] = []
+    j = n
+    while j > 0:
+        i, nm = parent[j]
+        blocks.append(DagBlock(start=i, stop=j, node=nm))
+        j = i
+    blocks.reverse()
+    cost = dag_schedule_cost(system, tokens, blocks)
+    if abs(cost - best[n]) > 1e-9:  # pragma: no cover - internal invariant
+        raise AssertionError("DAG DP cost mismatch")
+    return DagSolveResult(
+        blocks=tuple(blocks),
+        cost=cost,
+        optimal=True,
+        solver="dag_dp",
+        stats={"states": states},
+    )

@@ -1,0 +1,124 @@
+"""Brute-force enumeration solvers.
+
+These exist to *validate* the clever solvers: they enumerate every
+schedule of small instances and take the argmin, which makes them the
+ground truth in unit and property-based tests.
+
+Sizes are guarded: single-task enumeration visits ``2^(n-1)``
+partitions, multi-task enumeration ``2^(m·(n-1))`` indicator matrices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from itertools import product
+
+from repro.core.context import RequirementSequence
+from repro.core.cost_single import switch_cost
+from repro.core.machine import MachineModel
+from repro.core.schedule import MultiTaskSchedule, SingleTaskSchedule
+from repro.core.sync_cost import sync_switch_cost
+from repro.core.task import TaskSystem
+from repro.solvers.base import MTSolveResult, SolveResult
+
+__all__ = [
+    "enumerate_single_schedules",
+    "enumerate_mt_schedules",
+    "solve_single_exhaustive",
+    "solve_mt_exhaustive",
+]
+
+_MAX_SINGLE_N = 18
+_MAX_MT_BITS = 22
+
+
+def enumerate_single_schedules(n: int) -> Iterator[SingleTaskSchedule]:
+    """Yield every partition of ``n`` steps into consecutive blocks."""
+    if n == 0:
+        yield SingleTaskSchedule(n=0, hyper_steps=())
+        return
+    for bits in product((False, True), repeat=n - 1):
+        steps = (0,) + tuple(i + 1 for i, b in enumerate(bits) if b)
+        yield SingleTaskSchedule(n=n, hyper_steps=steps)
+
+
+def solve_single_exhaustive(seq: RequirementSequence, w: float) -> SolveResult:
+    """Ground-truth single-task optimum by full enumeration."""
+    n = len(seq)
+    if n > _MAX_SINGLE_N:
+        raise ValueError(
+            f"exhaustive single-task search limited to n ≤ {_MAX_SINGLE_N}"
+        )
+    best_cost = float("inf")
+    best_schedule = None
+    count = 0
+    for schedule in enumerate_single_schedules(n):
+        count += 1
+        cost = switch_cost(seq, schedule, w) if n else 0.0
+        if cost < best_cost:
+            best_cost = cost
+            best_schedule = schedule
+    return SolveResult(
+        schedule=best_schedule,
+        cost=best_cost if n else 0.0,
+        optimal=True,
+        solver="single_exhaustive",
+        stats={"evaluated": count},
+    )
+
+
+def enumerate_mt_schedules(m: int, n: int) -> Iterator[MultiTaskSchedule]:
+    """Yield every m × n indicator matrix with an all-ones first column."""
+    if n == 0:
+        yield MultiTaskSchedule([[ ] for _ in range(m)])
+        return
+    free_bits = m * (n - 1)
+    for assignment in product((False, True), repeat=free_bits):
+        rows = []
+        k = 0
+        for _ in range(m):
+            row = [True] + list(assignment[k : k + n - 1])
+            k += n - 1
+            rows.append(row)
+        yield MultiTaskSchedule(rows)
+
+
+def solve_mt_exhaustive(
+    system: TaskSystem,
+    seqs: Sequence[RequirementSequence],
+    model: MachineModel | None = None,
+    *,
+    w: float = 0.0,
+) -> MTSolveResult:
+    """Ground-truth fully synchronized MT-Switch optimum.
+
+    Enumerates all ``2^(m(n-1))`` indicator matrices; refuses instances
+    beyond ~4M schedules.
+    """
+    m = system.m
+    n = len(seqs[0]) if seqs else 0
+    if m * max(0, n - 1) > _MAX_MT_BITS:
+        raise ValueError(
+            f"exhaustive multi-task search limited to m(n-1) ≤ {_MAX_MT_BITS}"
+        )
+    best_cost = float("inf")
+    best_schedule = None
+    count = 0
+    for schedule in enumerate_mt_schedules(m, n):
+        try:
+            cost = sync_switch_cost(system, seqs, schedule, model, w=w)
+        except Exception:
+            continue  # machine-class constraint violations etc.
+        count += 1
+        if cost < best_cost:
+            best_cost = cost
+            best_schedule = schedule
+    if best_schedule is None:
+        raise ValueError("no feasible schedule found")
+    return MTSolveResult(
+        schedule=best_schedule,
+        cost=best_cost,
+        optimal=True,
+        solver="mt_exhaustive",
+        stats={"evaluated": count},
+    )

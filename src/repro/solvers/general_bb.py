@@ -1,0 +1,154 @@
+"""Solvers for the NP-hard general cost model (single task).
+
+In the general model ``init`` and ``cost`` are arbitrary functions of
+the hypercontext.  When hypercontexts are subsets of a switch universe
+given *implicitly* (all ``2^|X|`` subsets, costs via oracle functions)
+the optimal-(hyper)reconfiguration problem is NP-complete even for one
+task ([9]), because the optimal hypercontext of a block need not be the
+union of its requirements — a non-monotone ``cost`` can make padded or
+carefully chosen supersets cheaper.
+
+Two solvers:
+
+* :func:`solve_general_bb` — exact: a partition DP whose inner step
+  enumerates **every** superset of the window union (exponential in the
+  number of free switches, faithful to the hardness);
+* :func:`solve_general_greedy` — polynomial heuristic restricting each
+  window to two candidates (the union and the full universe).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.context import RequirementSequence
+from repro.core.cost_single import general_cost
+from repro.core.schedule import SingleTaskSchedule
+from repro.solvers.base import SolveResult
+
+__all__ = ["solve_general_bb", "solve_general_greedy"]
+
+CostFn = Callable[[int], float]
+
+
+def _supersets(union: int, full: int):
+    """Yield every mask ``h`` with ``union ⊆ h ⊆ full``."""
+    free = full & ~union
+    sub = free
+    while True:
+        yield union | sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & free
+
+
+def _partition_dp(
+    seq: RequirementSequence,
+    init: CostFn,
+    cost: CostFn,
+    candidates: Callable[[int, int], "list[int]"],
+    solver: str,
+    optimal: bool,
+) -> SolveResult:
+    """Shared partition DP; ``candidates(union, length)`` supplies the
+    hypercontext masks considered for a window."""
+    masks = seq.masks
+    n = len(masks)
+    if n == 0:
+        return SolveResult(
+            SingleTaskSchedule(n=0, hyper_steps=()), 0.0, optimal, solver, {}
+        )
+    INF = float("inf")
+    best = [INF] * (n + 1)
+    best[0] = 0.0
+    parent: list[tuple[int, int]] = [(-1, 0)] * (n + 1)
+    evaluated = 0
+    for j in range(1, n + 1):
+        union = 0
+        for i in range(j - 1, -1, -1):
+            union |= masks[i]
+            length = j - i
+            for h in candidates(union, length):
+                evaluated += 1
+                cand = best[i] + init(h) + cost(h) * length
+                if cand < best[j]:
+                    best[j] = cand
+                    parent[j] = (i, h)
+    cuts: list[int] = []
+    hmasks: list[int] = []
+    j = n
+    while j > 0:
+        i, h = parent[j]
+        cuts.append(i)
+        hmasks.append(h)
+        j = i
+    cuts.reverse()
+    hmasks.reverse()
+    schedule = SingleTaskSchedule(
+        n=n, hyper_steps=tuple(cuts), explicit_masks=tuple(hmasks)
+    )
+    blocks = [
+        (h, stop - start)
+        for h, (start, stop) in zip(hmasks, schedule.blocks())
+    ]
+    check = general_cost(blocks, init, cost)
+    if abs(check - best[n]) > 1e-9:  # pragma: no cover - internal invariant
+        raise AssertionError("general-model DP cost mismatch")
+    return SolveResult(
+        schedule=schedule,
+        cost=check,
+        optimal=optimal,
+        solver=solver,
+        stats={"evaluated": evaluated},
+    )
+
+
+def solve_general_bb(
+    seq: RequirementSequence,
+    init: CostFn,
+    cost: CostFn,
+    *,
+    max_free_bits: int = 20,
+) -> SolveResult:
+    """Exact general-model optimum (exponential inner enumeration).
+
+    For each window the inner minimization scans all supersets of the
+    window union inside the universe; refuses universes where more than
+    ``max_free_bits`` switches can be free at once.
+    """
+    full = seq.universe.full_mask
+    min_union = 0
+    for m in seq.masks:
+        min_union |= m
+    free_bits = (full & ~min_union).bit_count() + 0
+    # The worst window is the one with the smallest union (a single step).
+    worst_free = max(
+        ((full & ~m).bit_count() for m in seq.masks), default=0
+    )
+    if worst_free > max_free_bits:
+        raise ValueError(
+            f"{worst_free} free switches exceed max_free_bits="
+            f"{max_free_bits}; the exact general-model search is "
+            "exponential (the problem is NP-hard)"
+        )
+
+    def candidates(union: int, _length: int) -> list[int]:
+        return list(_supersets(union, full))
+
+    return _partition_dp(seq, init, cost, candidates, "general_bb", True)
+
+
+def solve_general_greedy(
+    seq: RequirementSequence,
+    init: CostFn,
+    cost: CostFn,
+) -> SolveResult:
+    """Polynomial heuristic: per window consider only the union and the
+    full universe (the latter catches cost functions that reward big
+    hypercontexts)."""
+    full = seq.universe.full_mask
+
+    def candidates(union: int, _length: int) -> list[int]:
+        return [union] if union == full else [union, full]
+
+    return _partition_dp(seq, init, cost, candidates, "general_greedy", False)

@@ -1,0 +1,58 @@
+"""Admissible lower bounds for (hyper)reconfiguration costs.
+
+Used by tests (every solver's cost must dominate the bound) and as
+sanity rails in the experiment report.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.context import RequirementSequence
+from repro.core.machine import MachineModel, UploadMode
+from repro.core.task import TaskSystem
+from repro.util.bitset import bit_count
+
+__all__ = ["switch_lower_bound", "sync_mt_lower_bound"]
+
+
+def switch_lower_bound(seq: RequirementSequence, w: float) -> float:
+    """Lower bound for the single-task switch model.
+
+    Any schedule performs ≥ 1 hyperreconfiguration (cost ``w``) and at
+    every step the active hypercontext contains at least the step's
+    requirement, so each step pays at least ``|c_i|``:
+
+        LB = w + Σ_i |c_i|.
+    """
+    if len(seq) == 0:
+        return 0.0
+    return float(w + seq.total_demand())
+
+
+def sync_mt_lower_bound(
+    system: TaskSystem,
+    seqs: Sequence[RequirementSequence],
+    model: MachineModel | None = None,
+) -> float:
+    """Lower bound for the fully synchronized MT-Switch cost.
+
+    Step 0 forces every task to hyperreconfigure (term ``max_j v_j`` or
+    ``Σ_j v_j`` depending on upload mode) and every step's
+    reconfiguration term is at least the same aggregation of the
+    per-task step requirements.
+    """
+    if model is None:
+        model = MachineModel.paper_experimental()
+    n = len(seqs[0]) if seqs else 0
+    if n == 0:
+        return 0.0
+    hyper_parallel = model.hyper_upload is UploadMode.TASK_PARALLEL
+    reconf_parallel = model.reconfig_upload is UploadMode.TASK_PARALLEL
+    v = system.v
+    hyper0 = max(v) if hyper_parallel else sum(v)
+    total = float(hyper0)
+    for i in range(n):
+        sizes = [bit_count(seq.masks[i]) for seq in seqs]
+        total += max(sizes) if reconf_parallel else sum(sizes)
+    return total

@@ -1,0 +1,242 @@
+"""Exact DP for the fully synchronized MT-Switch problem.
+
+Reference implementation of the polynomial-time result of **Theorem 1**
+(only local resources; task-sequential uploads are supported too since
+they only change per-step aggregation from max to sum).
+
+Formulation.  When task ``j`` hyperreconfigures before round ``i`` it
+*commits* a hypercontext that must cover every requirement up to its
+next hyperreconfiguration; under monotone switch costs an optimal
+commitment is the union of a window ``c_{j,i} ∪ … ∪ c_{j,t-1}`` with
+the next hyperreconfiguration exactly at ``t`` (a larger-than-needed
+window is never cheaper, a hypercontext bigger than the window union
+never necessary).  The DP therefore tracks, per task, the pair
+``(committed hypercontext, next hyper time)``::
+
+    state  = ((h_1, t_1), …, (h_m, t_m))
+    step i = tasks with t_j == i choose new windows (i, t'];
+             step cost = agg_{j due} v_j + agg_j |h_j|
+
+with ``agg`` = max (task-parallel) or Σ (task-sequential).  Per task
+there are O(n²) windows, so states are polynomial for fixed ``m`` —
+the same ``l^{2m}``-type blowup as the paper's O(m n⁴ l^{2m}) bound
+(the full algorithm was deferred to the unpublished long version).
+
+Pareto dominance pruning (within groups of equal next-hyper-time
+vectors) keeps only states not dominated by a cheaper state with
+component-wise ⊆ hypercontexts; both future step costs and feasibility
+are monotone in the hypercontext vector, so pruning preserves the
+optimum.  Intended for cross-validating the heuristics on small
+instances — use the GA at paper scale (m = 4, n = 110), as the paper
+itself does.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from itertools import product
+
+from repro.core.context import RequirementSequence
+from repro.core.machine import MachineModel, UploadMode
+from repro.core.schedule import MultiTaskSchedule
+from repro.core.sync_cost import sync_switch_cost
+from repro.core.task import TaskSystem
+from repro.solvers.base import MTSolveResult
+
+__all__ = ["solve_mt_exact"]
+
+
+def solve_mt_exact(
+    system: TaskSystem,
+    seqs: Sequence[RequirementSequence],
+    model: MachineModel | None = None,
+    *,
+    max_states: int = 2_000_000,
+    pareto: bool = True,
+) -> MTSolveResult:
+    """Solve the fully synchronized MT-Switch problem exactly.
+
+    Parameters
+    ----------
+    max_states:
+        Safety valve on the total number of expanded DP states; the
+        solver raises rather than silently degrade, keeping the
+        ``optimal=True`` contract honest.
+    pareto:
+        Enable dominance pruning (never changes the optimum).
+
+    Raises
+    ------
+    ValueError
+        If the state budget is exceeded (use the GA for such sizes, as
+        the paper does for m = 4).
+    """
+    if model is None:
+        model = MachineModel.paper_experimental()
+    m = system.m
+    if len(seqs) != m:
+        raise ValueError("need one sequence per task")
+    n = len(seqs[0])
+    for s in seqs:
+        if len(s) != n:
+            raise ValueError("sequences must have equal length")
+    if n == 0:
+        schedule = MultiTaskSchedule([[] for _ in range(m)])
+        return MTSolveResult(schedule, 0.0, True, "mt_exact", {"states": 0})
+
+    hyper_parallel = model.hyper_upload is UploadMode.TASK_PARALLEL
+    reconf_parallel = model.reconfig_upload is UploadMode.TASK_PARALLEL
+    all_or_none = not model.machine_class.allows_partial_hyper
+
+    v = system.v
+    masks = [seq.masks for seq in seqs]
+    # window_union[j][s][t] = union of task j's requirements in [s, t).
+    window_union: list[list[list[int]]] = []
+    for j in range(m):
+        rows = []
+        for s in range(n):
+            acc = 0
+            row = [0] * (n + 1)
+            for t in range(s + 1, n + 1):
+                acc |= masks[j][t - 1]
+                row[t] = acc
+            rows.append(row)
+        window_union.append(rows)
+
+    def agg_hyper(due: tuple[int, ...]) -> float:
+        if not due:
+            return 0.0
+        vals = [v[j] for j in due]
+        return max(vals) if hyper_parallel else sum(vals)
+
+    def agg_reconf(hs: tuple[tuple[int, int], ...]) -> float:
+        sizes = [h.bit_count() for h, _t in hs]
+        return float(max(sizes)) if reconf_parallel else float(sum(sizes))
+
+    # State: tuple of (h_mask, t_next) per task.  parents[i] maps the
+    # post-step-i state to (cost, parent_state, ends) where `ends` lists
+    # the window ends chosen by the tasks due at step i.
+    def expand(
+        state: tuple[tuple[int, int], ...] | None,
+        i: int,
+        base_cost: float,
+        nxt: dict,
+    ) -> None:
+        due = (
+            tuple(range(m))
+            if state is None
+            else tuple(j for j in range(m) if state[j][1] == i)
+        )
+        if all_or_none and state is not None and due and len(due) != m:
+            # A partially reconfigurable machine hyperreconfigures all
+            # tasks together, so window ends must be aligned; aligned
+            # starts guarantee aligned dues, enforced by construction
+            # (window choices below are shared across tasks).
+            raise AssertionError("unaligned dues under all-or-none")
+        hyper = agg_hyper(due)
+        if not due:
+            key = state
+            cost = base_cost + agg_reconf(key)
+            prev = nxt.get(key)
+            if prev is None or base_cost + agg_reconf(key) < prev[0]:
+                nxt[key] = (cost, state, ())
+            return
+        if all_or_none:
+            end_choices: list[tuple[int, ...]] = [
+                (t,) * len(due) for t in range(i + 1, n + 1)
+            ]
+        else:
+            end_choices = list(
+                product(range(i + 1, n + 1), repeat=len(due))
+            )
+        for ends in end_choices:
+            new_state = list(state) if state is not None else [None] * m
+            for j, t in zip(due, ends):
+                new_state[j] = (window_union[j][i][t], t)
+            key = tuple(new_state)
+            cost = base_cost + hyper + agg_reconf(key)
+            prev = nxt.get(key)
+            if prev is None or cost < prev[0]:
+                nxt[key] = (cost, state, tuple(zip(due, ends)))
+
+    frontier: dict = {}
+    expand(None, 0, 0.0, frontier)
+    if pareto:
+        frontier = _pareto_prune(frontier, m)
+    parents: list[dict] = [dict(frontier)]
+    states_expanded = len(frontier)
+
+    for i in range(1, n):
+        nxt: dict = {}
+        for state, (cost, _p, _e) in frontier.items():
+            expand(state, i, cost, nxt)
+        states_expanded += len(nxt)
+        if states_expanded > max_states:
+            raise ValueError(
+                f"mt_exact exceeded max_states={max_states} at round {i}; "
+                "use solve_mt_genetic for instances of this size"
+            )
+        if pareto:
+            nxt = _pareto_prune(nxt, m)
+        parents.append(nxt)
+        frontier = nxt
+
+    # Only states whose every window ends exactly at n are complete.
+    final = {
+        s: val for s, val in frontier.items() if all(t == n for _h, t in s)
+    }
+    if not final:  # pragma: no cover - windows always reach n by choice set
+        raise AssertionError("no complete DP state")
+    best_state = min(final, key=lambda s: final[s][0])
+    best_cost = final[best_state][0]
+
+    rows = [[False] * n for _ in range(m)]
+    state = best_state
+    for i in range(n - 1, -1, -1):
+        cost, parent, decisions = parents[i][state]
+        for j, _t in decisions:
+            rows[j][i] = True
+        state = parent
+    schedule = MultiTaskSchedule(rows)
+    check = sync_switch_cost(system, seqs, schedule, model)
+    if abs(check - best_cost) > 1e-9:  # pragma: no cover - internal invariant
+        raise AssertionError(
+            f"DP cost {best_cost} disagrees with evaluated cost {check}"
+        )
+    return MTSolveResult(
+        schedule=schedule,
+        cost=check,
+        optimal=True,
+        solver="mt_exact",
+        stats={"states": states_expanded, "final_frontier": len(final)},
+    )
+
+
+def _pareto_prune(states: dict, m: int) -> dict:
+    """Drop states dominated by a cheaper one with ⊆ hypercontexts.
+
+    Only states with identical next-hyper-time vectors are comparable
+    (different timings imply different future decision structure).
+    """
+    groups: dict[tuple[int, ...], list] = {}
+    for key, value in states.items():
+        tvec = tuple(t for _h, t in key)
+        groups.setdefault(tvec, []).append((key, value))
+    kept: dict = {}
+    for items in groups.values():
+        items.sort(key=lambda kv: kv[1][0])
+        chosen: list = []
+        for key, value in items:
+            dominated = False
+            for kkey, _v in chosen:
+                for j in range(m):
+                    if kkey[j][0] & ~key[j][0]:
+                        break
+                else:
+                    dominated = True
+                if dominated:
+                    break
+            if not dominated:
+                chosen.append((key, value))
+        kept.update(dict(chosen))
+    return kept

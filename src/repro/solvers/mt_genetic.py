@@ -1,0 +1,278 @@
+"""Genetic algorithm for the fully synchronized MT-Switch problem.
+
+Section 6 computes the multi-task (m = 4) schedule for the SHyRA
+counter "using a genetic algorithm"; its hyper-parameters are not
+published, so this is a standard generational GA:
+
+* chromosome — the ``m × n`` indicator matrix (column 0 pinned to 1);
+* fitness — the synchronized cost (:mod:`repro.core.sync_cost`),
+  re-implemented here as a NumPy kernel vectorized across the whole
+  population (uint64 switch lanes + SWAR popcount), which is the hot
+  path of the reproduction;
+* tournament selection, uniform crossover, per-bit flip mutation plus a
+  column-alignment mutation (hyperreconfigurations of different tasks
+  like to share a step since a parallel upload charges only the max),
+* elitism, deterministic seeding, and greedy/DP warm starts.
+
+The GA is validated against :mod:`repro.solvers.mt_exact` and
+:mod:`repro.solvers.exhaustive` on small instances in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.context import RequirementSequence
+from repro.core.machine import MachineModel, UploadMode
+from repro.core.schedule import MultiTaskSchedule
+from repro.core.sync_cost import sync_switch_cost
+from repro.core.task import TaskSystem
+from repro.solvers.base import MTSolveResult
+from repro.solvers.mt_greedy import solve_mt_from_single, solve_mt_independent
+from repro.util.bitset import popcount_u64
+from repro.util.rng import SeedLike, make_rng
+
+__all__ = ["GAParams", "solve_mt_genetic", "population_fitness"]
+
+
+@dataclass(frozen=True)
+class GAParams:
+    """Hyper-parameters of the GA.
+
+    The defaults solve the paper's counter instance (m=4, n=110) in a
+    few seconds while staying within ~1% of the best known schedules.
+    """
+
+    population_size: int = 64
+    generations: int = 400
+    tournament_size: int = 3
+    crossover_rate: float = 0.9
+    mutation_rate: float | None = None  # default: 1.5 / (m·n)
+    align_mutation_rate: float = 0.1
+    elitism: int = 2
+    stall_generations: int = 120
+    seed_with_heuristics: bool = True
+
+    def __post_init__(self):
+        if self.population_size < 4:
+            raise ValueError("population_size must be at least 4")
+        if not 0 <= self.crossover_rate <= 1:
+            raise ValueError("crossover_rate must be in [0, 1]")
+        if self.elitism < 0 or self.elitism >= self.population_size:
+            raise ValueError("elitism must be in [0, population_size)")
+        if self.tournament_size < 1:
+            raise ValueError("tournament_size must be positive")
+
+
+def _mask_lanes(seqs: Sequence[RequirementSequence]) -> np.ndarray:
+    """Pack per-task step masks into uint64 lanes: shape (L, m, n)."""
+    m = len(seqs)
+    n = len(seqs[0])
+    width = seqs[0].universe.size
+    lanes = max(1, (width + 63) // 64)
+    out = np.zeros((lanes, m, n), dtype=np.uint64)
+    for j, seq in enumerate(seqs):
+        for i, mask in enumerate(seq.masks):
+            for lane in range(lanes):
+                out[lane, j, i] = np.uint64((mask >> (64 * lane)) & 0xFFFFFFFFFFFFFFFF)
+    return out
+
+
+def population_fitness(
+    pop: np.ndarray,
+    lanes: np.ndarray,
+    v: np.ndarray,
+    *,
+    hyper_parallel: bool = True,
+    reconf_parallel: bool = True,
+) -> np.ndarray:
+    """Synchronized cost of every chromosome in ``pop``.
+
+    Parameters
+    ----------
+    pop:
+        Boolean array of shape ``(P, m, n)``; column 0 must be True.
+    lanes:
+        Packed step masks from :func:`_mask_lanes`, shape ``(L, m, n)``.
+    v:
+        Per-task hyperreconfiguration costs, shape ``(m,)``.
+
+    Returns the cost vector of shape ``(P,)``.  This kernel mirrors
+    :func:`repro.core.sync_cost.sync_switch_cost` exactly and is tested
+    against it element-by-element.
+    """
+    P, m, n = pop.shape
+    L = lanes.shape[0]
+    # Backward sweep: suffix unions up to each block end.
+    per_step = np.zeros((L, P, m, n), dtype=np.uint64)
+    acc = np.zeros((L, P, m), dtype=np.uint64)
+    for i in range(n - 1, -1, -1):
+        acc = acc | lanes[:, None, :, i]
+        per_step[..., i] = acc
+        reset = pop[None, :, :, i]
+        acc = np.where(reset, np.uint64(0), acc)
+    # Forward sweep: hold the block union from each block start.
+    cur = np.zeros((L, P, m), dtype=np.uint64)
+    sizes = np.zeros((P, m, n), dtype=np.int64)
+    for i in range(n):
+        hyper = pop[None, :, :, i]
+        cur = np.where(hyper, per_step[..., i], cur)
+        sizes[..., i] = popcount_u64(cur).sum(axis=0).astype(np.int64)
+    # Reconfiguration term per step.
+    if reconf_parallel:
+        reconf = sizes.max(axis=1)  # (P, n)
+    else:
+        reconf = sizes.sum(axis=1)
+    # Hyperreconfiguration term per step.
+    hyper_costs = np.where(pop, v[None, :, None], 0.0)  # (P, m, n)
+    if hyper_parallel:
+        hyper = hyper_costs.max(axis=1)
+    else:
+        hyper = hyper_costs.sum(axis=1)
+    return reconf.sum(axis=1).astype(np.float64) + hyper.sum(axis=1)
+
+
+def _schedule_to_row(schedule: MultiTaskSchedule) -> np.ndarray:
+    return np.array(schedule.indicators, dtype=bool)
+
+
+def solve_mt_genetic(
+    system: TaskSystem,
+    seqs: Sequence[RequirementSequence],
+    model: MachineModel | None = None,
+    params: GAParams | None = None,
+    seed: SeedLike = 0,
+) -> MTSolveResult:
+    """Run the GA on a fully synchronized MT-Switch instance.
+
+    Deterministic for a fixed ``seed``.  The returned cost is
+    re-evaluated with the reference cost function, so the vectorized
+    kernel can never report a schedule it cannot justify.
+    """
+    if model is None:
+        model = MachineModel.paper_experimental()
+    if not model.machine_class.allows_partial_hyper:
+        raise ValueError(
+            "the GA optimizes per-task indicator rows; partially "
+            "reconfigurable machines need aligned rows — use "
+            "solve_single_switch on the merged instance instead"
+        )
+    params = params or GAParams()
+    rng = make_rng(seed)
+    m = system.m
+    n = len(seqs[0])
+    if any(len(s) != n for s in seqs):
+        raise ValueError("sequences must have equal length")
+    if n == 0:
+        schedule = MultiTaskSchedule([[] for _ in range(m)])
+        return MTSolveResult(schedule, 0.0, True, "mt_genetic", {})
+
+    lanes = _mask_lanes(seqs)
+    v = np.asarray(system.v, dtype=np.float64)
+    hyper_parallel = model.hyper_upload is UploadMode.TASK_PARALLEL
+    reconf_parallel = model.reconfig_upload is UploadMode.TASK_PARALLEL
+    mutation_rate = (
+        params.mutation_rate
+        if params.mutation_rate is not None
+        else 1.5 / (m * n)
+    )
+
+    P = params.population_size
+    pop = rng.random((P, m, n)) < 0.2
+    pop[:, :, 0] = True
+    if params.seed_with_heuristics:
+        warm: list[np.ndarray] = []
+        warm.append(_schedule_to_row(MultiTaskSchedule.initial_only(m, n)))
+        warm.append(np.ones((m, n), dtype=bool))
+        try:
+            warm.append(
+                _schedule_to_row(solve_mt_from_single(system, seqs, model).schedule)
+            )
+            warm.append(
+                _schedule_to_row(solve_mt_independent(system, seqs, model).schedule)
+            )
+        except ValueError:  # pragma: no cover - degenerate instances
+            pass
+        for k, chrom in enumerate(warm[: P // 2]):
+            pop[k] = chrom
+
+    def fitness(p: np.ndarray) -> np.ndarray:
+        return population_fitness(
+            p,
+            lanes,
+            v,
+            hyper_parallel=hyper_parallel,
+            reconf_parallel=reconf_parallel,
+        )
+
+    fit = fitness(pop)
+    best_idx = int(np.argmin(fit))
+    best_chrom = pop[best_idx].copy()
+    best_fit = float(fit[best_idx])
+    history = [best_fit]
+    stall = 0
+    generations_run = 0
+
+    for _gen in range(params.generations):
+        generations_run += 1
+        # Tournament selection of P parents.
+        entrants = rng.integers(0, P, size=(P, params.tournament_size))
+        winners = entrants[np.arange(P), np.argmin(fit[entrants], axis=1)]
+        parents = pop[winners]
+        # Uniform crossover on consecutive pairs.
+        children = parents.copy()
+        do_cross = rng.random(P // 2) < params.crossover_rate
+        cross_mask = rng.random((P // 2, m, n)) < 0.5
+        for k in np.flatnonzero(do_cross):
+            a, b = parents[2 * k], parents[2 * k + 1]
+            mask = cross_mask[k]
+            children[2 * k] = np.where(mask, a, b)
+            children[2 * k + 1] = np.where(mask, b, a)
+        # Bit-flip mutation.
+        flips = rng.random((P, m, n)) < mutation_rate
+        children ^= flips
+        # Column-alignment mutation: copy one task's indicator at a
+        # random step to every task (parallel uploads reward alignment).
+        align = rng.random(P) < params.align_mutation_rate
+        for k in np.flatnonzero(align):
+            i = int(rng.integers(1, n)) if n > 1 else 0
+            j = int(rng.integers(0, m))
+            children[k, :, i] = children[k, j, i]
+        children[:, :, 0] = True
+        # Elitism: keep the best chromosomes from the previous generation.
+        if params.elitism:
+            elite_idx = np.argsort(fit)[: params.elitism]
+            children[: params.elitism] = pop[elite_idx]
+        pop = children
+        fit = fitness(pop)
+        gen_best = int(np.argmin(fit))
+        if fit[gen_best] < best_fit - 1e-12:
+            best_fit = float(fit[gen_best])
+            best_chrom = pop[gen_best].copy()
+            stall = 0
+        else:
+            stall += 1
+        history.append(best_fit)
+        if stall >= params.stall_generations:
+            break
+
+    schedule = MultiTaskSchedule(best_chrom.tolist())
+    cost = sync_switch_cost(system, seqs, schedule, model)
+    if abs(cost - best_fit) > 1e-6:  # pragma: no cover - internal invariant
+        raise AssertionError(
+            f"GA fitness {best_fit} disagrees with reference cost {cost}"
+        )
+    return MTSolveResult(
+        schedule=schedule,
+        cost=cost,
+        optimal=False,
+        solver="mt_genetic",
+        stats={
+            "generations": generations_run,
+            "best_history_first": history[0],
+            "best_history_last": history[-1],
+        },
+    )

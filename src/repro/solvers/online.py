@@ -1,0 +1,169 @@
+"""Online (run-time) hyperreconfiguration scheduling.
+
+The offline solvers see the whole requirement sequence; a machine
+deciding *at run time* when to hyperreconfigure sees only the past.
+The paper's outlook — architectures that "adapt their reconfiguration
+abilities during run time" — raises exactly this question, so the
+library ships two classic online policies plus a competitive-ratio
+harness against the offline optimum (experiment E11):
+
+* :class:`RentOrBuyScheduler` — ski-rental reasoning per switch set:
+  keep the current hypercontext while the *regret* (cost paid above
+  what a fresh minimal hypercontext would have paid for the same
+  steps) is below ``alpha · w``, then hyperreconfigure to the recent
+  working set.  With ``alpha = 1`` this is the classic rent-or-buy
+  rule that is 2-competitive for the one-switch case.
+* :class:`WindowScheduler` — hyperreconfigure every ``k`` steps to the
+  union of the last window (a straw-man baseline).
+
+Both consume requirements step by step through the common
+:class:`OnlineScheduler` protocol and emit a valid
+:class:`~repro.core.schedule.SingleTaskSchedule` with explicit
+hypercontext masks (the online hypercontext is generally *not* the
+minimal block union — the scheduler did not know the future).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.context import RequirementSequence
+from repro.core.cost_single import switch_cost
+from repro.core.schedule import SingleTaskSchedule
+from repro.solvers.single_dp import solve_single_switch
+
+__all__ = [
+    "OnlineRun",
+    "RentOrBuyScheduler",
+    "WindowScheduler",
+    "run_online",
+    "competitive_report",
+]
+
+
+@dataclass(frozen=True)
+class OnlineRun:
+    """Outcome of feeding a sequence through an online scheduler."""
+
+    schedule: SingleTaskSchedule
+    cost: float
+    solver: str
+
+
+class RentOrBuyScheduler:
+    """Regret-bounded online policy (ski rental generalization).
+
+    State: the current hypercontext mask ``h`` and the accumulated
+    *regret* — the extra switch-writes paid because ``h`` is larger
+    than the union of the requirements actually served since the last
+    hyperreconfiguration.  When serving the next requirement would
+    either (a) not fit into ``h``, or (b) push the regret past
+    ``alpha · w``, the scheduler hyperreconfigures to the union of the
+    last ``memory`` requirements (its estimate of the new working set).
+    """
+
+    def __init__(self, w: float, *, alpha: float = 1.0, memory: int = 4):
+        if w <= 0:
+            raise ValueError("w must be positive")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if memory < 1:
+            raise ValueError("memory must be at least 1")
+        self.w = w
+        self.alpha = alpha
+        self.memory = memory
+        self.name = f"rent_or_buy(alpha={alpha}, memory={memory})"
+
+    def plan(self, seq: RequirementSequence) -> SingleTaskSchedule:
+        masks = seq.masks
+        n = len(masks)
+        if n == 0:
+            return SingleTaskSchedule(n=0, hyper_steps=())
+        hyper_steps: list[int] = []
+        hyper_masks: list[int] = []
+        current = 0
+        served_union = 0
+        regret = 0.0
+        recent: list[int] = []
+
+        def working_set(i: int) -> int:
+            mask = masks[i]
+            for m in recent[-(self.memory - 1):] if self.memory > 1 else []:
+                mask |= m
+            return mask
+
+        for i, req in enumerate(masks):
+            must = bool(req & ~current) or i == 0
+            if not must:
+                # Regret of serving this step under the old hypercontext.
+                step_regret = current.bit_count() - (served_union | req).bit_count()
+                if regret + step_regret > self.alpha * self.w:
+                    must = True
+            if must:
+                current = working_set(i)
+                hyper_steps.append(i)
+                hyper_masks.append(current)
+                served_union = req
+                regret = 0.0
+            else:
+                served_union |= req
+                regret += current.bit_count() - served_union.bit_count()
+            recent.append(req)
+        # Online hypercontexts may under-cover later steps of their
+        # block only if a requirement failed to fit — impossible by
+        # construction, but explicit masks must still cover the blocks;
+        # widen each to its block union for schedule validity.
+        schedule_steps = tuple(hyper_steps)
+        widened: list[int] = []
+        boundaries = list(schedule_steps) + [n]
+        for k, mask in enumerate(hyper_masks):
+            union = 0
+            for m in masks[boundaries[k] : boundaries[k + 1]]:
+                union |= m
+            widened.append(mask | union)
+        return SingleTaskSchedule(
+            n=n, hyper_steps=schedule_steps, explicit_masks=tuple(widened)
+        )
+
+
+class WindowScheduler:
+    """Hyperreconfigure every ``k`` steps to the coming block's needs as
+    estimated by the previous window (straw-man baseline)."""
+
+    def __init__(self, w: float, *, k: int = 8):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.w = w
+        self.k = k
+        self.name = f"window(k={k})"
+
+    def plan(self, seq: RequirementSequence) -> SingleTaskSchedule:
+        n = len(seq)
+        if n == 0:
+            return SingleTaskSchedule(n=0, hyper_steps=())
+        steps = tuple(range(0, n, self.k))
+        return SingleTaskSchedule(n=n, hyper_steps=steps)
+
+
+def run_online(scheduler, seq: RequirementSequence, w: float) -> OnlineRun:
+    """Execute an online policy and evaluate its schedule."""
+    schedule = scheduler.plan(seq)
+    return OnlineRun(
+        schedule=schedule,
+        cost=switch_cost(seq, schedule, w=w),
+        solver=getattr(scheduler, "name", type(scheduler).__name__),
+    )
+
+
+def competitive_report(
+    seq: RequirementSequence, w: float, schedulers
+) -> list[list]:
+    """Rows of (policy, cost, competitive ratio vs offline optimum)."""
+    optimum = solve_single_switch(seq, w=w)
+    rows = []
+    for scheduler in schedulers:
+        run = run_online(scheduler, seq, w)
+        ratio = run.cost / optimum.cost if optimum.cost else 1.0
+        rows.append([run.solver, run.cost, round(ratio, 3)])
+    rows.append(["offline optimum", optimum.cost, 1.0])
+    return rows

@@ -1,0 +1,212 @@
+"""Two-level scheduling with private global resources.
+
+With a private-global pool ``X^priv`` the run is segmented by global
+hyperreconfigurations (cost ``w`` each, barrier-synchronized); each
+segment's global hypercontext assigns disjoint private slices to the
+tasks, and within the segment the usual fully synchronized MT-Switch
+problem is solved over each task's combined (local ∪ assigned private)
+requirements.  Theorem 1 states polynomial solvability
+(``O(m n⁷ (lm+g)²)``); this module implements the natural two-level
+decomposition:
+
+* outer — a segmentation DP over global-hyperreconfiguration points
+  (O(n²) windows);
+* inner — per window: the **minimal assignment** gives each task
+  exactly the private switches it demands in the window (optimal under
+  monotone costs; infeasible iff two tasks demand the same private
+  switch in the window, which *forces* a global hyperreconfiguration
+  between the conflicting steps), then a configurable MT-Switch solver
+  (greedy by default, GA or exact on request).
+
+The inner solver being heuristic makes the overall result heuristic
+unless ``inner="exact"`` — the result's ``optimal`` flag reports this
+honestly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core.context import RequirementSequence
+from repro.core.globalres import GlobalHypercontext, GlobalPhase, GlobalSchedule
+from repro.core.machine import MachineModel
+from repro.core.schedule import MultiTaskSchedule
+from repro.core.switches import SwitchSet
+from repro.core.task import Task, TaskSystem
+from repro.solvers.base import MTSolveResult
+from repro.solvers.mt_exact import solve_mt_exact
+from repro.solvers.mt_genetic import GAParams, solve_mt_genetic
+from repro.solvers.mt_greedy import solve_mt_greedy_merge
+
+__all__ = ["PrivateGlobalResult", "solve_private_global"]
+
+
+@dataclass(frozen=True)
+class PrivateGlobalResult:
+    """Result of the two-level solver."""
+
+    schedule: GlobalSchedule
+    cost: float
+    optimal: bool
+    solver: str
+    stats: dict
+
+
+def _window_assignments(
+    system: TaskSystem,
+    seqs: Sequence[RequirementSequence],
+    start: int,
+    stop: int,
+) -> tuple[int, ...] | None:
+    """Minimal private assignments for a window, or None on conflict."""
+    pool = system.private_global_mask
+    assignments = []
+    seen = 0
+    for seq in seqs:
+        demand = seq.union_mask(start, stop) & pool
+        if demand & seen:
+            return None
+        seen |= demand
+        assignments.append(demand)
+    return tuple(assignments)
+
+
+def _segment_system(
+    system: TaskSystem, assignments: tuple[int, ...]
+) -> TaskSystem:
+    """Task system for one segment: static ``v_j = l_j + |h_j|``.
+
+    Mirrors the paper's example cost ``init(h_j, f^loc_j) = |h_j| +
+    |f^loc_j|``.  Explicit task ``init_cost`` values are respected.
+    """
+    tasks = []
+    for task, assign in zip(system.tasks, assignments):
+        v = task.init_cost
+        if v is None:
+            v = task.size + assign.bit_count()
+        tasks.append(Task(task.name, task.local, init_cost=float(v)))
+    return TaskSystem(
+        system.universe,
+        tasks,
+        private_global=SwitchSet(system.universe, system.private_global_mask)
+        if system.private_global_mask
+        else None,
+    )
+
+
+def solve_private_global(
+    system: TaskSystem,
+    seqs: Sequence[RequirementSequence],
+    *,
+    w: float,
+    model: MachineModel | None = None,
+    inner: str = "greedy",
+    ga_params: GAParams | None = None,
+    max_n: int = 150,
+) -> PrivateGlobalResult:
+    """Minimize total cost over segmentations and assignments.
+
+    Parameters
+    ----------
+    system:
+        Must declare a non-empty private-global pool.
+    seqs:
+        Per-task requirement sequences over local ∪ private bits.
+    w:
+        Global hyperreconfiguration cost (e.g. ``|X| + |X^priv|``).
+    inner:
+        ``"greedy"`` (default), ``"ga"`` or ``"exact"`` — the MT-Switch
+        solver run inside each candidate segment.
+    """
+    if system.private_global_mask == 0:
+        raise ValueError(
+            "solve_private_global needs a private-global pool; use the "
+            "plain MT-Switch solvers otherwise"
+        )
+    if w <= 0:
+        raise ValueError("global hyperreconfiguration cost w must be positive")
+    n = len(seqs[0])
+    if n > max_n:
+        raise ValueError(f"instance too large for the segmentation DP (n > {max_n})")
+    if any(len(s) != n for s in seqs):
+        raise ValueError("sequences must have equal length")
+    if model is None:
+        model = MachineModel.paper_experimental()
+
+    def run_inner(
+        seg_system: TaskSystem, seg_seqs: list[RequirementSequence]
+    ) -> MTSolveResult:
+        if inner == "greedy":
+            return solve_mt_greedy_merge(seg_system, seg_seqs, model)
+        if inner == "ga":
+            return solve_mt_genetic(
+                seg_system, seg_seqs, model, ga_params, seed=0
+            )
+        if inner == "exact":
+            return solve_mt_exact(seg_system, seg_seqs, model)
+        raise ValueError(f"unknown inner solver {inner!r}")
+
+    INF = float("inf")
+    best = [INF] * (n + 1)
+    best[0] = 0.0
+    parent: list[tuple[int, tuple[int, ...], MultiTaskSchedule] | None] = [
+        None
+    ] * (n + 1)
+    inner_calls = 0
+    cache: dict[tuple[int, int], tuple[float, tuple[int, ...], MultiTaskSchedule] | None] = {}
+
+    for j in range(1, n + 1):
+        for i in range(j):
+            if best[i] == INF:
+                continue
+            key = (i, j)
+            if key not in cache:
+                assignments = _window_assignments(system, seqs, i, j)
+                if assignments is None:
+                    cache[key] = None
+                else:
+                    seg_system = _segment_system(system, assignments)
+                    seg_seqs = [s[i:j] for s in seqs]
+                    result = run_inner(seg_system, seg_seqs)
+                    inner_calls += 1
+                    cache[key] = (result.cost, assignments, result.schedule)
+            entry = cache[key]
+            if entry is None:
+                continue
+            seg_cost, assignments, schedule = entry
+            cand = best[i] + w + seg_cost
+            if cand < best[j]:
+                best[j] = cand
+                parent[j] = (i, assignments, schedule)
+
+    if best[n] == INF:
+        raise ValueError("no feasible segmentation exists")
+
+    phases: list[GlobalPhase] = []
+    j = n
+    while j > 0:
+        i, assignments, schedule = parent[j]
+        phases.append(
+            GlobalPhase(
+                start=i,
+                stop=j,
+                hypercontext=GlobalHypercontext(
+                    public_mask=0, assignments=assignments
+                ),
+                schedule=schedule,
+            )
+        )
+        j = i
+    phases.reverse()
+    gschedule = GlobalSchedule(n, phases)
+    cost = gschedule.cost(system, seqs, w=w, model=model)
+    if abs(cost - best[n]) > 1e-6:  # pragma: no cover - internal invariant
+        raise AssertionError("segmentation DP cost mismatch")
+    return PrivateGlobalResult(
+        schedule=gschedule,
+        cost=cost,
+        optimal=(inner == "exact"),
+        solver=f"private_global[{inner}]",
+        stats={"inner_calls": inner_calls, "phases": len(phases)},
+    )

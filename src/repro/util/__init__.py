@@ -1,0 +1,29 @@
+"""Low-level utilities shared across the library.
+
+The modules in this package are deliberately dependency-light: they
+implement the bit-manipulation, random-number, DAG, and text-rendering
+primitives that the model/solver layers are built on.
+"""
+
+from repro.util.bitset import (
+    bit_indices,
+    bit_count,
+    mask_of,
+    popcount_u64,
+    random_mask,
+    symmetric_difference_size,
+)
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.texttable import format_table
+
+__all__ = [
+    "bit_indices",
+    "bit_count",
+    "mask_of",
+    "popcount_u64",
+    "random_mask",
+    "symmetric_difference_size",
+    "make_rng",
+    "spawn_rngs",
+    "format_table",
+]

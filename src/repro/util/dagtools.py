@@ -1,0 +1,143 @@
+"""Small directed-acyclic-graph toolkit for the DAG cost model.
+
+The DAG model (Section 2 of the paper) orders hypercontexts by
+computational power: an edge ``(h1, h2)`` means ``h1(C) ⊂ h2(C)`` and
+``cost(h1) ≤ cost(h2)``.  The solvers need topological orders,
+reachability queries and minimal-element computations over such graphs;
+this module provides them for plain ``dict`` adjacency without pulling
+in networkx on the hot path (networkx is available and used in tests as
+an oracle).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Mapping
+
+__all__ = [
+    "CycleError",
+    "topological_order",
+    "ancestors",
+    "descendants",
+    "reachable_set",
+    "is_antichain",
+    "minimal_elements",
+    "transitive_reduction_edges",
+]
+
+Node = Hashable
+Adjacency = Mapping[Node, Iterable[Node]]
+
+
+class CycleError(ValueError):
+    """Raised when a graph required to be acyclic contains a cycle."""
+
+
+def _normalize(adj: Adjacency) -> dict[Node, list[Node]]:
+    """Materialize the adjacency mapping, adding sink nodes explicitly."""
+    out: dict[Node, list[Node]] = {}
+    for u, vs in adj.items():
+        out.setdefault(u, [])
+        for v in vs:
+            out[u].append(v)
+            out.setdefault(v, [])
+    return out
+
+
+def topological_order(adj: Adjacency) -> list[Node]:
+    """Kahn's algorithm; raises :class:`CycleError` on cyclic input."""
+    graph = _normalize(adj)
+    indeg: dict[Node, int] = {u: 0 for u in graph}
+    for u, vs in graph.items():
+        for v in vs:
+            indeg[v] += 1
+    queue = deque(sorted((u for u, d in indeg.items() if d == 0), key=repr))
+    order: list[Node] = []
+    while queue:
+        u = queue.popleft()
+        order.append(u)
+        for v in graph[u]:
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                queue.append(v)
+    if len(order) != len(graph):
+        raise CycleError("graph contains a cycle")
+    return order
+
+
+def reachable_set(adj: Adjacency, sources: Iterable[Node]) -> set[Node]:
+    """All nodes reachable from ``sources`` (including the sources)."""
+    graph = _normalize(adj)
+    seen: set[Node] = set()
+    stack = [s for s in sources]
+    while stack:
+        u = stack.pop()
+        if u in seen:
+            continue
+        seen.add(u)
+        stack.extend(graph.get(u, ()))
+    return seen
+
+
+def descendants(adj: Adjacency, node: Node) -> set[Node]:
+    """Strict descendants of ``node``."""
+    out = reachable_set(adj, [node])
+    out.discard(node)
+    return out
+
+
+def ancestors(adj: Adjacency, node: Node) -> set[Node]:
+    """Strict ancestors of ``node`` (nodes that can reach it)."""
+    graph = _normalize(adj)
+    reverse: dict[Node, list[Node]] = {u: [] for u in graph}
+    for u, vs in graph.items():
+        for v in vs:
+            reverse[v].append(u)
+    out = reachable_set(reverse, [node])
+    out.discard(node)
+    return out
+
+
+def minimal_elements(adj: Adjacency, nodes: Iterable[Node]) -> set[Node]:
+    """Subset of ``nodes`` not reachable from any other node in ``nodes``.
+
+    This computes ``c(H)`` from the paper: the minimal hypercontexts
+    (w.r.t. the precedence DAG) among those satisfying a requirement.
+    """
+    nodes = set(nodes)
+    minimal = set(nodes)
+    for u in nodes:
+        if u not in minimal:
+            continue
+        # Everything strictly above u in the order cannot be minimal.
+        minimal -= descendants(adj, u) & nodes
+    return minimal
+
+
+def is_antichain(adj: Adjacency, nodes: Iterable[Node]) -> bool:
+    """True iff no node in ``nodes`` is reachable from another one."""
+    nodes = set(nodes)
+    for u in nodes:
+        if descendants(adj, u) & nodes:
+            return False
+    return True
+
+
+def transitive_reduction_edges(adj: Adjacency) -> set[tuple[Node, Node]]:
+    """Edges of the transitive reduction of an acyclic graph.
+
+    An edge ``(u, v)`` is redundant when ``v`` is reachable from ``u``
+    through some longer path; the reduction keeps only covering edges.
+    """
+    graph = _normalize(adj)
+    topological_order(graph)  # validates acyclicity
+    keep: set[tuple[Node, Node]] = set()
+    for u, vs in graph.items():
+        targets = set(vs)
+        for v in targets:
+            via_others = any(
+                v in reachable_set(graph, [w]) for w in targets if w != v
+            )
+            if not via_others:
+                keep.add((u, v))
+    return keep

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for experiment reports and benchmarks.
+
+The paper reports its evaluation as figures plus numbers in prose; our
+benchmark harness prints the regenerated rows/series as fixed-width
+text tables so they are directly comparable in a terminal or CI log.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table"]
+
+
+def _cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_fmt: str = ".1f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Floats are formatted with ``float_fmt``; all other values via
+    ``str``.  Raises ``ValueError`` when a row length does not match the
+    header length, which catches malformed experiment output early.
+    """
+    ncols = len(headers)
+    rendered: list[list[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != ncols:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {ncols}"
+            )
+        rendered.append([_cell(v, float_fmt) for v in row])
+
+    widths = [max(len(r[c]) for r in rendered) for c in range(ncols)]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(rendered[0], widths)))
+    lines.append(sep)
+    for r in rendered[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)

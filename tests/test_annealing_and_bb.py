@@ -1,0 +1,138 @@
+"""Tests for simulated annealing (repro.solvers.mt_annealing) and
+branch & bound (repro.solvers.mt_branch_bound) — including the
+exact-vs-exact cross-validation of the two independent formulations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import RequirementSequence
+from repro.core.machine import MachineClass, MachineModel, SyncMode, UploadMode
+from repro.core.switches import SwitchUniverse
+from repro.core.task import TaskSystem
+from repro.solvers.mt_annealing import AnnealParams, solve_mt_annealing
+from repro.solvers.mt_branch_bound import solve_mt_branch_bound
+from repro.solvers.mt_exact import solve_mt_exact
+from repro.solvers.mt_greedy import solve_mt_greedy_merge
+
+U = SwitchUniverse.of_size(8)
+small = st.lists(st.integers(min_value=0, max_value=15), min_size=2, max_size=6)
+
+
+def _instance(masks_a, masks_b):
+    system = TaskSystem.from_contiguous(U, [4, 4], names=["A", "B"])
+    seqs = [
+        RequirementSequence(U, [m & 0x0F for m in masks_a]),
+        RequirementSequence(U, [(m & 0x0F) << 4 for m in masks_b]),
+    ]
+    return system, seqs
+
+
+class TestBranchBound:
+    @settings(deadline=None, max_examples=25)
+    @given(small, st.data())
+    def test_agrees_with_exact_dp(self, masks_a, data):
+        """Two independent exact formulations must agree everywhere."""
+        masks_b = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=15),
+                min_size=len(masks_a),
+                max_size=len(masks_a),
+            )
+        )
+        system, seqs = _instance(masks_a, masks_b)
+        bb = solve_mt_branch_bound(system, seqs)
+        dp = solve_mt_exact(system, seqs)
+        assert bb.cost == pytest.approx(dp.cost)
+        assert bb.optimal and dp.optimal
+
+    def test_sequential_uploads(self):
+        system, seqs = _instance([1, 2, 3], [4, 5, 6])
+        model = MachineModel(
+            sync_mode=SyncMode.FULLY_SYNCHRONIZED,
+            hyper_upload=UploadMode.TASK_SEQUENTIAL,
+            reconfig_upload=UploadMode.TASK_SEQUENTIAL,
+        )
+        bb = solve_mt_branch_bound(system, seqs, model)
+        dp = solve_mt_exact(system, seqs, model)
+        assert bb.cost == pytest.approx(dp.cost)
+
+    def test_all_or_none_machine(self):
+        system, seqs = _instance([1, 3, 5, 7], [8, 6, 4, 2])
+        model = MachineModel(
+            machine_class=MachineClass.PARTIALLY_RECONFIGURABLE,
+            sync_mode=SyncMode.FULLY_SYNCHRONIZED,
+        )
+        bb = solve_mt_branch_bound(system, seqs, model)
+        rows = bb.schedule.indicators
+        assert all(rows[0] == rows[j] for j in range(len(rows)))
+        dp = solve_mt_exact(system, seqs, model)
+        assert bb.cost == pytest.approx(dp.cost)
+
+    def test_node_budget_guard(self):
+        system, seqs = _instance([1, 2, 4, 8, 1, 2], [8, 4, 2, 1, 8, 4])
+        with pytest.raises(ValueError, match="max_nodes"):
+            solve_mt_branch_bound(system, seqs, max_nodes=3)
+
+    def test_empty_instance(self):
+        system, _ = _instance([1], [1])
+        seqs = [RequirementSequence(U, []), RequirementSequence(U, [])]
+        assert solve_mt_branch_bound(system, seqs).cost == 0.0
+
+
+class TestAnnealing:
+    def test_never_beats_exact(self):
+        system, seqs = _instance([1, 2, 3, 4, 5], [5, 4, 3, 2, 1])
+        exact = solve_mt_exact(system, seqs)
+        sa = solve_mt_annealing(
+            system, seqs,
+            params=AnnealParams(iterations=3000, restarts=1),
+            seed=0,
+        )
+        assert sa.cost >= exact.cost - 1e-9
+
+    def test_matches_exact_on_easy_instance(self):
+        system, seqs = _instance([1, 1, 2, 2], [4, 4, 8, 8])
+        exact = solve_mt_exact(system, seqs)
+        sa = solve_mt_annealing(
+            system, seqs, params=AnnealParams(iterations=4000), seed=1
+        )
+        assert sa.cost == pytest.approx(exact.cost)
+
+    def test_deterministic_per_seed(self):
+        system, seqs = _instance([1, 3, 5, 7], [2, 4, 6, 8])
+        params = AnnealParams(iterations=1500)
+        a = solve_mt_annealing(system, seqs, params=params, seed=3)
+        b = solve_mt_annealing(system, seqs, params=params, seed=3)
+        assert a.cost == b.cost and a.schedule == b.schedule
+
+    def test_not_worse_than_greedy_start(self):
+        system, seqs = _instance([1, 2, 3, 4, 5, 6], [6, 5, 4, 3, 2, 1])
+        greedy = solve_mt_greedy_merge(system, seqs)
+        sa = solve_mt_annealing(
+            system, seqs, params=AnnealParams(iterations=2000), seed=0
+        )
+        assert sa.cost <= greedy.cost + 1e-9
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            AnnealParams(iterations=0)
+        with pytest.raises(ValueError):
+            AnnealParams(t_start=1.0, t_end=2.0)
+        with pytest.raises(ValueError):
+            AnnealParams(p_flip=0.9, p_align=0.9)
+        with pytest.raises(ValueError):
+            AnnealParams(restarts=0)
+
+    def test_rejects_partially_reconfigurable(self):
+        system, seqs = _instance([1], [2])
+        model = MachineModel(
+            machine_class=MachineClass.PARTIALLY_RECONFIGURABLE,
+            sync_mode=SyncMode.FULLY_SYNCHRONIZED,
+        )
+        with pytest.raises(ValueError):
+            solve_mt_annealing(system, seqs, model)
+
+    def test_empty_instance(self):
+        system, _ = _instance([1], [1])
+        seqs = [RequirementSequence(U, []), RequirementSequence(U, [])]
+        assert solve_mt_annealing(system, seqs).cost == 0.0

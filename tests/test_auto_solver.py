@@ -1,0 +1,64 @@
+"""Tests for the auto-dispatching solver (repro.solvers.auto)."""
+
+import pytest
+
+from repro.analysis.sweeps import make_instance
+from repro.core.context import RequirementSequence
+from repro.core.switches import SwitchUniverse
+from repro.core.task import TaskSystem
+from repro.solvers.auto import solve_mt_auto
+from repro.solvers.exhaustive import solve_mt_exhaustive
+from repro.solvers.mt_exact import solve_mt_exact
+from repro.solvers.mt_greedy import solve_mt_greedy_merge
+
+U = SwitchUniverse.of_size(8)
+
+
+def _tiny():
+    system = TaskSystem.from_contiguous(U, [4, 4])
+    seqs = [
+        RequirementSequence(U, [1, 2, 3]),
+        RequirementSequence(U, [16, 32, 48]),
+    ]
+    return system, seqs
+
+
+class TestDispatch:
+    def test_tiny_goes_exhaustive(self):
+        system, seqs = _tiny()
+        res = solve_mt_auto(system, seqs)
+        assert res.optimal
+        assert res.solver == "mt_exhaustive"
+        assert res.cost == pytest.approx(solve_mt_exhaustive(system, seqs).cost)
+
+    def test_small_goes_exact(self):
+        system, seqs = make_instance(2, 14, 4, seed=0)
+        res = solve_mt_auto(system, seqs)
+        assert res.optimal
+        assert res.solver == "mt_exact"
+        assert res.cost == pytest.approx(solve_mt_exact(system, seqs).cost)
+
+    def test_large_goes_heuristic(self):
+        system, seqs = make_instance(4, 60, 8, seed=1)
+        res = solve_mt_auto(system, seqs)
+        assert not res.optimal
+        assert res.solver.startswith("auto[")
+        greedy = solve_mt_greedy_merge(system, seqs)
+        assert res.cost <= greedy.cost + 1e-9
+
+    def test_thorough_includes_annealing(self):
+        system, seqs = make_instance(3, 40, 6, seed=2)
+        res = solve_mt_auto(system, seqs, thorough=True)
+        assert "mt_annealing" in res.stats["candidates"]
+
+    def test_empty_instance(self):
+        system = TaskSystem.from_contiguous(U, [4, 4])
+        seqs = [RequirementSequence(U, []), RequirementSequence(U, [])]
+        assert solve_mt_auto(system, seqs).cost == 0.0
+
+    def test_counter_instance_heuristic_quality(self, mt_system, counter_task_seqs):
+        """On the paper instance auto must match the best known result
+        within a small margin."""
+        res = solve_mt_auto(mt_system, counter_task_seqs, seed=0)
+        greedy = solve_mt_greedy_merge(mt_system, counter_task_seqs)
+        assert res.cost <= greedy.cost + 1e-9

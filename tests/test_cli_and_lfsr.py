@@ -1,0 +1,115 @@
+"""Tests for the command-line interface (repro.cli) and the LFSR app."""
+
+import json
+
+import pytest
+
+from repro.cli import APPS, main
+from repro.shyra.apps.lfsr import (
+    ACC_REG,
+    CYCLES_PER_ITERATION,
+    STATE_REGS,
+    build_lfsr_program,
+    lfsr_registers,
+    reference_lfsr_period,
+    reference_lfsr_step,
+)
+from repro.shyra.machine import ShyraMachine
+
+
+def _as_int(regs, indices):
+    return sum(regs[r] << k for k, r in enumerate(indices))
+
+
+class TestLfsrReference:
+    def test_maximal_length_for_all_seeds(self):
+        for seed in range(1, 16):
+            assert reference_lfsr_period(seed) == 15
+
+    def test_zero_is_fixpoint(self):
+        assert reference_lfsr_step(0) == 0
+
+    def test_step_bijective_on_nonzero(self):
+        images = {reference_lfsr_step(s) for s in range(1, 16)}
+        assert images == set(range(1, 16))
+
+
+class TestLfsrOnShyra:
+    @pytest.mark.parametrize("seed", [1, 7, 15])
+    def test_cycles_back_to_seed(self, seed):
+        program = build_lfsr_program()
+        machine = ShyraMachine(lfsr_registers(seed))
+        machine.run(program, record=False, max_cycles=300)
+        regs = machine.registers.snapshot()
+        assert _as_int(regs, STATE_REGS) == seed
+        assert regs[ACC_REG] == 1
+        assert machine.cycles == 15 * CYCLES_PER_ITERATION == 135
+
+    def test_states_follow_reference(self):
+        program = build_lfsr_program()
+        machine = ShyraMachine(lfsr_registers(1))
+        records = machine.run(program, max_cycles=300)
+        state = 1
+        # After the 4th cycle of each iteration the shift is complete.
+        for k in range(15):
+            state = reference_lfsr_step(state)
+            regs = records[k * CYCLES_PER_ITERATION + 3].registers_after
+            assert _as_int(regs, STATE_REGS) == state
+
+    def test_seed_validation(self):
+        with pytest.raises(ValueError):
+            lfsr_registers(0)
+        with pytest.raises(ValueError):
+            lfsr_registers(16)
+
+
+class TestCli:
+    def test_trace_text(self, capsys):
+        assert main(["trace", "counter"]) == 0
+        out = capsys.readouterr().out
+        assert "n = 110" in out
+        assert "MUX" in out
+
+    def test_trace_json(self, capsys):
+        assert main(["trace", "adder", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["app"] == "adder"
+        assert payload["n"] == len(payload["requirement_masks"])
+
+    def test_solve(self, capsys):
+        assert main(["solve", "lfsr", "--naive"]) == 0
+        out = capsys.readouterr().out
+        assert "hyperreconfiguration disabled" in out
+        assert "single task" in out
+
+    def test_solve_written_semantics(self, capsys):
+        assert main(["solve", "parity", "--semantics", "written"]) == 0
+        assert "disabled" in capsys.readouterr().out
+
+    def test_experiment_fast(self, capsys):
+        assert main(["experiment", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "5280" in out and "3761" in out
+
+    def test_all_registered_apps_trace(self, capsys):
+        for app in APPS:
+            assert main(["trace", app]) == 0
+            capsys.readouterr()
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "nonexistent"])
+
+    def test_stats(self, capsys):
+        assert main(["stats", "counter", "--naive"]) == 0
+        out = capsys.readouterr().out
+        assert "phase segmentation" in out
+        assert "period after warm-up: 11" in out
+
+    def test_experiment_archive(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        assert main(["experiment", "--fast", "--archive", str(path)]) == 0
+        capsys.readouterr()
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["n"] == 110

@@ -1,0 +1,105 @@
+"""Tests for RequirementSequence (repro.core.context)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.context import RequirementSequence
+from repro.core.switches import SwitchUniverse
+
+U = SwitchUniverse.of_size(6)
+mask_lists = st.lists(
+    st.integers(min_value=0, max_value=U.full_mask), max_size=12
+)
+
+
+class TestConstruction:
+    def test_from_names(self):
+        seq = RequirementSequence.from_names(U, [["x0"], ["x1", "x2"]])
+        assert seq.masks == (0b001, 0b110)
+
+    def test_from_sets(self):
+        seq = RequirementSequence.from_sets([U.set(["x0"]), U.set(["x5"])])
+        assert seq.masks == (1, 32)
+
+    def test_from_sets_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RequirementSequence.from_sets([])
+
+    def test_out_of_range_mask_rejected(self):
+        with pytest.raises(ValueError):
+            RequirementSequence(U, [1 << 10])
+
+    def test_mixed_universe_rejected(self):
+        other = SwitchUniverse.of_size(6, prefix="y")
+        with pytest.raises(ValueError):
+            RequirementSequence.from_sets([U.set(["x0"]), other.set(["y0"])])
+
+    def test_len_and_getitem(self):
+        seq = RequirementSequence(U, [1, 2, 4])
+        assert len(seq) == 3
+        assert seq[1].mask == 2
+        assert seq[1:].masks == (2, 4)
+
+    def test_equality_and_hash(self):
+        a = RequirementSequence(U, [1, 2])
+        b = RequirementSequence(U, [1, 2])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestUnions:
+    @given(mask_lists)
+    def test_union_mask_total(self, masks):
+        seq = RequirementSequence(U, masks)
+        expected = 0
+        for m in masks:
+            expected |= m
+        assert seq.union_mask() == expected
+
+    @given(mask_lists, st.data())
+    def test_window_union(self, masks, data):
+        seq = RequirementSequence(U, masks)
+        n = len(masks)
+        start = data.draw(st.integers(min_value=0, max_value=n))
+        stop = data.draw(st.integers(min_value=start, max_value=n))
+        expected = 0
+        for m in masks[start:stop]:
+            expected |= m
+        assert seq.union_mask(start, stop) == expected
+
+    def test_invalid_window(self):
+        seq = RequirementSequence(U, [1, 2])
+        with pytest.raises(IndexError):
+            seq.union_mask(2, 1)
+        with pytest.raises(IndexError):
+            seq.union_mask(0, 5)
+
+    @given(mask_lists)
+    def test_window_union_sizes_table(self, masks):
+        seq = RequirementSequence(U, masks)
+        table = seq.window_union_sizes()
+        for i in range(len(masks)):
+            for j in range(len(masks) - i):
+                assert table[i][j] == len(seq.union(i, i + j + 1))
+
+
+class TestRestrictAndDemand:
+    @given(mask_lists, st.integers(min_value=0, max_value=U.full_mask))
+    def test_restrict_projects(self, masks, scope):
+        seq = RequirementSequence(U, masks).restrict(scope)
+        for m_orig, m_new in zip(masks, seq.masks):
+            assert m_new == m_orig & scope
+
+    @given(mask_lists)
+    def test_total_demand(self, masks):
+        seq = RequirementSequence(U, masks)
+        assert seq.total_demand() == sum(m.bit_count() for m in masks)
+
+    def test_is_empty_everywhere(self):
+        assert RequirementSequence(U, [0, 0]).is_empty_everywhere()
+        assert not RequirementSequence(U, [0, 1]).is_empty_everywhere()
+
+    @given(mask_lists)
+    def test_restrict_then_union_commutes(self, masks):
+        seq = RequirementSequence(U, masks)
+        scope = 0b101010
+        assert seq.restrict(scope).union_mask() == seq.union_mask() & scope

@@ -1,0 +1,156 @@
+"""Tests for the single-task cost models (repro.core.cost_single)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.context import RequirementSequence
+from repro.core.cost_single import (
+    general_cost,
+    no_hyper_cost,
+    switch_cost,
+    switch_cost_changeover,
+)
+from repro.core.schedule import SingleTaskSchedule
+from repro.core.switches import SwitchUniverse
+
+U = SwitchUniverse.of_size(8)
+
+
+class TestNoHyperCost:
+    def test_full_universe(self):
+        seq = RequirementSequence(U, [1, 2, 3])
+        assert no_hyper_cost(seq) == 24.0  # 3 steps × 8 switches
+
+    def test_explicit_width(self):
+        seq = RequirementSequence(U, [1, 2])
+        assert no_hyper_cost(seq, available=5) == 10.0
+
+    def test_counter_baseline_is_5280(self, counter_trace):
+        assert no_hyper_cost(counter_trace.requirements) == 5280.0
+
+    def test_negative_width_rejected(self):
+        seq = RequirementSequence(U, [1])
+        with pytest.raises(ValueError):
+            no_hyper_cost(seq, available=-1)
+
+
+class TestSwitchCost:
+    def test_hand_example(self):
+        # blocks [0,2) union {0,1} size 2, [2,3) union {2} size 1
+        seq = RequirementSequence(U, [0b01, 0b10, 0b100])
+        s = SingleTaskSchedule(n=3, hyper_steps=(0, 2))
+        # 2 hypers × w=10 + 2·2 + 1·1
+        assert switch_cost(seq, s, w=10) == 25.0
+
+    def test_single_block(self):
+        seq = RequirementSequence(U, [0b01, 0b10])
+        s = SingleTaskSchedule.no_hyper(2)
+        assert switch_cost(seq, s, w=3) == 3 + 2 * 2
+
+    def test_w_must_be_positive(self):
+        seq = RequirementSequence(U, [1])
+        s = SingleTaskSchedule.no_hyper(1)
+        with pytest.raises(ValueError):
+            switch_cost(seq, s, w=0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=8),
+        st.data(),
+    )
+    def test_hyper_every_step_cost(self, masks, data):
+        """Hyperreconfiguring before every step costs n·w + Σ|c_i|."""
+        seq = RequirementSequence(U, masks)
+        n = len(masks)
+        s = SingleTaskSchedule(n=n, hyper_steps=tuple(range(n)))
+        w = data.draw(st.integers(min_value=1, max_value=20))
+        expected = n * w + sum(m.bit_count() for m in masks)
+        assert switch_cost(seq, s, w=w) == expected
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=8))
+    def test_explicit_superset_never_cheaper(self, masks):
+        """Padding a hypercontext beyond the minimal union cannot help."""
+        seq = RequirementSequence(U, masks)
+        n = len(masks)
+        minimal = SingleTaskSchedule(n=n, hyper_steps=(0,))
+        union = seq.union_mask()
+        padded_mask = U.full_mask
+        padded = SingleTaskSchedule(
+            n=n, hyper_steps=(0,), explicit_masks=(padded_mask,)
+        )
+        assert switch_cost(seq, minimal, w=5) <= switch_cost(seq, padded, w=5)
+
+
+class TestChangeoverCost:
+    def test_first_block_pays_from_initial(self):
+        seq = RequirementSequence(U, [0b11])
+        s = SingleTaskSchedule.no_hyper(1)
+        # w + |{0,1} Δ ∅| + |h|·1 = 2 + 2 + 2
+        assert switch_cost_changeover(seq, s, w=2, initial_mask=0) == 6.0
+
+    def test_initial_mask_reduces_delta(self):
+        seq = RequirementSequence(U, [0b11])
+        s = SingleTaskSchedule.no_hyper(1)
+        assert switch_cost_changeover(seq, s, w=2, initial_mask=0b11) == 4.0
+
+    def test_two_blocks_symmetric_difference(self):
+        seq = RequirementSequence(U, [0b01, 0b10])
+        s = SingleTaskSchedule(n=2, hyper_steps=(0, 1))
+        # block masks {0}, {1}: (w+1) +1  +  (w+|{0}Δ{1}|=2) +1
+        assert switch_cost_changeover(seq, s, w=3) == (3 + 1 + 1) + (3 + 2 + 1)
+
+    def test_carrying_can_beat_minimal_unions(self):
+        """Explicit hypercontexts that carry a switch across a gap block
+        can be strictly cheaper — the property that distinguishes the
+        changeover variant from the plain switch model."""
+        seq = RequirementSequence(U, [0b1, 0b10, 0b1])
+        steps = (0, 1, 2)
+        minimal = SingleTaskSchedule(n=3, hyper_steps=steps)
+        carrying = SingleTaskSchedule(
+            n=3, hyper_steps=steps, explicit_masks=(0b1, 0b11, 0b1)
+        )
+        w = 0.001
+        assert switch_cost_changeover(
+            seq, carrying, w=w
+        ) < switch_cost_changeover(seq, minimal, w=w)
+
+    def test_negative_w_rejected(self):
+        seq = RequirementSequence(U, [1])
+        with pytest.raises(ValueError):
+            switch_cost_changeover(seq, SingleTaskSchedule.no_hyper(1), w=-1)
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=6))
+    def test_reduces_to_plain_plus_deltas(self, masks):
+        """Changeover cost = plain switch cost - r·w_plain + Σ(w + Δ)."""
+        seq = RequirementSequence(U, masks)
+        n = len(masks)
+        s = SingleTaskSchedule(n=n, hyper_steps=(0,))
+        w = 4
+        plain = switch_cost(seq, s, w=w)
+        change = switch_cost_changeover(seq, s, w=w, initial_mask=0)
+        union = seq.union_mask()
+        assert change == plain + union.bit_count()  # Δ from empty = |union|
+
+
+class TestGeneralCost:
+    def test_formula(self):
+        blocks = [("h1", 3), ("h2", 0)]
+        init = {"h1": 5.0, "h2": 1.0}.__getitem__
+        cost = {"h1": 2.0, "h2": 7.0}.__getitem__
+        assert general_cost(blocks, init, cost) == 5 + 2 * 3 + 1 + 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            general_cost([("h", -1)], lambda h: 0.0, lambda h: 1.0)
+
+    def test_switch_model_is_special_case(self):
+        seq = RequirementSequence(U, [0b01, 0b110])
+        s = SingleTaskSchedule(n=2, hyper_steps=(0, 1))
+        masks = s.hypercontext_masks(seq)
+        blocks = [
+            (m, stop - start) for m, (start, stop) in zip(masks, s.blocks())
+        ]
+        w = 9.0
+        via_general = general_cost(
+            blocks, lambda h: w, lambda h: float(h.bit_count())
+        )
+        assert via_general == switch_cost(seq, s, w=w)

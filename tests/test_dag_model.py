@@ -1,0 +1,185 @@
+"""Tests for the DAG hypercontext system and its DP solver
+(repro.core.hypercontext + repro.solvers.dag_dp)."""
+
+import itertools
+
+import pytest
+
+from repro.core.hypercontext import DagHypercontextSystem, DagNode
+from repro.solvers.dag_dp import DagBlock, dag_schedule_cost, solve_dag
+
+
+def _three_level() -> DagHypercontextSystem:
+    """small ⊂ {left, right} ⊂ top with increasing costs."""
+    return DagHypercontextSystem(
+        nodes=[
+            DagNode("small", {"r1"}, cost=1),
+            DagNode("left", {"r1", "r2"}, cost=2),
+            DagNode("right", {"r1", "r3"}, cost=2),
+            DagNode("top", {"r1", "r2", "r3"}, cost=5),
+        ],
+        edges=[
+            ("small", "left"),
+            ("small", "right"),
+            ("left", "top"),
+            ("right", "top"),
+        ],
+        init_cost=3,
+    )
+
+
+class TestSystemValidation:
+    def test_valid_system(self):
+        sys_ = _three_level()
+        assert len(sys_) == 4
+        assert sys_.top_names == ("top",)
+        assert sys_.tokens == {"r1", "r2", "r3"}
+
+    def test_requires_top_node(self):
+        with pytest.raises(ValueError, match="h\\(C\\) = C"):
+            DagHypercontextSystem(
+                nodes=[DagNode("a", {"r1"}), DagNode("b", {"r2"})],
+                edges=[],
+            )
+
+    def test_context_subset_enforced_on_edges(self):
+        with pytest.raises(ValueError, match="h1\\(C\\) ⊂ h2\\(C\\)"):
+            DagHypercontextSystem(
+                nodes=[DagNode("a", {"r1", "r2"}), DagNode("b", {"r1", "r2"})],
+                edges=[("a", "b")],
+            )
+
+    def test_cost_monotonicity_enforced(self):
+        with pytest.raises(ValueError, match="cost"):
+            DagHypercontextSystem(
+                nodes=[
+                    DagNode("a", {"r1"}, cost=5),
+                    DagNode("b", {"r1", "r2"}, cost=2),
+                ],
+                edges=[("a", "b")],
+            )
+
+    def test_cycle_rejected(self):
+        from repro.util.dagtools import CycleError
+
+        with pytest.raises(CycleError):
+            DagHypercontextSystem(
+                nodes=[
+                    DagNode("a", {"r1"}, cost=1),
+                    DagNode("b", {"r1", "r2"}, cost=1),
+                ],
+                edges=[("a", "b"), ("b", "a")],
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            DagHypercontextSystem(
+                nodes=[DagNode("a", {"r1"}), DagNode("a", {"r1"})], edges=[]
+            )
+
+    def test_unknown_edge_node_rejected(self):
+        with pytest.raises(ValueError):
+            DagHypercontextSystem(
+                nodes=[DagNode("a", {"r1"})], edges=[("a", "zz")]
+            )
+
+    def test_positive_node_cost_required(self):
+        with pytest.raises(ValueError):
+            DagNode("a", {"r"}, cost=0)
+
+
+class TestSystemQueries:
+    def test_satisfying(self):
+        sys_ = _three_level()
+        assert sys_.satisfying("r2") == {"left", "top"}
+
+    def test_minimal_satisfying_is_cH(self):
+        sys_ = _three_level()
+        assert sys_.minimal_satisfying("r1") == {"small"}
+        assert sys_.minimal_satisfying("r2") == {"left"}
+
+    def test_satisfying_window(self):
+        sys_ = _three_level()
+        assert sys_.satisfying_window(["r2", "r3"]) == {"top"}
+        assert sys_.satisfying_window([]) == {"small", "left", "right", "top"}
+
+    def test_cheapest_satisfying(self):
+        sys_ = _three_level()
+        assert sys_.cheapest_satisfying(["r1"]).name == "small"
+        assert sys_.cheapest_satisfying(["r2", "r3"]).name == "top"
+
+
+class TestDagDP:
+    def test_single_phase(self):
+        sys_ = _three_level()
+        res = solve_dag(sys_, ["r1", "r1"])
+        assert res.optimal
+        assert res.blocks == (DagBlock(0, 2, "small"),)
+        assert res.cost == 3 + 1 * 2
+
+    def test_split_beats_top(self):
+        sys_ = _three_level()
+        # r2-heavy then r3-heavy: two cheap blocks beat one top block.
+        tokens = ["r2"] * 4 + ["r3"] * 4
+        res = solve_dag(sys_, tokens)
+        assert [b.node for b in res.blocks] == ["left", "right"]
+        assert res.cost == (3 + 2 * 4) * 2
+
+    def test_top_when_interleaved_and_w_high(self):
+        sys_ = DagHypercontextSystem(
+            nodes=[
+                DagNode("left", {"r2"}, cost=2),
+                DagNode("right", {"r3"}, cost=2),
+                DagNode("top", {"r2", "r3"}, cost=3),
+            ],
+            edges=[("left", "top"), ("right", "top")],
+            init_cost=50,
+        )
+        tokens = ["r2", "r3"] * 3
+        res = solve_dag(sys_, tokens)
+        assert [b.node for b in res.blocks] == ["top"]
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(ValueError, match="no hypercontext"):
+            solve_dag(_three_level(), ["r1", "mystery"])
+
+    def test_empty_sequence(self):
+        res = solve_dag(_three_level(), [])
+        assert res.blocks == () and res.cost == 0.0
+
+    def test_matches_bruteforce(self):
+        sys_ = _three_level()
+        tokens = ["r1", "r2", "r1", "r3", "r3"]
+        n = len(tokens)
+        best = float("inf")
+        for bits in itertools.product([False, True], repeat=n - 1):
+            cuts = [0] + [i + 1 for i, b in enumerate(bits) if b] + [n]
+            total = 0.0
+            ok = True
+            for s, t in zip(cuts, cuts[1:]):
+                feasible = sys_.satisfying_window(tokens[s:t])
+                if not feasible:
+                    ok = False
+                    break
+                cheapest = min(sys_.node(nm).cost for nm in feasible)
+                total += sys_.init_cost + cheapest * (t - s)
+            if ok:
+                best = min(best, total)
+        assert solve_dag(sys_, tokens).cost == pytest.approx(best)
+
+
+class TestDagScheduleCost:
+    def test_validates_gaps(self):
+        sys_ = _three_level()
+        with pytest.raises(ValueError, match="gap"):
+            dag_schedule_cost(sys_, ["r1", "r1"], [DagBlock(1, 2, "small")])
+
+    def test_validates_coverage(self):
+        sys_ = _three_level()
+        with pytest.raises(ValueError, match="cover"):
+            dag_schedule_cost(sys_, ["r1", "r1"], [DagBlock(0, 1, "small")])
+
+    def test_validates_satisfaction(self):
+        sys_ = _three_level()
+        with pytest.raises(ValueError, match="does not satisfy"):
+            dag_schedule_cost(sys_, ["r2"], [DagBlock(0, 1, "small")])

@@ -1,0 +1,90 @@
+"""Direct tests for the figure renderers (repro.analysis.figures) and
+report helpers beyond what the experiment integration tests touch."""
+
+import pytest
+
+from repro.analysis.experiments import CounterExperiment, run_counter_experiment
+from repro.analysis.figures import _shade, render_fig2, render_fig3
+from repro.solvers.mt_genetic import GAParams
+
+
+@pytest.fixture(scope="module")
+def small_exp():
+    return run_counter_experiment(
+        ga_params=GAParams(
+            population_size=16, generations=30, stall_generations=15
+        ),
+        seed=2,
+    )
+
+
+class TestShade:
+    def test_boundaries(self):
+        assert _shade(0, 8) == " "
+        assert _shade(8, 8) == "█"
+
+    def test_monotone(self):
+        shades = [_shade(k, 8) for k in range(9)]
+        order = " ░▒▓█"
+        positions = [order.index(s) for s in shades]
+        assert positions == sorted(positions)
+
+    def test_zero_width(self):
+        assert _shade(0, 0) == " "
+
+
+class TestFig2:
+    def test_one_column_per_step(self, small_exp):
+        fig = render_fig2(small_exp, wrap=200)
+        lut1_rows = [
+            ln for ln in fig.splitlines() if ln.strip().startswith("LUT1")
+        ]
+        assert len(lut1_rows) == 2  # one per panel (no wrapping at 200)
+        body = lut1_rows[0].split("|")[1]
+        assert len(body) == small_exp.trace.n
+
+    def test_wrapping_splits_rows(self, small_exp):
+        fig = render_fig2(small_exp, wrap=56)
+        lut1_rows = [
+            ln for ln in fig.splitlines() if ln.strip().startswith("LUT1")
+        ]
+        # 110 columns + closing '|' at width 56 → 2 chunks per panel.
+        assert len(lut1_rows) == 4
+
+    def test_hyper_markers_align(self, small_exp):
+        fig = render_fig2(small_exp, wrap=200)
+        lines = fig.splitlines()
+        hyper_lines = [ln for ln in lines if ln.strip().startswith("hyper")]
+        assert len(hyper_lines) == 2
+        marks = hyper_lines[0][7:]
+        for step in small_exp.single.schedule.hyper_steps:
+            assert marks[step] == "^"
+
+    def test_costs_quoted(self, small_exp):
+        fig = render_fig2(small_exp)
+        assert f"cost {small_exp.single.cost:.0f}" in fig
+        assert f"cost {small_exp.multi.cost:.0f}" in fig
+
+
+class TestFig3:
+    def test_column_count_matches_hyper_columns(self, small_exp):
+        fig = render_fig3(small_exp)
+        rows = [ln for ln in fig.splitlines() if "|" in ln]
+        assert len(rows) == 4  # one per task
+        body = rows[0].split("|")[1]
+        assert len(body) == len(small_exp.hyper_columns_multi)
+
+    def test_marks_match_schedule(self, small_exp):
+        fig = render_fig3(small_exp)
+        rows = [ln for ln in fig.splitlines() if "|" in ln]
+        schedule = small_exp.multi.schedule
+        for j, row in enumerate(rows):
+            body = row.split("|")[1]
+            for k, col in enumerate(small_exp.hyper_columns_multi):
+                expected = "#" if schedule.indicators[j][col] else "."
+                assert body[k] == expected
+
+    def test_step_indices_listed(self, small_exp):
+        fig = render_fig3(small_exp)
+        assert "step indices:" in fig
+        assert "0" in fig.split("step indices:")[1]

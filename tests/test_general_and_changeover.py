@@ -1,0 +1,251 @@
+"""Tests for the NP-hard general-model solvers (repro.solvers.general_bb)
+and the changeover-variant solvers (repro.solvers.changeover)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import RequirementSequence
+from repro.core.cost_single import general_cost, switch_cost_changeover
+from repro.core.schedule import SingleTaskSchedule
+from repro.core.switches import SwitchUniverse
+from repro.solvers.changeover import (
+    optimal_hypercontexts_for_partition,
+    solve_changeover_exact,
+    solve_changeover_heuristic,
+)
+from repro.solvers.general_bb import solve_general_bb, solve_general_greedy
+from repro.solvers.single_dp import solve_single_switch
+
+U = SwitchUniverse.of_size(5)
+small_instances = st.lists(
+    st.integers(min_value=0, max_value=U.full_mask), min_size=1, max_size=6
+)
+
+
+def _brute_force_general(seq, init, cost):
+    """Enumerate all partitions × all superset hypercontexts."""
+    masks = seq.masks
+    n = len(masks)
+    full = U.full_mask
+    best = float("inf")
+    for bits in itertools.product([False, True], repeat=n - 1):
+        cuts = [0] + [i + 1 for i, b in enumerate(bits) if b] + [n]
+        total = 0.0
+        for s, t in zip(cuts, cuts[1:]):
+            union = 0
+            for m in masks[s:t]:
+                union |= m
+            block_best = float("inf")
+            free = full & ~union
+            sub = free
+            while True:
+                h = union | sub
+                block_best = min(block_best, init(h) + cost(h) * (t - s))
+                if sub == 0:
+                    break
+                sub = (sub - 1) & free
+            total += block_best
+        best = min(best, total)
+    return best
+
+
+class TestGeneralBB:
+    @settings(deadline=None, max_examples=25)
+    @given(small_instances)
+    def test_monotone_cost_matches_brute_force(self, masks):
+        seq = RequirementSequence(U, masks)
+        init = lambda h: 4.0
+        cost = lambda h: float(h.bit_count())
+        res = solve_general_bb(seq, init, cost)
+        assert res.cost == pytest.approx(_brute_force_general(seq, init, cost))
+
+    @settings(deadline=None, max_examples=25)
+    @given(small_instances)
+    def test_non_monotone_cost_matches_brute_force(self, masks):
+        """A cost function rewarding a magic superset — padding can win,
+        which is exactly what makes the general model hard."""
+        seq = RequirementSequence(U, masks)
+        magic = U.full_mask
+
+        def cost(h):
+            return 0.5 if h == magic else float(h.bit_count())
+
+        init = lambda h: 3.0
+        res = solve_general_bb(seq, init, cost)
+        assert res.cost == pytest.approx(_brute_force_general(seq, init, cost))
+
+    def test_padding_chosen_when_profitable(self):
+        seq = RequirementSequence(U, [0b1] * 10)
+        magic = U.full_mask
+
+        def cost(h):
+            return 0.1 if h == magic else float(h.bit_count())
+
+        res = solve_general_bb(seq, lambda h: 1.0, cost)
+        assert res.schedule.explicit_masks == (magic,)
+
+    def test_switch_model_agreement(self):
+        """With init=w and cost=|h| the general solver reduces to the
+        switch-model DP."""
+        seq = RequirementSequence(U, [1, 3, 4, 16, 20])
+        w = 2.0
+        bb = solve_general_bb(seq, lambda h: w, lambda h: float(h.bit_count()))
+        dp = solve_single_switch(seq, w=w)
+        assert bb.cost == pytest.approx(dp.cost)
+
+    def test_free_bit_guard(self):
+        big = SwitchUniverse.of_size(30)
+        seq = RequirementSequence(big, [1])
+        with pytest.raises(ValueError, match="NP-hard"):
+            solve_general_bb(seq, lambda h: 1.0, lambda h: 1.0, max_free_bits=5)
+
+    @settings(deadline=None, max_examples=20)
+    @given(small_instances)
+    def test_greedy_never_beats_exact(self, masks):
+        seq = RequirementSequence(U, masks)
+        init = lambda h: 2.0
+        cost = lambda h: float(h.bit_count())
+        exact = solve_general_bb(seq, init, cost)
+        greedy = solve_general_greedy(seq, init, cost)
+        assert greedy.cost >= exact.cost - 1e-9
+        assert not greedy.optimal
+
+    def test_empty_sequence(self):
+        seq = RequirementSequence(U, [])
+        res = solve_general_bb(seq, lambda h: 1.0, lambda h: 1.0)
+        assert res.cost == 0.0
+
+
+def _brute_force_changeover(seq, w, initial_mask):
+    """All partitions × all hypercontext assignments (supersets)."""
+    masks = seq.masks
+    n = len(masks)
+    full = U.full_mask
+    best = float("inf")
+    for bits in itertools.product([False, True], repeat=n - 1):
+        cuts = [0] + [i + 1 for i, b in enumerate(bits) if b] + [n]
+        blocks = list(zip(cuts, cuts[1:]))
+        unions = []
+        for s, t in blocks:
+            u = 0
+            for m in masks[s:t]:
+                u |= m
+            unions.append(u)
+        choices = []
+        for u in unions:
+            free = full & ~u
+            opts = []
+            sub = free
+            while True:
+                opts.append(u | sub)
+                if sub == 0:
+                    break
+                sub = (sub - 1) & free
+            choices.append(opts)
+        for combo in itertools.product(*choices):
+            total = 0.0
+            prev = initial_mask
+            for h, (s, t) in zip(combo, blocks):
+                total += w + (h ^ prev).bit_count() + h.bit_count() * (t - s)
+                prev = h
+            best = min(best, total)
+    return best
+
+
+class TestChangeoverPartitionDP:
+    @settings(deadline=None, max_examples=15)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=4),
+        st.data(),
+    )
+    def test_per_switch_dp_optimal_for_fixed_partition(self, masks, data):
+        """For a fixed partition, the per-switch DP finds the cheapest
+        hypercontext assignment (verified against full enumeration)."""
+        small = SwitchUniverse.of_size(3)
+        seq = RequirementSequence(small, masks)
+        n = len(masks)
+        extra = data.draw(
+            st.sets(st.integers(min_value=1, max_value=max(1, n - 1)))
+        )
+        steps = tuple(sorted({0} | {s for s in extra if s < n}))
+        hmasks = optimal_hypercontexts_for_partition(seq, steps)
+        schedule = SingleTaskSchedule(
+            n=n, hyper_steps=steps, explicit_masks=hmasks
+        )
+        w = 1.0
+        got = switch_cost_changeover(seq, schedule, w=w)
+        # brute force over this one partition
+        full = small.full_mask
+        blocks = schedule.blocks()
+        unions = [seq.union_mask(s, t) for s, t in blocks]
+        choices = []
+        for u in unions:
+            free = full & ~u
+            opts = []
+            sub = free
+            while True:
+                opts.append(u | sub)
+                if sub == 0:
+                    break
+                sub = (sub - 1) & free
+            choices.append(opts)
+        best = float("inf")
+        for combo in itertools.product(*choices):
+            total = 0.0
+            prev = 0
+            for h, (s, t) in zip(combo, blocks):
+                total += w + (h ^ prev).bit_count() + h.bit_count() * (t - s)
+                prev = h
+            best = min(best, total)
+        assert got == pytest.approx(best)
+
+
+class TestChangeoverSolvers:
+    @settings(deadline=None, max_examples=10)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=5)
+    )
+    def test_exact_matches_brute_force(self, masks):
+        small = SwitchUniverse.of_size(3)
+        seq = RequirementSequence(small, masks)
+        res = solve_changeover_exact(seq, w=1.0)
+        # reuse the module-level brute force with the small universe
+        global U
+        saved = U
+        U = small
+        try:
+            expected = _brute_force_changeover(seq, 1.0, 0)
+        finally:
+            U = saved
+        assert res.cost == pytest.approx(expected)
+
+    def test_exact_size_guard(self):
+        seq = RequirementSequence(U, [1] * 20)
+        with pytest.raises(ValueError):
+            solve_changeover_exact(seq, w=1.0)
+
+    @settings(deadline=None, max_examples=10)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=7)
+    )
+    def test_heuristic_never_beats_exact(self, masks):
+        seq = RequirementSequence(U, masks)
+        exact = solve_changeover_exact(seq, w=1.0)
+        heur = solve_changeover_heuristic(seq, w=1.0)
+        assert heur.cost >= exact.cost - 1e-9
+
+    def test_carry_example(self):
+        """A switch required in blocks 1 and 3 is carried through a short
+        block 2 — the schedule's explicit mask shows the carry."""
+        seq = RequirementSequence(U, [0b1, 0b10, 0b1])
+        res = solve_changeover_exact(seq, w=0.25)
+        # With per-step hypers, the middle block should carry switch 0.
+        if res.schedule.r == 3:
+            assert res.schedule.explicit_masks[1] & 0b1
+
+    def test_empty_sequence(self):
+        seq = RequirementSequence(U, [])
+        assert solve_changeover_exact(seq, w=1.0).cost == 0.0
+        assert solve_changeover_heuristic(seq, w=1.0).cost == 0.0

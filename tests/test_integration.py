@@ -1,0 +1,147 @@
+"""End-to-end integration tests: app → trace → split → every solver →
+cost relations → serialization → re-validation.
+
+These chains cross every layer of the library; each assertion states a
+relation that must hold regardless of the absolute numbers.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_counter_experiment
+from repro.analysis.export import (
+    dump_experiment,
+    experiment_to_dict,
+    import_and_validate,
+)
+from repro.core.cost_single import no_hyper_cost
+from repro.core.schedule import MultiTaskSchedule
+from repro.core.sync_cost import sync_switch_cost
+from repro.shyra.apps import (
+    build_adder_program,
+    build_comparator_program,
+    build_counter_program,
+    build_gray_program,
+    build_lfsr_program,
+    build_parity_program,
+)
+from repro.shyra.apps.adder import adder_registers
+from repro.shyra.apps.comparator import comparator_registers
+from repro.shyra.apps.counter import counter_registers
+from repro.shyra.apps.gray import gray_registers
+from repro.shyra.apps.lfsr import lfsr_registers
+from repro.shyra.apps.parity import parity_registers
+from repro.shyra.tasks import shyra_task_system
+from repro.shyra.trace import run_and_trace
+from repro.solvers.lower_bounds import switch_lower_bound, sync_mt_lower_bound
+from repro.solvers.mt_async import solve_mt_async
+from repro.solvers.mt_genetic import GAParams, solve_mt_genetic
+from repro.solvers.mt_greedy import solve_mt_greedy_merge
+from repro.solvers.single_dp import solve_single_switch
+
+ALL_APPS = [
+    ("counter", build_counter_program, lambda: counter_registers(0, 10)),
+    ("comparator", build_comparator_program, lambda: comparator_registers(9, 9)),
+    ("adder", build_adder_program, lambda: adder_registers(7, 12)),
+    ("gray", build_gray_program, lambda: gray_registers(5)),
+    ("parity", build_parity_program, lambda: parity_registers(0x5A)),
+    ("lfsr", build_lfsr_program, lambda: lfsr_registers(9)),
+]
+
+
+@pytest.mark.parametrize("name,build,regs", ALL_APPS)
+def test_full_chain_cost_relations(name, build, regs):
+    """For every app: LB ≤ optimum ≤ heuristics ≤ baseline relations."""
+    trace = run_and_trace(build(hold_unused=False), initial_registers=regs())
+    seq = trace.requirements
+    system = shyra_task_system()
+    seqs = system.split_requirements(seq)
+    w = float(seq.universe.size)
+
+    baseline = no_hyper_cost(seq)
+    single = solve_single_switch(seq, w=w)
+    greedy = solve_mt_greedy_merge(system, seqs)
+    async_res = solve_mt_async(system, seqs)
+
+    # Single-task sandwich.
+    assert switch_lower_bound(seq, w) - 1e-9 <= single.cost
+    assert single.cost <= baseline + w  # one block is always available
+
+    # Multi-task sandwich.
+    assert sync_mt_lower_bound(system, seqs) - 1e-9 <= greedy.cost
+    assert greedy.cost <= single.cost + 1e-9  # copied schedule never worse
+
+    # Async phase time ≤ synchronized total (reconfig overlaps compute).
+    assert async_res.cost <= greedy.cost + 1e-9
+
+    # Requirements covered at every step of the greedy schedule.
+    unions = greedy.schedule.block_union_masks(seqs)
+    for j, task_seq in enumerate(seqs):
+        for mask, req in zip(unions[j], task_seq.masks):
+            assert req & ~mask == 0
+
+
+@pytest.mark.parametrize("name,build,regs", ALL_APPS)
+def test_ga_respects_greedy_neighborhood(name, build, regs):
+    """GA (with warm starts) never loses badly to greedy on any app."""
+    trace = run_and_trace(build(hold_unused=False), initial_registers=regs())
+    system = shyra_task_system()
+    seqs = system.split_requirements(trace.requirements)
+    greedy = solve_mt_greedy_merge(system, seqs)
+    ga = solve_mt_genetic(
+        system,
+        seqs,
+        params=GAParams(population_size=32, generations=60, stall_generations=30),
+        seed=0,
+    )
+    assert ga.cost <= greedy.cost * 1.05 + 1e-9
+
+
+class TestScheduleRoundTrips:
+    def test_solver_schedules_survive_serialization(self, mt_system, counter_task_seqs):
+        greedy = solve_mt_greedy_merge(mt_system, counter_task_seqs)
+        restored = MultiTaskSchedule.from_dict(greedy.schedule.to_dict())
+        assert restored == greedy.schedule
+        assert sync_switch_cost(
+            mt_system, counter_task_seqs, restored
+        ) == pytest.approx(greedy.cost)
+
+
+class TestExperimentArchive:
+    @pytest.fixture(scope="class")
+    def exp(self):
+        return run_counter_experiment(
+            ga_params=GAParams(
+                population_size=24, generations=60, stall_generations=25
+            ),
+            seed=1,
+        )
+
+    def test_export_shape(self, exp):
+        payload = experiment_to_dict(exp)
+        assert payload["n"] == 110
+        assert payload["task_sizes"] == [8, 8, 8, 24]
+
+    def test_dump_and_validate(self, exp, tmp_path):
+        path = dump_experiment(exp, tmp_path / "run.json")
+        report = import_and_validate(path, exp)
+        assert report["trace_match"]
+        assert report["multi_cost"] == pytest.approx(exp.multi.cost)
+
+    def test_validation_rejects_tampered_cost(self, exp, tmp_path):
+        import json
+
+        path = dump_experiment(exp, tmp_path / "run.json")
+        payload = json.loads(path.read_text())
+        payload["multi"]["cost"] -= 10
+        with pytest.raises(ValueError, match="does not"):
+            import_and_validate(payload, exp)
+
+    def test_validation_rejects_wrong_trace(self, exp):
+        payload = experiment_to_dict(exp)
+        payload["requirement_masks"][3] = "0x0"
+        with pytest.raises(ValueError, match="trace differs"):
+            import_and_validate(payload, exp)
+
+    def test_validation_rejects_unknown_format(self, exp):
+        with pytest.raises(ValueError, match="format"):
+            import_and_validate({"format": "bogus"}, exp)

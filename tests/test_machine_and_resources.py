@@ -1,0 +1,134 @@
+"""Tests for the machine taxonomy (repro.core.machine) and the
+resource partition (repro.core.resources)."""
+
+import pytest
+
+from repro.core.machine import MachineClass, MachineModel, SyncMode, UploadMode
+from repro.core.resources import ResourceKind, ResourcePartition
+from repro.core.switches import SwitchUniverse
+
+
+class TestMachineClass:
+    def test_partial_hyper_rights(self):
+        assert not MachineClass.PARTIALLY_RECONFIGURABLE.allows_partial_hyper
+        assert MachineClass.PARTIALLY_HYPERRECONFIGURABLE.allows_partial_hyper
+        assert (
+            MachineClass.RESTRICTED_PARTIALLY_HYPERRECONFIGURABLE.allows_partial_hyper
+        )
+
+    def test_partial_reconfig_rights(self):
+        assert MachineClass.PARTIALLY_RECONFIGURABLE.allows_partial_reconfig
+        assert MachineClass.PARTIALLY_HYPERRECONFIGURABLE.allows_partial_reconfig
+        assert not (
+            MachineClass.RESTRICTED_PARTIALLY_HYPERRECONFIGURABLE.allows_partial_reconfig
+        )
+
+
+class TestSyncMode:
+    def test_fully_synchronized_is_both(self):
+        assert SyncMode.FULLY_SYNCHRONIZED.hypercontext_synced
+        assert SyncMode.FULLY_SYNCHRONIZED.context_synced
+
+    def test_non_synchronized_is_neither(self):
+        assert not SyncMode.NON_SYNCHRONIZED.hypercontext_synced
+        assert not SyncMode.NON_SYNCHRONIZED.context_synced
+
+    def test_single_axis_modes(self):
+        assert SyncMode.HYPERCONTEXT_SYNCHRONIZED.hypercontext_synced
+        assert not SyncMode.HYPERCONTEXT_SYNCHRONIZED.context_synced
+        assert SyncMode.CONTEXT_SYNCHRONIZED.context_synced
+        assert not SyncMode.CONTEXT_SYNCHRONIZED.hypercontext_synced
+
+
+class TestMachineModelRules:
+    def test_paper_experimental(self):
+        m = MachineModel.paper_experimental()
+        assert m.sync_mode is SyncMode.FULLY_SYNCHRONIZED
+        assert m.hyper_upload is UploadMode.TASK_PARALLEL
+
+    def test_async_hyper_upload_must_be_parallel(self):
+        with pytest.raises(ValueError):
+            MachineModel(
+                sync_mode=SyncMode.NON_SYNCHRONIZED,
+                hyper_upload=UploadMode.TASK_SEQUENTIAL,
+            )
+
+    def test_async_reconfig_upload_must_be_parallel(self):
+        with pytest.raises(ValueError):
+            MachineModel(
+                sync_mode=SyncMode.HYPERCONTEXT_SYNCHRONIZED,
+                reconfig_upload=UploadMode.TASK_SEQUENTIAL,
+            )
+
+    def test_public_global_needs_context_sync(self):
+        with pytest.raises(ValueError):
+            MachineModel(
+                sync_mode=SyncMode.HYPERCONTEXT_SYNCHRONIZED,
+                allow_public_global=True,
+            )
+        # allowed on context- or fully synchronized machines
+        MachineModel(
+            sync_mode=SyncMode.CONTEXT_SYNCHRONIZED, allow_public_global=True
+        )
+        MachineModel(
+            sync_mode=SyncMode.FULLY_SYNCHRONIZED, allow_public_global=True
+        )
+
+    def test_sequential_uploads_on_fully_synchronized(self):
+        MachineModel(
+            sync_mode=SyncMode.FULLY_SYNCHRONIZED,
+            hyper_upload=UploadMode.TASK_SEQUENTIAL,
+            reconfig_upload=UploadMode.TASK_SEQUENTIAL,
+        )
+
+
+class TestResourcePartition:
+    def test_all_local_default(self):
+        u = SwitchUniverse.of_size(5)
+        p = ResourcePartition.all_local(u)
+        assert p.local_mask == u.full_mask
+        assert not p.has_private_global and not p.has_public_global
+
+    def test_explicit_kinds(self):
+        u = SwitchUniverse(["a", "b", "c"])
+        p = ResourcePartition(
+            u,
+            {
+                "b": ResourceKind.PRIVATE_GLOBAL,
+                "c": ResourceKind.PUBLIC_GLOBAL,
+            },
+        )
+        assert p.local_mask == 0b001
+        assert p.private_global_mask == 0b010
+        assert p.public_global_mask == 0b100
+        assert p.kind_of("a") is ResourceKind.LOCAL
+        assert p.kind_of("b") is ResourceKind.PRIVATE_GLOBAL
+        assert p.kind_of("c") is ResourceKind.PUBLIC_GLOBAL
+
+    def test_counts(self):
+        u = SwitchUniverse(["a", "b", "c"])
+        p = ResourcePartition(u, {"b": ResourceKind.PRIVATE_GLOBAL})
+        assert p.counts() == {
+            ResourceKind.LOCAL: 2,
+            ResourceKind.PRIVATE_GLOBAL: 1,
+            ResourceKind.PUBLIC_GLOBAL: 0,
+        }
+
+    def test_unknown_name_rejected(self):
+        u = SwitchUniverse(["a"])
+        with pytest.raises(ValueError):
+            ResourcePartition(u, {"zz": ResourceKind.LOCAL})
+
+    def test_masks_partition_universe(self):
+        u = SwitchUniverse.of_size(8)
+        kinds = {
+            "x1": ResourceKind.PRIVATE_GLOBAL,
+            "x5": ResourceKind.PUBLIC_GLOBAL,
+        }
+        p = ResourcePartition(u, kinds)
+        assert (
+            p.local_mask | p.private_global_mask | p.public_global_mask
+        ) == u.full_mask
+        assert p.local_mask & p.private_global_mask == 0
+        assert p.local_mask & p.public_global_mask == 0
+        assert p.private_global_mask & p.public_global_mask == 0

@@ -1,0 +1,105 @@
+"""Tests for the asynchronous MT-Switch solver (repro.solvers.mt_async)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import RequirementSequence
+from repro.core.mt_cost import async_switch_cost
+from repro.core.schedule import SingleTaskSchedule
+from repro.core.switches import SwitchUniverse
+from repro.core.task import TaskSystem
+from repro.solvers.exhaustive import enumerate_single_schedules
+from repro.solvers.mt_async import async_vs_sync_gap, solve_mt_async
+
+U = SwitchUniverse.of_size(8)
+
+
+def _instance(masks_a, masks_b):
+    system = TaskSystem.from_contiguous(U, [4, 4], names=["A", "B"])
+    seqs = [
+        RequirementSequence(U, [m & 0x0F for m in masks_a]),
+        RequirementSequence(U, [(m & 0x0F) << 4 for m in masks_b]),
+    ]
+    return system, seqs
+
+
+small = st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=7)
+
+
+class TestSolveMtAsync:
+    def test_per_task_costs_reported(self):
+        system, seqs = _instance([1, 2], [15, 15])
+        res = solve_mt_async(system, seqs)
+        assert res.optimal
+        assert len(res.per_task_costs) == 2
+        assert res.cost == max(res.per_task_costs)
+        assert res.critical_task == 1  # dense task dominates
+
+    def test_w_added(self):
+        system, seqs = _instance([1], [1])
+        base = solve_mt_async(system, seqs).cost
+        assert solve_mt_async(system, seqs, w=7.0).cost == base + 7.0
+
+    def test_arity_check(self):
+        system, _ = _instance([1], [1])
+        with pytest.raises(ValueError):
+            solve_mt_async(system, [])
+
+    def test_negative_w_rejected(self):
+        system, seqs = _instance([1], [1])
+        with pytest.raises(ValueError):
+            solve_mt_async(system, seqs, w=-1)
+
+    def test_unaligned_lengths_allowed(self):
+        system, _ = _instance([1], [1])
+        seqs = [
+            RequirementSequence(U, [1, 2, 3]),
+            RequirementSequence(U, [16]),
+        ]
+        res = solve_mt_async(system, seqs)
+        assert res.optimal
+
+    def test_empty_task_sequence(self):
+        system, _ = _instance([1], [1])
+        seqs = [RequirementSequence(U, []), RequirementSequence(U, [16, 32])]
+        res = solve_mt_async(system, seqs)
+        assert res.per_task_costs[0] == 0.0
+
+    @settings(deadline=None, max_examples=25)
+    @given(small, st.data())
+    def test_optimal_against_bruteforce(self, masks_a, data):
+        """The async objective decomposes; verify against enumerating
+        every pair of per-task partitions."""
+        masks_b = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=15),
+                min_size=len(masks_a),
+                max_size=len(masks_a),
+            )
+        )
+        system, seqs = _instance(masks_a, masks_b)
+        res = solve_mt_async(system, seqs)
+        n = len(masks_a)
+        best = float("inf")
+        for sa in enumerate_single_schedules(n):
+            for sb in enumerate_single_schedules(n):
+                cost = async_switch_cost(system, seqs, [sa, sb])
+                best = min(best, cost)
+        assert res.cost == pytest.approx(best)
+
+
+class TestAsyncVsSyncGap:
+    def test_gap_keys_and_sanity(self):
+        system, seqs = _instance([1, 2, 3, 4], [8, 4, 2, 1])
+        gap = async_vs_sync_gap(system, seqs)
+        assert set(gap) == {"async_optimal", "sync_same_schedule", "ratio"}
+        assert gap["ratio"] > 0
+
+    def test_requires_alignment(self):
+        system, _ = _instance([1], [1])
+        seqs = [
+            RequirementSequence(U, [1, 2]),
+            RequirementSequence(U, [16]),
+        ]
+        with pytest.raises(ValueError, match="aligned"):
+            async_vs_sync_gap(system, seqs)

@@ -1,0 +1,104 @@
+"""Tests for the asynchronous multi-task cost models (repro.core.mt_cost)."""
+
+import pytest
+
+from repro.core.context import RequirementSequence
+from repro.core.mt_cost import (
+    async_general_cost,
+    async_switch_cost,
+    async_switch_task_total,
+)
+from repro.core.schedule import SingleTaskSchedule
+from repro.core.switches import SwitchUniverse
+from repro.core.task import TaskSystem
+
+U = SwitchUniverse.of_size(8)
+
+
+class TestAsyncGeneralCost:
+    def test_max_over_tasks(self):
+        blocks = [
+            [(2.0, 1.0, 3)],        # task 0: 2 + 3 = 5
+            [(1.0, 2.0, 4), (1.0, 1.0, 1)],  # task 1: 1+8 + 1+1 = 11
+        ]
+        assert async_general_cost(5.0, blocks) == 5.0 + 11.0
+
+    def test_every_task_needs_a_local_hyper(self):
+        with pytest.raises(ValueError):
+            async_general_cost(0.0, [[], [(1.0, 1.0, 1)]])
+
+    def test_no_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            async_general_cost(0.0, [])
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            async_general_cost(-1.0, [[(1.0, 1.0, 1)]])
+        with pytest.raises(ValueError):
+            async_general_cost(0.0, [[(1.0, -1.0, 1)]])
+
+
+class TestAsyncSwitchTaskTotal:
+    def test_hand_example(self):
+        seq = RequirementSequence(U, [0b01, 0b10, 0b100])
+        sched = SingleTaskSchedule(n=3, hyper_steps=(0, 2))
+        # blocks: [0,2) union size 2, [2,3) size 1; v=3
+        # (3 + 2·2) + (3 + 1·1) = 11
+        assert async_switch_task_total(seq, sched, v=3.0) == 11.0
+
+    def test_v_positive_required(self):
+        seq = RequirementSequence(U, [1])
+        with pytest.raises(ValueError):
+            async_switch_task_total(seq, SingleTaskSchedule.no_hyper(1), v=0)
+
+
+class TestAsyncSwitchCost:
+    def test_max_semantics(self):
+        system = TaskSystem.from_contiguous(U, [4, 4], names=["A", "B"])
+        seqs = [
+            RequirementSequence(U, [0b0001, 0b0010]),
+            RequirementSequence(U, [0b110000, 0b110000]),
+        ]
+        schedules = [
+            SingleTaskSchedule.no_hyper(2),
+            SingleTaskSchedule.no_hyper(2),
+        ]
+        # A: 4 + 2·2 = 8 ; B: 4 + 2·2 = 8 → w + max = 1 + 8
+        assert async_switch_cost(system, seqs, schedules, w=1.0) == 9.0
+
+    def test_unbalanced_tasks(self):
+        system = TaskSystem.from_contiguous(U, [4, 4], names=["A", "B"])
+        seqs = [
+            RequirementSequence(U, [0b1111] * 3),
+            RequirementSequence(U, [0b0] * 3),
+        ]
+        schedules = [SingleTaskSchedule.no_hyper(3)] * 2
+        # A: 4 + 4·3 = 16 ; B: 4 + 0 = 4
+        assert async_switch_cost(system, seqs, schedules) == 16.0
+
+    def test_different_lengths_allowed(self):
+        """Async tasks are not step-aligned: sequences may differ in n."""
+        system = TaskSystem.from_contiguous(U, [4, 4], names=["A", "B"])
+        seqs = [
+            RequirementSequence(U, [0b1]),
+            RequirementSequence(U, [0b10000, 0b100000, 0b110000]),
+        ]
+        schedules = [
+            SingleTaskSchedule.no_hyper(1),
+            SingleTaskSchedule(n=3, hyper_steps=(0, 1)),
+        ]
+        cost = async_switch_cost(system, seqs, schedules)
+        # A: 4 + 1 = 5 ; B: (4 + 1·1) + (4 + 2·2) = 13
+        assert cost == 13.0
+
+    def test_arity_checked(self):
+        system = TaskSystem.from_contiguous(U, [4, 4])
+        with pytest.raises(ValueError):
+            async_switch_cost(system, [], [])
+
+    def test_negative_w_rejected(self):
+        system = TaskSystem.from_contiguous(U, [4, 4])
+        seqs = [RequirementSequence(U, [1]), RequirementSequence(U, [16])]
+        schedules = [SingleTaskSchedule.no_hyper(1)] * 2
+        with pytest.raises(ValueError):
+            async_switch_cost(system, seqs, schedules, w=-2)

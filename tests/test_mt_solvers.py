@@ -1,0 +1,284 @@
+"""Cross-validation of the multi-task solvers: exhaustive vs exact DP vs
+GA vs greedy (repro.solvers.mt_exact / mt_genetic / mt_greedy /
+exhaustive)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import RequirementSequence
+from repro.core.machine import MachineClass, MachineModel, SyncMode, UploadMode
+from repro.core.schedule import MultiTaskSchedule
+from repro.core.sync_cost import sync_switch_cost
+from repro.core.switches import SwitchUniverse
+from repro.core.task import TaskSystem
+from repro.solvers.exhaustive import (
+    enumerate_mt_schedules,
+    enumerate_single_schedules,
+    solve_mt_exhaustive,
+)
+from repro.solvers.lower_bounds import sync_mt_lower_bound
+from repro.solvers.mt_exact import solve_mt_exact
+from repro.solvers.mt_genetic import GAParams, solve_mt_genetic
+from repro.solvers.mt_greedy import (
+    combined_sequence,
+    local_search,
+    solve_mt_from_single,
+    solve_mt_greedy_merge,
+    solve_mt_independent,
+)
+
+U8 = SwitchUniverse.of_size(8)
+
+
+def _instance(masks_a, masks_b):
+    system = TaskSystem.from_contiguous(U8, [4, 4], names=["A", "B"])
+    seqs = [
+        RequirementSequence(U8, [m & 0x0F for m in masks_a]),
+        RequirementSequence(U8, [(m & 0x0F) << 4 for m in masks_b]),
+    ]
+    return system, seqs
+
+
+small_masks = st.lists(
+    st.integers(min_value=0, max_value=15), min_size=2, max_size=6
+)
+
+
+class TestEnumeration:
+    def test_single_count(self):
+        assert len(list(enumerate_single_schedules(4))) == 2 ** 3
+
+    def test_mt_count(self):
+        assert len(list(enumerate_mt_schedules(2, 3))) == 2 ** 4
+
+    def test_single_guard(self):
+        from repro.solvers.exhaustive import solve_single_exhaustive
+
+        with pytest.raises(ValueError):
+            solve_single_exhaustive(RequirementSequence(U8, [1] * 25), w=1)
+
+    def test_mt_guard(self):
+        system, seqs = _instance([1] * 30, [1] * 30)
+        with pytest.raises(ValueError):
+            solve_mt_exhaustive(system, seqs)
+
+
+class TestExactDP:
+    @settings(deadline=None, max_examples=30)
+    @given(small_masks, st.data())
+    def test_matches_exhaustive(self, masks_a, data):
+        masks_b = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=15),
+                min_size=len(masks_a),
+                max_size=len(masks_a),
+            )
+        )
+        system, seqs = _instance(masks_a, masks_b)
+        exact = solve_mt_exact(system, seqs)
+        brute = solve_mt_exhaustive(system, seqs)
+        assert exact.cost == pytest.approx(brute.cost)
+
+    @settings(deadline=None, max_examples=20)
+    @given(small_masks, st.data())
+    def test_pareto_pruning_preserves_optimum(self, masks_a, data):
+        masks_b = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=15),
+                min_size=len(masks_a),
+                max_size=len(masks_a),
+            )
+        )
+        system, seqs = _instance(masks_a, masks_b)
+        with_pruning = solve_mt_exact(system, seqs, pareto=True)
+        without = solve_mt_exact(system, seqs, pareto=False)
+        assert with_pruning.cost == pytest.approx(without.cost)
+
+    def test_state_budget_guard(self):
+        system, seqs = _instance([1, 2, 4, 8] * 3, [1, 3, 7, 15] * 3)
+        with pytest.raises(ValueError):
+            solve_mt_exact(system, seqs, max_states=2)
+
+    def test_sequential_uploads(self):
+        system, seqs = _instance([1, 2, 3], [4, 5, 6])
+        model = MachineModel(
+            sync_mode=SyncMode.FULLY_SYNCHRONIZED,
+            hyper_upload=UploadMode.TASK_SEQUENTIAL,
+            reconfig_upload=UploadMode.TASK_SEQUENTIAL,
+        )
+        exact = solve_mt_exact(system, seqs, model)
+        brute = solve_mt_exhaustive(system, seqs, model)
+        assert exact.cost == pytest.approx(brute.cost)
+
+    def test_all_or_none_machine_class(self):
+        system, seqs = _instance([1, 2, 3, 4], [8, 4, 2, 1])
+        model = MachineModel(
+            machine_class=MachineClass.PARTIALLY_RECONFIGURABLE,
+            sync_mode=SyncMode.FULLY_SYNCHRONIZED,
+        )
+        exact = solve_mt_exact(system, seqs, model)
+        rows = exact.schedule.indicators
+        assert all(rows[0] == rows[j] for j in range(len(rows)))
+        brute = solve_mt_exhaustive(system, seqs, model)
+        assert exact.cost == pytest.approx(brute.cost)
+
+    def test_empty_instance(self):
+        system, _ = _instance([1], [1])
+        seqs = [RequirementSequence(U8, []), RequirementSequence(U8, [])]
+        res = solve_mt_exact(system, seqs)
+        assert res.cost == 0.0
+
+
+class TestGA:
+    @settings(deadline=None, max_examples=15)
+    @given(small_masks, st.data())
+    def test_never_beats_optimum(self, masks_a, data):
+        masks_b = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=15),
+                min_size=len(masks_a),
+                max_size=len(masks_a),
+            )
+        )
+        system, seqs = _instance(masks_a, masks_b)
+        opt = solve_mt_exact(system, seqs)
+        ga = solve_mt_genetic(
+            system,
+            seqs,
+            params=GAParams(population_size=16, generations=60, stall_generations=30),
+            seed=0,
+        )
+        assert ga.cost >= opt.cost - 1e-9
+
+    def test_finds_optimum_on_easy_instance(self):
+        system, seqs = _instance([1, 1, 2, 2], [4, 4, 8, 8])
+        opt = solve_mt_exact(system, seqs)
+        ga = solve_mt_genetic(system, seqs, seed=3)
+        assert ga.cost == pytest.approx(opt.cost)
+
+    def test_deterministic_for_seed(self):
+        system, seqs = _instance([1, 3, 5, 7, 9], [2, 4, 6, 8, 10])
+        a = solve_mt_genetic(system, seqs, seed=7)
+        b = solve_mt_genetic(system, seqs, seed=7)
+        assert a.cost == b.cost
+        assert a.schedule == b.schedule
+
+    def test_rejects_partially_reconfigurable(self):
+        system, seqs = _instance([1], [2])
+        model = MachineModel(
+            machine_class=MachineClass.PARTIALLY_RECONFIGURABLE,
+            sync_mode=SyncMode.FULLY_SYNCHRONIZED,
+        )
+        with pytest.raises(ValueError):
+            solve_mt_genetic(system, seqs, model)
+
+    def test_reported_cost_is_reference_cost(self):
+        system, seqs = _instance([1, 2, 3, 4, 5], [5, 4, 3, 2, 1])
+        ga = solve_mt_genetic(system, seqs, seed=0)
+        assert ga.cost == pytest.approx(
+            sync_switch_cost(system, seqs, ga.schedule)
+        )
+
+    def test_wide_universe_lanes(self):
+        """Universes beyond 64 switches exercise the multi-lane path."""
+        wide = SwitchUniverse.of_size(100)
+        system = TaskSystem.from_contiguous(wide, [50, 50])
+        seqs = [
+            RequirementSequence(wide, [(1 << 45) | 1, (1 << 49) | 2]),
+            RequirementSequence(
+                wide, [(1 << 99) | (1 << 50), (1 << 77) | (1 << 50)]
+            ),
+        ]
+        ga = solve_mt_genetic(system, seqs, seed=0)
+        assert ga.cost == pytest.approx(
+            sync_switch_cost(system, seqs, ga.schedule)
+        )
+
+
+class TestGreedyAndLocalSearch:
+    def test_combined_sequence(self):
+        _, seqs = _instance([1, 2], [3, 4])
+        merged = combined_sequence(seqs)
+        assert merged.masks == (1 | 0x30, 2 | 0x40)
+
+    def test_combined_requires_alignment(self):
+        a = RequirementSequence(U8, [1])
+        b = RequirementSequence(U8, [1, 2])
+        with pytest.raises(ValueError):
+            combined_sequence([a, b])
+
+    @settings(deadline=None, max_examples=15)
+    @given(small_masks, st.data())
+    def test_from_single_bounded_by_single_cost(self, masks_a, data):
+        """Copying the merged single-task optimum never costs more than
+        that optimum itself (the Section 6 guaranteed win)."""
+        masks_b = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=15),
+                min_size=len(masks_a),
+                max_size=len(masks_a),
+            )
+        )
+        system, seqs = _instance(masks_a, masks_b)
+        res = solve_mt_from_single(system, seqs)
+        assert res.cost <= res.stats["single_cost"] + 1e-9
+
+    def test_local_search_never_worsens(self):
+        system, seqs = _instance([1, 2, 3, 4], [4, 3, 2, 1])
+        start = MultiTaskSchedule.initial_only(2, 4)
+        start_cost = sync_switch_cost(system, seqs, start)
+        refined = local_search(system, seqs, start)
+        assert refined.cost <= start_cost
+
+    def test_local_search_column_moves_for_aligned_machines(self):
+        system, seqs = _instance([1, 2, 1, 2], [8, 4, 8, 4])
+        model = MachineModel(
+            machine_class=MachineClass.PARTIALLY_RECONFIGURABLE,
+            sync_mode=SyncMode.FULLY_SYNCHRONIZED,
+        )
+        start = MultiTaskSchedule.initial_only(2, 4)
+        refined = local_search(system, seqs, start, model)
+        rows = refined.schedule.indicators
+        assert rows[0] == rows[1]
+
+    @settings(deadline=None, max_examples=10)
+    @given(small_masks, st.data())
+    def test_greedy_sandwich(self, masks_a, data):
+        """exact ≤ greedy ≤ initial-only baseline."""
+        masks_b = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=15),
+                min_size=len(masks_a),
+                max_size=len(masks_a),
+            )
+        )
+        system, seqs = _instance(masks_a, masks_b)
+        exact = solve_mt_exact(system, seqs)
+        greedy = solve_mt_greedy_merge(system, seqs)
+        baseline = sync_switch_cost(
+            system, seqs, MultiTaskSchedule.initial_only(2, len(masks_a))
+        )
+        assert exact.cost - 1e-9 <= greedy.cost <= baseline + 1e-9
+
+    def test_independent_solver_runs(self):
+        system, seqs = _instance([1, 2, 3], [3, 2, 1])
+        res = solve_mt_independent(system, seqs)
+        assert res.cost == pytest.approx(
+            sync_switch_cost(system, seqs, res.schedule)
+        )
+
+
+class TestLowerBound:
+    @settings(deadline=None, max_examples=20)
+    @given(small_masks, st.data())
+    def test_exact_dominates_bound(self, masks_a, data):
+        masks_b = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=15),
+                min_size=len(masks_a),
+                max_size=len(masks_a),
+            )
+        )
+        system, seqs = _instance(masks_a, masks_b)
+        exact = solve_mt_exact(system, seqs)
+        assert exact.cost >= sync_mt_lower_bound(system, seqs) - 1e-9

@@ -1,0 +1,96 @@
+"""Tests for the online schedulers (repro.solvers.online)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import RequirementSequence
+from repro.core.cost_single import switch_cost
+from repro.core.switches import SwitchUniverse
+from repro.solvers.online import (
+    RentOrBuyScheduler,
+    WindowScheduler,
+    competitive_report,
+    run_online,
+)
+from repro.solvers.single_dp import solve_single_switch
+
+U = SwitchUniverse.of_size(10)
+instances = st.lists(
+    st.integers(min_value=0, max_value=U.full_mask), min_size=1, max_size=20
+)
+
+
+class TestRentOrBuy:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RentOrBuyScheduler(0)
+        with pytest.raises(ValueError):
+            RentOrBuyScheduler(5, alpha=0)
+        with pytest.raises(ValueError):
+            RentOrBuyScheduler(5, memory=0)
+
+    def test_empty_sequence(self):
+        run = run_online(RentOrBuyScheduler(5), RequirementSequence(U, []), 5)
+        assert run.cost == 0.0
+
+    @settings(deadline=None, max_examples=40)
+    @given(instances)
+    def test_produces_valid_schedules(self, masks):
+        """Every block's explicit hypercontext covers its requirements —
+        checked implicitly by switch_cost raising otherwise."""
+        seq = RequirementSequence(U, masks)
+        run = run_online(RentOrBuyScheduler(6.0), seq, 6.0)
+        assert run.cost == switch_cost(seq, run.schedule, w=6.0)
+
+    @settings(deadline=None, max_examples=40)
+    @given(instances)
+    def test_never_beats_offline_optimum(self, masks):
+        seq = RequirementSequence(U, masks)
+        optimum = solve_single_switch(seq, w=6.0)
+        run = run_online(RentOrBuyScheduler(6.0), seq, 6.0)
+        assert run.cost >= optimum.cost - 1e-9
+
+    def test_reacts_to_phase_change(self):
+        """Stable phase then a disjoint phase: the scheduler must hyper
+        at the boundary instead of growing the hypercontext."""
+        seq = RequirementSequence(U, [0b11] * 8 + [0b1100000] * 8)
+        run = run_online(RentOrBuyScheduler(4.0), seq, 4.0)
+        assert 8 in run.schedule.hyper_steps
+
+    def test_competitive_on_phased_workload(self):
+        seq = RequirementSequence(U, ([0b11] * 10 + [0b1100] * 10) * 3)
+        optimum = solve_single_switch(seq, w=8.0)
+        run = run_online(RentOrBuyScheduler(8.0), seq, 8.0)
+        assert run.cost <= 3.0 * optimum.cost
+
+
+class TestWindowScheduler:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            WindowScheduler(5, k=0)
+
+    def test_fixed_cadence(self):
+        seq = RequirementSequence(U, [1] * 10)
+        run = run_online(WindowScheduler(3.0, k=4), seq, 3.0)
+        assert run.schedule.hyper_steps == (0, 4, 8)
+
+    @settings(deadline=None, max_examples=25)
+    @given(instances)
+    def test_valid_and_not_better_than_optimum(self, masks):
+        seq = RequirementSequence(U, masks)
+        optimum = solve_single_switch(seq, w=5.0)
+        run = run_online(WindowScheduler(5.0, k=3), seq, 5.0)
+        assert run.cost >= optimum.cost - 1e-9
+
+
+class TestCompetitiveReport:
+    def test_rows_shape(self):
+        seq = RequirementSequence(U, [1, 2, 3, 4] * 4)
+        rows = competitive_report(
+            seq, 5.0, [RentOrBuyScheduler(5.0), WindowScheduler(5.0, k=4)]
+        )
+        assert len(rows) == 3
+        assert rows[-1][0] == "offline optimum"
+        assert rows[-1][2] == 1.0
+        for _name, _cost, ratio in rows:
+            assert ratio >= 1.0 - 1e-9

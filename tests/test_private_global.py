@@ -1,0 +1,177 @@
+"""Tests for global hypercontexts and the private-global two-level
+solver (repro.core.globalres + repro.solvers.private_global)."""
+
+import pytest
+
+from repro.core.context import RequirementSequence
+from repro.core.globalres import (
+    GlobalHypercontext,
+    GlobalPhase,
+    GlobalSchedule,
+)
+from repro.core.schedule import MultiTaskSchedule, ScheduleError
+from repro.core.switches import SwitchSet, SwitchUniverse
+from repro.core.task import Task, TaskSystem
+from repro.solvers.private_global import solve_private_global
+
+U = SwitchUniverse.of_size(10)
+# Tasks: A owns bits 0-2, B owns bits 3-5; private pool bits 6-9.
+PRIV = 0b1111000000
+
+
+def _system():
+    return TaskSystem(
+        U,
+        [Task("A", U.from_mask(0b000111)), Task("B", U.from_mask(0b111000))],
+        private_global=SwitchSet(U, PRIV),
+    )
+
+
+def _seqs(masks_a, masks_b):
+    return [RequirementSequence(U, masks_a), RequirementSequence(U, masks_b)]
+
+
+class TestGlobalHypercontext:
+    def test_valid_assignment(self):
+        g = GlobalHypercontext(public_mask=0, assignments=(0b1000000, 0b10000000))
+        g.validate(_system())
+
+    def test_overlap_rejected(self):
+        g = GlobalHypercontext(public_mask=0, assignments=(0b1000000, 0b1000000))
+        with pytest.raises(ScheduleError, match="overlaps"):
+            g.validate(_system())
+
+    def test_outside_pool_rejected(self):
+        g = GlobalHypercontext(public_mask=0, assignments=(0b1, 0))
+        with pytest.raises(ScheduleError, match="exceeds"):
+            g.validate(_system())
+
+    def test_wrong_arity_rejected(self):
+        g = GlobalHypercontext(public_mask=0, assignments=(0,))
+        with pytest.raises(ScheduleError):
+            g.validate(_system())
+
+    def test_empty_factory(self):
+        assert GlobalHypercontext.empty(3).assignments == (0, 0, 0)
+
+
+class TestGlobalSchedule:
+    def test_phases_must_tile(self):
+        sched = MultiTaskSchedule.initial_only(2, 2)
+        phase = GlobalPhase(0, 2, GlobalHypercontext.empty(2), sched)
+        GlobalSchedule(2, [phase])
+        with pytest.raises(ScheduleError, match="gap"):
+            GlobalSchedule(
+                3, [GlobalPhase(1, 3, GlobalHypercontext.empty(2), sched)]
+            )
+
+    def test_phase_window_matches_schedule(self):
+        with pytest.raises(ScheduleError, match="length"):
+            GlobalPhase(
+                0,
+                3,
+                GlobalHypercontext.empty(2),
+                MultiTaskSchedule.initial_only(2, 2),
+            )
+
+    def test_assignment_coverage_validated(self):
+        system = _system()
+        seqs = _seqs([0b1000000, 0], [0, 0])  # A demands private bit 6
+        sched = MultiTaskSchedule.initial_only(2, 2)
+        bad = GlobalSchedule(
+            2, [GlobalPhase(0, 2, GlobalHypercontext.empty(2), sched)]
+        )
+        with pytest.raises(ScheduleError, match="outside its assignment"):
+            bad.validate(system, seqs)
+        good = GlobalSchedule(
+            2,
+            [
+                GlobalPhase(
+                    0,
+                    2,
+                    GlobalHypercontext(0, (0b1000000, 0)),
+                    sched,
+                )
+            ],
+        )
+        good.validate(system, seqs)
+
+    def test_cost_uses_phase_specific_v(self):
+        """v_j = l_j + |assignment_j| per the paper's example cost."""
+        system = _system()
+        seqs = _seqs([0b1000000, 0b1], [0b1000, 0b1000])
+        sched = MultiTaskSchedule.initial_only(2, 2)
+        g = GlobalSchedule(
+            2,
+            [GlobalPhase(0, 2, GlobalHypercontext(0, (0b1000000, 0)), sched)],
+        )
+        cost = g.cost(system, seqs, w=5.0)
+        # w=5; hyper step0: max(vA=3+1, vB=3+0)=4
+        # reconf: A block union {0,6} size 2; B union {3} size 1 → max 2 ×2 steps
+        assert cost == 5 + 4 + 2 + 2
+
+
+class TestSolvePrivateGlobal:
+    def test_requires_private_pool(self):
+        system = TaskSystem.from_contiguous(U, [5, 5])
+        seqs = _seqs([0], [0])
+        with pytest.raises(ValueError, match="private-global pool"):
+            solve_private_global(system, seqs, w=5.0)
+
+    def test_conflict_forces_segmentation(self):
+        """Both tasks demand private bit 6 — in different halves; a global
+        hyperreconfiguration must separate them."""
+        system = _system()
+        masks_a = [0b1000001, 0, 0, 0]
+        masks_b = [0, 0, 0b1001000, 0]
+        res = solve_private_global(system, _seqs(masks_a, masks_b), w=3.0)
+        assert res.schedule.r_global >= 2
+        boundary = res.schedule.phases[0].stop
+        assert 0 < boundary <= 2
+
+    def test_single_phase_when_no_conflict(self):
+        system = _system()
+        masks_a = [0b1000001, 0b1, 0b1, 0b1]
+        masks_b = [0b10001000] * 4
+        res = solve_private_global(system, _seqs(masks_a, masks_b), w=50.0)
+        assert res.schedule.r_global == 1
+
+    def test_cost_matches_schedule_evaluation(self):
+        system = _system()
+        masks_a = [0b1000001, 0b1, 0, 0b1000000]
+        masks_b = [0b1000, 0b10001000, 0b1000, 0]
+        res = solve_private_global(system, _seqs(masks_a, masks_b), w=4.0)
+        evaluated = res.schedule.cost(system, _seqs(masks_a, masks_b), w=4.0)
+        assert res.cost == pytest.approx(evaluated)
+
+    def test_infeasible_same_step_conflict(self):
+        """Two tasks demanding the same private switch at the same step
+        can never be scheduled."""
+        system = _system()
+        masks_a = [0b1000000]
+        masks_b = [0b1000000]
+        with pytest.raises(ValueError, match="no feasible segmentation"):
+            solve_private_global(system, _seqs(masks_a, masks_b), w=1.0)
+
+    def test_inner_solver_selection(self):
+        system = _system()
+        masks_a = [0b1000001, 0b1]
+        masks_b = [0b1000, 0b1000]
+        seqs = _seqs(masks_a, masks_b)
+        greedy = solve_private_global(system, seqs, w=4.0, inner="greedy")
+        exact = solve_private_global(system, seqs, w=4.0, inner="exact")
+        assert exact.optimal and not greedy.optimal
+        assert exact.cost <= greedy.cost + 1e-9
+        with pytest.raises(ValueError, match="unknown inner"):
+            solve_private_global(system, seqs, w=4.0, inner="zzz")
+
+    def test_w_validation(self):
+        system = _system()
+        with pytest.raises(ValueError):
+            solve_private_global(system, _seqs([0], [0]), w=0.0)
+
+    def test_size_guard(self):
+        system = _system()
+        seqs = _seqs([0] * 200, [0] * 200)
+        with pytest.raises(ValueError, match="too large"):
+            solve_private_global(system, seqs, w=1.0, max_n=100)

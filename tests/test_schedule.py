@@ -1,0 +1,198 @@
+"""Tests for schedule representations (repro.core.schedule)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.context import RequirementSequence
+from repro.core.schedule import (
+    MultiTaskSchedule,
+    ScheduleError,
+    SingleTaskSchedule,
+)
+from repro.core.switches import SwitchUniverse
+
+U = SwitchUniverse.of_size(6)
+
+
+@st.composite
+def single_schedules(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    extra = draw(st.sets(st.integers(min_value=1, max_value=max(1, n - 1))))
+    steps = tuple(sorted({0} | {s for s in extra if s < n}))
+    return n, SingleTaskSchedule(n=n, hyper_steps=steps)
+
+
+class TestSingleTaskScheduleStructure:
+    def test_blocks_cover_everything(self):
+        s = SingleTaskSchedule(n=5, hyper_steps=(0, 2))
+        assert s.blocks() == [(0, 2), (2, 5)]
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ScheduleError):
+            SingleTaskSchedule(n=3, hyper_steps=(1,))
+
+    def test_monotone_steps_required(self):
+        with pytest.raises(ScheduleError):
+            SingleTaskSchedule(n=5, hyper_steps=(0, 3, 2))
+
+    def test_step_beyond_n_rejected(self):
+        with pytest.raises(ScheduleError):
+            SingleTaskSchedule(n=3, hyper_steps=(0, 3))
+
+    def test_empty_instance(self):
+        s = SingleTaskSchedule(n=0, hyper_steps=())
+        assert s.blocks() == []
+
+    def test_empty_with_steps_rejected(self):
+        with pytest.raises(ScheduleError):
+            SingleTaskSchedule(n=0, hyper_steps=(0,))
+
+    @given(single_schedules())
+    def test_blocks_tile_range(self, case):
+        n, s = case
+        covered = []
+        for start, stop in s.blocks():
+            covered.extend(range(start, stop))
+        assert covered == list(range(n))
+
+    @given(single_schedules(), st.data())
+    def test_block_of_step(self, case, data):
+        n, s = case
+        i = data.draw(st.integers(min_value=0, max_value=n - 1))
+        b = s.block_of_step(i)
+        start, stop = s.blocks()[b]
+        assert start <= i < stop
+
+    def test_block_of_step_out_of_range(self):
+        s = SingleTaskSchedule(n=2, hyper_steps=(0,))
+        with pytest.raises(IndexError):
+            s.block_of_step(2)
+
+
+class TestSingleTaskHypercontexts:
+    def test_minimal_unions(self):
+        seq = RequirementSequence(U, [1, 2, 4, 8])
+        s = SingleTaskSchedule(n=4, hyper_steps=(0, 2))
+        assert s.hypercontext_masks(seq) == [3, 12]
+
+    def test_step_hypercontexts_repeat_per_block(self):
+        seq = RequirementSequence(U, [1, 2, 4])
+        s = SingleTaskSchedule(n=3, hyper_steps=(0, 2))
+        assert s.step_hypercontexts(seq) == [3, 3, 4]
+
+    def test_explicit_masks_must_cover(self):
+        seq = RequirementSequence(U, [3, 4])
+        good = SingleTaskSchedule(
+            n=2, hyper_steps=(0,), explicit_masks=(7,)
+        )
+        assert good.hypercontext_masks(seq) == [7]
+        bad = SingleTaskSchedule(n=2, hyper_steps=(0,), explicit_masks=(3,))
+        with pytest.raises(ScheduleError):
+            bad.hypercontext_masks(seq)
+
+    def test_explicit_masks_arity(self):
+        with pytest.raises(ScheduleError):
+            SingleTaskSchedule(n=2, hyper_steps=(0,), explicit_masks=(1, 2))
+
+    def test_length_mismatch(self):
+        seq = RequirementSequence(U, [1])
+        s = SingleTaskSchedule(n=2, hyper_steps=(0,))
+        with pytest.raises(ScheduleError):
+            s.hypercontext_masks(seq)
+
+    def test_dict_roundtrip(self):
+        s = SingleTaskSchedule(n=4, hyper_steps=(0, 2), explicit_masks=(3, 12))
+        assert SingleTaskSchedule.from_dict(s.to_dict()) == s
+
+    def test_no_hyper_factory(self):
+        assert SingleTaskSchedule.no_hyper(5).blocks() == [(0, 5)]
+        assert SingleTaskSchedule.no_hyper(0).blocks() == []
+
+
+class TestMultiTaskScheduleStructure:
+    def test_first_column_enforced(self):
+        with pytest.raises(ScheduleError):
+            MultiTaskSchedule([[True, False], [False, False]])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ScheduleError):
+            MultiTaskSchedule([[True], [True, False]])
+
+    def test_from_hyper_steps(self):
+        s = MultiTaskSchedule.from_hyper_steps(2, 4, [[0, 2], [0]])
+        assert s.hyper_steps_of(0) == (0, 2)
+        assert s.hyper_steps_of(1) == (0,)
+
+    def test_from_hyper_steps_forces_zero(self):
+        s = MultiTaskSchedule.from_hyper_steps(1, 3, [[2]])
+        assert s.hyper_steps_of(0) == (0, 2)
+
+    def test_out_of_range_step(self):
+        with pytest.raises(ScheduleError):
+            MultiTaskSchedule.from_hyper_steps(1, 3, [[5]])
+
+    def test_all_tasks_at(self):
+        s = MultiTaskSchedule.all_tasks_at(3, 4, [0, 3])
+        assert all(s.hyper_steps_of(j) == (0, 3) for j in range(3))
+
+    def test_initial_only(self):
+        s = MultiTaskSchedule.initial_only(2, 5)
+        assert s.total_hyper_ops() == 2
+
+    def test_from_single(self):
+        single = SingleTaskSchedule(n=4, hyper_steps=(0, 2))
+        s = MultiTaskSchedule.from_single(single, 3)
+        assert s.m == 3
+        assert all(s.hyper_steps_of(j) == (0, 2) for j in range(3))
+
+    def test_hyper_columns(self):
+        s = MultiTaskSchedule.from_hyper_steps(2, 4, [[0, 1], [0, 3]])
+        assert s.hyper_columns() == (0, 1, 3)
+
+    def test_as_single_view(self):
+        s = MultiTaskSchedule.from_hyper_steps(2, 4, [[0, 2], [0]])
+        assert s.as_single(0).hyper_steps == (0, 2)
+
+    def test_dict_roundtrip(self):
+        s = MultiTaskSchedule.from_hyper_steps(2, 3, [[0, 1], [0, 2]])
+        assert MultiTaskSchedule.from_dict(s.to_dict()) == s
+
+
+class TestBlockUnionMasks:
+    def test_hand_example(self):
+        seqs = [
+            RequirementSequence(U, [1, 2, 4, 8]),
+            RequirementSequence(U, [8, 4, 2, 1]),
+        ]
+        s = MultiTaskSchedule.from_hyper_steps(2, 4, [[0, 2], [0]])
+        unions = s.block_union_masks(seqs)
+        assert unions[0] == [3, 3, 12, 12]
+        assert unions[1] == [15, 15, 15, 15]
+
+    def test_length_checked(self):
+        seqs = [RequirementSequence(U, [1, 2])]
+        s = MultiTaskSchedule.initial_only(1, 3)
+        with pytest.raises(ScheduleError):
+            s.block_union_masks(seqs)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=U.full_mask),
+            min_size=1,
+            max_size=8,
+        ),
+        st.data(),
+    )
+    def test_matches_naive_computation(self, masks, data):
+        n = len(masks)
+        steps = {0} | set(
+            data.draw(st.sets(st.integers(min_value=1, max_value=max(1, n - 1))))
+        )
+        steps = sorted(s for s in steps if s < n)
+        seq = RequirementSequence(U, masks)
+        schedule = MultiTaskSchedule.from_hyper_steps(1, n, [steps])
+        got = schedule.block_union_masks([seq])[0]
+        # naive: for each step find its block and union directly
+        single = SingleTaskSchedule(n=n, hyper_steps=tuple(steps))
+        expected = single.step_hypercontexts(seq)
+        assert got == expected

@@ -1,0 +1,173 @@
+"""Functional tests of the SHyRA applications against their reference
+models — exhaustive over the full operand space where feasible."""
+
+import itertools
+
+import pytest
+
+from repro.shyra.apps.adder import (
+    adder_registers,
+    build_adder_program,
+    reference_add,
+    A_REGS as ADD_A,
+    CARRY_REG as ADD_CARRY,
+    COUT_REG,
+)
+from repro.shyra.apps.comparator import (
+    EQ_REG,
+    GT_REG,
+    build_comparator_program,
+    comparator_registers,
+    reference_compare,
+)
+from repro.shyra.apps.counter import (
+    ACC_REG,
+    BOUND_REGS,
+    COUNTER_REGS,
+    CYCLES_PER_ITERATION,
+    build_counter_program,
+    counter_registers,
+    expected_counter_cycles,
+)
+from repro.shyra.apps.gray import (
+    GRAY_REGS,
+    VALUE_REGS,
+    build_gray_program,
+    gray_registers,
+    reference_gray,
+)
+from repro.shyra.apps.parity import (
+    PARITY_REG,
+    build_parity_program,
+    parity_registers,
+    reference_parity,
+)
+from repro.shyra.machine import ShyraMachine
+
+
+def _as_int(regs, indices):
+    return sum(regs[r] << k for k, r in enumerate(indices))
+
+
+class TestCounter:
+    @pytest.mark.parametrize("start,bound", [(0, 10), (3, 7), (15, 0), (9, 9), (0, 15)])
+    def test_counts_to_bound(self, start, bound):
+        program = build_counter_program()
+        machine = ShyraMachine(counter_registers(start, bound))
+        records = machine.run(program)
+        regs = machine.registers.snapshot()
+        assert _as_int(regs, COUNTER_REGS) == bound
+        assert _as_int(regs, BOUND_REGS) == bound
+        assert regs[ACC_REG] == 1
+        assert len(records) == expected_counter_cycles(start, bound)
+
+    def test_all_pairs_cycle_counts(self):
+        """Exhaustive 16×16 functional check of the loop structure."""
+        program = build_counter_program()
+        for start, bound in itertools.product(range(16), repeat=2):
+            machine = ShyraMachine(counter_registers(start, bound))
+            records = machine.run(program, record=False, max_cycles=200)
+            assert machine.cycles == expected_counter_cycles(start, bound), (
+                start,
+                bound,
+            )
+
+    def test_paper_case_is_110_cycles(self):
+        assert expected_counter_cycles(0, 10) == 110
+        assert CYCLES_PER_ITERATION == 11
+
+    def test_naive_and_hold_mappings_agree_functionally(self):
+        for hold in (True, False):
+            program = build_counter_program(hold_unused=hold)
+            machine = ShyraMachine(counter_registers(2, 11))
+            machine.run(program, record=False)
+            assert _as_int(machine.registers.snapshot(), COUNTER_REGS) == 11
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            counter_registers(16, 0)
+        with pytest.raises(ValueError):
+            expected_counter_cycles(0, 16)
+
+
+class TestComparator:
+    def test_exhaustive(self):
+        program = build_comparator_program()
+        for a, b in itertools.product(range(16), repeat=2):
+            machine = ShyraMachine(comparator_registers(a, b))
+            machine.run(program, record=False)
+            regs = machine.registers.snapshot()
+            gt, eq = reference_compare(a, b)
+            assert regs[GT_REG] == gt, (a, b)
+            assert regs[EQ_REG] == eq, (a, b)
+
+    def test_program_length(self):
+        assert len(build_comparator_program()) == 5
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            comparator_registers(-1, 0)
+
+
+class TestAdder:
+    def test_exhaustive(self):
+        program = build_adder_program()
+        for a, b in itertools.product(range(16), repeat=2):
+            machine = ShyraMachine(adder_registers(a, b))
+            machine.run(program, record=False)
+            regs = machine.registers.snapshot()
+            expected_sum, expected_cout = reference_add(a, b)
+            assert _as_int(regs, ADD_A) == expected_sum, (a, b)
+            assert regs[COUT_REG] == expected_cout, (a, b)
+
+    def test_program_length(self):
+        assert len(build_adder_program()) == 6
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            adder_registers(16, 0)
+
+
+class TestGray:
+    @pytest.mark.parametrize("start", [0, 1, 7, 15])
+    def test_runs_until_wrap(self, start):
+        program = build_gray_program()
+        machine = ShyraMachine(gray_registers(start))
+        machine.run(program, record=False, max_cycles=400)
+        regs = machine.registers.snapshot()
+        assert _as_int(regs, VALUE_REGS) == 0
+        assert _as_int(regs, GRAY_REGS) == reference_gray(0)
+
+    def test_gray_values_along_the_way(self):
+        program = build_gray_program()
+        machine = ShyraMachine(gray_registers(12))
+        records = machine.run(program, max_cycles=400)
+        # After every full iteration (9 cycles) the gray regs must match.
+        from repro.shyra.apps.gray import CYCLES_PER_ITERATION as GRAY_CPI
+
+        for k in range(len(records) // GRAY_CPI):
+            regs = records[(k + 1) * GRAY_CPI - 1].registers_after
+            value = _as_int(regs, VALUE_REGS)
+            assert _as_int(regs, GRAY_REGS) == reference_gray(value)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            gray_registers(17)
+
+
+class TestParity:
+    def test_exhaustive(self):
+        program = build_parity_program()
+        for data in range(256):
+            machine = ShyraMachine(parity_registers(data))
+            machine.run(program, record=False)
+            assert machine.registers.snapshot()[PARITY_REG] == reference_parity(
+                data
+            ), data
+
+    def test_straight_line_length(self):
+        assert len(build_parity_program()) == 9
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            parity_registers(256)

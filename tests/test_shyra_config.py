@@ -1,0 +1,120 @@
+"""Tests for the SHyRA configuration word codec (repro.shyra.config)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.shyra.config import (
+    COMPONENT_BIT_RANGES,
+    FIELD_LAYOUT,
+    N_CONFIG_BITS,
+    ConfigWord,
+)
+
+regs = st.integers(min_value=0, max_value=9)
+tts = st.integers(min_value=0, max_value=255)
+
+
+@st.composite
+def config_words(draw):
+    d1 = draw(regs)
+    d2 = draw(regs.filter(lambda r: True))
+    if d1 == d2:
+        d2 = (d2 + 1) % 10
+    return ConfigWord(
+        lut1_tt=draw(tts),
+        lut2_tt=draw(tts),
+        demux1=d1,
+        demux2=d2,
+        mux=tuple(draw(regs) for _ in range(6)),
+    )
+
+
+class TestLayout:
+    def test_fields_tile_48_bits(self):
+        covered = 0
+        for lsb, width in FIELD_LAYOUT.values():
+            mask = ((1 << width) - 1) << lsb
+            assert covered & mask == 0, "fields overlap"
+            covered |= mask
+        assert covered == (1 << N_CONFIG_BITS) - 1
+
+    def test_components_tile_48_bits(self):
+        covered = 0
+        for lsb, width in COMPONENT_BIT_RANGES.values():
+            mask = ((1 << width) - 1) << lsb
+            assert covered & mask == 0
+            covered |= mask
+        assert covered == (1 << N_CONFIG_BITS) - 1
+
+    def test_component_sizes_match_paper(self):
+        sizes = {c: w for c, (_l, w) in COMPONENT_BIT_RANGES.items()}
+        assert sizes == {"LUT1": 8, "LUT2": 8, "DEMUX": 8, "MUX": 24}
+
+    def test_field_mask_helper(self):
+        assert ConfigWord.field_mask("lut1_tt") == 0xFF
+        assert ConfigWord.field_mask("demux2") == 0xF << 20
+
+    def test_component_mask_helper(self):
+        assert ConfigWord.component_mask("MUX") == ((1 << 24) - 1) << 24
+
+
+class TestValidation:
+    def test_register_range(self):
+        with pytest.raises(ValueError):
+            ConfigWord(demux1=10, demux2=1)
+        with pytest.raises(ValueError):
+            ConfigWord(mux=(0, 0, 0, 0, 0, 12))
+
+    def test_tt_range(self):
+        with pytest.raises(ValueError):
+            ConfigWord(lut1_tt=256)
+
+    def test_mux_arity(self):
+        with pytest.raises(ValueError):
+            ConfigWord(mux=(0, 0, 0))
+
+    def test_write_conflict_rejected(self):
+        with pytest.raises(ValueError, match="conflict"):
+            ConfigWord(demux1=3, demux2=3)
+
+    def test_decode_range(self):
+        with pytest.raises(ValueError):
+            ConfigWord.decode(1 << 48)
+        with pytest.raises(ValueError):
+            ConfigWord.decode(-1)
+
+
+class TestCodec:
+    @given(config_words())
+    def test_roundtrip(self, cfg):
+        assert ConfigWord.decode(cfg.encode()) == cfg
+
+    @given(config_words())
+    def test_encode_within_48_bits(self, cfg):
+        assert 0 <= cfg.encode() < 1 << 48
+
+    def test_known_encoding(self):
+        cfg = ConfigWord(
+            lut1_tt=0xAB,
+            lut2_tt=0xCD,
+            demux1=2,
+            demux2=7,
+            mux=(1, 2, 3, 4, 5, 6),
+        )
+        word = cfg.encode()
+        assert word & 0xFF == 0xAB
+        assert (word >> 8) & 0xFF == 0xCD
+        assert (word >> 16) & 0xF == 2
+        assert (word >> 20) & 0xF == 7
+        assert (word >> 24) & 0xF == 1
+        assert (word >> 44) & 0xF == 6
+
+    @given(config_words(), config_words())
+    def test_delta_mask(self, a, b):
+        assert a.delta_mask(b) == a.encode() ^ b.encode()
+        assert a.delta_mask(a) == 0
+
+    def test_input_accessors(self):
+        cfg = ConfigWord(demux2=1, mux=(1, 2, 3, 4, 5, 6))
+        assert cfg.lut1_inputs() == (1, 2, 3)
+        assert cfg.lut2_inputs() == (4, 5, 6)

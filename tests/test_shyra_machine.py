@@ -1,0 +1,266 @@
+"""Tests for SHyRA components, machine, assembler and programs."""
+
+import itertools
+
+import pytest
+
+from repro.shyra.assembler import LUT_OPS, LogicFn, ProgramBuilder
+from repro.shyra.components import Demux, Lut, Mux, RegisterFile
+from repro.shyra.config import ConfigWord
+from repro.shyra.machine import MachineError, ShyraMachine
+from repro.shyra.program import HALT, Branch, Microprogram, ProgramStep
+
+
+class TestLut:
+    def test_exhaustive_identity_table(self):
+        lut = Lut(0b10101010)  # output = input a
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            assert lut.evaluate(a, b, c) == a
+
+    def test_exhaustive_majority(self):
+        maj_tt = LUT_OPS["MAJ3"].truth_table()
+        lut = Lut(maj_tt)
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            assert lut.evaluate(a, b, c) == int(a + b + c >= 2)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            Lut(0).evaluate(2, 0, 0)
+
+    def test_tt_validation(self):
+        with pytest.raises(ValueError):
+            Lut(300)
+
+
+class TestRegisterFile:
+    def test_initial_zero(self):
+        assert RegisterFile().snapshot() == (0,) * 10
+
+    def test_simultaneous_writes(self):
+        rf = RegisterFile()
+        rf.write_many([(0, 1), (5, 1)])
+        assert rf.read(0) == 1 and rf.read(5) == 1
+
+    def test_conflict_detected(self):
+        with pytest.raises(ValueError, match="conflict"):
+            RegisterFile().write_many([(3, 1), (3, 0)])
+
+    def test_int_roundtrip(self):
+        rf = RegisterFile()
+        rf.set_int([0, 1, 2, 3], 0b1010)
+        assert rf.as_int([0, 1, 2, 3]) == 0b1010
+        assert rf.snapshot()[:4] == (0, 1, 0, 1)
+
+    def test_set_int_range(self):
+        with pytest.raises(ValueError):
+            RegisterFile().set_int([0, 1], 4)
+
+    def test_load_validation(self):
+        with pytest.raises(ValueError):
+            RegisterFile().load([0] * 9)
+        with pytest.raises(ValueError):
+            RegisterFile([2] + [0] * 9)
+
+
+class TestMuxDemux:
+    def test_mux_select(self):
+        rf = RegisterFile([1, 0, 1, 0, 0, 0, 0, 0, 0, 1])
+        assert Mux.select(rf, [0, 2, 9]) == [1, 1, 1]
+        assert Mux.select(rf, [1, 3, 4]) == [0, 0, 0]
+
+    def test_demux_routes(self):
+        rf = RegisterFile()
+        Demux.route(rf, [(4, 1), (7, 1)])
+        assert rf.read(4) == 1 and rf.read(7) == 1
+
+
+class TestMachineStep:
+    def test_read_then_write_semantics(self):
+        """Both LUTs read cycle-start values even when targets overlap
+        sources — r0 is read before being overwritten."""
+        machine = ShyraMachine([1] + [0] * 9)
+        cfg = ConfigWord(
+            lut1_tt=LUT_OPS["NOT"].truth_table(),
+            lut2_tt=LUT_OPS["ID"].truth_table(),
+            demux1=0,  # NOT r0 -> r0
+            demux2=8,  # ID r0 -> r8
+            mux=(0, 0, 0, 0, 0, 0),
+        )
+        machine.step(cfg)
+        regs = machine.registers.snapshot()
+        assert regs[0] == 0  # NOT 1
+        assert regs[8] == 1  # old value of r0
+
+    def test_cycle_counter(self):
+        machine = ShyraMachine()
+        cfg = ConfigWord()
+        machine.step(cfg)
+        machine.step(cfg)
+        assert machine.cycles == 2
+
+
+class TestProgramControlFlow:
+    def _jump_program(self):
+        ID = LUT_OPS["ID"]
+        NOT = LUT_OPS["NOT"]
+        b = ProgramBuilder()
+        # toggle r0 each cycle; loop until r0 == 1
+        b.step(lut1=(NOT, [0], 0), lut2=(ID, [1], 8), label="top")
+        b.branch_if(0, 0, "top")
+        return b.build()
+
+    def test_loop_until_condition(self):
+        program = self._jump_program()
+        machine = ShyraMachine()
+        records = machine.run(program)
+        assert len(records) == 1  # r0: 0 -> 1, condition r0==0 fails
+        machine2 = ShyraMachine([1] + [0] * 9)
+        records2 = machine2.run(program)
+        assert len(records2) == 2  # 1 -> 0 (loop) -> 1 (halt)
+
+    def test_halt_target(self):
+        ID = LUT_OPS["ID"]
+        b = ProgramBuilder()
+        b.step(lut1=(ID, [0], 2), lut2=(ID, [1], 8))
+        b.branch_if(0, 0, HALT)
+        b.step(lut1=(ID, [0], 3), lut2=(ID, [1], 8))
+        program = b.build()
+        records = ShyraMachine().run(program)
+        assert len(records) == 1  # halted before the second step
+
+    def test_max_cycles_guard(self):
+        ID, NOT = LUT_OPS["ID"], LUT_OPS["NOT"]
+        b = ProgramBuilder()
+        b.step(lut1=(ID, [0], 0), lut2=(ID, [1], 8), label="spin")
+        b.branch_if(9, 0, "spin")  # r9 stays 0 forever
+        program = b.build()
+        with pytest.raises(MachineError, match="cycles"):
+            ShyraMachine().run(program, max_cycles=50)
+
+    def test_records_capture_configs(self):
+        program = self._jump_program()
+        records = ShyraMachine().run(program)
+        assert records[0].config_word == program[0].config.encode()
+        assert records[0].cycle == 1
+
+
+class TestMicroprogramValidation:
+    def test_duplicate_labels(self):
+        step = ProgramStep(config=ConfigWord())
+        labeled = ProgramStep(config=ConfigWord(), label="x")
+        with pytest.raises(ValueError, match="duplicate"):
+            Microprogram([labeled, labeled])
+
+    def test_undefined_branch_target(self):
+        step = ProgramStep(
+            config=ConfigWord(), branch=Branch(0, 1, "nowhere")
+        )
+        with pytest.raises(ValueError, match="undefined"):
+            Microprogram([step])
+
+    def test_reserved_label(self):
+        step = ProgramStep(config=ConfigWord(), label=HALT)
+        with pytest.raises(ValueError, match="reserved"):
+            Microprogram([step])
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            Microprogram([])
+
+    def test_branch_validation(self):
+        with pytest.raises(ValueError):
+            Branch(11, 0, "x")
+        with pytest.raises(ValueError):
+            Branch(0, 2, "x")
+        with pytest.raises(ValueError):
+            Branch(0, 1, "")
+
+    def test_disassemble_mentions_labels_and_branches(self):
+        ID = LUT_OPS["ID"]
+        b = ProgramBuilder()
+        b.step(lut1=(ID, [0], 2), lut2=(ID, [1], 8), label="top", comment="hi")
+        b.branch_if(0, 1, "top")
+        text = b.build().disassemble()
+        assert "top:" in text and "goto top" in text and "# hi" in text
+
+
+class TestAssembler:
+    def test_truth_tables_ignore_unused_inputs(self):
+        """Arity-expanded tables are insensitive to unused inputs, so a
+        held third selector can never change behaviour."""
+        for op in LUT_OPS.values():
+            tt = op.truth_table()
+            for idx in range(8):
+                bits = (idx & 1, (idx >> 1) & 1, (idx >> 2) & 1)
+                expected = op.fn(*bits[: op.arity])
+                assert (tt >> idx) & 1 == expected
+
+    def test_all_ops_boolean_exhaustive(self):
+        for name, op in LUT_OPS.items():
+            for bits in itertools.product((0, 1), repeat=op.arity):
+                assert op(*bits) in (0, 1), name
+
+    def test_hold_semantics(self):
+        ID, NOT = LUT_OPS["ID"], LUT_OPS["NOT"]
+        b = ProgramBuilder(hold_unused=True)
+        b.step(lut1=(ID, [5], 2), lut2=(ID, [1], 8))
+        b.step(lut2=(NOT, [3], 9))  # lut1 unspecified: holds everything
+        prog = b.build()
+        assert prog[1].config.lut1_tt == prog[0].config.lut1_tt
+        assert prog[1].config.demux1 == prog[0].config.demux1
+        assert prog[1].config.mux[0:3] == prog[0].config.mux[0:3]
+
+    def test_written_mask_excludes_held_fields(self):
+        ID = LUT_OPS["ID"]
+        b = ProgramBuilder(hold_unused=True)
+        b.step(lut1=(ID, [5], 2), lut2=(ID, [1], 8))
+        step = b.build()[0]
+        # ID has arity 1: selectors for inputs b, c are not written.
+        assert step.written_mask & ConfigWord.field_mask("mux1") == 0
+        assert step.written_mask & ConfigWord.field_mask("mux0")
+        assert step.written_mask & ConfigWord.field_mask("lut1_tt")
+
+    def test_naive_mode_writes_unused_selectors(self):
+        ID = LUT_OPS["ID"]
+        b = ProgramBuilder(hold_unused=False)
+        b.step(lut1=(ID, [5], 2), lut2=(ID, [1], 8))
+        step = b.build()[0]
+        assert step.written_mask & ConfigWord.field_mask("mux1")
+        assert step.config.mux[1] == 5  # pointed at the first operand
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="inputs"):
+            ProgramBuilder().step(
+                lut1=(LUT_OPS["AND"], [0], 2), lut2=(LUT_OPS["ID"], [0], 8)
+            )
+
+    def test_conflicting_targets_rejected(self):
+        ID = LUT_OPS["ID"]
+        with pytest.raises(ValueError, match="conflict"):
+            ProgramBuilder().step(lut1=(ID, [0], 5), lut2=(ID, [1], 5))
+
+    def test_branch_without_step(self):
+        with pytest.raises(ValueError):
+            ProgramBuilder().branch_if(0, 1, "x")
+
+    def test_double_branch_rejected(self):
+        ID = LUT_OPS["ID"]
+        b = ProgramBuilder()
+        b.step(lut1=(ID, [0], 2), lut2=(ID, [1], 8), label="top")
+        b.branch_if(0, 1, "top")
+        with pytest.raises(ValueError, match="already"):
+            b.branch_if(0, 0, "top")
+
+    def test_raw_step_claims_all_bits_by_default(self):
+        b = ProgramBuilder()
+        b.raw_step(ConfigWord())
+        assert b.build()[0].written_mask == (1 << 48) - 1
+
+    def test_logic_fn_arity_validation(self):
+        with pytest.raises(ValueError):
+            LogicFn("BAD", 4, lambda a, b, c, d: 0)
+
+    def test_non_boolean_fn_rejected(self):
+        bad = LogicFn("BAD", 1, lambda a: 2)
+        with pytest.raises(ValueError):
+            bad.truth_table()

@@ -1,0 +1,128 @@
+"""Tests for the optimal single-task switch DP (repro.solvers.single_dp)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import RequirementSequence
+from repro.core.cost_single import no_hyper_cost, switch_cost
+from repro.core.switches import SwitchUniverse
+from repro.solvers.exhaustive import solve_single_exhaustive
+from repro.solvers.lower_bounds import switch_lower_bound
+from repro.solvers.single_dp import solve_single_switch
+
+U = SwitchUniverse.of_size(6)
+
+instances = st.lists(
+    st.integers(min_value=0, max_value=U.full_mask), min_size=1, max_size=9
+)
+ws = st.integers(min_value=1, max_value=12)
+
+
+class TestBasics:
+    def test_empty_instance(self):
+        res = solve_single_switch(RequirementSequence(U, []), w=5)
+        assert res.cost == 0.0 and res.schedule.r == 0
+
+    def test_single_step(self):
+        res = solve_single_switch(RequirementSequence(U, [0b101]), w=5)
+        assert res.cost == 5 + 2
+        assert res.schedule.hyper_steps == (0,)
+
+    def test_w_validation(self):
+        with pytest.raises(ValueError):
+            solve_single_switch(RequirementSequence(U, [1]), w=0)
+
+    def test_identical_steps_one_block(self):
+        seq = RequirementSequence(U, [0b11] * 6)
+        res = solve_single_switch(seq, w=5)
+        assert res.schedule.r == 1
+        assert res.cost == 5 + 2 * 6
+
+    def test_disjoint_phases_split_when_w_small(self):
+        seq = RequirementSequence(U, [0b000111] * 3 + [0b111000] * 3)
+        res = solve_single_switch(seq, w=1)
+        assert res.schedule.hyper_steps == (0, 3)
+        assert res.cost == 1 + 3 * 3 + 1 + 3 * 3
+
+    def test_disjoint_phases_merge_when_w_huge(self):
+        seq = RequirementSequence(U, [0b000111] * 3 + [0b111000] * 3)
+        res = solve_single_switch(seq, w=1000)
+        assert res.schedule.r == 1
+
+
+class TestOptimality:
+    @settings(deadline=None, max_examples=60)
+    @given(instances, ws)
+    def test_matches_exhaustive(self, masks, w):
+        seq = RequirementSequence(U, masks)
+        dp = solve_single_switch(seq, w=w)
+        brute = solve_single_exhaustive(seq, w=w)
+        assert dp.cost == pytest.approx(brute.cost)
+
+    @settings(deadline=None, max_examples=60)
+    @given(instances, ws)
+    def test_reported_cost_matches_schedule(self, masks, w):
+        seq = RequirementSequence(U, masks)
+        res = solve_single_switch(seq, w=w)
+        assert switch_cost(seq, res.schedule, w=w) == pytest.approx(res.cost)
+
+    @settings(deadline=None, max_examples=60)
+    @given(instances, ws)
+    def test_dominates_lower_bound(self, masks, w):
+        seq = RequirementSequence(U, masks)
+        res = solve_single_switch(seq, w=w)
+        assert res.cost >= switch_lower_bound(seq, w) - 1e-9
+
+    @settings(deadline=None, max_examples=40)
+    @given(instances)
+    def test_beats_or_ties_baseline_plus_w(self, masks):
+        """The optimum never exceeds the single-block schedule."""
+        seq = RequirementSequence(U, masks)
+        w = 3
+        single_block = switch_cost(seq, _no_hyper(len(masks)), w=w)
+        assert solve_single_switch(seq, w=w).cost <= single_block
+
+    @settings(deadline=None, max_examples=40)
+    @given(instances)
+    def test_monotone_in_w(self, masks):
+        """Optimal cost is non-decreasing in the hyper cost w."""
+        seq = RequirementSequence(U, masks)
+        costs = [solve_single_switch(seq, w=w).cost for w in (1, 3, 9)]
+        assert costs == sorted(costs)
+
+
+def _no_hyper(n):
+    from repro.core.schedule import SingleTaskSchedule
+
+    return SingleTaskSchedule.no_hyper(n)
+
+
+class TestMaxBlock:
+    def test_max_block_forces_splits(self):
+        seq = RequirementSequence(U, [1] * 6)
+        res = solve_single_switch(seq, w=1, max_block=2)
+        assert res.schedule.r == 3
+        assert all(stop - start <= 2 for start, stop in res.schedule.blocks())
+
+    def test_max_block_validation(self):
+        with pytest.raises(ValueError):
+            solve_single_switch(RequirementSequence(U, [1]), w=1, max_block=0)
+
+    @settings(deadline=None, max_examples=30)
+    @given(instances)
+    def test_max_block_never_cheaper(self, masks):
+        seq = RequirementSequence(U, masks)
+        free = solve_single_switch(seq, w=2).cost
+        constrained = solve_single_switch(seq, w=2, max_block=2).cost
+        assert constrained >= free - 1e-9
+
+
+class TestPaperTrace:
+    def test_counter_single_task(self, counter_trace):
+        """Single-task optimum on the paper trace beats the 5280 baseline
+        and uses several hyperreconfigurations."""
+        seq = counter_trace.requirements
+        res = solve_single_switch(seq, w=48)
+        assert res.optimal
+        assert res.cost < no_hyper_cost(seq)
+        assert res.schedule.r > 1

@@ -1,0 +1,82 @@
+"""Smoke/shape tests for the ablation sweeps (repro.analysis.sweeps)."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    ga_hyperparameter_sweep,
+    make_instance,
+    scaling_sweep,
+    solver_quality_sweep,
+    sync_mode_sweep,
+)
+from repro.solvers.mt_exact import solve_mt_exact
+
+
+class TestMakeInstance:
+    def test_shapes(self):
+        system, seqs = make_instance(3, 10, 4, seed=0)
+        assert system.m == 3
+        assert len(seqs) == 3
+        assert all(len(s) == 10 for s in seqs)
+
+    def test_tasks_only_demand_their_switches(self):
+        system, seqs = make_instance(2, 8, 5, seed=1)
+        for mask, seq in zip(system.local_masks, seqs):
+            assert all(m & ~mask == 0 for m in seq.masks)
+
+    def test_deterministic(self):
+        _, a = make_instance(2, 6, 4, seed=5)
+        _, b = make_instance(2, 6, 4, seed=5)
+        assert [s.masks for s in a] == [s.masks for s in b]
+
+    def test_kinds(self):
+        for kind in ("phased", "periodic", "bursty"):
+            make_instance(2, 6, 4, kind=kind, seed=0)
+        with pytest.raises(ValueError):
+            make_instance(2, 6, 4, kind="nope", seed=0)
+
+
+class TestSolverQualitySweep:
+    def test_rows_and_gap_signs(self):
+        rows = solver_quality_sweep(
+            sizes=((2, 5),), instances=2, switches_per_task=4, seed=0
+        )
+        assert len(rows) == 1
+        _label, ga, greedy, sa = rows[0]
+        assert ga >= -1e-6 and greedy >= -1e-6 and sa >= -1e-6
+
+
+class TestScalingSweep:
+    def test_row_per_n(self):
+        rows = scaling_sweep(ns=(10, 20), m=2, switches_per_task=4, seed=0)
+        assert [r[0] for r in rows] == [10, 20]
+        for _n, greedy, ga in rows:
+            assert greedy > 0 and ga > 0
+
+
+class TestGaHyperparameterSweep:
+    def test_grid_shape(self):
+        system, seqs = make_instance(2, 8, 4, seed=2)
+        rows = ga_hyperparameter_sweep(
+            system,
+            seqs,
+            populations=(8, 16),
+            mutation_factors=(1.0,),
+            generations=30,
+            seed=0,
+        )
+        assert len(rows) == 2
+        optimum = solve_mt_exact(system, seqs).cost
+        for _pop, _factor, cost, gens in rows:
+            assert cost >= optimum - 1e-9
+            assert gens <= 30
+
+
+class TestSyncModeSweep:
+    def test_four_combinations(self):
+        system, seqs = make_instance(2, 6, 4, seed=3)
+        schedule = solve_mt_exact(system, seqs).schedule
+        rows = sync_mode_sweep(system, seqs, schedule)
+        assert len(rows) == 4
+        costs = {(r[0], r[1]): r[2] for r in rows}
+        assert costs[("task_parallel", "task_parallel")] == min(costs.values())

@@ -1,0 +1,228 @@
+"""Tests for the fully synchronized MT-Switch cost model
+(repro.core.sync_cost)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import RequirementSequence
+from repro.core.machine import MachineClass, MachineModel, SyncMode, UploadMode
+from repro.core.schedule import MultiTaskSchedule, ScheduleError
+from repro.core.sync_cost import (
+    PublicGlobalPlan,
+    sync_cost_breakdown,
+    sync_switch_cost,
+)
+from repro.core.task import TaskSystem
+from repro.core.switches import SwitchUniverse, SwitchSet
+
+U = SwitchUniverse.of_size(8)
+
+
+def _sys2():
+    # Task A owns bits 0-3, task B bits 4-7; v = (4, 4).
+    return TaskSystem.from_contiguous(U, [4, 4], names=["A", "B"])
+
+
+def _model(hyper=UploadMode.TASK_PARALLEL, reconf=UploadMode.TASK_PARALLEL):
+    return MachineModel(
+        sync_mode=SyncMode.FULLY_SYNCHRONIZED,
+        hyper_upload=hyper,
+        reconfig_upload=reconf,
+    )
+
+
+class TestHandComputedExamples:
+    def test_parallel_parallel(self):
+        system = _sys2()
+        seqs = [
+            RequirementSequence(U, [0b0001, 0b0010]),
+            RequirementSequence(U, [0b0000, 0b0000]).restrict(0xF0),
+        ]
+        schedule = MultiTaskSchedule.initial_only(2, 2)
+        # step0: hyper max(4,4)=4; reconf max(|{0,1}|=2, 0)=2
+        # step1: no hyper; reconf max(2, 0)=2
+        assert sync_switch_cost(system, seqs, schedule, _model()) == 4 + 2 + 2
+
+    def test_sequential_hyper(self):
+        system = _sys2()
+        seqs = [
+            RequirementSequence(U, [0b0001]),
+            RequirementSequence(U, [0b10000]),
+        ]
+        schedule = MultiTaskSchedule.initial_only(2, 1)
+        model = _model(hyper=UploadMode.TASK_SEQUENTIAL)
+        # hyper 4+4=8, reconf max(1,1)=1
+        assert sync_switch_cost(system, seqs, schedule, model) == 9
+
+    def test_sequential_reconf(self):
+        system = _sys2()
+        seqs = [
+            RequirementSequence(U, [0b0011]),
+            RequirementSequence(U, [0b110000]),
+        ]
+        schedule = MultiTaskSchedule.initial_only(2, 1)
+        model = _model(reconf=UploadMode.TASK_SEQUENTIAL)
+        # hyper max(4,4)=4, reconf 2+2=4
+        assert sync_switch_cost(system, seqs, schedule, model) == 8
+
+    def test_breakdown_totals(self):
+        system = _sys2()
+        seqs = [
+            RequirementSequence(U, [1, 2, 4]),
+            RequirementSequence(U, [16, 32, 64]),
+        ]
+        schedule = MultiTaskSchedule.from_hyper_steps(2, 3, [[0, 1], [0]])
+        steps = sync_cost_breakdown(system, seqs, schedule, _model())
+        assert len(steps) == 3
+        total = sync_switch_cost(system, seqs, schedule, _model())
+        assert total == sum(s.total for s in steps)
+
+    def test_w_added_once(self):
+        system = _sys2()
+        seqs = [RequirementSequence(U, [1]), RequirementSequence(U, [16])]
+        schedule = MultiTaskSchedule.initial_only(2, 1)
+        base = sync_switch_cost(system, seqs, schedule, _model())
+        assert sync_switch_cost(system, seqs, schedule, _model(), w=10) == base + 10
+
+
+class TestValidation:
+    def test_m_mismatch(self):
+        system = _sys2()
+        seqs = [RequirementSequence(U, [1])]
+        schedule = MultiTaskSchedule.initial_only(2, 1)
+        with pytest.raises(ScheduleError):
+            sync_switch_cost(system, seqs, schedule, _model())
+
+    def test_length_mismatch(self):
+        system = _sys2()
+        seqs = [RequirementSequence(U, [1]), RequirementSequence(U, [16, 32])]
+        schedule = MultiTaskSchedule.initial_only(2, 1)
+        with pytest.raises(ScheduleError):
+            sync_switch_cost(system, seqs, schedule, _model())
+
+    def test_partially_reconfigurable_needs_aligned_rows(self):
+        system = _sys2()
+        seqs = [RequirementSequence(U, [1, 1]), RequirementSequence(U, [16, 16])]
+        model = MachineModel(
+            machine_class=MachineClass.PARTIALLY_RECONFIGURABLE,
+            sync_mode=SyncMode.FULLY_SYNCHRONIZED,
+        )
+        misaligned = MultiTaskSchedule.from_hyper_steps(2, 2, [[0, 1], [0]])
+        with pytest.raises(ScheduleError):
+            sync_switch_cost(system, seqs, misaligned, model)
+        aligned = MultiTaskSchedule.all_tasks_at(2, 2, [0, 1])
+        sync_switch_cost(system, seqs, aligned, model)  # ok
+
+    def test_negative_w_rejected(self):
+        system = _sys2()
+        seqs = [RequirementSequence(U, [1]), RequirementSequence(U, [16])]
+        schedule = MultiTaskSchedule.initial_only(2, 1)
+        with pytest.raises(ValueError):
+            sync_switch_cost(system, seqs, schedule, _model(), w=-1)
+
+
+class TestUploadModeMonotonicity:
+    @settings(deadline=None)
+    @given(st.data())
+    def test_sequential_never_cheaper(self, data):
+        """Σ ≥ max per step, so sequential uploads dominate parallel."""
+        n = data.draw(st.integers(min_value=1, max_value=6))
+        system = _sys2()
+        seqs = []
+        for mask_scope in (0x0F, 0xF0):
+            masks = data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=255),
+                    min_size=n,
+                    max_size=n,
+                )
+            )
+            seqs.append(RequirementSequence(U, [m & mask_scope for m in masks]))
+        rows = [
+            [True] + data.draw(st.lists(st.booleans(), min_size=n - 1, max_size=n - 1))
+            for _ in range(2)
+        ]
+        schedule = MultiTaskSchedule(rows)
+        par = sync_switch_cost(system, seqs, schedule, _model())
+        seq_hyper = sync_switch_cost(
+            system, seqs, schedule, _model(hyper=UploadMode.TASK_SEQUENTIAL)
+        )
+        seq_both = sync_switch_cost(
+            system,
+            seqs,
+            schedule,
+            _model(
+                hyper=UploadMode.TASK_SEQUENTIAL,
+                reconf=UploadMode.TASK_SEQUENTIAL,
+            ),
+        )
+        assert par <= seq_hyper <= seq_both
+
+
+class TestPublicGlobal:
+    def test_public_term_enters_max(self):
+        universe = SwitchUniverse.of_size(8)
+        system = TaskSystem(
+            universe,
+            [
+                TaskSystem.from_contiguous(universe, [2]).tasks[0],
+            ],
+            public_global=SwitchSet(universe, 0b1100),
+        )
+        seqs = [RequirementSequence(universe, [0b01])]
+        pub_seq = RequirementSequence(universe, [0b1100])
+        schedule = MultiTaskSchedule.initial_only(1, 1)
+        model = MachineModel(
+            sync_mode=SyncMode.FULLY_SYNCHRONIZED, allow_public_global=True
+        )
+        plan = PublicGlobalPlan(seq=pub_seq, hyper_steps=(0,), v=3.0)
+        cost = sync_switch_cost(system, seqs, schedule, model, public=plan)
+        # hyper max(v_task=2, v_pub=3)=3 ; reconf max(|{0}|=1, |pub|=2)=2
+        assert cost == 5.0
+
+    def test_public_requires_context_sync(self):
+        system = _sys2()
+        seqs = [RequirementSequence(U, [1]), RequirementSequence(U, [16])]
+        pub = PublicGlobalPlan(
+            seq=RequirementSequence(U, [0]), hyper_steps=(0,), v=1.0
+        )
+        model = MachineModel(sync_mode=SyncMode.HYPERCONTEXT_SYNCHRONIZED)
+        schedule = MultiTaskSchedule.initial_only(2, 1)
+        with pytest.raises(ScheduleError):
+            sync_switch_cost(system, seqs, schedule, model, public=pub)
+
+
+class TestChangeoverMode:
+    def test_changeover_uses_symmetric_difference(self):
+        system = _sys2()
+        seqs = [
+            RequirementSequence(U, [0b0001, 0b0010]),
+            RequirementSequence(U, [0, 0]),
+        ]
+        schedule = MultiTaskSchedule.from_hyper_steps(2, 2, [[0, 1], [0]])
+        steps = sync_cost_breakdown(
+            system,
+            seqs,
+            schedule,
+            _model(),
+            changeover=True,
+            changeover_fixed=[1.0, 1.0],
+        )
+        # step0: task A hyper Δ(∅→{0})=1 (+1 fixed), task B Δ(∅→∅)=0 (+1)
+        assert steps[0].hyper == 2.0  # max over both in parallel mode
+        # step1: only task A hypers: Δ({0}→{1}) = 2 (+1 fixed)
+        assert steps[1].hyper == 3.0
+
+    def test_changeover_fixed_arity_checked(self):
+        system = _sys2()
+        seqs = [RequirementSequence(U, [1]), RequirementSequence(U, [16])]
+        schedule = MultiTaskSchedule.initial_only(2, 1)
+        with pytest.raises(ScheduleError):
+            sync_cost_breakdown(
+                system,
+                seqs,
+                schedule,
+                _model(),
+                changeover=True,
+                changeover_fixed=[1.0],
+            )

@@ -1,0 +1,127 @@
+"""Tests for Task and TaskSystem (repro.core.task)."""
+
+import pytest
+
+from repro.core.context import RequirementSequence
+from repro.core.switches import SwitchSet, SwitchUniverse
+from repro.core.task import Task, TaskSystem
+
+U = SwitchUniverse.of_size(12)
+
+
+def _system():
+    return TaskSystem.from_contiguous(U, [4, 4, 4], names=["A", "B", "C"])
+
+
+class TestTask:
+    def test_default_v_is_size(self):
+        t = Task("T", U.from_mask(0b1111))
+        assert t.v == 4.0
+        assert t.size == 4
+
+    def test_explicit_v(self):
+        t = Task("T", U.from_mask(0b1), init_cost=7.5)
+        assert t.v == 7.5
+
+    def test_invalid_v(self):
+        with pytest.raises(ValueError):
+            Task("T", U.from_mask(1), init_cost=0)
+
+    def test_empty_local_rejected(self):
+        with pytest.raises(ValueError):
+            Task("T", U.from_mask(0))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Task("", U.from_mask(1))
+
+
+class TestTaskSystemConstruction:
+    def test_from_contiguous(self):
+        sys3 = _system()
+        assert sys3.m == 3
+        assert sys3.local_masks == (0xF, 0xF0, 0xF00)
+        assert sys3.sizes == (4, 4, 4)
+        assert sys3.v == (4.0, 4.0, 4.0)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSystem(
+                U,
+                [Task("A", U.from_mask(0b11)), Task("B", U.from_mask(0b10))],
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSystem(
+                U,
+                [Task("A", U.from_mask(0b01)), Task("A", U.from_mask(0b10))],
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSystem(U, [])
+
+    def test_global_pool_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSystem(
+                U,
+                [Task("A", U.from_mask(0b1))],
+                private_global=SwitchSet(U, 0b1),
+            )
+
+    def test_oversized_contiguous_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSystem.from_contiguous(U, [8, 8])
+
+    def test_task_index(self):
+        sys3 = _system()
+        assert sys3.task_index("B") == 1
+        with pytest.raises(KeyError):
+            sys3.task_index("Z")
+
+    def test_g_counts_private(self):
+        sys1 = TaskSystem(
+            U,
+            [Task("A", U.from_mask(0b11))],
+            private_global=SwitchSet(U, 0b1100),
+        )
+        assert sys1.g == 2
+
+
+class TestSplitAndMerge:
+    def test_split_projects_onto_locals(self):
+        sys3 = _system()
+        seq = RequirementSequence(U, [0xFFF, 0x0F0, 0x000])
+        parts = sys3.split_requirements(seq)
+        assert parts[0].masks == (0x00F, 0x000, 0x000)
+        assert parts[1].masks == (0x0F0, 0x0F0, 0x000)
+        assert parts[2].masks == (0xF00, 0x000, 0x000)
+
+    def test_split_wrong_universe(self):
+        other = SwitchUniverse.of_size(12, prefix="q")
+        seq = RequirementSequence(other, [0])
+        with pytest.raises(ValueError):
+            _system().split_requirements(seq)
+
+    def test_unclaimed_mask(self):
+        sys2 = TaskSystem.from_contiguous(U, [4, 4])  # bits 8..11 unowned
+        seq = RequirementSequence(U, [0xF00])
+        assert sys2.unclaimed_mask(seq) == 0xF00
+        assert _system().unclaimed_mask(seq) == 0
+
+    def test_merged_single_task(self):
+        merged = _system().merged_single_task("ALL")
+        assert merged.m == 1
+        assert merged.tasks[0].local_mask == 0xFFF
+        assert merged.tasks[0].v == 12.0
+
+    def test_merge_preserves_split_union(self):
+        sys3 = _system()
+        seq = RequirementSequence(U, [0b1010_1010_1010, 0b0101_0101_0101])
+        parts = sys3.split_requirements(seq)
+        recombined = [0] * len(seq)
+        for part in parts:
+            for i, m in enumerate(part.masks):
+                recombined[i] |= m
+        assert tuple(recombined) == seq.masks  # locals cover the universe

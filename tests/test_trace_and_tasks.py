@@ -1,0 +1,174 @@
+"""Tests for trace capture (repro.shyra.trace) and the SHyRA task split
+(repro.shyra.tasks)."""
+
+import pytest
+
+from repro.core.cost_single import no_hyper_cost
+from repro.shyra.apps.counter import build_counter_program, counter_registers
+from repro.shyra.apps.parity import build_parity_program, parity_registers
+from repro.shyra.config import COMPONENT_BIT_RANGES
+from repro.shyra.tasks import (
+    component_masks,
+    shyra_single_task_system,
+    shyra_switch_names,
+    shyra_task_system,
+    shyra_universe,
+)
+from repro.shyra.trace import RequirementSemantics, run_and_trace
+
+
+class TestUniverseAndTasks:
+    def test_universe_has_48_named_switches(self):
+        u = shyra_universe()
+        assert u.size == 48
+        names = shyra_switch_names()
+        assert len(set(names)) == 48
+        assert "lut1_tt_b0" in names and "mux5_b3" in names
+
+    def test_task_sizes_match_paper(self):
+        system = shyra_task_system()
+        assert system.m == 4
+        assert dict(zip((t.name for t in system.tasks), system.sizes)) == {
+            "LUT1": 8,
+            "LUT2": 8,
+            "DEMUX": 8,
+            "MUX": 24,
+        }
+        assert system.v == (8.0, 8.0, 8.0, 24.0)
+
+    def test_component_masks_partition(self):
+        masks = component_masks()
+        combined = 0
+        for mask in masks.values():
+            assert combined & mask == 0
+            combined |= mask
+        assert combined == (1 << 48) - 1
+
+    def test_single_task_merge(self):
+        merged = shyra_single_task_system()
+        assert merged.m == 1
+        assert merged.tasks[0].v == 48.0
+
+    def test_local_masks_match_component_ranges(self):
+        system = shyra_task_system()
+        for task in system.tasks:
+            lsb, width = COMPONENT_BIT_RANGES[task.name]
+            assert task.local_mask == ((1 << width) - 1) << lsb
+
+
+class TestDeltaSemantics:
+    def test_counter_trace_has_110_steps(self, counter_trace):
+        assert counter_trace.n == 110
+        assert len(counter_trace.requirements) == 110
+
+    def test_first_delta_is_against_reset_config(self):
+        program = build_counter_program()
+        trace = run_and_trace(
+            program,
+            initial_registers=counter_registers(0, 1),
+            reset_config=0,
+        )
+        assert trace.requirements.masks[0] == trace.config_words[0]
+
+    def test_nonzero_reset_config_changes_first_delta(self):
+        program = build_counter_program()
+        a = run_and_trace(
+            program, initial_registers=counter_registers(0, 1), reset_config=0
+        )
+        b = run_and_trace(
+            program,
+            initial_registers=counter_registers(0, 1),
+            reset_config=a.config_words[0],
+        )
+        assert b.requirements.masks[0] == 0
+
+    def test_deltas_reconstruct_configs(self, counter_trace):
+        """XOR-accumulating the deltas reproduces every config word."""
+        acc = 0
+        for delta, word in zip(
+            counter_trace.requirements.masks, counter_trace.config_words
+        ):
+            acc ^= delta
+            assert acc == word
+
+    def test_loop_iterations_share_delta_pattern(self, counter_trace):
+        """After the first iteration the trace is 11-periodic."""
+        masks = counter_trace.requirements.masks
+        for i in range(11, 99):
+            assert masks[i] == masks[i + 11]
+
+
+class TestWrittenSemantics:
+    def test_written_covers_delta_in_naive_mode(self):
+        """The naive mapping re-emits every field, so WRITTEN is a
+        superset of DELTA on every executed cycle."""
+        program = build_counter_program(hold_unused=False)
+        delta = run_and_trace(
+            program,
+            initial_registers=counter_registers(0, 10),
+            semantics=RequirementSemantics.DELTA,
+        )
+        written = run_and_trace(
+            program,
+            initial_registers=counter_registers(0, 10),
+            semantics=RequirementSemantics.WRITTEN,
+        )
+        for d, w in zip(delta.requirements.masks, written.requirements.masks):
+            assert d & ~w == 0
+
+    def test_written_covers_delta_on_straight_line_hold(self):
+        """With the holding mapping the covering property holds along
+        straight-line execution (the first loop iteration); a loop-back
+        jump may legally change bits of held fields."""
+        program = build_counter_program(hold_unused=True)
+        delta = run_and_trace(
+            program,
+            initial_registers=counter_registers(0, 10),
+            semantics=RequirementSemantics.DELTA,
+        )
+        written = run_and_trace(
+            program,
+            initial_registers=counter_registers(0, 10),
+            semantics=RequirementSemantics.WRITTEN,
+        )
+        body = len(program)
+        for d, w in zip(
+            delta.requirements.masks[:body], written.requirements.masks[:body]
+        ):
+            assert d & ~w == 0
+
+    def test_written_costs_dominate_delta_costs(self):
+        from repro.solvers.single_dp import solve_single_switch
+
+        program = build_parity_program()
+        delta = run_and_trace(
+            program,
+            initial_registers=parity_registers(0xA5),
+            semantics=RequirementSemantics.DELTA,
+        )
+        written = run_and_trace(
+            program,
+            initial_registers=parity_registers(0xA5),
+            semantics=RequirementSemantics.WRITTEN,
+        )
+        c_delta = solve_single_switch(delta.requirements, w=48).cost
+        c_written = solve_single_switch(written.requirements, w=48).cost
+        assert c_delta <= c_written
+
+
+class TestTraceMetadata:
+    def test_final_registers_exposed(self, counter_trace):
+        regs = counter_trace.final_registers
+        assert regs[:4] == (0, 1, 0, 1)  # 1010 LSB-first
+        assert regs[9] == 1  # equality accumulator set
+
+    def test_records_align_with_configs(self, counter_trace):
+        assert len(counter_trace.records) == counter_trace.n
+        for rec, word in zip(counter_trace.records, counter_trace.config_words):
+            assert rec.config_word == word
+
+    def test_baseline_cost_is_5280(self, counter_trace):
+        assert no_hyper_cost(counter_trace.requirements) == 5280.0
+
+    def test_split_covers_all_demand(self, counter_trace, mt_system):
+        assert mt_system.unclaimed_mask(counter_trace.requirements) == 0

@@ -1,0 +1,94 @@
+"""Tests for trace statistics (repro.analysis.trace_stats)."""
+
+import pytest
+
+from repro.analysis.trace_stats import (
+    demand_profile,
+    detect_period,
+    segment_phases,
+)
+from repro.core.context import RequirementSequence
+from repro.core.switches import SwitchUniverse
+from repro.shyra.tasks import component_masks
+
+U = SwitchUniverse.of_size(8)
+
+
+class TestDemandProfile:
+    def test_basic_statistics(self):
+        seq = RequirementSequence(U, [0b1, 0b11, 0b111])
+        p = demand_profile(seq)
+        assert p.n == 3
+        assert p.mean_demand == pytest.approx(2.0)
+        assert p.max_demand == 3
+        assert p.total_union_size == 3
+        assert p.sparsity == pytest.approx(2.0 / 8)
+
+    def test_empty_sequence(self):
+        p = demand_profile(RequirementSequence(U, []))
+        assert p.n == 0 and p.mean_demand == 0.0 and p.max_demand == 0
+
+    def test_component_breakdown_on_counter(self, counter_trace):
+        p = demand_profile(counter_trace.requirements, component_masks())
+        assert set(p.per_component_mean) == {"LUT1", "LUT2", "DEMUX", "MUX"}
+        total = sum(p.per_component_mean.values())
+        assert total == pytest.approx(p.mean_demand)
+
+
+class TestDetectPeriod:
+    def test_exact_period(self):
+        seq = RequirementSequence(U, [1, 2, 3] * 5)
+        assert detect_period(seq) == 3
+
+    def test_no_period(self):
+        seq = RequirementSequence(U, [1, 2, 3, 4, 5, 6, 7])
+        assert detect_period(seq) is None
+
+    def test_skip_aperiodic_prefix(self):
+        seq = RequirementSequence(U, [9, 9, 9] + [1, 2] * 6)
+        assert detect_period(seq) is None or detect_period(seq) > 2
+        assert detect_period(seq, skip=3) == 2
+
+    def test_counter_trace_is_11_periodic(self, counter_trace):
+        assert detect_period(counter_trace.requirements, skip=11) == 11
+
+    def test_constant_sequence_period_one(self):
+        seq = RequirementSequence(U, [5] * 6)
+        assert detect_period(seq) == 1
+
+
+class TestSegmentPhases:
+    def test_two_disjoint_phases(self):
+        seq = RequirementSequence(U, [0b11] * 5 + [0b1100000] * 5)
+        segments = segment_phases(seq)
+        assert len(segments) == 2
+        assert segments[0].stop == 5
+        assert segments[0].working_set_mask == 0b11
+        assert segments[1].working_set_mask == 0b1100000
+
+    def test_single_phase_when_overlapping(self):
+        seq = RequirementSequence(U, [0b11, 0b110, 0b11, 0b110])
+        assert len(segment_phases(seq)) == 1
+
+    def test_segments_tile_sequence(self):
+        seq = RequirementSequence(
+            U, [0b1] * 3 + [0b1000] * 3 + [0b100000] * 3
+        )
+        segments = segment_phases(seq)
+        expected = 0
+        for s in segments:
+            assert s.start == expected
+            expected = s.stop
+        assert expected == len(seq)
+
+    def test_empty_requirements_do_not_split(self):
+        seq = RequirementSequence(U, [0b1, 0, 0, 0b1])
+        assert len(segment_phases(seq)) == 1
+
+    def test_threshold_validation(self):
+        seq = RequirementSequence(U, [1])
+        with pytest.raises(ValueError):
+            segment_phases(seq, drift_threshold=2.0)
+
+    def test_empty_sequence(self):
+        assert segment_phases(RequirementSequence(U, [])) == []

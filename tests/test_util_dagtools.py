@@ -1,0 +1,129 @@
+"""Tests for repro.util.dagtools, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.dagtools import (
+    CycleError,
+    ancestors,
+    descendants,
+    is_antichain,
+    minimal_elements,
+    reachable_set,
+    topological_order,
+    transitive_reduction_edges,
+)
+
+DIAMOND = {"a": ["b", "c"], "b": ["d"], "c": ["d"], "d": []}
+CHAIN = {"x": ["y"], "y": ["z"], "z": []}
+
+
+@st.composite
+def random_dags(draw):
+    """Random DAGs as edge sets over nodes 0..n-1 with i < j edges only."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ).filter(lambda e: e[0] < e[1]),
+            max_size=16,
+        )
+    )
+    adj = {i: [] for i in range(n)}
+    for u, v in edges:
+        adj[u].append(v)
+    return adj
+
+
+class TestTopologicalOrder:
+    def test_diamond(self):
+        order = topological_order(DIAMOND)
+        pos = {node: i for i, node in enumerate(order)}
+        assert pos["a"] < pos["b"] < pos["d"]
+        assert pos["a"] < pos["c"] < pos["d"]
+
+    def test_cycle_detected(self):
+        with pytest.raises(CycleError):
+            topological_order({"a": ["b"], "b": ["a"]})
+
+    def test_self_loop_detected(self):
+        with pytest.raises(CycleError):
+            topological_order({"a": ["a"]})
+
+    @given(random_dags())
+    def test_respects_all_edges(self, adj):
+        order = topological_order(adj)
+        pos = {node: i for i, node in enumerate(order)}
+        for u, vs in adj.items():
+            for v in vs:
+                assert pos[u] < pos[v]
+
+
+class TestReachability:
+    def test_reachable_includes_sources(self):
+        assert "a" in reachable_set(DIAMOND, ["a"])
+
+    def test_descendants_diamond(self):
+        assert descendants(DIAMOND, "a") == {"b", "c", "d"}
+        assert descendants(DIAMOND, "d") == set()
+
+    def test_ancestors_diamond(self):
+        assert ancestors(DIAMOND, "d") == {"a", "b", "c"}
+        assert ancestors(DIAMOND, "a") == set()
+
+    @given(random_dags())
+    def test_matches_networkx(self, adj):
+        g = nx.DiGraph()
+        g.add_nodes_from(adj)
+        g.add_edges_from((u, v) for u, vs in adj.items() for v in vs)
+        for node in adj:
+            assert descendants(adj, node) == nx.descendants(g, node)
+            assert ancestors(adj, node) == nx.ancestors(g, node)
+
+
+class TestMinimalElements:
+    def test_diamond_all(self):
+        assert minimal_elements(DIAMOND, {"a", "b", "c", "d"}) == {"a"}
+
+    def test_incomparable_pair(self):
+        assert minimal_elements(DIAMOND, {"b", "c"}) == {"b", "c"}
+
+    def test_subset_only(self):
+        assert minimal_elements(DIAMOND, {"b", "d"}) == {"b"}
+
+    def test_empty(self):
+        assert minimal_elements(DIAMOND, set()) == set()
+
+
+class TestAntichain:
+    def test_diamond_cases(self):
+        assert is_antichain(DIAMOND, {"b", "c"})
+        assert not is_antichain(DIAMOND, {"a", "d"})
+
+    def test_singleton_always(self):
+        assert is_antichain(CHAIN, {"y"})
+
+
+class TestTransitiveReduction:
+    def test_removes_shortcut(self):
+        adj = {"a": ["b", "c"], "b": ["c"], "c": []}
+        assert transitive_reduction_edges(adj) == {("a", "b"), ("b", "c")}
+
+    def test_diamond_kept(self):
+        assert transitive_reduction_edges(DIAMOND) == {
+            ("a", "b"),
+            ("a", "c"),
+            ("b", "d"),
+            ("c", "d"),
+        }
+
+    @given(random_dags())
+    def test_matches_networkx(self, adj):
+        g = nx.DiGraph()
+        g.add_nodes_from(adj)
+        g.add_edges_from((u, v) for u, vs in adj.items() for v in vs)
+        expected = set(nx.transitive_reduction(g).edges())
+        assert transitive_reduction_edges(adj) == expected

@@ -1,0 +1,59 @@
+"""Tests for repro.util.rng and repro.util.texttable."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.texttable import format_table
+
+
+class TestMakeRng:
+    def test_deterministic(self):
+        assert make_rng(42).integers(0, 1000) == make_rng(42).integers(0, 1000)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_differ(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.integers(0, 2**31) != b.integers(0, 2**31)
+
+    def test_deterministic(self):
+        xs = [g.integers(0, 2**31) for g in spawn_rngs(1, 3)]
+        ys = [g.integers(0, 2**31) for g in spawn_rngs(1, 3)]
+        assert xs == ys
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[3.14159]], float_fmt=".2f")
+        assert "3.14" in out
+        assert "3.142" not in out
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])

@@ -7,7 +7,12 @@ the paper trace and on synthetic workloads, plus the asynchronous-vs-
 synchronized machine comparison enabled by the exact async solver.
 """
 
-from repro.analysis.workloads import bursty_workload, phased_workload
+from repro.analysis.workloads import (
+    adversarial_workload,
+    bursty_workload,
+    markov_workload,
+    phased_workload,
+)
 from repro.core.switches import SwitchUniverse
 from repro.shyra.tasks import shyra_task_system
 from repro.solvers.mt_async import async_vs_sync_gap, solve_mt_async
@@ -25,7 +30,7 @@ def test_bench_online_on_counter(benchmark, counter_trace):
     schedulers = [
         RentOrBuyScheduler(w, alpha=1.0, memory=4),
         RentOrBuyScheduler(w, alpha=2.0, memory=11),
-        WindowScheduler(w, k=11),
+        WindowScheduler(k=11),
     ]
     rows = benchmark(competitive_report, seq, w, schedulers)
     print()
@@ -53,9 +58,13 @@ def test_bench_online_synthetic(benchmark):
         for name, seq in (
             ("phased", phased_workload(universe, 200, phases=8, seed=1)),
             ("bursty", bursty_workload(universe, 200, seed=2)),
+            ("markov", markov_workload(universe, 200, states=4, stay=0.92,
+                                       seed=3)),
+            ("adversarial", adversarial_workload(universe, 200, block=8,
+                                                 seed=4)),
         ):
             report = competitive_report(
-                seq, w, [RentOrBuyScheduler(w), WindowScheduler(w, k=16)]
+                seq, w, [RentOrBuyScheduler(w), WindowScheduler(k=16)]
             )
             for policy, cost, ratio in report:
                 rows.append([name, policy, cost, ratio])
@@ -70,7 +79,10 @@ def test_bench_online_synthetic(benchmark):
             title="E11: online policies on synthetic workloads",
         )
     )
-    for _w, _p, _c, ratio in rows:
+    # The adversarial family is *designed* to hurt online policies, but
+    # the committed seeds measure well under the shared bound (~1.7),
+    # so all families keep the original regression guarantee.
+    for _workload, _p, _c, ratio in rows:
         assert ratio < 5.0
 
 

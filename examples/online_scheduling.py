@@ -37,7 +37,7 @@ def main() -> None:
         competitive_report(seq, w, [
             RentOrBuyScheduler(w, alpha=1.0, memory=4),
             RentOrBuyScheduler(w, alpha=2.0, memory=11),
-            WindowScheduler(w, k=11),
+            WindowScheduler(k=11),
         ]),
         title="Counter trace (n=110, w=48)",
     ))
@@ -59,7 +59,7 @@ def main() -> None:
         competitive_report(phased, w, [
             RentOrBuyScheduler(w, alpha=1.0),
             RentOrBuyScheduler(w, alpha=0.5),
-            WindowScheduler(w, k=20),
+            WindowScheduler(k=20),
         ]),
         title="Synthetic 8-phase workload (n=160)",
     ))

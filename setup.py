@@ -2,7 +2,11 @@
 
 Metadata lives in ``pyproject.toml``; this file exists so that
 ``pip install -e .`` works in offline environments whose pip/setuptools
-cannot build PEP 660 editable wheels (no ``wheel`` package available).
+cannot build PEP 660 editable wheels (no ``wheel`` package available):
+
+    pip install -e . --no-build-isolation --config-settings editable_mode=compat
+
+or, on the oldest toolchains, ``python setup.py develop``.
 """
 
 from setuptools import setup

@@ -18,9 +18,15 @@ The library provides
   architecture, with a micro-assembler and the evaluation applications
   (:mod:`repro.shyra`);
 * experiment drivers regenerating every figure and headline number of
-  the evaluation section (:mod:`repro.analysis`).
+  the evaluation section (:mod:`repro.analysis`);
+* a batch & streaming serving engine (:mod:`repro.engine`): a
+  declarative solver registry with capability tags, canonical solve
+  requests with structural deduplication, an LRU result cache, a
+  multiprocessing batch executor with per-request timeouts, streaming
+  sessions for the online policies, and throughput/latency/cache
+  metrics (also exposed as the ``repro batch`` CLI subcommand).
 
-Quickstart::
+Quickstart (one instance)::
 
     from repro.shyra.apps import build_counter_program, counter_registers
     from repro.shyra import run_and_trace, shyra_task_system
@@ -30,6 +36,16 @@ Quickstart::
                           initial_registers=counter_registers(0, 10))
     result = solve_single_switch(trace.requirements, w=48)
     print(trace.n, result.cost)
+
+Quickstart (serving many instances)::
+
+    from repro.engine import BatchEngine, SolveRequest
+
+    engine = BatchEngine(workers=2)
+    requests = [SolveRequest.single(trace.requirements, w=48.0)
+                for trace in traces]
+    results = engine.solve_batch(requests)
+    print(engine.metrics.format_report(engine.cache.stats))
 """
 
 from repro.core import (
@@ -48,6 +64,12 @@ from repro.core import (
     switch_cost,
     sync_switch_cost,
 )
+from repro.engine import (
+    BatchEngine,
+    SolveRequest,
+    StreamSession,
+    default_registry,
+)
 from repro.solvers import (
     GAParams,
     solve_mt_exact,
@@ -56,7 +78,9 @@ from repro.solvers import (
     solve_single_switch,
 )
 
-__version__ = "1.0.0"
+# 2.0.0: the serving-engine release; breaking — WindowScheduler lost
+# its unused ``w`` parameter and now predicts from the previous window.
+__version__ = "2.0.0"
 
 __all__ = [
     "MachineClass",
@@ -78,5 +102,9 @@ __all__ = [
     "solve_mt_genetic",
     "solve_mt_greedy_merge",
     "solve_single_switch",
+    "BatchEngine",
+    "SolveRequest",
+    "StreamSession",
+    "default_registry",
     "__version__",
 ]

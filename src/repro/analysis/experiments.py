@@ -29,10 +29,10 @@ from repro.core.task import TaskSystem
 from repro.shyra.apps.counter import build_counter_program, counter_registers
 from repro.shyra.tasks import shyra_task_system
 from repro.shyra.trace import RequirementSemantics, TraceResult, run_and_trace
+from repro.engine.registry import default_registry
 from repro.solvers.base import MTSolveResult, SolveResult
-from repro.solvers.mt_genetic import GAParams, solve_mt_genetic
+from repro.solvers.mt_genetic import GAParams
 from repro.solvers.mt_greedy import local_search
-from repro.solvers.single_dp import solve_single_switch
 from repro.util.rng import SeedLike
 
 __all__ = ["PAPER_NUMBERS", "CounterExperiment", "run_counter_experiment"]
@@ -127,10 +127,13 @@ def run_counter_experiment(
     system = shyra_task_system(seq.universe)
     task_seqs = system.split_requirements(seq)
 
+    registry = default_registry()
     cost_disabled = no_hyper_cost(seq)
-    single = solve_single_switch(seq, w=float(seq.universe.size))
-    multi = solve_mt_genetic(
-        system, task_seqs, model, params=ga_params, seed=seed
+    single = registry.solve_single(
+        "single_dp", seq, w=float(seq.universe.size)
+    )
+    multi = registry.solve_multi(
+        "mt_genetic", system, task_seqs, model, params=ga_params, seed=seed
     )
     if refine_with_local_search:
         refined = local_search(system, task_seqs, multi.schedule, model)

@@ -11,20 +11,29 @@ experiments (E4–E9):
 * :func:`periodic_workload` — a loop body repeated with jitter (the
   shape of the SHyRA counter trace);
 * :func:`bursty_workload` — mostly tiny requirements with occasional
-  dense bursts (worst-ish case for a single hypercontext).
+  dense bursts (worst-ish case for a single hypercontext);
+* :func:`markov_workload` — Markov-modulated phase switching: a hidden
+  state chain selects the active working set, so phase lengths are
+  geometric rather than fixed (online policies cannot rely on a
+  cadence);
+* :func:`adversarial_workload` — alternating disjoint working sets,
+  the classic worst case for history-based online policies (every
+  phase change invalidates the learned hypercontext).
 """
 
 from __future__ import annotations
 
 from repro.core.context import RequirementSequence
 from repro.core.switches import SwitchUniverse
-from repro.util.bitset import random_mask
+from repro.util.bitset import mask_of, random_mask
 from repro.util.rng import SeedLike, make_rng
 
 __all__ = [
     "phased_workload",
     "periodic_workload",
     "bursty_workload",
+    "markov_workload",
+    "adversarial_workload",
     "random_task_workloads",
 ]
 
@@ -107,6 +116,85 @@ def bursty_workload(
     return RequirementSequence(universe, masks)
 
 
+def markov_workload(
+    universe: SwitchUniverse,
+    n: int,
+    *,
+    states: int = 3,
+    working_set: float = 0.3,
+    step_density: float = 0.5,
+    stay: float = 0.9,
+    seed: SeedLike = None,
+) -> RequirementSequence:
+    """Markov-modulated phase switching.
+
+    A hidden Markov chain over ``states`` working sets emits the
+    requirements: at every step the chain stays in its state with
+    probability ``stay`` (phase lengths are geometric with mean
+    ``1/(1-stay)``) or jumps uniformly to a different state.  Each step
+    demands a ``step_density`` subset of the active working set.
+    Unlike :func:`phased_workload`, phase boundaries carry no cadence an
+    online policy could lock onto.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if states < 1:
+        raise ValueError("need at least one state")
+    if not 0.0 <= stay <= 1.0:
+        raise ValueError("stay probability must be in [0, 1]")
+    rng = make_rng(seed)
+    working_sets = [
+        random_mask(rng, universe.size, working_set) for _ in range(states)
+    ]
+    state = int(rng.integers(states))
+    masks: list[int] = []
+    for _ in range(n):
+        masks.append(
+            working_sets[state] & random_mask(rng, universe.size, step_density)
+        )
+        if states > 1 and rng.random() >= stay:
+            jump = int(rng.integers(states - 1))
+            state = jump if jump < state else jump + 1
+    return RequirementSequence(universe, masks)
+
+
+def adversarial_workload(
+    universe: SwitchUniverse,
+    n: int,
+    *,
+    working_set: float = 0.5,
+    block: int = 1,
+    seed: SeedLike = None,
+) -> RequirementSequence:
+    """Alternating disjoint working sets (online worst case).
+
+    A ``working_set`` fraction of the universe is split into two
+    disjoint halves ``A`` and ``B``; the sequence demands all of ``A``
+    for ``block`` steps, then all of ``B``, alternating.  Every phase
+    change invalidates whatever a history-based online policy learned
+    (the ski-rental adversary): with ``block=1`` each step flips the
+    working set, forcing a hyperreconfiguration per step on any policy
+    that only installs what it recently saw, while the offline optimum
+    simply installs ``A ∪ B`` once.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if block < 1:
+        raise ValueError("block must be at least 1")
+    if universe.size < 2:
+        raise ValueError("need a universe of at least two switches")
+    rng = make_rng(seed)
+    drawn = random_mask(rng, universe.size, working_set)
+    bits = [i for i in range(universe.size) if drawn >> i & 1]
+    if len(bits) < 2:  # degenerate draw: fall back to two fixed switches
+        bits = [0, 1]
+    order = [bits[i] for i in rng.permutation(len(bits))]
+    half = len(order) // 2
+    sides = (mask_of(order[:half]), mask_of(order[half:]))
+    masks = [sides[(i // block) % 2] for i in range(n)]
+    return RequirementSequence(universe, masks)
+
+
 def random_task_workloads(
     universe: SwitchUniverse,
     local_masks: list[int],
@@ -126,6 +214,8 @@ def random_task_workloads(
         "phased": phased_workload,
         "periodic": periodic_workload,
         "bursty": bursty_workload,
+        "markov": markov_workload,
+        "adversarial": adversarial_workload,
     }
     if kind not in generators:
         raise ValueError(f"unknown workload kind {kind!r}")

@@ -1,12 +1,21 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows without writing Python:
+Subcommands cover the common workflows without writing Python:
 
 * ``repro trace <app>`` — simulate a SHyRA application and dump its
   requirement trace (optionally as JSON);
 * ``repro solve <app>`` — trace + solve single- and multi-task
   scheduling, print the cost table;
-* ``repro experiment`` — the full paper reproduction (E1–E3 artifacts).
+* ``repro batch [apps…]`` — push a (repeatable) mixed workload through
+  the :class:`~repro.engine.batch.BatchEngine` and print per-request
+  rows plus throughput/latency/cache metrics;
+* ``repro solvers`` — list the registered solver zoo with capability
+  tags;
+* ``repro experiment`` — the full paper reproduction (E1–E3 artifacts);
+* ``repro stats <app>`` — trace statistics and phase structure.
+
+All solving goes through the solver registry and the serving engine
+(:mod:`repro.engine`), never through ad-hoc solver imports.
 
 Installed as the ``repro`` console script; also runnable via
 ``python -m repro.cli``.
@@ -23,6 +32,9 @@ from repro.analysis.figures import render_fig2, render_fig3
 from repro.analysis.report import counter_cost_table, paper_comparison_table
 from repro.analysis.trace_stats import demand_profile, detect_period
 from repro.core.cost_single import no_hyper_cost
+from repro.engine.batch import BatchEngine
+from repro.engine.registry import default_registry
+from repro.engine.requests import SolveRequest
 from repro.shyra.apps.adder import adder_registers, build_adder_program
 from repro.shyra.apps.comparator import (
     build_comparator_program,
@@ -34,8 +46,6 @@ from repro.shyra.apps.lfsr import build_lfsr_program, lfsr_registers
 from repro.shyra.apps.parity import build_parity_program, parity_registers
 from repro.shyra.tasks import component_masks, shyra_task_system
 from repro.shyra.trace import RequirementSemantics, run_and_trace
-from repro.solvers.mt_greedy import solve_mt_greedy_merge
-from repro.solvers.single_dp import solve_single_switch
 from repro.util.texttable import format_table
 
 __all__ = ["main", "APPS"]
@@ -98,8 +108,20 @@ def cmd_solve(args) -> int:
     seq = trace.requirements
     system = shyra_task_system()
     base = no_hyper_cost(seq)
-    single = solve_single_switch(seq, w=float(seq.universe.size))
-    multi = solve_mt_greedy_merge(system, system.split_requirements(seq))
+    engine = BatchEngine()
+    single_res = engine.solve(
+        SolveRequest.single(seq, w=float(seq.universe.size))
+    )
+    multi_res = engine.solve(
+        SolveRequest.multi(
+            system, system.split_requirements(seq), solver="mt_greedy"
+        )
+    )
+    for res in (single_res, multi_res):
+        if not res.ok:
+            print(f"solve failed: {res.error}", file=sys.stderr)
+            return 1
+    single, multi = single_res.value, multi_res.value
     rows = [
         ["hyperreconfiguration disabled", base, 100.0, "-"],
         ["single task (optimal DP)", single.cost,
@@ -112,6 +134,109 @@ def cmd_solve(args) -> int:
         ["configuration", "cost", "% of disabled", "hyper steps"],
         rows,
         title=f"{args.app}: scheduling (n={trace.n})",
+    ))
+    return 0
+
+
+def _batch_requests(apps, *, naive: bool, solver: str):
+    """One single- and one multi-task request per app trace."""
+    requests = []
+    labels = []
+    system = shyra_task_system()
+    for app in apps:
+        build, registers = APPS[app]
+        program = build(hold_unused=not naive)
+        trace = run_and_trace(program, initial_registers=registers())
+        seq = trace.requirements
+        requests.append(SolveRequest.single(seq, w=float(seq.universe.size)))
+        labels.append((app, "single"))
+        requests.append(
+            SolveRequest.multi(
+                system, system.split_requirements(seq), solver=solver
+            )
+        )
+        labels.append((app, "multi"))
+    return requests, labels
+
+
+def cmd_batch(args) -> int:
+    if args.repeat < 1:
+        print("--repeat must be at least 1", file=sys.stderr)
+        return 2
+    apps = args.apps or sorted(APPS)
+    for app in apps:
+        if app not in APPS:
+            print(f"unknown app {app!r}; choose from {sorted(APPS)}",
+                  file=sys.stderr)
+            return 2
+    try:
+        engine = BatchEngine(
+            workers=args.workers,
+            cache_size=args.cache_size,
+            timeout=args.timeout,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    requests, labels = _batch_requests(
+        apps, naive=args.naive, solver=args.solver
+    )
+    requests = requests * args.repeat
+    labels = labels * args.repeat
+    results = engine.solve_batch(requests)
+    if args.json:
+        payload = engine.metrics.snapshot(engine.cache.stats)
+        payload["results"] = [
+            {
+                "app": app,
+                "kind": kind,
+                "ok": res.ok,
+                "cost": res.value.cost if res.ok else None,
+                "solver": res.value.solver if res.ok else None,
+                "error": res.error,
+                "cached": res.cached,
+                "elapsed_s": res.elapsed,
+            }
+            for (app, kind), res in zip(labels, results)
+        ]
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0 if all(r.ok for r in results) else 1
+    # One row per unique request: the first occurrence's solve plus how
+    # many of its duplicates the cache served.
+    summary: dict[tuple, dict] = {}
+    for label, res in zip(labels, results):
+        entry = summary.setdefault(label, {"res": res, "hits": 0})
+        if res.cached:
+            entry["hits"] += 1
+    rows = []
+    for (app, kind), entry in summary.items():
+        res = entry["res"]
+        rows.append([
+            app,
+            kind,
+            res.value.solver if res.ok else f"error: {res.error}",
+            round(res.value.cost, 1) if res.ok else "-",
+            f"{res.elapsed * 1e3:.1f} ms",
+            entry["hits"],
+        ])
+    print(format_table(
+        ["app", "kind", "solver", "cost", "solve", "cache hits"],
+        rows,
+        title=f"batch: {len(requests)} requests "
+              f"({args.repeat}× {len(rows)} unique), "
+              f"{args.workers} worker(s)",
+    ))
+    print()
+    print(engine.metrics.format_report(engine.cache.stats))
+    return 0 if all(r.ok for r in results) else 1
+
+
+def cmd_solvers(_args) -> int:
+    print(format_table(
+        ["solver", "kind", "exact", "cost model", "tags"],
+        default_registry().describe(),
+        title="registered solvers",
     ))
     return 0
 
@@ -192,6 +317,40 @@ def build_parser() -> argparse.ArgumentParser:
         "solve", parents=[common], help="trace an app and solve scheduling"
     )
     p_solve.set_defaults(func=cmd_solve)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="solve a mixed app workload through the batch engine",
+    )
+    p_batch.add_argument(
+        "apps", nargs="*", metavar="app",
+        help=f"apps to trace and solve (default: all of {sorted(APPS)})",
+    )
+    p_batch.add_argument(
+        "--solver", default="mt_greedy",
+        help="registry name of the multi-task solver (default: mt_greedy)",
+    )
+    p_batch.add_argument("--workers", type=int, default=1)
+    p_batch.add_argument(
+        "--repeat", type=int, default=2,
+        help="duplicate the workload N times (exercises the result cache)",
+    )
+    p_batch.add_argument("--cache-size", type=int, default=1024)
+    p_batch.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request solve budget in seconds",
+    )
+    p_batch.add_argument(
+        "--naive", action="store_true",
+        help="use the naive (non-holding) compiler mapping",
+    )
+    p_batch.add_argument("--json", action="store_true")
+    p_batch.set_defaults(func=cmd_batch)
+
+    p_solvers = sub.add_parser(
+        "solvers", help="list the registered solver zoo"
+    )
+    p_solvers.set_defaults(func=cmd_solvers)
 
     p_exp = sub.add_parser(
         "experiment", help="run the full paper reproduction"

@@ -1,0 +1,302 @@
+"""Batch execution: fan requests across processes, dedup via the cache.
+
+:class:`BatchEngine` is the engine's front door.  One call takes a
+list of :class:`~repro.engine.requests.SolveRequest`, and
+
+1. canonicalizes every request (structural dedup — permuted task
+   orders, renamed switches, repeated traces all collapse);
+2. serves cache hits immediately;
+3. solves each *unique* miss exactly once — inline, or chunked across
+   ``workers`` :mod:`multiprocessing` processes with an optional
+   per-request timeout;
+4. stores results under canonical keys and materializes one
+   :class:`~repro.engine.requests.EngineResult` per input request, in
+   input order, with multi-task schedule rows permuted back to each
+   request's own task order.
+
+Workers enforce timeouts with ``SIGALRM`` (per-request, inside the
+worker process); on platforms without it the timeout degrades to
+"no limit" rather than failing.  All solver entry points come from the
+:class:`~repro.engine.registry.SolverRegistry`, so workers only need
+the solver *name* plus the request payload.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import signal
+import threading
+import time
+from collections.abc import Sequence
+
+from repro.engine.cache import MISS, ResultCache
+from repro.engine.metrics import EngineMetrics
+from repro.engine.registry import SolverRegistry, default_registry
+from repro.engine.requests import (
+    EngineResult,
+    SolveRequest,
+    canonicalize,
+    from_canonical_result,
+    to_canonical_result,
+)
+
+__all__ = ["BatchEngine", "SolveTimeout"]
+
+
+class SolveTimeout(Exception):
+    """A request exceeded its per-request time budget."""
+
+
+def _run_with_timeout(fn, args, kwargs, timeout: float | None):
+    """Call ``fn`` under a SIGALRM deadline when the platform allows it.
+
+    Only armed in a main thread on POSIX; elsewhere the call runs
+    unbounded (documented degradation, never an error).
+    """
+    can_alarm = (
+        timeout is not None
+        and timeout > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not can_alarm:
+        return fn(*args, **kwargs)
+
+    def _on_alarm(_signum, _frame):
+        raise SolveTimeout(f"solve exceeded {timeout} s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    start = time.monotonic()
+    old_delay, old_interval = signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return fn(*args, **kwargs)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+        if old_delay:
+            # Re-arm the caller's own pending alarm (minus the time we
+            # spent) instead of silently cancelling their watchdog.
+            remaining = max(1e-3, old_delay - (time.monotonic() - start))
+            signal.setitimer(signal.ITIMER_REAL, remaining, old_interval)
+
+
+def _solve_one(registry: SolverRegistry, request: SolveRequest):
+    if request.kind == "single":
+        return registry.solve_single(
+            request.solver, request.seq, request.w, **request.kwargs
+        )
+    return registry.solve_multi(
+        request.solver, request.system, request.seqs, request.model,
+        **request.kwargs,
+    )
+
+
+def _execute(registry, request, timeout):
+    """(value, error, timed_out, elapsed) for one request, never raising."""
+    start = time.perf_counter()
+    try:
+        value = _run_with_timeout(
+            _solve_one, (registry, request), {}, timeout
+        )
+        return value, None, False, time.perf_counter() - start
+    except SolveTimeout as exc:
+        return None, str(exc), True, time.perf_counter() - start
+    except Exception as exc:  # noqa: BLE001 - worker boundary
+        error = f"{type(exc).__name__}: {exc}"
+        return None, error, False, time.perf_counter() - start
+
+
+def _solve_chunk(payload):
+    """Worker entry: solve a chunk of (index, request) pairs.
+
+    ``registry=None`` falls back to this worker process's default
+    registry (kept for forward compatibility; the engine normally
+    ships the registry it was built with).
+    """
+    items, timeout, registry = payload
+    if registry is None:
+        registry = default_registry()
+    out = []
+    for index, request in items:
+        out.append((index, *_execute(registry, request, timeout)))
+    return out
+
+
+class BatchEngine:
+    """High-throughput front door to the solver zoo.
+
+    Parameters
+    ----------
+    registry:
+        Solver registry; defaults to the built-in zoo.
+    cache:
+        Shared :class:`ResultCache`; created from ``cache_size`` when
+        omitted.  Pass ``cache_size=0`` for a cache-off engine with
+        identical code paths (baseline measurements).
+    workers:
+        Process count for :meth:`solve_batch`; ``1`` solves inline.
+    chunk_size:
+        Requests per worker task; default balances ~4 chunks per
+        worker.
+    timeout:
+        Per-request solve budget in seconds (enforced inside workers
+        via SIGALRM where available).
+    """
+
+    def __init__(
+        self,
+        registry: SolverRegistry | None = None,
+        *,
+        cache: ResultCache | None = None,
+        cache_size: int = 1024,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        timeout: float | None = None,
+        metrics: EngineMetrics | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.registry = registry if registry is not None else default_registry()
+        self.cache = cache if cache is not None else ResultCache(cache_size)
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.timeout = timeout
+        self.metrics = metrics if metrics is not None else EngineMetrics()
+
+    # -- single request ----------------------------------------------------
+
+    def solve(self, request: SolveRequest) -> EngineResult:
+        """Solve one request inline (cache-aware)."""
+        return self.solve_batch([request], workers=1)[0]
+
+    # -- batches -----------------------------------------------------------
+
+    def solve_batch(
+        self,
+        requests: Sequence[SolveRequest],
+        *,
+        workers: int | None = None,
+    ) -> list[EngineResult]:
+        """Solve many requests; results align with the input order."""
+        requests = list(requests)
+        workers = self.workers if workers is None else workers
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        results: list[EngineResult | None] = [None] * len(requests)
+        with self.metrics.batch_timer():
+            forms = [canonicalize(r) for r in requests]
+            # One cache lookup per unique key; later duplicates are
+            # resolved after the solve so they count as genuine hits.
+            representative: dict[tuple, int] = {}
+            to_solve: list[int] = []
+            for i, form in enumerate(forms):
+                if form.key in representative:
+                    continue
+                representative[form.key] = i
+                hit = self.cache.get(form.key)
+                if hit is not MISS:
+                    results[i] = self._materialize(
+                        requests[i], forms[i], hit, cached=True, elapsed=0.0
+                    )
+                else:
+                    to_solve.append(i)
+
+            solved = self._solve_unique(requests, to_solve, workers)
+
+            for i in to_solve:
+                value, error, timed_out, elapsed = solved[i]
+                if error is None:
+                    self.metrics.record_solve(elapsed)
+                    canonical_value = to_canonical_result(value, forms[i])
+                    self.cache.put(forms[i].key, canonical_value)
+                    results[i] = EngineResult(
+                        request=requests[i],
+                        value=value,
+                        cached=False,
+                        elapsed=elapsed,
+                    )
+                else:
+                    self.metrics.record_error(timeout=timed_out)
+                    results[i] = EngineResult(
+                        request=requests[i],
+                        error=error,
+                        elapsed=elapsed,
+                        stats={"timeout": timed_out},
+                    )
+
+            # Duplicates: serve from the cache (real hits) or replicate
+            # the representative's failure.
+            for i, form in enumerate(forms):
+                if results[i] is not None:
+                    continue
+                rep = representative[form.key]
+                rep_result = results[rep]
+                if rep_result.ok:
+                    hit = self.cache.get(form.key)
+                    value = hit if hit is not MISS else to_canonical_result(
+                        rep_result.value, forms[rep]
+                    )
+                    results[i] = self._materialize(
+                        requests[i], form, value, cached=True, elapsed=0.0
+                    )
+                else:
+                    # Failures are replicated, not served from the
+                    # cache: no hit counters, but every failed request
+                    # counts as an error (requests = solved + hits +
+                    # errors must hold for the operator report).
+                    self.metrics.record_error(
+                        timeout=bool(rep_result.stats.get("timeout"))
+                    )
+                    results[i] = EngineResult(
+                        request=requests[i],
+                        error=rep_result.error,
+                        cached=False,
+                        elapsed=0.0,
+                        stats=dict(rep_result.stats),
+                    )
+
+            for result in results:
+                self.metrics.record_request(cached=result.cached)
+        return results  # type: ignore[return-value]
+
+    # -- internals ---------------------------------------------------------
+
+    def _materialize(self, request, form, canonical_value, *, cached, elapsed):
+        return EngineResult(
+            request=request,
+            value=from_canonical_result(canonical_value, form),
+            cached=cached,
+            elapsed=elapsed,
+        )
+
+    def _solve_unique(self, requests, indices, workers):
+        """Solve the deduplicated misses; returns index → outcome tuple."""
+        if not indices:
+            return {}
+        if workers == 1 or len(indices) == 1:
+            return {
+                i: _execute(self.registry, requests[i], self.timeout)
+                for i in indices
+            }
+        # Always ship the registry: under spawn-start platforms a worker
+        # rebuilding default_registry() would miss solvers the caller
+        # registered into it after import.  Registries pickle by spec
+        # reference, so this is cheap for the built-in zoo.
+        registry_arg = self.registry
+        nproc = min(workers, len(indices))
+        chunk = self.chunk_size or max(1, math.ceil(len(indices) / (nproc * 4)))
+        payloads = []
+        for lo in range(0, len(indices), chunk):
+            items = [(i, requests[i]) for i in indices[lo : lo + chunk]]
+            payloads.append((items, self.timeout, registry_arg))
+        out = {}
+        with multiprocessing.Pool(processes=nproc) as pool:
+            for chunk_result in pool.imap_unordered(_solve_chunk, payloads):
+                for index, value, error, timed_out, elapsed in chunk_result:
+                    out[index] = (value, error, timed_out, elapsed)
+        return out

@@ -1,0 +1,138 @@
+"""LRU result cache keyed on canonical request forms.
+
+Identical work is the common case in a serving engine — the same app
+trace solved with the same solver and parameters, often thousands of
+times.  :class:`ResultCache` memoizes solver results under the
+structural keys of :mod:`repro.engine.requests`; because schedules are
+name-free (pure index/mask data), a cached value is correct for every
+request in the key's equivalence class.
+
+The cache is deliberately simple: an ``OrderedDict`` in LRU order, a
+lock for thread safety, and hit/miss/eviction counters surfaced through
+:class:`CacheStats` for the metrics layer.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+__all__ = ["MISS", "CacheStats", "ResultCache"]
+
+
+class _Miss:
+    """Sentinel distinguishing 'not cached' from a cached ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<MISS>"
+
+
+MISS = _Miss()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of cache counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """Bounded LRU mapping from canonical keys to solver results.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of retained results; the least recently *used*
+        entry is evicted first.  ``capacity=0`` disables retention
+        while keeping the counters alive (useful for measuring the
+        cache-off baseline with identical code paths).
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self._capacity = capacity
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def get(self, key: Hashable) -> Any:
+        """Return the cached value or :data:`MISS`; counts the lookup."""
+        with self._lock:
+            if key in self._data:
+                self._hits += 1
+                self._data.move_to_end(key)
+                return self._data[key]
+            self._misses += 1
+            return MISS
+
+    def peek(self, key: Hashable) -> Any:
+        """Like :meth:`get` but without touching counters or LRU order."""
+        with self._lock:
+            return self._data.get(key, MISS)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh an entry, evicting LRU entries beyond capacity."""
+        if self._capacity == 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self._capacity:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters survive; use :meth:`reset_stats`)."""
+        with self._lock:
+            self._data.clear()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._hits = self._misses = self._evictions = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._data),
+                capacity=self._capacity,
+            )
+
+    def __repr__(self) -> str:
+        s = self.stats
+        return (
+            f"ResultCache(size={s.size}/{s.capacity}, hits={s.hits}, "
+            f"misses={s.misses}, hit_rate={s.hit_rate:.2f})"
+        )

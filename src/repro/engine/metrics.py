@@ -1,0 +1,162 @@
+"""Throughput, latency and cache counters for the serving engine.
+
+One :class:`EngineMetrics` instance rides along with a
+:class:`~repro.engine.batch.BatchEngine` (and optionally a stream
+session) and accumulates everything an operator wants on one screen:
+request counts, error/timeout counts, solve-time totals, wall time of
+the batches, cache hit rate, and derived requests/second.  Counters are
+plain and lock-protected — cheap enough to leave on permanently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.engine.cache import CacheStats
+from repro.util.texttable import format_table
+
+__all__ = ["EngineMetrics", "LatencyStats"]
+
+
+class LatencyStats:
+    """Streaming min/max/mean/total of per-request solve latencies."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.mean,
+            "min_s": self.min if self.count else 0.0,
+            "max_s": self.max,
+        }
+
+
+class EngineMetrics:
+    """Aggregated engine counters; all mutators are thread-safe."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.solved = 0
+        self.cache_hits = 0
+        self.errors = 0
+        self.timeouts = 0
+        self.batches = 0
+        self.wall_time = 0.0
+        self.latency = LatencyStats()
+
+    # -- recording ---------------------------------------------------------
+
+    def record_request(self, *, cached: bool) -> None:
+        with self._lock:
+            self.requests += 1
+            if cached:
+                self.cache_hits += 1
+
+    def record_solve(self, seconds: float) -> None:
+        with self._lock:
+            self.solved += 1
+            self.latency.observe(seconds)
+
+    def record_error(self, *, timeout: bool = False) -> None:
+        with self._lock:
+            self.errors += 1
+            if timeout:
+                self.timeouts += 1
+
+    @contextmanager
+    def batch_timer(self):
+        """Time one batch; adds to ``wall_time`` and ``batches``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self.batches += 1
+                self.wall_time += elapsed
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def throughput(self) -> float:
+        """Requests per second of batch wall time (0.0 when idle)."""
+        return self.requests / self.wall_time if self.wall_time else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    def snapshot(self, cache: CacheStats | None = None) -> dict:
+        with self._lock:
+            out = {
+                "requests": self.requests,
+                "solved": self.solved,
+                "cache_hits": self.cache_hits,
+                "cache_hit_rate": self.cache_hit_rate,
+                "errors": self.errors,
+                "timeouts": self.timeouts,
+                "batches": self.batches,
+                "wall_time_s": self.wall_time,
+                "throughput_rps": self.throughput,
+                "latency": self.latency.snapshot(),
+            }
+        if cache is not None:
+            out["cache"] = {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+                "size": cache.size,
+                "hit_rate": cache.hit_rate,
+            }
+        return out
+
+    def format_report(self, cache: CacheStats | None = None) -> str:
+        """Operator-facing text table of the snapshot."""
+        snap = self.snapshot(cache)
+        lat = snap["latency"]
+        rows = [
+            ["requests", snap["requests"]],
+            ["solved (cache misses)", snap["solved"]],
+            ["cache hits", snap["cache_hits"]],
+            ["cache hit rate", f"{snap['cache_hit_rate']:.1%}"],
+            ["errors", snap["errors"]],
+            ["timeouts", snap["timeouts"]],
+            ["batches", snap["batches"]],
+            ["wall time", f"{snap['wall_time_s']:.3f} s"],
+            ["throughput", f"{snap['throughput_rps']:.1f} req/s"],
+            ["mean solve latency", f"{lat['mean_s'] * 1e3:.2f} ms"],
+            ["max solve latency", f"{lat['max_s'] * 1e3:.2f} ms"],
+        ]
+        if cache is not None:
+            rows.append(
+                ["result cache", f"{cache.size}/{cache.capacity} entries, "
+                                 f"{cache.hit_rate:.1%} hit rate"]
+            )
+        return format_table(["metric", "value"], rows, title="engine metrics")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EngineMetrics(requests={self.requests}, solved={self.solved}, "
+            f"hits={self.cache_hits}, errors={self.errors})"
+        )

@@ -1,0 +1,171 @@
+"""Streaming sessions: step-by-step requirements, incremental cost.
+
+A batch request needs the whole requirement sequence up front; a
+machine scheduling *at run time* receives requirements one
+reconfiguration step at a time.  :class:`StreamSession` is the serving
+API for that mode: it owns one online policy cursor (from
+:mod:`repro.solvers.online`), accepts requirements via :meth:`feed`,
+and does the cost accounting the offline evaluator would do — ``w``
+per hyperreconfiguration plus ``|h|`` switch-writes per served step —
+incrementally, so a dashboard can read the running total at any point.
+
+:meth:`finish` closes the session into an
+:class:`~repro.solvers.online.OnlineRun` whose schedule carries the
+exact hypercontexts the session installed; the accumulated cost is
+cross-checked against the offline evaluator, so streaming and batch
+accounting can never drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.context import RequirementSequence
+from repro.core.cost_single import switch_cost
+from repro.core.schedule import SingleTaskSchedule
+from repro.core.switches import SwitchUniverse
+from repro.solvers.online import OnlineRun
+
+__all__ = ["StreamEvent", "StreamSession"]
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One served requirement.
+
+    Attributes
+    ----------
+    step:
+        0-based reconfiguration step index.
+    hyper:
+        True when the policy hyperreconfigured before serving.
+    hypercontext:
+        Mask of the hypercontext that served the step.
+    step_cost:
+        Cost charged for this step (``w·hyper + |hypercontext|``).
+    cumulative_cost:
+        Session total including this step.
+    """
+
+    step: int
+    hyper: bool
+    hypercontext: int
+    step_cost: float
+    cumulative_cost: float
+
+
+class StreamSession:
+    """Feed requirements to an online policy, one step at a time.
+
+    Parameters
+    ----------
+    scheduler:
+        An online policy with a ``cursor()`` method
+        (:class:`~repro.solvers.online.RentOrBuyScheduler`,
+        :class:`~repro.solvers.online.WindowScheduler`, or anything
+        honoring the same cursor contract).
+    universe:
+        Switch universe the fed masks live in (validates mask range).
+    w:
+        Hyperreconfiguration cost charged per installed hypercontext.
+    """
+
+    def __init__(self, scheduler, universe: SwitchUniverse, w: float):
+        if w <= 0:
+            raise ValueError("hyperreconfiguration cost w must be positive")
+        self.scheduler = scheduler
+        self.universe = universe
+        self.w = float(w)
+        self.solver = getattr(scheduler, "name", type(scheduler).__name__)
+        self._cursor = scheduler.cursor()
+        self._masks: list[int] = []
+        self._hyper_steps: list[int] = []
+        self._hyper_masks: list[int] = []
+        self._cost = 0.0
+        self._finished = False
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def steps(self) -> int:
+        """Requirements served so far."""
+        return len(self._masks)
+
+    @property
+    def hyper_count(self) -> int:
+        return len(self._hyper_steps)
+
+    @property
+    def cost(self) -> float:
+        """Running total of the switch-model cost."""
+        return self._cost
+
+    @property
+    def current_hypercontext(self) -> int:
+        return self._cursor.current
+
+    # -- serving -----------------------------------------------------------
+
+    def feed(self, mask: int) -> StreamEvent:
+        """Serve one requirement; returns the step's accounting event."""
+        if self._finished:
+            raise RuntimeError("session already finished")
+        if mask < 0 or mask > self.universe.full_mask:
+            raise ValueError(
+                f"requirement {mask:#x} out of universe range "
+                f"(size {self.universe.size})"
+            )
+        i = len(self._masks)
+        installed = self._cursor.step(i, mask)
+        current = self._cursor.current
+        if mask & ~current:
+            raise RuntimeError(
+                f"policy {self.solver!r} broke the cursor contract: "
+                f"step {i} requirement {mask:#x} not covered by "
+                f"hypercontext {current:#x}"
+            )
+        hyper = installed is not None
+        step_cost = (self.w if hyper else 0.0) + current.bit_count()
+        self._cost += step_cost
+        self._masks.append(mask)
+        if hyper:
+            self._hyper_steps.append(i)
+            self._hyper_masks.append(installed)
+        return StreamEvent(
+            step=i,
+            hyper=hyper,
+            hypercontext=current,
+            step_cost=step_cost,
+            cumulative_cost=self._cost,
+        )
+
+    def feed_sequence(self, seq) -> list[StreamEvent]:
+        """Feed a whole :class:`RequirementSequence` (or mask iterable)."""
+        masks = seq.masks if isinstance(seq, RequirementSequence) else seq
+        return [self.feed(m) for m in masks]
+
+    # -- closing -----------------------------------------------------------
+
+    def finish(self) -> OnlineRun:
+        """Close the session into a validated :class:`OnlineRun`.
+
+        The returned schedule carries the session's exact installed
+        hypercontexts; its offline-evaluated cost must equal the
+        incrementally accumulated one (asserted, not assumed).
+        """
+        self._finished = True
+        n = len(self._masks)
+        schedule = SingleTaskSchedule(
+            n=n,
+            hyper_steps=tuple(self._hyper_steps),
+            explicit_masks=tuple(self._hyper_masks),
+        )
+        if n:
+            seq = RequirementSequence(self.universe, self._masks)
+            offline = switch_cost(seq, schedule, w=self.w)
+            if abs(offline - self._cost) > 1e-6:  # pragma: no cover
+                raise AssertionError(
+                    f"incremental cost {self._cost} disagrees with offline "
+                    f"evaluation {offline}"
+                )
+        return OnlineRun(schedule=schedule, cost=self._cost, solver=self.solver)

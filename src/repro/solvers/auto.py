@@ -11,7 +11,11 @@ heuristic stack otherwise:
 3. everything else — GA and greedy + local search, best of both
    (optionally annealing too with ``thorough=True``).
 
-The returned result's ``optimal`` flag always reflects which path ran.
+All candidates are resolved through the solver registry
+(:mod:`repro.engine.registry`) rather than by direct import, so the
+dispatch logic lives in exactly one place and registry consumers (the
+batch engine, the CLI) see the same solver set.  The returned result's
+``optimal`` flag always reflects which path ran.
 """
 
 from __future__ import annotations
@@ -22,11 +26,8 @@ from repro.core.context import RequirementSequence
 from repro.core.machine import MachineModel
 from repro.core.task import TaskSystem
 from repro.solvers.base import MTSolveResult
-from repro.solvers.exhaustive import solve_mt_exhaustive
-from repro.solvers.mt_annealing import AnnealParams, solve_mt_annealing
-from repro.solvers.mt_exact import solve_mt_exact
-from repro.solvers.mt_genetic import GAParams, solve_mt_genetic
-from repro.solvers.mt_greedy import solve_mt_greedy_merge
+from repro.solvers.mt_annealing import AnnealParams
+from repro.solvers.mt_genetic import GAParams
 from repro.util.rng import SeedLike
 
 __all__ = ["solve_mt_auto"]
@@ -49,41 +50,59 @@ def solve_mt_auto(
     *,
     seed: SeedLike = 0,
     thorough: bool = False,
+    registry=None,
 ) -> MTSolveResult:
     """Solve with the best affordable method; see module docstring.
 
     ``thorough=True`` additionally runs simulated annealing in the
-    heuristic regime and keeps the best result.
+    heuristic regime and keeps the best result.  ``registry`` names the
+    solver pool to draw candidates from; registries inject themselves
+    here when dispatching to ``"auto"``, so overridden solvers are
+    honored.  ``None`` (direct calls) uses the built-in zoo.
     """
+    if registry is None:
+        # Imported lazily: the registry package imports the solver zoo,
+        # which includes this module.
+        from repro.engine.registry import default_registry
+
+        registry = default_registry()
     m = system.m
     n = len(seqs[0]) if seqs else 0
-    if m * max(0, n - 1) <= _EXHAUSTIVE_BITS:
-        return solve_mt_exhaustive(system, seqs, model)
-    if _exact_state_estimate(m, n) <= _EXACT_STATE_BUDGET:
+    # Custom registries may register only a subset of the zoo; a tier
+    # whose solver is absent falls through to the next rather than
+    # erroring out of the dispatch.
+    if "mt_exhaustive" in registry and m * max(0, n - 1) <= _EXHAUSTIVE_BITS:
+        return registry.solve_multi("mt_exhaustive", system, seqs, model)
+    if "mt_exact" in registry and _exact_state_estimate(m, n) <= _EXACT_STATE_BUDGET:
         try:
-            return solve_mt_exact(
-                system, seqs, model, max_states=_EXACT_STATE_BUDGET
+            return registry.solve_multi(
+                "mt_exact", system, seqs, model, max_states=_EXACT_STATE_BUDGET
             )
         except ValueError:
             pass  # estimate was optimistic; fall through to heuristics
-    candidates = [solve_mt_greedy_merge(system, seqs, model)]
+    candidates = []
+    if "mt_greedy" in registry:
+        candidates.append(registry.solve_multi("mt_greedy", system, seqs, model))
     if model is None or model.machine_class.allows_partial_hyper:
-        candidates.append(
-            solve_mt_genetic(
-                system,
-                seqs,
-                model,
-                params=GAParams(
-                    population_size=48,
-                    generations=200,
-                    stall_generations=80,
-                ),
-                seed=seed,
-            )
-        )
-        if thorough:
+        if "mt_genetic" in registry:
             candidates.append(
-                solve_mt_annealing(
+                registry.solve_multi(
+                    "mt_genetic",
+                    system,
+                    seqs,
+                    model,
+                    params=GAParams(
+                        population_size=48,
+                        generations=200,
+                        stall_generations=80,
+                    ),
+                    seed=seed,
+                )
+            )
+        if thorough and "mt_annealing" in registry:
+            candidates.append(
+                registry.solve_multi(
+                    "mt_annealing",
                     system,
                     seqs,
                     model,
@@ -91,6 +110,11 @@ def solve_mt_auto(
                     seed=seed,
                 )
             )
+    if not candidates:
+        raise ValueError(
+            "auto dispatch found no usable solver in the registry "
+            f"(registered: {', '.join(registry.names('multi')) or 'none'})"
+        )
     best = min(candidates, key=lambda r: r.cost)
     return MTSolveResult(
         schedule=best.schedule,

@@ -14,17 +14,30 @@ harness against the offline optimum (experiment E11):
   working set.  With ``alpha = 1`` this is the classic rent-or-buy
   rule that is 2-competitive for the one-switch case.
 * :class:`WindowScheduler` — hyperreconfigure every ``k`` steps to the
-  union of the last window (a straw-man baseline).
+  coming block's needs as *estimated by the previous window* (the
+  union of the last ``k`` requirements).  A requirement that does not
+  fit the estimate forces an immediate corrective
+  hyperreconfiguration — the policy pays for its mispredictions,
+  which is what makes it an honest straw-man baseline.
 
-Both consume requirements step by step through the common
-:class:`OnlineScheduler` protocol and emit a valid
-:class:`~repro.core.schedule.SingleTaskSchedule` with explicit
-hypercontext masks (the online hypercontext is generally *not* the
-minimal block union — the scheduler did not know the future).
+Both policies expose two entry points over the same decision logic:
+
+* :meth:`plan` — feed a whole sequence, get a valid
+  :class:`~repro.core.schedule.SingleTaskSchedule` with explicit
+  hypercontext masks (the online hypercontext is generally *not* the
+  minimal block union — the scheduler did not know the future);
+* :meth:`cursor` — a stateful step-by-step cursor for streaming use
+  (see :mod:`repro.engine.stream`).  A cursor's ``step(i, mask)``
+  returns the newly installed hypercontext mask when the policy
+  hyperreconfigures at step ``i`` and ``None`` when it keeps the
+  current one; after the call, ``cursor.current`` always covers
+  ``mask`` (cursors hyperreconfigure rather than serve a requirement
+  they cannot satisfy).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.core.context import RequirementSequence
@@ -36,6 +49,7 @@ __all__ = [
     "OnlineRun",
     "RentOrBuyScheduler",
     "WindowScheduler",
+    "plan_with_cursor",
     "run_online",
     "competitive_report",
 ]
@@ -48,6 +62,79 @@ class OnlineRun:
     schedule: SingleTaskSchedule
     cost: float
     solver: str
+
+
+def plan_with_cursor(cursor, seq: RequirementSequence) -> SingleTaskSchedule:
+    """Drive a policy cursor over a whole sequence.
+
+    Every cursor hyperreconfigures at step 0 and afterwards whenever a
+    requirement does not fit, so the recorded masks already cover their
+    blocks; they are still widened by the block unions as a safety net
+    (a no-op for well-behaved cursors, and the cheapest way to keep the
+    "explicit masks must cover" invariant unconditionally true).
+    """
+    masks = seq.masks
+    n = len(masks)
+    if n == 0:
+        return SingleTaskSchedule(n=0, hyper_steps=())
+    hyper_steps: list[int] = []
+    hyper_masks: list[int] = []
+    for i, req in enumerate(masks):
+        installed = cursor.step(i, req)
+        if installed is not None:
+            hyper_steps.append(i)
+            hyper_masks.append(installed)
+    boundaries = hyper_steps + [n]
+    widened: list[int] = []
+    for k, mask in enumerate(hyper_masks):
+        union = 0
+        for m in masks[boundaries[k] : boundaries[k + 1]]:
+            union |= m
+        widened.append(mask | union)
+    return SingleTaskSchedule(
+        n=n, hyper_steps=tuple(hyper_steps), explicit_masks=tuple(widened)
+    )
+
+
+class _RentOrBuyCursor:
+    """State machine behind :class:`RentOrBuyScheduler`."""
+
+    __slots__ = ("w", "alpha", "current", "served_union", "regret", "recent")
+
+    def __init__(self, w: float, alpha: float, memory: int):
+        self.w = w
+        self.alpha = alpha
+        self.current = 0
+        self.served_union = 0
+        self.regret = 0.0
+        # Working-set estimate = new requirement ∪ last (memory-1) ones.
+        self.recent = deque(maxlen=memory - 1) if memory > 1 else None
+
+    def step(self, i: int, req: int) -> int | None:
+        must = bool(req & ~self.current) or i == 0
+        if not must:
+            # Regret of serving this step under the old hypercontext.
+            step_regret = (
+                self.current.bit_count() - (self.served_union | req).bit_count()
+            )
+            if self.regret + step_regret > self.alpha * self.w:
+                must = True
+        installed = None
+        if must:
+            working_set = req
+            if self.recent is not None:
+                for m in self.recent:
+                    working_set |= m
+            self.current = working_set
+            self.served_union = req
+            self.regret = 0.0
+            installed = working_set
+        else:
+            self.served_union |= req
+            self.regret += self.current.bit_count() - self.served_union.bit_count()
+        if self.recent is not None:
+            self.recent.append(req)
+        return installed
 
 
 class RentOrBuyScheduler:
@@ -74,75 +161,60 @@ class RentOrBuyScheduler:
         self.memory = memory
         self.name = f"rent_or_buy(alpha={alpha}, memory={memory})"
 
+    def cursor(self) -> _RentOrBuyCursor:
+        return _RentOrBuyCursor(self.w, self.alpha, self.memory)
+
     def plan(self, seq: RequirementSequence) -> SingleTaskSchedule:
-        masks = seq.masks
-        n = len(masks)
-        if n == 0:
-            return SingleTaskSchedule(n=0, hyper_steps=())
-        hyper_steps: list[int] = []
-        hyper_masks: list[int] = []
-        current = 0
-        served_union = 0
-        regret = 0.0
-        recent: list[int] = []
+        return plan_with_cursor(self.cursor(), seq)
 
-        def working_set(i: int) -> int:
-            mask = masks[i]
-            for m in recent[-(self.memory - 1):] if self.memory > 1 else []:
-                mask |= m
-            return mask
 
-        for i, req in enumerate(masks):
-            must = bool(req & ~current) or i == 0
-            if not must:
-                # Regret of serving this step under the old hypercontext.
-                step_regret = current.bit_count() - (served_union | req).bit_count()
-                if regret + step_regret > self.alpha * self.w:
-                    must = True
-            if must:
-                current = working_set(i)
-                hyper_steps.append(i)
-                hyper_masks.append(current)
-                served_union = req
-                regret = 0.0
-            else:
-                served_union |= req
-                regret += current.bit_count() - served_union.bit_count()
-            recent.append(req)
-        # Online hypercontexts may under-cover later steps of their
-        # block only if a requirement failed to fit — impossible by
-        # construction, but explicit masks must still cover the blocks;
-        # widen each to its block union for schedule validity.
-        schedule_steps = tuple(hyper_steps)
-        widened: list[int] = []
-        boundaries = list(schedule_steps) + [n]
-        for k, mask in enumerate(hyper_masks):
-            union = 0
-            for m in masks[boundaries[k] : boundaries[k + 1]]:
-                union |= m
-            widened.append(mask | union)
-        return SingleTaskSchedule(
-            n=n, hyper_steps=schedule_steps, explicit_masks=tuple(widened)
-        )
+class _WindowCursor:
+    """State machine behind :class:`WindowScheduler`."""
+
+    __slots__ = ("k", "current", "window")
+
+    def __init__(self, k: int):
+        self.k = k
+        self.current = 0
+        self.window = deque(maxlen=k)
+
+    def step(self, i: int, req: int) -> int | None:
+        installed = None
+        if i % self.k == 0 or (req & ~self.current):
+            estimate = req
+            for m in self.window:
+                estimate |= m
+            self.current = estimate
+            installed = estimate
+        self.window.append(req)
+        return installed
 
 
 class WindowScheduler:
-    """Hyperreconfigure every ``k`` steps to the coming block's needs as
-    estimated by the previous window (straw-man baseline)."""
+    """Fixed-cadence policy with previous-window estimation.
 
-    def __init__(self, w: float, *, k: int = 8):
+    Every ``k`` steps the scheduler hyperreconfigures to its estimate
+    of the coming block's needs: the union of the *previous* ``k``
+    requirements (plus the step's own requirement, which it must serve
+    either way).  Because the estimate is history, it can both carry
+    stale switches the next block never touches *and* miss switches
+    the next block needs; a miss forces an immediate corrective
+    hyperreconfiguration mid-block.  Both failure modes cost real
+    switch-writes, which is exactly the straw-man behavior the
+    rent-or-buy comparison wants to beat.
+    """
+
+    def __init__(self, *, k: int = 8):
         if k < 1:
             raise ValueError("k must be at least 1")
-        self.w = w
         self.k = k
         self.name = f"window(k={k})"
 
+    def cursor(self) -> _WindowCursor:
+        return _WindowCursor(self.k)
+
     def plan(self, seq: RequirementSequence) -> SingleTaskSchedule:
-        n = len(seq)
-        if n == 0:
-            return SingleTaskSchedule(n=0, hyper_steps=())
-        steps = tuple(range(0, n, self.k))
-        return SingleTaskSchedule(n=n, hyper_steps=steps)
+        return plan_with_cursor(self.cursor(), seq)
 
 
 def run_online(scheduler, seq: RequirementSequence, w: float) -> OnlineRun:

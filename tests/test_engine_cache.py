@@ -1,0 +1,83 @@
+"""Tests for the LRU result cache (repro.engine.cache)."""
+
+import pytest
+
+from repro.engine.cache import MISS, ResultCache
+
+
+class TestResultCache:
+    def test_miss_sentinel_distinct_from_none(self):
+        cache = ResultCache(4)
+        cache.put("k", None)
+        assert cache.get("k") is None
+        assert cache.get("absent") is MISS
+
+    def test_put_get_roundtrip(self):
+        cache = ResultCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a → b is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is MISS
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # rewrite refreshes a
+        cache.put("c", 3)
+        assert cache.get("b") is MISS
+        assert cache.get("a") == 10
+
+    def test_stats_counters(self):
+        cache = ResultCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("x")
+        stats = cache.stats
+        assert stats.hits == 2
+        assert stats.misses == 1
+        assert stats.lookups == 3
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_idle_hit_rate_is_zero(self):
+        assert ResultCache(4).stats.hit_rate == 0.0
+
+    def test_peek_does_not_touch_counters(self):
+        cache = ResultCache(4)
+        cache.put("a", 1)
+        assert cache.peek("a") == 1
+        assert cache.peek("x") is MISS
+        stats = cache.stats
+        assert stats.hits == 0 and stats.misses == 0
+
+    def test_zero_capacity_disables_retention(self):
+        cache = ResultCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is MISS
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(-1)
+
+    def test_clear_keeps_stats(self):
+        cache = ResultCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert cache.get("a") is MISS
+        assert cache.stats.hits == 1
+        cache.reset_stats()
+        assert cache.stats.hits == 0

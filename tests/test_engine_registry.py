@@ -1,0 +1,191 @@
+"""Tests for the solver registry (repro.engine.registry)."""
+
+import pytest
+
+from repro.core.context import RequirementSequence
+from repro.core.switches import SwitchUniverse
+from repro.core.task import TaskSystem
+from repro.engine.registry import (
+    SolverRegistry,
+    SolverSpec,
+    TAG_EXACT,
+    TAG_HEURISTIC,
+    TAG_META,
+    TAG_TINY_ONLY,
+    default_registry,
+)
+from repro.solvers.exhaustive import solve_mt_exhaustive
+from repro.solvers.single_dp import solve_single_switch
+
+U = SwitchUniverse.of_size(8)
+
+
+def _dummy_single(seq, w, **_params):
+    return solve_single_switch(seq, w)
+
+
+class TestSolverSpec:
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            SolverSpec(name="x", kind="both", fn=_dummy_single, exact=True)
+
+    def test_name_validated(self):
+        with pytest.raises(ValueError):
+            SolverSpec(name="", kind="single", fn=_dummy_single, exact=True)
+
+
+class TestSolverRegistry:
+    def _registry(self):
+        reg = SolverRegistry()
+        reg.register(
+            SolverSpec(name="dp", kind="single", fn=_dummy_single, exact=True)
+        )
+        return reg
+
+    def test_register_and_get(self):
+        reg = self._registry()
+        assert reg.get("dp").exact
+        assert "dp" in reg
+        assert len(reg) == 1
+
+    def test_duplicate_rejected_unless_replace(self):
+        reg = self._registry()
+        spec = SolverSpec(name="dp", kind="single", fn=_dummy_single, exact=False)
+        with pytest.raises(ValueError):
+            reg.register(spec)
+        reg.register(spec, replace=True)
+        assert not reg.get("dp").exact
+
+    def test_unknown_name_lists_known(self):
+        reg = self._registry()
+        with pytest.raises(KeyError, match="dp"):
+            reg.get("nonexistent")
+
+    def test_kind_mismatch_rejected(self):
+        reg = self._registry()
+        system = TaskSystem.from_contiguous(U, [4, 4])
+        seqs = [RequirementSequence(U, [1]), RequirementSequence(U, [16])]
+        with pytest.raises(ValueError, match="not a multi-task"):
+            reg.solve_multi("dp", system, seqs)
+
+    def test_solve_single_dispatch(self):
+        reg = self._registry()
+        seq = RequirementSequence(U, [1, 2, 4])
+        res = reg.solve_single("dp", seq, 8.0)
+        assert res.cost == solve_single_switch(seq, 8.0).cost
+
+
+class TestDefaultRegistry:
+    def test_is_shared_singleton(self):
+        assert default_registry() is default_registry()
+
+    def test_zoo_registered(self):
+        reg = default_registry()
+        for name in (
+            "single_dp",
+            "mt_exhaustive",
+            "mt_exact",
+            "mt_greedy",
+            "mt_genetic",
+            "mt_annealing",
+            "mt_branch_bound",
+            "auto",
+        ):
+            assert name in reg
+
+    def test_select_by_capability(self):
+        reg = default_registry()
+        exact_multi = {s.name for s in reg.select(kind="multi", exact=True)}
+        assert {"mt_exhaustive", "mt_exact", "mt_branch_bound"} <= exact_multi
+        heuristics = {s.name for s in reg.select(tags={TAG_HEURISTIC})}
+        assert {"mt_greedy", "mt_genetic", "mt_annealing"} <= heuristics
+        scalable_exact = reg.select(
+            kind="multi", exact=True, without_tags={TAG_TINY_ONLY}
+        )
+        assert all(s.name != "mt_exhaustive" for s in scalable_exact)
+        assert {s.name for s in reg.select(tags={TAG_META})} == {"auto"}
+
+    def test_multi_solve_matches_direct_call(self):
+        reg = default_registry()
+        system = TaskSystem.from_contiguous(U, [4, 4])
+        seqs = [
+            RequirementSequence(U, [1, 2, 3]),
+            RequirementSequence(U, [16, 32, 48]),
+        ]
+        via_registry = reg.solve_multi("mt_exhaustive", system, seqs)
+        direct = solve_mt_exhaustive(system, seqs)
+        assert via_registry.cost == direct.cost
+        assert via_registry.schedule == direct.schedule
+
+    def test_describe_covers_all_names(self):
+        reg = default_registry()
+        rows = reg.describe()
+        assert {row[0] for row in rows} == set(reg.names())
+        assert all(row[1] in ("single", "multi") for row in rows)
+
+    def test_specs_are_picklable(self):
+        """Batch workers receive specs through multiprocessing."""
+        import pickle
+
+        for name in default_registry().names():
+            spec = default_registry().get(name)
+            assert pickle.loads(pickle.dumps(spec)).name == name
+
+    def test_tag_constants_consistent(self):
+        """Every exact solver carries TAG_EXACT (so tag-based selection
+        never silently drops one), and seed-dependent solvers —
+        including the auto dispatcher, which forwards its seed to the
+        heuristic tier — carry TAG_STOCHASTIC."""
+        reg = default_registry()
+        for spec in reg.select(exact=True):
+            assert TAG_EXACT in spec.tags, spec.name
+        assert "single_dp" in {s.name for s in reg.select(tags={TAG_EXACT})}
+        stochastic = {s.name for s in reg.select(tags={"stochastic"})}
+        assert {"mt_genetic", "mt_annealing", "auto"} <= stochastic
+
+    def test_meta_solver_uses_invoking_registry(self):
+        """'auto' must draw candidates from the registry it was
+        dispatched through, not silently fall back to the built-ins."""
+        from repro.engine.registry import TAG_META, _mt_auto
+
+        calls = []
+
+        def tracking_greedy(system, seqs, model=None, **params):
+            calls.append("custom-greedy")
+            from repro.solvers.mt_greedy import solve_mt_greedy_merge
+
+            return solve_mt_greedy_merge(system, seqs, model, **params)
+
+        reg = SolverRegistry()
+        for name in ("mt_exhaustive", "mt_exact", "mt_genetic",
+                     "mt_annealing"):
+            reg.register(default_registry().get(name))
+        reg.register(SolverSpec(
+            name="mt_greedy", kind="multi", fn=tracking_greedy, exact=False,
+        ))
+        reg.register(SolverSpec(
+            name="auto", kind="multi", fn=_mt_auto, exact=False,
+            tags=frozenset({TAG_META}),
+        ))
+        # Large enough to land in the heuristic tier (greedy runs).
+        from repro.analysis.sweeps import make_instance
+
+        system, seqs = make_instance(4, 60, 8, seed=1)
+        res = reg.solve_multi("auto", system, seqs)
+        assert calls == ["custom-greedy"]
+        assert res.solver.startswith("auto[")
+
+    def test_registry_picklable_without_lock(self):
+        import pickle
+
+        reg = SolverRegistry()
+        reg.register(SolverSpec(
+            name="dp", kind="single", fn=_dummy_single, exact=True,
+        ))
+        clone = pickle.loads(pickle.dumps(reg))
+        assert clone.names() == ("dp",)
+        # the rebuilt registry is fully functional (lock recreated)
+        clone.register(SolverSpec(
+            name="dp2", kind="single", fn=_dummy_single, exact=True,
+        ))
+        assert "dp2" in clone

@@ -1,0 +1,203 @@
+"""Canonicalization property tests (repro.engine.requests).
+
+The contract under test: structurally equal requests — identical masks
+over same-size universes, identical (task, sequence) multisets in any
+order — share one cache key, and a result cached under that key is
+byte-for-byte as good as a fresh solve for *every* member of the
+equivalence class.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import RequirementSequence
+from repro.core.switches import SwitchUniverse
+from repro.core.task import TaskSystem
+from repro.engine.batch import BatchEngine
+from repro.engine.requests import (
+    SolveRequest,
+    canonical_key,
+    canonicalize,
+    from_canonical_result,
+    to_canonical_result,
+)
+from repro.solvers.exhaustive import solve_mt_exhaustive
+from repro.solvers.mt_exact import solve_mt_exact
+from repro.solvers.mt_greedy import solve_mt_greedy_merge
+from repro.solvers.single_dp import solve_single_switch
+
+U8 = SwitchUniverse.of_size(8)
+
+mask_lists = st.lists(
+    st.integers(min_value=0, max_value=U8.full_mask), min_size=1, max_size=12
+)
+
+
+def _multi_instance(masks_a, masks_b, universe=None):
+    universe = universe or U8
+    system = TaskSystem.from_contiguous(universe, [4, 4])
+    lo, hi = system.local_masks
+    seqs = [
+        RequirementSequence(universe, [m & lo for m in masks_a]),
+        RequirementSequence(universe, [m & hi for m in masks_b]),
+    ]
+    return system, seqs
+
+
+class TestSingleCanonicalization:
+    @settings(deadline=None, max_examples=50)
+    @given(mask_lists)
+    def test_renamed_universe_shares_key(self, masks):
+        """Switch names never enter the key — only size and masks."""
+        named = SwitchUniverse([f"sw_{i}" for i in range(8)])
+        a = SolveRequest.single(RequirementSequence(U8, masks), 8.0)
+        b = SolveRequest.single(RequirementSequence(named, masks), 8.0)
+        assert canonical_key(a) == canonical_key(b)
+
+    @settings(deadline=None, max_examples=50)
+    @given(mask_lists, mask_lists)
+    def test_distinct_sequences_distinct_keys(self, masks_a, masks_b):
+        a = SolveRequest.single(RequirementSequence(U8, masks_a), 8.0)
+        b = SolveRequest.single(RequirementSequence(U8, masks_b), 8.0)
+        assert (canonical_key(a) == canonical_key(b)) == (
+            tuple(masks_a) == tuple(masks_b)
+        )
+
+    def test_key_depends_on_w_solver_and_params(self):
+        seq = RequirementSequence(U8, [1, 2, 3])
+        base = SolveRequest.single(seq, 8.0)
+        assert canonical_key(base) != canonical_key(SolveRequest.single(seq, 9.0))
+        assert canonical_key(base) != canonical_key(
+            SolveRequest.single(seq, 8.0, solver="single_exhaustive")
+        )
+        assert canonical_key(base) != canonical_key(
+            SolveRequest.single(seq, 8.0, max_block=3)
+        )
+
+    def test_unhashable_param_rejected_early(self):
+        seq = RequirementSequence(U8, [1])
+        with pytest.raises(TypeError, match="not hashable"):
+            SolveRequest.single(seq, 8.0, options=["a", "b"])
+
+
+class TestMultiCanonicalization:
+    @settings(deadline=None, max_examples=50)
+    @given(mask_lists, st.integers(min_value=0, max_value=U8.full_mask))
+    def test_task_permutation_shares_key(self, masks, salt):
+        """Listing the same (task, sequence) pairs in any order gives
+        one key (permutation-identical requests)."""
+        system, seqs = _multi_instance(masks, [m ^ salt for m in masks])
+        permuted_system = TaskSystem(
+            system.universe, [system.tasks[1], system.tasks[0]]
+        )
+        a = SolveRequest.multi(system, seqs, solver="mt_greedy")
+        b = SolveRequest.multi(
+            permuted_system, [seqs[1], seqs[0]], solver="mt_greedy"
+        )
+        assert canonical_key(a) == canonical_key(b)
+
+    @settings(deadline=None, max_examples=50)
+    @given(mask_lists)
+    def test_renamed_tasks_share_key(self, masks):
+        """Task names never enter the key — only local masks, v, seqs."""
+        system, seqs = _multi_instance(masks, masks)
+        renamed = TaskSystem.from_contiguous(
+            system.universe, [4, 4], names=["alpha", "beta"]
+        )
+        a = SolveRequest.multi(system, seqs, solver="mt_greedy")
+        b = SolveRequest.multi(renamed, seqs, solver="mt_greedy")
+        assert canonical_key(a) == canonical_key(b)
+
+    def test_model_and_solver_enter_key(self):
+        from repro.core.machine import MachineModel
+
+        system, seqs = _multi_instance([1, 2], [3, 4])
+        base = SolveRequest.multi(system, seqs, solver="mt_greedy")
+        other_solver = SolveRequest.multi(system, seqs, solver="mt_exact")
+        with_model = SolveRequest.multi(
+            system, seqs, MachineModel.paper_experimental(), solver="mt_greedy"
+        )
+        assert canonical_key(base) != canonical_key(other_solver)
+        assert canonical_key(base) != canonical_key(with_model)
+
+    def test_seq_count_validated(self):
+        system, seqs = _multi_instance([1], [2])
+        with pytest.raises(ValueError, match="one sequence per task"):
+            SolveRequest.multi(system, seqs[:1])
+
+    @settings(deadline=None, max_examples=30)
+    @given(mask_lists)
+    def test_canonical_result_round_trip(self, masks):
+        """to_canonical ∘ from_canonical is the identity on schedules."""
+        system, seqs = _multi_instance(masks, list(reversed(masks)))
+        result = solve_mt_greedy_merge(system, seqs)
+        form = canonicalize(SolveRequest.multi(system, seqs, solver="mt_greedy"))
+        round_tripped = from_canonical_result(
+            to_canonical_result(result, form), form
+        )
+        assert round_tripped.schedule == result.schedule
+        assert round_tripped.cost == result.cost
+
+
+class TestCacheHitsEqualFreshSolves:
+    """Satellite acceptance: cache hits return results equal to fresh
+    solves across at least three solvers."""
+
+    SOLVERS = {
+        "mt_exhaustive": solve_mt_exhaustive,
+        "mt_exact": solve_mt_exact,
+        "mt_greedy": solve_mt_greedy_merge,
+    }
+
+    @pytest.mark.parametrize("name", sorted(SOLVERS))
+    def test_multi_solver_hit_equals_fresh(self, name):
+        system, seqs = _multi_instance([1, 3, 2, 6], [5, 1, 7, 2])
+        fresh = self.SOLVERS[name](system, seqs, None)
+        engine = BatchEngine()
+        request = SolveRequest.multi(system, seqs, solver=name)
+        first = engine.solve(request)
+        second = engine.solve(request)
+        assert not first.cached and second.cached
+        for res in (first, second):
+            assert res.ok
+            assert res.value.cost == pytest.approx(fresh.cost)
+            assert res.value.schedule == fresh.schedule
+            assert res.value.optimal == fresh.optimal
+
+    def test_single_solver_hit_equals_fresh(self):
+        seq = RequirementSequence(U8, [1, 3, 2, 6, 4])
+        fresh = solve_single_switch(seq, 8.0)
+        engine = BatchEngine()
+        request = SolveRequest.single(seq, 8.0)
+        first = engine.solve(request)
+        second = engine.solve(request)
+        assert not first.cached and second.cached
+        assert second.value.cost == fresh.cost
+        assert second.value.schedule == fresh.schedule
+
+    def test_permuted_hit_remaps_schedule_rows(self):
+        """A cache hit for a task-permuted request returns each task its
+        own row, not the canonical order's."""
+        system, seqs = _multi_instance([1, 3, 2], [6, 5, 7])
+        engine = BatchEngine()
+        base = engine.solve(
+            SolveRequest.multi(system, seqs, solver="mt_exhaustive")
+        )
+        permuted_system = TaskSystem(
+            system.universe, [system.tasks[1], system.tasks[0]]
+        )
+        permuted = engine.solve(
+            SolveRequest.multi(
+                permuted_system, [seqs[1], seqs[0]], solver="mt_exhaustive"
+            )
+        )
+        assert permuted.cached
+        assert permuted.value.cost == base.value.cost
+        assert (
+            permuted.value.schedule.indicators[0]
+            == base.value.schedule.indicators[1]
+        )
+        assert (
+            permuted.value.schedule.indicators[1]
+            == base.value.schedule.indicators[0]
+        )

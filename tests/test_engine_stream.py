@@ -1,0 +1,89 @@
+"""Tests for streaming sessions (repro.engine.stream)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import RequirementSequence
+from repro.core.cost_single import switch_cost
+from repro.core.switches import SwitchUniverse
+from repro.engine.stream import StreamSession
+from repro.solvers.online import RentOrBuyScheduler, WindowScheduler
+
+U = SwitchUniverse.of_size(10)
+instances = st.lists(
+    st.integers(min_value=0, max_value=U.full_mask), min_size=1, max_size=24
+)
+
+
+class TestStreamSession:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            StreamSession(RentOrBuyScheduler(5.0), U, 0.0)
+
+    def test_mask_range_validated(self):
+        session = StreamSession(RentOrBuyScheduler(5.0), U, 5.0)
+        with pytest.raises(ValueError):
+            session.feed(U.full_mask + 1)
+        with pytest.raises(ValueError):
+            session.feed(-1)
+
+    def test_events_account_incrementally(self):
+        session = StreamSession(RentOrBuyScheduler(5.0), U, 5.0)
+        events = session.feed_sequence([0b1, 0b1, 0b10])
+        assert [e.step for e in events] == [0, 1, 2]
+        assert events[0].hyper  # step 0 always installs
+        running = 0.0
+        for e in events:
+            expected = (5.0 if e.hyper else 0.0) + e.hypercontext.bit_count()
+            assert e.step_cost == expected
+            running += e.step_cost
+            assert e.cumulative_cost == running
+        assert session.cost == running
+        assert session.steps == 3
+
+    def test_finish_empty_session(self):
+        run = StreamSession(RentOrBuyScheduler(5.0), U, 5.0).finish()
+        assert run.cost == 0.0
+        assert run.schedule.n == 0
+
+    def test_feed_after_finish_rejected(self):
+        session = StreamSession(RentOrBuyScheduler(5.0), U, 5.0)
+        session.feed(1)
+        session.finish()
+        with pytest.raises(RuntimeError):
+            session.feed(1)
+
+    def test_window_misprediction_forces_hyper_event(self):
+        session = StreamSession(WindowScheduler(k=4), U, 4.0)
+        events = session.feed_sequence([0b1] * 5 + [0b1000000])
+        assert events[5].hyper  # 0b1000000 does not fit the estimate
+        assert events[5].hypercontext & 0b1000000
+
+    @settings(deadline=None, max_examples=40)
+    @given(instances)
+    def test_incremental_cost_matches_offline_evaluation(self, masks):
+        """finish() cross-checks the accumulated cost against
+        switch_cost on the explicit-mask schedule."""
+        seq = RequirementSequence(U, masks)
+        session = StreamSession(RentOrBuyScheduler(6.0), U, 6.0)
+        session.feed_sequence(seq)
+        run = session.finish()
+        assert run.cost == pytest.approx(
+            switch_cost(seq, run.schedule, w=6.0)
+        )
+
+    @settings(deadline=None, max_examples=40)
+    @given(instances)
+    def test_stream_equals_offline_plan(self, masks):
+        """Feeding step-by-step reproduces plan() exactly — the same
+        cursor drives both entry points."""
+        seq = RequirementSequence(U, masks)
+        for scheduler in (RentOrBuyScheduler(6.0), WindowScheduler(k=3)):
+            session = StreamSession(scheduler, U, 6.0)
+            session.feed_sequence(seq)
+            run = session.finish()
+            offline = scheduler.plan(seq)
+            assert run.schedule.hyper_steps == offline.hyper_steps
+            assert run.cost == pytest.approx(
+                switch_cost(seq, offline, w=6.0)
+            )

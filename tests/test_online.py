@@ -67,19 +67,45 @@ class TestRentOrBuy:
 class TestWindowScheduler:
     def test_parameter_validation(self):
         with pytest.raises(ValueError):
-            WindowScheduler(5, k=0)
+            WindowScheduler(k=0)
 
     def test_fixed_cadence(self):
         seq = RequirementSequence(U, [1] * 10)
-        run = run_online(WindowScheduler(3.0, k=4), seq, 3.0)
+        run = run_online(WindowScheduler(k=4), seq, 3.0)
         assert run.schedule.hyper_steps == (0, 4, 8)
+
+    def test_masks_estimated_from_previous_window(self):
+        """At a cadence boundary the installed hypercontext is the
+        previous window's union (plus the step's own requirement) —
+        stale bits included, unlike the minimal block union."""
+        seq = RequirementSequence(U, [0b11] * 4 + [0b1100] * 4)
+        run = run_online(WindowScheduler(k=4), seq, 4.0)
+        assert run.schedule.hyper_steps == (0, 4)
+        # Block 2's estimate carries the stale 0b11 switches of window 1.
+        assert run.schedule.explicit_masks == (0b11, 0b1111)
+        # The misprediction costs real switch-writes: strictly worse
+        # than the same partition with minimal (clairvoyant) unions.
+        minimal = RequirementSequence(U, seq.masks)
+        clairvoyant = switch_cost(
+            minimal,
+            type(run.schedule)(n=8, hyper_steps=(0, 4)),
+            w=4.0,
+        )
+        assert run.cost > clairvoyant
+
+    def test_misprediction_forces_corrective_hyper(self):
+        """A requirement outside the estimate cannot be served; the
+        policy must pay an immediate extra hyperreconfiguration."""
+        seq = RequirementSequence(U, [0b1] * 4 + [0b1, 0b1000000, 0b1000000, 0b1000000])
+        run = run_online(WindowScheduler(k=4), seq, 4.0)
+        assert 5 in run.schedule.hyper_steps  # mid-block corrective hyper
 
     @settings(deadline=None, max_examples=25)
     @given(instances)
     def test_valid_and_not_better_than_optimum(self, masks):
         seq = RequirementSequence(U, masks)
         optimum = solve_single_switch(seq, w=5.0)
-        run = run_online(WindowScheduler(5.0, k=3), seq, 5.0)
+        run = run_online(WindowScheduler(k=3), seq, 5.0)
         assert run.cost >= optimum.cost - 1e-9
 
 
@@ -87,7 +113,7 @@ class TestCompetitiveReport:
     def test_rows_shape(self):
         seq = RequirementSequence(U, [1, 2, 3, 4] * 4)
         rows = competitive_report(
-            seq, 5.0, [RentOrBuyScheduler(5.0), WindowScheduler(5.0, k=4)]
+            seq, 5.0, [RentOrBuyScheduler(5.0), WindowScheduler(k=4)]
         )
         assert len(rows) == 3
         assert rows[-1][0] == "offline optimum"

@@ -1,0 +1,103 @@
+"""Tests for the synthetic workload generators (repro.analysis.workloads),
+focused on the scenario-diversity families (markov, adversarial)."""
+
+import pytest
+
+from repro.analysis.workloads import (
+    adversarial_workload,
+    markov_workload,
+    random_task_workloads,
+)
+from repro.core.switches import SwitchUniverse
+from repro.core.task import TaskSystem
+from repro.solvers.online import RentOrBuyScheduler, run_online
+from repro.solvers.single_dp import solve_single_switch
+
+U = SwitchUniverse.of_size(16)
+
+
+class TestMarkovWorkload:
+    def test_shape_and_range(self):
+        seq = markov_workload(U, 50, seed=0)
+        assert len(seq) == 50
+        assert all(0 <= m <= U.full_mask for m in seq.masks)
+
+    def test_deterministic_under_seed(self):
+        a = markov_workload(U, 40, seed=7)
+        b = markov_workload(U, 40, seed=7)
+        assert a.masks == b.masks
+
+    def test_single_state_never_jumps(self):
+        """With one state every mask is a subset of one working set."""
+        seq = markov_workload(U, 60, states=1, working_set=0.4, seed=1)
+        union = 0
+        for m in seq.masks:
+            union |= m
+        working = markov_workload(U, 1, states=1, working_set=0.4, seed=1)
+        # the first drawn mask is a subset of the single working set
+        assert all(m & ~union == 0 for m in seq.masks)
+
+    def test_stay_one_is_a_single_phase(self):
+        seq = markov_workload(U, 60, states=4, stay=1.0, seed=2)
+        dense = markov_workload(U, 60, states=4, stay=1.0, step_density=1.0,
+                                seed=2)
+        # with step_density=1 and no jumps every step demands the same set
+        assert len(set(dense.masks)) == 1
+        assert len(seq) == 60
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            markov_workload(U, -1)
+        with pytest.raises(ValueError):
+            markov_workload(U, 5, states=0)
+        with pytest.raises(ValueError):
+            markov_workload(U, 5, stay=1.5)
+
+    def test_available_to_random_task_workloads(self):
+        system = TaskSystem.from_contiguous(U, [8, 8])
+        seqs = random_task_workloads(
+            U, list(system.local_masks), 20, kind="markov", seed=0
+        )
+        assert len(seqs) == 2
+        for seq, mask in zip(seqs, system.local_masks):
+            assert all(m & ~mask == 0 for m in seq.masks)
+
+
+class TestAdversarialWorkload:
+    def test_two_disjoint_alternating_sides(self):
+        seq = adversarial_workload(U, 30, block=1, seed=0)
+        sides = sorted(set(seq.masks))
+        assert len(sides) == 2
+        assert sides[0] & sides[1] == 0
+        assert sides[0] and sides[1]
+        for i, m in enumerate(seq.masks):
+            assert m == seq.masks[i % 2]
+
+    def test_block_length_respected(self):
+        seq = adversarial_workload(U, 24, block=4, seed=1)
+        for i, m in enumerate(seq.masks):
+            assert m == seq.masks[(i // 4) * 4]
+            if i >= 4:
+                assert (m == seq.masks[i - 4]) == ((i // 4) % 2 == (i - 4) // 4 % 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adversarial_workload(U, -1)
+        with pytest.raises(ValueError):
+            adversarial_workload(U, 5, block=0)
+        with pytest.raises(ValueError):
+            adversarial_workload(SwitchUniverse.of_size(1), 5)
+
+    def test_hurts_narrow_memory_online_policies(self):
+        """The family exists to punish policies that install only what
+        they just saw: with memory=1 every phase change forces a full
+        hyperreconfiguration, while the offline optimum installs both
+        sides once.  (Wider memory unions the sides away — that contrast
+        is the point of the workload.)"""
+        w = float(U.size)
+        seq = adversarial_workload(U, 60, block=2, seed=3)
+        optimum = solve_single_switch(seq, w=w)
+        narrow = run_online(RentOrBuyScheduler(w, memory=1), seq, w)
+        wide = run_online(RentOrBuyScheduler(w, memory=4), seq, w)
+        assert narrow.cost > 1.3 * optimum.cost
+        assert wide.cost < narrow.cost

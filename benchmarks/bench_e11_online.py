@@ -49,18 +49,19 @@ def test_bench_online_on_counter(benchmark, counter_trace):
     assert best_online <= 2.5  # a sane policy stays within 2.5× offline
 
 
-def test_bench_online_synthetic(benchmark):
+def test_bench_online_synthetic(benchmark, smoke):
     universe = SwitchUniverse.of_size(48)
     w = 48.0
+    n = 60 if smoke else 200
 
     def run():
         rows = []
         for name, seq in (
-            ("phased", phased_workload(universe, 200, phases=8, seed=1)),
-            ("bursty", bursty_workload(universe, 200, seed=2)),
-            ("markov", markov_workload(universe, 200, states=4, stay=0.92,
+            ("phased", phased_workload(universe, n, phases=8, seed=1)),
+            ("bursty", bursty_workload(universe, n, seed=2)),
+            ("markov", markov_workload(universe, n, states=4, stay=0.92,
                                        seed=3)),
-            ("adversarial", adversarial_workload(universe, 200, block=8,
+            ("adversarial", adversarial_workload(universe, n, block=8,
                                                  seed=4)),
         ):
             report = competitive_report(

@@ -14,22 +14,21 @@ from repro.solvers.mt_greedy import solve_mt_greedy_merge
 from repro.util.texttable import format_table
 
 
-def test_bench_metaheuristic_race(benchmark, mt_system, counter_task_seqs):
+def test_bench_metaheuristic_race(benchmark, mt_system, counter_task_seqs, smoke):
+    ga_params = (
+        GAParams(population_size=24, generations=40, stall_generations=20)
+        if smoke
+        else GAParams(population_size=48, generations=150, stall_generations=60)
+    )
+    sa_params = AnnealParams(iterations=1000 if smoke else 8000)
+
     def race():
         greedy = solve_mt_greedy_merge(mt_system, counter_task_seqs)
         ga = solve_mt_genetic(
-            mt_system,
-            counter_task_seqs,
-            params=GAParams(
-                population_size=48, generations=150, stall_generations=60
-            ),
-            seed=0,
+            mt_system, counter_task_seqs, params=ga_params, seed=0
         )
         sa = solve_mt_annealing(
-            mt_system,
-            counter_task_seqs,
-            params=AnnealParams(iterations=8000),
-            seed=0,
+            mt_system, counter_task_seqs, params=sa_params, seed=0
         )
         return greedy, ga, sa
 
@@ -52,14 +51,14 @@ def test_bench_metaheuristic_race(benchmark, mt_system, counter_task_seqs):
     assert worst <= best * 1.15  # the three agree within 15%
 
 
-def test_bench_ga_sensitivity(benchmark, mt_system, counter_task_seqs):
+def test_bench_ga_sensitivity(benchmark, mt_system, counter_task_seqs, smoke):
     rows = benchmark.pedantic(
         ga_hyperparameter_sweep,
         args=(mt_system, counter_task_seqs),
         kwargs=dict(
-            populations=(16, 48),
-            mutation_factors=(0.5, 1.5, 4.0),
-            generations=100,
+            populations=(16,) if smoke else (16, 48),
+            mutation_factors=(0.5, 1.5) if smoke else (0.5, 1.5, 4.0),
+            generations=20 if smoke else 100,
             seed=0,
         ),
         iterations=1,

@@ -27,19 +27,24 @@ from repro.engine import BatchEngine, SolveRequest, default_registry
 from repro.util.texttable import format_table
 
 U = SwitchUniverse.of_size(24)
-UNIQUE_SINGLE = 20
-UNIQUE_MULTI = 20
 COPIES = 5
-WAVES = 5
 
 
-def _mixed_workload():
+def _sizing(smoke):
+    """(unique single, unique multi, single-trace n, multi-trace n, waves)."""
+    if smoke:
+        return 8, 8, 60, 16, 4
+    return 20, 20, 160, 24, 5
+
+
+def _mixed_workload(smoke):
+    unique_single, unique_multi, single_n, multi_n, _ = _sizing(smoke)
     unique = []
-    for s in range(UNIQUE_SINGLE):
-        seq = phased_workload(U, 160, phases=6, seed=s)
+    for s in range(unique_single):
+        seq = phased_workload(U, single_n, phases=6, seed=s)
         unique.append(SolveRequest.single(seq, float(U.size)))
-    for s in range(UNIQUE_MULTI):
-        system, seqs = make_instance(3, 24, 6, seed=s)
+    for s in range(unique_multi):
+        system, seqs = make_instance(3, multi_n, 6, seed=s)
         unique.append(SolveRequest.multi(system, seqs, solver="mt_greedy"))
     requests = unique * COPIES
     # Deterministic interleave so every wave mixes kinds and copies.
@@ -62,12 +67,12 @@ def _serial_one_shot(requests):
     return time.perf_counter() - start, costs
 
 
-def _engine_run(requests, *, workers, cache_size):
+def _engine_run(requests, *, workers, cache_size, waves):
     engine = BatchEngine(workers=workers, cache_size=cache_size)
-    wave = len(requests) // WAVES
+    wave = len(requests) // waves
     start = time.perf_counter()
     costs = []
-    for k in range(WAVES):
+    for k in range(waves):
         batch = requests[k * wave : (k + 1) * wave]
         for res in engine.solve_batch(batch):
             assert res.ok, res.error
@@ -76,10 +81,11 @@ def _engine_run(requests, *, workers, cache_size):
     return elapsed, costs, engine
 
 
-def test_bench_engine_throughput(benchmark):
-    requests = _mixed_workload()
+def test_bench_engine_throughput(benchmark, smoke):
+    unique_single, unique_multi, _, _, waves = _sizing(smoke)
+    requests = _mixed_workload(smoke)
     n = len(requests)
-    assert n == 200
+    assert n == (unique_single + unique_multi) * COPIES
 
     serial_s, serial_costs = _serial_one_shot(requests)
 
@@ -87,9 +93,9 @@ def test_bench_engine_throughput(benchmark):
              round(n / serial_s, 1), "-"]]
     rps = {}
     for cache_size, cache_label in ((0, "off"), (4096, "on")):
-        for workers in (1, 2, 4):
+        for workers in (1, 2) if smoke else (1, 2, 4):
             elapsed, costs, engine = _engine_run(
-                requests, workers=workers, cache_size=cache_size
+                requests, workers=workers, cache_size=cache_size, waves=waves
             )
             assert costs == serial_costs  # the engine changes speed, not answers
             hit_rate = engine.cache.stats.hit_rate
@@ -108,7 +114,9 @@ def test_bench_engine_throughput(benchmark):
                 assert hit_rate == 0.0
 
     def once():
-        return _engine_run(requests, workers=2, cache_size=4096)[0]
+        return _engine_run(
+            requests, workers=2, cache_size=4096, waves=waves
+        )[0]
 
     benchmark.pedantic(once, iterations=1, rounds=1)
 

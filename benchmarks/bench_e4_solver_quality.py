@@ -11,11 +11,12 @@ from repro.solvers.mt_exact import solve_mt_exact
 from repro.util.texttable import format_table
 
 
-def test_bench_quality_sweep(benchmark):
+def test_bench_quality_sweep(benchmark, smoke):
+    sizes = ((2, 6), (3, 5)) if smoke else ((2, 6), (2, 8), (3, 5))
     rows = benchmark.pedantic(
         solver_quality_sweep,
         kwargs=dict(
-            sizes=((2, 6), (2, 8), (3, 5)), instances=2, seed=0
+            sizes=sizes, instances=1 if smoke else 2, seed=0
         ),
         iterations=1,
         rounds=1,

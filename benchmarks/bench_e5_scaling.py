@@ -16,7 +16,9 @@ from repro.util.texttable import format_table
 
 
 @pytest.mark.parametrize("n", [50, 200, 800])
-def test_bench_single_dp_scaling(benchmark, n):
+def test_bench_single_dp_scaling(benchmark, n, smoke):
+    if smoke:
+        n = min(n, 100)
     universe = SwitchUniverse.of_size(48)
     seq = periodic_workload(universe, n, period=11, body_density=0.25, seed=0)
     result = benchmark(solve_single_switch, seq, 48.0)
@@ -24,16 +26,21 @@ def test_bench_single_dp_scaling(benchmark, n):
 
 
 @pytest.mark.parametrize("m", [2, 4, 8])
-def test_bench_greedy_scaling_with_tasks(benchmark, m):
-    system, seqs = make_instance(m, 60, 6, kind="periodic", seed=1)
+def test_bench_greedy_scaling_with_tasks(benchmark, m, smoke):
+    system, seqs = make_instance(m, 30 if smoke else 60, 6, kind="periodic", seed=1)
     result = benchmark(solve_mt_greedy_merge, system, seqs)
     assert result.cost > 0
 
 
-def test_bench_cost_series(benchmark):
+def test_bench_cost_series(benchmark, smoke):
     rows = benchmark.pedantic(
         scaling_sweep,
-        kwargs=dict(ns=(20, 40, 80), m=4, switches_per_task=8, seed=0),
+        kwargs=dict(
+            ns=(20, 40) if smoke else (20, 40, 80),
+            m=4,
+            switches_per_task=8,
+            seed=0,
+        ),
         iterations=1,
         rounds=1,
     )

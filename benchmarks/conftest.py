@@ -4,6 +4,11 @@ Heavy artifacts (the counter experiment with its GA run) are computed
 once per session; the individual benchmark files time their own
 components and print the regenerated paper tables/figures (run with
 ``-s`` to see them).
+
+``--smoke`` runs every benchmark in a reduced-size mode (small
+populations, few iterations, short workloads).  The numbers are
+meaningless in that mode — it exists so CI can execute every
+``bench_e*`` end to end and keep the scripts from rotting silently.
 """
 
 from __future__ import annotations
@@ -17,8 +22,25 @@ from repro.shyra.trace import run_and_trace
 from repro.solvers.mt_genetic import GAParams
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run benchmarks in reduced-size smoke mode (CI rot check)",
+    )
+
+
 @pytest.fixture(scope="session")
-def ga_params() -> GAParams:
+def smoke(request) -> bool:
+    """True when the harness runs in reduced-size smoke mode."""
+    return bool(request.config.getoption("--smoke"))
+
+
+@pytest.fixture(scope="session")
+def ga_params(smoke) -> GAParams:
+    if smoke:
+        return GAParams(population_size=16, generations=25, stall_generations=12)
     return GAParams(population_size=64, generations=250, stall_generations=80)
 
 

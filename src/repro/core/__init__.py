@@ -10,7 +10,8 @@ This package implements Sections 2–4 of Lange & Middendorf (IPPS 2004):
 * single-task cost models (:mod:`repro.core.cost_single`),
 * asynchronous multi-task cost models (:mod:`repro.core.mt_cost`),
 * the fully synchronized per-step cost model of Section 4.2
-  (:mod:`repro.core.sync_cost`), and
+  (:mod:`repro.core.sync_cost`) with its incremental/batched
+  evaluation engine (:mod:`repro.core.delta`), and
 * schedule representations with validity checking
   (:mod:`repro.core.schedule`, :mod:`repro.core.globalres`).
 """
@@ -42,6 +43,17 @@ from repro.core.mt_cost import (
     async_general_cost,
     async_switch_cost,
 )
+from repro.core.delta import (
+    AlignMove,
+    ColumnFlipMove,
+    DeltaEvaluator,
+    FlipMove,
+    FullEvaluator,
+    PopulationEvaluator,
+    SetRowsMove,
+    ShiftMove,
+    make_evaluator,
+)
 
 __all__ = [
     "SwitchSet",
@@ -67,4 +79,13 @@ __all__ = [
     "StepCost",
     "async_general_cost",
     "async_switch_cost",
+    "AlignMove",
+    "ColumnFlipMove",
+    "DeltaEvaluator",
+    "FlipMove",
+    "FullEvaluator",
+    "PopulationEvaluator",
+    "SetRowsMove",
+    "ShiftMove",
+    "make_evaluator",
 ]

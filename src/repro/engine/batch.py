@@ -212,6 +212,9 @@ class BatchEngine:
                 value, error, timed_out, elapsed = solved[i]
                 if error is None:
                     self.metrics.record_solve(elapsed)
+                    solver_stats = getattr(value, "stats", None)
+                    if solver_stats:
+                        self.metrics.record_evaluator_stats(solver_stats)
                     canonical_value = to_canonical_result(value, forms[i])
                     self.cache.put(forms[i].key, canonical_value)
                     results[i] = EngineResult(

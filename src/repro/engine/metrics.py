@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections.abc import Mapping
 from contextlib import contextmanager
 
 from repro.engine.cache import CacheStats
@@ -64,6 +65,8 @@ class EngineMetrics:
         self.batches = 0
         self.wall_time = 0.0
         self.latency = LatencyStats()
+        self.delta_applies = 0
+        self.delta_full_evals = 0
 
     # -- recording ---------------------------------------------------------
 
@@ -83,6 +86,22 @@ class EngineMetrics:
             self.errors += 1
             if timeout:
                 self.timeouts += 1
+
+    def record_evaluator_stats(self, stats: Mapping) -> None:
+        """Aggregate a solver result's evaluator counters.
+
+        Solvers backed by :mod:`repro.core.delta` report
+        ``delta_applies`` (incremental/batched evaluations) and
+        ``delta_full_evals`` (full-evaluation fallbacks) in their
+        ``stats``; the engine folds them in here so the operator report
+        shows how much of the fleet's evaluation work was incremental.
+        """
+        applies = int(stats.get("delta_applies", 0) or 0)
+        full = int(stats.get("delta_full_evals", 0) or 0)
+        if applies or full:
+            with self._lock:
+                self.delta_applies += applies
+                self.delta_full_evals += full
 
     @contextmanager
     def batch_timer(self):
@@ -107,6 +126,12 @@ class EngineMetrics:
     def cache_hit_rate(self) -> float:
         return self.cache_hits / self.requests if self.requests else 0.0
 
+    @property
+    def delta_hit_rate(self) -> float:
+        """Fraction of cost evaluations served incrementally/batched."""
+        total = self.delta_applies + self.delta_full_evals
+        return self.delta_applies / total if total else 0.0
+
     def snapshot(self, cache: CacheStats | None = None) -> dict:
         with self._lock:
             out = {
@@ -120,6 +145,11 @@ class EngineMetrics:
                 "wall_time_s": self.wall_time,
                 "throughput_rps": self.throughput,
                 "latency": self.latency.snapshot(),
+                "delta": {
+                    "applies": self.delta_applies,
+                    "full_evals": self.delta_full_evals,
+                    "hit_rate": self.delta_hit_rate,
+                },
             }
         if cache is not None:
             out["cache"] = {
@@ -148,6 +178,13 @@ class EngineMetrics:
             ["mean solve latency", f"{lat['mean_s'] * 1e3:.2f} ms"],
             ["max solve latency", f"{lat['max_s'] * 1e3:.2f} ms"],
         ]
+        delta = snap["delta"]
+        if delta["applies"] or delta["full_evals"]:
+            rows.append(
+                ["incremental evals",
+                 f"{delta['applies']} delta / {delta['full_evals']} full "
+                 f"({delta['hit_rate']:.1%} delta)"]
+            )
         if cache is not None:
             rows.append(
                 ["result cache", f"{cache.size}/{cache.capacity} entries, "

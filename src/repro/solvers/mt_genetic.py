@@ -6,9 +6,12 @@ published, so this is a standard generational GA:
 
 * chromosome — the ``m × n`` indicator matrix (column 0 pinned to 1);
 * fitness — the synchronized cost (:mod:`repro.core.sync_cost`),
-  re-implemented here as a NumPy kernel vectorized across the whole
-  population (uint64 switch lanes + SWAR popcount), which is the hot
-  path of the reproduction;
+  evaluated for the whole offspring population at once through
+  :class:`repro.core.delta.PopulationEvaluator` (uint64 switch lanes +
+  SWAR popcount), which is the hot path of the reproduction.  The GA
+  only exposes the plain switch objective, so the evaluator's
+  changeover/public fallback is never taken from here (wiring those
+  variants through the GA is a ROADMAP open item);
 * tournament selection, uniform crossover, per-bit flip mutation plus a
   column-alignment mutation (hyperreconfigurations of different tasks
   like to share a step since a parallel upload charges only the max),
@@ -26,16 +29,26 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.context import RequirementSequence
-from repro.core.machine import MachineModel, UploadMode
+from repro.core.delta import (
+    PopulationEvaluator,
+    merge_evaluator_stats,
+    pack_mask_lanes,
+    population_switch_cost,
+)
+from repro.core.machine import MachineModel
 from repro.core.schedule import MultiTaskSchedule
 from repro.core.sync_cost import sync_switch_cost
 from repro.core.task import TaskSystem
 from repro.solvers.base import MTSolveResult
 from repro.solvers.mt_greedy import solve_mt_from_single, solve_mt_independent
-from repro.util.bitset import popcount_u64
 from repro.util.rng import SeedLike, make_rng
 
 __all__ = ["GAParams", "solve_mt_genetic", "population_fitness"]
+
+# Backwards-compatible aliases: the batched fitness kernel now lives in
+# repro.core.delta next to the incremental evaluator it complements.
+_mask_lanes = pack_mask_lanes
+population_fitness = population_switch_cost
 
 
 @dataclass(frozen=True)
@@ -65,74 +78,6 @@ class GAParams:
             raise ValueError("elitism must be in [0, population_size)")
         if self.tournament_size < 1:
             raise ValueError("tournament_size must be positive")
-
-
-def _mask_lanes(seqs: Sequence[RequirementSequence]) -> np.ndarray:
-    """Pack per-task step masks into uint64 lanes: shape (L, m, n)."""
-    m = len(seqs)
-    n = len(seqs[0])
-    width = seqs[0].universe.size
-    lanes = max(1, (width + 63) // 64)
-    out = np.zeros((lanes, m, n), dtype=np.uint64)
-    for j, seq in enumerate(seqs):
-        for i, mask in enumerate(seq.masks):
-            for lane in range(lanes):
-                out[lane, j, i] = np.uint64((mask >> (64 * lane)) & 0xFFFFFFFFFFFFFFFF)
-    return out
-
-
-def population_fitness(
-    pop: np.ndarray,
-    lanes: np.ndarray,
-    v: np.ndarray,
-    *,
-    hyper_parallel: bool = True,
-    reconf_parallel: bool = True,
-) -> np.ndarray:
-    """Synchronized cost of every chromosome in ``pop``.
-
-    Parameters
-    ----------
-    pop:
-        Boolean array of shape ``(P, m, n)``; column 0 must be True.
-    lanes:
-        Packed step masks from :func:`_mask_lanes`, shape ``(L, m, n)``.
-    v:
-        Per-task hyperreconfiguration costs, shape ``(m,)``.
-
-    Returns the cost vector of shape ``(P,)``.  This kernel mirrors
-    :func:`repro.core.sync_cost.sync_switch_cost` exactly and is tested
-    against it element-by-element.
-    """
-    P, m, n = pop.shape
-    L = lanes.shape[0]
-    # Backward sweep: suffix unions up to each block end.
-    per_step = np.zeros((L, P, m, n), dtype=np.uint64)
-    acc = np.zeros((L, P, m), dtype=np.uint64)
-    for i in range(n - 1, -1, -1):
-        acc = acc | lanes[:, None, :, i]
-        per_step[..., i] = acc
-        reset = pop[None, :, :, i]
-        acc = np.where(reset, np.uint64(0), acc)
-    # Forward sweep: hold the block union from each block start.
-    cur = np.zeros((L, P, m), dtype=np.uint64)
-    sizes = np.zeros((P, m, n), dtype=np.int64)
-    for i in range(n):
-        hyper = pop[None, :, :, i]
-        cur = np.where(hyper, per_step[..., i], cur)
-        sizes[..., i] = popcount_u64(cur).sum(axis=0).astype(np.int64)
-    # Reconfiguration term per step.
-    if reconf_parallel:
-        reconf = sizes.max(axis=1)  # (P, n)
-    else:
-        reconf = sizes.sum(axis=1)
-    # Hyperreconfiguration term per step.
-    hyper_costs = np.where(pop, v[None, :, None], 0.0)  # (P, m, n)
-    if hyper_parallel:
-        hyper = hyper_costs.max(axis=1)
-    else:
-        hyper = hyper_costs.sum(axis=1)
-    return reconf.sum(axis=1).astype(np.float64) + hyper.sum(axis=1)
 
 
 def _schedule_to_row(schedule: MultiTaskSchedule) -> np.ndarray:
@@ -170,10 +115,7 @@ def solve_mt_genetic(
         schedule = MultiTaskSchedule([[] for _ in range(m)])
         return MTSolveResult(schedule, 0.0, True, "mt_genetic", {})
 
-    lanes = _mask_lanes(seqs)
-    v = np.asarray(system.v, dtype=np.float64)
-    hyper_parallel = model.hyper_upload is UploadMode.TASK_PARALLEL
-    reconf_parallel = model.reconfig_upload is UploadMode.TASK_PARALLEL
+    evaluator = PopulationEvaluator(system, seqs, model)
     mutation_rate = (
         params.mutation_rate
         if params.mutation_rate is not None
@@ -199,15 +141,7 @@ def solve_mt_genetic(
         for k, chrom in enumerate(warm[: P // 2]):
             pop[k] = chrom
 
-    def fitness(p: np.ndarray) -> np.ndarray:
-        return population_fitness(
-            p,
-            lanes,
-            v,
-            hyper_parallel=hyper_parallel,
-            reconf_parallel=reconf_parallel,
-        )
-
+    fitness = evaluator.evaluate
     fit = fitness(pop)
     best_idx = int(np.argmin(fit))
     best_chrom = pop[best_idx].copy()
@@ -265,14 +199,16 @@ def solve_mt_genetic(
         raise AssertionError(
             f"GA fitness {best_fit} disagrees with reference cost {cost}"
         )
+    stats = {
+        "generations": generations_run,
+        "best_history_first": history[0],
+        "best_history_last": history[-1],
+    }
+    merge_evaluator_stats(stats, evaluator.stats)
     return MTSolveResult(
         schedule=schedule,
         cost=cost,
         optimal=False,
         solver="mt_genetic",
-        stats={
-            "generations": generations_run,
-            "best_history_first": history[0],
-            "best_history_last": history[-1],
-        },
+        stats=stats,
     )

@@ -21,6 +21,12 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.core.context import RequirementSequence
+from repro.core.delta import (
+    ColumnFlipMove,
+    FlipMove,
+    make_evaluator,
+    merge_evaluator_stats,
+)
 from repro.core.machine import MachineModel
 from repro.core.schedule import MultiTaskSchedule
 from repro.core.sync_cost import sync_switch_cost
@@ -129,23 +135,20 @@ def local_search(
     Repeatedly sweeps all ``(task, step ≥ 1)`` positions, toggling each
     indicator and keeping the flip whenever the synchronized cost
     decreases; stops at a local optimum or after ``max_passes`` sweeps.
+    Flips are scored through the incremental
+    :class:`~repro.core.delta.DeltaEvaluator` (only the perturbed block
+    is re-evaluated), which leaves the accept/reject trajectory — and
+    therefore the result — bit-identical to full re-evaluation.
     """
     m, n = schedule.m, schedule.n
-    rows = [list(r) for r in schedule.indicators]
     # On machines that cannot hyperreconfigure task subsets the rows must
     # stay identical, so the moves are whole-column flips.
     column_moves = model is not None and not model.machine_class.allows_partial_hyper
-    best_cost = sync_switch_cost(system, seqs, schedule, model)
+    evaluator = make_evaluator(system, seqs, schedule, model)
+    best_cost = evaluator.cost
     evaluations = 1
     improved = True
     passes = 0
-
-    def flip(j: int, i: int) -> None:
-        if column_moves:
-            for jj in range(m):
-                rows[jj][i] = not rows[jj][i]
-        else:
-            rows[j][i] = not rows[j][i]
 
     task_range = range(1) if column_moves else range(m)
     while improved and passes < max_passes:
@@ -153,21 +156,24 @@ def local_search(
         passes += 1
         for j in task_range:
             for i in range(1, n):
-                flip(j, i)
-                cand = MultiTaskSchedule(rows)
-                cost = sync_switch_cost(system, seqs, cand, model)
+                move = ColumnFlipMove(step=i) if column_moves else FlipMove(
+                    task=j, step=i
+                )
+                cost = evaluator.apply(move)
                 evaluations += 1
                 if cost < best_cost - 1e-12:
                     best_cost = cost
                     improved = True
                 else:
-                    flip(j, i)
+                    evaluator.revert()
+    stats = {"passes": passes, "evaluations": evaluations}
+    merge_evaluator_stats(stats, evaluator.stats)
     return MTSolveResult(
-        schedule=MultiTaskSchedule(rows),
+        schedule=MultiTaskSchedule(evaluator.rows),
         cost=best_cost,
         optimal=False,
         solver="local_search",
-        stats={"passes": passes, "evaluations": evaluations},
+        stats=stats,
     )
 
 
@@ -197,10 +203,12 @@ def solve_mt_greedy_merge(
         result = refined
     else:  # pragma: no cover - local search never worsens its start
         result = start
+    stats = {"start": start.solver, "start_cost": start.cost}
+    merge_evaluator_stats(stats, refined.stats)
     return MTSolveResult(
         schedule=result.schedule,
         cost=result.cost,
         optimal=False,
         solver="mt_greedy_merge",
-        stats={"start": start.solver, "start_cost": start.cost},
+        stats=stats,
     )

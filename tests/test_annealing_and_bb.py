@@ -9,6 +9,7 @@ from repro.core.context import RequirementSequence
 from repro.core.machine import MachineClass, MachineModel, SyncMode, UploadMode
 from repro.core.switches import SwitchUniverse
 from repro.core.task import TaskSystem
+from repro.solvers import mt_annealing
 from repro.solvers.mt_annealing import AnnealParams, solve_mt_annealing
 from repro.solvers.mt_branch_bound import solve_mt_branch_bound
 from repro.solvers.mt_exact import solve_mt_exact
@@ -122,6 +123,74 @@ class TestAnnealing:
             AnnealParams(p_flip=0.9, p_align=0.9)
         with pytest.raises(ValueError):
             AnnealParams(restarts=0)
+
+    def test_each_probability_validated_individually(self):
+        """Regression: p_flip=-0.5, p_align=1.2 sums to 0.7 and used to
+        slip through, corrupting the move mix."""
+        with pytest.raises(ValueError):
+            AnnealParams(p_flip=-0.5, p_align=1.2)
+        with pytest.raises(ValueError):
+            AnnealParams(p_flip=1.2, p_align=0.0)
+        with pytest.raises(ValueError):
+            AnnealParams(p_flip=0.0, p_align=-0.1)
+        AnnealParams(p_flip=0.0, p_align=1.0)  # boundary values are fine
+
+    def test_warm_start_never_degraded(self):
+        """Regression: the incumbent is seeded from the start state, so
+        a hot, short run can no longer return worse than its greedy
+        warm start (best_rows used to be assigned only on accept)."""
+        system, seqs = _instance([1, 2, 3, 4, 5, 6], [6, 5, 4, 3, 2, 1])
+        greedy = solve_mt_greedy_merge(system, seqs)
+        for seed in range(5):
+            sa = solve_mt_annealing(
+                system,
+                seqs,
+                params=AnnealParams(
+                    iterations=40, t_start=1e6, t_end=1e5
+                ),
+                seed=seed,
+            )
+            assert sa.cost <= greedy.cost + 1e-9
+
+    def test_zero_accept_run_returns_warm_start(self, monkeypatch):
+        """Regression: with no accepted move at all, the solver used to
+        crash on MultiTaskSchedule(None); now it returns the start."""
+        system, seqs = _instance([1, 2, 3, 4], [4, 3, 2, 1])
+        greedy = solve_mt_greedy_merge(system, seqs)
+        monkeypatch.setattr(mt_annealing, "_propose", lambda *a, **k: None)
+        sa = solve_mt_annealing(
+            system, seqs, params=AnnealParams(iterations=100), seed=0
+        )
+        assert sa.cost == greedy.cost
+        assert sa.schedule == greedy.schedule
+        assert sa.stats["accepted"] == 0
+        assert sa.stats["noop_proposals"] == 100
+
+    def test_noops_not_counted_as_accepted(self):
+        """Regression: no-op proposals (e.g. every proposal on an n=1
+        instance) used to inflate the accepted counter."""
+        system, _ = _instance([1], [1])
+        seqs = [RequirementSequence(U, [1]), RequirementSequence(U, [2])]
+        sa = solve_mt_annealing(
+            system, seqs, params=AnnealParams(iterations=50), seed=0
+        )
+        assert sa.stats["accepted"] == 0
+        assert sa.stats["noop_proposals"] == 50
+
+    def test_delta_and_full_evaluation_agree_bitwise(self):
+        system, seqs = _instance([1, 3, 5, 7, 2, 6], [2, 4, 6, 8, 1, 3])
+        params = dict(iterations=800, restarts=2)
+        fast = solve_mt_annealing(
+            system, seqs, params=AnnealParams(use_delta=True, **params), seed=4
+        )
+        slow = solve_mt_annealing(
+            system, seqs, params=AnnealParams(use_delta=False, **params), seed=4
+        )
+        assert fast.cost == slow.cost
+        assert fast.schedule == slow.schedule
+        assert fast.stats["accepted"] == slow.stats["accepted"]
+        assert fast.stats["delta_full_evals"] == 0
+        assert slow.stats["delta_applies"] == 0
 
     def test_rejects_partially_reconfigurable(self):
         system, seqs = _instance([1], [2])

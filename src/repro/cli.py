@@ -12,7 +12,10 @@ Subcommands cover the common workflows without writing Python:
 * ``repro solvers`` — list the registered solver zoo with capability
   tags;
 * ``repro experiment`` — the full paper reproduction (E1–E3 artifacts);
-* ``repro stats <app>`` — trace statistics and phase structure.
+* ``repro stats <app>`` — trace statistics and phase structure;
+* ``repro bench`` — run the benchmark smoke suite (every ``bench_e*``
+  at reduced size) and print its tables, including the E14/E15 speedup
+  tables.
 
 All solving goes through the solver registry and the serving engine
 (:mod:`repro.engine`), never through ad-hoc solver imports.
@@ -266,6 +269,58 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def _find_benchmarks_dir():
+    """Locate the benchmark harness: the cwd first, then the checkout
+    this package was imported from (site installs do not ship it)."""
+    import pathlib
+
+    candidates = [
+        pathlib.Path.cwd() / "benchmarks",
+        pathlib.Path(__file__).resolve().parents[2] / "benchmarks",
+    ]
+    for candidate in candidates:
+        if (candidate / "conftest.py").is_file():
+            return candidate
+    return None
+
+
+def cmd_bench(args) -> int:
+    import importlib.util
+    import os
+    import pathlib
+    import subprocess
+
+    if importlib.util.find_spec("pytest") is None:
+        print(
+            "repro bench needs pytest (install the '[test]' extra)",
+            file=sys.stderr,
+        )
+        return 2
+    bench_dir = _find_benchmarks_dir()
+    if bench_dir is None:
+        print(
+            "benchmarks/ not found: run from a repository checkout "
+            "(the benchmark harness is not installed with the package)",
+            file=sys.stderr,
+        )
+        return 2
+    cmd = [sys.executable, "-m", "pytest", str(bench_dir), "-q", "-s"]
+    if not args.full:
+        cmd.append("--smoke")
+    if args.select:
+        cmd.extend(["-k", args.select])
+    # Child processes must import this same repro tree even when it was
+    # never pip-installed (the PYTHONPATH=src workflow).
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).resolve().parents[1])
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    return subprocess.call(cmd, env=env, cwd=str(bench_dir.parent))
+
+
 def cmd_stats(args) -> int:
     from repro.analysis.trace_stats import segment_phases
 
@@ -369,6 +424,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.add_argument("--drift", type=float, default=0.5)
     p_stats.set_defaults(func=cmd_stats)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the benchmark smoke suite and print the speedup tables",
+    )
+    p_bench.add_argument(
+        "--full", action="store_true",
+        help="full-size benchmarks instead of the reduced smoke mode",
+    )
+    p_bench.add_argument(
+        "-k", "--select", default=None, metavar="EXPR",
+        help="pytest -k expression (e.g. 'e14 or e15' for the speedup "
+             "benches only)",
+    )
+    p_bench.set_defaults(func=cmd_bench)
     return parser
 
 

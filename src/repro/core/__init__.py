@@ -11,7 +11,10 @@ This package implements Sections 2–4 of Lange & Middendorf (IPPS 2004):
 * asynchronous multi-task cost models (:mod:`repro.core.mt_cost`),
 * the fully synchronized per-step cost model of Section 4.2
   (:mod:`repro.core.sync_cost`) with its incremental/batched
-  evaluation engine (:mod:`repro.core.delta`), and
+  evaluation engine (:mod:`repro.core.delta`),
+* the lane-packed NumPy representation behind every cost-model and
+  solver hot path (:mod:`repro.core.packed` — the scalar int-mask code
+  remains the correctness oracle), and
 * schedule representations with validity checking
   (:mod:`repro.core.schedule`, :mod:`repro.core.globalres`).
 """
@@ -54,6 +57,13 @@ from repro.core.delta import (
     ShiftMove,
     make_evaluator,
 )
+from repro.core.packed import (
+    PackedEvaluation,
+    PackedProblem,
+    PackedPublic,
+    PackedSequence,
+    PackedWindows,
+)
 
 __all__ = [
     "SwitchSet",
@@ -88,4 +98,9 @@ __all__ = [
     "SetRowsMove",
     "ShiftMove",
     "make_evaluator",
+    "PackedEvaluation",
+    "PackedProblem",
+    "PackedPublic",
+    "PackedSequence",
+    "PackedWindows",
 ]

@@ -56,6 +56,8 @@ def switch_cost(
     seq: RequirementSequence,
     schedule: SingleTaskSchedule,
     w: float,
+    *,
+    packed=None,
 ) -> float:
     """Switch-model cost ``r·w + Σ_i |h_i|·|S_i|``.
 
@@ -63,7 +65,15 @@ def switch_cost(
     suggests ``w = |X|`` — every switch's availability flag must be
     written).  Hypercontexts are the schedule's (explicit or minimal
     union) block hypercontexts.
+
+    ``packed`` optionally supplies a precompiled
+    :class:`~repro.core.packed.PackedSequence` of ``seq``; the
+    lane-packed fast path then computes the (bit-identical) cost for
+    minimal-union schedules.  Explicit hypercontexts always take the
+    scalar path, which validates their coverage.
     """
+    if packed is not None and schedule.explicit_masks is None:
+        return packed.switch_cost(schedule, w)
     if w <= 0:
         raise ValueError("hyperreconfiguration cost w must be positive")
     masks = schedule.hypercontext_masks(seq)
@@ -78,6 +88,8 @@ def switch_cost_changeover(
     schedule: SingleTaskSchedule,
     w: float,
     initial_mask: int = 0,
+    *,
+    packed=None,
 ) -> float:
     """Changeover variant: hyperreconfigurations pay ``w + |h Δ h'|``.
 
@@ -89,7 +101,14 @@ def switch_cost_changeover(
     optimal (keeping a switch enabled avoids paying Δ twice), which is
     why :class:`~repro.core.schedule.SingleTaskSchedule` supports
     explicit hypercontext masks.
+
+    ``packed`` optionally supplies a precompiled
+    :class:`~repro.core.packed.PackedSequence` fast path for
+    minimal-union schedules (bit-identical; explicit hypercontexts take
+    the scalar path).
     """
+    if packed is not None and schedule.explicit_masks is None:
+        return packed.changeover_cost(schedule, w, initial_mask)
     if w < 0:
         raise ValueError("fixed hyperreconfiguration cost w must be non-negative")
     masks = schedule.hypercontext_masks(seq)

@@ -24,21 +24,29 @@ it perturbs:
   cost function on every ``apply``.  Used when incremental evaluation
   is disabled (``use_delta=False``) and by benchmarks as the
   full-evaluation baseline; every apply counts as a fallback.
-* :class:`PopulationEvaluator` — the batched arm of the engine: the
-  vectorized NumPy kernel (uint64 switch lanes + SWAR popcount) that
-  evaluates a whole GA offspring population at once, falling back to
-  per-chromosome reference evaluation for configurations the kernel
-  cannot express (changeover, public rows).
+* :class:`PopulationEvaluator` — the batched arm of the engine: scores
+  a whole GA offspring population at once through the lane-packed
+  representation of :mod:`repro.core.packed`.  Since the packed kernel
+  expresses changeover symmetric differences and the public-global
+  pseudo-row directly, *every* configuration is served batched — the
+  per-chromosome reference fallback of earlier revisions is gone.
 
-Every evaluator reproduces the reference arithmetic *operation by
-operation* (same float-summation order, same ``max``/``sum`` choices),
-so delta-evaluated trajectories are bit-identical to full-evaluation
-trajectories — the solver-exit cross-checks against
-:func:`sync_switch_cost` stay exact, not approximate.  All evaluators
-expose uniform ``stats`` counters (``delta_applies``,
-``delta_full_evals``, ``delta_hit_rate``, …) that the solvers surface
-through their result ``stats`` and the serving engine aggregates into
-its metrics report.
+The evaluators no longer own a private vectorized kernel: whole-matrix
+(re)initialization and batched evaluation delegate to
+:class:`repro.core.packed.PackedProblem` (the lane-packed fast path),
+while the per-move incremental updates keep the scalar int-mask
+arithmetic, which is the right tool for single-move deltas.  Both arms
+reproduce the reference arithmetic *operation by operation* (same
+float-summation order, same ``max``/``sum`` choices), so evaluated
+trajectories are bit-identical to full-evaluation trajectories — the
+solver-exit cross-checks against :func:`sync_switch_cost` stay exact,
+not approximate.  All evaluators expose uniform ``stats`` counters
+(``delta_applies``, ``delta_full_evals``, ``delta_hit_rate``, …) that
+the solvers surface through their result ``stats`` and the serving
+engine aggregates into its metrics report.
+
+``pack_mask_lanes`` and ``population_switch_cost`` are kept as thin
+aliases over :mod:`repro.core.packed` for PR-2 callers.
 """
 
 from __future__ import annotations
@@ -49,11 +57,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.context import RequirementSequence
-from repro.core.machine import MachineModel, UploadMode
+from repro.core.machine import MachineModel
+from repro.core.packed import (
+    PackedProblem,
+    PackedPublic,
+    pack_mask_lanes,
+    population_switch_cost,
+)
 from repro.core.schedule import MultiTaskSchedule, ScheduleError
-from repro.core.sync_cost import PublicGlobalPlan, sync_cost_breakdown
+from repro.core.sync_cost import PublicGlobalPlan
 from repro.core.task import TaskSystem
-from repro.util.bitset import bit_count, popcount_u64
+from repro.util.bitset import bit_count
 
 __all__ = [
     "FlipMove",
@@ -220,11 +234,14 @@ class DeltaEvaluator(_EvaluatorBase):
     """Incremental synchronized MT-Switch cost of one evolving schedule.
 
     Parameters mirror :func:`repro.core.sync_cost.sync_switch_cost`;
-    construction performs one full reference evaluation (which also
-    validates the configuration), after which :meth:`apply` updates the
-    per-task block unions and per-step cost terms only inside the
-    window delimited by the enclosing hyperreconfiguration steps of
-    each touched task.
+    construction compiles (or reuses a caller-supplied) lane-packed
+    :class:`~repro.core.packed.PackedProblem` and seeds the per-step
+    state from one vectorized full evaluation — bit-identical to the
+    reference, which also validates the configuration.  After that,
+    :meth:`apply` updates the per-task block unions and per-step cost
+    terms only inside the window delimited by the enclosing
+    hyperreconfiguration steps of each touched task, using scalar
+    int-mask arithmetic (the right tool for single-move deltas).
 
     One move may be pending at a time: ``apply`` commits any previous
     move and remembers how to undo the new one; ``revert`` undoes the
@@ -245,6 +262,7 @@ class DeltaEvaluator(_EvaluatorBase):
         public: PublicGlobalPlan | None = None,
         changeover: bool = False,
         changeover_fixed: Sequence[float] | None = None,
+        packed: PackedProblem | None = None,
     ):
         if model is None:
             model = MachineModel.paper_experimental()
@@ -260,14 +278,22 @@ class DeltaEvaluator(_EvaluatorBase):
         self._m = system.m
         self._masks = [seq.masks for seq in self._seqs]
         self._v = system.v
-        self._hyper_parallel = model.hyper_upload is UploadMode.TASK_PARALLEL
-        self._reconf_parallel = model.reconfig_upload is UploadMode.TASK_PARALLEL
-        self._partial_hyper_ok = model.machine_class.allows_partial_hyper
-        if public is not None:
-            self._pub_sizes = [bit_count(mk) for mk in public.step_masks()]
-            self._pub_hyper = set(public.hyper_steps)
-            self._pub_v = public.v
+        if packed is not None and packed.matches(system, self._seqs, model):
+            self._packed = packed
         else:
+            self._packed = PackedProblem.compile(system, self._seqs, model)
+        self._hyper_parallel = self._packed.hyper_parallel
+        self._reconf_parallel = self._packed.reconf_parallel
+        self._partial_hyper_ok = self._packed.partial_hyper_ok
+        if public is not None:
+            self._pub_packed = PackedPublic.compile(public, self._packed.n)
+            self._pub_sizes = self._pub_packed.sizes.tolist()
+            self._pub_hyper = {
+                i for i, flag in enumerate(self._pub_packed.hyper) if flag
+            }
+            self._pub_v = self._pub_packed.v
+        else:
+            self._pub_packed = None
             self._pub_sizes = None
             self._pub_hyper = None
             self._pub_v = 0.0
@@ -283,25 +309,23 @@ class DeltaEvaluator(_EvaluatorBase):
     # -- (re)initialization ------------------------------------------------
 
     def _init_state(self, rows: list[list[bool]]) -> None:
-        schedule = MultiTaskSchedule(rows)
-        self._n = schedule.n
-        steps = sync_cost_breakdown(
-            self._system,
-            self._seqs,
-            schedule,
-            self._model,
+        evaluation = self._packed.evaluate_rows(
+            rows,
             w=self._w,
-            public=self._public,
+            public=self._pub_packed,
             changeover=self._changeover,
             changeover_fixed=self._changeover_fixed,
         )
         self._rows = rows
-        self._unions = schedule.block_union_masks(self._seqs)
-        self._sizes = [[bit_count(mk) for mk in row] for row in self._unions]
-        self._step_hyper = [s.hyper for s in steps]
-        self._step_reconf = [s.reconfig for s in steps]
-        self._step_total = [s.total for s in steps]
-        self._cost = float(self._w + sum(self._step_total))
+        self._n = self._packed.n
+        self._unions = evaluation.union_masks()
+        self._sizes = evaluation.sizes.tolist()
+        self._step_hyper = evaluation.step_hyper.tolist()
+        self._step_reconf = evaluation.step_reconf.tolist()
+        self._step_total = [
+            h + r for h, r in zip(self._step_hyper, self._step_reconf)
+        ]
+        self._cost = evaluation.cost
         self._undo = None
 
     def reset(self, rows: MultiTaskSchedule | Sequence[Sequence[bool]]) -> float:
@@ -683,6 +707,7 @@ def make_evaluator(
     changeover: bool = False,
     changeover_fixed: Sequence[float] | None = None,
     use_delta: bool = True,
+    packed: PackedProblem | None = None,
 ) -> DeltaEvaluator | FullEvaluator:
     """Build the best evaluator for a configuration.
 
@@ -692,9 +717,26 @@ def make_evaluator(
     (benchmark baselines, paranoia switches); the factory exists so
     future configurations that cannot be delta-evaluated can degrade to
     :class:`FullEvaluator` without touching the solvers.
+
+    ``packed`` optionally reuses an already-compiled
+    :class:`~repro.core.packed.PackedProblem` for this instance (the
+    batch engine compiles one per structurally-deduped request).  The
+    :class:`FullEvaluator` deliberately ignores it: it exists to be the
+    scalar-reference baseline, not a fast path.
     """
-    cls = DeltaEvaluator if use_delta else FullEvaluator
-    return cls(
+    if use_delta:
+        return DeltaEvaluator(
+            system,
+            seqs,
+            rows,
+            model,
+            w=w,
+            public=public,
+            changeover=changeover,
+            changeover_fixed=changeover_fixed,
+            packed=packed,
+        )
+    return FullEvaluator(
         system,
         seqs,
         rows,
@@ -707,86 +749,20 @@ def make_evaluator(
 
 
 # ---------------------------------------------------------------------------
-# Batched population evaluation (the GA's offspring kernel)
+# Batched population evaluation (the GA's offspring arm)
 # ---------------------------------------------------------------------------
-
-
-def pack_mask_lanes(seqs: Sequence[RequirementSequence]) -> np.ndarray:
-    """Pack per-task step masks into uint64 lanes: shape (L, m, n)."""
-    m = len(seqs)
-    n = len(seqs[0])
-    width = seqs[0].universe.size
-    lanes = max(1, (width + 63) // 64)
-    out = np.zeros((lanes, m, n), dtype=np.uint64)
-    for j, seq in enumerate(seqs):
-        for i, mask in enumerate(seq.masks):
-            for lane in range(lanes):
-                out[lane, j, i] = np.uint64((mask >> (64 * lane)) & 0xFFFFFFFFFFFFFFFF)
-    return out
-
-
-def population_switch_cost(
-    pop: np.ndarray,
-    lanes: np.ndarray,
-    v: np.ndarray,
-    *,
-    hyper_parallel: bool = True,
-    reconf_parallel: bool = True,
-) -> np.ndarray:
-    """Synchronized cost of every chromosome in ``pop``.
-
-    Parameters
-    ----------
-    pop:
-        Boolean array of shape ``(P, m, n)``; column 0 must be True.
-    lanes:
-        Packed step masks from :func:`pack_mask_lanes`, shape ``(L, m, n)``.
-    v:
-        Per-task hyperreconfiguration costs, shape ``(m,)``.
-
-    Returns the cost vector of shape ``(P,)``.  This kernel mirrors
-    :func:`repro.core.sync_cost.sync_switch_cost` exactly and is tested
-    against it element-by-element.
-    """
-    P, m, n = pop.shape
-    L = lanes.shape[0]
-    # Backward sweep: suffix unions up to each block end.
-    per_step = np.zeros((L, P, m, n), dtype=np.uint64)
-    acc = np.zeros((L, P, m), dtype=np.uint64)
-    for i in range(n - 1, -1, -1):
-        acc = acc | lanes[:, None, :, i]
-        per_step[..., i] = acc
-        reset = pop[None, :, :, i]
-        acc = np.where(reset, np.uint64(0), acc)
-    # Forward sweep: hold the block union from each block start.
-    cur = np.zeros((L, P, m), dtype=np.uint64)
-    sizes = np.zeros((P, m, n), dtype=np.int64)
-    for i in range(n):
-        hyper = pop[None, :, :, i]
-        cur = np.where(hyper, per_step[..., i], cur)
-        sizes[..., i] = popcount_u64(cur).sum(axis=0).astype(np.int64)
-    # Reconfiguration term per step.
-    if reconf_parallel:
-        reconf = sizes.max(axis=1)  # (P, n)
-    else:
-        reconf = sizes.sum(axis=1)
-    # Hyperreconfiguration term per step.
-    hyper_costs = np.where(pop, v[None, :, None], 0.0)  # (P, m, n)
-    if hyper_parallel:
-        hyper = hyper_costs.max(axis=1)
-    else:
-        hyper = hyper_costs.sum(axis=1)
-    return reconf.sum(axis=1).astype(np.float64) + hyper.sum(axis=1)
 
 
 class PopulationEvaluator:
     """Batched offspring evaluation for population metaheuristics.
 
-    Wraps the vectorized kernel behind the same counter discipline as
-    the incremental evaluators: offspring evaluated through the kernel
-    count as ``delta_applies``, per-chromosome reference fallbacks
-    (needed for changeover or public-global configurations, which the
-    uint64 kernel cannot express) count as ``delta_full_evals``.
+    A thin counter-discipline wrapper over
+    :meth:`repro.core.packed.PackedProblem.population_cost`: offspring
+    evaluated through the lane-packed kernel count as ``delta_applies``.
+    Because the packed representation expresses changeover symmetric
+    differences and the public-global pseudo-row directly, *every*
+    configuration is served batched — ``delta_full_evals`` stays 0 and
+    remains only for the metrics layer's uniform aggregation.
     """
 
     def __init__(
@@ -798,6 +774,7 @@ class PopulationEvaluator:
         changeover: bool = False,
         changeover_fixed: Sequence[float] | None = None,
         public: PublicGlobalPlan | None = None,
+        packed: PackedProblem | None = None,
     ):
         if model is None:
             model = MachineModel.paper_experimental()
@@ -805,52 +782,42 @@ class PopulationEvaluator:
         self._seqs = list(seqs)
         self._model = model
         self._changeover = bool(changeover)
-        self._changeover_fixed = changeover_fixed
-        self._public = public
-        self._batched_ok = not changeover and public is None
-        if self._batched_ok:
-            self._lanes = pack_mask_lanes(self._seqs)
-            self._v = np.asarray(system.v, dtype=np.float64)
-            self._hyper_parallel = model.hyper_upload is UploadMode.TASK_PARALLEL
-            self._reconf_parallel = (
-                model.reconfig_upload is UploadMode.TASK_PARALLEL
-            )
+        self._changeover_fixed = (
+            tuple(changeover_fixed) if changeover_fixed is not None else None
+        )
+        if packed is not None and packed.matches(system, self._seqs, model):
+            self._packed = packed
+        else:
+            self._packed = PackedProblem.compile(system, self._seqs, model)
+        self._public = (
+            PackedPublic.compile(public, self._packed.n)
+            if public is not None
+            else None
+        )
         self._n_batches = 0
         self._n_batched = 0
         self._n_full = 0
 
     @property
     def batched(self) -> bool:
-        """True when the vectorized kernel serves this configuration."""
-        return self._batched_ok
+        """True — the packed kernel serves every configuration."""
+        return True
+
+    @property
+    def packed(self) -> PackedProblem:
+        """The compiled representation behind this evaluator."""
+        return self._packed
 
     def evaluate(self, pop: np.ndarray) -> np.ndarray:
         """Cost vector for a ``(P, m, n)`` boolean population."""
-        if self._batched_ok:
-            self._n_batches += 1
-            self._n_batched += len(pop)
-            return population_switch_cost(
-                pop,
-                self._lanes,
-                self._v,
-                hyper_parallel=self._hyper_parallel,
-                reconf_parallel=self._reconf_parallel,
-            )
-        from repro.core.sync_cost import sync_switch_cost
-
-        out = np.empty(len(pop), dtype=np.float64)
-        for k, chrom in enumerate(pop):
-            out[k] = sync_switch_cost(
-                self._system,
-                self._seqs,
-                MultiTaskSchedule(chrom.tolist()),
-                self._model,
-                changeover=self._changeover,
-                changeover_fixed=self._changeover_fixed,
-                public=self._public,
-            )
-        self._n_full += len(pop)
-        return out
+        self._n_batches += 1
+        self._n_batched += len(pop)
+        return self._packed.population_cost(
+            pop,
+            public=self._public,
+            changeover=self._changeover,
+            changeover_fixed=self._changeover_fixed,
+        )
 
     @property
     def stats(self) -> dict:

@@ -96,6 +96,8 @@ def async_switch_cost(
     seqs: Sequence[RequirementSequence],
     schedules: Sequence[SingleTaskSchedule],
     w: float = 0.0,
+    *,
+    packed: Sequence | None = None,
 ) -> float:
     """MT-Switch model cost ``w + max_j Σ_i (v_j + |h_ij|·|S_ji|)``.
 
@@ -105,12 +107,23 @@ def async_switch_cost(
     disjoint).  ``w`` is the global hyperreconfiguration cost; pass 0
     when the machine has only local resources (then no global
     hyperreconfigurations exist, Section 5).
+
+    ``packed`` optionally supplies one precompiled
+    :class:`~repro.core.packed.PackedSequence` per task; the per-task
+    totals then come from the lane-packed fast path (bit-identical to
+    the scalar term above).
     """
     if w < 0:
         raise ValueError("global hyperreconfiguration cost w must be non-negative")
     if not (len(seqs) == len(schedules) == system.m):
         raise ValueError("need one sequence and one schedule per task")
+    if packed is not None and len(packed) != system.m:
+        raise ValueError("need one packed sequence per task")
     worst = 0.0
-    for task, seq, schedule in zip(system.tasks, seqs, schedules):
-        worst = max(worst, async_switch_task_total(seq, schedule, task.v))
+    for j, (task, seq, schedule) in enumerate(zip(system.tasks, seqs, schedules)):
+        if packed is not None:
+            total = packed[j].async_task_total(schedule, task.v)
+        else:
+            total = async_switch_task_total(seq, schedule, task.v)
+        worst = max(worst, total)
     return float(w + worst)

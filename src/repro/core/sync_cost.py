@@ -201,13 +201,30 @@ def sync_switch_cost(
     public: PublicGlobalPlan | None = None,
     changeover: bool = False,
     changeover_fixed: Sequence[float] | None = None,
+    packed=None,
 ) -> float:
     """Total fully synchronized MT-Switch cost ``w + Σ_i (hyper_i + reconf_i)``.
 
     See :func:`sync_cost_breakdown` for parameters.  This is the
     objective minimized by the Section 5 MT-Switch problem and by all
     multi-task solvers in :mod:`repro.solvers`.
+
+    ``packed`` optionally supplies a precompiled
+    :class:`~repro.core.packed.PackedProblem` for this ``(system,
+    seqs, model)`` instance: the lane-packed fast path then evaluates
+    the schedule with a bit-identical result (the scalar path below
+    remains the correctness oracle).  The caller vouches that the
+    compile matches the instance; use
+    :meth:`~repro.core.packed.PackedProblem.matches` when unsure.
     """
+    if packed is not None:
+        return packed.cost(
+            schedule,
+            w=w,
+            public=public,
+            changeover=changeover,
+            changeover_fixed=changeover_fixed,
+        )
     steps = sync_cost_breakdown(
         system,
         seqs,

@@ -36,6 +36,7 @@ from repro.engine.batch import BatchEngine, SolveTimeout
 from repro.engine.cache import MISS, CacheStats, ResultCache
 from repro.engine.metrics import EngineMetrics, LatencyStats
 from repro.engine.registry import (
+    TAG_PACKED,
     SolverRegistry,
     SolverSpec,
     default_registry,
@@ -46,6 +47,7 @@ from repro.engine.requests import (
     SolveRequest,
     canonical_key,
     canonicalize,
+    packed_problem_key,
 )
 from repro.engine.stream import StreamEvent, StreamSession
 
@@ -58,12 +60,14 @@ __all__ = [
     "EngineMetrics",
     "LatencyStats",
     "SolverRegistry",
+    "TAG_PACKED",
     "SolverSpec",
     "default_registry",
     "CanonicalForm",
     "EngineResult",
     "SolveRequest",
     "canonical_key",
+    "packed_problem_key",
     "canonicalize",
     "StreamEvent",
     "StreamSession",

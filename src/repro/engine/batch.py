@@ -6,10 +6,15 @@ list of :class:`~repro.engine.requests.SolveRequest`, and
 1. canonicalizes every request (structural dedup — permuted task
    orders, renamed switches, repeated traces all collapse);
 2. serves cache hits immediately;
-3. solves each *unique* miss exactly once — inline, or chunked across
+3. compiles the lane-packed :class:`~repro.core.packed.PackedProblem`
+   of each *unique problem* once (an LRU of compiles keyed on the
+   problem structure, shared across solvers, parameters and batches)
+   and hands it to every packed-capable solver;
+4. solves each *unique* miss exactly once — inline, or chunked across
    ``workers`` :mod:`multiprocessing` processes with an optional
-   per-request timeout;
-4. stores results under canonical keys and materializes one
+   per-request timeout (the compiled representation ships with the
+   chunk payload);
+5. stores results under canonical keys and materializes one
    :class:`~repro.engine.requests.EngineResult` per input request, in
    input order, with multi-task schedule rows permuted back to each
    request's own task order.
@@ -30,14 +35,16 @@ import threading
 import time
 from collections.abc import Sequence
 
+from repro.core.packed import PackedProblem
 from repro.engine.cache import MISS, ResultCache
 from repro.engine.metrics import EngineMetrics
-from repro.engine.registry import SolverRegistry, default_registry
+from repro.engine.registry import TAG_PACKED, SolverRegistry, default_registry
 from repro.engine.requests import (
     EngineResult,
     SolveRequest,
     canonicalize,
     from_canonical_result,
+    packed_problem_key,
     to_canonical_result,
 )
 
@@ -81,23 +88,24 @@ def _run_with_timeout(fn, args, kwargs, timeout: float | None):
             signal.setitimer(signal.ITIMER_REAL, remaining, old_interval)
 
 
-def _solve_one(registry: SolverRegistry, request: SolveRequest):
+def _solve_one(registry: SolverRegistry, request: SolveRequest, packed=None):
     if request.kind == "single":
         return registry.solve_single(
             request.solver, request.seq, request.w, **request.kwargs
         )
     return registry.solve_multi(
         request.solver, request.system, request.seqs, request.model,
+        packed=packed,
         **request.kwargs,
     )
 
 
-def _execute(registry, request, timeout):
+def _execute(registry, request, timeout, packed=None):
     """(value, error, timed_out, elapsed) for one request, never raising."""
     start = time.perf_counter()
     try:
         value = _run_with_timeout(
-            _solve_one, (registry, request), {}, timeout
+            _solve_one, (registry, request, packed), {}, timeout
         )
         return value, None, False, time.perf_counter() - start
     except SolveTimeout as exc:
@@ -108,18 +116,20 @@ def _execute(registry, request, timeout):
 
 
 def _solve_chunk(payload):
-    """Worker entry: solve a chunk of (index, request) pairs.
+    """Worker entry: solve a chunk of (index, request, packed) triples.
 
     ``registry=None`` falls back to this worker process's default
     registry (kept for forward compatibility; the engine normally
-    ships the registry it was built with).
+    ships the registry it was built with).  ``packed`` is the parent's
+    precompiled :class:`~repro.core.packed.PackedProblem` (or None) —
+    compiled once per unique problem, serialized with the chunk.
     """
     items, timeout, registry = payload
     if registry is None:
         registry = default_registry()
     out = []
-    for index, request in items:
-        out.append((index, *_execute(registry, request, timeout)))
+    for index, request, packed in items:
+        out.append((index, *_execute(registry, request, timeout, packed)))
     return out
 
 
@@ -142,6 +152,9 @@ class BatchEngine:
     timeout:
         Per-request solve budget in seconds (enforced inside workers
         via SIGALRM where available).
+    packed_cache_size:
+        Capacity of the per-problem :class:`PackedProblem` compile
+        cache (``0`` disables reuse; every request compiles afresh).
     """
 
     def __init__(
@@ -154,6 +167,7 @@ class BatchEngine:
         chunk_size: int | None = None,
         timeout: float | None = None,
         metrics: EngineMetrics | None = None,
+        packed_cache_size: int = 128,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -167,6 +181,10 @@ class BatchEngine:
         self.chunk_size = chunk_size
         self.timeout = timeout
         self.metrics = metrics if metrics is not None else EngineMetrics()
+        # Lane-packed compiles, keyed on the problem structure (solver
+        # and parameters excluded): one compile serves every solver and
+        # every batch that asks about the same instance.
+        self._packed_cache: ResultCache = ResultCache(packed_cache_size)
 
     # -- single request ----------------------------------------------------
 
@@ -277,13 +295,45 @@ class BatchEngine:
             elapsed=elapsed,
         )
 
+    def _packed_for(self, request: SolveRequest) -> PackedProblem | None:
+        """Get-or-compile the request's lane-packed problem.
+
+        Returns None for single-task requests, for solvers that do not
+        declare :data:`~repro.engine.registry.TAG_PACKED`, and for
+        requests whose compile fails (the solver then surfaces the
+        configuration error itself, with its own message).
+        """
+        if request.kind != "multi":
+            return None
+        try:
+            spec = self.registry.get(request.solver)
+        except KeyError:
+            return None
+        if TAG_PACKED not in spec.tags:
+            return None
+        key = packed_problem_key(request)
+        hit = self._packed_cache.get(key)
+        if hit is not MISS:
+            self.metrics.record_packed(reused=True)
+            return hit
+        try:
+            packed = PackedProblem.compile(
+                request.system, request.seqs, request.model
+            )
+        except Exception:  # noqa: BLE001 - solver reports the real error
+            return None
+        self._packed_cache.put(key, packed)
+        self.metrics.record_packed(reused=False)
+        return packed
+
     def _solve_unique(self, requests, indices, workers):
         """Solve the deduplicated misses; returns index → outcome tuple."""
         if not indices:
             return {}
+        packed = {i: self._packed_for(requests[i]) for i in indices}
         if workers == 1 or len(indices) == 1:
             return {
-                i: _execute(self.registry, requests[i], self.timeout)
+                i: _execute(self.registry, requests[i], self.timeout, packed[i])
                 for i in indices
             }
         # Always ship the registry: under spawn-start platforms a worker
@@ -295,7 +345,9 @@ class BatchEngine:
         chunk = self.chunk_size or max(1, math.ceil(len(indices) / (nproc * 4)))
         payloads = []
         for lo in range(0, len(indices), chunk):
-            items = [(i, requests[i]) for i in indices[lo : lo + chunk]]
+            items = [
+                (i, requests[i], packed[i]) for i in indices[lo : lo + chunk]
+            ]
             payloads.append((items, self.timeout, registry_arg))
         out = {}
         with multiprocessing.Pool(processes=nproc) as pool:

@@ -49,6 +49,16 @@ class CacheStats:
         return self.hits + self.misses
 
     @property
+    def enabled(self) -> bool:
+        """False for a capacity-0 (cache-off) cache.
+
+        A disabled cache still counts lookups but can never hit, so
+        operator surfaces should report its hit rate as "n/a" rather
+        than a misleading 0%.
+        """
+        return self.capacity > 0
+
+    @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (0.0 when idle)."""
         total = self.lookups

@@ -67,6 +67,8 @@ class EngineMetrics:
         self.latency = LatencyStats()
         self.delta_applies = 0
         self.delta_full_evals = 0
+        self.packed_compiles = 0
+        self.packed_reuses = 0
 
     # -- recording ---------------------------------------------------------
 
@@ -102,6 +104,20 @@ class EngineMetrics:
             with self._lock:
                 self.delta_applies += applies
                 self.delta_full_evals += full
+
+    def record_packed(self, *, reused: bool) -> None:
+        """Count one PackedProblem request by the batch engine.
+
+        ``reused=False`` is a fresh compile, ``reused=True`` a hit in
+        the engine's per-problem compile cache — together they show how
+        often the lane-packed representation was shared across
+        structurally-deduped requests.
+        """
+        with self._lock:
+            if reused:
+                self.packed_reuses += 1
+            else:
+                self.packed_compiles += 1
 
     @contextmanager
     def batch_timer(self):
@@ -150,14 +166,21 @@ class EngineMetrics:
                     "full_evals": self.delta_full_evals,
                     "hit_rate": self.delta_hit_rate,
                 },
+                "packed": {
+                    "compiles": self.packed_compiles,
+                    "reuses": self.packed_reuses,
+                },
             }
         if cache is not None:
             out["cache"] = {
+                "enabled": cache.enabled,
                 "hits": cache.hits,
                 "misses": cache.misses,
                 "evictions": cache.evictions,
                 "size": cache.size,
-                "hit_rate": cache.hit_rate,
+                # A capacity-0 cache cannot hit by construction; report
+                # "no rate" instead of a misleading 0% (ROADMAP item).
+                "hit_rate": cache.hit_rate if cache.enabled else None,
             }
         return out
 
@@ -185,11 +208,21 @@ class EngineMetrics:
                  f"{delta['applies']} delta / {delta['full_evals']} full "
                  f"({delta['hit_rate']:.1%} delta)"]
             )
-        if cache is not None:
+        packed = snap["packed"]
+        if packed["compiles"] or packed["reuses"]:
             rows.append(
-                ["result cache", f"{cache.size}/{cache.capacity} entries, "
-                                 f"{cache.hit_rate:.1%} hit rate"]
+                ["packed problems",
+                 f"{packed['compiles']} compiled / {packed['reuses']} reused"]
             )
+        if cache is not None:
+            if cache.enabled:
+                rows.append(
+                    ["result cache",
+                     f"{cache.size}/{cache.capacity} entries, "
+                     f"{cache.hit_rate:.1%} hit rate"]
+                )
+            else:
+                rows.append(["result cache", "off (hit rate n/a)"])
         return format_table(["metric", "value"], rows, title="engine metrics")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -35,6 +35,7 @@ __all__ = [
     "TAG_STOCHASTIC",
     "TAG_META",
     "TAG_TINY_ONLY",
+    "TAG_PACKED",
 ]
 
 #: Capability tags with agreed meaning across consumers.
@@ -43,6 +44,7 @@ TAG_HEURISTIC = "heuristic"
 TAG_STOCHASTIC = "stochastic"  # result depends on a seed parameter
 TAG_META = "meta"  # dispatches to other registered solvers
 TAG_TINY_ONLY = "tiny-only"  # exponential; refuses big instances
+TAG_PACKED = "packed"  # accepts a precompiled PackedProblem (packed=)
 
 
 @dataclass(frozen=True)
@@ -178,12 +180,25 @@ class SolverRegistry:
         system: TaskSystem,
         seqs: Sequence[RequirementSequence],
         model: MachineModel | None = None,
+        *,
+        packed=None,
         **params,
     ) -> MTSolveResult:
+        """Dispatch a multi-task solve.
+
+        ``packed`` optionally carries a precompiled
+        :class:`~repro.core.packed.PackedProblem` for the instance; it
+        is forwarded only to solvers tagged :data:`TAG_PACKED` (others
+        never see the keyword), so the batch engine can pass it
+        unconditionally.
+        """
         spec = self.get(name)
         if spec.kind != "multi":
             raise ValueError(f"solver {name!r} is not a multi-task solver")
-        return spec.fn(system, seqs, model, **self._meta_params(spec, params))
+        params = self._meta_params(spec, params)
+        if packed is not None and TAG_PACKED in spec.tags:
+            params.setdefault("packed", packed)
+        return spec.fn(system, seqs, model, **params)
 
     def describe(self) -> list[list]:
         """Rows (name, kind, exact, cost model, tags) for listings."""
@@ -298,7 +313,7 @@ _DEFAULT_SPECS = (
         kind="multi",
         fn=_mt_branch_bound,
         exact=True,
-        tags=frozenset({TAG_EXACT}),
+        tags=frozenset({TAG_EXACT, TAG_PACKED}),
         description="DFS branch & bound with admissible lower bounds",
     ),
     SolverSpec(
@@ -306,7 +321,7 @@ _DEFAULT_SPECS = (
         kind="multi",
         fn=_mt_greedy,
         exact=False,
-        tags=frozenset({TAG_HEURISTIC}),
+        tags=frozenset({TAG_HEURISTIC, TAG_PACKED}),
         description="best greedy construction + bit-flip local search",
     ),
     SolverSpec(
@@ -314,7 +329,7 @@ _DEFAULT_SPECS = (
         kind="multi",
         fn=_mt_genetic,
         exact=False,
-        tags=frozenset({TAG_HEURISTIC, TAG_STOCHASTIC}),
+        tags=frozenset({TAG_HEURISTIC, TAG_STOCHASTIC, TAG_PACKED}),
         description="the paper's genetic algorithm",
     ),
     SolverSpec(
@@ -322,7 +337,7 @@ _DEFAULT_SPECS = (
         kind="multi",
         fn=_mt_annealing,
         exact=False,
-        tags=frozenset({TAG_HEURISTIC, TAG_STOCHASTIC}),
+        tags=frozenset({TAG_HEURISTIC, TAG_STOCHASTIC, TAG_PACKED}),
         description="simulated annealing over indicator matrices",
     ),
     SolverSpec(

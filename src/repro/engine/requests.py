@@ -35,6 +35,8 @@ __all__ = [
     "EngineResult",
     "canonicalize",
     "canonical_key",
+    "model_signature",
+    "packed_problem_key",
     "permute_mt_result",
     "to_canonical_result",
     "from_canonical_result",
@@ -59,7 +61,8 @@ def _freeze_params(params: Mapping[str, Any]) -> tuple[tuple[str, Any], ...]:
     return items
 
 
-def _model_signature(model: MachineModel | None):
+def model_signature(model: MachineModel | None):
+    """Hashable structural view of a machine model (None stays None)."""
     if model is None:
         return None
     return (
@@ -68,6 +71,31 @@ def _model_signature(model: MachineModel | None):
         model.hyper_upload.value,
         model.reconfig_upload.value,
         model.allow_public_global,
+    )
+
+
+_model_signature = model_signature
+
+
+def packed_problem_key(request: "SolveRequest") -> tuple:
+    """Structural key of the *problem* behind a multi-task request.
+
+    Unlike :func:`canonicalize`, the solver name and its parameters are
+    excluded: two requests asking different solvers (or the same solver
+    with different hyper-parameters) about the same instance share one
+    lane-packed compile.  Task order is kept as-is — a
+    :class:`~repro.core.packed.PackedProblem` is row-order sensitive.
+    """
+    if request.kind != "multi":
+        raise ValueError("packed problems exist for multi-task requests only")
+    system = request.system
+    return (
+        system.universe.size,
+        tuple((task.local_mask, task.v) for task in system.tasks),
+        tuple(seq.masks for seq in request.seqs),
+        system.private_global_mask,
+        system.public_global_mask,
+        model_signature(request.model),
     )
 
 

@@ -27,11 +27,20 @@ Proposals without an effect (a shift with no legal target, an align on
 an already-aligned column) are *no-ops*: they are not evaluated and do
 not count as accepted moves — only the temperature advances, so the
 proposal stream stays aligned across evaluation back ends.
+
+Restarts are embarrassingly parallel: each restart runs on its own
+child RNG derived via :func:`repro.util.rng.spawn_seeds`, so the
+trajectory of restart ``r`` depends only on ``(seed, r)`` — fanning the
+restarts across processes (``AnnealParams(restart_workers=k)``, the
+same :mod:`multiprocessing` pattern as the batch engine) returns
+bit-identical results to the sequential loop, just faster.  Per-restart
+best costs and acceptance counts are surfaced in the result ``stats``.
 """
 
 from __future__ import annotations
 
 import math
+import multiprocessing
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -44,19 +53,20 @@ from repro.core.delta import (
     merge_evaluator_stats,
 )
 from repro.core.machine import MachineModel
+from repro.core.packed import PackedProblem
 from repro.core.schedule import MultiTaskSchedule
 from repro.core.sync_cost import sync_switch_cost
 from repro.core.task import TaskSystem
 from repro.solvers.base import MTSolveResult
 from repro.solvers.mt_greedy import solve_mt_greedy_merge
-from repro.util.rng import SeedLike, make_rng
+from repro.util.rng import SeedLike, make_rng, spawn_seeds
 
 __all__ = ["AnnealParams", "solve_mt_annealing"]
 
 
 @dataclass(frozen=True)
 class AnnealParams:
-    """Annealing schedule and move mix."""
+    """Annealing schedule, move mix and restart parallelism."""
 
     iterations: int = 20_000
     t_start: float = 8.0
@@ -64,6 +74,7 @@ class AnnealParams:
     p_flip: float = 0.6
     p_align: float = 0.2  # remainder is the shift move
     restarts: int = 1
+    restart_workers: int = 1
     seed_with_greedy: bool = True
     use_delta: bool = True
 
@@ -79,6 +90,8 @@ class AnnealParams:
             raise ValueError("move probabilities must sum to ≤ 1")
         if self.restarts < 1:
             raise ValueError("restarts must be positive")
+        if self.restart_workers < 1:
+            raise ValueError("restart_workers must be positive")
 
 
 def _propose(rows, m, n, rng, params):
@@ -115,14 +128,119 @@ def _propose(rows, m, n, rng, params):
     return ShiftMove(task=j, src=i, dst=target)
 
 
+def _start_rows(system, seqs, model, params, m, n, rng, restart):
+    """Deterministic start state of one restart (greedy for restart 0)."""
+    if params.seed_with_greedy and restart == 0:
+        start = solve_mt_greedy_merge(system, seqs, model).schedule
+        return [list(r) for r in start.indicators]
+    return [
+        [True] + [bool(rng.random() < 0.15) for _ in range(n - 1)]
+        for _ in range(m)
+    ]
+
+
+def _run_restart(
+    system,
+    seqs,
+    model,
+    params,
+    rng,
+    restart,
+    *,
+    packed=None,
+    evaluator=None,
+):
+    """One full annealing trajectory; returns per-restart outcome.
+
+    The trajectory depends only on the restart's ``rng``, never on
+    sibling restarts — the invariant that makes the process fan-out
+    bit-identical to the sequential loop.
+    """
+    m = system.m
+    n = len(seqs[0])
+    rows = _start_rows(system, seqs, model, params, m, n, rng, restart)
+    if evaluator is None:
+        evaluator = make_evaluator(
+            system, seqs, rows, model, use_delta=params.use_delta, packed=packed
+        )
+    else:
+        evaluator.reset(rows)
+    cost = evaluator.cost
+    # Seed the incumbent from the start state: a restart that never
+    # accepts a move must still return its warm start, and the solver
+    # can never come back worse than where it began.
+    best_cost = cost
+    best_rows = [list(r) for r in evaluator.rows]
+    accepted = 0
+    noops = 0
+    cooling = (params.t_end / params.t_start) ** (
+        1.0 / max(1, params.iterations - 1)
+    )
+    temperature = params.t_start
+    for _ in range(params.iterations):
+        move = _propose(evaluator.rows, m, n, rng, params)
+        if move is None:
+            noops += 1
+            temperature *= cooling
+            continue
+        cand = evaluator.apply(move)
+        delta = cand - cost
+        if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+            cost = cand
+            accepted += 1
+            if cost < best_cost:
+                best_cost = cost
+                best_rows = [list(r) for r in evaluator.rows]
+        else:
+            evaluator.revert()
+        temperature *= cooling
+    return best_rows, best_cost, accepted, noops, evaluator
+
+
+def _restart_worker(payload):
+    """Process-pool entry: run one restart from its child seed."""
+    system, seqs, model, params, child_seed, restart, packed = payload
+    best_rows, best_cost, accepted, noops, evaluator = _run_restart(
+        system, seqs, model, params, make_rng(child_seed), restart,
+        packed=packed,
+    )
+    return restart, best_rows, best_cost, accepted, noops, evaluator.stats
+
+
+def _merge_delta_stats(per_restart: Sequence[dict]) -> dict:
+    """Sum evaluator counters across restarts; re-derive the hit rate."""
+    out: dict = {}
+    for key in (
+        "delta_applies",
+        "delta_full_evals",
+        "delta_noops",
+        "delta_reverts",
+        "delta_resets",
+        "delta_steps_recomputed",
+    ):
+        out[key] = sum(int(s.get(key, 0)) for s in per_restart)
+    denom = out["delta_applies"] + out["delta_full_evals"]
+    out["delta_hit_rate"] = (out["delta_applies"] / denom) if denom else 1.0
+    return out
+
+
 def solve_mt_annealing(
     system: TaskSystem,
     seqs: Sequence[RequirementSequence],
     model: MachineModel | None = None,
     params: AnnealParams | None = None,
     seed: SeedLike = 0,
+    *,
+    packed: PackedProblem | None = None,
 ) -> MTSolveResult:
-    """Simulated annealing with geometric cooling and optional restarts."""
+    """Simulated annealing with geometric cooling and optional restarts.
+
+    Restarts draw independent child RNGs from ``seed`` (via
+    :func:`~repro.util.rng.spawn_seeds`), so results are identical for
+    any ``restart_workers`` setting — the worker pool only changes wall
+    time.  ``packed`` optionally reuses an already-compiled
+    :class:`~repro.core.packed.PackedProblem` for the evaluator.
+    """
     if model is None:
         model = MachineModel.paper_experimental()
     if not model.machine_class.allows_partial_hyper:
@@ -131,7 +249,6 @@ def solve_mt_annealing(
             "solver for partially reconfigurable machines"
         )
     params = params or AnnealParams()
-    rng = make_rng(seed)
     m = system.m
     n = len(seqs[0])
     if any(len(s) != n for s in seqs):
@@ -140,64 +257,58 @@ def solve_mt_annealing(
         schedule = MultiTaskSchedule([[] for _ in range(m)])
         return MTSolveResult(schedule, 0.0, True, "mt_annealing", {})
 
+    child_seeds = spawn_seeds(seed, params.restarts)
+    workers = min(params.restart_workers, params.restarts)
+    if workers > 1 and multiprocessing.current_process().daemon:
+        # Already inside a process pool (e.g. a multi-worker
+        # BatchEngine): daemonic processes cannot spawn children, so
+        # run the restarts sequentially — same results, same stats.
+        workers = 1
+    outcomes: list[tuple] = [None] * params.restarts  # type: ignore[list-item]
+    if workers > 1:
+        payloads = [
+            (system, list(seqs), model, params, child_seeds[r], r, packed)
+            for r in range(params.restarts)
+        ]
+        with multiprocessing.Pool(processes=workers) as pool:
+            for out in pool.imap_unordered(_restart_worker, payloads):
+                outcomes[out[0]] = out[1:]
+        evaluator_stats = _merge_delta_stats([o[4] for o in outcomes])
+    else:
+        evaluator = None
+        for r in range(params.restarts):
+            best_rows, best_cost, accepted, noops, evaluator = _run_restart(
+                system,
+                seqs,
+                model,
+                params,
+                make_rng(child_seeds[r]),
+                r,
+                packed=packed,
+                evaluator=evaluator,
+            )
+            outcomes[r] = (best_rows, best_cost, accepted, noops, None)
+        evaluator_stats = evaluator.stats
+
     best_rows = None
     best_cost = float("inf")
-    accepted_total = 0
-    noop_proposals = 0
-    evaluator = None
-    cooling = (params.t_end / params.t_start) ** (
-        1.0 / max(1, params.iterations - 1)
-    )
-    for restart in range(params.restarts):
-        if params.seed_with_greedy and restart == 0:
-            start = solve_mt_greedy_merge(system, seqs, model).schedule
-            rows = [list(r) for r in start.indicators]
-        else:
-            rows = [
-                [True] + [bool(rng.random() < 0.15) for _ in range(n - 1)]
-                for _ in range(m)
-            ]
-        if evaluator is None:
-            evaluator = make_evaluator(
-                system, seqs, rows, model, use_delta=params.use_delta
-            )
-        else:
-            evaluator.reset(rows)
-        cost = evaluator.cost
-        # Seed the incumbent from the start state: a restart that never
-        # accepts a move must still return its warm start, and the
-        # solver can never come back worse than where it began.
+    for rows, cost, _accepted, _noops, _stats in outcomes:
         if cost < best_cost:
             best_cost = cost
-            best_rows = [list(r) for r in evaluator.rows]
-        temperature = params.t_start
-        for _ in range(params.iterations):
-            move = _propose(evaluator.rows, m, n, rng, params)
-            if move is None:
-                noop_proposals += 1
-                temperature *= cooling
-                continue
-            cand = evaluator.apply(move)
-            delta = cand - cost
-            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
-                cost = cand
-                accepted_total += 1
-                if cost < best_cost:
-                    best_cost = cost
-                    best_rows = [list(r) for r in evaluator.rows]
-            else:
-                evaluator.revert()
-            temperature *= cooling
+            best_rows = rows
     schedule = MultiTaskSchedule(best_rows)
     check = sync_switch_cost(system, seqs, schedule, model)
     if abs(check - best_cost) > 1e-9:  # pragma: no cover - internal invariant
         raise AssertionError("annealing cost bookkeeping drifted")
     stats = {
-        "accepted": accepted_total,
-        "noop_proposals": noop_proposals,
+        "accepted": sum(o[2] for o in outcomes),
+        "noop_proposals": sum(o[3] for o in outcomes),
         "restarts": params.restarts,
+        "restart_workers": workers,
+        "restart_costs": [o[1] for o in outcomes],
+        "restart_accepted": [o[2] for o in outcomes],
     }
-    merge_evaluator_stats(stats, evaluator.stats)
+    merge_evaluator_stats(stats, evaluator_stats)
     return MTSolveResult(
         schedule=schedule,
         cost=check,

@@ -23,6 +23,12 @@ with the reference cost function.
 
 Remaining-steps bound: ``Σ_{k>i} agg_j |c_{j,k}|`` (suffix requirement
 mass), precomputed once.
+
+Candidate leaves are re-evaluated exactly through the lane-packed
+representation (:mod:`repro.core.packed`, bit-identical to the
+reference) instead of the scalar from-scratch cost function; the final
+incumbent is still cross-checked against the reference oracle before
+returning.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from itertools import combinations
 
 from repro.core.context import RequirementSequence
 from repro.core.machine import MachineModel, UploadMode
+from repro.core.packed import PackedProblem
 from repro.core.schedule import MultiTaskSchedule
 from repro.core.sync_cost import sync_switch_cost
 from repro.core.task import TaskSystem
@@ -47,11 +54,14 @@ def solve_mt_branch_bound(
     model: MachineModel | None = None,
     *,
     max_nodes: int = 5_000_000,
+    packed: PackedProblem | None = None,
 ) -> MTSolveResult:
     """Exact DFS with admissible pruning (small instances).
 
     Raises ``ValueError`` when the node budget is exhausted — never
-    silently inexact.
+    silently inexact.  ``packed`` optionally reuses an
+    already-compiled :class:`~repro.core.packed.PackedProblem` for the
+    leaf evaluations and the greedy warm start.
     """
     if model is None:
         model = MachineModel.paper_experimental()
@@ -69,6 +79,8 @@ def solve_mt_branch_bound(
     all_or_none = not model.machine_class.allows_partial_hyper
     v = system.v
     masks = [seq.masks for seq in seqs]
+    if packed is None or not packed.matches(system, seqs, model):
+        packed = PackedProblem.compile(system, seqs, model)
 
     def agg(values) -> float:
         values = list(values)
@@ -98,16 +110,17 @@ def solve_mt_branch_bound(
     all_tasks = tuple(range(m))
 
     # Warm start: greedy gives the initial upper bound.
-    warm = solve_mt_greedy_merge(system, seqs, model)
+    warm = solve_mt_greedy_merge(system, seqs, model, packed=packed)
     best_cost = warm.cost
     best_rows = [list(r) for r in warm.schedule.indicators]
 
     rows = [[False] * n for _ in range(m)]
     unions = [0] * m
     nodes = 0
+    leaf_evals = 0
 
     def dfs(i: int, cost_so_far: float) -> None:
-        nonlocal nodes, best_cost, best_rows
+        nonlocal nodes, best_cost, best_rows, leaf_evals
         nodes += 1
         if nodes > max_nodes:
             raise ValueError(
@@ -115,10 +128,11 @@ def solve_mt_branch_bound(
                 "use the heuristics for instances of this size"
             )
         if i == n:
-            # Prefix-union charging under-counts; re-evaluate exactly.
-            exact = sync_switch_cost(
-                system, seqs, MultiTaskSchedule(rows), model
-            )
+            # Prefix-union charging under-counts; re-evaluate exactly
+            # through the lane-packed fast path (bit-identical to the
+            # reference, which still cross-checks the final incumbent).
+            leaf_evals += 1
+            exact = packed.cost(rows)
             if exact < best_cost - 1e-12:
                 best_cost = exact
                 best_rows = [list(r) for r in rows]
@@ -153,5 +167,5 @@ def solve_mt_branch_bound(
         cost=check,
         optimal=True,
         solver="mt_branch_bound",
-        stats={"nodes": nodes},
+        stats={"nodes": nodes, "leaf_evals": leaf_evals},
     )

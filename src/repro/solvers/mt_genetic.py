@@ -7,11 +7,12 @@ published, so this is a standard generational GA:
 * chromosome — the ``m × n`` indicator matrix (column 0 pinned to 1);
 * fitness — the synchronized cost (:mod:`repro.core.sync_cost`),
   evaluated for the whole offspring population at once through
-  :class:`repro.core.delta.PopulationEvaluator` (uint64 switch lanes +
-  SWAR popcount), which is the hot path of the reproduction.  The GA
-  only exposes the plain switch objective, so the evaluator's
-  changeover/public fallback is never taken from here (wiring those
-  variants through the GA is a ROADMAP open item);
+  :class:`repro.core.delta.PopulationEvaluator`, whose lane-packed
+  kernel (:mod:`repro.core.packed`) is the hot path of the
+  reproduction.  The packed representation expresses the changeover
+  symmetric differences and the public-global pseudo-row directly, so
+  the GA optimizes those variants on the batched path too — pass
+  ``changeover=True`` (optionally ``changeover_fixed``) or ``public``;
 * tournament selection, uniform crossover, per-bit flip mutation plus a
   column-alignment mutation (hyperreconfigurations of different tasks
   like to share a step since a parallel upload charges only the max),
@@ -36,8 +37,9 @@ from repro.core.delta import (
     population_switch_cost,
 )
 from repro.core.machine import MachineModel
+from repro.core.packed import PackedProblem
 from repro.core.schedule import MultiTaskSchedule
-from repro.core.sync_cost import sync_switch_cost
+from repro.core.sync_cost import PublicGlobalPlan, sync_switch_cost
 from repro.core.task import TaskSystem
 from repro.solvers.base import MTSolveResult
 from repro.solvers.mt_greedy import solve_mt_from_single, solve_mt_independent
@@ -90,12 +92,23 @@ def solve_mt_genetic(
     model: MachineModel | None = None,
     params: GAParams | None = None,
     seed: SeedLike = 0,
+    *,
+    changeover: bool = False,
+    changeover_fixed: Sequence[float] | None = None,
+    public: PublicGlobalPlan | None = None,
+    packed: PackedProblem | None = None,
 ) -> MTSolveResult:
     """Run the GA on a fully synchronized MT-Switch instance.
 
     Deterministic for a fixed ``seed``.  The returned cost is
     re-evaluated with the reference cost function, so the vectorized
     kernel can never report a schedule it cannot justify.
+
+    ``changeover`` / ``changeover_fixed`` / ``public`` select the cost
+    variant; all of them run on the batched lane-packed path.
+    ``packed`` optionally reuses an already-compiled
+    :class:`~repro.core.packed.PackedProblem` for this instance (the
+    batch engine compiles one per structurally-deduped request).
     """
     if model is None:
         model = MachineModel.paper_experimental()
@@ -115,7 +128,15 @@ def solve_mt_genetic(
         schedule = MultiTaskSchedule([[] for _ in range(m)])
         return MTSolveResult(schedule, 0.0, True, "mt_genetic", {})
 
-    evaluator = PopulationEvaluator(system, seqs, model)
+    evaluator = PopulationEvaluator(
+        system,
+        seqs,
+        model,
+        changeover=changeover,
+        changeover_fixed=changeover_fixed,
+        public=public,
+        packed=packed,
+    )
     mutation_rate = (
         params.mutation_rate
         if params.mutation_rate is not None
@@ -194,7 +215,15 @@ def solve_mt_genetic(
             break
 
     schedule = MultiTaskSchedule(best_chrom.tolist())
-    cost = sync_switch_cost(system, seqs, schedule, model)
+    cost = sync_switch_cost(
+        system,
+        seqs,
+        schedule,
+        model,
+        changeover=changeover,
+        changeover_fixed=changeover_fixed,
+        public=public,
+    )
     if abs(cost - best_fit) > 1e-6:  # pragma: no cover - internal invariant
         raise AssertionError(
             f"GA fitness {best_fit} disagrees with reference cost {cost}"

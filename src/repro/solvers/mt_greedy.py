@@ -28,6 +28,7 @@ from repro.core.delta import (
     merge_evaluator_stats,
 )
 from repro.core.machine import MachineModel
+from repro.core.packed import PackedProblem
 from repro.core.schedule import MultiTaskSchedule
 from repro.core.sync_cost import sync_switch_cost
 from repro.core.task import TaskSystem
@@ -129,6 +130,7 @@ def local_search(
     model: MachineModel | None = None,
     *,
     max_passes: int = 20,
+    packed: PackedProblem | None = None,
 ) -> MTSolveResult:
     """First-improvement hill climbing over indicator bit flips.
 
@@ -144,7 +146,7 @@ def local_search(
     # On machines that cannot hyperreconfigure task subsets the rows must
     # stay identical, so the moves are whole-column flips.
     column_moves = model is not None and not model.machine_class.allows_partial_hyper
-    evaluator = make_evaluator(system, seqs, schedule, model)
+    evaluator = make_evaluator(system, seqs, schedule, model, packed=packed)
     best_cost = evaluator.cost
     evaluations = 1
     improved = True
@@ -181,8 +183,16 @@ def solve_mt_greedy_merge(
     system: TaskSystem,
     seqs: Sequence[RequirementSequence],
     model: MachineModel | None = None,
+    *,
+    packed: PackedProblem | None = None,
 ) -> MTSolveResult:
-    """Best greedy construction refined by local search."""
+    """Best greedy construction refined by local search.
+
+    ``packed`` optionally reuses an already-compiled
+    :class:`~repro.core.packed.PackedProblem` for the local-search
+    evaluator (the batch engine compiles one per structurally-deduped
+    request).
+    """
     n = len(seqs[0]) if seqs else 0
     baseline_schedule = MultiTaskSchedule.initial_only(system.m, n)
     candidates = [
@@ -198,7 +208,7 @@ def solve_mt_greedy_merge(
     if model is None or model.machine_class.allows_partial_hyper:
         candidates.append(solve_mt_independent(system, seqs, model))
     start = min(candidates, key=lambda r: r.cost)
-    refined = local_search(system, seqs, start.schedule, model)
+    refined = local_search(system, seqs, start.schedule, model, packed=packed)
     if refined.cost <= start.cost:
         result = refined
     else:  # pragma: no cover - local search never worsens its start

@@ -10,7 +10,10 @@ requirements.  Theorem 1 states polynomial solvability
 decomposition:
 
 * outer — a segmentation DP over global-hyperreconfiguration points
-  (O(n²) windows);
+  (O(n²) windows), with the per-window private demands answered by a
+  lane-packed :class:`~repro.core.packed.PackedWindows` sparse table
+  (O(1) per query instead of a fresh O(window) union sweep per
+  candidate);
 * inner — per window: the **minimal assignment** gives each task
   exactly the private switches it demands in the window (optimal under
   monotone costs; infeasible iff two tasks demand the same private
@@ -31,6 +34,7 @@ from dataclasses import dataclass
 from repro.core.context import RequirementSequence
 from repro.core.globalres import GlobalHypercontext, GlobalPhase, GlobalSchedule
 from repro.core.machine import MachineModel
+from repro.core.packed import PackedWindows
 from repro.core.schedule import MultiTaskSchedule
 from repro.core.switches import SwitchSet
 from repro.core.task import Task, TaskSystem
@@ -58,13 +62,23 @@ def _window_assignments(
     seqs: Sequence[RequirementSequence],
     start: int,
     stop: int,
+    windows: PackedWindows | None = None,
 ) -> tuple[int, ...] | None:
-    """Minimal private assignments for a window, or None on conflict."""
+    """Minimal private assignments for a window, or None on conflict.
+
+    ``windows`` optionally answers the per-task window unions from a
+    lane-packed sparse table in O(1) instead of a fresh O(window)
+    scalar union per task.
+    """
     pool = system.private_global_mask
+    if windows is not None:
+        demands = windows.union_masks(start, stop)
+    else:
+        demands = [seq.union_mask(start, stop) for seq in seqs]
     assignments = []
     seen = 0
-    for seq in seqs:
-        demand = seq.union_mask(start, stop) & pool
+    for demand in demands:
+        demand &= pool
         if demand & seen:
             return None
         seen |= demand
@@ -154,6 +168,8 @@ def solve_private_global(
         None
     ] * (n + 1)
     inner_calls = 0
+    window_queries = 0
+    windows = PackedWindows.from_sequences(seqs) if n else None
     cache: dict[tuple[int, int], tuple[float, tuple[int, ...], MultiTaskSchedule] | None] = {}
 
     for j in range(1, n + 1):
@@ -162,7 +178,8 @@ def solve_private_global(
                 continue
             key = (i, j)
             if key not in cache:
-                assignments = _window_assignments(system, seqs, i, j)
+                window_queries += 1
+                assignments = _window_assignments(system, seqs, i, j, windows)
                 if assignments is None:
                     cache[key] = None
                 else:
@@ -208,5 +225,9 @@ def solve_private_global(
         cost=cost,
         optimal=(inner == "exact"),
         solver=f"private_global[{inner}]",
-        stats={"inner_calls": inner_calls, "phases": len(phases)},
+        stats={
+            "inner_calls": inner_calls,
+            "phases": len(phases),
+            "window_queries": window_queries,
+        },
     )

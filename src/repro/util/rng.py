@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["make_rng", "spawn_rngs"]
+__all__ = ["make_rng", "spawn_rngs", "spawn_seeds"]
 
 SeedLike = int | np.random.Generator | None
 
@@ -26,14 +26,25 @@ def make_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
-    """Derive ``n`` independent child generators from one seed.
+def spawn_seeds(seed: SeedLike, n: int) -> list[int]:
+    """Derive ``n`` independent child *seeds* from one seed.
 
-    Used when an experiment fans out into sub-runs (e.g. GA restarts)
-    that must be individually reproducible and mutually independent.
+    The picklable form of :func:`spawn_rngs`: plain ints travel to
+    multiprocessing workers, where each worker rebuilds its generator
+    with :func:`make_rng`.  ``spawn_rngs(seed, n)[k]`` and
+    ``make_rng(spawn_seeds(seed, n)[k])`` produce identical streams.
     """
     if n < 0:
         raise ValueError("n must be non-negative")
     root = make_rng(seed)
-    child_seeds = root.integers(0, 2**63 - 1, size=n)
-    return [np.random.default_rng(int(s)) for s in child_seeds]
+    return [int(s) for s in root.integers(0, 2**63 - 1, size=n)]
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from one seed.
+
+    Used when an experiment fans out into sub-runs (e.g. annealing or
+    GA restarts) that must be individually reproducible and mutually
+    independent — including across process boundaries.
+    """
+    return [np.random.default_rng(s) for s in spawn_seeds(seed, n)]

@@ -192,6 +192,45 @@ class TestAnnealing:
         assert fast.stats["delta_full_evals"] == 0
         assert slow.stats["delta_applies"] == 0
 
+    def test_parallel_restarts_bit_identical_to_sequential(self):
+        """Restarts draw child RNGs via spawn_seeds, so fanning them
+        across processes changes wall time, never results (ROADMAP
+        open item: the restart loop is embarrassingly parallel)."""
+        system, seqs = _instance([1, 2, 3, 4, 5, 6], [6, 5, 4, 3, 2, 1])
+        sequential = solve_mt_annealing(
+            system, seqs,
+            params=AnnealParams(iterations=300, restarts=3, restart_workers=1),
+            seed=5,
+        )
+        parallel = solve_mt_annealing(
+            system, seqs,
+            params=AnnealParams(iterations=300, restarts=3, restart_workers=2),
+            seed=5,
+        )
+        assert parallel.cost == sequential.cost
+        assert parallel.schedule == sequential.schedule
+        assert (
+            parallel.stats["restart_costs"]
+            == sequential.stats["restart_costs"]
+        )
+        assert (
+            parallel.stats["restart_accepted"]
+            == sequential.stats["restart_accepted"]
+        )
+        assert (
+            parallel.stats["delta_applies"]
+            == sequential.stats["delta_applies"]
+        )
+        assert len(parallel.stats["restart_costs"]) == 3
+        assert parallel.stats["restart_workers"] == 2
+        assert sequential.stats["restart_workers"] == 1
+        # The incumbent is the best across restarts.
+        assert sequential.cost == min(sequential.stats["restart_costs"])
+
+    def test_restart_workers_validated(self):
+        with pytest.raises(ValueError):
+            AnnealParams(restart_workers=0)
+
     def test_rejects_partially_reconfigurable(self):
         system, seqs = _instance([1], [2])
         model = MachineModel(

@@ -294,7 +294,9 @@ class TestPopulationEvaluator:
         assert pe.stats["delta_applies"] == 6
         assert pe.stats["delta_hit_rate"] == 1.0
 
-    def test_changeover_falls_back_to_reference(self):
+    def test_changeover_is_batched(self):
+        """The lane-packed kernel expresses the changeover symmetric
+        differences directly: no per-chromosome reference fallback."""
         m, n = 2, 6
         _, system, seqs = _instance(m, n, 4, seed=19)
         rng = make_rng(8)
@@ -302,7 +304,7 @@ class TestPopulationEvaluator:
         pe = PopulationEvaluator(
             system, seqs, changeover=True, changeover_fixed=cfix
         )
-        assert not pe.batched
+        assert pe.batched
         pop = rng.random((4, m, n)) < 0.3
         pop[:, :, 0] = True
         costs = pe.evaluate(pop)
@@ -315,8 +317,9 @@ class TestPopulationEvaluator:
                 changeover=True,
                 changeover_fixed=cfix,
             )
-        assert pe.stats["delta_full_evals"] == 4
-        assert pe.stats["delta_hit_rate"] == 0.0
+        assert pe.stats["delta_applies"] == 4
+        assert pe.stats["delta_full_evals"] == 0
+        assert pe.stats["delta_hit_rate"] == 1.0
 
 
 class TestSolverSurfacing:

@@ -1,0 +1,271 @@
+"""E16 (extension) — lane-packed streaming vs the scalar cursor path.
+
+The online stack (``repro.solvers.online`` + ``repro.engine.stream``)
+runs on batched lane-packed cursors; the scalar cursors remain the
+correctness oracle.  This bench measures what the packed path buys and
+proves it changes speed, never answers:
+
+* **single session** — drifting-working-set streams are fed to a
+  scalar-cursor :class:`~repro.engine.stream.StreamSession` step by
+  step and to a packed session in ``feed_many`` chunks, across phase
+  lengths from hectic (a drift every 60 steps) to calm (every 600);
+  costs must be *bit-identical* everywhere, and on the acceptance cell
+  (n ≥ 10k, 600-step phases — the stable-phase regime online policies
+  are built for) the packed path must be ≥5× faster for both policies.
+  The hectic cells are reported too: segments shrink toward a handful
+  of steps there and the NumPy dispatch amortizes worse — that
+  honesty row is the point of the table;
+* **many sessions** — a :class:`~repro.engine.stream.StreamHub`
+  multiplexes 1…64 concurrent sessions with mixed policies; the table
+  reports aggregate steps/sec as the fleet grows;
+* **fan-out serialization** — the same request batch through the
+  :class:`~repro.engine.batch.BatchEngine` with pickled vs
+  shared-memory lane transport: byte-identical results, and the
+  metrics must show the per-chunk serialization drop.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.context import RequirementSequence
+from repro.core.packed import masks_to_lanes
+from repro.core.switches import SwitchUniverse
+from repro.engine.stream import StreamHub, StreamSession
+from repro.solvers.online import (
+    RentOrBuyScheduler,
+    ScalarOnly,
+    WindowScheduler,
+)
+from repro.util.rng import make_rng
+from repro.util.texttable import format_table
+
+#: Single-session acceptance: packed ≥ 5× scalar steps/sec at n ≥ 10k
+#: on the calm-phase cell (a working-set drift every TARGET_PHASE steps).
+TARGET_N = 10_000
+TARGET_PHASE = 600
+MIN_SPEEDUP = 5.0
+
+
+def _drifting_masks(
+    width: int, n: int, seed, *, phase: int = 150, noise: float = 0.003
+) -> list[int]:
+    """A phased stream: a ~12-switch working set that drifts every
+    ``phase`` steps, plus occasional noise bits — the regime online
+    policies are built for (stable phases, abrupt changes)."""
+    rng = make_rng(seed)
+    masks = []
+    working = set(int(x) for x in rng.choice(width, size=12, replace=False))
+    for i in range(n):
+        if i % phase == 0 and i:
+            drop = min(len(working), int(rng.integers(3, 7)))
+            for s in list(rng.permutation(sorted(working))[:drop]):
+                working.discard(int(s))
+            while len(working) < 12:
+                working.add(int(rng.integers(0, width)))
+        subset = rng.random(len(working)) < 0.7
+        mask = 0
+        for keep, switch in zip(subset, sorted(working)):
+            if keep:
+                mask |= 1 << switch
+        if rng.random() < noise:
+            mask |= 1 << int(rng.integers(0, width))
+        masks.append(mask)
+    return masks
+
+
+def test_bench_stream_single_session(benchmark, smoke):
+    width = 96  # two lanes
+    n = 2_000 if smoke else TARGET_N
+    chunk = 2_048
+    phases = [60, TARGET_PHASE] if smoke else [60, 150, TARGET_PHASE]
+    min_speedup = 1.5 if smoke else MIN_SPEEDUP  # smoke: noise head room
+    universe = SwitchUniverse.of_size(width)
+    w = float(width)
+
+    rows = []
+    accept = {}
+    for phase in phases:
+        masks = _drifting_masks(width, n, seed=0, phase=phase, noise=0.001)
+        lanes = masks_to_lanes(masks, width)
+        for scheduler in (
+            RentOrBuyScheduler(w, alpha=2.0, memory=8),
+            WindowScheduler(k=64),
+        ):
+            # Best of three runs per path: the ratio of two noisy
+            # timings is itself noisy, and minima are the standard
+            # stabilizer for throughput micro-benchmarks.
+            scalar_s = float("inf")
+            for _rep in range(3):
+                scalar = StreamSession(ScalarOnly(scheduler), universe, w)
+                t0 = time.perf_counter()
+                for mask in masks:
+                    scalar.feed(mask)
+                scalar_s = min(scalar_s, time.perf_counter() - t0)
+            packed_s = float("inf")
+            for _rep in range(3):
+                packed = StreamSession(scheduler, universe, w)
+                t0 = time.perf_counter()
+                for lo in range(0, n, chunk):
+                    packed.feed_many(lanes[lo : lo + chunk])
+                packed_s = min(packed_s, time.perf_counter() - t0)
+
+            # Bit-identical accounting — the packed path changes
+            # speed, never answers (finish() also cross-checks).
+            assert packed.cost == scalar.cost
+            assert packed.hyper_count == scalar.hyper_count
+            run_packed = packed.finish()
+            run_scalar = scalar.finish()
+            assert (
+                run_packed.schedule.hyper_steps
+                == run_scalar.schedule.hyper_steps
+            )
+
+            if phase == TARGET_PHASE:
+                accept[scheduler.name] = scalar_s / packed_s
+            rows.append([
+                scheduler.name,
+                phase,
+                run_scalar.schedule.r,
+                round(1e6 * scalar_s / n, 2),
+                round(1e6 * packed_s / n, 2),
+                f"{scalar_s / packed_s:.1f}×",
+            ])
+
+    masks = _drifting_masks(
+        width, n, seed=0, phase=TARGET_PHASE, noise=0.001
+    )
+    lanes = masks_to_lanes(masks, width)
+
+    def once():
+        session = StreamSession(
+            RentOrBuyScheduler(w, alpha=2.0, memory=8), universe, w
+        )
+        for lo in range(0, n, chunk):
+            session.feed_many(lanes[lo : lo + chunk])
+        return session.cost
+
+    benchmark.pedantic(once, iterations=1, rounds=1)
+
+    print()
+    print(format_table(
+        ["policy", "phase len", "hypers", "scalar µs/step",
+         "packed µs/step", "speedup"],
+        rows,
+        title=f"E16: packed vs scalar streaming session "
+              f"(n={n}, chunk={chunk})",
+    ))
+    assert min(accept.values()) >= min_speedup
+
+
+def test_bench_stream_hub_many_sessions(benchmark, smoke):
+    width = 96
+    per_session = 500 if smoke else 2_000
+    fleet_sizes = [1, 4, 8] if smoke else [1, 8, 16, 64]
+    chunk = 512
+    universe = SwitchUniverse.of_size(width)
+    w = float(width)
+
+    rows = []
+    for fleet in fleet_sizes:
+        hub = StreamHub()
+        feeds = {}
+        for s in range(fleet):
+            scheduler = (
+                RentOrBuyScheduler(w, alpha=1.0, memory=4)
+                if s % 2 == 0
+                else WindowScheduler(k=16)
+            )
+            sid = hub.open(scheduler, universe, w, session_id=f"u{s}")
+            feeds[sid] = masks_to_lanes(
+                _drifting_masks(width, per_session, seed=s), width
+            )
+        t0 = time.perf_counter()
+        for lo in range(0, per_session, chunk):
+            hub.feed_many(
+                {sid: lanes[lo : lo + chunk] for sid, lanes in feeds.items()}
+            )
+        elapsed = time.perf_counter() - t0
+        runs = hub.finish_all()
+        assert len(runs) == fleet
+        total = fleet * per_session
+        assert hub.metrics.stream_steps == total
+        rows.append([
+            fleet,
+            total,
+            f"{hub.hyper_rate:.1%}",
+            round(1e3 * elapsed, 1),
+            f"{total / elapsed:,.0f}",
+        ])
+
+    def once():
+        hub = StreamHub()
+        sid = hub.open(
+            RentOrBuyScheduler(w, alpha=1.0, memory=4), universe, w
+        )
+        hub.feed_many(
+            {sid: masks_to_lanes(_drifting_masks(width, chunk, seed=99), width)}
+        )
+        return hub.finish(sid).cost
+
+    benchmark.pedantic(once, iterations=1, rounds=1)
+
+    print()
+    print(format_table(
+        ["sessions", "total steps", "hyper rate", "wall ms", "steps/s"],
+        rows,
+        title="E16: StreamHub aggregate throughput (mixed policies)",
+    ))
+
+
+def test_bench_fanout_serialization(benchmark, smoke):
+    """Shared-memory lane transport: byte-identical results, measured
+    drop in per-chunk serialization bytes."""
+    from repro.analysis.sweeps import make_instance
+    from repro.engine import BatchEngine, SolveRequest
+
+    m, n = (3, 40) if smoke else (4, 120)
+    instances = 4 if smoke else 8
+    requests = []
+    for seed in range(instances):
+        system, seqs = make_instance(m, n, 6, seed=seed)
+        requests.append(SolveRequest.multi(system, seqs, solver="mt_greedy"))
+
+    engines = {
+        "pickled": BatchEngine(workers=2, shared_lanes=False, cache_size=0),
+        "shared": BatchEngine(workers=2, shared_lanes=True, cache_size=0),
+    }
+    outcomes = {}
+    rows = []
+    for name, engine in engines.items():
+        t0 = time.perf_counter()
+        outcomes[name] = engine.solve_batch(requests)
+        elapsed = time.perf_counter() - t0
+        snap = engine.metrics.snapshot()["packed"]
+        rows.append([
+            name,
+            snap["bytes_shipped"],
+            snap["bytes_shared"],
+            round(1e3 * elapsed, 1),
+        ])
+    for a, b in zip(outcomes["pickled"], outcomes["shared"]):
+        assert a.ok and b.ok
+        assert a.value.cost == b.value.cost
+        assert a.value.schedule.indicators == b.value.schedule.indicators
+    pickled_bytes = engines["pickled"].metrics.packed_bytes_shipped
+    shared_bytes = engines["shared"].metrics.packed_bytes_shipped
+    assert 0 < shared_bytes < pickled_bytes
+
+    def once():
+        return engines["shared"].solve_batch(requests[:1])
+
+    benchmark.pedantic(once, iterations=1, rounds=1)
+
+    print()
+    print(format_table(
+        ["transport", "payload B (pickled)", "payload B (shared)", "wall ms"],
+        rows,
+        title=f"E16: fan-out serialization, {instances} requests, "
+              f"2 workers ({pickled_bytes / max(1, shared_bytes):.0f}× fewer "
+              f"pickled bytes)",
+    ))

@@ -67,6 +67,7 @@ from repro.core import (
 from repro.engine import (
     BatchEngine,
     SolveRequest,
+    StreamHub,
     StreamSession,
     default_registry,
 )
@@ -80,7 +81,10 @@ from repro.solvers import (
 
 # 2.0.0: the serving-engine release; breaking — WindowScheduler lost
 # its unused ``w`` parameter and now predicts from the previous window.
-__version__ = "2.0.0"
+# 2.1.0: the streaming release — lane-packed online cursors
+# (step_many), StreamSession.feed_many, StreamHub multiplexing, and
+# shared-memory lane fan-out in BatchEngine; fully backward compatible.
+__version__ = "2.1.0"
 
 __all__ = [
     "MachineClass",
@@ -104,6 +108,7 @@ __all__ = [
     "solve_single_switch",
     "BatchEngine",
     "SolveRequest",
+    "StreamHub",
     "StreamSession",
     "default_registry",
     "__version__",

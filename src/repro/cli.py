@@ -8,7 +8,13 @@ Subcommands cover the common workflows without writing Python:
   scheduling, print the cost table;
 * ``repro batch [apps…]`` — push a (repeatable) mixed workload through
   the :class:`~repro.engine.batch.BatchEngine` and print per-request
-  rows plus throughput/latency/cache metrics;
+  rows plus throughput/latency/cache metrics (``--anneal-restarts`` /
+  ``--anneal-restart-workers`` configure the annealing solver's
+  multistart fan-out and surface its per-restart stats);
+* ``repro stream [apps…]`` — replay app traces as live requirement
+  streams through a :class:`~repro.engine.stream.StreamHub` of
+  concurrent sessions (lane-packed online cursors) and print
+  per-session accounting plus steps/sec and hyper-rate metrics;
 * ``repro solvers`` — list the registered solver zoo with capability
   tags;
 * ``repro experiment`` — the full paper reproduction (E1–E3 artifacts);
@@ -141,11 +147,12 @@ def cmd_solve(args) -> int:
     return 0
 
 
-def _batch_requests(apps, *, naive: bool, solver: str):
+def _batch_requests(apps, *, naive: bool, solver: str, solver_kwargs=None):
     """One single- and one multi-task request per app trace."""
     requests = []
     labels = []
     system = shyra_task_system()
+    solver_kwargs = solver_kwargs or {}
     for app in apps:
         build, registers = APPS[app]
         program = build(hold_unused=not naive)
@@ -155,11 +162,49 @@ def _batch_requests(apps, *, naive: bool, solver: str):
         labels.append((app, "single"))
         requests.append(
             SolveRequest.multi(
-                system, system.split_requirements(seq), solver=solver
+                system,
+                system.split_requirements(seq),
+                solver=solver,
+                **solver_kwargs,
             )
         )
         labels.append((app, "multi"))
     return requests, labels
+
+
+def _anneal_kwargs(args) -> dict:
+    """Solver kwargs for the annealing multistart flags (empty unless
+    the selected solver actually anneals)."""
+    if args.solver not in ("mt_annealing", "mt_annealing_multistart"):
+        return {}
+    if args.anneal_restarts == 1 and args.anneal_restart_workers == 1:
+        return {}
+    from repro.solvers.mt_annealing import AnnealParams
+
+    return {
+        "params": AnnealParams(
+            restarts=args.anneal_restarts,
+            restart_workers=args.anneal_restart_workers,
+        )
+    }
+
+
+def _restart_rows(results, labels):
+    """Per-restart stat rows of the annealing solves in a batch."""
+    rows = []
+    seen = set()
+    for (app, kind), res in zip(labels, results):
+        if not res.ok or (app, kind) in seen:
+            continue
+        seen.add((app, kind))
+        stats = res.value.stats or {}
+        costs = stats.get("restart_costs")
+        if not costs or len(costs) < 2:
+            continue
+        accepted = stats.get("restart_accepted", [0] * len(costs))
+        for r, (cost, acc) in enumerate(zip(costs, accepted)):
+            rows.append([app, r, round(cost, 1), acc])
+    return rows
 
 
 def cmd_batch(args) -> int:
@@ -181,8 +226,13 @@ def cmd_batch(args) -> int:
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
+    try:
+        solver_kwargs = _anneal_kwargs(args)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     requests, labels = _batch_requests(
-        apps, naive=args.naive, solver=args.solver
+        apps, naive=args.naive, solver=args.solver, solver_kwargs=solver_kwargs
     )
     requests = requests * args.repeat
     labels = labels * args.repeat
@@ -230,9 +280,122 @@ def cmd_batch(args) -> int:
               f"({args.repeat}× {len(rows)} unique), "
               f"{args.workers} worker(s)",
     ))
+    restart_rows = _restart_rows(results, labels)
+    if restart_rows:
+        print()
+        print(format_table(
+            ["app", "restart", "best cost", "accepted"],
+            restart_rows,
+            title="annealing restarts",
+        ))
     print()
     print(engine.metrics.format_report(engine.cache.stats))
     return 0 if all(r.ok for r in results) else 1
+
+
+def _stream_policy(args, w: float):
+    from repro.solvers.online import (
+        RentOrBuyScheduler,
+        ScalarOnly,
+        WindowScheduler,
+    )
+
+    if args.policy == "window":
+        scheduler = WindowScheduler(k=args.window)
+    else:
+        scheduler = RentOrBuyScheduler(
+            w, alpha=args.alpha, memory=args.memory
+        )
+    if args.scalar:
+        return ScalarOnly(scheduler, name=f"{scheduler.name} [scalar]")
+    return scheduler
+
+
+def cmd_stream(args) -> int:
+    from repro.engine.stream import StreamHub
+
+    if args.sessions < 1 or args.repeat < 1 or args.chunk < 1:
+        print("--sessions, --repeat and --chunk must be at least 1",
+              file=sys.stderr)
+        return 2
+    apps = args.apps or sorted(APPS)
+    for app in apps:
+        if app not in APPS:
+            print(f"unknown app {app!r}; choose from {sorted(APPS)}",
+                  file=sys.stderr)
+            return 2
+    traces = {}
+    for app in apps:
+        build, registers = APPS[app]
+        program = build(hold_unused=not args.naive)
+        trace = run_and_trace(program, initial_registers=registers())
+        traces[app] = trace.requirements
+    hub = StreamHub()
+    sessions = []  # (session_id, app, masks)
+    if args.w is not None and args.w <= 0:
+        print("--w must be positive", file=sys.stderr)
+        return 2
+    for app in apps:
+        seq = traces[app]
+        w = args.w if args.w is not None else float(seq.universe.size)
+        try:
+            policy = _stream_policy(args, w)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        masks = list(seq.masks) * args.repeat
+        for r in range(args.sessions):
+            sid = hub.open(policy, seq.universe, w,
+                           session_id=f"{app}/{r}")
+            sessions.append((sid, app, masks))
+    # Feed every session chunk by chunk — one feed_many call advances
+    # the whole fleet per round, the way a serving loop would.
+    pos = 0
+    longest = max(len(masks) for _sid, _app, masks in sessions)
+    while pos < longest:
+        chunks = {
+            sid: masks[pos : pos + args.chunk]
+            for sid, _app, masks in sessions
+            if pos < len(masks)
+        }
+        hub.feed_many(chunks)
+        pos += args.chunk
+    runs = hub.finish_all()
+    if args.json:
+        payload = hub.metrics.snapshot()
+        payload["sessions"] = [
+            {
+                "session": sid,
+                "app": app,
+                "solver": runs[sid].solver,
+                "steps": runs[sid].schedule.n,
+                "hypers": runs[sid].schedule.r,
+                "cost": runs[sid].cost,
+            }
+            for sid, app, _masks in sessions
+        ]
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
+    rows = []
+    for sid, app, _masks in sessions:
+        run = runs[sid]
+        rows.append([
+            sid,
+            run.solver,
+            run.schedule.n,
+            run.schedule.r,
+            round(run.cost, 1),
+        ])
+    print(format_table(
+        ["session", "policy", "steps", "hypers", "cost"],
+        rows,
+        title=f"stream: {len(sessions)} session(s), "
+              f"chunk={args.chunk}, repeat={args.repeat}",
+    ))
+    print()
+    print(hub.metrics.format_report())
+    return 0
 
 
 def cmd_solvers(_args) -> int:
@@ -400,7 +563,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the naive (non-holding) compiler mapping",
     )
     p_batch.add_argument("--json", action="store_true")
+    p_batch.add_argument(
+        "--anneal-restarts", type=int, default=1, metavar="N",
+        help="annealing solvers: independent restarts per solve",
+    )
+    p_batch.add_argument(
+        "--anneal-restart-workers", type=int, default=1, metavar="K",
+        help="annealing solvers: processes the restarts fan across "
+             "(bit-identical to sequential)",
+    )
     p_batch.set_defaults(func=cmd_batch)
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="replay app traces as live requirement streams (StreamHub)",
+    )
+    p_stream.add_argument(
+        "apps", nargs="*", metavar="app",
+        help=f"apps to trace and stream (default: all of {sorted(APPS)})",
+    )
+    p_stream.add_argument(
+        "--policy", choices=["rent_or_buy", "window"], default="rent_or_buy",
+    )
+    p_stream.add_argument(
+        "--alpha", type=float, default=1.0,
+        help="rent-or-buy regret factor (threshold alpha·w)",
+    )
+    p_stream.add_argument(
+        "--memory", type=int, default=4,
+        help="rent-or-buy working-set estimate: union of the last "
+             "MEMORY requirements",
+    )
+    p_stream.add_argument(
+        "-k", "--window", type=int, default=8,
+        help="window policy cadence",
+    )
+    p_stream.add_argument(
+        "--w", type=float, default=None,
+        help="hyperreconfiguration cost (default: universe size)",
+    )
+    p_stream.add_argument(
+        "--sessions", type=int, default=4,
+        help="concurrent sessions per app",
+    )
+    p_stream.add_argument(
+        "--repeat", type=int, default=1,
+        help="feed each trace N times per session",
+    )
+    p_stream.add_argument(
+        "--chunk", type=int, default=256,
+        help="requirements per feed_many chunk",
+    )
+    p_stream.add_argument(
+        "--scalar", action="store_true",
+        help="force the scalar cursor path (throughput baseline)",
+    )
+    p_stream.add_argument(
+        "--naive", action="store_true",
+        help="use the naive (non-holding) compiler mapping",
+    )
+    p_stream.add_argument("--json", action="store_true")
+    p_stream.set_defaults(func=cmd_stream)
 
     p_solvers = sub.add_parser(
         "solvers", help="list the registered solver zoo"

@@ -22,7 +22,14 @@ that replaces the private kernels:
   by the Section 2 cost-model fast paths;
 * :class:`PackedWindows` is an O(n log n) sparse table answering
   arbitrary half-open window-union queries in O(1) lane operations
-  (the private-global segmentation DP issues O(n²) of them).
+  (the private-global segmentation DP issues O(n²) of them);
+* :class:`PackedStream` is the *incremental* counterpart for online
+  scheduling: requirements arrive one lane-row (or one chunk) at a
+  time, and the state maintains the running union/popcount, a bounded
+  ring of the most recent rows, and the rolling last-``history`` window
+  union — O(L) amortized per append via two-stack sliding aggregation —
+  so the online policy cursors (:mod:`repro.solvers.online`) read their
+  working-set estimates off NumPy state instead of Python deques.
 
 **Bit-identity contract.**  The scalar int-mask implementations
 (:func:`repro.core.sync_cost.sync_switch_cost` and friends) remain the
@@ -65,6 +72,7 @@ __all__ = [
     "PackedProblem",
     "PackedPublic",
     "PackedSequence",
+    "PackedStream",
     "PackedWindows",
 ]
 
@@ -757,6 +765,218 @@ class PackedWindows:
     def union_masks(self, start: int, stop: int) -> list[int]:
         """Per-task int-mask unions of the window ``[start, stop)``."""
         return lanes_to_masks(self.union_lanes(start, stop))
+
+
+# ---------------------------------------------------------------------------
+# Incremental stream state (online scheduling)
+# ---------------------------------------------------------------------------
+
+
+class PackedStream:
+    """Incremental lane-packed state of an online requirement stream.
+
+    The offline structures above see the whole sequence; an online
+    policy sees requirements one reconfiguration step at a time.  This
+    is the packed window state those policies run on:
+
+    * :meth:`append_lanes` / :meth:`append_mask` add one requirement
+      row in O(L) amortized lane work;
+    * the running union of everything seen (:attr:`union_lanes`,
+      :attr:`union_size`) is maintained incrementally;
+    * a ring of the most recent ``history`` rows backs arbitrary
+      tail-window queries (:meth:`tail_rows`), and the union of the
+      *full* last-``history`` window (:meth:`window_union_lanes`) is
+      maintained with the two-stack sliding-window aggregation — an
+      O(L) amortized dequeue/enqueue instead of re-OR-ing a Python
+      deque per step;
+    * :meth:`push` is the batched entry point: it returns the chunk
+      prefixed with the retained history rows (what a vectorized
+      cursor needs to form working-set windows that cross the chunk
+      boundary) and commits the chunk in one vectorized update.
+
+    ``history = 0`` keeps no rows: the stream then only tracks counts
+    and the running union.
+    """
+
+    __slots__ = (
+        "width",
+        "history",
+        "n",
+        "_L",
+        "_total",
+        "_total_size",
+        "_ring",
+        "_ring_pos",
+        "_win_len",
+        "_front_suffix",
+        "_front_n",
+        "_back_union",
+        "_back_n",
+    )
+
+    def __init__(self, width: int, *, history: int = 0):
+        if width < 1:
+            raise ValueError("universe width must be positive")
+        if history < 0:
+            raise ValueError("history must be non-negative")
+        self.width = int(width)
+        self.history = int(history)
+        self.n = 0
+        self._L = lane_count(width)
+        self._total = np.zeros(self._L, dtype=np.uint64)
+        self._total_size = 0
+        self._ring = (
+            np.zeros((history, self._L), dtype=np.uint64) if history else None
+        )
+        self._ring_pos = 0
+        # Two-stack window aggregation over the last `history` rows.
+        self._win_len = 0
+        self._front_suffix = np.zeros((0, self._L), dtype=np.uint64)
+        self._front_n = 0
+        self._back_union = np.zeros(self._L, dtype=np.uint64)
+        self._back_n = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def lane_width(self) -> int:
+        return self._L
+
+    @property
+    def union_lanes(self) -> np.ndarray:
+        """Running union of every requirement seen (copy)."""
+        return self._total.copy()
+
+    @property
+    def union_mask(self) -> int:
+        return lanes_to_masks(self._total)
+
+    @property
+    def union_size(self) -> int:
+        """Popcount of the running union (maintained incrementally)."""
+        return self._total_size
+
+    def tail_rows(self, count: int) -> np.ndarray:
+        """The last ``min(count, n, history)`` rows, oldest first."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        count = min(count, self.n, self.history)
+        if count == 0:
+            return np.zeros((0, self._L), dtype=np.uint64)
+        idx = (self._ring_pos - count + np.arange(count)) % self.history
+        return self._ring[idx]
+
+    def window_union_lanes(self) -> np.ndarray:
+        """Union of the last ``min(history, n)`` rows, in O(L).
+
+        This is the rolling working-set estimate the online policies
+        install; reading it costs one lane OR thanks to the two-stack
+        invariant (front-suffix union | back-prefix union).
+        """
+        if not self.history:
+            raise ValueError("stream was built with history=0")
+        if self._front_n:
+            offset = self._front_suffix.shape[0] - self._front_n
+            return self._front_suffix[offset] | self._back_union
+        return self._back_union.copy()
+
+    def window_union_mask(self) -> int:
+        return lanes_to_masks(self.window_union_lanes())
+
+    # -- appending ---------------------------------------------------------
+
+    def _flip(self) -> None:
+        """Move the back stack to the front as suffix unions."""
+        rows = self.tail_rows(self._back_n)
+        self._front_suffix = np.bitwise_or.accumulate(rows[::-1], axis=0)[::-1]
+        self._front_n = rows.shape[0]
+        self._back_union = np.zeros(self._L, dtype=np.uint64)
+        self._back_n = 0
+
+    def append_lanes(self, row: np.ndarray) -> None:
+        """Append one requirement row of ``L`` uint64 lanes."""
+        row = np.asarray(row, dtype=np.uint64)
+        if row.shape != (self._L,):
+            raise ValueError(f"row must have shape ({self._L},)")
+        if self.history:
+            if self._win_len == self.history:
+                if self._front_n == 0:
+                    self._flip()
+                self._front_n -= 1
+            else:
+                self._win_len += 1
+            self._back_union = self._back_union | row
+            self._back_n += 1
+            self._ring[self._ring_pos] = row
+            self._ring_pos = (self._ring_pos + 1) % self.history
+        self._total = self._total | row
+        self._total_size = int(
+            popcount_u64(self._total).sum(dtype=np.int64)
+        )
+        self.n += 1
+
+    def append_mask(self, mask: int) -> None:
+        """Append one requirement given as a Python int bitmask."""
+        self.append_lanes(masks_to_lanes([mask], self.width)[0])
+
+    def extend(self, lanes: np.ndarray) -> None:
+        """Append a ``(C, L)`` chunk in one vectorized update."""
+        lanes = np.ascontiguousarray(lanes, dtype=np.uint64)
+        if lanes.ndim != 2 or lanes.shape[1] != self._L:
+            raise ValueError(f"chunk must have shape (C, {self._L})")
+        C = lanes.shape[0]
+        if C == 0:
+            return
+        if self.history and C < self.history:
+            # Short chunk: the per-row path keeps the two-stack state
+            # exact and is bounded by history · L lane work.
+            for row in lanes:
+                self.append_lanes(row)
+            return
+        self._total = self._total | np.bitwise_or.reduce(lanes, axis=0)
+        self._total_size = int(
+            popcount_u64(self._total).sum(dtype=np.int64)
+        )
+        self.n += C
+        if self.history:
+            # The chunk covers the whole window: rebuild ring + stacks.
+            tail = lanes[-self.history :]
+            self._ring[: tail.shape[0]] = tail
+            self._ring_pos = tail.shape[0] % self.history
+            self._win_len = min(self.history, self.n)
+            self._front_suffix = np.zeros((0, self._L), dtype=np.uint64)
+            self._front_n = 0
+            self._back_union = np.bitwise_or.reduce(tail, axis=0)
+            self._back_n = tail.shape[0]
+
+    def push(self, lanes: np.ndarray) -> tuple[np.ndarray, int]:
+        """Commit a chunk; return ``(ext, off)`` for batched cursors.
+
+        ``ext`` stacks the retained history rows (the state *before*
+        this chunk) above the chunk itself and ``off`` is the chunk's
+        row offset into ``ext`` — window unions ending at chunk row
+        ``t`` are ORs over ``ext[max(0, off + t - k + 1) : off + t + 1]``
+        even when the window crosses the chunk boundary.
+        """
+        lanes = np.ascontiguousarray(lanes, dtype=np.uint64)
+        if lanes.ndim != 2 or lanes.shape[1] != self._L:
+            raise ValueError(f"chunk must have shape (C, {self._L})")
+        tail = self.tail_rows(self.history)
+        if tail.shape[0]:
+            ext = np.concatenate([tail, lanes], axis=0)
+        else:
+            ext = lanes
+        self.extend(lanes)
+        return ext, tail.shape[0]
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PackedStream(n={self.n}, width={self.width}, "
+            f"history={self.history})"
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -14,9 +14,11 @@ into a service.  Components (each its own module):
 * :mod:`repro.engine.batch` — :class:`BatchEngine`: dedup, cache,
   and fan-out across :mod:`multiprocessing` workers with per-request
   timeouts;
-* :mod:`repro.engine.stream` — :class:`StreamSession`: step-by-step
-  requirements into the online policies with incremental cost
-  accounting;
+* :mod:`repro.engine.stream` — :class:`StreamSession` (step-by-step or
+  chunked requirements into the online policies, incremental cost
+  accounting on lane-packed cursor state) and :class:`StreamHub`
+  (many concurrent sessions multiplexed under session ids, aggregate
+  streaming metrics);
 * :mod:`repro.engine.metrics` — throughput/latency/cache counters
   (surfaced by the ``repro batch`` CLI subcommand).
 
@@ -49,7 +51,12 @@ from repro.engine.requests import (
     canonicalize,
     packed_problem_key,
 )
-from repro.engine.stream import StreamEvent, StreamSession
+from repro.engine.stream import (
+    StreamBatch,
+    StreamEvent,
+    StreamHub,
+    StreamSession,
+)
 
 __all__ = [
     "BatchEngine",
@@ -69,6 +76,8 @@ __all__ = [
     "canonical_key",
     "packed_problem_key",
     "canonicalize",
+    "StreamBatch",
     "StreamEvent",
+    "StreamHub",
     "StreamSession",
 ]

@@ -69,6 +69,12 @@ class EngineMetrics:
         self.delta_full_evals = 0
         self.packed_compiles = 0
         self.packed_reuses = 0
+        self.packed_bytes_shipped = 0
+        self.packed_bytes_shared = 0
+        self.stream_sessions = 0
+        self.stream_steps = 0
+        self.stream_hypers = 0
+        self.stream_time = 0.0
 
     # -- recording ---------------------------------------------------------
 
@@ -119,6 +125,34 @@ class EngineMetrics:
             else:
                 self.packed_compiles += 1
 
+    def record_shipment(self, *, shipped: int = 0, shared: int = 0) -> None:
+        """Count fan-out payload bytes of the batch engine.
+
+        ``shipped`` are bytes serialized into worker chunk payloads
+        (pickled problems or shared-memory handles); ``shared`` are
+        lane-matrix bytes placed in :mod:`multiprocessing.shared_memory`
+        segments instead of being pickled per chunk — together they
+        show what the zero-copy fan-out saves.
+        """
+        if shipped or shared:
+            with self._lock:
+                self.packed_bytes_shipped += int(shipped)
+                self.packed_bytes_shared += int(shared)
+
+    def record_stream_open(self) -> None:
+        """Count one streaming session opened on a hub."""
+        with self._lock:
+            self.stream_sessions += 1
+
+    def record_stream(
+        self, *, steps: int, hypers: int = 0, seconds: float = 0.0
+    ) -> None:
+        """Aggregate one streaming feed call (single step or chunk)."""
+        with self._lock:
+            self.stream_steps += int(steps)
+            self.stream_hypers += int(hypers)
+            self.stream_time += float(seconds)
+
     @contextmanager
     def batch_timer(self):
         """Time one batch; adds to ``wall_time`` and ``batches``."""
@@ -148,6 +182,18 @@ class EngineMetrics:
         total = self.delta_applies + self.delta_full_evals
         return self.delta_applies / total if total else 0.0
 
+    @property
+    def stream_steps_per_s(self) -> float:
+        """Streaming steps per second of feed wall time (0.0 when idle)."""
+        return self.stream_steps / self.stream_time if self.stream_time else 0.0
+
+    @property
+    def stream_hyper_rate(self) -> float:
+        """Hyperreconfigurations per streamed step (0.0 when idle)."""
+        return (
+            self.stream_hypers / self.stream_steps if self.stream_steps else 0.0
+        )
+
     def snapshot(self, cache: CacheStats | None = None) -> dict:
         with self._lock:
             out = {
@@ -169,6 +215,16 @@ class EngineMetrics:
                 "packed": {
                     "compiles": self.packed_compiles,
                     "reuses": self.packed_reuses,
+                    "bytes_shipped": self.packed_bytes_shipped,
+                    "bytes_shared": self.packed_bytes_shared,
+                },
+                "stream": {
+                    "sessions": self.stream_sessions,
+                    "steps": self.stream_steps,
+                    "hypers": self.stream_hypers,
+                    "wall_time_s": self.stream_time,
+                    "steps_per_s": self.stream_steps_per_s,
+                    "hyper_rate": self.stream_hyper_rate,
                 },
             }
         if cache is not None:
@@ -213,6 +269,24 @@ class EngineMetrics:
             rows.append(
                 ["packed problems",
                  f"{packed['compiles']} compiled / {packed['reuses']} reused"]
+            )
+        if packed["bytes_shipped"] or packed["bytes_shared"]:
+            rows.append(
+                ["fan-out payload",
+                 f"{packed['bytes_shipped']} B pickled / "
+                 f"{packed['bytes_shared']} B shared"]
+            )
+        stream = snap["stream"]
+        if stream["steps"]:
+            rows.append(["stream sessions", stream["sessions"]])
+            rows.append(
+                ["stream steps",
+                 f"{stream['steps']} ({stream['hypers']} hyper, "
+                 f"{stream['hyper_rate']:.1%} rate)"]
+            )
+            rows.append(
+                ["stream throughput",
+                 f"{stream['steps_per_s']:.0f} steps/s"]
             )
         if cache is not None:
             if cache.enabled:

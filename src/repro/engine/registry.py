@@ -269,6 +269,15 @@ def _mt_annealing(system, seqs, model=None, **params):
     return solve_mt_annealing(system, seqs, model, **params)
 
 
+def _mt_annealing_multistart(system, seqs, model=None, **params):
+    from repro.solvers.mt_annealing import AnnealParams, solve_mt_annealing
+
+    params.setdefault(
+        "params", AnnealParams(restarts=4, restart_workers=4)
+    )
+    return solve_mt_annealing(system, seqs, model, **params)
+
+
 def _mt_auto(system, seqs, model=None, **params):
     from repro.solvers.auto import solve_mt_auto
 
@@ -339,6 +348,14 @@ _DEFAULT_SPECS = (
         exact=False,
         tags=frozenset({TAG_HEURISTIC, TAG_STOCHASTIC, TAG_PACKED}),
         description="simulated annealing over indicator matrices",
+    ),
+    SolverSpec(
+        name="mt_annealing_multistart",
+        kind="multi",
+        fn=_mt_annealing_multistart,
+        exact=False,
+        tags=frozenset({TAG_HEURISTIC, TAG_STOCHASTIC, TAG_PACKED}),
+        description="annealing preset: 4 restarts fanned across 4 processes",
     ),
     SolverSpec(
         name="auto",

@@ -2,31 +2,58 @@
 
 A batch request needs the whole requirement sequence up front; a
 machine scheduling *at run time* receives requirements one
-reconfiguration step at a time.  :class:`StreamSession` is the serving
-API for that mode: it owns one online policy cursor (from
-:mod:`repro.solvers.online`), accepts requirements via :meth:`feed`,
-and does the cost accounting the offline evaluator would do — ``w``
-per hyperreconfiguration plus ``|h|`` switch-writes per served step —
-incrementally, so a dashboard can read the running total at any point.
+reconfiguration step at a time.  Two serving APIs cover that mode:
 
-:meth:`finish` closes the session into an
+* :class:`StreamSession` owns one online policy cursor (from
+  :mod:`repro.solvers.online`), accepts requirements via :meth:`feed`
+  (one step) or :meth:`feed_many` (a chunk), and does the cost
+  accounting the offline evaluator would do — ``w`` per
+  hyperreconfiguration plus ``|h|`` switch-writes per served step —
+  incrementally, so a dashboard can read the running total at any
+  point.  Policies exposing the *batched cursor* contract
+  (``batched_cursor``/``step_many``, see :mod:`repro.solvers.online`)
+  run on lane-packed NumPy state: a chunk of steps advances in a few
+  vectorized sweeps, and the per-step accounting comes off the returned
+  arrays (benchmark E16 measures the speedup over the scalar cursor).
+  Schedulers without the batched contract fall back to the scalar
+  ``cursor()`` path transparently.
+
+* :class:`StreamHub` multiplexes many concurrent sessions — one per
+  user/machine — under string session ids, with per-session policy,
+  universe and ``w``.  ``feed_many`` takes a mapping of per-session
+  chunks and advances each session on its packed state;
+  aggregate counters (sessions, steps, hyperreconfigurations, wall
+  time) flow into a shared :class:`~repro.engine.metrics.EngineMetrics`
+  so the operator report shows streaming steps/sec and the fleet-wide
+  hyper rate next to the batch counters.
+
+:meth:`StreamSession.finish` closes a session into an
 :class:`~repro.solvers.online.OnlineRun` whose schedule carries the
 exact hypercontexts the session installed; the accumulated cost is
 cross-checked against the offline evaluator, so streaming and batch
-accounting can never drift apart.
+accounting can never drift apart.  The incremental total is accumulated
+in the exact order the scalar session used (a seeded cumulative sum),
+so packed and scalar sessions agree bit for bit, not approximately.
 """
 
 from __future__ import annotations
 
+import time
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
+from itertools import count
+
+import numpy as np
 
 from repro.core.context import RequirementSequence
 from repro.core.cost_single import switch_cost
+from repro.core.packed import lanes_to_masks, masks_to_lanes
 from repro.core.schedule import SingleTaskSchedule
 from repro.core.switches import SwitchUniverse
+from repro.engine.metrics import EngineMetrics
 from repro.solvers.online import OnlineRun
 
-__all__ = ["StreamEvent", "StreamSession"]
+__all__ = ["StreamBatch", "StreamEvent", "StreamHub", "StreamSession"]
 
 
 @dataclass(frozen=True)
@@ -54,16 +81,52 @@ class StreamEvent:
     cumulative_cost: float
 
 
+@dataclass(frozen=True)
+class StreamBatch:
+    """Aggregate accounting of one :meth:`StreamSession.feed_many` chunk.
+
+    The hot path serves thousands of steps per call; this is the
+    chunk-level view (no per-step event objects).  ``hyper_flags`` and
+    ``sizes`` are the per-step arrays for callers that want them.
+
+    Attributes
+    ----------
+    start:
+        Step index of the chunk's first requirement.
+    steps:
+        Requirements served by this chunk.
+    hypers:
+        Hyperreconfigurations the chunk triggered.
+    cost:
+        Cost charged for the chunk.
+    cumulative_cost:
+        Session total including this chunk.
+    hyper_flags:
+        ``(steps,)`` bool — which steps hyperreconfigured.
+    sizes:
+        ``(steps,)`` int64 — ``|hypercontext|`` serving each step.
+    """
+
+    start: int
+    steps: int
+    hypers: int
+    cost: float
+    cumulative_cost: float
+    hyper_flags: np.ndarray
+    sizes: np.ndarray
+
+
 class StreamSession:
-    """Feed requirements to an online policy, one step at a time.
+    """Feed requirements to an online policy, one step or chunk at a time.
 
     Parameters
     ----------
     scheduler:
-        An online policy with a ``cursor()`` method
-        (:class:`~repro.solvers.online.RentOrBuyScheduler`,
+        An online policy (:class:`~repro.solvers.online.RentOrBuyScheduler`,
         :class:`~repro.solvers.online.WindowScheduler`, or anything
-        honoring the same cursor contract).
+        honoring the cursor contract).  When the policy implements
+        ``batched_cursor(width)`` the session runs on the lane-packed
+        batched path; otherwise it steps the scalar ``cursor()``.
     universe:
         Switch universe the fed masks live in (validates mask range).
     w:
@@ -77,8 +140,15 @@ class StreamSession:
         self.universe = universe
         self.w = float(w)
         self.solver = getattr(scheduler, "name", type(scheduler).__name__)
-        self._cursor = scheduler.cursor()
-        self._masks: list[int] = []
+        if hasattr(scheduler, "batched_cursor"):
+            self._batched = scheduler.batched_cursor(universe.size)
+            self._cursor = None
+        else:
+            self._batched = None
+            self._cursor = scheduler.cursor()
+        self._chunks: list[np.ndarray] = []  # lane rows of every fed chunk
+        self._scalar_masks: list[int] = []  # scalar-path requirement log
+        self._n = 0
         self._hyper_steps: list[int] = []
         self._hyper_masks: list[int] = []
         self._cost = 0.0
@@ -89,7 +159,7 @@ class StreamSession:
     @property
     def steps(self) -> int:
         """Requirements served so far."""
-        return len(self._masks)
+        return self._n
 
     @property
     def hyper_count(self) -> int:
@@ -102,20 +172,42 @@ class StreamSession:
 
     @property
     def current_hypercontext(self) -> int:
-        return self._cursor.current
+        cursor = self._batched if self._batched is not None else self._cursor
+        return cursor.current
 
     # -- serving -----------------------------------------------------------
+
+    def _check_masks(self, masks: Iterable[int]) -> list[int]:
+        masks = list(masks)
+        full = self.universe.full_mask
+        for mask in masks:
+            if mask < 0 or mask > full:
+                raise ValueError(
+                    f"requirement {mask:#x} out of universe range "
+                    f"(size {self.universe.size})"
+                )
+        return masks
 
     def feed(self, mask: int) -> StreamEvent:
         """Serve one requirement; returns the step's accounting event."""
         if self._finished:
             raise RuntimeError("session already finished")
-        if mask < 0 or mask > self.universe.full_mask:
-            raise ValueError(
-                f"requirement {mask:#x} out of universe range "
-                f"(size {self.universe.size})"
+        (mask,) = self._check_masks([mask])
+        if self._batched is not None:
+            batch = self._apply_lanes(
+                masks_to_lanes([mask], self.universe.size)
             )
-        i = len(self._masks)
+            return StreamEvent(
+                step=batch.start,
+                hyper=bool(batch.hyper_flags[0]),
+                hypercontext=self._batched.current,
+                step_cost=batch.cost,
+                cumulative_cost=batch.cumulative_cost,
+            )
+        return self._feed_scalar(mask)
+
+    def _feed_scalar(self, mask: int) -> StreamEvent:
+        i = self._n
         installed = self._cursor.step(i, mask)
         current = self._cursor.current
         if mask & ~current:
@@ -127,7 +219,8 @@ class StreamSession:
         hyper = installed is not None
         step_cost = (self.w if hyper else 0.0) + current.bit_count()
         self._cost += step_cost
-        self._masks.append(mask)
+        self._scalar_masks.append(mask)
+        self._n += 1
         if hyper:
             self._hyper_steps.append(i)
             self._hyper_masks.append(installed)
@@ -139,12 +232,100 @@ class StreamSession:
             cumulative_cost=self._cost,
         )
 
+    def _apply_lanes(self, lanes: np.ndarray) -> StreamBatch:
+        """Advance the batched cursor by a pre-validated lane chunk."""
+        start = self._n
+        batch = self._batched.step_many(lanes)
+        C = batch.steps
+        # Per-step charge w·hyper + |h|, accumulated in the scalar
+        # session's order: seed the cumulative sum with the running
+        # total so float rounding matches step-by-step accumulation.
+        step_costs = np.where(batch.hyper, self.w, 0.0) + batch.sizes
+        cum = np.cumsum(np.concatenate(([self._cost], step_costs)))
+        chunk_cost = float(cum[-1] - self._cost)
+        self._cost = float(cum[-1])
+        self._chunks.append(lanes)
+        self._n += C
+        flagged = np.flatnonzero(batch.hyper)
+        if flagged.size:
+            self._hyper_steps.extend((start + flagged).tolist())
+            self._hyper_masks.extend(batch.installed_masks())
+        return StreamBatch(
+            start=start,
+            steps=C,
+            hypers=int(flagged.size),
+            cost=chunk_cost,
+            cumulative_cost=self._cost,
+            hyper_flags=batch.hyper,
+            sizes=batch.sizes,
+        )
+
+    def feed_many(self, masks) -> StreamBatch:
+        """Serve a chunk of requirements in one vectorized call.
+
+        ``masks`` is an iterable of int masks, a
+        :class:`~repro.core.context.RequirementSequence`, or an already
+        lane-packed ``(C, L)`` uint64 array (fast path; lanes are
+        trusted to fit the universe).  The session keeps its own copy
+        of the chunk, so callers may reuse one preallocated buffer
+        across feeds.
+        """
+        if self._finished:
+            raise RuntimeError("session already finished")
+        if isinstance(masks, np.ndarray) and masks.ndim == 2:
+            lanes = np.ascontiguousarray(masks, dtype=np.uint64)
+            if np.shares_memory(lanes, masks):
+                # The requirement log must survive the caller reusing
+                # or mutating their buffer after this call.
+                lanes = lanes.copy()
+            int_masks = None
+        else:
+            if isinstance(masks, RequirementSequence):
+                masks = masks.masks
+            int_masks = self._check_masks(masks)
+            lanes = masks_to_lanes(int_masks, self.universe.size)
+        if self._batched is not None:
+            return self._apply_lanes(lanes)
+        if int_masks is None:
+            int_masks = lanes_to_masks(lanes) if lanes.shape[0] else []
+        start = self._n
+        cost_before = self._cost
+        hypers_before = self.hyper_count
+        hyper_flags = np.zeros(len(int_masks), dtype=bool)
+        sizes = np.zeros(len(int_masks), dtype=np.int64)
+        for j, mask in enumerate(int_masks):
+            event = self._feed_scalar(mask)
+            hyper_flags[j] = event.hyper
+            sizes[j] = event.hypercontext.bit_count()
+        return StreamBatch(
+            start=start,
+            steps=len(int_masks),
+            hypers=self.hyper_count - hypers_before,
+            cost=self._cost - cost_before,
+            cumulative_cost=self._cost,
+            hyper_flags=hyper_flags,
+            sizes=sizes,
+        )
+
     def feed_sequence(self, seq) -> list[StreamEvent]:
-        """Feed a whole :class:`RequirementSequence` (or mask iterable)."""
+        """Feed a whole :class:`RequirementSequence` (or mask iterable).
+
+        Returns one event per step (API kept from the scalar era; use
+        :meth:`feed_many` when per-step events are not needed).
+        """
         masks = seq.masks if isinstance(seq, RequirementSequence) else seq
         return [self.feed(m) for m in masks]
 
     # -- closing -----------------------------------------------------------
+
+    def _all_masks(self) -> list[int]:
+        if self._batched is None:
+            return self._scalar_masks
+        out: list[int] = []
+        for lanes in self._chunks:
+            if lanes.shape[0]:
+                out.extend(lanes_to_masks(lanes))
+        return out
 
     def finish(self) -> OnlineRun:
         """Close the session into a validated :class:`OnlineRun`.
@@ -154,14 +335,14 @@ class StreamSession:
         incrementally accumulated one (asserted, not assumed).
         """
         self._finished = True
-        n = len(self._masks)
+        n = self._n
         schedule = SingleTaskSchedule(
             n=n,
             hyper_steps=tuple(self._hyper_steps),
             explicit_masks=tuple(self._hyper_masks),
         )
         if n:
-            seq = RequirementSequence(self.universe, self._masks)
+            seq = RequirementSequence(self.universe, self._all_masks())
             offline = switch_cost(seq, schedule, w=self.w)
             if abs(offline - self._cost) > 1e-6:  # pragma: no cover
                 raise AssertionError(
@@ -169,3 +350,148 @@ class StreamSession:
                     f"evaluation {offline}"
                 )
         return OnlineRun(schedule=schedule, cost=self._cost, solver=self.solver)
+
+
+class StreamHub:
+    """Many concurrent streaming sessions under one metrics roof.
+
+    The hub is the serving front door for the online mode: each
+    user/machine opens a session (its own policy, universe and ``w``),
+    requirements arrive per session — singly via :meth:`feed` or as
+    per-session chunks via :meth:`feed_many` — and every session runs
+    on its own lane-packed cursor state.  Aggregate counters stream
+    into the shared :class:`~repro.engine.metrics.EngineMetrics`
+    (sessions opened, steps served, hyperreconfigurations, wall time),
+    which derives steps/sec and the fleet-wide hyper rate for the
+    operator report.
+    """
+
+    def __init__(self, *, metrics: EngineMetrics | None = None):
+        self.metrics = metrics if metrics is not None else EngineMetrics()
+        self._sessions: dict[str, StreamSession] = {}
+        self._runs: dict[str, OnlineRun] = {}
+        self._auto_id = count()
+
+    # -- session management ------------------------------------------------
+
+    def open(
+        self,
+        scheduler,
+        universe: SwitchUniverse,
+        w: float,
+        *,
+        session_id: str | None = None,
+    ) -> str:
+        """Open a session; returns its id (generated when omitted)."""
+        if session_id is None:
+            session_id = f"s{next(self._auto_id)}"
+            while session_id in self._sessions or session_id in self._runs:
+                session_id = f"s{next(self._auto_id)}"
+        if session_id in self._sessions or session_id in self._runs:
+            raise ValueError(f"session id {session_id!r} already in use")
+        self._sessions[session_id] = StreamSession(scheduler, universe, w)
+        self.metrics.record_stream_open()
+        return session_id
+
+    def session(self, session_id: str) -> StreamSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise KeyError(f"unknown session id {session_id!r}") from None
+
+    def session_ids(self) -> tuple[str, ...]:
+        return tuple(self._sessions)
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    # -- serving -----------------------------------------------------------
+
+    def feed(self, session_id: str, mask: int) -> StreamEvent:
+        """Serve one requirement on one session."""
+        session = self.session(session_id)
+        start = time.perf_counter()
+        event = session.feed(mask)
+        self.metrics.record_stream(
+            steps=1,
+            hypers=1 if event.hyper else 0,
+            seconds=time.perf_counter() - start,
+        )
+        return event
+
+    def feed_many(self, chunks: Mapping[str, object]) -> dict[str, StreamBatch]:
+        """Serve one chunk per session; returns per-session batches.
+
+        ``chunks`` maps session ids to whatever
+        :meth:`StreamSession.feed_many` accepts (mask iterables or
+        lane-packed arrays).  Sessions are advanced back to back; the
+        call's wall time and aggregate step/hyper counts land in the
+        hub metrics.
+        """
+        sessions = {sid: self.session(sid) for sid in chunks}
+        out: dict[str, StreamBatch] = {}
+        start = time.perf_counter()
+        steps = hypers = 0
+        for sid, masks in chunks.items():
+            batch = sessions[sid].feed_many(masks)
+            steps += batch.steps
+            hypers += batch.hypers
+            out[sid] = batch
+        self.metrics.record_stream(
+            steps=steps, hypers=hypers, seconds=time.perf_counter() - start
+        )
+        return out
+
+    # -- aggregate accounting ----------------------------------------------
+
+    @property
+    def total_steps(self) -> int:
+        """Steps served by live and finished sessions."""
+        return sum(s.steps for s in self._sessions.values()) + sum(
+            run.schedule.n for run in self._runs.values()
+        )
+
+    @property
+    def total_hypers(self) -> int:
+        return sum(s.hyper_count for s in self._sessions.values()) + sum(
+            run.schedule.r for run in self._runs.values()
+        )
+
+    @property
+    def total_cost(self) -> float:
+        return sum(s.cost for s in self._sessions.values()) + sum(
+            run.cost for run in self._runs.values()
+        )
+
+    @property
+    def hyper_rate(self) -> float:
+        """Fleet-wide hyperreconfigurations per served step."""
+        steps = self.total_steps
+        return self.total_hypers / steps if steps else 0.0
+
+    # -- closing -----------------------------------------------------------
+
+    def finish(self, session_id: str) -> OnlineRun:
+        """Close one session (validated); the id stays reserved."""
+        session = self.session(session_id)
+        run = session.finish()
+        self._runs[session_id] = run
+        del self._sessions[session_id]
+        return run
+
+    def finish_all(self) -> dict[str, OnlineRun]:
+        """Close every live session; returns id → validated run."""
+        return {sid: self.finish(sid) for sid in tuple(self._sessions)}
+
+    def runs(self) -> dict[str, OnlineRun]:
+        """Validated runs of the sessions finished so far."""
+        return dict(self._runs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamHub(live={len(self._sessions)}, "
+            f"finished={len(self._runs)}, steps={self.total_steps})"
+        )

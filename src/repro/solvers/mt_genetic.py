@@ -177,25 +177,37 @@ def solve_mt_genetic(
         entrants = rng.integers(0, P, size=(P, params.tournament_size))
         winners = entrants[np.arange(P), np.argmin(fit[entrants], axis=1)]
         parents = pop[winners]
-        # Uniform crossover on consecutive pairs.
-        children = parents.copy()
+        # Uniform crossover on consecutive pairs, fully vectorized:
+        # crossing pairs take where(mask, a, b)/where(mask, b, a), the
+        # rest clone their parents.  The RNG draws are shape-for-shape
+        # the ones the per-pair loop made, so trajectories are
+        # unchanged for a fixed seed.
         do_cross = rng.random(P // 2) < params.crossover_rate
         cross_mask = rng.random((P // 2, m, n)) < 0.5
-        for k in np.flatnonzero(do_cross):
-            a, b = parents[2 * k], parents[2 * k + 1]
-            mask = cross_mask[k]
-            children[2 * k] = np.where(mask, a, b)
-            children[2 * k + 1] = np.where(mask, b, a)
+        a = parents[0::2][: P // 2]
+        b = parents[1::2]
+        take_a = ~do_cross[:, None, None] | cross_mask
+        first = np.where(take_a, a, b)
+        second = np.where(take_a, b, a)
+        children = parents.copy()
+        children[0 : 2 * (P // 2) : 2] = first
+        children[1::2] = second
         # Bit-flip mutation.
         flips = rng.random((P, m, n)) < mutation_rate
         children ^= flips
         # Column-alignment mutation: copy one task's indicator at a
         # random step to every task (parallel uploads reward alignment).
-        align = rng.random(P) < params.align_mutation_rate
-        for k in np.flatnonzero(align):
-            i = int(rng.integers(1, n)) if n > 1 else 0
-            j = int(rng.integers(0, m))
-            children[k, :, i] = children[k, j, i]
+        # The (i, j) coordinates stay scalar draws — interleaved exactly
+        # as the old per-chromosome loop consumed the stream — but the
+        # row broadcasts happen in one fancy-indexed assignment.
+        align = np.flatnonzero(rng.random(P) < params.align_mutation_rate)
+        if align.size:
+            cols = np.empty(align.size, dtype=np.intp)
+            srcs = np.empty(align.size, dtype=np.intp)
+            for t in range(align.size):
+                cols[t] = int(rng.integers(1, n)) if n > 1 else 0
+                srcs[t] = int(rng.integers(0, m))
+            children[align, :, cols] = children[align, srcs, cols][:, None]
         children[:, :, 0] = True
         # Elitism: keep the best chromosomes from the previous generation.
         if params.elitism:

@@ -33,6 +33,22 @@ Both policies expose two entry points over the same decision logic:
   current one; after the call, ``cursor.current`` always covers
   ``mask`` (cursors hyperreconfigure rather than serve a requirement
   they cannot satisfy).
+
+Both policies additionally expose :meth:`batched_cursor` — the
+lane-packed contract for high-rate streaming.  A batched cursor's
+``step_many(lanes)`` advances a whole ``(C, L)`` uint64 chunk of
+requirement rows in vectorized NumPy over a
+:class:`~repro.core.packed.PackedStream` and returns a
+:class:`CursorBatch` of per-step hyper flags, hypercontext sizes and
+installed hypercontexts.  The decisions are *bit-identical* to driving
+the scalar cursor step by step (the scalar cursors stay as the
+correctness oracle; ``tests/test_stream_packed.py`` enforces the
+equivalence on randomized sequences across the 64-switch lane
+boundary): inside a chunk the batched cursor solves for whole
+*no-hyper segments* at a time — prefix unions and popcounts locate the
+next trigger (misfit or regret/cadence), then the working-set window is
+read off the packed history — so its cost is O(segments) NumPy sweeps
+instead of O(steps) Python calls.
 """
 
 from __future__ import annotations
@@ -40,19 +56,49 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.context import RequirementSequence
 from repro.core.cost_single import switch_cost
+from repro.core.packed import (
+    PackedStream,
+    lanes_to_masks,
+    masks_to_lanes,
+)
 from repro.core.schedule import SingleTaskSchedule
 from repro.solvers.single_dp import solve_single_switch
+from repro.util.bitset import popcount_u64
 
 __all__ = [
+    "CursorBatch",
     "OnlineRun",
     "RentOrBuyScheduler",
+    "ScalarOnly",
     "WindowScheduler",
     "plan_with_cursor",
     "run_online",
     "competitive_report",
 ]
+
+
+class ScalarOnly:
+    """Wrap a policy to expose only the scalar cursor contract.
+
+    A :class:`~repro.engine.stream.StreamSession` takes the batched
+    lane-packed path whenever the policy offers ``batched_cursor``;
+    wrapping the policy in this shim hides it, forcing the scalar
+    oracle path — the baseline the equivalence tests, benchmark E16
+    and the CLI's ``--scalar`` flag compare against.
+    """
+
+    def __init__(self, scheduler, *, name: str | None = None):
+        self._scheduler = scheduler
+        self.name = name if name is not None else getattr(
+            scheduler, "name", type(scheduler).__name__
+        )
+
+    def cursor(self):
+        return self._scheduler.cursor()
 
 
 @dataclass(frozen=True)
@@ -64,6 +110,50 @@ class OnlineRun:
     solver: str
 
 
+@dataclass(frozen=True)
+class CursorBatch:
+    """Result of advancing a batched cursor by one requirement chunk.
+
+    Attributes
+    ----------
+    hyper:
+        ``(C,)`` bool — True where the policy hyperreconfigured before
+        serving the step.
+    sizes:
+        ``(C,)`` int64 — popcount of the hypercontext that served each
+        step (``|h|``, the per-step switch-write charge).
+    installed:
+        ``(H, L)`` uint64 — the installed hypercontext lanes of the
+        ``H`` flagged steps, in step order.
+    """
+
+    hyper: np.ndarray
+    sizes: np.ndarray
+    installed: np.ndarray
+
+    @property
+    def steps(self) -> int:
+        return int(self.hyper.shape[0])
+
+    @property
+    def hyper_count(self) -> int:
+        return int(self.installed.shape[0])
+
+    def installed_masks(self) -> list[int]:
+        """Installed hypercontexts as Python int masks (oracle encoding)."""
+        if self.installed.shape[0] == 0:
+            return []
+        return lanes_to_masks(self.installed)
+
+
+def _empty_batch(L: int) -> CursorBatch:
+    return CursorBatch(
+        hyper=np.zeros(0, dtype=bool),
+        sizes=np.zeros(0, dtype=np.int64),
+        installed=np.zeros((0, L), dtype=np.uint64),
+    )
+
+
 def plan_with_cursor(cursor, seq: RequirementSequence) -> SingleTaskSchedule:
     """Drive a policy cursor over a whole sequence.
 
@@ -72,25 +162,37 @@ def plan_with_cursor(cursor, seq: RequirementSequence) -> SingleTaskSchedule:
     blocks; they are still widened by the block unions as a safety net
     (a no-op for well-behaved cursors, and the cheapest way to keep the
     "explicit masks must cover" invariant unconditionally true).
+
+    Cursors honoring the batched contract (``step_many``) are advanced
+    in one vectorized call; scalar cursors step per requirement.  The
+    block-union widening runs on packed lanes either way (one
+    ``bitwise_or.reduceat`` instead of a per-step Python union loop).
     """
     masks = seq.masks
     n = len(masks)
     if n == 0:
         return SingleTaskSchedule(n=0, hyper_steps=())
-    hyper_steps: list[int] = []
-    hyper_masks: list[int] = []
-    for i, req in enumerate(masks):
-        installed = cursor.step(i, req)
-        if installed is not None:
-            hyper_steps.append(i)
-            hyper_masks.append(installed)
-    boundaries = hyper_steps + [n]
-    widened: list[int] = []
-    for k, mask in enumerate(hyper_masks):
-        union = 0
-        for m in masks[boundaries[k] : boundaries[k + 1]]:
-            union |= m
-        widened.append(mask | union)
+    width = seq.universe.size
+    lanes = masks_to_lanes(masks, width)
+    if hasattr(cursor, "step_many"):
+        batch = cursor.step_many(lanes)
+        hyper_steps = [int(i) for i in np.flatnonzero(batch.hyper)]
+        installed_lanes = batch.installed
+    else:
+        hyper_steps = []
+        hyper_masks = []
+        for i, req in enumerate(masks):
+            installed = cursor.step(i, req)
+            if installed is not None:
+                hyper_steps.append(i)
+                hyper_masks.append(installed)
+        installed_lanes = masks_to_lanes(hyper_masks, width)
+    if hyper_steps:
+        starts = np.asarray(hyper_steps, dtype=np.intp)
+        unions = np.bitwise_or.reduceat(lanes, starts, axis=0)
+        widened = lanes_to_masks(installed_lanes | unions)
+    else:  # a degenerate custom cursor that never installs
+        widened = []
     return SingleTaskSchedule(
         n=n, hyper_steps=tuple(hyper_steps), explicit_masks=tuple(widened)
     )
@@ -137,6 +239,124 @@ class _RentOrBuyCursor:
         return installed
 
 
+class _BatchedRentOrBuyCursor:
+    """Lane-packed rent-or-buy cursor (:class:`_RentOrBuyCursor` is the
+    scalar oracle; decisions here are bit-identical).
+
+    ``step_many`` processes a chunk *segment by segment*: between two
+    hyperreconfigurations the hypercontext is frozen, so the served
+    union is a prefix union over the segment, the regret a cumulative
+    sum of popcount differences, and the next trigger (misfit or
+    regret overflow) is one ``argmax`` — all NumPy, no per-step Python.
+    The regret arithmetic stays exact: every addend is an integer
+    (representable in float64), so the vectorized cumulative sum equals
+    the scalar's sequential float accumulation bit for bit.
+    """
+
+    __slots__ = (
+        "w",
+        "alpha",
+        "memory",
+        "stream",
+        "_cur",
+        "_cur_size",
+        "_served",
+        "_regret",
+    )
+
+    #: Galloping sweep bounds: prefix unions are recomputed from each
+    #: segment start, so an unbounded sweep would be O(chunk²) when
+    #: hypers are frequent — and a large fixed window wastes compute
+    #: past the trigger when they are.  Each segment starts with a
+    #: small sweep that doubles while no trigger is found (total rows
+    #: touched stay within ~2× the segment length either way).  State
+    #: carries across sweep windows exactly as it does across chunks,
+    #: so the bounds only shape the work, never the decisions.
+    _SCAN_MIN = 128
+    _SCAN_MAX = 4096
+
+    def __init__(self, w: float, alpha: float, memory: int, width: int):
+        self.w = w
+        self.alpha = alpha
+        self.memory = memory
+        self.stream = PackedStream(width, history=memory - 1)
+        L = self.stream.lane_width
+        self._cur = np.zeros(L, dtype=np.uint64)
+        self._cur_size = 0
+        self._served = np.zeros(L, dtype=np.uint64)
+        self._regret = 0.0
+
+    @property
+    def current(self) -> int:
+        """Current hypercontext as an int mask (cursor contract)."""
+        return lanes_to_masks(self._cur)
+
+    def step_many(self, lanes: np.ndarray) -> CursorBatch:
+        """Advance the cursor over a ``(C, L)`` uint64 requirement chunk."""
+        lanes = np.ascontiguousarray(lanes, dtype=np.uint64)
+        C = lanes.shape[0]
+        L = self.stream.lane_width
+        if C == 0:
+            return _empty_batch(L)
+        first_forced = self.stream.n == 0
+        ext, off = self.stream.push(lanes)
+        hyper = np.zeros(C, dtype=bool)
+        sizes = np.empty(C, dtype=np.int64)
+        installed: list[np.ndarray] = []
+        threshold = self.alpha * self.w
+        cur, cur_size = self._cur, self._cur_size
+        served, regret = self._served, self._regret
+        pos = 0
+        scan = self._SCAN_MIN
+        ncur = ~cur
+        while pos < C:
+            stop = min(C, pos + scan)
+            rest = lanes[pos:stop]
+            acc = np.bitwise_or.accumulate(rest, axis=0)
+            np.bitwise_or(acc, served, out=acc)
+            # served ⊆ cur, so the prefix union escapes cur exactly
+            # where the first unservable requirement sits (monotone).
+            misfit = (acc & ncur).any(axis=1)
+            pc = popcount_u64(acc).sum(axis=1, dtype=np.int64)
+            csum = np.cumsum(cur_size - pc, dtype=np.float64)
+            if regret:  # exact either way; skips an add per quiet sweep
+                csum = regret + csum
+            trigger = misfit | (csum > threshold)
+            if first_forced and pos == 0:
+                trigger[0] = True
+            hit = int(np.argmax(trigger))
+            if not trigger[hit]:
+                sizes[pos:stop] = cur_size
+                served = acc[-1]
+                regret = float(csum[-1])
+                pos = stop
+                scan = min(scan * 2, self._SCAN_MAX)
+                continue
+            t = pos + hit
+            scan = self._SCAN_MIN
+            sizes[pos:t] = cur_size
+            # Working set = this requirement ∪ the last (memory-1) ones,
+            # read off the history-prefixed chunk.
+            lo = max(0, off + t - (self.memory - 1))
+            ws = np.bitwise_or.reduce(ext[lo : off + t + 1], axis=0)
+            cur = ws
+            ncur = ~cur
+            cur_size = int(popcount_u64(ws).sum(dtype=np.int64))
+            served = lanes[t].copy()
+            regret = 0.0
+            hyper[t] = True
+            installed.append(ws)
+            sizes[t] = cur_size
+            pos = t + 1
+        self._cur, self._cur_size = cur, cur_size
+        self._served, self._regret = served, regret
+        if installed:
+            installed_arr = np.asarray(installed, dtype=np.uint64)
+        else:  # pragma: no cover - a chunk always installs on first feed
+            installed_arr = np.zeros((0, L), dtype=np.uint64)
+        return CursorBatch(hyper=hyper, sizes=sizes, installed=installed_arr)
+
+
 class RentOrBuyScheduler:
     """Regret-bounded online policy (ski rental generalization).
 
@@ -164,6 +384,10 @@ class RentOrBuyScheduler:
     def cursor(self) -> _RentOrBuyCursor:
         return _RentOrBuyCursor(self.w, self.alpha, self.memory)
 
+    def batched_cursor(self, width: int) -> _BatchedRentOrBuyCursor:
+        """Lane-packed cursor over a ``width``-switch universe."""
+        return _BatchedRentOrBuyCursor(self.w, self.alpha, self.memory, width)
+
     def plan(self, seq: RequirementSequence) -> SingleTaskSchedule:
         return plan_with_cursor(self.cursor(), seq)
 
@@ -190,6 +414,80 @@ class _WindowCursor:
         return installed
 
 
+class _BatchedWindowCursor:
+    """Lane-packed window cursor (:class:`_WindowCursor` is the scalar
+    oracle; decisions here are bit-identical).
+
+    Cadence triggers sit at known global step indices, so a chunk
+    splits into spans of at most ``k`` steps; within a span the only
+    possible trigger is a misfit, located with one vectorized AND-any.
+    The installed estimate is the rolling ``k+1``-wide window union read
+    off the history-prefixed chunk.
+    """
+
+    __slots__ = ("k", "stream", "_cur", "_cur_size")
+
+    def __init__(self, k: int, width: int):
+        self.k = k
+        self.stream = PackedStream(width, history=k)
+        self._cur = np.zeros(self.stream.lane_width, dtype=np.uint64)
+        self._cur_size = 0
+
+    @property
+    def current(self) -> int:
+        """Current hypercontext as an int mask (cursor contract)."""
+        return lanes_to_masks(self._cur)
+
+    def step_many(self, lanes: np.ndarray) -> CursorBatch:
+        """Advance the cursor over a ``(C, L)`` uint64 requirement chunk."""
+        lanes = np.ascontiguousarray(lanes, dtype=np.uint64)
+        C = lanes.shape[0]
+        L = self.stream.lane_width
+        if C == 0:
+            return _empty_batch(L)
+        i0 = self.stream.n  # global index of the chunk's first step
+        ext, off = self.stream.push(lanes)
+        hyper = np.zeros(C, dtype=bool)
+        sizes = np.empty(C, dtype=np.int64)
+        installed: list[np.ndarray] = []
+        cur, cur_size = self._cur, self._cur_size
+        k = self.k
+        pos = 0
+        while pos < C:
+            rem = (i0 + pos) % k
+            next_cad = pos if rem == 0 else pos + (k - rem)
+            if next_cad == pos:
+                t = pos
+            else:
+                span = lanes[pos : min(next_cad, C)]
+                misfit = (span & ~cur).any(axis=1)
+                hit = int(np.argmax(misfit))
+                if misfit[hit]:
+                    t = pos + hit
+                elif next_cad < C:
+                    t = next_cad
+                else:
+                    sizes[pos:] = cur_size
+                    break
+            sizes[pos:t] = cur_size
+            # Estimate = this requirement ∪ the previous window (the
+            # last min(i, k) requirements), stale bits included.
+            lo = max(0, off + t - k)
+            estimate = np.bitwise_or.reduce(ext[lo : off + t + 1], axis=0)
+            cur = estimate
+            cur_size = int(popcount_u64(estimate).sum(dtype=np.int64))
+            hyper[t] = True
+            installed.append(estimate)
+            sizes[t] = cur_size
+            pos = t + 1
+        self._cur, self._cur_size = cur, cur_size
+        if installed:
+            installed_arr = np.asarray(installed, dtype=np.uint64)
+        else:  # pragma: no cover - a chunk always installs on first feed
+            installed_arr = np.zeros((0, L), dtype=np.uint64)
+        return CursorBatch(hyper=hyper, sizes=sizes, installed=installed_arr)
+
+
 class WindowScheduler:
     """Fixed-cadence policy with previous-window estimation.
 
@@ -212,6 +510,10 @@ class WindowScheduler:
 
     def cursor(self) -> _WindowCursor:
         return _WindowCursor(self.k)
+
+    def batched_cursor(self, width: int) -> _BatchedWindowCursor:
+        """Lane-packed cursor over a ``width``-switch universe."""
+        return _BatchedWindowCursor(self.k, width)
 
     def plan(self, seq: RequirementSequence) -> SingleTaskSchedule:
         return plan_with_cursor(self.cursor(), seq)

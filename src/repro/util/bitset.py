@@ -86,15 +86,22 @@ _M2 = np.uint64(0x3333333333333333)
 _M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
 _H01 = np.uint64(0x0101010101010101)
 _SHIFT56 = np.uint64(56)
+_HAS_NATIVE_POPCOUNT = hasattr(np, "bitwise_count")
 
 
 def popcount_u64(x: np.ndarray) -> np.ndarray:
     """Vectorized popcount for an array of ``uint64`` lanes.
 
-    Classic SWAR bit-slicing popcount; returns an array of the same
-    shape with dtype ``uint64``.
+    One :func:`numpy.bitwise_count` ufunc call on NumPy ≥ 2.0 (an
+    order of magnitude cheaper than the nine-op SWAR pipeline, which
+    matters on the streaming hot paths that popcount tiny arrays per
+    segment); the classic SWAR bit-slicing fallback keeps older NumPy
+    working.  Returns an array of the same shape; counts fit any
+    integer dtype — callers reduce with an explicit ``dtype``.
     """
     x = np.asarray(x, dtype=np.uint64)
+    if _HAS_NATIVE_POPCOUNT:
+        return np.bitwise_count(x)
     x = x - ((x >> np.uint64(1)) & _M1)
     x = (x & _M2) + ((x >> np.uint64(2)) & _M2)
     x = (x + (x >> np.uint64(4))) & _M4

@@ -67,3 +67,68 @@ class TestSolversCommand:
         for name in ("single_dp", "mt_exact", "mt_greedy", "auto"):
             assert name in out
         assert "registered solvers" in out
+
+
+class TestStreamCommand:
+    def test_table_output_and_metrics(self, capsys):
+        assert main(["stream", "parity", "--sessions", "2",
+                     "--chunk", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "stream: 2 session(s)" in out
+        assert "parity/0" in out and "parity/1" in out
+        assert "stream steps" in out and "stream throughput" in out
+
+    def test_json_output(self, capsys):
+        assert main(["stream", "parity", "--sessions", "1", "--repeat", "2",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stream"]["sessions"] == 1
+        assert len(payload["sessions"]) == 1
+        row = payload["sessions"][0]
+        assert row["app"] == "parity"
+        assert row["steps"] == payload["stream"]["steps"]
+        assert row["cost"] > 0
+
+    def test_scalar_baseline_matches_packed(self, capsys):
+        """--scalar forces the scalar cursor path; the accounting must
+        be identical (same policy, same trace)."""
+        assert main(["stream", "parity", "--sessions", "1", "--json"]) == 0
+        packed = json.loads(capsys.readouterr().out)
+        assert main(["stream", "parity", "--sessions", "1", "--scalar",
+                     "--json"]) == 0
+        scalar = json.loads(capsys.readouterr().out)
+        assert packed["sessions"][0]["cost"] == scalar["sessions"][0]["cost"]
+        assert packed["sessions"][0]["hypers"] == scalar["sessions"][0]["hypers"]
+
+    def test_window_policy_and_unknown_app(self, capsys):
+        assert main(["stream", "parity", "--policy", "window", "-k", "4",
+                     "--sessions", "1"]) == 0
+        assert "window(k=4)" in capsys.readouterr().out
+        assert main(["stream", "nonexistent"]) == 2
+        assert "unknown app" in capsys.readouterr().err
+
+    def test_bad_parameters_exit_2(self, capsys):
+        assert main(["stream", "parity", "--sessions", "0"]) == 2
+        assert "Traceback" not in capsys.readouterr().err
+
+
+class TestAnnealFlags:
+    def test_restart_stats_table(self, capsys):
+        assert main(["batch", "parity", "--solver", "mt_annealing",
+                     "--anneal-restarts", "2", "--repeat", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "annealing restarts" in out
+
+    def test_flags_ignored_for_other_solvers(self, capsys):
+        assert main(["batch", "parity", "--solver", "mt_greedy",
+                     "--anneal-restarts", "3", "--repeat", "1"]) == 0
+        assert "annealing restarts" not in capsys.readouterr().out
+
+    def test_invalid_restarts_exit_2(self, capsys):
+        assert main(["batch", "parity", "--solver", "mt_annealing",
+                     "--anneal-restarts", "0", "--repeat", "1"]) == 2
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_multistart_preset_registered(self, capsys):
+        assert main(["solvers"]) == 0
+        assert "mt_annealing_multistart" in capsys.readouterr().out

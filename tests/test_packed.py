@@ -394,7 +394,12 @@ class TestEngineCompileOnce:
         assert engine.metrics.packed_compiles == 1
         assert engine.metrics.packed_reuses == 2
         snap = engine.metrics.snapshot()
-        assert snap["packed"] == {"compiles": 1, "reuses": 2}
+        assert snap["packed"] == {
+            "compiles": 1,
+            "reuses": 2,
+            "bytes_shipped": 0,  # inline solve: nothing crossed a process
+            "bytes_shared": 0,
+        }
         assert "packed problems" in engine.metrics.format_report()
 
     def test_exact_dp_requests_skip_packing(self):

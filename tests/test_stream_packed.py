@@ -1,0 +1,478 @@
+"""Equivalence suite for the lane-packed online/streaming stack.
+
+The scalar cursors of :mod:`repro.solvers.online` and the pre-packed
+:class:`StreamSession` accounting are the correctness oracle; the
+batched cursors, :class:`~repro.core.packed.PackedStream` and the
+:class:`~repro.engine.stream.StreamHub` must reproduce them *bit for
+bit* — across policies, hyper-parameters (alpha/memory/k), chunkings
+and universe sizes straddling the 64-switch lane boundary — and the
+hub's aggregate accounting must agree with the offline
+:func:`~repro.core.cost_single.switch_cost` evaluator.
+"""
+
+from collections import deque
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import RequirementSequence
+from repro.core.cost_single import switch_cost
+from repro.core.packed import PackedStream, masks_to_lanes
+from repro.core.switches import SwitchUniverse
+from repro.engine.stream import StreamHub, StreamSession
+from repro.solvers.online import (
+    RentOrBuyScheduler,
+    ScalarOnly,
+    WindowScheduler,
+)
+
+# Universe sizes that straddle the uint64 lane boundaries.
+BOUNDARY_SIZES = [1, 7, 63, 64, 65, 127, 128, 129, 150]
+universe_sizes = st.one_of(
+    st.sampled_from(BOUNDARY_SIZES), st.integers(min_value=1, max_value=150)
+)
+
+
+@st.composite
+def stream_instances(draw, max_n=60):
+    size = draw(universe_sizes)
+    universe = SwitchUniverse.of_size(size)
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    mask_st = st.integers(min_value=0, max_value=universe.full_mask)
+    masks = [draw(mask_st) for _ in range(n)]
+    kind = draw(st.sampled_from(["rent_or_buy", "window"]))
+    if kind == "rent_or_buy":
+        scheduler = RentOrBuyScheduler(
+            float(draw(st.integers(min_value=1, max_value=12))),
+            alpha=draw(st.sampled_from([0.5, 1.0, 2.0])),
+            memory=draw(st.integers(min_value=1, max_value=6)),
+        )
+    else:
+        scheduler = WindowScheduler(k=draw(st.integers(min_value=1, max_value=9)))
+    return universe, masks, scheduler
+
+
+def _chunkings(draw_sizes, n):
+    """Split [0, n) into chunks with the given size stream."""
+    cuts = []
+    pos = 0
+    while pos < n:
+        step = next(draw_sizes)
+        cuts.append((pos, min(n, pos + step)))
+        pos += step
+    return cuts
+
+
+class TestBatchedCursorEquivalence:
+    @settings(deadline=None, max_examples=60)
+    @given(stream_instances(), st.data())
+    def test_step_many_bit_identical_to_scalar_cursor(self, instance, data):
+        """hyper flags, per-step hypercontext sizes, installed masks and
+        the final cursor state all equal the scalar oracle, for every
+        chunking of the same sequence."""
+        universe, masks, scheduler = instance
+        n = len(masks)
+        scalar = scheduler.cursor()
+        ref_hyper, ref_installed, ref_sizes = [], [], []
+        for i, mask in enumerate(masks):
+            installed = scalar.step(i, mask)
+            ref_hyper.append(installed is not None)
+            if installed is not None:
+                ref_installed.append(installed)
+            ref_sizes.append(scalar.current.bit_count())
+
+        lanes = masks_to_lanes(masks, universe.size)
+        batched = scheduler.batched_cursor(universe.size)
+        got_hyper, got_installed, got_sizes = [], [], []
+        pos = 0
+        while pos < n:
+            step = data.draw(st.integers(min_value=1, max_value=n))
+            batch = batched.step_many(lanes[pos : pos + step])
+            got_hyper.extend(bool(h) for h in batch.hyper)
+            got_sizes.extend(int(s) for s in batch.sizes)
+            got_installed.extend(batch.installed_masks())
+            pos += step
+
+        assert got_hyper == ref_hyper
+        assert got_sizes == ref_sizes
+        assert got_installed == ref_installed
+        if n:
+            assert batched.current == scalar.current
+
+    @settings(deadline=None, max_examples=40)
+    @given(stream_instances(max_n=80), st.data())
+    def test_step_many_galloping_continuation(self, instance, data):
+        """Shrunk sweep bounds force the rent-or-buy cursor through its
+        no-trigger continuation (regret/served carry across sweep
+        windows, scan doubling) on every example — with the default
+        bounds (128+) the 80-step property sequences never reach it."""
+        from repro.solvers.online import _BatchedRentOrBuyCursor
+
+        old_min = _BatchedRentOrBuyCursor._SCAN_MIN
+        old_max = _BatchedRentOrBuyCursor._SCAN_MAX
+        _BatchedRentOrBuyCursor._SCAN_MIN = 2
+        _BatchedRentOrBuyCursor._SCAN_MAX = 8
+        try:
+            universe, masks, scheduler = instance
+            scalar = scheduler.cursor()
+            ref = []
+            for i, mask in enumerate(masks):
+                installed = scalar.step(i, mask)
+                ref.append((installed is not None, scalar.current))
+            lanes = masks_to_lanes(masks, universe.size)
+            batched = scheduler.batched_cursor(universe.size)
+            got_hyper = []
+            pos = 0
+            while pos < len(masks):
+                step = data.draw(
+                    st.integers(min_value=1, max_value=len(masks))
+                )
+                batch = batched.step_many(lanes[pos : pos + step])
+                got_hyper.extend(bool(h) for h in batch.hyper)
+                pos += step
+            assert got_hyper == [h for h, _cur in ref]
+            if masks:
+                assert batched.current == ref[-1][1]
+        finally:
+            _BatchedRentOrBuyCursor._SCAN_MIN = old_min
+            _BatchedRentOrBuyCursor._SCAN_MAX = old_max
+
+    def test_long_calm_stream_crosses_default_sweep_bounds(self):
+        """A 2000-step stream with rare working-set changes produces
+        no-hyper segments longer than _SCAN_MIN, exercising the
+        continuation branch under the production sweep bounds."""
+        width = 96
+        universe = SwitchUniverse.of_size(width)
+        rng = np.random.default_rng(11)
+        working = (1 << 12) - 1
+        masks = []
+        for i in range(2000):
+            if i in (700, 1400):  # rare drifts
+                working = ((1 << 12) - 1) << (i // 700)
+            mask = 0
+            for b in range(width):
+                if (working >> b) & 1 and rng.random() < 0.8:
+                    mask |= 1 << b
+            masks.append(mask)
+        scheduler = RentOrBuyScheduler(float(width), alpha=2.0, memory=8)
+        scalar = StreamSession(ScalarOnly(scheduler), universe, float(width))
+        for mask in masks:
+            scalar.feed(mask)
+        packed = StreamSession(scheduler, universe, float(width))
+        packed.feed_many(masks)
+        assert packed.cost == scalar.cost
+        assert packed.hyper_count == scalar.hyper_count
+        # Long segments really occurred (the point of this fixture).
+        assert packed.hyper_count < 2000 / 128
+
+    @settings(deadline=None, max_examples=30)
+    @given(stream_instances())
+    def test_plan_with_batched_cursor_equals_scalar_plan(self, instance):
+        """plan() (scalar oracle) and a batched-cursor plan agree on
+        hyper steps and explicit masks."""
+        from repro.solvers.online import plan_with_cursor
+
+        universe, masks, scheduler = instance
+        seq = RequirementSequence(universe, masks)
+        scalar_plan = plan_with_cursor(scheduler.cursor(), seq)
+        batched_plan = plan_with_cursor(
+            scheduler.batched_cursor(universe.size), seq
+        )
+        assert batched_plan.hyper_steps == scalar_plan.hyper_steps
+        assert batched_plan.explicit_masks == scalar_plan.explicit_masks
+
+
+class TestPackedStream:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        universe_sizes,
+        st.integers(min_value=1, max_value=7),
+        st.data(),
+    )
+    def test_window_union_matches_deque(self, size, history, data):
+        """The two-stack rolling window union equals a maxlen deque
+        under any mix of single appends and chunked extends."""
+        universe = SwitchUniverse.of_size(size)
+        stream = PackedStream(size, history=history)
+        reference: deque = deque(maxlen=history)
+        mask_st = st.integers(min_value=0, max_value=universe.full_mask)
+        total = 0
+        for _ in range(data.draw(st.integers(min_value=1, max_value=12))):
+            if data.draw(st.booleans()):
+                chunk = data.draw(
+                    st.lists(mask_st, min_size=1, max_size=2 * history + 3)
+                )
+                stream.extend(masks_to_lanes(chunk, size))
+                reference.extend(chunk)
+                total += len(chunk)
+            else:
+                mask = data.draw(mask_st)
+                stream.append_mask(mask)
+                reference.append(mask)
+                total += 1
+            window = 0
+            for m in reference:
+                window |= m
+            assert stream.window_union_mask() == window
+            assert stream.n == total
+
+    def test_running_union_and_tail(self):
+        stream = PackedStream(70, history=3)
+        masks = [1 << 69, 3, 1 << 64, 5, 9]
+        for m in masks:
+            stream.append_mask(m)
+        full = 0
+        for m in masks:
+            full |= m
+        assert stream.union_mask == full
+        assert stream.union_size == full.bit_count()
+        tail = stream.tail_rows(3)
+        assert tail.shape == (3, 2)
+        assert [int(t[0]) | (int(t[1]) << 64) for t in tail] == masks[-3:]
+
+    def test_push_returns_history_prefixed_chunk(self):
+        stream = PackedStream(10, history=2)
+        stream.extend(masks_to_lanes([1, 2, 4], 10))
+        ext, off = stream.push(masks_to_lanes([8, 16], 10))
+        assert off == 2
+        assert [int(row[0]) for row in ext] == [2, 4, 8, 16]
+        assert stream.n == 5
+
+    def test_history_zero_keeps_counts_only(self):
+        stream = PackedStream(8)
+        stream.extend(masks_to_lanes([1, 2], 8))
+        assert stream.n == 2
+        assert stream.union_mask == 3
+        with pytest.raises(ValueError):
+            stream.window_union_lanes()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PackedStream(0)
+        with pytest.raises(ValueError):
+            PackedStream(8, history=-1)
+        stream = PackedStream(8, history=2)
+        with pytest.raises(ValueError):
+            stream.append_lanes(np.zeros(2, dtype=np.uint64))
+
+
+class TestPackedSession:
+    @settings(deadline=None, max_examples=40)
+    @given(stream_instances(), st.data())
+    def test_packed_session_bit_identical_to_scalar_session(
+        self, instance, data
+    ):
+        """Costs, hyper counts and finished schedules of the packed
+        session equal the scalar-cursor session exactly (the cost is
+        accumulated in the same float order, so == not approx)."""
+        universe, masks, scheduler = instance
+        w = float(getattr(scheduler, "w", 0.0) or universe.size)
+        scalar = StreamSession(ScalarOnly(scheduler), universe, w)
+        packed = StreamSession(scheduler, universe, w)
+        assert scalar._batched is None and packed._batched is not None
+        for mask in masks:
+            scalar.feed(mask)
+        pos = 0
+        while pos < len(masks):
+            step = data.draw(st.integers(min_value=1, max_value=len(masks)))
+            batch = packed.feed_many(masks[pos : pos + step])
+            assert batch.cumulative_cost == packed.cost
+            pos += step
+        assert packed.cost == scalar.cost
+        assert packed.steps == scalar.steps
+        assert packed.hyper_count == scalar.hyper_count
+        assert packed.current_hypercontext == scalar.current_hypercontext
+        run_packed = packed.finish()
+        run_scalar = scalar.finish()
+        assert run_packed.cost == run_scalar.cost
+        assert run_packed.schedule.hyper_steps == run_scalar.schedule.hyper_steps
+        assert (
+            run_packed.schedule.explicit_masks
+            == run_scalar.schedule.explicit_masks
+        )
+
+    def test_feed_events_match_scalar_path(self):
+        universe = SwitchUniverse.of_size(70)
+        scheduler = RentOrBuyScheduler(6.0, memory=3)
+        packed = StreamSession(scheduler, universe, 6.0)
+        scalar = StreamSession(ScalarOnly(scheduler), universe, 6.0)
+        masks = [1, 1 << 65, (1 << 65) | 3, 1, 7]
+        for mask in masks:
+            a = packed.feed(mask)
+            b = scalar.feed(mask)
+            assert a == b
+
+    def test_feed_many_accepts_lane_arrays(self):
+        universe = SwitchUniverse.of_size(12)
+        session = StreamSession(WindowScheduler(k=3), universe, 4.0)
+        lanes = masks_to_lanes([1, 2, 4, 8], universe.size)
+        batch = session.feed_many(lanes)
+        assert batch.steps == 4
+        assert session.steps == 4
+        session.finish()
+
+    def test_feed_many_copies_reused_lane_buffers(self):
+        """A serving loop may reuse one preallocated buffer across
+        feeds; the session's requirement log must not alias it."""
+        universe = SwitchUniverse.of_size(12)
+        session = StreamSession(WindowScheduler(k=3), universe, 4.0)
+        rounds = [[1, 2, 4], [8, 1, 2], [4, 4, 1]]
+        buffer = np.zeros((3, 1), dtype=np.uint64)
+        fed = []
+        for masks in rounds:
+            buffer[:, 0] = masks
+            session.feed_many(buffer)
+            fed.extend(masks)
+        run = session.finish()  # would raise if the log aliased buffer
+        seq = RequirementSequence(universe, fed)
+        assert run.cost == pytest.approx(switch_cost(seq, run.schedule, w=4.0))
+
+
+class TestStreamHub:
+    def test_hub_accounting_cross_checked_against_switch_cost(self):
+        """Every finished hub session validates against the offline
+        evaluator, and the aggregate counters add up."""
+        universe = SwitchUniverse.of_size(96)
+        rng = np.random.default_rng(7)
+        hub = StreamHub()
+        expected = {}
+        for s, scheduler in enumerate(
+            [
+                RentOrBuyScheduler(8.0, memory=4),
+                WindowScheduler(k=5),
+                RentOrBuyScheduler(8.0, alpha=2.0, memory=1),
+            ]
+        ):
+            masks = [
+                int.from_bytes(rng.bytes(12), "little") & universe.full_mask
+                for _ in range(40)
+            ]
+            sid = hub.open(scheduler, universe, 8.0, session_id=f"u{s}")
+            expected[sid] = masks
+        # interleaved chunks across sessions
+        for lo in range(0, 40, 7):
+            hub.feed_many(
+                {sid: masks[lo : lo + 7] for sid, masks in expected.items()}
+            )
+        runs = hub.finish_all()
+        assert set(runs) == set(expected)
+        total_cost = 0.0
+        total_steps = total_hypers = 0
+        for sid, masks in expected.items():
+            run = runs[sid]
+            seq = RequirementSequence(universe, masks)
+            # finish() asserts the incremental total internally; check
+            # the offline evaluation again from first principles.
+            assert run.cost == pytest.approx(
+                switch_cost(seq, run.schedule, w=8.0)
+            )
+            total_cost += run.cost
+            total_steps += run.schedule.n
+            total_hypers += run.schedule.r
+        assert hub.total_steps == total_steps == hub.metrics.stream_steps
+        assert hub.total_hypers == total_hypers == hub.metrics.stream_hypers
+        assert hub.total_cost == pytest.approx(total_cost)
+        assert hub.metrics.stream_sessions == 3
+        assert 0.0 < hub.hyper_rate <= 1.0
+        snap = hub.metrics.snapshot()["stream"]
+        assert snap["steps"] == total_steps
+        assert snap["steps_per_s"] > 0
+
+    def test_hub_matches_standalone_sessions(self):
+        """Multiplexing changes nothing: per-session results equal a
+        standalone StreamSession fed the same masks."""
+        universe = SwitchUniverse.of_size(40)
+        rng = np.random.default_rng(3)
+        masks_a = [int(x) for x in rng.integers(0, 1 << 40, 30)]
+        masks_b = [int(x) for x in rng.integers(0, 1 << 40, 25)]
+        hub = StreamHub()
+        a = hub.open(RentOrBuyScheduler(5.0), universe, 5.0)
+        b = hub.open(WindowScheduler(k=4), universe, 5.0)
+        pos = 0
+        while pos < 30:
+            chunks = {a: masks_a[pos : pos + 6]}
+            if pos < 25:
+                chunks[b] = masks_b[pos : pos + 6]
+            hub.feed_many(chunks)
+            pos += 6
+        runs = hub.finish_all()
+        ses_a = StreamSession(RentOrBuyScheduler(5.0), universe, 5.0)
+        ses_a.feed_many(masks_a)
+        ses_b = StreamSession(WindowScheduler(k=4), universe, 5.0)
+        ses_b.feed_many(masks_b)
+        assert runs[a].cost == ses_a.finish().cost
+        assert runs[b].cost == ses_b.finish().cost
+
+    def test_session_lifecycle_and_errors(self):
+        universe = SwitchUniverse.of_size(8)
+        hub = StreamHub()
+        sid = hub.open(WindowScheduler(k=2), universe, 3.0)
+        assert sid in hub and len(hub) == 1
+        with pytest.raises(ValueError):
+            hub.open(WindowScheduler(k=2), universe, 3.0, session_id=sid)
+        event = hub.feed(sid, 0b11)
+        assert event.hyper and event.step == 0
+        hub.finish(sid)
+        assert sid not in hub
+        with pytest.raises(KeyError):
+            hub.feed(sid, 1)
+        with pytest.raises(ValueError):
+            hub.open(WindowScheduler(k=2), universe, 3.0, session_id=sid)
+        assert sid in hub.runs()
+        # auto ids never collide with reserved ones
+        other = hub.open(WindowScheduler(k=2), universe, 3.0)
+        assert other != sid
+
+
+class TestSharedLaneFanOut:
+    def test_shared_memory_results_byte_identical(self):
+        """Worker results through the shared-memory transport equal the
+        pickled transport, and the metrics show the serialization
+        drop."""
+        from repro.analysis.sweeps import make_instance
+        from repro.engine import BatchEngine, SolveRequest
+
+        requests = []
+        for seed in range(4):
+            system, seqs = make_instance(3, 24, 5, seed=seed)
+            requests.append(
+                SolveRequest.multi(system, seqs, solver="mt_greedy")
+            )
+        pickled_engine = BatchEngine(
+            workers=2, shared_lanes=False, cache_size=0
+        )
+        shared_engine = BatchEngine(workers=2, shared_lanes=True, cache_size=0)
+        base = pickled_engine.solve_batch(requests)
+        shared = shared_engine.solve_batch(requests)
+        for a, b in zip(base, shared):
+            assert a.ok and b.ok
+            assert a.value.cost == b.value.cost
+            assert a.value.schedule.indicators == b.value.schedule.indicators
+        assert shared_engine.metrics.packed_bytes_shared > 0
+        assert pickled_engine.metrics.packed_bytes_shared == 0
+        assert pickled_engine.metrics.packed_bytes_shipped > 0
+        # The handle pickles to a fraction of the full problem.
+        assert (
+            shared_engine.metrics.packed_bytes_shipped
+            < pickled_engine.metrics.packed_bytes_shipped
+        )
+
+    def test_auto_mode_keeps_small_problems_pickled(self):
+        from repro.analysis.sweeps import make_instance
+        from repro.engine import BatchEngine, SolveRequest
+        from repro.engine.batch import SHARED_LANES_MIN_BYTES
+
+        system, seqs = make_instance(2, 10, 4, seed=0)
+        requests = [
+            SolveRequest.multi(system, seqs, solver="mt_greedy"),
+            SolveRequest.multi(system, seqs, solver="mt_branch_bound"),
+        ]
+        engine = BatchEngine(workers=2, cache_size=0)  # shared_lanes=None
+        results = engine.solve_batch(requests)
+        assert all(r.ok for r in results)
+        # Tiny lane matrix: auto mode pickles it (below the threshold).
+        assert (
+            engine.metrics.packed_bytes_shared == 0
+            or engine.metrics.packed_bytes_shared >= SHARED_LANES_MIN_BYTES
+        )

@@ -158,10 +158,12 @@ def test_bench_stream_single_session(benchmark, smoke):
     assert min(accept.values()) >= min_speedup
 
 
-def test_bench_stream_hub_many_sessions(benchmark, smoke):
+def test_bench_stream_hub_many_sessions(benchmark, smoke, sessions_axis):
     width = 96
     per_session = 500 if smoke else 2_000
     fleet_sizes = [1, 4, 8] if smoke else [1, 8, 16, 64]
+    if sessions_axis:
+        fleet_sizes = sorted({*fleet_sizes, sessions_axis})
     chunk = 512
     universe = SwitchUniverse.of_size(width)
     w = float(width)

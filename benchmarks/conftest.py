@@ -29,12 +29,29 @@ def pytest_addoption(parser):
         default=False,
         help="run benchmarks in reduced-size smoke mode (CI rot check)",
     )
+    parser.addoption(
+        "--sessions",
+        type=int,
+        default=None,
+        help="extend the streaming/serving session axis to this many "
+             "concurrent sessions (E16/E17 hub and shard tables; "
+             "reachable as `repro bench --sessions N`)",
+    )
 
 
 @pytest.fixture(scope="session")
 def smoke(request) -> bool:
     """True when the harness runs in reduced-size smoke mode."""
     return bool(request.config.getoption("--smoke"))
+
+
+@pytest.fixture(scope="session")
+def sessions_axis(request) -> int | None:
+    """User-requested upper end of the concurrent-sessions axis."""
+    value = request.config.getoption("--sessions")
+    if value is not None and value < 1:
+        raise pytest.UsageError("--sessions must be at least 1")
+    return value
 
 
 @pytest.fixture(scope="session")

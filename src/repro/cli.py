@@ -12,9 +12,18 @@ Subcommands cover the common workflows without writing Python:
   ``--anneal-restart-workers`` configure the annealing solver's
   multistart fan-out and surface its per-restart stats);
 * ``repro stream [apps…]`` — replay app traces as live requirement
-  streams through a :class:`~repro.engine.stream.StreamHub` of
-  concurrent sessions (lane-packed online cursors) and print
-  per-session accounting plus steps/sec and hyper-rate metrics;
+  streams through the sharded serving layer
+  (:class:`~repro.serve.shard.ShardPool`; ``--shards``/``--shard-procs``
+  pick the fleet shape, 1 thread shard by default) and print
+  per-session accounting plus steps/sec and hyper-rate metrics —
+  finite replays and live sockets share this code path;
+* ``repro serve`` — run the network serving process: asyncio TCP (or
+  ``--stdin``) front door over the shard pool, speaking the framed
+  JSON protocol of :mod:`repro.serve.protocol`;
+* ``repro serve-bench`` — loopback load generator: spin up (or connect
+  to) a server, drive a synthetic session fleet through real client
+  connections, print throughput and optionally verify per-session
+  costs against a single-hub replay;
 * ``repro solvers`` — list the registered solver zoo with capability
   tags;
 * ``repro experiment`` — the full paper reproduction (E1–E3 artifacts);
@@ -312,11 +321,14 @@ def _stream_policy(args, w: float):
 
 
 def cmd_stream(args) -> int:
-    from repro.engine.stream import StreamHub
+    from repro.serve.shard import ShardPool, shard_index
 
     if args.sessions < 1 or args.repeat < 1 or args.chunk < 1:
         print("--sessions, --repeat and --chunk must be at least 1",
               file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print("--shards must be at least 1", file=sys.stderr)
         return 2
     apps = args.apps or sorted(APPS)
     for app in apps:
@@ -330,43 +342,53 @@ def cmd_stream(args) -> int:
         program = build(hold_unused=not args.naive)
         trace = run_and_trace(program, initial_registers=registers())
         traces[app] = trace.requirements
-    hub = StreamHub()
-    sessions = []  # (session_id, app, masks)
     if args.w is not None and args.w <= 0:
         print("--w must be positive", file=sys.stderr)
         return 2
-    for app in apps:
-        seq = traces[app]
-        w = args.w if args.w is not None else float(seq.universe.size)
-        try:
-            policy = _stream_policy(args, w)
-        except ValueError as exc:
-            print(exc, file=sys.stderr)
-            return 2
-        masks = list(seq.masks) * args.repeat
-        for r in range(args.sessions):
-            sid = hub.open(policy, seq.universe, w,
-                           session_id=f"{app}/{r}")
-            sessions.append((sid, app, masks))
-    # Feed every session chunk by chunk — one feed_many call advances
-    # the whole fleet per round, the way a serving loop would.
-    pos = 0
-    longest = max(len(masks) for _sid, _app, masks in sessions)
-    while pos < longest:
-        chunks = {
-            sid: masks[pos : pos + args.chunk]
-            for sid, _app, masks in sessions
-            if pos < len(masks)
-        }
-        hub.feed_many(chunks)
-        pos += args.chunk
-    runs = hub.finish_all()
+    # Finite replays run through the same shard layer a live socket
+    # fleet does (repro serve); a 1-shard pool is the old single-hub
+    # behavior, per-session results are identical for any shape.
+    pool = ShardPool(args.shards, procs=args.shard_procs)
+    try:
+        sessions = []  # (session_id, app, masks)
+        for app in apps:
+            seq = traces[app]
+            w = args.w if args.w is not None else float(seq.universe.size)
+            try:
+                policy = _stream_policy(args, w)
+            except ValueError as exc:
+                print(exc, file=sys.stderr)
+                return 2
+            masks = list(seq.masks) * args.repeat
+            for r in range(args.sessions):
+                sid = pool.open(policy, seq.universe, w,
+                                session_id=f"{app}/{r}")
+                sessions.append((sid, app, masks))
+        # Feed every session chunk by chunk — one feed_many call
+        # advances the whole fleet per round, the way a serving loop
+        # would, fanning out across the shard pool.
+        pos = 0
+        longest = max(len(masks) for _sid, _app, masks in sessions)
+        while pos < longest:
+            chunks = {
+                sid: masks[pos : pos + args.chunk]
+                for sid, _app, masks in sessions
+                if pos < len(masks)
+            }
+            pool.feed_many(chunks)
+            pos += args.chunk
+        runs = pool.finish_all()
+        stats = pool.stats()
+    finally:
+        pool.close()
     if args.json:
-        payload = hub.metrics.snapshot()
+        payload = stats["engine"]
+        payload["shards"] = stats["shards"]
         payload["sessions"] = [
             {
                 "session": sid,
                 "app": app,
+                "shard": shard_index(sid, args.shards),
                 "solver": runs[sid].solver,
                 "steps": runs[sid].schedule.n,
                 "hypers": runs[sid].schedule.r,
@@ -387,14 +409,151 @@ def cmd_stream(args) -> int:
             run.schedule.r,
             round(run.cost, 1),
         ])
+    kind = "proc" if args.shard_procs else "thread"
     print(format_table(
         ["session", "policy", "steps", "hypers", "cost"],
         rows,
         title=f"stream: {len(sessions)} session(s), "
+              f"{args.shards} {kind} shard(s), "
               f"chunk={args.chunk}, repeat={args.repeat}",
     ))
     print()
-    print(hub.metrics.format_report())
+    print(pool.metrics.format_report())
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.server import ServeConfig, StreamServer
+
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            shards=args.shards,
+            shard_procs=args.shard_procs,
+            max_sessions=args.max_sessions,
+            max_chunk_steps=args.max_chunk,
+            queue_depth=args.queue_depth,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    async def _run() -> None:
+        import contextlib
+        import signal
+
+        server = StreamServer(config)
+        await server.start(listen=not args.stdin)
+        # SIGTERM (what a process manager sends) drains as gracefully
+        # as Ctrl-C; SIGINT keeps its KeyboardInterrupt path.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        try:
+            if args.stdin:
+                print("serving on stdin/stdout "
+                      f"({config.shards} shard(s))", file=sys.stderr)
+                stdin_task = asyncio.ensure_future(server.serve_stdin())
+                stop_task = asyncio.ensure_future(stop.wait())
+                done, pending = await asyncio.wait(
+                    {stdin_task, stop_task},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                for task in pending:
+                    task.cancel()
+                for task in done:
+                    task.result()  # surface stdin-loop errors
+            else:
+                host, port = server.address
+                print(f"serving on {host}:{port} "
+                      f"({config.shards} "
+                      f"{'proc' if config.shard_procs else 'thread'} "
+                      f"shard(s))", file=sys.stderr)
+                await stop.wait()  # until SIGTERM or KeyboardInterrupt
+        finally:
+            await server.stop()
+            print(server.pool.metrics.format_report(), file=sys.stderr)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_serve_bench(args) -> int:
+    from repro.serve.loadgen import run_loadgen
+    from repro.serve.server import ServeConfig, ServerThread
+
+    if args.sessions < 1 or args.steps < 1 or args.chunk < 1:
+        print("--sessions, --steps and --chunk must be at least 1",
+              file=sys.stderr)
+        return 2
+    shard_counts = sorted(set(args.shard_counts or [1, 2, 4]))
+    if any(s < 1 for s in shard_counts):
+        print("--shard-counts entries must be at least 1", file=sys.stderr)
+        return 2
+    policy_params = (
+        {"alpha": args.alpha, "memory": args.memory}
+        if args.policy == "rent_or_buy"
+        else {"k": args.window}
+    )
+    rows = []
+    payload = []
+    for shards in shard_counts:
+        config = ServeConfig(
+            shards=shards,
+            shard_procs=args.shard_procs,
+            max_sessions=max(4096, args.sessions + 1),
+        )
+        with ServerThread(config) as (host, port):
+            result = run_loadgen(
+                host,
+                port,
+                sessions=args.sessions,
+                steps=args.steps,
+                chunk=args.chunk,
+                width=args.width,
+                policy=args.policy,
+                policy_params=policy_params,
+                clients=args.clients,
+                verify=args.verify,
+            )
+        rows.append([
+            shards,
+            result.sessions,
+            result.steps,
+            round(result.wall_s, 2),
+            f"{result.steps_per_s:,.0f}",
+            f"{result.frames_per_s:,.0f}",
+            "yes" if result.verified else "-",
+        ])
+        payload.append({
+            "shards": shards,
+            "sessions": result.sessions,
+            "steps": result.steps,
+            "wall_s": result.wall_s,
+            "steps_per_s": result.steps_per_s,
+            "frames_per_s": result.frames_per_s,
+            "verified": result.verified,
+        })
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
+    kind = "proc" if args.shard_procs else "thread"
+    print(format_table(
+        ["shards", "sessions", "steps", "wall s", "steps/s", "frames/s",
+         "verified"],
+        rows,
+        title=f"serve-bench: loopback, {kind} shards, "
+              f"{args.clients} client(s), chunk={args.chunk}, "
+              f"policy={args.policy}",
+    ))
     return 0
 
 
@@ -472,6 +631,11 @@ def cmd_bench(args) -> int:
         cmd.append("--smoke")
     if args.select:
         cmd.extend(["-k", args.select])
+    if args.sessions is not None:
+        if args.sessions < 1:
+            print("--sessions must be at least 1", file=sys.stderr)
+            return 2
+        cmd.extend(["--sessions", str(args.sessions)])
     # Child processes must import this same repro tree even when it was
     # never pip-installed (the PYTHONPATH=src workflow).
     env = dict(os.environ)
@@ -619,11 +783,98 @@ def build_parser() -> argparse.ArgumentParser:
         help="force the scalar cursor path (throughput baseline)",
     )
     p_stream.add_argument(
+        "--shards", type=int, default=1,
+        help="hub shards the sessions hash-partition across",
+    )
+    p_stream.add_argument(
+        "--shard-procs", action="store_true",
+        help="process shards instead of threads (true parallelism)",
+    )
+    p_stream.add_argument(
         "--naive", action="store_true",
         help="use the naive (non-holding) compiler mapping",
     )
     p_stream.add_argument("--json", action="store_true")
     p_stream.set_defaults(func=cmd_stream)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the streaming scheduler as a network service "
+             "(framed JSON over TCP or stdin)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7411,
+        help="TCP port (0 picks an ephemeral one)",
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=1,
+        help="hub shards the sessions hash-partition across",
+    )
+    p_serve.add_argument(
+        "--shard-procs", action="store_true",
+        help="process shards instead of threads",
+    )
+    p_serve.add_argument(
+        "--max-sessions", type=int, default=4096,
+        help="admission control: reject opens past this many live sessions",
+    )
+    p_serve.add_argument(
+        "--max-chunk", type=int, default=65536,
+        help="admission control: reject feed frames beyond this many steps",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="bounded per-shard feed queue (backpressure)",
+    )
+    p_serve.add_argument(
+        "--stdin", action="store_true",
+        help="speak the protocol over stdin/stdout instead of TCP",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_sbench = sub.add_parser(
+        "serve-bench",
+        help="loopback load generator against the serving layer",
+    )
+    p_sbench.add_argument(
+        "--sessions", type=int, default=64,
+        help="concurrent sessions in the fleet",
+    )
+    p_sbench.add_argument(
+        "--steps", type=int, default=2000,
+        help="requirements per session",
+    )
+    p_sbench.add_argument("--chunk", type=int, default=256)
+    p_sbench.add_argument(
+        "--width", type=int, default=96,
+        help="switch universe size of the synthetic workload",
+    )
+    p_sbench.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent client connections",
+    )
+    p_sbench.add_argument(
+        "--shard-counts", type=int, nargs="*", metavar="N",
+        help="shard counts to sweep (default: 1 2 4)",
+    )
+    p_sbench.add_argument(
+        "--shard-procs", action="store_true",
+        help="process shards instead of threads",
+    )
+    p_sbench.add_argument(
+        "--policy", choices=["rent_or_buy", "window"], default="rent_or_buy",
+    )
+    p_sbench.add_argument("--alpha", type=float, default=1.0)
+    p_sbench.add_argument("--memory", type=int, default=4)
+    p_sbench.add_argument("-k", "--window", type=int, default=8)
+    p_sbench.add_argument(
+        "--verify", action="store_true",
+        help="replay every trace through a single StreamHub and require "
+             "exact per-session cost equality",
+    )
+    p_sbench.add_argument("--json", action="store_true")
+    p_sbench.set_defaults(func=cmd_serve_bench)
 
     p_solvers = sub.add_parser(
         "solvers", help="list the registered solver zoo"
@@ -660,6 +911,11 @@ def build_parser() -> argparse.ArgumentParser:
         "-k", "--select", default=None, metavar="EXPR",
         help="pytest -k expression (e.g. 'e14 or e15' for the speedup "
              "benches only)",
+    )
+    p_bench.add_argument(
+        "--sessions", type=int, default=None, metavar="N",
+        help="extend the streaming/serving session axis to N concurrent "
+             "sessions (E16/E17 hub and shard tables)",
     )
     p_bench.set_defaults(func=cmd_bench)
     return parser

@@ -366,8 +366,18 @@ class StreamHub:
     operator report.
     """
 
-    def __init__(self, *, metrics: EngineMetrics | None = None):
+    def __init__(
+        self,
+        *,
+        metrics: EngineMetrics | None = None,
+        retain_runs: bool = True,
+    ):
+        """``retain_runs=False`` drops finished runs after handing them
+        to the caller (and releases their session ids for reuse) — the
+        long-running-service mode the shard pool uses, where retaining
+        every closed session forever would leak O(steps) per user."""
         self.metrics = metrics if metrics is not None else EngineMetrics()
+        self.retain_runs = retain_runs
         self._sessions: dict[str, StreamSession] = {}
         self._runs: dict[str, OnlineRun] = {}
         self._auto_id = count()
@@ -475,10 +485,16 @@ class StreamHub:
     # -- closing -----------------------------------------------------------
 
     def finish(self, session_id: str) -> OnlineRun:
-        """Close one session (validated); the id stays reserved."""
+        """Close one session (validated).
+
+        With ``retain_runs`` (default) the run is kept in :meth:`runs`
+        and the id stays reserved; otherwise the run goes only to the
+        caller and the id is immediately reusable.
+        """
         session = self.session(session_id)
         run = session.finish()
-        self._runs[session_id] = run
+        if self.retain_runs:
+            self._runs[session_id] = run
         del self._sessions[session_id]
         return run
 

@@ -1,0 +1,191 @@
+"""Synchronous client for the serving protocol.
+
+:class:`ServeClient` owns one TCP connection and speaks strict
+request/response: every call writes one frame and blocks for its reply
+(flow control and reply matching come for free; run several clients —
+they are cheap — for pipelining, the way the load generator does).
+
+The client remembers each opened session's universe width, so
+:meth:`feed` accepts plain int masks *or* pre-packed ``(C, L)`` lane
+arrays and encodes them itself.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    encode_mask_chunk,
+)
+
+__all__ = ["CloseResult", "FeedResult", "ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """The server answered ``{"ok": false}`` (the connection survives)."""
+
+
+@dataclass(frozen=True)
+class FeedResult:
+    """Accounting of one served chunk (mirror of the reply frame)."""
+
+    session: str
+    start: int
+    steps: int
+    hypers: int
+    cost: float
+    cumulative_cost: float
+
+
+@dataclass(frozen=True)
+class CloseResult:
+    """Accounting of one finished session."""
+
+    session: str
+    solver: str
+    steps: int
+    hypers: int
+    cost: float
+
+
+class ServeClient:
+    """One blocking connection to a :class:`~repro.serve.server.StreamServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Server address (e.g. from :class:`ServerThread.start`).
+    timeout:
+        Socket timeout per reply, seconds.
+    encoding:
+        Mask chunk encoding for ``feed`` frames (``"b64"`` default,
+        ``"hex"`` for eyeball-friendly traffic).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 60.0,
+        encoding: str = "b64",
+    ):
+        if encoding not in ("b64", "hex"):
+            raise ValueError(f"unknown mask encoding {encoding!r}")
+        self._encoding = encoding
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._widths: dict[str, int] = {}
+        self._closed = False
+
+    # -- plumbing ----------------------------------------------------------
+
+    def call(self, payload: dict) -> dict:
+        """Send one raw frame, return the decoded success reply.
+
+        Escape hatch for tests poking at the protocol; the typed
+        methods below are the real API.
+        """
+        if self._closed:
+            raise RuntimeError("client is closed")
+        self._file.write(encode_frame(payload))
+        self._file.flush()
+        line = self._file.readline(MAX_FRAME_BYTES + 2)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        reply = decode_frame(line)
+        if not reply.get("ok"):
+            raise ServeError(reply.get("error", "unspecified server error"))
+        return reply
+
+    # -- session API -------------------------------------------------------
+
+    def open(
+        self,
+        *,
+        policy: str = "rent_or_buy",
+        width: int,
+        w: float,
+        session_id: str | None = None,
+        **params,
+    ) -> str:
+        """Open a session; returns its (possibly generated) id."""
+        frame = {"op": "open", "policy": policy, "width": width, "w": w}
+        if session_id is not None:
+            frame["session"] = session_id
+        frame.update(params)
+        reply = self.call(frame)
+        sid = reply["session"]
+        self._widths[sid] = width
+        return sid
+
+    def feed(self, session_id: str, masks) -> FeedResult:
+        """Serve a chunk of requirements on one session."""
+        try:
+            width = self._widths[session_id]
+        except KeyError:
+            raise KeyError(
+                f"session {session_id!r} was not opened by this client"
+            ) from None
+        count = len(masks)
+        if count == 0:
+            raise ValueError("feed chunks must contain at least one mask")
+        blob = encode_mask_chunk(masks, width, encoding=self._encoding)
+        reply = self.call({
+            "op": "feed",
+            "session": session_id,
+            "count": count,
+            "masks": blob,
+            "encoding": self._encoding,
+        })
+        return FeedResult(
+            session=session_id,
+            start=reply["start"],
+            steps=reply["steps"],
+            hypers=reply["hypers"],
+            cost=reply["cost"],
+            cumulative_cost=reply["cumulative_cost"],
+        )
+
+    def close_session(self, session_id: str) -> CloseResult:
+        """Finish one session into its validated accounting."""
+        reply = self.call({"op": "close", "session": session_id})
+        self._widths.pop(session_id, None)
+        return CloseResult(
+            session=session_id,
+            solver=reply["solver"],
+            steps=reply["steps"],
+            hypers=reply["hypers"],
+            cost=reply["cost"],
+        )
+
+    def stats(self) -> dict:
+        """Aggregate server/shard/engine counters."""
+        return self.call({"op": "stats"})
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def adopt(self, session_id: str, width: int) -> None:
+        """Register a session opened elsewhere (sessions are
+        server-global; any connection may feed any open session)."""
+        self._widths[session_id] = width
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

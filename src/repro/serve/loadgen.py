@@ -1,0 +1,202 @@
+"""Loopback load generator: drive a serving process like a user fleet.
+
+``repro serve-bench`` and benchmark E17 both need the same exercise:
+open S sessions through real client connections, feed every session a
+phased requirement stream chunk by chunk, close everything, and report
+throughput — optionally cross-checking every per-session cost against
+a single-threaded :class:`~repro.engine.stream.StreamHub` replay of
+the same traces (the serving layer must never change an answer, only
+how fast it arrives).
+
+Clients run on threads, each owning an equal slice of the fleet and
+feeding it round-robin (all sessions advance chunk 0, then chunk 1, …)
+— the arrival pattern that lets the server's per-shard drain cycles
+actually batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.util.rng import make_rng
+
+__all__ = ["LoadgenResult", "drifting_masks", "run_loadgen"]
+
+
+def drifting_masks(
+    width: int, n: int, seed, *, phase: int = 150, noise: float = 0.003
+) -> list[int]:
+    """A phased requirement stream: a ~12-switch working set that
+    drifts every ``phase`` steps, plus occasional noise bits — the
+    regime online policies are built for (stable phases, abrupt
+    changes).  Shared by E16/E17 and the ``serve-bench`` CLI."""
+    rng = make_rng(seed)
+    masks = []
+    working = set(int(x) for x in rng.choice(width, size=12, replace=False))
+    for i in range(n):
+        if i % phase == 0 and i:
+            drop = min(len(working), int(rng.integers(3, 7)))
+            for s in list(rng.permutation(sorted(working))[:drop]):
+                working.discard(int(s))
+            while len(working) < 12:
+                working.add(int(rng.integers(0, width)))
+        subset = rng.random(len(working)) < 0.7
+        mask = 0
+        for keep, switch in zip(subset, sorted(working)):
+            if keep:
+                mask |= 1 << switch
+        if rng.random() < noise:
+            mask |= 1 << int(rng.integers(0, width))
+        masks.append(mask)
+    return masks
+
+
+@dataclass
+class LoadgenResult:
+    """Outcome of one load-generation run."""
+
+    sessions: int
+    steps: int
+    frames: int
+    wall_s: float
+    costs: dict[str, float] = field(default_factory=dict)
+    verified: bool | None = None
+
+    @property
+    def steps_per_s(self) -> float:
+        return self.steps / self.wall_s if self.wall_s else 0.0
+
+    @property
+    def frames_per_s(self) -> float:
+        return self.frames / self.wall_s if self.wall_s else 0.0
+
+
+def _client_worker(
+    host, port, jobs, chunk, policy, policy_params, width, w, out, errors
+):
+    from repro.serve.client import ServeClient
+
+    try:
+        with ServeClient(host, port) as client:
+            for sid, _masks in jobs:
+                got = client.open(
+                    policy=policy,
+                    width=width,
+                    w=w,
+                    session_id=sid,
+                    **policy_params,
+                )
+                assert got == sid
+            longest = max(len(masks) for _sid, masks in jobs)
+            frames = len(jobs)  # the opens
+            pos = 0
+            while pos < longest:
+                for sid, masks in jobs:
+                    if pos < len(masks):
+                        client.feed(sid, masks[pos : pos + chunk])
+                        frames += 1
+                pos += chunk
+            for sid, _masks in jobs:
+                res = client.close_session(sid)
+                frames += 1
+                out[sid] = res.cost
+            out[None] = frames  # sentinel: this worker's frame count
+    except Exception as exc:  # noqa: BLE001 - surfaced by the caller
+        errors.append(exc)
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    *,
+    sessions: int,
+    steps: int,
+    chunk: int = 256,
+    width: int = 96,
+    w: float | None = None,
+    policy: str = "rent_or_buy",
+    policy_params: dict | None = None,
+    clients: int = 4,
+    phase: int = 600,
+    seed: int = 0,
+    verify: bool = False,
+) -> LoadgenResult:
+    """Drive a serving process with a synthetic fleet; see module doc.
+
+    ``verify=True`` replays every trace through a local single-threaded
+    :class:`StreamHub` and requires exact per-session cost equality
+    (raises ``AssertionError`` otherwise, with the offending session).
+    """
+    if sessions < 1 or steps < 1 or chunk < 1 or clients < 1:
+        raise ValueError(
+            "sessions, steps, chunk and clients must be at least 1"
+        )
+    policy_params = dict(policy_params or {})
+    w = float(w) if w is not None else float(width)
+    traces = {
+        f"u{s}": drifting_masks(
+            width, steps, seed=seed * 1_000_003 + s, phase=phase
+        )
+        for s in range(sessions)
+    }
+    clients = min(clients, sessions)
+    slices = [list(traces.items())[c::clients] for c in range(clients)]
+    outs = [dict() for _ in range(clients)]
+    errors: list[Exception] = []
+    threads = [
+        threading.Thread(
+            target=_client_worker,
+            args=(host, port, slices[c], chunk, policy, policy_params,
+                  width, w, outs[c], errors),
+            name=f"loadgen-{c}",
+        )
+        for c in range(clients)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    costs: dict[str, float] = {}
+    frames = 0
+    for out in outs:
+        frames += out.pop(None, 0)
+        costs.update(out)
+    result = LoadgenResult(
+        sessions=sessions,
+        steps=sessions * steps,
+        frames=frames,
+        wall_s=wall,
+        costs=costs,
+    )
+    if verify:
+        result.verified = _verify(traces, costs, width, w, policy,
+                                  policy_params)
+    return result
+
+
+def _verify(traces, costs, width, w, policy, policy_params) -> bool:
+    """Single-hub oracle replay; exact equality per session."""
+    from repro.core.switches import SwitchUniverse
+    from repro.engine.stream import StreamHub
+    from repro.serve.protocol import policy_from_spec
+
+    universe = SwitchUniverse.of_size(width)
+    hub = StreamHub()
+    for sid, masks in traces.items():
+        scheduler = policy_from_spec(policy, w, policy_params)
+        hub.open(scheduler, universe, w, session_id=sid)
+        hub.feed_many({sid: masks})
+    runs = hub.finish_all()
+    for sid, masks in traces.items():
+        if runs[sid].cost != costs[sid]:
+            raise AssertionError(
+                f"session {sid}: served cost {costs[sid]} != "
+                f"single-hub replay {runs[sid].cost}"
+            )
+    return True

@@ -1,0 +1,362 @@
+"""Framed wire protocol of the serving layer.
+
+One frame per line: a JSON object terminated by ``\\n`` (newline-
+delimited JSON — trivially debuggable with ``nc``/``socat``, no length
+prefixes to corrupt).  Four request ops cover the streaming life
+cycle, mirroring the :class:`~repro.engine.stream.StreamHub` API:
+
+===========  =============================================================
+op           payload
+===========  =============================================================
+``open``     ``policy`` (``rent_or_buy``/``window``), ``width`` (universe
+             size), ``w`` (hyper cost), optional ``session`` id and
+             policy params (``alpha``/``memory``/``k``/``scalar``)
+``feed``     ``session``, ``count`` requirement masks packed into
+             ``masks`` — little-endian uint64 lane rows, base64- (default)
+             or hex-encoded (``encoding``)
+``close``    ``session`` — finish the session into a validated run
+``stats``    no payload — aggregate server/shard/engine counters
+===========  =============================================================
+
+Replies are JSON objects too: ``{"ok": true, "op": …, …}`` on success,
+``{"ok": false, "error": …}`` on failure.  Every structural violation
+raises :class:`ProtocolError` (mapped to an error reply by the server,
+never a dropped connection), so malformed input is rejected loudly.
+
+Mask chunks travel in the same lane encoding the engine computes on:
+a ``(count, L)`` uint64 row matrix (``L = ceil(width/64)``), serialized
+little-endian row-major.  Encode/decode are shared by server and
+client, and the decoder *validates* — blob length must match
+``count · L · 8`` and bits above ``width`` must be zero — so the
+server can hand decoded lanes straight to the packed fast path.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.packed import lane_count
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "OpenFrame",
+    "FeedFrame",
+    "CloseFrame",
+    "StatsFrame",
+    "encode_frame",
+    "decode_frame",
+    "encode_mask_chunk",
+    "decode_mask_chunk",
+    "parse_request",
+    "policy_from_spec",
+    "error_frame",
+    "ok_frame",
+]
+
+#: Upper bound on one serialized frame (also the server's read limit).
+#: 1 MiB of base64 holds ~98k single-lane requirement rows — far above
+#: any sane chunk; bigger frames are a protocol violation.
+MAX_FRAME_BYTES = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """A frame violated the wire protocol (malformed, not just unlucky)."""
+
+
+# ---------------------------------------------------------------------------
+# Frames (parsed requests)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OpenFrame:
+    """Parsed ``open`` request."""
+
+    session: str | None
+    policy: str
+    width: int
+    w: float
+    params: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class FeedFrame:
+    """Parsed ``feed`` request; ``masks`` stays encoded until the
+    server looks up the session's universe width."""
+
+    session: str
+    count: int
+    masks: str
+    encoding: str
+
+
+@dataclass(frozen=True)
+class CloseFrame:
+    """Parsed ``close`` request."""
+
+    session: str
+
+
+@dataclass(frozen=True)
+class StatsFrame:
+    """Parsed ``stats`` request."""
+
+
+# ---------------------------------------------------------------------------
+# Line framing
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialize one frame: compact JSON + newline."""
+    return json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_frame(line: bytes | str) -> dict:
+    """Parse one frame line into a JSON object (dict).
+
+    Raises :class:`ProtocolError` on anything that is not exactly one
+    JSON object: empty lines, truncated/overlong frames, JSON scalars
+    or arrays, invalid UTF-8.
+    """
+    if isinstance(line, str):
+        line = line.encode()
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty frame")
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame exceeds {MAX_FRAME_BYTES} bytes")
+    try:
+        obj = json.loads(line.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# Mask chunk encoding
+# ---------------------------------------------------------------------------
+
+
+def _as_lanes(masks, width: int) -> np.ndarray:
+    from repro.core.packed import masks_to_lanes
+
+    if isinstance(masks, np.ndarray) and masks.ndim == 2:
+        lanes = np.ascontiguousarray(masks, dtype=np.uint64)
+        if lanes.shape[1] != lane_count(width):
+            raise ProtocolError(
+                f"lane rows have {lanes.shape[1]} lanes, width {width} "
+                f"needs {lane_count(width)}"
+            )
+        return lanes
+    return masks_to_lanes(list(masks), width)
+
+
+def encode_mask_chunk(masks, width: int, *, encoding: str = "b64") -> str:
+    """Encode requirement masks as a wire blob.
+
+    ``masks`` is an iterable of int masks or an already lane-packed
+    ``(C, L)`` uint64 array; rows serialize little-endian, row-major.
+    """
+    lanes = _as_lanes(masks, width)
+    raw = np.ascontiguousarray(lanes, dtype="<u8").tobytes()
+    if encoding == "b64":
+        return base64.b64encode(raw).decode("ascii")
+    if encoding == "hex":
+        return raw.hex()
+    raise ProtocolError(f"unknown mask encoding {encoding!r}")
+
+
+def decode_mask_chunk(
+    blob: str, count: int, width: int, *, encoding: str = "b64"
+) -> np.ndarray:
+    """Decode a wire blob back into validated ``(count, L)`` lanes.
+
+    Rejects blobs whose length disagrees with ``count`` and rows that
+    set bits at or above ``width`` — the result is safe to hand to the
+    lane-trusting fast path (:meth:`StreamSession.feed_many`).
+    """
+    if count < 0:
+        raise ProtocolError("mask count must be non-negative")
+    if encoding == "b64":
+        try:
+            raw = base64.b64decode(blob, validate=True)
+        except (binascii.Error, ValueError) as exc:
+            raise ProtocolError(f"invalid base64 mask blob: {exc}") from None
+    elif encoding == "hex":
+        try:
+            raw = bytes.fromhex(blob)
+        except ValueError as exc:
+            raise ProtocolError(f"invalid hex mask blob: {exc}") from None
+    else:
+        raise ProtocolError(f"unknown mask encoding {encoding!r}")
+    L = lane_count(width)
+    expected = count * L * 8
+    if len(raw) != expected:
+        raise ProtocolError(
+            f"mask blob holds {len(raw)} bytes, "
+            f"count={count} × {L} lane(s) needs {expected}"
+        )
+    lanes = (
+        np.frombuffer(raw, dtype="<u8").astype(np.uint64).reshape(count, L)
+    )
+    # Bits above the universe width are a protocol violation, not a
+    # subtle downstream surprise.
+    tail_bits = width - (L - 1) * 64
+    if tail_bits < 64 and count:
+        top = np.uint64((1 << tail_bits) - 1)
+        if np.any(lanes[:, L - 1] & ~top):
+            raise ProtocolError(
+                f"mask sets switches beyond the {width}-switch universe"
+            )
+    return lanes
+
+
+# ---------------------------------------------------------------------------
+# Request parsing and policy construction
+# ---------------------------------------------------------------------------
+
+
+def _require(obj: dict, key: str, types, *, op: str):
+    if key not in obj:
+        raise ProtocolError(f"{op} frame missing field {key!r}")
+    value = obj[key]
+    # bool is a subclass of int; a frame saying "count": true is malformed.
+    if not isinstance(value, types) or isinstance(value, bool):
+        raise ProtocolError(
+            f"{op} frame field {key!r} has invalid type "
+            f"{type(value).__name__}"
+        )
+    return value
+
+
+#: Recognized ``open`` policy parameters (anything else is rejected).
+_POLICY_PARAMS = {"alpha", "memory", "k", "scalar"}
+
+
+def parse_request(
+    obj: dict, *, max_chunk_steps: int | None = None
+) -> OpenFrame | FeedFrame | CloseFrame | StatsFrame:
+    """Validate a decoded frame object into a typed request.
+
+    ``max_chunk_steps`` caps ``feed.count`` (admission control lives at
+    the parse boundary, before any bytes are decoded).
+    """
+    op = obj.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("frame missing string field 'op'")
+    if op == "open":
+        policy = _require(obj, "policy", str, op=op)
+        width = _require(obj, "width", int, op=op)
+        if width < 1:
+            raise ProtocolError("open.width must be at least 1")
+        w = _require(obj, "w", (int, float), op=op)
+        if w <= 0:
+            raise ProtocolError("open.w must be positive")
+        session = obj.get("session")
+        if session is not None and not isinstance(session, str):
+            raise ProtocolError("open.session must be a string")
+        params = {
+            k: obj[k] for k in _POLICY_PARAMS if k in obj
+        }
+        unknown = (
+            set(obj) - _POLICY_PARAMS - {"op", "policy", "width", "w", "session"}
+        )
+        if unknown:
+            raise ProtocolError(
+                f"open frame has unknown fields {sorted(unknown)}"
+            )
+        return OpenFrame(
+            session=session,
+            policy=policy,
+            width=int(width),
+            w=float(w),
+            params=params,
+        )
+    if op == "feed":
+        session = _require(obj, "session", str, op=op)
+        count = _require(obj, "count", int, op=op)
+        if count < 1:
+            raise ProtocolError("feed.count must be a positive integer")
+        if max_chunk_steps is not None and count > max_chunk_steps:
+            raise ProtocolError(
+                f"feed.count {count} exceeds the server chunk limit "
+                f"{max_chunk_steps}"
+            )
+        masks = _require(obj, "masks", str, op=op)
+        encoding = obj.get("encoding", "b64")
+        if encoding not in ("b64", "hex"):
+            raise ProtocolError(f"unknown mask encoding {encoding!r}")
+        return FeedFrame(
+            session=session, count=int(count), masks=masks, encoding=encoding
+        )
+    if op == "close":
+        return CloseFrame(session=_require(obj, "session", str, op=op))
+    if op == "stats":
+        return StatsFrame()
+    raise ProtocolError(f"unknown op {op!r}")
+
+
+def policy_from_spec(policy: str, w: float, params: dict):
+    """Build an online scheduler from a wire-level policy spec.
+
+    Shared by the server (``open`` frames) and the ``repro stream`` /
+    ``serve-bench`` CLI paths, so every entry point accepts the same
+    vocabulary.  ``scalar: true`` wraps the policy in
+    :class:`~repro.solvers.online.ScalarOnly` (oracle path).
+    """
+    from repro.solvers.online import (
+        RentOrBuyScheduler,
+        ScalarOnly,
+        WindowScheduler,
+    )
+
+    unknown = set(params) - _POLICY_PARAMS
+    if unknown:
+        raise ProtocolError(f"unknown policy parameters {sorted(unknown)}")
+    try:
+        if policy == "rent_or_buy":
+            scheduler = RentOrBuyScheduler(
+                w,
+                alpha=float(params.get("alpha", 1.0)),
+                memory=int(params.get("memory", 4)),
+            )
+        elif policy == "window":
+            scheduler = WindowScheduler(k=int(params.get("k", 8)))
+        else:
+            raise ProtocolError(f"unknown policy {policy!r}")
+    except ProtocolError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid policy parameters: {exc}") from None
+    if params.get("scalar"):
+        scheduler = ScalarOnly(scheduler, name=f"{scheduler.name} [scalar]")
+    return scheduler
+
+
+# ---------------------------------------------------------------------------
+# Replies
+# ---------------------------------------------------------------------------
+
+
+def ok_frame(op: str, **fields) -> dict:
+    """Success reply for one request op."""
+    out = {"ok": True, "op": op}
+    out.update(fields)
+    return out
+
+
+def error_frame(message: str, *, op: str | None = None) -> dict:
+    """Failure reply (the connection stays up; the frame is rejected)."""
+    out = {"ok": False, "error": message}
+    if op is not None:
+        out["op"] = op
+    return out

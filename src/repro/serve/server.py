@@ -1,0 +1,570 @@
+"""Asyncio front door: the shard pool as a long-running network service.
+
+:class:`StreamServer` listens on TCP (and/or speaks the same protocol
+over stdin/stdout) and turns newline-delimited JSON frames
+(:mod:`repro.serve.protocol`) into shard-pool calls:
+
+* **admission control** — ``open`` is rejected once ``max_sessions``
+  live sessions exist; ``feed`` frames larger than ``max_chunk_steps``
+  are rejected at the parse boundary; oversized lines kill only the
+  offending connection;
+* **per-shard batching** — ``feed`` frames do not hit the pool one by
+  one: each lands in the owning shard's bounded queue, and a drainer
+  task per shard collects everything queued (one chunk per session,
+  FIFO order preserved) into **one**
+  :meth:`~repro.serve.shard.ShardPool.feed_shard` call per drain
+  cycle.  Under load, frames that arrive while a cycle runs coalesce
+  into the next one — the batch size adapts to the backlog;
+* **backpressure** — the queues are bounded (``queue_depth``); when a
+  shard falls behind, ``feed`` frames wait in the reader coroutine,
+  TCP flow control propagates the stall to the client, and memory
+  stays bounded;
+* **ordering** — ``close`` travels through the same shard queue as a
+  barrier, so a session's pending feeds are always served before its
+  run is finished and validated.
+
+Sessions are server-global (not per-connection): any connection may
+feed any open session, and a dropped connection leaves its sessions
+live for a reconnect.  Per-session decisions come out bit-identical to
+a single-threaded :class:`~repro.engine.stream.StreamHub` replay —
+sharding and batching change the schedule of the work, never its
+answers (``tests/test_serve_server.py`` pins 256 concurrent sessions
+against the single-hub oracle).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.switches import SwitchUniverse
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    CloseFrame,
+    FeedFrame,
+    OpenFrame,
+    ProtocolError,
+    StatsFrame,
+    decode_frame,
+    decode_mask_chunk,
+    encode_frame,
+    error_frame,
+    ok_frame,
+    parse_request,
+    policy_from_spec,
+)
+from repro.serve.shard import ShardPool
+
+__all__ = ["ServeConfig", "ServerThread", "StreamServer"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of one serving process."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral (the bound port is in .address)
+    shards: int = 1
+    shard_procs: bool = False
+    max_sessions: int = 4096
+    max_chunk_steps: int = 65536
+    queue_depth: int = 64
+    #: Per-session state is O(width · history); without these caps one
+    #: `open` frame could allocate gigabytes of cursor state before
+    #: max_sessions ever mattered.
+    max_width: int = 65536
+    max_history: int = 65536
+
+    def __post_init__(self):
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if self.max_sessions < 1:
+            raise ValueError("max_sessions must be at least 1")
+        if self.max_chunk_steps < 1:
+            raise ValueError("max_chunk_steps must be at least 1")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be at least 1")
+        if self.max_width < 1:
+            raise ValueError("max_width must be at least 1")
+        if self.max_history < 1:
+            raise ValueError("max_history must be at least 1")
+
+
+@dataclass
+class _Job:
+    """One queued shard operation (a feed chunk or a close barrier)."""
+
+    kind: str  # "feed" | "close"
+    session: str
+    lanes: object = None
+    future: asyncio.Future = None
+
+
+class _ShardQueue:
+    """Bounded FIFO the drainer collects cycles from.
+
+    ``take_cycle`` greedily pops queued jobs in order, stopping at the
+    first job whose session already appears in the cycle — so a cycle
+    carries at most one chunk per session (``feed_many``'s contract)
+    and per-session order is never reordered across cycles.
+    """
+
+    def __init__(self, depth: int):
+        self._depth = depth
+        self._jobs: deque[_Job] = deque()
+        self._cond = asyncio.Condition()
+
+    async def put(self, job: _Job) -> None:
+        async with self._cond:
+            while len(self._jobs) >= self._depth:
+                await self._cond.wait()
+            self._jobs.append(job)
+            self._cond.notify_all()
+
+    async def take_cycle(self) -> tuple[dict[str, _Job], list[_Job]]:
+        """Wait for work; return (feeds by session, closes in order)."""
+        async with self._cond:
+            while not self._jobs:
+                await self._cond.wait()
+            feeds: dict[str, _Job] = {}
+            closes: list[_Job] = []
+            seen: set[str] = set()
+            while self._jobs:
+                job = self._jobs[0]
+                if job.session in seen:
+                    break
+                seen.add(job.session)
+                self._jobs.popleft()
+                if job.kind == "feed":
+                    feeds[job.session] = job
+                else:
+                    closes.append(job)
+            self._cond.notify_all()
+            return feeds, closes
+
+
+@dataclass
+class _ServerCounters:
+    """Operator-facing request accounting of one server."""
+
+    connections: int = 0
+    frames: int = 0
+    opens: int = 0
+    feeds: int = 0
+    closes: int = 0
+    stats_calls: int = 0
+    protocol_errors: int = 0
+    rejected_sessions: int = 0
+    errors: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def bump(self, name: str, by: int = 1) -> None:
+        with self.lock:
+            setattr(self, name, getattr(self, name) + by)
+
+    def snapshot(self) -> dict:
+        with self.lock:
+            return {
+                "connections": self.connections,
+                "frames": self.frames,
+                "opens": self.opens,
+                "feeds": self.feeds,
+                "closes": self.closes,
+                "stats_calls": self.stats_calls,
+                "protocol_errors": self.protocol_errors,
+                "rejected_sessions": self.rejected_sessions,
+                "errors": self.errors,
+            }
+
+
+class StreamServer:
+    """The shard pool behind a TCP/stdin frame loop.
+
+    Build, ``await start()``, then either let the asyncio server accept
+    TCP clients or pump stdin through :meth:`serve_stdin`; ``await
+    stop()`` tears down drainers, listeners and (if owned) the pool.
+    Tests and the load generator run the whole thing on a background
+    thread via :class:`ServerThread`.
+    """
+
+    def __init__(
+        self, config: ServeConfig | None = None, *, pool: ShardPool | None = None
+    ):
+        self.config = config if config is not None else ServeConfig()
+        self._own_pool = pool is None
+        self.pool = (
+            pool
+            if pool is not None
+            else ShardPool(self.config.shards, procs=self.config.shard_procs)
+        )
+        if self.pool.shards != self.config.shards:
+            raise ValueError("pool shard count disagrees with the config")
+        self.counters = _ServerCounters()
+        #: session id -> (universe width, shard) for feed decoding.
+        self._sessions: dict[str, tuple[int, int]] = {}
+        self._sessions_lock = threading.Lock()
+        self._queues = [
+            _ShardQueue(self.config.queue_depth)
+            for _ in range(self.config.shards)
+        ]
+        self._drainers: list[asyncio.Task] = []
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: set = set()  # live client connections
+        # Shard calls block (locks, pipes, NumPy); they run on this
+        # executor so the event loop keeps accepting frames.  One
+        # worker per shard plus one for open/close/stats traffic.
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.shards + 1, thread_name_prefix="serve"
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, *, listen: bool = True) -> None:
+        """Start drainers (and the TCP listener unless ``listen=False``)."""
+        loop = asyncio.get_running_loop()
+        self._drainers = [
+            loop.create_task(self._drain(shard))
+            for shard in range(self.config.shards)
+        ]
+        if listen:
+            self._server = await asyncio.start_server(
+                self._client_loop,
+                self.config.host,
+                self.config.port,
+                limit=MAX_FRAME_BYTES + 2,
+            )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) of the TCP listener."""
+        if self._server is None:
+            raise RuntimeError("server is not listening")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def stop(self) -> None:
+        """Stop listening, cancel drainers, close the owned pool.
+
+        Live client connections are closed first: from Python 3.12.1
+        ``Server.wait_closed()`` waits for every connection handler to
+        finish, so an idle client would otherwise stall the shutdown
+        forever.
+        """
+        for writer in tuple(self._writers):
+            writer.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in self._drainers:
+            task.cancel()
+        for task in self._drainers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._drainers = []
+        self._executor.shutdown(wait=True)
+        if self._own_pool:
+            self.pool.close()
+
+    # -- drainers ----------------------------------------------------------
+
+    async def _drain(self, shard: int) -> None:
+        """Forever: collect one cycle, run it, resolve its futures."""
+        loop = asyncio.get_running_loop()
+        queue = self._queues[shard]
+        while True:
+            feeds, closes = await queue.take_cycle()
+            # A feed can race a close issued on another connection; a
+            # session gone by its drain cycle fails alone instead of
+            # poisoning the whole batched feed_many call.
+            for sid in [s for s in feeds if s not in self.pool]:
+                job = feeds.pop(sid)
+                if not job.future.done():
+                    job.future.set_exception(
+                        KeyError(f"unknown session id {sid!r}")
+                    )
+            if feeds:
+                chunks = {sid: job.lanes for sid, job in feeds.items()}
+                try:
+                    summaries = await loop.run_in_executor(
+                        self._executor, self.pool.feed_shard, shard, chunks
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - reply, don't die
+                    for job in feeds.values():
+                        if not job.future.done():
+                            job.future.set_exception(exc)
+                else:
+                    for sid, job in feeds.items():
+                        if not job.future.done():
+                            job.future.set_result(summaries[sid])
+            for job in closes:
+                try:
+                    run = await loop.run_in_executor(
+                        self._executor, self.pool.finish, job.session
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - reply, don't die
+                    if not job.future.done():
+                        job.future.set_exception(exc)
+                else:
+                    if not job.future.done():
+                        job.future.set_result(run)
+
+    # -- frame handling ----------------------------------------------------
+
+    async def _client_loop(self, reader, writer) -> None:
+        """One connection: read frames, reply frames, never crash."""
+        self.counters.bump("connections")
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                ):  # oversized frame: unrecoverable framing loss
+                    self.counters.bump("protocol_errors")
+                    writer.write(encode_frame(error_frame(
+                        f"frame exceeds {MAX_FRAME_BYTES} bytes"
+                    )))
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                self.counters.bump("frames")
+                reply = await self._handle_line(line)
+                writer.write(encode_frame(reply))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _handle_line(self, line: bytes) -> dict:
+        try:
+            frame = parse_request(
+                decode_frame(line),
+                max_chunk_steps=self.config.max_chunk_steps,
+            )
+        except ProtocolError as exc:
+            self.counters.bump("protocol_errors")
+            return error_frame(str(exc))
+        try:
+            if isinstance(frame, OpenFrame):
+                return await self._handle_open(frame)
+            if isinstance(frame, FeedFrame):
+                return await self._handle_feed(frame)
+            if isinstance(frame, CloseFrame):
+                return await self._handle_close(frame)
+            return await self._handle_stats(frame)
+        except ProtocolError as exc:
+            self.counters.bump("protocol_errors")
+            return error_frame(str(exc))
+        except (KeyError, ValueError, RuntimeError) as exc:
+            self.counters.bump("errors")
+            message = exc.args[0] if exc.args else str(exc)
+            return error_frame(str(message))
+
+    async def _handle_open(self, frame: OpenFrame) -> dict:
+        self.counters.bump("opens")
+        if len(self.pool) >= self.config.max_sessions:
+            self.counters.bump("rejected_sessions")
+            return error_frame(
+                f"server full: {self.config.max_sessions} live sessions"
+            )
+        if frame.width > self.config.max_width:
+            self.counters.bump("rejected_sessions")
+            return error_frame(
+                f"open.width {frame.width} exceeds the server limit "
+                f"{self.config.max_width}"
+            )
+        history = max(
+            int(frame.params.get("memory", 0) or 0),
+            int(frame.params.get("k", 0) or 0),
+        )
+        if history > self.config.max_history:
+            self.counters.bump("rejected_sessions")
+            return error_frame(
+                f"policy history {history} exceeds the server limit "
+                f"{self.config.max_history}"
+            )
+        scheduler = policy_from_spec(frame.policy, frame.w, frame.params)
+        universe = SwitchUniverse.of_size(frame.width)
+        loop = asyncio.get_running_loop()
+        sid = await loop.run_in_executor(
+            self._executor,
+            lambda: self.pool.open(
+                scheduler, universe, frame.w, session_id=frame.session
+            ),
+        )
+        shard = self.pool.shard_of(sid)
+        with self._sessions_lock:
+            self._sessions[sid] = (frame.width, shard)
+        return ok_frame("open", session=sid, shard=shard)
+
+    async def _handle_feed(self, frame: FeedFrame) -> dict:
+        self.counters.bump("feeds")
+        with self._sessions_lock:
+            if frame.session not in self._sessions:
+                raise KeyError(f"unknown session id {frame.session!r}")
+            width, shard = self._sessions[frame.session]
+        lanes = decode_mask_chunk(
+            frame.masks, frame.count, width, encoding=frame.encoding
+        )
+        future = asyncio.get_running_loop().create_future()
+        await self._queues[shard].put(
+            _Job(kind="feed", session=frame.session, lanes=lanes, future=future)
+        )
+        summary = await future
+        return ok_frame(
+            "feed",
+            session=frame.session,
+            start=summary.start,
+            steps=summary.steps,
+            hypers=summary.hypers,
+            cost=summary.cost,
+            cumulative_cost=summary.cumulative_cost,
+        )
+
+    async def _handle_close(self, frame: CloseFrame) -> dict:
+        self.counters.bump("closes")
+        with self._sessions_lock:
+            if frame.session not in self._sessions:
+                raise KeyError(f"unknown session id {frame.session!r}")
+            _width, shard = self._sessions[frame.session]
+        future = asyncio.get_running_loop().create_future()
+        await self._queues[shard].put(
+            _Job(kind="close", session=frame.session, future=future)
+        )
+        run = await future
+        with self._sessions_lock:
+            self._sessions.pop(frame.session, None)
+        return ok_frame(
+            "close",
+            session=frame.session,
+            solver=run.solver,
+            steps=run.schedule.n,
+            hypers=run.schedule.r,
+            cost=run.cost,
+        )
+
+    async def _handle_stats(self, _frame: StatsFrame) -> dict:
+        self.counters.bump("stats_calls")
+        loop = asyncio.get_running_loop()
+        pool_stats = await loop.run_in_executor(self._executor, self.pool.stats)
+        return ok_frame(
+            "stats", server=self.counters.snapshot(), **pool_stats
+        )
+
+    # -- stdin mode --------------------------------------------------------
+
+    async def serve_stdin(self) -> None:
+        """Speak the frame protocol over stdin/stdout (POSIX pipes).
+
+        The same handler as TCP connections — ``repro serve --stdin``
+        turns any line-oriented parent process into a client.
+        """
+        import sys
+
+        loop = asyncio.get_running_loop()
+        reader = asyncio.StreamReader(limit=MAX_FRAME_BYTES + 2)
+        await loop.connect_read_pipe(
+            lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
+        )
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                self.counters.bump("protocol_errors")
+                sys.stdout.write(
+                    encode_frame(error_frame(
+                        f"frame exceeds {MAX_FRAME_BYTES} bytes"
+                    )).decode()
+                )
+                sys.stdout.flush()
+                break
+            if not line:
+                break
+            if not line.strip():
+                continue
+            self.counters.bump("frames")
+            reply = await self._handle_line(line)
+            sys.stdout.write(encode_frame(reply).decode())
+            sys.stdout.flush()
+
+
+class ServerThread:
+    """A :class:`StreamServer` on a background thread with its own loop.
+
+    The synchronous harness tests, the load generator and the
+    ``serve-bench`` CLI all need a live loopback server without turning
+    themselves into asyncio programs::
+
+        with ServerThread(ServeConfig(shards=4)) as host_port:
+            client = ServeClient(*host_port)
+            ...
+    """
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config if config is not None else ServeConfig()
+        self.server: StreamServer | None = None
+        self._started = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="serve-thread", daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - startup failure
+            self._error = exc
+            self._started.set()
+
+    async def _main(self) -> None:
+        self.server = StreamServer(self.config)
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.server.start()
+        self._started.set()
+        await self._stop.wait()
+        await self.server.stop()
+
+    def start(self) -> tuple[str, int]:
+        """Start the thread; block until the listener is bound."""
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._error is not None:
+            raise self._error
+        if self.server is None or self.server._server is None:
+            raise RuntimeError("server failed to start")
+        return self.server.address
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

@@ -1,0 +1,528 @@
+"""Sharded session pools: many :class:`StreamHub` workers under one roof.
+
+A single :class:`~repro.engine.stream.StreamHub` advances sessions back
+to back in one thread.  Sessions are independent, so the serving layer
+hash-partitions them across a pool of *shards*, each wrapping one hub:
+
+* **thread shards** (default) keep every hub in-process behind a lock;
+  NumPy releases the GIL on large lane chunks, so concurrent
+  ``feed_many`` calls across shards overlap on multicore machines with
+  zero serialization cost;
+* **process shards** (``procs=True``) give each hub its own
+  interpreter — true parallelism for Python-bound workloads.  Lane
+  chunks cross the process boundary pickled, or — above the same
+  threshold the batch engine uses — through one
+  :mod:`multiprocessing.shared_memory` segment per drain cycle
+  (the existing zero-copy fan-out, reused; both sides of the trade
+  land in the pool metrics as bytes shipped vs. shared).
+
+Placement is **decision-free**: a session's shard is
+``crc32(session_id) % shards`` (stable across runs and processes), and
+every session runs its own independent cursor state, so per-session
+costs are bit-identical no matter how many shards serve the fleet —
+``tests/test_serve_shard.py`` pins a pool of any shape against a single
+hub.  Aggregate accounting (sessions, steps, hypers, wall time) is
+recorded parent-side into one shared
+:class:`~repro.engine.metrics.EngineMetrics`, so the operator report
+looks the same whether the fleet runs on one hub or sixteen shards.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import threading
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from itertools import count
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.switches import SwitchUniverse
+from repro.engine.batch import SHARED_LANES_MIN_BYTES, _attach_shared
+from repro.engine.metrics import EngineMetrics
+from repro.engine.stream import StreamBatch, StreamHub
+from repro.solvers.online import OnlineRun
+
+__all__ = ["BatchSummary", "ShardPool", "shard_index"]
+
+
+def shard_index(session_id: str, shards: int) -> int:
+    """Stable hash placement (``hash()`` is salted per process; crc32
+    is not, so placement survives restarts and crosses processes)."""
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    return zlib.crc32(session_id.encode()) % shards
+
+
+@dataclass(frozen=True)
+class BatchSummary:
+    """Wire-sized view of one :class:`StreamBatch` (no per-step arrays;
+    what a reply frame or a cross-process pipe actually needs)."""
+
+    start: int
+    steps: int
+    hypers: int
+    cost: float
+    cumulative_cost: float
+
+
+def _summarize(batch: StreamBatch) -> BatchSummary:
+    return BatchSummary(
+        start=batch.start,
+        steps=batch.steps,
+        hypers=batch.hypers,
+        cost=batch.cost,
+        cumulative_cost=batch.cumulative_cost,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory lane transport (process shards)
+# ---------------------------------------------------------------------------
+
+
+class _SharedChunks:
+    """One drain cycle's lane chunks in a single shared segment.
+
+    Pickles as the segment name plus per-session (offset, shape)
+    descriptors; the worker maps the segment once and slices per-session
+    views (sessions copy what they keep, so the parent may unlink as
+    soon as the feed call returns).
+    """
+
+    __slots__ = ("name", "layout")
+
+    def __init__(self, name: str, layout):
+        self.name = name
+        self.layout = layout  # [(sid, offset_bytes, C, L)]
+
+    @classmethod
+    def publish(cls, chunks: dict[str, np.ndarray]):
+        """Copy the chunks into a fresh segment; returns (handle, shm)."""
+        total = sum(lanes.nbytes for lanes in chunks.values())
+        shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+        layout = []
+        offset = 0
+        for sid, lanes in chunks.items():
+            C, L = lanes.shape
+            view = np.ndarray((C, L), dtype=np.uint64, buffer=shm.buf,
+                              offset=offset)
+            view[:] = lanes
+            layout.append((sid, offset, C, L))
+            offset += lanes.nbytes
+        return cls(shm.name, layout), shm
+
+    def materialize(self):
+        """Worker side: map the segment, slice per-session views."""
+        shm = _attach_shared(self.name)
+        chunks = {
+            sid: np.ndarray((C, L), dtype=np.uint64, buffer=shm.buf,
+                            offset=offset)
+            for sid, offset, C, L in self.layout
+        }
+        return chunks, shm
+
+
+# ---------------------------------------------------------------------------
+# Shard workers
+# ---------------------------------------------------------------------------
+
+
+class _ThreadShard:
+    """One in-process hub behind a lock (drainers and CLI paths may
+    touch different shards concurrently, never one shard twice)."""
+
+    kind = "thread"
+
+    def __init__(self):
+        # The shard hub keeps its own private metrics (the pool
+        # aggregates parent-side so thread and process shards report
+        # identically) and drops finished runs — a serving process
+        # closing sessions forever must not retain them.
+        self.hub = StreamHub(metrics=EngineMetrics(), retain_runs=False)
+        self.lock = threading.Lock()
+
+    def open(self, scheduler, universe, w, session_id):
+        with self.lock:
+            return self.hub.open(
+                scheduler, universe, w, session_id=session_id
+            )
+
+    def feed_many(self, chunks) -> dict[str, BatchSummary]:
+        with self.lock:
+            batches = self.hub.feed_many(chunks)
+        return {sid: _summarize(batch) for sid, batch in batches.items()}
+
+    def finish(self, session_id) -> OnlineRun:
+        with self.lock:
+            return self.hub.finish(session_id)
+
+    def close(self):
+        pass
+
+
+def _shard_worker(conn):  # pragma: no cover - exercised in a child process
+    """Process-shard main loop: one hub, commands over a pipe."""
+    hub = StreamHub(metrics=EngineMetrics(), retain_runs=False)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = msg[0]
+        try:
+            if op == "open":
+                _op, scheduler, universe, w, session_id = msg
+                conn.send(("ok", hub.open(
+                    scheduler, universe, w, session_id=session_id
+                )))
+            elif op == "feed_many":
+                chunks = msg[1]
+                shm = None
+                if isinstance(chunks, _SharedChunks):
+                    chunks, shm = chunks.materialize()
+                try:
+                    batches = hub.feed_many(chunks)
+                finally:
+                    if shm is not None:
+                        shm.close()
+                conn.send(("ok", {
+                    sid: _summarize(batch) for sid, batch in batches.items()
+                }))
+            elif op == "finish":
+                conn.send(("ok", hub.finish(msg[1])))
+            elif op == "stop":
+                conn.send(("ok", None))
+                break
+            else:
+                conn.send(("err", "ValueError", f"unknown shard op {op!r}"))
+        except Exception as exc:  # noqa: BLE001 - process boundary
+            conn.send(("err", type(exc).__name__, str(exc)))
+    conn.close()
+
+
+_ERROR_TYPES = {
+    "ValueError": ValueError,
+    "KeyError": KeyError,
+    "RuntimeError": RuntimeError,
+}
+
+
+class _ProcShard:
+    """One hub in a child process, commands over a duplex pipe."""
+
+    kind = "proc"
+
+    def __init__(self):
+        parent, child = multiprocessing.Pipe()
+        self._conn = parent
+        self._proc = multiprocessing.Process(
+            target=_shard_worker, args=(child,), daemon=True
+        )
+        self._proc.start()
+        child.close()
+        self.lock = threading.Lock()
+
+    def _call(self, *msg):
+        with self.lock:
+            self._conn.send(msg)
+            reply = self._conn.recv()
+        if reply[0] == "ok":
+            return reply[1]
+        _tag, name, text = reply
+        raise _ERROR_TYPES.get(name, RuntimeError)(text)
+
+    def open(self, scheduler, universe, w, session_id):
+        return self._call("open", scheduler, universe, w, session_id)
+
+    def feed_many(self, chunks) -> dict[str, BatchSummary]:
+        return self._call("feed_many", chunks)
+
+    def finish(self, session_id) -> OnlineRun:
+        return self._call("finish", session_id)
+
+    def close(self):
+        with self.lock:
+            if self._proc.is_alive():
+                try:
+                    self._conn.send(("stop",))
+                    self._conn.recv()
+                except (BrokenPipeError, EOFError, OSError):
+                    pass
+            self._conn.close()
+        self._proc.join(timeout=5)
+        if self._proc.is_alive():  # pragma: no cover - stuck worker
+            self._proc.terminate()
+            self._proc.join(timeout=5)
+
+
+# ---------------------------------------------------------------------------
+# The pool
+# ---------------------------------------------------------------------------
+
+
+class ShardPool:
+    """Sessions hash-partitioned across a pool of hub shards.
+
+    The drop-in sharded counterpart of a single
+    :class:`~repro.engine.stream.StreamHub`: ``open`` / ``feed_many`` /
+    ``finish`` keep their shapes, chunks are partitioned by the owning
+    shard and advanced concurrently (one executor worker per shard),
+    and per-session results are bit-identical to the single-hub replay
+    regardless of ``shards``/``procs``.
+
+    Parameters
+    ----------
+    shards:
+        Number of hub workers.
+    procs:
+        ``True`` runs each shard in its own process (pipes + optional
+        shared-memory lane transport); default is in-process threads.
+    metrics:
+        Parent-side :class:`EngineMetrics` all aggregate streaming
+        counters land in (created when omitted).
+    shared_lanes:
+        Process-shard lane transport: ``True`` always ships drain
+        cycles through shared memory, ``False`` always pickles,
+        ``None`` (auto) shares cycles of at least
+        :data:`~repro.engine.batch.SHARED_LANES_MIN_BYTES`.
+    """
+
+    def __init__(
+        self,
+        shards: int = 1,
+        *,
+        procs: bool = False,
+        metrics: EngineMetrics | None = None,
+        shared_lanes: bool | None = None,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        self.shards = shards
+        self.procs = procs
+        self.shared_lanes = shared_lanes
+        self.metrics = metrics if metrics is not None else EngineMetrics()
+        self._shards = [
+            _ProcShard() if procs else _ThreadShard() for _ in range(shards)
+        ]
+        self._executor = ThreadPoolExecutor(
+            max_workers=shards, thread_name_prefix="shard"
+        )
+        self._placement: dict[str, int] = {}  # live session -> shard
+        self._auto_id = count()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._placement)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._placement
+
+    def session_ids(self) -> tuple[str, ...]:
+        return tuple(self._placement)
+
+    def shard_of(self, session_id: str) -> int:
+        """The shard serving a live session."""
+        try:
+            return self._placement[session_id]
+        except KeyError:
+            raise KeyError(f"unknown session id {session_id!r}") from None
+
+    # -- session management ------------------------------------------------
+
+    def open(
+        self,
+        scheduler,
+        universe: SwitchUniverse,
+        w: float,
+        *,
+        session_id: str | None = None,
+    ) -> str:
+        """Open a session on its hash-placed shard; returns the id.
+
+        Unlike a retaining :class:`StreamHub`, closed ids become
+        reusable immediately — a serving process sees the same user
+        reconnect, and reserving every closed id forever would grow
+        without bound.
+        """
+        with self._lock:
+            if session_id is None:
+                session_id = f"s{next(self._auto_id)}"
+                while session_id in self._placement:
+                    session_id = f"s{next(self._auto_id)}"
+            elif session_id in self._placement:
+                raise ValueError(f"session id {session_id!r} already in use")
+            shard = shard_index(session_id, self.shards)
+            # Reserve before the (possibly cross-process) open so two
+            # racing opens of one id cannot both reach the shard.
+            self._placement[session_id] = shard
+        try:
+            self._shards[shard].open(scheduler, universe, w, session_id)
+        except BaseException:
+            with self._lock:
+                self._placement.pop(session_id, None)
+            raise
+        self.metrics.record_stream_open()
+        return session_id
+
+    # -- serving -----------------------------------------------------------
+
+    def feed_shard(
+        self, shard: int, chunks: dict[str, np.ndarray]
+    ) -> dict[str, BatchSummary]:
+        """Advance one shard by one batched drain cycle.
+
+        ``chunks`` must all belong to ``shard`` (the server's per-shard
+        queues guarantee it; :meth:`feed_many` partitions for you).
+        The whole cycle crosses to a process shard as a single message —
+        pickled, or through one shared-memory segment when the lane
+        bytes clear the batch engine's threshold.
+        """
+        if not chunks:
+            return {}
+        start = time.perf_counter()
+        out = self._feed_shard(shard, chunks)
+        self.metrics.record_stream(
+            steps=sum(s.steps for s in out.values()),
+            hypers=sum(s.hypers for s in out.values()),
+            seconds=time.perf_counter() - start,
+        )
+        return out
+
+    def _feed_shard(self, shard, chunks) -> dict[str, BatchSummary]:
+        """One shard drain cycle, no metrics (callers time themselves)."""
+        worker = self._shards[shard]
+        payload = chunks
+        shm = None
+        if worker.kind == "proc":
+            payload, shm = self._pack_cycle(chunks)
+        try:
+            return worker.feed_many(payload)
+        finally:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+
+    def _pack_cycle(self, chunks):
+        """Pick the pipe payload for one process-shard drain cycle."""
+        lane_chunks = {
+            sid: np.ascontiguousarray(lanes, dtype=np.uint64)
+            for sid, lanes in chunks.items()
+            if isinstance(lanes, np.ndarray) and lanes.ndim == 2
+        }
+        if len(lane_chunks) != len(chunks):
+            # Mixed mask-list input: pickle the lot (CLI convenience
+            # path; the server always feeds decoded lanes).
+            return chunks, None
+        nbytes = sum(lanes.nbytes for lanes in lane_chunks.values())
+        share = (
+            self.shared_lanes
+            if self.shared_lanes is not None
+            else nbytes >= SHARED_LANES_MIN_BYTES
+        )
+        if not share:
+            self.metrics.record_shipment(shipped=nbytes)
+            return lane_chunks, None
+        try:
+            handle, shm = _SharedChunks.publish(lane_chunks)
+        except Exception:  # pragma: no cover - no /dev/shm etc.
+            self.metrics.record_shipment(shipped=nbytes)
+            return lane_chunks, None
+        self.metrics.record_shipment(
+            shipped=len(pickle.dumps(handle, pickle.HIGHEST_PROTOCOL)),
+            shared=nbytes,
+        )
+        return handle, shm
+
+    def feed_many(self, chunks) -> dict[str, BatchSummary]:
+        """Serve one chunk per session, shards advanced concurrently.
+
+        The cycle's *wall* time (not the sum of per-shard busy times)
+        lands in the metrics, so the steps/s row reflects what
+        sharding actually buys.
+        """
+        per_shard: dict[int, dict[str, object]] = {}
+        for sid, masks in chunks.items():
+            per_shard.setdefault(self.shard_of(sid), {})[sid] = masks
+        if not per_shard:
+            return {}
+        start = time.perf_counter()
+        if len(per_shard) == 1:
+            ((shard, shard_chunks),) = per_shard.items()
+            out = self._feed_shard(shard, shard_chunks)
+        else:
+            futures = [
+                self._executor.submit(self._feed_shard, shard, shard_chunks)
+                for shard, shard_chunks in per_shard.items()
+            ]
+            out = {}
+            for future in futures:
+                out.update(future.result())
+        self.metrics.record_stream(
+            steps=sum(s.steps for s in out.values()),
+            hypers=sum(s.hypers for s in out.values()),
+            seconds=time.perf_counter() - start,
+        )
+        return out
+
+    # -- closing -----------------------------------------------------------
+
+    def finish(self, session_id: str) -> OnlineRun:
+        """Close one session (validated); the id becomes reusable."""
+        shard = self.shard_of(session_id)
+        run = self._shards[shard].finish(session_id)
+        with self._lock:
+            self._placement.pop(session_id, None)
+        return run
+
+    def finish_all(self) -> dict[str, OnlineRun]:
+        """Close every live session; returns id → validated run."""
+        return {sid: self.finish(sid) for sid in self.session_ids()}
+
+    def stats(self) -> dict:
+        """Aggregate snapshot: engine counters plus per-shard occupancy."""
+        with self._lock:
+            occupancy = [0] * self.shards
+            for shard in self._placement.values():
+                occupancy[shard] += 1
+        return {
+            "engine": self.metrics.snapshot(),
+            "shards": [
+                {
+                    "shard": i,
+                    "kind": self._shards[i].kind,
+                    "sessions": occupancy[i],
+                }
+                for i in range(self.shards)
+            ],
+            "sessions": sum(occupancy),
+        }
+
+    def close(self) -> None:
+        """Tear down shard workers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=True)
+        for shard in self._shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardPool(shards={self.shards}, "
+            f"kind={'proc' if self.procs else 'thread'}, "
+            f"live={len(self._placement)})"
+        )

@@ -258,6 +258,7 @@ class _BatchedRentOrBuyCursor:
         "alpha",
         "memory",
         "stream",
+        "multi_trigger_hits",
         "_cur",
         "_cur_size",
         "_served",
@@ -285,6 +286,10 @@ class _BatchedRentOrBuyCursor:
         self._cur_size = 0
         self._served = np.zeros(L, dtype=np.uint64)
         self._regret = 0.0
+        #: Triggers resolved by the multi-trigger fast path (hectic
+        #: streams resolve several misfits per sweep window without
+        #: recomputing the prefix-union/popcount/cumsum passes).
+        self.multi_trigger_hits = 0
 
     @property
     def current(self) -> int:
@@ -348,6 +353,65 @@ class _BatchedRentOrBuyCursor:
             installed.append(ws)
             sizes[t] = cur_size
             pos = t + 1
+            # Multi-trigger sweep: on hectic streams the next trigger
+            # is usually another *misfit* a handful of steps ahead, and
+            # recomputing the three-pass prefix-union sweep over the
+            # whole scan window per segment is what makes short
+            # segments amortize poorly.  After an install the regret
+            # restarts from zero, so the next misfit (one AND-any pass
+            # over the remaining window) resolves immediately while the
+            # regret term is *quiescent*: each post-install addend is
+            # bounded by |cur| − |req[t]| (the served union only grows
+            # from req[t]), so ``gap`` misfit-free steps accrue at most
+            # gap·(|cur| − |req[t]|).  When that O(1) bound cannot rule
+            # a regret trigger out, the regret is swept exactly — but
+            # only over the ``gap`` rows, not the whole window.  Both
+            # checks are exact-or-conservative, never optimistic, so
+            # decisions stay bit-identical to the scalar oracle; only
+            # the trailing no-misfit stretch of a window falls back to
+            # the outer full sweep (which also carries served/regret
+            # state across windows and chunks).
+            while pos < stop:
+                mis = (lanes[pos:stop] & ncur).any(axis=1)
+                nh = int(mis.argmax())
+                if not mis[nh]:
+                    break  # no misfit left: the next trigger (if any)
+                    # needs the full continuation sweep
+                t = pos + nh
+                # Quiescence ladder, cheapest first: gap·|cur| already
+                # rules most regret triggers out for free; the tighter
+                # gap·(|cur| − |served|) bound costs one popcount; only
+                # when both fail is the regret swept exactly — over the
+                # gap rows, not the window.
+                if nh and nh * cur_size > threshold:
+                    served_size = int(
+                        popcount_u64(served).sum(dtype=np.int64)
+                    )
+                    if nh * (cur_size - served_size) > threshold:
+                        # Exact regret over the gap: does it fire first?
+                        acc = np.bitwise_or.accumulate(
+                            lanes[pos:t], axis=0
+                        )
+                        np.bitwise_or(acc, served, out=acc)
+                        pc = popcount_u64(acc).sum(axis=1, dtype=np.int64)
+                        csum = np.cumsum(cur_size - pc, dtype=np.float64)
+                        rtrig = csum > threshold
+                        rh = int(rtrig.argmax())
+                        if rtrig[rh]:
+                            t = pos + rh
+                sizes[pos:t] = cur_size
+                lo = max(0, off + t - (self.memory - 1))
+                ws = np.bitwise_or.reduce(ext[lo : off + t + 1], axis=0)
+                cur = ws
+                ncur = ~cur
+                cur_size = int(popcount_u64(ws).sum(dtype=np.int64))
+                served = lanes[t].copy()
+                regret = 0.0
+                hyper[t] = True
+                installed.append(ws)
+                sizes[t] = cur_size
+                self.multi_trigger_hits += 1
+                pos = t + 1
         self._cur, self._cur_size = cur, cur_size
         self._served, self._regret = served, regret
         if installed:

@@ -1,0 +1,208 @@
+"""Shard-pool suite: placement independence, lifecycle, transports.
+
+The load-bearing property: a session's served decisions and costs
+depend only on its own policy cursor, never on which shard (thread or
+process) runs it or how sessions are partitioned — every pool shape
+must equal the single-threaded :class:`StreamHub` replay bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.packed import masks_to_lanes
+from repro.core.switches import SwitchUniverse
+from repro.engine.stream import StreamHub
+from repro.serve.loadgen import drifting_masks
+from repro.serve.shard import ShardPool, shard_index
+from repro.solvers.online import RentOrBuyScheduler, WindowScheduler
+
+WIDTH = 96
+W = float(WIDTH)
+
+
+def _scheduler(s: int):
+    return (
+        RentOrBuyScheduler(W, alpha=1.0, memory=4)
+        if s % 2 == 0
+        else WindowScheduler(k=7)
+    )
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """12 sessions with phased traces plus their single-hub oracle."""
+    universe = SwitchUniverse.of_size(WIDTH)
+    traces = {
+        f"user-{s}": drifting_masks(WIDTH, 240, seed=s, phase=40)
+        for s in range(12)
+    }
+    hub = StreamHub()
+    for s, (sid, masks) in enumerate(traces.items()):
+        hub.open(_scheduler(s), universe, W, session_id=sid)
+        hub.feed_many({sid: masks})
+    runs = hub.finish_all()
+    oracle = {
+        sid: (run.cost, run.schedule.hyper_steps, run.schedule.explicit_masks)
+        for sid, run in runs.items()
+    }
+    return universe, traces, oracle
+
+
+class TestPlacementIndependence:
+    @pytest.mark.parametrize(
+        ("shards", "procs"), [(1, False), (3, False), (5, False), (3, True)]
+    )
+    def test_pool_equals_single_hub(self, fleet, shards, procs):
+        universe, traces, oracle = fleet
+        pool = ShardPool(shards, procs=procs)
+        try:
+            for s, sid in enumerate(traces):
+                pool.open(_scheduler(s), universe, W, session_id=sid)
+            assert len(pool) == len(traces)
+            pos = 0
+            while pos < 240:
+                chunks = {
+                    sid: masks_to_lanes(masks[pos : pos + 50], WIDTH)
+                    for sid, masks in traces.items()
+                }
+                out = pool.feed_many(chunks)
+                assert set(out) == set(traces)
+                pos += 50
+            runs = pool.finish_all()
+        finally:
+            pool.close()
+        for sid in traces:
+            cost, hyper_steps, explicit = oracle[sid]
+            assert runs[sid].cost == cost
+            assert runs[sid].schedule.hyper_steps == hyper_steps
+            assert runs[sid].schedule.explicit_masks == explicit
+
+    def test_cumulative_summaries_match_oracle_totals(self, fleet):
+        universe, traces, oracle = fleet
+        with ShardPool(4) as pool:
+            for s, sid in enumerate(traces):
+                pool.open(_scheduler(s), universe, W, session_id=sid)
+            last = {}
+            pos = 0
+            while pos < 240:
+                out = pool.feed_many(
+                    {sid: m[pos : pos + 60] for sid, m in traces.items()}
+                )
+                last = {sid: b.cumulative_cost for sid, b in out.items()}
+                pos += 60
+            for sid, cum in last.items():
+                assert cum == oracle[sid][0]
+            pool.finish_all()
+
+
+class TestPlacementAndLifecycle:
+    def test_shard_index_stable_and_in_range(self):
+        for shards in (1, 2, 7):
+            for sid in ("a", "user-42", "Σsession"):
+                i = shard_index(sid, shards)
+                assert 0 <= i < shards
+                assert i == shard_index(sid, shards)  # deterministic
+        with pytest.raises(ValueError):
+            shard_index("x", 0)
+
+    def test_session_lifecycle_and_errors(self):
+        universe = SwitchUniverse.of_size(16)
+        with ShardPool(2) as pool:
+            sid = pool.open(WindowScheduler(k=2), universe, 4.0)
+            assert sid in pool
+            assert pool.shard_of(sid) == shard_index(sid, 2)
+            with pytest.raises(ValueError):
+                pool.open(WindowScheduler(k=2), universe, 4.0, session_id=sid)
+            pool.feed_many({sid: [3, 1, 2]})
+            run = pool.finish(sid)
+            assert run.schedule.n == 3
+            assert sid not in pool
+            with pytest.raises(KeyError):
+                pool.feed_many({sid: [1]})
+            with pytest.raises(KeyError):
+                pool.finish(sid)
+            # service semantics: a closed id is immediately reusable
+            # (the same user reconnects), and the shard retains nothing
+            # from the finished run.
+            again = pool.open(
+                WindowScheduler(k=2), universe, 4.0, session_id=sid
+            )
+            assert again == sid
+            pool.feed_many({sid: [1]})
+            assert pool.finish(sid).schedule.n == 1
+
+    def test_proc_shard_errors_cross_the_pipe(self):
+        universe = SwitchUniverse.of_size(8)
+        with ShardPool(2, procs=True) as pool:
+            sid = pool.open(WindowScheduler(k=2), universe, 2.0)
+            with pytest.raises(ValueError):
+                pool.open(WindowScheduler(k=2), universe, 2.0, session_id=sid)
+            with pytest.raises(ValueError):
+                # mask outside the 8-switch universe
+                pool.feed_many({sid: [1 << 20]})
+            pool.finish(sid)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardPool(0)
+
+    def test_metrics_aggregate_parent_side(self):
+        universe = SwitchUniverse.of_size(WIDTH)
+        with ShardPool(3) as pool:
+            sids = [
+                pool.open(RentOrBuyScheduler(W), universe, W)
+                for _ in range(6)
+            ]
+            masks = drifting_masks(WIDTH, 120, seed=1)
+            pool.feed_many({sid: masks for sid in sids})
+            stats = pool.stats()
+            assert stats["engine"]["stream"]["sessions"] == 6
+            assert stats["engine"]["stream"]["steps"] == 6 * 120
+            assert stats["sessions"] == 6
+            assert sum(s["sessions"] for s in stats["shards"]) == 6
+            assert pool.metrics.stream_steps_per_s > 0
+            pool.finish_all()
+
+
+class TestProcShardTransport:
+    def test_shared_memory_cycles_equal_pickled_cycles(self):
+        """Forcing the shared-memory lane transport changes bytes, not
+        answers; the shipment metrics show both sides of the trade."""
+        universe = SwitchUniverse.of_size(WIDTH)
+        masks = drifting_masks(WIDTH, 400, seed=3)
+        lanes = masks_to_lanes(masks, WIDTH)
+        costs = {}
+        for label, shared in (("pickled", False), ("shared", True)):
+            with ShardPool(2, procs=True, shared_lanes=shared) as pool:
+                sids = [
+                    pool.open(RentOrBuyScheduler(W), universe, W)
+                    for _ in range(4)
+                ]
+                pool.feed_many({sid: lanes for sid in sids})
+                runs = pool.finish_all()
+                costs[label] = sorted(run.cost for run in runs.values())
+                snap = pool.metrics.snapshot()["packed"]
+                if shared:
+                    assert snap["bytes_shared"] == 4 * lanes.nbytes
+                    assert snap["bytes_shipped"] < snap["bytes_shared"]
+                else:
+                    assert snap["bytes_shared"] == 0
+                    assert snap["bytes_shipped"] == 4 * lanes.nbytes
+        assert costs["pickled"] == costs["shared"]
+
+    def test_auto_mode_shares_large_cycles_only(self):
+        from repro.engine.batch import SHARED_LANES_MIN_BYTES
+
+        universe = SwitchUniverse.of_size(WIDTH)
+        with ShardPool(1, procs=True) as pool:  # shared_lanes=None (auto)
+            sid = pool.open(RentOrBuyScheduler(W), universe, W)
+            small = masks_to_lanes(drifting_masks(WIDTH, 16, seed=0), WIDTH)
+            pool.feed_many({sid: small})
+            assert pool.metrics.packed_bytes_shared == 0
+            big_n = SHARED_LANES_MIN_BYTES // small.itemsize
+            big = masks_to_lanes(
+                drifting_masks(WIDTH, big_n, seed=1), WIDTH
+            )
+            pool.feed_many({sid: big})
+            assert pool.metrics.packed_bytes_shared >= SHARED_LANES_MIN_BYTES
+            pool.finish(sid)

@@ -138,6 +138,76 @@ class TestBatchedCursorEquivalence:
             _BatchedRentOrBuyCursor._SCAN_MIN = old_min
             _BatchedRentOrBuyCursor._SCAN_MAX = old_max
 
+    def test_hectic_stream_resolves_triggers_on_the_multi_trigger_path(self):
+        """A working-set drift every few steps makes misfits the
+        dominant trigger; most of them must resolve on the
+        multi-trigger fast path (no full-window sweep recompute) and
+        the decisions must still equal the scalar oracle exactly."""
+        width = 96
+        universe = SwitchUniverse.of_size(width)
+        rng = np.random.default_rng(23)
+        masks = []
+        working = 0xFFF
+        for i in range(3000):
+            if i % 25 == 0 and i:  # hectic: drift every 25 steps
+                working = ((working << 3) | (working >> 9)) & (
+                    (1 << width) - 1
+                )
+            row = 0
+            for b in range(width):
+                if (working >> b) & 1 and rng.random() < 0.75:
+                    row |= 1 << b
+            masks.append(row)
+        scheduler = RentOrBuyScheduler(float(width), alpha=2.0, memory=8)
+        scalar = StreamSession(
+            ScalarOnly(scheduler), universe, float(width)
+        )
+        for mask in masks:
+            scalar.feed(mask)
+        packed = StreamSession(scheduler, universe, float(width))
+        for lo in range(0, 3000, 512):
+            packed.feed_many(masks[lo : lo + 512])
+        assert packed.cost == scalar.cost
+        assert packed.hyper_count == scalar.hyper_count
+        run_packed, run_scalar = packed.finish(), scalar.finish()
+        assert (
+            run_packed.schedule.explicit_masks
+            == run_scalar.schedule.explicit_masks
+        )
+        hits = packed._batched.multi_trigger_hits
+        assert hits > packed.hyper_count // 2  # the fast path carries it
+
+    @settings(deadline=None, max_examples=40)
+    @given(stream_instances(max_n=80), st.data())
+    def test_multi_trigger_exact_gap_sweep_equivalence(self, instance, data):
+        """Tiny alpha·w thresholds force the multi-trigger extension
+        through its exact-gap regret sweep (the quiescence bounds
+        cannot clear them), which must stay bit-identical too."""
+        universe, masks, scheduler = instance
+        if not isinstance(scheduler, RentOrBuyScheduler):
+            scheduler = RentOrBuyScheduler(1.0, alpha=0.5, memory=3)
+        else:
+            scheduler = RentOrBuyScheduler(
+                1.0, alpha=0.5, memory=scheduler.memory
+            )
+        scalar = scheduler.cursor()
+        ref = []
+        for i, mask in enumerate(masks):
+            installed = scalar.step(i, mask)
+            ref.append(installed is not None)
+        lanes = masks_to_lanes(masks, universe.size)
+        batched = scheduler.batched_cursor(universe.size)
+        got = []
+        pos = 0
+        while pos < len(masks):
+            step = data.draw(st.integers(min_value=1, max_value=len(masks)))
+            batch = batched.step_many(lanes[pos : pos + step])
+            got.extend(bool(h) for h in batch.hyper)
+            pos += step
+        assert got == ref
+        if masks:
+            assert batched.current == scalar.current
+
     def test_long_calm_stream_crosses_default_sweep_bounds(self):
         """A 2000-step stream with rare working-set changes produces
         no-hyper segments longer than _SCAN_MIN, exercising the
@@ -403,6 +473,22 @@ class TestStreamHub:
         ses_b.feed_many(masks_b)
         assert runs[a].cost == ses_a.finish().cost
         assert runs[b].cost == ses_b.finish().cost
+
+    def test_retain_runs_off_frees_runs_and_ids(self):
+        """Service mode: finished runs go only to the caller, the id is
+        immediately reusable, and nothing accumulates in the hub."""
+        universe = SwitchUniverse.of_size(8)
+        hub = StreamHub(retain_runs=False)
+        for _round in range(3):
+            sid = hub.open(
+                WindowScheduler(k=2), universe, 3.0, session_id="user"
+            )
+            assert sid == "user"
+            hub.feed_many({sid: [1, 3]})
+            run = hub.finish(sid)
+            assert run.schedule.n == 2
+        assert hub.runs() == {}
+        assert hub.total_steps == 0  # no retained history, by design
 
     def test_session_lifecycle_and_errors(self):
         universe = SwitchUniverse.of_size(8)

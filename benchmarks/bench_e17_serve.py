@@ -24,6 +24,9 @@ import time
 
 from repro.core.packed import masks_to_lanes
 from repro.core.switches import SwitchUniverse
+from repro.engine.metrics import DETERMINISTIC_FAMILIES
+from repro.obs.histogram import Histogram
+from repro.serve.client import ServeClient
 from repro.serve.loadgen import drifting_masks, run_loadgen
 from repro.serve.server import ServeConfig, ServerThread
 from repro.serve.shard import ShardPool
@@ -137,6 +140,7 @@ def test_bench_serve_shard_scaling(benchmark, smoke):
 
     rows = []
     reference_costs = None
+    reference_hists = None
     proc_rates: dict[int, float] = {}
     for procs in (False, True):
         for shards in (1, 2, SCALING_SHARDS):
@@ -156,12 +160,21 @@ def test_bench_serve_shard_scaling(benchmark, smoke):
                     })
                 elapsed = time.perf_counter() - t0
                 runs = pool.finish_all()
+                merged = pool.merged_histograms()
             costs = {sid: run.cost for sid, run in runs.items()}
-            # Shard placement must never change an answer.
+            hists = {
+                name: merged[name].aggregate()
+                for name in DETERMINISTIC_FAMILIES
+            }
+            # Shard placement must never change an answer — nor a
+            # distribution: every pool shape's merged deterministic
+            # histograms are bit-identical to the 1-shard (single-hub)
+            # aggregates for the same traffic.
             if reference_costs is None:
-                reference_costs = costs
+                reference_costs, reference_hists = costs, hists
             else:
                 assert costs == reference_costs
+                assert hists == reference_hists
             total = sessions * per_session
             rate = total / elapsed
             if procs:
@@ -220,7 +233,21 @@ def test_bench_serve_loopback_requests(benchmark, smoke):
                 clients=clients,
                 verify=True,  # oracle equality on every session
             )
+            # Server-side view of the same traffic: merged drain-cycle
+            # histogram over all shards, scraped over the wire.
+            with ServeClient(host, port) as probe:
+                wire = probe.metrics()["histograms"]
+        drain = Histogram.from_wire_aggregate(
+            wire.get("drain_cycle_seconds")
+        )
         assert result.verified is True
+        # Client and server measure the same requests with the same
+        # histogram type; a drain cycle is a strict sub-interval of a
+        # feed round trip.
+        lat = result.latency
+        assert lat.count >= result.sessions
+        assert drain.count > 0
+        ms = 1e3
         rows.append([
             shards,
             result.sessions,
@@ -228,6 +255,10 @@ def test_bench_serve_loopback_requests(benchmark, smoke):
             round(result.wall_s, 2),
             f"{result.frames_per_s:,.0f}",
             f"{result.steps_per_s:,.0f}",
+            f"{lat.p50 * ms:.1f} / {lat.p95 * ms:.1f} "
+            f"/ {lat.p99 * ms:.1f}",
+            f"{drain.p50 * ms:.1f} / {drain.p95 * ms:.1f} "
+            f"/ {drain.p99 * ms:.1f}",
         ])
 
     def once():
@@ -240,7 +271,8 @@ def test_bench_serve_loopback_requests(benchmark, smoke):
 
     print()
     print(format_table(
-        ["shards", "sessions", "frames", "wall s", "frames/s", "steps/s"],
+        ["shards", "sessions", "frames", "wall s", "frames/s", "steps/s",
+         "client p50/p95/p99 ms", "drain p50/p95/p99 ms"],
         rows,
         title=f"E17: loopback serving, {clients} clients, "
               f"chunk={chunk} (costs verified vs single hub)",

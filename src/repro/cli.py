@@ -19,7 +19,13 @@ Subcommands cover the common workflows without writing Python:
   finite replays and live sockets share this code path;
 * ``repro serve`` — run the network serving process: asyncio TCP (or
   ``--stdin``) front door over the shard pool, speaking the framed
-  JSON protocol of :mod:`repro.serve.protocol`;
+  JSON protocol of :mod:`repro.serve.protocol`
+  (``--metrics-port`` exposes ``GET /metrics``, ``--stats-interval``
+  prints periodic telemetry, ``--slow-ms`` tunes the slow-request
+  log);
+* ``repro serve-stats`` — scrape a running server's metrics endpoint
+  (text, ``--json``, or ``--check`` which parses the exposition and
+  requires the core series);
 * ``repro serve-bench`` — loopback load generator: spin up (or connect
   to) a server, drive a synthetic session fleet through real client
   connections, print throughput and optionally verify per-session
@@ -436,6 +442,9 @@ def cmd_serve(args) -> int:
             max_sessions=args.max_sessions,
             max_chunk_steps=args.max_chunk,
             queue_depth=args.queue_depth,
+            metrics_port=args.metrics_port,
+            stats_interval=args.stats_interval,
+            slow_ms=args.slow_ms,
         )
     except ValueError as exc:
         print(exc, file=sys.stderr)
@@ -473,6 +482,10 @@ def cmd_serve(args) -> int:
                       f"({config.shards} "
                       f"{'proc' if config.shard_procs else 'thread'} "
                       f"shard(s))", file=sys.stderr)
+                if server.metrics_address is not None:
+                    mhost, mport = server.metrics_address
+                    print(f"metrics on http://{mhost}:{mport}/metrics",
+                          file=sys.stderr)
                 await stop.wait()  # until SIGTERM or KeyboardInterrupt
         finally:
             await server.stop()
@@ -482,6 +495,64 @@ def cmd_serve(args) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+#: exposition series every healthy server must emit (``serve-stats
+#: --check``): families are created eagerly, so these exist even on a
+#: freshly started, idle server.
+CORE_SERIES = (
+    "repro_uptime_seconds",
+    "repro_sessions",
+    "repro_server_opens_total",
+    "repro_server_feeds_total",
+    "repro_stream_steps_total",
+    "repro_feed_latency_seconds_count",
+    "repro_drain_cycle_seconds_count",
+    "repro_stream_chunk_steps_count",
+    "repro_session_cost_count",
+)
+
+
+def cmd_serve_stats(args) -> int:
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.expo import parse_exposition
+
+    path = "/metrics.json" if args.json else "/metrics"
+    url = f"http://{args.host}:{args.metrics_port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as resp:
+            body = resp.read().decode("utf-8")
+    except (urllib.error.URLError, OSError, TimeoutError) as exc:
+        print(f"scrape failed: {url}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        # Round-trip through json to fail loudly on a bad body.
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            print(f"bad JSON from {url}: {exc}", file=sys.stderr)
+            return 1
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
+    if args.check:
+        try:
+            series = parse_exposition(body)
+        except ValueError as exc:
+            print(f"exposition does not parse: {exc}", file=sys.stderr)
+            return 1
+        missing = [name for name in CORE_SERIES if name not in series]
+        if missing:
+            print("missing core series: " + ", ".join(missing),
+                  file=sys.stderr)
+            return 1
+        print(f"ok: {len(series)} series, all "
+              f"{len(CORE_SERIES)} core series present")
+        return 0
+    sys.stdout.write(body)
     return 0
 
 
@@ -502,6 +573,9 @@ def cmd_serve_bench(args) -> int:
         if args.policy == "rent_or_buy"
         else {"k": args.window}
     )
+    from repro.obs.histogram import Histogram
+    from repro.serve.client import ServeClient
+
     rows = []
     payload = []
     for shards in shard_counts:
@@ -523,6 +597,15 @@ def cmd_serve_bench(args) -> int:
                 clients=args.clients,
                 verify=args.verify,
             )
+            # Server-side view of the same traffic, over the wire:
+            # merged drain-cycle histogram across all shards.
+            with ServeClient(host, port) as probe:
+                wire = probe.metrics()["histograms"]
+        drain = Histogram.from_wire_aggregate(
+            wire.get("drain_cycle_seconds")
+        )
+        lat = result.latency
+        ms = 1e3
         rows.append([
             shards,
             result.sessions,
@@ -530,6 +613,9 @@ def cmd_serve_bench(args) -> int:
             round(result.wall_s, 2),
             f"{result.steps_per_s:,.0f}",
             f"{result.frames_per_s:,.0f}",
+            f"{lat.p50 * ms:.1f} / {lat.p95 * ms:.1f} / {lat.p99 * ms:.1f}",
+            f"{drain.p50 * ms:.1f} / {drain.p95 * ms:.1f} "
+            f"/ {drain.p99 * ms:.1f}",
             "yes" if result.verified else "-",
         ])
         payload.append({
@@ -539,6 +625,8 @@ def cmd_serve_bench(args) -> int:
             "wall_s": result.wall_s,
             "steps_per_s": result.steps_per_s,
             "frames_per_s": result.frames_per_s,
+            "client_latency": lat.snapshot(),
+            "server_drain": drain.snapshot(),
             "verified": result.verified,
         })
     if args.json:
@@ -548,7 +636,7 @@ def cmd_serve_bench(args) -> int:
     kind = "proc" if args.shard_procs else "thread"
     print(format_table(
         ["shards", "sessions", "steps", "wall s", "steps/s", "frames/s",
-         "verified"],
+         "client p50/p95/p99 ms", "drain p50/p95/p99 ms", "verified"],
         rows,
         title=f"serve-bench: loopback, {kind} shards, "
               f"{args.clients} client(s), chunk={args.chunk}, "
@@ -831,7 +919,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--stdin", action="store_true",
         help="speak the protocol over stdin/stdout instead of TCP",
     )
+    p_serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus text at http://HOST:PORT/metrics "
+             "(0 picks an ephemeral port; default: off)",
+    )
+    p_serve.add_argument(
+        "--stats-interval", type=float, default=None, metavar="SECONDS",
+        help="print a one-line telemetry report to stderr every "
+             "SECONDS (default: off)",
+    )
+    p_serve.add_argument(
+        "--slow-ms", type=float, default=100.0, metavar="MS",
+        help="slow-request log threshold in milliseconds "
+             "(0 disables; default: 100)",
+    )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_sstats = sub.add_parser(
+        "serve-stats",
+        help="scrape a running server's /metrics endpoint",
+    )
+    p_sstats.add_argument("--host", default="127.0.0.1")
+    p_sstats.add_argument(
+        "--metrics-port", type=int, required=True, metavar="PORT",
+        help="metrics port of the target server (its --metrics-port)",
+    )
+    p_sstats.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="HTTP timeout in seconds",
+    )
+    p_sstats.add_argument(
+        "--json", action="store_true",
+        help="fetch /metrics.json instead of the text exposition",
+    )
+    p_sstats.add_argument(
+        "--check", action="store_true",
+        help="parse the exposition and require the core series "
+             "(nonzero exit when any is missing)",
+    )
+    p_sstats.set_defaults(func=cmd_serve_stats)
 
     p_sbench = sub.add_parser(
         "serve-bench",

@@ -310,6 +310,9 @@ class BatchEngine:
         of re-pickling every mask per request.  Results are
         bit-identical; the ``mask interning`` metrics row reports the
         payload bytes saved.  ``False`` ships raw requests.
+    tracer:
+        Optional :class:`~repro.obs.trace.TraceRecorder`; one ``solve``
+        span per solved request (solver name, latency, error flag).
     """
 
     def __init__(
@@ -325,6 +328,7 @@ class BatchEngine:
         packed_cache_size: int = 128,
         shared_lanes: bool | None = None,
         intern_masks: bool = True,
+        tracer=None,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -338,6 +342,7 @@ class BatchEngine:
         self.chunk_size = chunk_size
         self.timeout = timeout
         self.metrics = metrics if metrics is not None else EngineMetrics()
+        self.tracer = tracer
         self.shared_lanes = shared_lanes
         self.intern_masks = intern_masks
         # Lane-packed compiles, keyed on the problem structure (solver
@@ -387,8 +392,15 @@ class BatchEngine:
 
             for i in to_solve:
                 value, error, timed_out, elapsed = solved[i]
+                if self.tracer is not None:
+                    self.tracer.record(
+                        "solve",
+                        duration=elapsed,
+                        solver=requests[i].solver,
+                        error=error is not None,
+                    )
                 if error is None:
-                    self.metrics.record_solve(elapsed)
+                    self.metrics.record_solve(elapsed, solver=requests[i].solver)
                     solver_stats = getattr(value, "stats", None)
                     if solver_stats:
                         self.metrics.record_evaluator_stats(solver_stats)

@@ -6,6 +6,17 @@ session) and accumulates everything an operator wants on one screen:
 request counts, error/timeout counts, solve-time totals, wall time of
 the batches, cache hit rate, and derived requests/second.  Counters are
 plain and lock-protected — cheap enough to leave on permanently.
+
+Distributions are log-bucketed :class:`~repro.obs.histogram.Histogram`
+families (p50/p95/p99, labeled by solver and shard).  The fixed bucket
+boundaries make snapshots mergeable: process shards ship
+:meth:`hist_wire` over their pipes and the pool folds them into one
+labeled view (see :meth:`~repro.serve.shard.ShardPool.merged_histograms`).
+The families over *deterministic* quantities — ``stream_chunk_steps``,
+``session_cost``, ``session_steps``, named in
+:data:`DETERMINISTIC_FAMILIES` — aggregate bit-identically across every
+pool shape; the wall-clock families (latencies, cycle durations) merge
+exactly too, but their observations are timing-dependent by nature.
 """
 
 from __future__ import annotations
@@ -16,47 +27,85 @@ from collections.abc import Mapping
 from contextlib import contextmanager
 
 from repro.engine.cache import CacheStats
+from repro.obs.histogram import TIME_SCHEME, Histogram, HistogramFamily
 from repro.util.texttable import format_table
 
-__all__ = ["EngineMetrics", "LatencyStats"]
+__all__ = [
+    "DETERMINISTIC_FAMILIES",
+    "EngineMetrics",
+    "HISTOGRAM_FAMILIES",
+    "LatencyStats",
+]
+
+#: Well-known histogram families: name -> (scheme, help, label names).
+HISTOGRAM_FAMILIES: dict[str, tuple[str, str, tuple[str, ...]]] = {
+    "solve_latency_seconds": (
+        "time", "Per-request one-shot solve latency", ("solver",)),
+    "feed_latency_seconds": (
+        "time", "Streaming feed call latency (per chunk batch)", ()),
+    "drain_cycle_seconds": (
+        "time", "Per-shard drain cycle duration", ("shard",)),
+    "stream_chunk_steps": (
+        "value", "Steps per per-session feed chunk", ()),
+    "session_cost": (
+        "value", "Final cost per closed streaming session", ("solver",)),
+    "session_steps": (
+        "value", "Total steps per closed streaming session", ("solver",)),
+}
+
+#: Families over deterministic quantities (no wall clock): a shard
+#: pool's aggregate of these must be bit-identical to a single hub's.
+DETERMINISTIC_FAMILIES: tuple[str, ...] = (
+    "stream_chunk_steps",
+    "session_cost",
+    "session_steps",
+)
 
 
-class LatencyStats:
-    """Streaming min/max/mean/total of per-request solve latencies."""
+class LatencyStats(Histogram):
+    """Solve-latency distribution: a time-scheme histogram with the
+    legacy seconds-suffixed snapshot keys.
 
-    __slots__ = ("count", "total", "min", "max")
+    The empty representation is canonical everywhere: ``min``/``max``
+    (and their snapshot keys) are ``0.0`` when ``count == 0`` — no more
+    ``inf`` leaking from ``snapshot()`` into ``format_table`` rows.
+    """
+
+    __slots__ = ()
 
     def __init__(self):
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = 0.0
-
-    def observe(self, seconds: float) -> None:
-        self.count += 1
-        self.total += seconds
-        self.min = min(self.min, seconds)
-        self.max = max(self.max, seconds)
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        super().__init__(TIME_SCHEME)
 
     def snapshot(self) -> dict:
         return {
             "count": self.count,
             "total_s": self.total,
             "mean_s": self.mean,
-            "min_s": self.min if self.count else 0.0,
+            "min_s": self.min,
             "max_s": self.max,
+            "p50_s": self.p50,
+            "p95_s": self.p95,
+            "p99_s": self.p99,
         }
 
 
 class EngineMetrics:
-    """Aggregated engine counters; all mutators are thread-safe."""
+    """Aggregated engine counters; all mutators are thread-safe.
 
-    def __init__(self):
+    ``histograms=False`` keeps every scalar counter but skips the
+    histogram observes — the measured-overhead baseline for
+    ``bench_e18_obs`` (the families still exist, empty, so snapshot
+    shape is stable).
+    """
+
+    def __init__(self, *, histograms: bool = True):
         self._lock = threading.Lock()
+        self.histograms_enabled = bool(histograms)
+        self.hist: dict[str, HistogramFamily] = {
+            name: HistogramFamily(name, scheme, help=help_text)
+            for name, (scheme, help_text, _labels) in
+            HISTOGRAM_FAMILIES.items()
+        }
         self.requests = 0
         self.solved = 0
         self.cache_hits = 0
@@ -76,6 +125,7 @@ class EngineMetrics:
         self.intern_bytes_before = 0
         self.intern_bytes_after = 0
         self.stream_sessions = 0
+        self.stream_closed = 0
         self.stream_steps = 0
         self.stream_hypers = 0
         self.stream_time = 0.0
@@ -88,10 +138,14 @@ class EngineMetrics:
             if cached:
                 self.cache_hits += 1
 
-    def record_solve(self, seconds: float) -> None:
+    def record_solve(self, seconds: float, *, solver: str | None = None) -> None:
         with self._lock:
             self.solved += 1
             self.latency.observe(seconds)
+            if self.histograms_enabled:
+                self.hist["solve_latency_seconds"].observe(
+                    seconds, **({"solver": solver} if solver else {})
+                )
 
     def record_error(self, *, timeout: bool = False) -> None:
         with self._lock:
@@ -163,13 +217,69 @@ class EngineMetrics:
             self.stream_sessions += 1
 
     def record_stream(
-        self, *, steps: int, hypers: int = 0, seconds: float = 0.0
+        self,
+        *,
+        steps: int,
+        hypers: int = 0,
+        seconds: float = 0.0,
+        chunk_steps=(),
+        drain_shard: int | None = None,
     ) -> None:
-        """Aggregate one streaming feed call (single step or chunk)."""
+        """Aggregate one streaming feed call (single step or chunk).
+
+        ``chunk_steps`` are the per-session step counts of the call —
+        a deterministic quantity, recorded where the work ran (the hub)
+        so shard-pool aggregates stay bit-identical to a single hub.
+        ``drain_shard`` marks the call as one shard drain cycle: the
+        latency lands in ``drain_cycle_seconds{shard=}`` instead of the
+        plain ``feed_latency_seconds``.
+        """
         with self._lock:
             self.stream_steps += int(steps)
             self.stream_hypers += int(hypers)
             self.stream_time += float(seconds)
+            if self.histograms_enabled:
+                if seconds:
+                    if drain_shard is None:
+                        self.hist["feed_latency_seconds"].observe(seconds)
+                    else:
+                        self.hist["drain_cycle_seconds"].observe(
+                            seconds, shard=str(drain_shard)
+                        )
+                if chunk_steps:
+                    fam = self.hist["stream_chunk_steps"]
+                    for n in chunk_steps:
+                        fam.observe(n)
+
+    def record_session_close(
+        self,
+        *,
+        solver: str | None = None,
+        cost: float | None = None,
+        steps: int | None = None,
+    ) -> None:
+        """Count one closed streaming session.
+
+        The worker that actually ran the session passes ``cost`` and
+        ``steps`` (deterministic, histogram-recorded); an aggregating
+        parent passes neither — it only bumps the counter, so the
+        merged deterministic families count every close exactly once.
+        """
+        with self._lock:
+            self.stream_closed += 1
+            if self.histograms_enabled and cost is not None:
+                label = {"solver": solver} if solver else {}
+                self.hist["session_cost"].observe(cost, **label)
+                if steps is not None:
+                    self.hist["session_steps"].observe(steps, **label)
+
+    def hist_wire(self, names=None) -> dict:
+        """Mergeable wire snapshots of the named histogram families
+        (all of them by default) — what process shards ship over their
+        pipes and :meth:`ShardPool.merged_histograms` folds together."""
+        with self._lock:
+            selected = tuple(names) if names is not None else tuple(self.hist)
+            return {name: self.hist[name].to_wire() for name in selected}
 
     @contextmanager
     def batch_timer(self):
@@ -184,33 +294,59 @@ class EngineMetrics:
                 self.wall_time += elapsed
 
     # -- derived -----------------------------------------------------------
+    #
+    # Public properties take the lock so a ratio never mixes counters
+    # from two different instants (a shard report racing a drain could
+    # otherwise pair a new numerator with an old denominator); the
+    # ``_``-prefixed forms are the lock-free bodies ``snapshot()``
+    # composes while already holding the lock.
+
+    def _throughput(self) -> float:
+        return self.requests / self.wall_time if self.wall_time else 0.0
+
+    def _cache_hit_rate(self) -> float:
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    def _delta_hit_rate(self) -> float:
+        total = self.delta_applies + self.delta_full_evals
+        return self.delta_applies / total if total else 0.0
+
+    def _stream_steps_per_s(self) -> float:
+        return self.stream_steps / self.stream_time if self.stream_time else 0.0
+
+    def _stream_hyper_rate(self) -> float:
+        return (
+            self.stream_hypers / self.stream_steps if self.stream_steps else 0.0
+        )
 
     @property
     def throughput(self) -> float:
         """Requests per second of batch wall time (0.0 when idle)."""
-        return self.requests / self.wall_time if self.wall_time else 0.0
+        with self._lock:
+            return self._throughput()
 
     @property
     def cache_hit_rate(self) -> float:
-        return self.cache_hits / self.requests if self.requests else 0.0
+        with self._lock:
+            return self._cache_hit_rate()
 
     @property
     def delta_hit_rate(self) -> float:
         """Fraction of cost evaluations served incrementally/batched."""
-        total = self.delta_applies + self.delta_full_evals
-        return self.delta_applies / total if total else 0.0
+        with self._lock:
+            return self._delta_hit_rate()
 
     @property
     def stream_steps_per_s(self) -> float:
         """Streaming steps per second of feed wall time (0.0 when idle)."""
-        return self.stream_steps / self.stream_time if self.stream_time else 0.0
+        with self._lock:
+            return self._stream_steps_per_s()
 
     @property
     def stream_hyper_rate(self) -> float:
         """Hyperreconfigurations per streamed step (0.0 when idle)."""
-        return (
-            self.stream_hypers / self.stream_steps if self.stream_steps else 0.0
-        )
+        with self._lock:
+            return self._stream_hyper_rate()
 
     def snapshot(self, cache: CacheStats | None = None) -> dict:
         with self._lock:
@@ -218,17 +354,17 @@ class EngineMetrics:
                 "requests": self.requests,
                 "solved": self.solved,
                 "cache_hits": self.cache_hits,
-                "cache_hit_rate": self.cache_hit_rate,
+                "cache_hit_rate": self._cache_hit_rate(),
                 "errors": self.errors,
                 "timeouts": self.timeouts,
                 "batches": self.batches,
                 "wall_time_s": self.wall_time,
-                "throughput_rps": self.throughput,
+                "throughput_rps": self._throughput(),
                 "latency": self.latency.snapshot(),
                 "delta": {
                     "applies": self.delta_applies,
                     "full_evals": self.delta_full_evals,
-                    "hit_rate": self.delta_hit_rate,
+                    "hit_rate": self._delta_hit_rate(),
                 },
                 "packed": {
                     "compiles": self.packed_compiles,
@@ -247,11 +383,15 @@ class EngineMetrics:
                 },
                 "stream": {
                     "sessions": self.stream_sessions,
+                    "closed": self.stream_closed,
                     "steps": self.stream_steps,
                     "hypers": self.stream_hypers,
                     "wall_time_s": self.stream_time,
-                    "steps_per_s": self.stream_steps_per_s,
-                    "hyper_rate": self.stream_hyper_rate,
+                    "steps_per_s": self._stream_steps_per_s(),
+                    "hyper_rate": self._stream_hyper_rate(),
+                },
+                "histograms": {
+                    name: fam.snapshot() for name, fam in self.hist.items()
                 },
             }
         if cache is not None:
@@ -282,6 +422,9 @@ class EngineMetrics:
             ["wall time", f"{snap['wall_time_s']:.3f} s"],
             ["throughput", f"{snap['throughput_rps']:.1f} req/s"],
             ["mean solve latency", f"{lat['mean_s'] * 1e3:.2f} ms"],
+            ["solve latency p50/p95/p99",
+             f"{lat['p50_s'] * 1e3:.2f} / {lat['p95_s'] * 1e3:.2f} / "
+             f"{lat['p99_s'] * 1e3:.2f} ms"],
             ["max solve latency", f"{lat['max_s'] * 1e3:.2f} ms"],
         ]
         delta = snap["delta"]
@@ -322,6 +465,13 @@ class EngineMetrics:
                 ["stream throughput",
                  f"{stream['steps_per_s']:.0f} steps/s"]
             )
+            feed = snap["histograms"]["feed_latency_seconds"]
+            if feed["count"]:
+                rows.append(
+                    ["feed latency p50/p95/p99",
+                     f"{feed['p50'] * 1e3:.2f} / {feed['p95'] * 1e3:.2f} / "
+                     f"{feed['p99'] * 1e3:.2f} ms"]
+                )
         if cache is not None:
             if cache.enabled:
                 rows.append(

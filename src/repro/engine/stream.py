@@ -371,13 +371,18 @@ class StreamHub:
         *,
         metrics: EngineMetrics | None = None,
         retain_runs: bool = True,
+        tracer=None,
     ):
         """``retain_runs=False`` drops finished runs after handing them
         to the caller (and releases their session ids for reuse) — the
         long-running-service mode the shard pool uses, where retaining
-        every closed session forever would leak O(steps) per user."""
+        every closed session forever would leak O(steps) per user.
+        ``tracer`` is an optional
+        :class:`~repro.obs.trace.TraceRecorder`; the hub records
+        open/feed/close spans into it."""
         self.metrics = metrics if metrics is not None else EngineMetrics()
         self.retain_runs = retain_runs
+        self.tracer = tracer
         self._sessions: dict[str, StreamSession] = {}
         self._runs: dict[str, OnlineRun] = {}
         self._auto_id = count()
@@ -401,6 +406,8 @@ class StreamHub:
             raise ValueError(f"session id {session_id!r} already in use")
         self._sessions[session_id] = StreamSession(scheduler, universe, w)
         self.metrics.record_stream_open()
+        if self.tracer is not None:
+            self.tracer.record("open", session=session_id)
         return session_id
 
     def session(self, session_id: str) -> StreamSession:
@@ -425,11 +432,17 @@ class StreamHub:
         session = self.session(session_id)
         start = time.perf_counter()
         event = session.feed(mask)
+        elapsed = time.perf_counter() - start
         self.metrics.record_stream(
             steps=1,
             hypers=1 if event.hyper else 0,
-            seconds=time.perf_counter() - start,
+            seconds=elapsed,
+            chunk_steps=(1,),
         )
+        if self.tracer is not None:
+            self.tracer.record(
+                "feed", duration=elapsed, session=session_id, steps=1
+            )
         return event
 
     def feed_many(self, chunks: Mapping[str, object]) -> dict[str, StreamBatch]:
@@ -450,9 +463,20 @@ class StreamHub:
             steps += batch.steps
             hypers += batch.hypers
             out[sid] = batch
+        elapsed = time.perf_counter() - start
         self.metrics.record_stream(
-            steps=steps, hypers=hypers, seconds=time.perf_counter() - start
+            steps=steps,
+            hypers=hypers,
+            seconds=elapsed,
+            chunk_steps=tuple(b.steps for b in out.values()),
         )
+        if self.tracer is not None:
+            self.tracer.record(
+                "feed",
+                duration=elapsed,
+                steps=steps,
+                sessions=len(out),
+            )
         return out
 
     # -- aggregate accounting ----------------------------------------------
@@ -493,6 +517,11 @@ class StreamHub:
         """
         session = self.session(session_id)
         run = session.finish()
+        self.metrics.record_session_close(
+            solver=run.solver, cost=run.cost, steps=run.schedule.n
+        )
+        if self.tracer is not None:
+            self.tracer.record("close", session=session_id, steps=run.schedule.n)
         if self.retain_runs:
             self._runs[session_id] = run
         del self._sessions[session_id]

@@ -1,0 +1,181 @@
+"""Lock-cheap ring-buffer tracing of structured span events.
+
+A :class:`TraceRecorder` keeps the last N spans (open/feed/drain/
+solve/close) in a bounded ``deque`` — appends are GIL-atomic, so the
+hot path pays one monotonic-clock read and one append, no lock.  Each
+span carries its monotonic start, duration, and a **queue-wait vs
+service** split so a tail-latency outlier can be blamed on the shard
+queue or on the engine after the fact.
+
+Spans slower than ``slow_threshold`` seconds are additionally copied
+to a separate slow ring (they survive long after the main ring has
+wrapped) — the always-on slow-request log.  A recorder built with
+``capacity=0`` disables everything at the cost of one attribute check.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["NULL_TRACER", "SpanEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpanEvent:
+    """One completed span. ``start`` is ``time.monotonic()`` at span
+    begin; ``queue_wait`` is the part of ``duration`` spent queued
+    before service began (0.0 where the split doesn't apply)."""
+
+    kind: str
+    start: float
+    duration: float
+    queue_wait: float = 0.0
+    trace: str | None = None
+    session: str | None = None
+    shard: int | None = None
+    detail: tuple = field(default=())
+
+    @property
+    def service(self) -> float:
+        return max(0.0, self.duration - self.queue_wait)
+
+    def to_dict(self) -> dict:
+        out = {
+            "kind": self.kind,
+            "start_mono_s": self.start,
+            "duration_s": self.duration,
+            "queue_wait_s": self.queue_wait,
+            "service_s": self.service,
+        }
+        if self.trace is not None:
+            out["trace"] = self.trace
+        if self.session is not None:
+            out["session"] = self.session
+        if self.shard is not None:
+            out["shard"] = self.shard
+        out.update(self.detail)
+        return out
+
+
+class TraceRecorder:
+    """Bounded span ring + slow-span ring; see module docstring."""
+
+    def __init__(
+        self,
+        capacity: int = 2048,
+        *,
+        slow_threshold: float | None = None,
+        slow_capacity: int = 256,
+    ):
+        if capacity < 0 or slow_capacity < 0:
+            raise ValueError("capacities must be >= 0")
+        self.capacity = int(capacity)
+        self.slow_threshold = (
+            float(slow_threshold) if slow_threshold is not None else None
+        )
+        self._ring: deque[SpanEvent] = deque(maxlen=max(1, self.capacity))
+        self._slow: deque[SpanEvent] = deque(maxlen=max(1, slow_capacity))
+        self._lock = threading.Lock()
+        self.recorded = 0
+        self.slow_count = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def record(
+        self,
+        kind: str,
+        *,
+        duration: float = 0.0,
+        queue_wait: float = 0.0,
+        trace: str | None = None,
+        session: str | None = None,
+        shard: int | None = None,
+        start: float | None = None,
+        **detail,
+    ) -> SpanEvent | None:
+        """Append one completed span; returns it (or ``None`` when the
+        recorder is disabled, or when only the slow ring matters and
+        the span wasn't slow — callers never need the return value on
+        the hot path)."""
+        if not self.capacity:
+            return None
+        if start is None:
+            start = time.monotonic() - duration
+        event = SpanEvent(
+            kind=kind,
+            start=start,
+            duration=duration,
+            queue_wait=queue_wait,
+            trace=trace,
+            session=session,
+            shard=shard,
+            detail=tuple(detail.items()),
+        )
+        self._ring.append(event)  # GIL-atomic
+        slow = (
+            self.slow_threshold is not None
+            and duration >= self.slow_threshold
+        )
+        if slow:
+            self._slow.append(event)
+        with self._lock:
+            self.recorded += 1
+            if slow:
+                self.slow_count += 1
+        return event
+
+    @contextmanager
+    def span(self, kind: str, **kw):
+        """``with tracer.span("solve", solver=name): ...`` — times the
+        body and records it, even when the body raises."""
+        t0 = time.perf_counter()
+        start = time.monotonic()
+        try:
+            yield
+        finally:
+            self.record(
+                kind,
+                duration=time.perf_counter() - t0,
+                start=start,
+                **kw,
+            )
+
+    def events(
+        self, kind: str | None = None, limit: int | None = None
+    ) -> list[SpanEvent]:
+        got = list(self._ring) if self.capacity else []
+        if kind is not None:
+            got = [e for e in got if e.kind == kind]
+        return got[-limit:] if limit else got
+
+    def slow_events(self, limit: int | None = None) -> list[SpanEvent]:
+        got = list(self._slow) if self.capacity else []
+        return got[-limit:] if limit else got
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            recorded, slow = self.recorded, self.slow_count
+        return {
+            "capacity": self.capacity,
+            "recorded": recorded,
+            "buffered": len(self._ring) if self.capacity else 0,
+            "dropped": max(0, recorded - self.capacity),
+            "slow": slow,
+            "slow_threshold_s": self.slow_threshold,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TraceRecorder(capacity={self.capacity}, "
+            f"recorded={self.recorded}, slow={self.slow_count})"
+        )
+
+
+#: Shared disabled recorder: every ``record`` is one attribute check.
+NULL_TRACER = TraceRecorder(0)

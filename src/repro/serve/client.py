@@ -111,19 +111,29 @@ class ServeClient:
         width: int,
         w: float,
         session_id: str | None = None,
+        trace: str | None = None,
         **params,
     ) -> str:
-        """Open a session; returns its (possibly generated) id."""
+        """Open a session; returns its (possibly generated) id.
+
+        ``trace`` is an optional client-chosen trace id: the server
+        echoes it in the reply and attaches it to its span events (same
+        on :meth:`feed` / :meth:`close_session`).
+        """
         frame = {"op": "open", "policy": policy, "width": width, "w": w}
         if session_id is not None:
             frame["session"] = session_id
+        if trace is not None:
+            frame["trace"] = trace
         frame.update(params)
         reply = self.call(frame)
         sid = reply["session"]
         self._widths[sid] = width
         return sid
 
-    def feed(self, session_id: str, masks) -> FeedResult:
+    def feed(
+        self, session_id: str, masks, *, trace: str | None = None
+    ) -> FeedResult:
         """Serve a chunk of requirements on one session."""
         try:
             width = self._widths[session_id]
@@ -135,13 +145,16 @@ class ServeClient:
         if count == 0:
             raise ValueError("feed chunks must contain at least one mask")
         blob = encode_mask_chunk(masks, width, encoding=self._encoding)
-        reply = self.call({
+        frame = {
             "op": "feed",
             "session": session_id,
             "count": count,
             "masks": blob,
             "encoding": self._encoding,
-        })
+        }
+        if trace is not None:
+            frame["trace"] = trace
+        reply = self.call(frame)
         return FeedResult(
             session=session_id,
             start=reply["start"],
@@ -151,9 +164,14 @@ class ServeClient:
             cumulative_cost=reply["cumulative_cost"],
         )
 
-    def close_session(self, session_id: str) -> CloseResult:
+    def close_session(
+        self, session_id: str, *, trace: str | None = None
+    ) -> CloseResult:
         """Finish one session into its validated accounting."""
-        reply = self.call({"op": "close", "session": session_id})
+        frame = {"op": "close", "session": session_id}
+        if trace is not None:
+            frame["trace"] = trace
+        reply = self.call(frame)
         self._widths.pop(session_id, None)
         return CloseResult(
             session=session_id,
@@ -166,6 +184,11 @@ class ServeClient:
     def stats(self) -> dict:
         """Aggregate server/shard/engine counters."""
         return self.call({"op": "stats"})
+
+    def metrics(self) -> dict:
+        """Full telemetry dump: JSON snapshot, labeled histogram wire
+        snapshots, and the Prometheus text exposition."""
+        return self.call({"op": "metrics"})
 
     # -- lifecycle ---------------------------------------------------------
 

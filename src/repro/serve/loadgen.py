@@ -20,6 +20,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.obs.histogram import TIME_SCHEME, Histogram
 from repro.util.rng import make_rng
 
 __all__ = ["LoadgenResult", "drifting_masks", "run_loadgen"]
@@ -63,6 +64,13 @@ class LoadgenResult:
     wall_s: float
     costs: dict[str, float] = field(default_factory=dict)
     verified: bool | None = None
+    #: client-observed feed round-trip latency, merged across all
+    #: client threads — same :class:`Histogram` type as the server's
+    #: families, so client p50/p95/p99 line up with server quantiles
+    #: in the E17 / serve-bench tables.
+    latency: Histogram = field(
+        default_factory=lambda: Histogram(TIME_SCHEME)
+    )
 
     @property
     def steps_per_s(self) -> float:
@@ -74,7 +82,8 @@ class LoadgenResult:
 
 
 def _client_worker(
-    host, port, jobs, chunk, policy, policy_params, width, w, out, errors
+    host, port, jobs, chunk, policy, policy_params, width, w,
+    out, latency, errors
 ):
     from repro.serve.client import ServeClient
 
@@ -95,7 +104,9 @@ def _client_worker(
             while pos < longest:
                 for sid, masks in jobs:
                     if pos < len(masks):
+                        t0 = time.perf_counter()
                         client.feed(sid, masks[pos : pos + chunk])
+                        latency.observe(time.perf_counter() - t0)
                         frames += 1
                 pos += chunk
             for sid, _masks in jobs:
@@ -144,12 +155,15 @@ def run_loadgen(
     clients = min(clients, sessions)
     slices = [list(traces.items())[c::clients] for c in range(clients)]
     outs = [dict() for _ in range(clients)]
+    # One histogram per client thread (no shared-state contention in
+    # the timed path), merged after the join.
+    latencies = [Histogram(TIME_SCHEME) for _ in range(clients)]
     errors: list[Exception] = []
     threads = [
         threading.Thread(
             target=_client_worker,
             args=(host, port, slices[c], chunk, policy, policy_params,
-                  width, w, outs[c], errors),
+                  width, w, outs[c], latencies[c], errors),
             name=f"loadgen-{c}",
         )
         for c in range(clients)
@@ -167,12 +181,16 @@ def run_loadgen(
     for out in outs:
         frames += out.pop(None, 0)
         costs.update(out)
+    latency = Histogram(TIME_SCHEME)
+    for h in latencies:
+        latency.merge(h)
     result = LoadgenResult(
         sessions=sessions,
         steps=sessions * steps,
         frames=frames,
         wall_s=wall,
         costs=costs,
+        latency=latency,
     )
     if verify:
         result.verified = _verify(traces, costs, width, w, policy,

@@ -2,7 +2,7 @@
 
 One frame per line: a JSON object terminated by ``\\n`` (newline-
 delimited JSON — trivially debuggable with ``nc``/``socat``, no length
-prefixes to corrupt).  Four request ops cover the streaming life
+prefixes to corrupt).  Five request ops cover the streaming life
 cycle, mirroring the :class:`~repro.engine.stream.StreamHub` API:
 
 ===========  =============================================================
@@ -16,7 +16,15 @@ op           payload
              or hex-encoded (``encoding``)
 ``close``    ``session`` — finish the session into a validated run
 ``stats``    no payload — aggregate server/shard/engine counters
+``metrics``  no payload — full labeled histogram snapshot (JSON wire
+             form) plus the Prometheus text exposition
 ===========  =============================================================
+
+``open``, ``feed`` and ``close`` additionally accept an optional
+``trace`` string (≤128 chars): a client-chosen trace id, echoed
+verbatim in the matching reply and attached to the server's span
+events, so a tail-latency outlier in the trace ring can be tied back
+to the exact client request that suffered it.
 
 Replies are JSON objects too: ``{"ok": true, "op": …, …}`` on success,
 ``{"ok": false, "error": …}`` on failure.  Every structural violation
@@ -49,6 +57,7 @@ __all__ = [
     "FeedFrame",
     "CloseFrame",
     "StatsFrame",
+    "MetricsFrame",
     "encode_frame",
     "decode_frame",
     "encode_mask_chunk",
@@ -83,6 +92,7 @@ class OpenFrame:
     width: int
     w: float
     params: dict = field(default_factory=dict)
+    trace: str | None = None
 
 
 @dataclass(frozen=True)
@@ -94,6 +104,7 @@ class FeedFrame:
     count: int
     masks: str
     encoding: str
+    trace: str | None = None
 
 
 @dataclass(frozen=True)
@@ -101,11 +112,17 @@ class CloseFrame:
     """Parsed ``close`` request."""
 
     session: str
+    trace: str | None = None
 
 
 @dataclass(frozen=True)
 class StatsFrame:
     """Parsed ``stats`` request."""
+
+
+@dataclass(frozen=True)
+class MetricsFrame:
+    """Parsed ``metrics`` request (full histogram + exposition dump)."""
 
 
 # ---------------------------------------------------------------------------
@@ -241,10 +258,26 @@ def _require(obj: dict, key: str, types, *, op: str):
 #: Recognized ``open`` policy parameters (anything else is rejected).
 _POLICY_PARAMS = {"alpha", "memory", "k", "scalar"}
 
+#: Client trace ids are short opaque tokens, not payload channels.
+MAX_TRACE_CHARS = 128
+
+
+def _trace_of(obj: dict, *, op: str) -> str | None:
+    trace = obj.get("trace")
+    if trace is None:
+        return None
+    if not isinstance(trace, str) or not trace:
+        raise ProtocolError(f"{op}.trace must be a non-empty string")
+    if len(trace) > MAX_TRACE_CHARS:
+        raise ProtocolError(
+            f"{op}.trace exceeds {MAX_TRACE_CHARS} characters"
+        )
+    return trace
+
 
 def parse_request(
     obj: dict, *, max_chunk_steps: int | None = None
-) -> OpenFrame | FeedFrame | CloseFrame | StatsFrame:
+) -> OpenFrame | FeedFrame | CloseFrame | StatsFrame | MetricsFrame:
     """Validate a decoded frame object into a typed request.
 
     ``max_chunk_steps`` caps ``feed.count`` (admission control lives at
@@ -268,7 +301,9 @@ def parse_request(
             k: obj[k] for k in _POLICY_PARAMS if k in obj
         }
         unknown = (
-            set(obj) - _POLICY_PARAMS - {"op", "policy", "width", "w", "session"}
+            set(obj)
+            - _POLICY_PARAMS
+            - {"op", "policy", "width", "w", "session", "trace"}
         )
         if unknown:
             raise ProtocolError(
@@ -280,6 +315,7 @@ def parse_request(
             width=int(width),
             w=float(w),
             params=params,
+            trace=_trace_of(obj, op=op),
         )
     if op == "feed":
         session = _require(obj, "session", str, op=op)
@@ -296,12 +332,21 @@ def parse_request(
         if encoding not in ("b64", "hex"):
             raise ProtocolError(f"unknown mask encoding {encoding!r}")
         return FeedFrame(
-            session=session, count=int(count), masks=masks, encoding=encoding
+            session=session,
+            count=int(count),
+            masks=masks,
+            encoding=encoding,
+            trace=_trace_of(obj, op=op),
         )
     if op == "close":
-        return CloseFrame(session=_require(obj, "session", str, op=op))
+        return CloseFrame(
+            session=_require(obj, "session", str, op=op),
+            trace=_trace_of(obj, op=op),
+        )
     if op == "stats":
         return StatsFrame()
+    if op == "metrics":
+        return MetricsFrame()
     raise ProtocolError(f"unknown op {op!r}")
 
 

@@ -35,16 +35,21 @@ against the single-hub oracle).
 from __future__ import annotations
 
 import asyncio
+import sys
 import threading
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.switches import SwitchUniverse
+from repro.obs.expo import MetricsHTTPServer, render_exposition
+from repro.obs.trace import TraceRecorder
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     CloseFrame,
     FeedFrame,
+    MetricsFrame,
     OpenFrame,
     ProtocolError,
     StatsFrame,
@@ -77,6 +82,16 @@ class ServeConfig:
     #: max_sessions ever mattered.
     max_width: int = 65536
     max_history: int = 65536
+    #: ``None`` disables the HTTP telemetry plane; ``0`` binds an
+    #: ephemeral port (tests), anything else the given port.
+    metrics_port: int | None = None
+    #: Seconds between periodic stderr stats lines (``None`` = off).
+    stats_interval: float | None = None
+    #: Spans at least this many milliseconds land in the slow-request
+    #: log (ring + rate-limited stderr line).  ``None``/``0`` disables.
+    slow_ms: float | None = 100.0
+    #: Span ring size of the request tracer (``0`` disables tracing).
+    trace_capacity: int = 2048
 
     def __post_init__(self):
         if self.shards < 1:
@@ -91,16 +106,38 @@ class ServeConfig:
             raise ValueError("max_width must be at least 1")
         if self.max_history < 1:
             raise ValueError("max_history must be at least 1")
+        if self.metrics_port is not None and not (
+            0 <= self.metrics_port <= 65535
+        ):
+            raise ValueError("metrics_port must be in [0, 65535]")
+        if self.stats_interval is not None and self.stats_interval <= 0:
+            raise ValueError("stats_interval must be positive")
+        if self.slow_ms is not None and self.slow_ms < 0:
+            raise ValueError("slow_ms must be non-negative")
+        if self.trace_capacity < 0:
+            raise ValueError("trace_capacity must be non-negative")
+
+
+def _echo(frame) -> dict:
+    """Reply fields echoed from the request (the client's trace id)."""
+    return {"trace": frame.trace} if frame.trace is not None else {}
 
 
 @dataclass
 class _Job:
-    """One queued shard operation (a feed chunk or a close barrier)."""
+    """One queued shard operation (a feed chunk or a close barrier).
+
+    ``enqueued`` (perf-counter seconds) marks when the job entered the
+    shard queue; the drainer subtracts it from its cycle start to split
+    each span into queue-wait vs service time.
+    """
 
     kind: str  # "feed" | "close"
     session: str
     lanes: object = None
     future: asyncio.Future = None
+    enqueued: float = 0.0
+    trace: str | None = None
 
 
 class _ShardQueue:
@@ -156,6 +193,7 @@ class _ServerCounters:
     feeds: int = 0
     closes: int = 0
     stats_calls: int = 0
+    metrics_calls: int = 0
     protocol_errors: int = 0
     rejected_sessions: int = 0
     errors: int = 0
@@ -174,6 +212,7 @@ class _ServerCounters:
                 "feeds": self.feeds,
                 "closes": self.closes,
                 "stats_calls": self.stats_calls,
+                "metrics_calls": self.metrics_calls,
                 "protocol_errors": self.protocol_errors,
                 "rejected_sessions": self.rejected_sessions,
                 "errors": self.errors,
@@ -194,15 +233,31 @@ class StreamServer:
         self, config: ServeConfig | None = None, *, pool: ShardPool | None = None
     ):
         self.config = config if config is not None else ServeConfig()
+        slow_ms = self.config.slow_ms
+        self.tracer = TraceRecorder(
+            self.config.trace_capacity,
+            slow_threshold=slow_ms / 1e3 if slow_ms else None,
+        )
         self._own_pool = pool is None
         self.pool = (
             pool
             if pool is not None
-            else ShardPool(self.config.shards, procs=self.config.shard_procs)
+            else ShardPool(
+                self.config.shards,
+                procs=self.config.shard_procs,
+                tracer=self.tracer,
+            )
         )
         if self.pool.shards != self.config.shards:
             raise ValueError("pool shard count disagrees with the config")
+        if self.pool.tracer is None:
+            self.pool.tracer = self.tracer
         self.counters = _ServerCounters()
+        self._started_mono = time.monotonic()
+        self._slow_printed = 0.0  # rate limiter for stderr slow lines
+        self._slow_lock = threading.Lock()
+        self._metrics_http: MetricsHTTPServer | None = None
+        self._reporter: asyncio.Task | None = None
         #: session id -> (universe width, shard) for feed decoding.
         self._sessions: dict[str, tuple[int, int]] = {}
         self._sessions_lock = threading.Lock()
@@ -225,10 +280,21 @@ class StreamServer:
     async def start(self, *, listen: bool = True) -> None:
         """Start drainers (and the TCP listener unless ``listen=False``)."""
         loop = asyncio.get_running_loop()
+        self._started_mono = time.monotonic()
         self._drainers = [
             loop.create_task(self._drain(shard))
             for shard in range(self.config.shards)
         ]
+        if self.config.metrics_port is not None:
+            self._metrics_http = MetricsHTTPServer(
+                self.exposition,
+                self.metrics_snapshot,
+                host=self.config.host,
+                port=self.config.metrics_port,
+            )
+            self._metrics_http.start()
+        if self.config.stats_interval is not None:
+            self._reporter = loop.create_task(self._stats_reporter())
         if listen:
             self._server = await asyncio.start_server(
                 self._client_loop,
@@ -246,6 +312,13 @@ class StreamServer:
         host, port = sock.getsockname()[:2]
         return host, port
 
+    @property
+    def metrics_address(self) -> tuple[str, int]:
+        """The bound (host, port) of the ``GET /metrics`` endpoint."""
+        if self._metrics_http is None:
+            raise RuntimeError("metrics endpoint is not enabled")
+        return self._metrics_http.address
+
     async def stop(self) -> None:
         """Stop listening, cancel drainers, close the owned pool.
 
@@ -260,6 +333,16 @@ class StreamServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._reporter is not None:
+            self._reporter.cancel()
+            try:
+                await self._reporter
+            except asyncio.CancelledError:
+                pass
+            self._reporter = None
+        if self._metrics_http is not None:
+            self._metrics_http.stop()
+            self._metrics_http = None
         for task in self._drainers:
             task.cancel()
         for task in self._drainers:
@@ -291,6 +374,7 @@ class StreamServer:
                     )
             if feeds:
                 chunks = {sid: job.lanes for sid, job in feeds.items()}
+                t0 = time.perf_counter()
                 try:
                     summaries = await loop.run_in_executor(
                         self._executor, self.pool.feed_shard, shard, chunks
@@ -302,10 +386,16 @@ class StreamServer:
                         if not job.future.done():
                             job.future.set_exception(exc)
                 else:
+                    service = time.perf_counter() - t0
                     for sid, job in feeds.items():
+                        self._span(
+                            "feed", job, t0, service, shard,
+                            steps=summaries[sid].steps,
+                        )
                         if not job.future.done():
                             job.future.set_result(summaries[sid])
             for job in closes:
+                t0 = time.perf_counter()
                 try:
                     run = await loop.run_in_executor(
                         self._executor, self.pool.finish, job.session
@@ -316,8 +406,49 @@ class StreamServer:
                     if not job.future.done():
                         job.future.set_exception(exc)
                 else:
+                    self._span(
+                        "close", job, t0, time.perf_counter() - t0, shard,
+                        steps=run.schedule.n,
+                    )
                     if not job.future.done():
                         job.future.set_result(run)
+
+    def _span(
+        self, kind: str, job: _Job, t0: float, service: float,
+        shard: int, **detail,
+    ) -> None:
+        """Record one queued request's span (queue wait + service) and
+        feed the rate-limited slow-request stderr log."""
+        queue_wait = max(0.0, t0 - job.enqueued) if job.enqueued else 0.0
+        event = self.tracer.record(
+            kind,
+            duration=queue_wait + service,
+            queue_wait=queue_wait,
+            trace=job.trace,
+            session=job.session,
+            shard=shard,
+            **detail,
+        )
+        threshold = self.tracer.slow_threshold
+        if (
+            event is not None
+            and threshold is not None
+            and event.duration >= threshold
+        ):
+            now = time.monotonic()
+            with self._slow_lock:
+                if now - self._slow_printed < 1.0:
+                    return
+                self._slow_printed = now
+            trace = f" trace={event.trace}" if event.trace else ""
+            print(
+                f"[repro.serve] slow {kind}: session={job.session} "
+                f"shard={shard} total={event.duration * 1e3:.1f}ms "
+                f"(queue {queue_wait * 1e3:.1f}ms + service "
+                f"{service * 1e3:.1f}ms){trace}",
+                file=sys.stderr,
+                flush=True,
+            )
 
     # -- frame handling ----------------------------------------------------
 
@@ -372,6 +503,8 @@ class StreamServer:
                 return await self._handle_feed(frame)
             if isinstance(frame, CloseFrame):
                 return await self._handle_close(frame)
+            if isinstance(frame, MetricsFrame):
+                return await self._handle_metrics(frame)
             return await self._handle_stats(frame)
         except ProtocolError as exc:
             self.counters.bump("protocol_errors")
@@ -407,6 +540,7 @@ class StreamServer:
         scheduler = policy_from_spec(frame.policy, frame.w, frame.params)
         universe = SwitchUniverse.of_size(frame.width)
         loop = asyncio.get_running_loop()
+        t0 = time.perf_counter()
         sid = await loop.run_in_executor(
             self._executor,
             lambda: self.pool.open(
@@ -414,9 +548,18 @@ class StreamServer:
             ),
         )
         shard = self.pool.shard_of(sid)
+        self.tracer.record(
+            "open",
+            duration=time.perf_counter() - t0,
+            trace=frame.trace,
+            session=sid,
+            shard=shard,
+        )
         with self._sessions_lock:
             self._sessions[sid] = (frame.width, shard)
-        return ok_frame("open", session=sid, shard=shard)
+        return ok_frame(
+            "open", session=sid, shard=shard, **_echo(frame)
+        )
 
     async def _handle_feed(self, frame: FeedFrame) -> dict:
         self.counters.bump("feeds")
@@ -429,7 +572,14 @@ class StreamServer:
         )
         future = asyncio.get_running_loop().create_future()
         await self._queues[shard].put(
-            _Job(kind="feed", session=frame.session, lanes=lanes, future=future)
+            _Job(
+                kind="feed",
+                session=frame.session,
+                lanes=lanes,
+                future=future,
+                enqueued=time.perf_counter(),
+                trace=frame.trace,
+            )
         )
         summary = await future
         return ok_frame(
@@ -440,6 +590,7 @@ class StreamServer:
             hypers=summary.hypers,
             cost=summary.cost,
             cumulative_cost=summary.cumulative_cost,
+            **_echo(frame),
         )
 
     async def _handle_close(self, frame: CloseFrame) -> dict:
@@ -450,7 +601,13 @@ class StreamServer:
             _width, shard = self._sessions[frame.session]
         future = asyncio.get_running_loop().create_future()
         await self._queues[shard].put(
-            _Job(kind="close", session=frame.session, future=future)
+            _Job(
+                kind="close",
+                session=frame.session,
+                future=future,
+                enqueued=time.perf_counter(),
+                trace=frame.trace,
+            )
         )
         run = await future
         with self._sessions_lock:
@@ -462,6 +619,7 @@ class StreamServer:
             steps=run.schedule.n,
             hypers=run.schedule.r,
             cost=run.cost,
+            **_echo(frame),
         )
 
     async def _handle_stats(self, _frame: StatsFrame) -> dict:
@@ -469,8 +627,126 @@ class StreamServer:
         loop = asyncio.get_running_loop()
         pool_stats = await loop.run_in_executor(self._executor, self.pool.stats)
         return ok_frame(
-            "stats", server=self.counters.snapshot(), **pool_stats
+            "stats",
+            server=self.counters.snapshot(),
+            uptime_s=time.monotonic() - self._started_mono,
+            trace=self.tracer.snapshot(),
+            **pool_stats,
         )
+
+    async def _handle_metrics(self, _frame: MetricsFrame) -> dict:
+        """Full telemetry dump: labeled histogram wire snapshots, the
+        JSON summary snapshot, and the Prometheus text exposition —
+        everything ``GET /metrics`` serves, over the frame protocol."""
+        self.counters.bump("metrics_calls")
+        loop = asyncio.get_running_loop()
+
+        def build():
+            return (
+                self.metrics_snapshot(),
+                {
+                    name: fam.to_wire()
+                    for name, fam in self.pool.merged_histograms().items()
+                },
+                self.exposition(),
+            )
+
+        snapshot, wire, text = await loop.run_in_executor(
+            self._executor, build
+        )
+        return ok_frame(
+            "metrics",
+            metrics=snapshot,
+            histograms=wire,
+            exposition=text,
+        )
+
+    # -- telemetry plane ---------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """One JSON-safe snapshot of everything: server counters,
+        uptime, tracer state, recent slow spans, pool stats (engine
+        counters, merged histogram summaries, per-shard rows)."""
+        return {
+            "server": self.counters.snapshot(),
+            "uptime_s": time.monotonic() - self._started_mono,
+            "trace": self.tracer.snapshot(),
+            "slow": [e.to_dict() for e in self.tracer.slow_events(32)],
+            **self.pool.stats(),
+        }
+
+    def exposition(self) -> str:
+        """Prometheus text of the full labeled state (see obs.expo)."""
+        server = self.counters.snapshot()
+        engine = self.pool.metrics.snapshot()
+        trace = self.tracer.snapshot()
+        with self._sessions_lock:
+            occupancy: dict[int, int] = {}
+            for _width, shard in self._sessions.values():
+                occupancy[shard] = occupancy.get(shard, 0) + 1
+        counters = {
+            f"server_{name}_total": value
+            for name, value in server.items()
+        }
+        counters.update({
+            "engine_requests_total": engine["requests"],
+            "engine_solved_total": engine["solved"],
+            "engine_cache_hits_total": engine["cache_hits"],
+            "engine_errors_total": engine["errors"],
+            "engine_timeouts_total": engine["timeouts"],
+            "engine_batches_total": engine["batches"],
+            "stream_sessions_total": engine["stream"]["sessions"],
+            "stream_closed_total": engine["stream"]["closed"],
+            "stream_steps_total": engine["stream"]["steps"],
+            "stream_hypers_total": engine["stream"]["hypers"],
+            "trace_spans_total": trace["recorded"],
+            "trace_slow_spans_total": trace["slow"],
+        })
+        gauges = {
+            "uptime_seconds": time.monotonic() - self._started_mono,
+            "sessions": sum(occupancy.values()),
+            "shard_sessions": [
+                ({"shard": str(shard)}, occupancy.get(shard, 0))
+                for shard in range(self.config.shards)
+            ],
+        }
+        histograms = {
+            name: fam.to_wire()
+            for name, fam in self.pool.merged_histograms().items()
+        }
+        return render_exposition(
+            counters=counters, gauges=gauges, histograms=histograms
+        )
+
+    async def _stats_reporter(self) -> None:
+        """Periodic one-line stderr report (``--stats-interval``)."""
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.config.stats_interval)
+            try:
+                stats = await loop.run_in_executor(
+                    self._executor, self.pool.stats
+                )
+            except RuntimeError:  # executor shutting down
+                return
+            stream = stats["engine"]["stream"]
+            feed = stats["histograms"]["feed_latency_seconds"]
+            drain = stats["histograms"]["drain_cycle_seconds"]
+            server = self.counters.snapshot()
+            print(
+                f"[repro.serve] up {time.monotonic() - self._started_mono:.0f}s"
+                f" sessions={stats['sessions']}"
+                f" frames={server['frames']}"
+                f" steps={stream['steps']}"
+                f" steps/s={stream['steps_per_s']:.0f}"
+                f" drain p50/p99="
+                f"{drain['p50'] * 1e3:.2f}/{drain['p99'] * 1e3:.2f}ms"
+                f" feed p50/p99="
+                f"{feed['p50'] * 1e3:.2f}/{feed['p99'] * 1e3:.2f}ms"
+                f" slow={self.tracer.snapshot()['slow']}",
+                file=sys.stderr,
+                flush=True,
+            )
 
     # -- stdin mode --------------------------------------------------------
 

@@ -43,8 +43,9 @@ import numpy as np
 
 from repro.core.switches import SwitchUniverse
 from repro.engine.batch import SHARED_LANES_MIN_BYTES, _attach_shared
-from repro.engine.metrics import EngineMetrics
+from repro.engine.metrics import DETERMINISTIC_FAMILIES, EngineMetrics
 from repro.engine.stream import StreamBatch, StreamHub
+from repro.obs.histogram import HistogramFamily
 from repro.solvers.online import OnlineRun
 
 __all__ = ["BatchSummary", "ShardPool", "shard_index"]
@@ -161,6 +162,12 @@ class _ThreadShard:
         with self.lock:
             return self.hub.finish(session_id)
 
+    def hist_wire(self) -> dict:
+        """Mergeable snapshots of the deterministic histogram families
+        this shard's hub recorded (chunk steps, session cost/steps)."""
+        with self.lock:
+            return self.hub.metrics.hist_wire(DETERMINISTIC_FAMILIES)
+
     def close(self):
         pass
 
@@ -195,6 +202,10 @@ def _shard_worker(conn):  # pragma: no cover - exercised in a child process
                 }))
             elif op == "finish":
                 conn.send(("ok", hub.finish(msg[1])))
+            elif op == "metrics":
+                conn.send(
+                    ("ok", hub.metrics.hist_wire(DETERMINISTIC_FAMILIES))
+                )
             elif op == "stop":
                 conn.send(("ok", None))
                 break
@@ -245,6 +256,10 @@ class _ProcShard:
     def finish(self, session_id) -> OnlineRun:
         return self._call("finish", session_id)
 
+    def hist_wire(self) -> dict:
+        """Deterministic-family snapshots shipped over the pipe."""
+        return self._call("metrics")
+
     def close(self):
         with self.lock:
             if self._proc.is_alive():
@@ -290,6 +305,9 @@ class ShardPool:
         cycles through shared memory, ``False`` always pickles,
         ``None`` (auto) shares cycles of at least
         :data:`~repro.engine.batch.SHARED_LANES_MIN_BYTES`.
+    tracer:
+        Optional :class:`~repro.obs.trace.TraceRecorder`; the pool
+        records parent-side ``drain`` and ``close`` spans.
     """
 
     def __init__(
@@ -299,12 +317,14 @@ class ShardPool:
         procs: bool = False,
         metrics: EngineMetrics | None = None,
         shared_lanes: bool | None = None,
+        tracer=None,
     ):
         if shards < 1:
             raise ValueError("shards must be at least 1")
         self.shards = shards
         self.procs = procs
         self.shared_lanes = shared_lanes
+        self.tracer = tracer
         self.metrics = metrics if metrics is not None else EngineMetrics()
         self._shards = [
             _ProcShard() if procs else _ThreadShard() for _ in range(shards)
@@ -389,11 +409,22 @@ class ShardPool:
             return {}
         start = time.perf_counter()
         out = self._feed_shard(shard, chunks)
+        elapsed = time.perf_counter() - start
+        steps = sum(s.steps for s in out.values())
         self.metrics.record_stream(
-            steps=sum(s.steps for s in out.values()),
+            steps=steps,
             hypers=sum(s.hypers for s in out.values()),
-            seconds=time.perf_counter() - start,
+            seconds=elapsed,
+            drain_shard=shard,
         )
+        if self.tracer is not None:
+            self.tracer.record(
+                "drain",
+                duration=elapsed,
+                shard=shard,
+                sessions=len(out),
+                steps=steps,
+            )
         return out
 
     def _feed_shard(self, shard, chunks) -> dict[str, BatchSummary]:
@@ -480,28 +511,70 @@ class ShardPool:
         run = self._shards[shard].finish(session_id)
         with self._lock:
             self._placement.pop(session_id, None)
+        # Counter only: the shard's hub recorded the deterministic
+        # cost/steps histograms where the session actually ran, so the
+        # merged view counts every close exactly once.
+        self.metrics.record_session_close()
+        if self.tracer is not None:
+            self.tracer.record(
+                "close", session=session_id, shard=shard,
+                steps=run.schedule.n,
+            )
         return run
 
     def finish_all(self) -> dict[str, OnlineRun]:
         """Close every live session; returns id → validated run."""
         return {sid: self.finish(sid) for sid in self.session_ids()}
 
+    def merged_histograms(self) -> dict[str, HistogramFamily]:
+        """One labeled histogram view of the whole pool.
+
+        Starts from the parent-side families (timing: drain cycles,
+        feed latency) and folds in every shard's deterministic-family
+        wire snapshot tagged ``shard=<i>`` — process shards ship theirs
+        over the pipe.  The fixed bucket boundaries make the fold pure
+        addition, so the aggregate of each deterministic family is
+        bit-identical to what a single hub records for the same
+        traffic, no matter the pool shape.
+        """
+        merged = {
+            name: HistogramFamily.from_wire(wire)
+            for name, wire in self.metrics.hist_wire().items()
+        }
+        for i, shard in enumerate(self._shards):
+            for name, wire in shard.hist_wire().items():
+                merged[name].merge_wire(wire, extra_labels={"shard": str(i)})
+        return merged
+
     def stats(self) -> dict:
-        """Aggregate snapshot: engine counters plus per-shard occupancy."""
+        """Aggregate snapshot: engine counters, merged histograms, and
+        per-shard occupancy + drain-cycle latency quantiles."""
         with self._lock:
             occupancy = [0] * self.shards
             for shard in self._placement.values():
                 occupancy[shard] += 1
+        merged = self.merged_histograms()
+        drain_by_shard = {
+            labels.get("shard"): hist
+            for labels, hist in merged["drain_cycle_seconds"].series()
+        }
+        shards = []
+        for i in range(self.shards):
+            row = {
+                "shard": i,
+                "kind": self._shards[i].kind,
+                "sessions": occupancy[i],
+            }
+            drain = drain_by_shard.get(str(i))
+            if drain is not None and drain.count:
+                row["drain"] = drain.snapshot()
+            shards.append(row)
         return {
             "engine": self.metrics.snapshot(),
-            "shards": [
-                {
-                    "shard": i,
-                    "kind": self._shards[i].kind,
-                    "sessions": occupancy[i],
-                }
-                for i in range(self.shards)
-            ],
+            "histograms": {
+                name: fam.snapshot() for name, fam in merged.items()
+            },
+            "shards": shards,
             "sessions": sum(occupancy),
         }
 

@@ -1,0 +1,188 @@
+"""Histogram suite: bucket geometry, merge algebra, wire transport.
+
+The property the serving stack depends on: fixed bucket boundaries
+make merging pure per-bucket addition, so any split of an observation
+stream across recorders merges back to exactly the whole-stream
+histogram (the bit-identity that lets a sharded pool aggregate to the
+single-hub oracle).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.histogram import (
+    TIME_SCHEME,
+    VALUE_SCHEME,
+    BucketScheme,
+    Histogram,
+    HistogramFamily,
+)
+from repro.util.rng import make_rng
+
+
+class TestBucketScheme:
+    def test_registry_and_geometry(self):
+        assert BucketScheme.by_name("time") is TIME_SCHEME
+        assert BucketScheme.by_name("value") is VALUE_SCHEME
+        with pytest.raises(ValueError):
+            BucketScheme.by_name("nope")
+        with pytest.raises(ValueError):
+            BucketScheme.geometric("time", start=1.0, factor=2, buckets=4)
+        bounds = TIME_SCHEME.bounds
+        assert bounds[0] == pytest.approx(1e-6)
+        assert np.all(np.diff(bounds) > 0)
+        # ~19% relative resolution: consecutive bound ratio is 2**0.25.
+        assert bounds[1] / bounds[0] == pytest.approx(2**0.25)
+
+    def test_index_covers_full_range(self):
+        assert TIME_SCHEME.index(0.0) == 0
+        assert TIME_SCHEME.index(1e-9) == 0
+        # Values past the last bound land in the overflow bucket.
+        assert TIME_SCHEME.index(1e9) == len(TIME_SCHEME) - 1
+        # A bound itself belongs to its own bucket: (lo, hi] semantics
+        # via bisect_left on the upper bounds.
+        b = TIME_SCHEME.bounds[10]
+        assert TIME_SCHEME.index(float(b)) == 10
+
+    def test_immutable_bounds(self):
+        with pytest.raises(ValueError):
+            TIME_SCHEME.bounds[0] = 99.0
+
+
+class TestHistogram:
+    def test_empty_is_canonical_zero(self):
+        h = Histogram(TIME_SCHEME)
+        assert h.count == 0
+        assert (h.min, h.max, h.mean) == (0.0, 0.0, 0.0)
+        assert (h.p50, h.p95, h.p99) == (0.0, 0.0, 0.0)
+
+    def test_basic_stats_and_quantiles(self):
+        h = Histogram(TIME_SCHEME)
+        values = [0.001 * (i + 1) for i in range(100)]  # 1ms .. 100ms
+        for v in values:
+            h.observe(v)
+        assert h.count == 100
+        assert h.min == pytest.approx(0.001)
+        assert h.max == pytest.approx(0.1)
+        assert h.mean == pytest.approx(np.mean(values))
+        # ~19% bucket resolution: quantile within one bucket of truth.
+        assert h.p50 == pytest.approx(0.050, rel=0.25)
+        assert h.p99 == pytest.approx(0.099, rel=0.25)
+        assert h.min <= h.p50 <= h.p95 <= h.p99 <= h.max
+
+    def test_quantile_clamped_to_observed_range(self):
+        h = Histogram(TIME_SCHEME)
+        h.observe(0.0042)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(0.0042)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_observe_many_equals_loop(self):
+        rng = make_rng(7)
+        values = rng.lognormal(-6, 2, size=500)
+        a, b = Histogram(TIME_SCHEME), Histogram(TIME_SCHEME)
+        for v in values:
+            a.observe(float(v))
+        b.observe_many(values)
+        assert a == b
+        b.observe_many([])  # no-op
+        assert a == b
+
+    def test_split_merge_equals_whole(self):
+        rng = make_rng(13)
+        values = rng.lognormal(-5, 3, size=1000)
+        whole = Histogram(TIME_SCHEME)
+        whole.observe_many(values)
+        parts = [Histogram(TIME_SCHEME) for _ in range(7)]
+        for i, part in enumerate(parts):
+            part.observe_many(values[i::7])
+        merged = Histogram(TIME_SCHEME)
+        for part in parts:
+            merged.merge(part)
+        assert merged == whole
+        assert merged.key() == whole.key()
+        assert merged.total == pytest.approx(whole.total)
+
+    def test_merge_rejects_scheme_mismatch(self):
+        with pytest.raises(ValueError):
+            Histogram(TIME_SCHEME).merge(Histogram(VALUE_SCHEME))
+
+    def test_merge_empty_is_identity(self):
+        h = Histogram(VALUE_SCHEME)
+        h.observe(5)
+        before = h.key()
+        h.merge(Histogram(VALUE_SCHEME))
+        assert h.key() == before
+
+    def test_wire_round_trip_is_json_safe(self):
+        h = Histogram(VALUE_SCHEME)
+        h.observe_many([1, 2, 3, 1000, 2.5e9])
+        wire = json.loads(json.dumps(h.to_wire()))
+        back = Histogram.from_wire(wire)
+        assert back == h
+        assert back.snapshot() == h.snapshot()
+        # Sparse: only touched buckets travel.
+        assert len(wire["buckets"]) <= 5
+
+    def test_clone_is_independent(self):
+        h = Histogram(TIME_SCHEME)
+        h.observe(0.5)
+        c = h.clone()
+        c.observe(0.5)
+        assert h.count == 1 and c.count == 2
+
+    def test_overflow_bucket_quantile(self):
+        h = Histogram(VALUE_SCHEME)
+        top = float(VALUE_SCHEME.bounds[-1])
+        h.observe(top * 8)  # overflow bucket
+        assert h.p99 == pytest.approx(top * 8)
+
+
+class TestHistogramFamily:
+    def test_label_routing_and_aggregate(self):
+        fam = HistogramFamily("lat", TIME_SCHEME, help="x")
+        fam.observe(0.001, solver="a")
+        fam.observe(0.002, solver="a")
+        fam.observe(0.100, solver="b")
+        assert len(fam) == 2
+        assert fam.labels(solver="a").count == 2
+        agg = fam.aggregate()
+        assert agg.count == 3
+        assert agg.max == pytest.approx(0.100)
+
+    def test_wire_round_trip_and_shard_tagging(self):
+        fam = HistogramFamily("lat", TIME_SCHEME)
+        fam.observe(0.01, solver="a")
+        merged = HistogramFamily("lat", TIME_SCHEME)
+        merged.merge_wire(fam.to_wire(), extra_labels={"shard": 0})
+        merged.merge_wire(fam.to_wire(), extra_labels={"shard": 1})
+        series = dict(
+            (tuple(sorted(lbl.items())), h) for lbl, h in merged.series()
+        )
+        assert len(series) == 2
+        key0 = (("shard", "0"), ("solver", "a"))
+        assert series[key0].count == 1
+        assert merged.aggregate().count == 2
+
+    def test_from_wire_round_trip(self):
+        fam = HistogramFamily("steps", VALUE_SCHEME, help="per chunk")
+        fam.observe(64)
+        fam.observe(128)
+        back = HistogramFamily.from_wire(
+            json.loads(json.dumps(fam.to_wire()))
+        )
+        assert back.name == "steps"
+        assert back.help == "per chunk"
+        assert back.aggregate() == fam.aggregate()
+
+    def test_from_wire_aggregate_helper(self):
+        fam = HistogramFamily("lat", TIME_SCHEME)
+        fam.observe(0.01, shard="0")
+        fam.observe(0.02, shard="1")
+        agg = Histogram.from_wire_aggregate(fam.to_wire())
+        assert agg == fam.aggregate()
+        empty = Histogram.from_wire_aggregate(None)
+        assert empty.count == 0

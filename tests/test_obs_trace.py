@@ -1,0 +1,93 @@
+"""Trace-recorder suite: ring semantics, slow log, span timing."""
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, SpanEvent, TraceRecorder
+
+
+class TestSpanEvent:
+    def test_service_split(self):
+        e = SpanEvent(kind="feed", start=1.0, duration=0.010,
+                      queue_wait=0.004)
+        assert e.service == pytest.approx(0.006)
+        # A stale enqueue stamp can't go negative.
+        late = SpanEvent(kind="feed", start=1.0, duration=0.002,
+                         queue_wait=0.005)
+        assert late.service == 0.0
+
+    def test_to_dict_optional_fields_and_detail(self):
+        e = SpanEvent(kind="solve", start=0.0, duration=0.5,
+                      trace="t1", session="s1", shard=2,
+                      detail=(("solver", "dp"),))
+        d = e.to_dict()
+        assert d["kind"] == "solve"
+        assert d["trace"] == "t1"
+        assert d["session"] == "s1"
+        assert d["shard"] == 2
+        assert d["solver"] == "dp"
+        bare = SpanEvent(kind="open", start=0.0, duration=0.0).to_dict()
+        assert "trace" not in bare and "shard" not in bare
+
+
+class TestTraceRecorder:
+    def test_ring_wraps_and_accounts_drops(self):
+        rec = TraceRecorder(8)
+        for i in range(20):
+            rec.record("feed", duration=0.001, session=f"s{i}")
+        snap = rec.snapshot()
+        assert snap["recorded"] == 20
+        assert snap["buffered"] == 8
+        assert snap["dropped"] == 12
+        # Ring keeps the most recent spans.
+        assert [e.session for e in rec.events()] == [
+            f"s{i}" for i in range(12, 20)
+        ]
+
+    def test_kind_filter_and_limit(self):
+        rec = TraceRecorder(32)
+        for i in range(5):
+            rec.record("feed", duration=0.0)
+            rec.record("close", duration=0.0)
+        assert len(rec.events("feed")) == 5
+        assert len(rec.events(limit=3)) == 3
+
+    def test_slow_ring_survives_main_wraparound(self):
+        rec = TraceRecorder(4, slow_threshold=0.010)
+        rec.record("feed", duration=0.050, trace="slow-one")
+        for _ in range(10):
+            rec.record("feed", duration=0.001)
+        # Main ring wrapped past the slow span; slow ring kept it.
+        assert all(e.trace != "slow-one" for e in rec.events())
+        slow = rec.slow_events()
+        assert [e.trace for e in slow] == ["slow-one"]
+        assert rec.snapshot()["slow"] == 1
+
+    def test_no_threshold_means_no_slow_log(self):
+        rec = TraceRecorder(4)
+        rec.record("feed", duration=999.0)
+        assert rec.slow_events() == []
+        assert rec.snapshot()["slow_threshold_s"] is None
+
+    def test_span_context_manager_times_and_survives_raise(self):
+        rec = TraceRecorder(8)
+        with rec.span("solve", solver="dp"):
+            pass
+        with pytest.raises(RuntimeError):
+            with rec.span("solve", solver="dp"):
+                raise RuntimeError("boom")
+        events = rec.events("solve")
+        assert len(events) == 2
+        assert all(e.duration >= 0.0 for e in events)
+        assert all(dict(e.detail)["solver"] == "dp" for e in events)
+
+    def test_disabled_recorder_is_inert(self):
+        assert not NULL_TRACER.enabled
+        assert NULL_TRACER.record("feed", duration=1.0) is None
+        assert NULL_TRACER.events() == []
+        assert NULL_TRACER.slow_events() == []
+        snap = NULL_TRACER.snapshot()
+        assert snap["recorded"] == 0 and snap["buffered"] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(-1)

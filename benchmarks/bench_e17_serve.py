@@ -212,54 +212,80 @@ def test_bench_serve_shard_scaling(benchmark, smoke):
 
 
 def test_bench_serve_loopback_requests(benchmark, smoke):
-    """Requests/s through live TCP serving, verified per session."""
+    """Requests/s through live TCP serving, verified per session.
+
+    Each shard count runs under both wire protocols — v1 JSON frames
+    and v2 binary lane frames (interned + deflated, pipelined) — so the
+    table shows what protocol v2 buys in bytes-on-wire and server
+    decode CPU at identical, oracle-verified answers.  Acceptance: v2
+    puts at most half of v1's request bytes on the wire.
+    """
     sessions = 24 if smoke else 128
     steps = 240 if smoke else 1_000
     chunk = 120 if smoke else 250
     clients = 8
     shard_counts = [1, 2] if smoke else [1, 2, 4]
+    protos = [("json", False), ("bin", True)]
 
     rows = []
+    bytes_out: dict[tuple[int, str], int] = {}
     for shards in shard_counts:
-        config = ServeConfig(shards=shards, max_sessions=sessions + 8)
-        with ServerThread(config) as (host, port):
-            result = run_loadgen(
-                host,
-                port,
-                sessions=sessions,
-                steps=steps,
-                chunk=chunk,
-                width=96,
-                clients=clients,
-                verify=True,  # oracle equality on every session
+        for proto, pipeline in protos:
+            config = ServeConfig(shards=shards, max_sessions=sessions + 8)
+            with ServerThread(config) as (host, port):
+                result = run_loadgen(
+                    host,
+                    port,
+                    sessions=sessions,
+                    steps=steps,
+                    chunk=chunk,
+                    width=96,
+                    clients=clients,
+                    verify=True,  # oracle equality on every session
+                    proto=proto,
+                    pipeline=pipeline,
+                )
+                # Server-side view of the same traffic: merged
+                # drain-cycle histogram over all shards plus the
+                # per-protocol decode-CPU counters, over the wire.
+                with ServeClient(host, port) as probe:
+                    telemetry = probe.metrics()
+                    wire = telemetry["histograms"]
+                    decode_s = telemetry["metrics"]["engine"]["wire"][
+                        proto
+                    ]["decode_s"]
+            drain = Histogram.from_wire_aggregate(
+                wire.get("drain_cycle_seconds")
             )
-            # Server-side view of the same traffic: merged drain-cycle
-            # histogram over all shards, scraped over the wire.
-            with ServeClient(host, port) as probe:
-                wire = probe.metrics()["histograms"]
-        drain = Histogram.from_wire_aggregate(
-            wire.get("drain_cycle_seconds")
-        )
-        assert result.verified is True
-        # Client and server measure the same requests with the same
-        # histogram type; a drain cycle is a strict sub-interval of a
-        # feed round trip.
-        lat = result.latency
-        assert lat.count >= result.sessions
-        assert drain.count > 0
-        ms = 1e3
-        rows.append([
-            shards,
-            result.sessions,
-            result.frames,
-            round(result.wall_s, 2),
-            f"{result.frames_per_s:,.0f}",
-            f"{result.steps_per_s:,.0f}",
-            f"{lat.p50 * ms:.1f} / {lat.p95 * ms:.1f} "
-            f"/ {lat.p99 * ms:.1f}",
-            f"{drain.p50 * ms:.1f} / {drain.p95 * ms:.1f} "
-            f"/ {drain.p99 * ms:.1f}",
-        ])
+            assert result.verified is True
+            # Client and server measure the same requests with the
+            # same histogram type; a drain cycle is a strict
+            # sub-interval of a feed round trip.
+            lat = result.latency
+            assert lat.count >= result.sessions
+            assert drain.count > 0
+            bytes_out[(shards, proto)] = result.bytes_out
+            ms = 1e3
+            rows.append([
+                shards,
+                proto,
+                result.sessions,
+                result.frames,
+                round(result.wall_s, 2),
+                f"{result.frames_per_s:,.0f}",
+                f"{result.steps_per_s:,.0f}",
+                f"{result.bytes_out:,}",
+                f"{decode_s * ms:.1f}",
+                f"{lat.p50 * ms:.1f} / {lat.p95 * ms:.1f} "
+                f"/ {lat.p99 * ms:.1f}",
+                f"{drain.p50 * ms:.1f} / {drain.p95 * ms:.1f} "
+                f"/ {drain.p99 * ms:.1f}",
+            ])
+
+    # Wire-protocol acceptance: identical traffic, ≥2× fewer request
+    # bytes under v2 at every shard count.
+    for shards in shard_counts:
+        assert bytes_out[(shards, "bin")] * 2 <= bytes_out[(shards, "json")]
 
     def once():
         with ServerThread(ServeConfig(shards=1)) as (host, port):
@@ -271,9 +297,11 @@ def test_bench_serve_loopback_requests(benchmark, smoke):
 
     print()
     print(format_table(
-        ["shards", "sessions", "frames", "wall s", "frames/s", "steps/s",
+        ["shards", "proto", "sessions", "frames", "wall s", "frames/s",
+         "steps/s", "req bytes", "decode ms",
          "client p50/p95/p99 ms", "drain p50/p95/p99 ms"],
         rows,
         title=f"E17: loopback serving, {clients} clients, "
-              f"chunk={chunk} (costs verified vs single hub)",
+              f"chunk={chunk} (costs verified vs single hub; "
+              f"v2 = binary interned frames, pipelined)",
     ))

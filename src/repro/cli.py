@@ -445,6 +445,7 @@ def cmd_serve(args) -> int:
             metrics_port=args.metrics_port,
             stats_interval=args.stats_interval,
             slow_ms=args.slow_ms,
+            proto=args.proto,
         )
     except ValueError as exc:
         print(exc, file=sys.stderr)
@@ -511,6 +512,11 @@ CORE_SERIES = (
     "repro_drain_cycle_seconds_count",
     "repro_stream_chunk_steps_count",
     "repro_session_cost_count",
+    # wire protocol accounting is pre-seeded for both generations, so
+    # an idle server already exposes the {proto="json"|"bin"} series.
+    "repro_wire_bytes_in_total",
+    "repro_wire_bytes_out_total",
+    "repro_wire_decode_seconds_total",
 )
 
 
@@ -596,23 +602,36 @@ def cmd_serve_bench(args) -> int:
                 policy_params=policy_params,
                 clients=args.clients,
                 verify=args.verify,
+                proto=args.proto,
+                pipeline=args.pipeline,
             )
             # Server-side view of the same traffic, over the wire:
-            # merged drain-cycle histogram across all shards.
+            # merged drain-cycle histogram across all shards, plus the
+            # per-protocol decode-CPU counters.
             with ServeClient(host, port) as probe:
-                wire = probe.metrics()["histograms"]
+                telemetry = probe.metrics()
+                wire = telemetry["histograms"]
+                decode = {
+                    proto: series["decode_s"]
+                    for proto, series in
+                    telemetry["metrics"]["engine"]["wire"].items()
+                }
         drain = Histogram.from_wire_aggregate(
             wire.get("drain_cycle_seconds")
         )
         lat = result.latency
         ms = 1e3
+        decode_ms = sum(decode.values()) * ms
         rows.append([
             shards,
+            result.proto,
             result.sessions,
             result.steps,
             round(result.wall_s, 2),
             f"{result.steps_per_s:,.0f}",
             f"{result.frames_per_s:,.0f}",
+            f"{result.bytes_out:,}",
+            f"{decode_ms:.1f}",
             f"{lat.p50 * ms:.1f} / {lat.p95 * ms:.1f} / {lat.p99 * ms:.1f}",
             f"{drain.p50 * ms:.1f} / {drain.p95 * ms:.1f} "
             f"/ {drain.p99 * ms:.1f}",
@@ -620,11 +639,16 @@ def cmd_serve_bench(args) -> int:
         ])
         payload.append({
             "shards": shards,
+            "proto": result.proto,
+            "pipeline": args.pipeline,
             "sessions": result.sessions,
             "steps": result.steps,
             "wall_s": result.wall_s,
             "steps_per_s": result.steps_per_s,
             "frames_per_s": result.frames_per_s,
+            "bytes_out": result.bytes_out,
+            "bytes_in": result.bytes_in,
+            "decode_s": decode,
             "client_latency": lat.snapshot(),
             "server_drain": drain.snapshot(),
             "verified": result.verified,
@@ -635,7 +659,8 @@ def cmd_serve_bench(args) -> int:
         return 0
     kind = "proc" if args.shard_procs else "thread"
     print(format_table(
-        ["shards", "sessions", "steps", "wall s", "steps/s", "frames/s",
+        ["shards", "proto", "sessions", "steps", "wall s", "steps/s",
+         "frames/s", "req bytes", "decode ms",
          "client p50/p95/p99 ms", "drain p50/p95/p99 ms", "verified"],
         rows,
         title=f"serve-bench: loopback, {kind} shards, "
@@ -920,6 +945,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="speak the protocol over stdin/stdout instead of TCP",
     )
     p_serve.add_argument(
+        "--proto", choices=["auto", "json"], default="auto",
+        help="wire protocols to accept: auto negotiates binary v2 "
+             "frames with willing clients, json declines them "
+             "(default: auto)",
+    )
+    p_serve.add_argument(
         "--metrics-port", type=int, default=None, metavar="PORT",
         help="serve Prometheus text at http://HOST:PORT/metrics "
              "(0 picks an ephemeral port; default: off)",
@@ -999,6 +1030,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="replay every trace through a single StreamHub and require "
              "exact per-session cost equality",
+    )
+    p_sbench.add_argument(
+        "--proto", choices=["auto", "json", "bin"], default="auto",
+        help="client wire protocol (default: auto-negotiate v2)",
+    )
+    p_sbench.add_argument(
+        "--pipeline", action="store_true",
+        help="pipeline each fleet round as one multi-frame burst per "
+             "client connection",
     )
     p_sbench.add_argument("--json", action="store_true")
     p_sbench.set_defaults(func=cmd_serve_bench)

@@ -129,6 +129,13 @@ class EngineMetrics:
         self.stream_steps = 0
         self.stream_hypers = 0
         self.stream_time = 0.0
+        # Wire accounting per protocol, pre-seeded so the exposition
+        # renders the v1/v2 series (at zero) on an idle server.
+        # proto -> [frames_in, bytes_in, bytes_out, decode_seconds]
+        self.wire: dict[str, list] = {
+            "json": [0, 0, 0, 0.0],
+            "bin": [0, 0, 0, 0.0],
+        }
 
     # -- recording ---------------------------------------------------------
 
@@ -215,6 +222,32 @@ class EngineMetrics:
         """Count one streaming session opened on a hub."""
         with self._lock:
             self.stream_sessions += 1
+
+    def record_wire(
+        self,
+        proto: str,
+        *,
+        frames_in: int = 0,
+        bytes_in: int = 0,
+        bytes_out: int = 0,
+        decode_seconds: float = 0.0,
+    ) -> None:
+        """Count serve-layer wire traffic under one protocol label.
+
+        ``proto`` is ``"json"`` (v1 newline-JSON frames) or ``"bin"``
+        (v2 binary feed frames).  ``decode_seconds`` is CPU spent
+        decoding/validating frame payloads — off the event loop, in
+        the drain executor — so the v1-vs-v2 decode cost is a first-
+        class series next to the byte counters.
+        """
+        with self._lock:
+            row = self.wire.get(proto)
+            if row is None:
+                row = self.wire[proto] = [0, 0, 0, 0.0]
+            row[0] += int(frames_in)
+            row[1] += int(bytes_in)
+            row[2] += int(bytes_out)
+            row[3] += float(decode_seconds)
 
     def record_stream(
         self,
@@ -390,6 +423,15 @@ class EngineMetrics:
                     "steps_per_s": self._stream_steps_per_s(),
                     "hyper_rate": self._stream_hyper_rate(),
                 },
+                "wire": {
+                    proto: {
+                        "frames_in": row[0],
+                        "bytes_in": row[1],
+                        "bytes_out": row[2],
+                        "decode_s": row[3],
+                    }
+                    for proto, row in sorted(self.wire.items())
+                },
                 "histograms": {
                     name: fam.snapshot() for name, fam in self.hist.items()
                 },
@@ -471,6 +513,14 @@ class EngineMetrics:
                     ["feed latency p50/p95/p99",
                      f"{feed['p50'] * 1e3:.2f} / {feed['p95'] * 1e3:.2f} / "
                      f"{feed['p99'] * 1e3:.2f} ms"]
+                )
+        for proto, wire in snap["wire"].items():
+            if wire["frames_in"]:
+                rows.append(
+                    [f"wire [{proto}]",
+                     f"{wire['frames_in']} frames, {wire['bytes_in']} B in "
+                     f"/ {wire['bytes_out']} B out, "
+                     f"decode {wire['decode_s'] * 1e3:.1f} ms"]
                 )
         if cache is not None:
             if cache.enabled:

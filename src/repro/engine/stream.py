@@ -50,6 +50,7 @@ from repro.core.cost_single import switch_cost
 from repro.core.packed import lanes_to_masks, masks_to_lanes
 from repro.core.schedule import SingleTaskSchedule
 from repro.core.switches import SwitchUniverse
+from repro.engine.intern import InternedChunk
 from repro.engine.metrics import EngineMetrics
 from repro.solvers.online import OnlineRun
 
@@ -232,8 +233,13 @@ class StreamSession:
             cumulative_cost=self._cost,
         )
 
-    def _apply_lanes(self, lanes: np.ndarray) -> StreamBatch:
-        """Advance the batched cursor by a pre-validated lane chunk."""
+    def _apply_lanes(self, lanes: np.ndarray, *, log=None) -> StreamBatch:
+        """Advance the batched cursor by a pre-validated lane chunk.
+
+        ``log`` substitutes what lands in the requirement log (an
+        :class:`~repro.engine.intern.InternedChunk` keeps ids instead
+        of the gathered lane matrix — same masks at :meth:`finish`,
+        a fraction of the resident bytes)."""
         start = self._n
         batch = self._batched.step_many(lanes)
         C = batch.steps
@@ -244,7 +250,7 @@ class StreamSession:
         cum = np.cumsum(np.concatenate(([self._cost], step_costs)))
         chunk_cost = float(cum[-1] - self._cost)
         self._cost = float(cum[-1])
-        self._chunks.append(lanes)
+        self._chunks.append(lanes if log is None else log)
         self._n += C
         flagged = np.flatnonzero(batch.hyper)
         if flagged.size:
@@ -264,14 +270,26 @@ class StreamSession:
         """Serve a chunk of requirements in one vectorized call.
 
         ``masks`` is an iterable of int masks, a
-        :class:`~repro.core.context.RequirementSequence`, or an already
+        :class:`~repro.core.context.RequirementSequence`, an already
         lane-packed ``(C, L)`` uint64 array (fast path; lanes are
-        trusted to fit the universe).  The session keeps its own copy
-        of the chunk, so callers may reuse one preallocated buffer
-        across feeds.
+        trusted to fit the universe), or an
+        :class:`~repro.engine.intern.InternedChunk` of global-arena ids
+        (the serve ingest path) — resolved here, logged as ids.  The
+        session keeps its own copy of the chunk, so callers may reuse
+        one preallocated buffer across feeds.
         """
         if self._finished:
             raise RuntimeError("session already finished")
+        if isinstance(masks, InternedChunk):
+            if masks.width != self.universe.size:
+                raise ValueError(
+                    f"interned chunk is for a {masks.width}-switch "
+                    f"universe, session runs {self.universe.size}"
+                )
+            lanes = masks.resolve()
+            if self._batched is not None:
+                return self._apply_lanes(lanes, log=masks)
+            masks = lanes_to_masks(lanes) if lanes.shape[0] else []
         if isinstance(masks, np.ndarray) and masks.ndim == 2:
             lanes = np.ascontiguousarray(masks, dtype=np.uint64)
             if np.shares_memory(lanes, masks):
@@ -322,7 +340,11 @@ class StreamSession:
         if self._batched is None:
             return self._scalar_masks
         out: list[int] = []
-        for lanes in self._chunks:
+        for chunk in self._chunks:
+            lanes = (
+                chunk.resolve() if isinstance(chunk, InternedChunk)
+                else chunk
+            )
             if lanes.shape[0]:
                 out.extend(lanes_to_masks(lanes))
         return out

@@ -1,13 +1,29 @@
 """Synchronous client for the serving protocol.
 
-:class:`ServeClient` owns one TCP connection and speaks strict
-request/response: every call writes one frame and blocks for its reply
-(flow control and reply matching come for free; run several clients —
-they are cheap — for pipelining, the way the load generator does).
+:class:`ServeClient` owns one TCP connection.  Every call writes its
+frame(s) and blocks for the replies — reply matching is positional, so
+:meth:`feed_pipelined` can keep many feed frames in flight on one
+socket (one ``sendall``, then drain the replies in order) without any
+correlation ids.
 
 The client remembers each opened session's universe width, so
 :meth:`feed` accepts plain int masks *or* pre-packed ``(C, L)`` lane
 arrays and encodes them itself.
+
+Wire protocol negotiation (``proto=``):
+
+* ``"auto"`` (default) — ask for v2 on the first ``open``; speak raw
+  binary feed frames if the server agrees, fall back to JSON lines
+  against older servers (which reject the unknown ``proto`` field —
+  the open is retried without it, once).
+* ``"json"`` — classic v1 JSON frames only.
+* ``"bin"`` — require v2; raise :class:`ServeError` if the server
+  declines.
+
+Binary feeds intern repeated masks into a per-``(connection, width)``
+:class:`~repro.serve.protocol.ClientArena` mirrored by the server; an
+error reply to a binary feed poisons that width's arena (the id maps
+can no longer be trusted to agree) and later chunks go raw.
 """
 
 from __future__ import annotations
@@ -17,7 +33,12 @@ from dataclasses import dataclass
 
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
+    PROTO_BIN,
+    PROTO_JSON,
+    ClientArena,
+    _as_lanes,
     decode_frame,
+    encode_feed_bin,
     encode_frame,
     encode_mask_chunk,
 )
@@ -52,6 +73,17 @@ class CloseResult:
     cost: float
 
 
+def _feed_result(session: str, reply: dict) -> FeedResult:
+    return FeedResult(
+        session=session,
+        start=reply["start"],
+        steps=reply["steps"],
+        hypers=reply["hypers"],
+        cost=reply["cost"],
+        cumulative_cost=reply["cumulative_cost"],
+    )
+
+
 class ServeClient:
     """One blocking connection to a :class:`~repro.serve.server.StreamServer`.
 
@@ -62,8 +94,14 @@ class ServeClient:
     timeout:
         Socket timeout per reply, seconds.
     encoding:
-        Mask chunk encoding for ``feed`` frames (``"b64"`` default,
-        ``"hex"`` for eyeball-friendly traffic).
+        Mask chunk encoding for JSON ``feed`` frames (``"b64"``
+        default, ``"hex"`` for eyeball-friendly traffic).
+    proto:
+        Wire protocol preference: ``"auto"`` | ``"json"`` | ``"bin"``
+        (see the module docstring).
+    deflate:
+        Section compression on binary feeds: ``None`` compresses only
+        when it wins, ``True``/``False`` force it.
     """
 
     def __init__(
@@ -73,34 +111,73 @@ class ServeClient:
         *,
         timeout: float = 60.0,
         encoding: str = "b64",
+        proto: str = "auto",
+        deflate: bool | None = None,
     ):
         if encoding not in ("b64", "hex"):
             raise ValueError(f"unknown mask encoding {encoding!r}")
+        if proto not in ("auto", "json", "bin"):
+            raise ValueError(f"unknown wire protocol {proto!r}")
         self._encoding = encoding
+        self._proto = proto
+        self._deflate = deflate
+        #: None until the first open settles negotiation.
+        self._bin: bool | None = False if proto == "json" else None
         self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        self._recv = bytearray()
         self._widths: dict[str, int] = {}
+        #: width -> ClientArena, or None once poisoned (raw-only).
+        self._arenas: dict[int, ClientArena | None] = {}
         self._closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
 
     # -- plumbing ----------------------------------------------------------
 
+    @property
+    def proto(self) -> str:
+        """The negotiated wire protocol (``"auto"`` until settled)."""
+        if self._bin is None:
+            return "auto"
+        return "bin" if self._bin else "json"
+
+    def _send(self, data: bytes) -> None:
+        if self._closed:
+            raise RuntimeError("client is closed")
+        self._sock.sendall(data)
+        self.bytes_sent += len(data)
+
+    def _recv_reply(self) -> dict:
+        """Read one newline-terminated JSON reply off the persistent
+        receive buffer (replies are always JSON lines, both protocols)."""
+        while True:
+            newline = self._recv.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._recv[: newline + 1])
+                del self._recv[: newline + 1]
+                return decode_frame(line)
+            if len(self._recv) > MAX_FRAME_BYTES:
+                raise ConnectionError("oversized reply frame")
+            data = self._sock.recv(65536)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            self.bytes_received += len(data)
+            self._recv.extend(data)
+
+    def _reply_ok(self) -> dict:
+        reply = self._recv_reply()
+        if not reply.get("ok"):
+            raise ServeError(reply.get("error", "unspecified server error"))
+        return reply
+
     def call(self, payload: dict) -> dict:
-        """Send one raw frame, return the decoded success reply.
+        """Send one raw JSON frame, return the decoded success reply.
 
         Escape hatch for tests poking at the protocol; the typed
         methods below are the real API.
         """
-        if self._closed:
-            raise RuntimeError("client is closed")
-        self._file.write(encode_frame(payload))
-        self._file.flush()
-        line = self._file.readline(MAX_FRAME_BYTES + 2)
-        if not line:
-            raise ConnectionError("server closed the connection")
-        reply = decode_frame(line)
-        if not reply.get("ok"):
-            raise ServeError(reply.get("error", "unspecified server error"))
-        return reply
+        self._send(encode_frame(payload))
+        return self._reply_ok()
 
     # -- session API -------------------------------------------------------
 
@@ -116,9 +193,11 @@ class ServeClient:
     ) -> str:
         """Open a session; returns its (possibly generated) id.
 
-        ``trace`` is an optional client-chosen trace id: the server
-        echoes it in the reply and attaches it to its span events (same
-        on :meth:`feed` / :meth:`close_session`).
+        The first open on the connection settles protocol negotiation
+        (see the module docstring).  ``trace`` is an optional
+        client-chosen trace id: the server echoes it in the reply and
+        attaches it to its span events (same on :meth:`feed` /
+        :meth:`close_session`).
         """
         frame = {"op": "open", "policy": policy, "width": width, "w": w}
         if session_id is not None:
@@ -126,24 +205,75 @@ class ServeClient:
         if trace is not None:
             frame["trace"] = trace
         frame.update(params)
-        reply = self.call(frame)
+        if self._bin is None or self._bin:
+            frame["proto"] = PROTO_BIN
+        try:
+            reply = self.call(frame)
+        except ServeError as exc:
+            if (
+                self._bin is None
+                and self._proto == "auto"
+                and "unknown fields" in str(exc)
+                and "proto" in str(exc)
+            ):
+                # Pre-v2 server: it rejected the proto field itself.
+                # Retry once without it and stay on JSON for good.
+                self._bin = False
+                frame.pop("proto")
+                reply = self.call(frame)
+            else:
+                raise
+        else:
+            if self._bin is None:
+                self._bin = reply.get("proto") == PROTO_BIN
+                if not self._bin and self._proto == "bin":
+                    raise ServeError(
+                        "server declined wire protocol v2 "
+                        f"(answered proto={reply.get('proto', PROTO_JSON)})"
+                    )
         sid = reply["session"]
         self._widths[sid] = width
         return sid
 
-    def feed(
-        self, session_id: str, masks, *, trace: str | None = None
-    ) -> FeedResult:
-        """Serve a chunk of requirements on one session."""
+    def _width_of(self, session_id: str) -> int:
         try:
-            width = self._widths[session_id]
+            return self._widths[session_id]
         except KeyError:
             raise KeyError(
                 f"session {session_id!r} was not opened by this client"
             ) from None
+
+    def _arena(self, width: int) -> ClientArena | None:
+        if width not in self._arenas:
+            self._arenas[width] = ClientArena(width)
+        return self._arenas[width]
+
+    def _poison_arenas(self) -> None:
+        """After an error reply to a binary feed the server's id maps
+        may have diverged from ours; stop interning, go raw."""
+        for width in self._arenas:
+            self._arenas[width] = None
+
+    def _encode_feed(
+        self, session_id: str, masks, *, trace: str | None
+    ) -> bytes:
+        """One feed frame as wire bytes, honoring the negotiated proto.
+
+        Traced feeds ride JSON even on v2 — the binary frame has no
+        trace field, and tracing already opted into the verbose path.
+        """
+        width = self._width_of(session_id)
         count = len(masks)
         if count == 0:
             raise ValueError("feed chunks must contain at least one mask")
+        if self._bin and trace is None:
+            return encode_feed_bin(
+                session_id,
+                _as_lanes(masks, width),
+                width,
+                arena=self._arena(width),
+                deflate=self._deflate,
+            )
         blob = encode_mask_chunk(masks, width, encoding=self._encoding)
         frame = {
             "op": "feed",
@@ -154,15 +284,52 @@ class ServeClient:
         }
         if trace is not None:
             frame["trace"] = trace
-        reply = self.call(frame)
-        return FeedResult(
-            session=session_id,
-            start=reply["start"],
-            steps=reply["steps"],
-            hypers=reply["hypers"],
-            cost=reply["cost"],
-            cumulative_cost=reply["cumulative_cost"],
-        )
+        return encode_frame(frame)
+
+    def feed(
+        self, session_id: str, masks, *, trace: str | None = None
+    ) -> FeedResult:
+        """Serve a chunk of requirements on one session."""
+        self._send(self._encode_feed(session_id, masks, trace=trace))
+        try:
+            reply = self._reply_ok()
+        except ServeError:
+            self._poison_arenas()
+            raise
+        return _feed_result(session_id, reply)
+
+    def feed_pipelined(
+        self, batch: list[tuple[str, object]]
+    ) -> list[FeedResult]:
+        """Serve many chunks with one round trip's worth of latency.
+
+        ``batch`` is ``[(session_id, masks), ...]``.  All frames go out
+        back-to-back (one ``sendall``), then the replies — which the
+        server writes strictly in request order — drain in order.  On
+        an error reply the remaining replies are still drained (the
+        connection stays usable) before :class:`ServeError` raises.
+        """
+        if not batch:
+            return []
+        frames = [
+            self._encode_feed(sid, masks, trace=None)
+            for sid, masks in batch
+        ]
+        self._send(b"".join(frames))
+        results: list[FeedResult] = []
+        failure: ServeError | None = None
+        for sid, _masks in batch:
+            reply = self._recv_reply()
+            if reply.get("ok"):
+                results.append(_feed_result(sid, reply))
+            elif failure is None:
+                failure = ServeError(
+                    reply.get("error", "unspecified server error")
+                )
+        if failure is not None:
+            self._poison_arenas()
+            raise failure
+        return results
 
     def close_session(
         self, session_id: str, *, trace: str | None = None
@@ -201,10 +368,6 @@ class ServeClient:
         if self._closed:
             return
         self._closed = True
-        try:
-            self._file.close()
-        except OSError:  # pragma: no cover - already torn down
-            pass
         self._sock.close()
 
     def __enter__(self) -> "ServeClient":

@@ -11,7 +11,12 @@ how fast it arrives).
 Clients run on threads, each owning an equal slice of the fleet and
 feeding it round-robin (all sessions advance chunk 0, then chunk 1, …)
 — the arrival pattern that lets the server's per-shard drain cycles
-actually batch.
+actually batch.  With ``pipeline=True`` each round goes out as one
+:meth:`~repro.serve.client.ServeClient.feed_pipelined` burst per
+client, so a whole fleet round costs one round trip instead of one per
+session.  ``proto`` selects the wire protocol per client
+(``"auto"``/``"json"``/``"bin"``); the result carries the bytes each
+generation actually put on the wire.
 """
 
 from __future__ import annotations
@@ -64,6 +69,12 @@ class LoadgenResult:
     wall_s: float
     costs: dict[str, float] = field(default_factory=dict)
     verified: bool | None = None
+    #: wire protocol the clients ran ("json" | "bin" | "auto").
+    proto: str = "json"
+    #: request bytes the clients put on the wire / reply bytes read
+    #: back, summed over every client connection.
+    bytes_out: int = 0
+    bytes_in: int = 0
     #: client-observed feed round-trip latency, merged across all
     #: client threads — same :class:`Histogram` type as the server's
     #: families, so client p50/p95/p99 line up with server quantiles
@@ -83,12 +94,12 @@ class LoadgenResult:
 
 def _client_worker(
     host, port, jobs, chunk, policy, policy_params, width, w,
-    out, latency, errors
+    proto, pipeline, out, latency, errors
 ):
     from repro.serve.client import ServeClient
 
     try:
-        with ServeClient(host, port) as client:
+        with ServeClient(host, port, proto=proto) as client:
             for sid, _masks in jobs:
                 got = client.open(
                     policy=policy,
@@ -102,18 +113,33 @@ def _client_worker(
             frames = len(jobs)  # the opens
             pos = 0
             while pos < longest:
-                for sid, masks in jobs:
-                    if pos < len(masks):
+                batch = [
+                    (sid, masks[pos : pos + chunk])
+                    for sid, masks in jobs
+                    if pos < len(masks)
+                ]
+                if pipeline:
+                    # One burst per round: the whole batch shares one
+                    # round trip, so each frame is booked at the batch
+                    # RTT it actually waited behind.
+                    t0 = time.perf_counter()
+                    client.feed_pipelined(batch)
+                    dt = time.perf_counter() - t0
+                    for _ in batch:
+                        latency.observe(dt)
+                else:
+                    for sid, masks in batch:
                         t0 = time.perf_counter()
-                        client.feed(sid, masks[pos : pos + chunk])
+                        client.feed(sid, masks)
                         latency.observe(time.perf_counter() - t0)
-                        frames += 1
+                frames += len(batch)
                 pos += chunk
             for sid, _masks in jobs:
                 res = client.close_session(sid)
                 frames += 1
                 out[sid] = res.cost
-            out[None] = frames  # sentinel: this worker's frame count
+            # sentinel: this worker's frame count + wire byte totals.
+            out[None] = (frames, client.bytes_sent, client.bytes_received)
     except Exception as exc:  # noqa: BLE001 - surfaced by the caller
         errors.append(exc)
 
@@ -133,6 +159,8 @@ def run_loadgen(
     phase: int = 600,
     seed: int = 0,
     verify: bool = False,
+    proto: str = "auto",
+    pipeline: bool = False,
 ) -> LoadgenResult:
     """Drive a serving process with a synthetic fleet; see module doc.
 
@@ -163,7 +191,8 @@ def run_loadgen(
         threading.Thread(
             target=_client_worker,
             args=(host, port, slices[c], chunk, policy, policy_params,
-                  width, w, outs[c], latencies[c], errors),
+                  width, w, proto, pipeline, outs[c], latencies[c],
+                  errors),
             name=f"loadgen-{c}",
         )
         for c in range(clients)
@@ -177,9 +206,12 @@ def run_loadgen(
     if errors:
         raise errors[0]
     costs: dict[str, float] = {}
-    frames = 0
+    frames = bytes_out = bytes_in = 0
     for out in outs:
-        frames += out.pop(None, 0)
+        got, sent, received = out.pop(None, (0, 0, 0))
+        frames += got
+        bytes_out += sent
+        bytes_in += received
         costs.update(out)
     latency = Histogram(TIME_SCHEME)
     for h in latencies:
@@ -190,6 +222,9 @@ def run_loadgen(
         frames=frames,
         wall_s=wall,
         costs=costs,
+        proto=proto,
+        bytes_out=bytes_out,
+        bytes_in=bytes_in,
         latency=latency,
     )
     if verify:

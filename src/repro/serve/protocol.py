@@ -37,6 +37,37 @@ little-endian row-major.  Encode/decode are shared by server and
 client, and the decoder *validates* — blob length must match
 ``count · L · 8`` and bits above ``width`` must be zero — so the
 server can hand decoded lanes straight to the packed fast path.
+
+**Protocol v2 (binary feed frames).**  JSON + base64 costs ~35% size
+overhead plus a decode on the receiving event loop; v2 moves the feed
+hot path onto length-prefixed binary frames while everything else
+(open/close/stats/metrics, every reply) stays newline-delimited JSON.
+A v2 frame is an 8-byte header followed by the payload::
+
+    offset  size  field
+    0       1     magic 0xA7 (never a printable JSON first byte)
+    1       1     version (2)
+    2       1     opcode (1 = feed)
+    3       1     flags (bit0 INTERNED, bit1 DEFLATE)
+    4       4     payload length, u32 little-endian
+
+Feed payload: ``u8 session-length | session utf-8 | u32 count``,
+then either the **raw** section — ``count · L`` uint64 lanes,
+little-endian row-major — or (INTERNED) ``u32 base_epoch | u32
+new_rows`` followed by ``new_rows · L`` lanes and ``count`` row ids in
+the narrowest dtype ``base_epoch + new_rows`` allows.  DEFLATE marks
+the section (only) as zlib-compressed; the receiver knows the exact
+inflated size, so decompression is strictly bounded.  Ids are indices
+into the *connection's* intern table (:class:`ClientArena` client-side,
+an id-map onto the global :class:`~repro.engine.intern.MaskArena`
+server-side); ``base_epoch`` must equal the table's current size, so a
+desynced client is rejected loudly, never served wrong lanes.
+
+Version negotiation rides the JSON ``open`` frame: a v2 client sends
+``"proto": 2`` and switches to binary feeds only when the reply echoes
+``"proto": 2``; servers detect binary frames by the magic byte, so
+both protocols interleave freely on one connection.  v1-only clients
+never see any of this.
 """
 
 from __future__ import annotations
@@ -44,6 +75,8 @@ from __future__ import annotations
 import base64
 import binascii
 import json
+import struct
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -51,7 +84,20 @@ import numpy as np
 from repro.core.packed import lane_count
 
 __all__ = [
+    "ARENA_MAX_DISTINCT",
+    "ARENA_PROBE_ROWS",
+    "BIN_FLAG_DEFLATE",
+    "BIN_FLAG_INTERNED",
+    "BIN_HEADER",
+    "BIN_MAGIC",
+    "BIN_OP_FEED",
+    "BIN_VERSION",
+    "BinFeedFrame",
+    "ClientArena",
+    "MAX_CLIENT_ARENA",
     "MAX_FRAME_BYTES",
+    "PROTO_BIN",
+    "PROTO_JSON",
     "ProtocolError",
     "OpenFrame",
     "FeedFrame",
@@ -60,8 +106,11 @@ __all__ = [
     "MetricsFrame",
     "encode_frame",
     "decode_frame",
+    "encode_feed_bin",
     "encode_mask_chunk",
     "decode_mask_chunk",
+    "lanes_from_bytes",
+    "parse_bin_feed",
     "parse_request",
     "policy_from_spec",
     "error_frame",
@@ -72,6 +121,39 @@ __all__ = [
 #: 1 MiB of base64 holds ~98k single-lane requirement rows — far above
 #: any sane chunk; bigger frames are a protocol violation.
 MAX_FRAME_BYTES = 1 << 20
+
+#: Protocol versions as negotiated on ``open`` frames.
+PROTO_JSON = 1
+PROTO_BIN = 2
+
+#: First byte of every binary frame.  0xA7 is not valid UTF-8 as a
+#: leading byte and can never start a JSON line, so one peeked byte
+#: routes a connection's next frame to the right parser.
+BIN_MAGIC = 0xA7
+BIN_VERSION = 2
+BIN_OP_FEED = 1
+BIN_FLAG_INTERNED = 0x01
+BIN_FLAG_DEFLATE = 0x02
+_BIN_KNOWN_FLAGS = BIN_FLAG_INTERNED | BIN_FLAG_DEFLATE
+
+#: magic, version, opcode, flags, payload length.
+BIN_HEADER = struct.Struct("<BBBBI")
+
+#: Per-connection intern tables stay u16-indexable: above this many
+#: distinct rows a client falls back to raw frames (the table already
+#: failed to converge — interning was the wrong tool for that stream).
+MAX_CLIENT_ARENA = 1 << 16
+
+#: Adaptive interning probe: once a client arena has seen this many
+#: rows, a distinct fraction above :data:`ARENA_MAX_DISTINCT` means the
+#: stream barely repeats itself — interning then costs table CPU on
+#: both ends for almost no byte savings (deflate already carries the
+#: compression), so the arena gives up and the chunks go raw.
+ARENA_PROBE_ROWS = 1024
+ARENA_MAX_DISTINCT = 0.5
+
+_U32 = struct.Struct("<I")
+_U32x2 = struct.Struct("<II")
 
 
 class ProtocolError(ValueError):
@@ -85,7 +167,12 @@ class ProtocolError(ValueError):
 
 @dataclass(frozen=True)
 class OpenFrame:
-    """Parsed ``open`` request."""
+    """Parsed ``open`` request.
+
+    ``proto`` is the client's highest supported protocol version
+    (:data:`PROTO_JSON` when absent — every pre-v2 client); a v2 server
+    echoes ``proto: 2`` in the reply when binary feeds are enabled.
+    """
 
     session: str | None
     policy: str
@@ -93,6 +180,7 @@ class OpenFrame:
     w: float
     params: dict = field(default_factory=dict)
     trace: str | None = None
+    proto: int = PROTO_JSON
 
 
 @dataclass(frozen=True)
@@ -215,6 +303,17 @@ def decode_mask_chunk(
             raise ProtocolError(f"invalid hex mask blob: {exc}") from None
     else:
         raise ProtocolError(f"unknown mask encoding {encoding!r}")
+    return lanes_from_bytes(raw, count, width)
+
+
+def lanes_from_bytes(raw: bytes, count: int, width: int) -> np.ndarray:
+    """Validate raw little-endian lane bytes into ``(count, L)`` lanes.
+
+    The shared tail of every wire decode (b64, hex, binary): the byte
+    length must match ``count · L · 8`` exactly, and bits at or above
+    ``width`` are rejected — the result is safe for the lane-trusting
+    fast path.
+    """
     L = lane_count(width)
     expected = count * L * 8
     if len(raw) != expected:
@@ -235,6 +334,310 @@ def decode_mask_chunk(
                 f"mask sets switches beyond the {width}-switch universe"
             )
     return lanes
+
+
+# ---------------------------------------------------------------------------
+# Binary feed frames (protocol v2)
+# ---------------------------------------------------------------------------
+
+
+def _id_dtype(table_size: int) -> str:
+    """Narrowest unsigned dtype indexing a table of ``table_size`` rows."""
+    if table_size <= 1 << 8:
+        return "<u1"
+    if table_size <= 1 << 16:
+        return "<u2"
+    return "<u4"
+
+
+class ClientArena:
+    """Client-side intern table of one ``(connection, width)`` pair.
+
+    Mirrors the server's per-connection id map: both sides append the
+    same rows in the same frame order, so the table *size* is the
+    shared epoch — it rides every interned frame as ``base_epoch`` and
+    any drift is detected before a single wrong lane is served.  Ids
+    are connection-local (the server translates them onto its global
+    :class:`~repro.engine.intern.MaskArena`).  At :data:`MAX_CLIENT_ARENA`
+    distinct rows the table stops growing and :meth:`intern` signals
+    the caller to send raw frames instead.
+
+    Interning is also *adaptive*: after :data:`ARENA_PROBE_ROWS` rows,
+    a stream whose distinct fraction exceeds :data:`ARENA_MAX_DISTINCT`
+    permanently stops interning — shipping mostly-fresh rows through
+    the table costs intern CPU on both ends of the wire for almost no
+    byte savings over deflated raw frames.
+    """
+
+    __slots__ = ("width", "lanes_per_row", "_ids", "cap", "rows_seen",
+                 "_given_up")
+
+    def __init__(self, width: int, *, cap: int = MAX_CLIENT_ARENA):
+        self.width = int(width)
+        self.lanes_per_row = lane_count(width)
+        self._ids: dict[bytes, int] = {}
+        self.cap = int(cap)
+        self.rows_seen = 0
+        self._given_up = False
+
+    @property
+    def epoch(self) -> int:
+        return len(self._ids)
+
+    @property
+    def active(self) -> bool:
+        """False once the arena stopped interning (full or divergent)."""
+        return not self._given_up
+
+    def intern(self, lanes: np.ndarray):
+        """Intern one chunk's rows; ``None`` when the chunk must go raw
+        instead (table overflow or a stream that does not repeat itself
+        — either way nothing is committed).
+
+        Returns ``(base_epoch, new_lanes, ids)``: the table size before
+        this chunk, the ``(k, L)`` matrix of first-seen rows in id
+        order, and the ``(C,)`` id row of every step.
+        """
+        if self._given_up:
+            return None
+        base = len(self._ids)
+        fresh: dict[bytes, int] = {}
+        ids = np.empty(lanes.shape[0], dtype=np.uint32)
+        for j in range(lanes.shape[0]):
+            key = lanes[j].tobytes()
+            idx = self._ids.get(key)
+            if idx is None:
+                idx = fresh.get(key)
+                if idx is None:
+                    idx = base + len(fresh)
+                    fresh[key] = idx
+            ids[j] = idx
+        self.rows_seen += lanes.shape[0]
+        distinct = base + len(fresh)
+        if distinct > self.cap:
+            self._given_up = True
+            return None
+        if (
+            self.rows_seen >= ARENA_PROBE_ROWS
+            and distinct > ARENA_MAX_DISTINCT * self.rows_seen
+        ):
+            self._given_up = True
+            return None
+        self._ids.update(fresh)
+        if fresh:
+            new_lanes = np.frombuffer(
+                b"".join(fresh), dtype="<u8"
+            ).reshape(len(fresh), self.lanes_per_row)
+        else:
+            new_lanes = np.empty((0, self.lanes_per_row), dtype="<u8")
+        return base, new_lanes, ids
+
+
+def _deflate_maybe(section: bytes, deflate: bool | None):
+    """Compress when asked (or when it wins); returns (bytes, flag)."""
+    if deflate is False:
+        return section, 0
+    packed = zlib.compress(section, 1)
+    if deflate or len(packed) < len(section):
+        return packed, BIN_FLAG_DEFLATE
+    return section, 0
+
+
+def encode_feed_bin(
+    session: str,
+    lanes: np.ndarray,
+    width: int,
+    *,
+    arena: ClientArena | None = None,
+    deflate: bool | None = None,
+) -> bytes:
+    """Encode one v2 binary feed frame.
+
+    ``lanes`` is the chunk's ``(C, L)`` uint64 matrix.  With ``arena``,
+    the chunk ships interned — first-seen rows once plus per-step ids —
+    unless the table is full (silent raw fallback).  ``deflate=None``
+    compresses the section only when that actually wins; ``True``/
+    ``False`` force it (golden fixtures pin the uncompressed form).
+    """
+    lanes = np.ascontiguousarray(lanes, dtype="<u8")
+    L = lane_count(width)
+    if lanes.ndim != 2 or lanes.shape[1] != L:
+        raise ProtocolError(
+            f"lane rows have {lanes.shape[-1] if lanes.ndim else 0} "
+            f"lanes, width {width} needs {L}"
+        )
+    count = lanes.shape[0]
+    if count < 1:
+        raise ProtocolError("feed chunks must contain at least one mask")
+    sid = session.encode()
+    if not 1 <= len(sid) <= 255:
+        raise ProtocolError(
+            "binary feed session ids must be 1..255 UTF-8 bytes"
+        )
+    flags = 0
+    interned = arena.intern(lanes) if arena is not None else None
+    if interned is not None:
+        base, new_lanes, ids = interned
+        flags |= BIN_FLAG_INTERNED
+        id_blob = ids.astype(
+            _id_dtype(base + new_lanes.shape[0]), copy=False
+        ).tobytes()
+        section = new_lanes.tobytes() + id_blob
+        section, deflated = _deflate_maybe(section, deflate)
+        head = _U32x2.pack(base, new_lanes.shape[0])
+    else:
+        section, deflated = _deflate_maybe(lanes.tobytes(), deflate)
+        head = b""
+    flags |= deflated
+    payload = (
+        bytes((len(sid),)) + sid + _U32.pack(count) + head + section
+    )
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame exceeds {MAX_FRAME_BYTES} bytes")
+    return BIN_HEADER.pack(
+        BIN_MAGIC, BIN_VERSION, BIN_OP_FEED, flags, len(payload)
+    ) + payload
+
+
+@dataclass(frozen=True)
+class BinFeedFrame:
+    """Parsed v2 binary ``feed`` request.
+
+    ``section`` stays encoded (possibly deflated) until the server
+    knows the session's width: :meth:`raw_lanes` /
+    :meth:`interned_parts` inflate, length-check and bit-validate —
+    raw resolution runs in the drain executor, off the event loop.
+    """
+
+    session: str
+    count: int
+    interned: bool
+    deflated: bool
+    base_epoch: int
+    new_rows: int
+    section: bytes
+
+    def _section_bytes(self, expected: int) -> bytes:
+        """The section at its exact expected inflated size, or raise."""
+        data = self.section
+        if self.deflated:
+            try:
+                obj = zlib.decompressobj()
+                data = obj.decompress(data, expected)
+                if not obj.eof or obj.unused_data:
+                    raise ProtocolError(
+                        "deflated feed section does not match its "
+                        "declared size"
+                    )
+            except zlib.error as exc:
+                raise ProtocolError(
+                    f"invalid deflate stream: {exc}"
+                ) from None
+        if len(data) != expected:
+            raise ProtocolError(
+                f"feed section holds {len(data)} bytes, "
+                f"expected {expected}"
+            )
+        return data
+
+    def raw_lanes(self, width: int) -> np.ndarray:
+        """Resolve a raw frame into validated ``(count, L)`` lanes."""
+        L = lane_count(width)
+        raw = self._section_bytes(self.count * L * 8)
+        return lanes_from_bytes(raw, self.count, width)
+
+    def interned_parts(self, width: int):
+        """Resolve an interned frame into ``(new_lanes, ids)``.
+
+        ``new_lanes`` is the validated ``(new_rows, L)`` matrix of
+        first-seen rows, ``ids`` the ``(count,)`` connection-local id
+        row (each below ``base_epoch + new_rows``).
+        """
+        L = lane_count(width)
+        dtype = _id_dtype(self.base_epoch + self.new_rows)
+        lane_bytes = self.new_rows * L * 8
+        id_bytes = self.count * int(dtype[-1])
+        data = self._section_bytes(lane_bytes + id_bytes)
+        new_lanes = lanes_from_bytes(
+            data[:lane_bytes], self.new_rows, width
+        )
+        ids = np.frombuffer(data[lane_bytes:], dtype=dtype)
+        top = self.base_epoch + self.new_rows
+        if ids.size and int(ids.max()) >= top:
+            raise ProtocolError(
+                f"interned feed references id {int(ids.max())}, table "
+                f"holds {top}"
+            )
+        return new_lanes, ids
+
+
+def parse_bin_feed(
+    opcode: int,
+    flags: int,
+    payload: bytes,
+    *,
+    max_chunk_steps: int | None = None,
+) -> BinFeedFrame:
+    """Validate one binary frame's opcode/flags/payload structure.
+
+    Cheap structural checks only (the section stays opaque); the
+    header itself — magic, version, length bounds — is the transport
+    loop's job, since framing errors kill the connection while payload
+    errors only earn an error reply.
+    """
+    if opcode != BIN_OP_FEED:
+        raise ProtocolError(f"unknown binary opcode {opcode}")
+    if flags & ~_BIN_KNOWN_FLAGS:
+        raise ProtocolError(f"unknown binary flags {flags:#04x}")
+    interned = bool(flags & BIN_FLAG_INTERNED)
+    deflated = bool(flags & BIN_FLAG_DEFLATE)
+    head = 1
+    if len(payload) < head:
+        raise ProtocolError("binary feed payload is truncated")
+    slen = payload[0]
+    if slen < 1:
+        raise ProtocolError("binary feed session id is empty")
+    if len(payload) < head + slen + 4:
+        raise ProtocolError("binary feed payload is truncated")
+    try:
+        session = payload[head : head + slen].decode()
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(
+            f"binary feed session id is not UTF-8: {exc}"
+        ) from None
+    head += slen
+    (count,) = _U32.unpack_from(payload, head)
+    head += 4
+    if count < 1:
+        raise ProtocolError("feed.count must be a positive integer")
+    if max_chunk_steps is not None and count > max_chunk_steps:
+        raise ProtocolError(
+            f"feed.count {count} exceeds the server chunk limit "
+            f"{max_chunk_steps}"
+        )
+    base_epoch = new_rows = 0
+    if interned:
+        if len(payload) < head + 8:
+            raise ProtocolError("binary feed payload is truncated")
+        base_epoch, new_rows = _U32x2.unpack_from(payload, head)
+        head += 8
+        if base_epoch + new_rows > MAX_CLIENT_ARENA:
+            raise ProtocolError(
+                f"interned table would exceed {MAX_CLIENT_ARENA} rows"
+            )
+        if new_rows > count:
+            raise ProtocolError(
+                "interned feed declares more new rows than steps"
+            )
+    return BinFeedFrame(
+        session=session,
+        count=int(count),
+        interned=interned,
+        deflated=deflated,
+        base_epoch=int(base_epoch),
+        new_rows=int(new_rows),
+        section=payload[head:],
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -300,10 +703,17 @@ def parse_request(
         params = {
             k: obj[k] for k in _POLICY_PARAMS if k in obj
         }
+        proto = obj.get("proto", PROTO_JSON)
+        if not isinstance(proto, int) or isinstance(proto, bool) or (
+            proto not in (PROTO_JSON, PROTO_BIN)
+        ):
+            raise ProtocolError(
+                f"open.proto must be {PROTO_JSON} or {PROTO_BIN}"
+            )
         unknown = (
             set(obj)
             - _POLICY_PARAMS
-            - {"op", "policy", "width", "w", "session", "trace"}
+            - {"op", "policy", "width", "w", "session", "trace", "proto"}
         )
         if unknown:
             raise ProtocolError(
@@ -316,6 +726,7 @@ def parse_request(
             w=float(w),
             params=params,
             trace=_trace_of(obj, op=op),
+            proto=proto,
         )
     if op == "feed":
         session = _require(obj, "session", str, op=op)

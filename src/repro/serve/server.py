@@ -42,11 +42,19 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.switches import SwitchUniverse
+from repro.engine.intern import InternedChunk, arena_for
 from repro.obs.expo import MetricsHTTPServer, render_exposition
 from repro.obs.trace import TraceRecorder
 from repro.serve.protocol import (
+    BIN_HEADER,
+    BIN_MAGIC,
+    BIN_VERSION,
     MAX_FRAME_BYTES,
+    PROTO_BIN,
+    PROTO_JSON,
     CloseFrame,
     FeedFrame,
     MetricsFrame,
@@ -58,6 +66,7 @@ from repro.serve.protocol import (
     encode_frame,
     error_frame,
     ok_frame,
+    parse_bin_feed,
     parse_request,
     policy_from_spec,
 )
@@ -92,6 +101,14 @@ class ServeConfig:
     slow_ms: float | None = 100.0
     #: Span ring size of the request tracer (``0`` disables tracing).
     trace_capacity: int = 2048
+    #: ``"auto"`` negotiates wire protocol v2 (binary feed frames) with
+    #: clients that ask for it; ``"json"`` declines v2 on ``open`` and
+    #: rejects binary frames outright (debugging / packet capture).
+    proto: str = "auto"
+    #: Per-connection cap on staged-but-unanswered frames.  Pipelined
+    #: clients keep up to this many requests in flight before the
+    #: reader stalls and TCP backpressure reaches the sender.
+    pipeline: int = 32
 
     def __post_init__(self):
         if self.shards < 1:
@@ -116,11 +133,89 @@ class ServeConfig:
             raise ValueError("slow_ms must be non-negative")
         if self.trace_capacity < 0:
             raise ValueError("trace_capacity must be non-negative")
+        if self.proto not in ("auto", "json"):
+            raise ValueError('proto must be "auto" or "json"')
+        if self.pipeline < 1:
+            raise ValueError("pipeline must be at least 1")
 
 
 def _echo(frame) -> dict:
     """Reply fields echoed from the request (the client's trace id)."""
     return {"trace": frame.trace} if frame.trace is not None else {}
+
+
+async def _ready(reply: dict) -> dict:
+    """A reply that needs no further work, as an awaitable (the reply
+    sender awaits every staged item uniformly)."""
+    return reply
+
+
+@dataclass
+class _EncodedChunk:
+    """A feed payload whose decode is deferred to the drain executor.
+
+    Base64/hex text for v1, a raw (possibly deflated) binary section
+    for v2 — either way the event loop never touches the bytes; the
+    drainer resolves them on the shard executor and books the CPU under
+    ``wire_decode_seconds_total{proto=...}``.
+    """
+
+    proto: str
+    _resolve: object  # () -> validated (C, L) uint64 lanes
+
+    def resolve(self) -> np.ndarray:
+        return self._resolve()
+
+
+class _IdMap:
+    """Connection-local arena ids -> global arena ids, one width.
+
+    A client numbers its interned rows 0, 1, 2, ... in send order; the
+    server appends each frame's first-seen rows to the process-global
+    :class:`~repro.engine.intern.MaskArena` and records the resulting
+    global ids here, so later frames' id rows translate with one
+    fancy-indexed gather.  ``len`` is the replicated client epoch —
+    every interned frame must arrive with exactly this base epoch.
+    """
+
+    __slots__ = ("_map", "_n")
+
+    def __init__(self):
+        self._map = np.empty(256, dtype=np.uint32)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def extend(self, global_ids: np.ndarray) -> None:
+        need = self._n + global_ids.shape[0]
+        if need > self._map.shape[0]:
+            grown = np.empty(
+                max(need, 2 * self._map.shape[0]), dtype=np.uint32
+            )
+            grown[: self._n] = self._map[: self._n]
+            self._map = grown
+        self._map[self._n : need] = global_ids
+        self._n = need
+
+    def translate(self, ids: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(self._map[: self._n][ids])
+
+
+class _ConnState:
+    """Per-connection wire state: one client-arena id map per width."""
+
+    __slots__ = ("idmaps",)
+
+    def __init__(self):
+        self.idmaps: dict[int, _IdMap] = {}
+
+    def idmap(self, width: int) -> _IdMap:
+        try:
+            return self.idmaps[width]
+        except KeyError:
+            self.idmaps[width] = made = _IdMap()
+            return made
 
 
 @dataclass
@@ -181,6 +276,16 @@ class _ShardQueue:
                     closes.append(job)
             self._cond.notify_all()
             return feeds, closes
+
+    def drain(self) -> list[_Job]:
+        """Pop everything (shutdown path; the caller fails the futures).
+
+        Runs on the event loop with no awaits, after the drainers are
+        cancelled — nothing races the deque.
+        """
+        jobs = list(self._jobs)
+        self._jobs.clear()
+        return jobs
 
 
 @dataclass
@@ -351,6 +456,14 @@ class StreamServer:
             except asyncio.CancelledError:
                 pass
         self._drainers = []
+        # Anything still queued will never be drained; fail its futures
+        # so a straggling reply sender cannot wait forever.
+        for queue in self._queues:
+            for job in queue.drain():
+                if job.future is not None and not job.future.done():
+                    job.future.set_exception(
+                        RuntimeError("server stopped")
+                    )
         self._executor.shutdown(wait=True)
         if self._own_pool:
             self.pool.close()
@@ -376,8 +489,8 @@ class StreamServer:
                 chunks = {sid: job.lanes for sid, job in feeds.items()}
                 t0 = time.perf_counter()
                 try:
-                    summaries = await loop.run_in_executor(
-                        self._executor, self.pool.feed_shard, shard, chunks
+                    summaries, failed = await loop.run_in_executor(
+                        self._executor, self._run_cycle, shard, chunks
                     )
                 except asyncio.CancelledError:
                     raise
@@ -387,6 +500,10 @@ class StreamServer:
                             job.future.set_exception(exc)
                 else:
                     service = time.perf_counter() - t0
+                    for sid, exc in failed.items():
+                        job = feeds.pop(sid)
+                        if not job.future.done():
+                            job.future.set_exception(exc)
                     for sid, job in feeds.items():
                         self._span(
                             "feed", job, t0, service, shard,
@@ -412,6 +529,38 @@ class StreamServer:
                     )
                     if not job.future.done():
                         job.future.set_result(run)
+
+    def _run_cycle(self, shard: int, chunks: dict):
+        """One executor hop: resolve deferred decodes, feed the shard.
+
+        Runs on the shard executor.  A chunk whose decode fails (bad
+        base64, wrong section length, tail bits set) fails alone — its
+        error lands in ``failed`` and the rest of the cycle proceeds —
+        and the decode CPU is booked per protocol either way.
+        """
+        resolved: dict[str, object] = {}
+        failed: dict[str, Exception] = {}
+        decode: dict[str, float] = {}
+        for sid, payload in chunks.items():
+            if not isinstance(payload, _EncodedChunk):
+                resolved[sid] = payload
+                continue
+            t0 = time.perf_counter()
+            try:
+                resolved[sid] = payload.resolve()
+            except ProtocolError as exc:
+                failed[sid] = exc
+            finally:
+                decode[payload.proto] = (
+                    decode.get(payload.proto, 0.0)
+                    + time.perf_counter() - t0
+                )
+        for proto, seconds in decode.items():
+            self.pool.metrics.record_wire(proto, decode_seconds=seconds)
+        summaries = (
+            self.pool.feed_shard(shard, resolved) if resolved else {}
+        )
+        return summaries, failed
 
     def _span(
         self, kind: str, job: _Job, t0: float, service: float,
@@ -453,30 +602,16 @@ class StreamServer:
     # -- frame handling ----------------------------------------------------
 
     async def _client_loop(self, reader, writer) -> None:
-        """One connection: read frames, reply frames, never crash."""
+        """One connection: read frames, reply in order, never crash."""
         self.counters.bump("connections")
         self._writers.add(writer)
+
+        async def send(data: bytes) -> None:
+            writer.write(data)
+            await writer.drain()
+
         try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except (
-                    asyncio.LimitOverrunError,
-                    ValueError,
-                ):  # oversized frame: unrecoverable framing loss
-                    self.counters.bump("protocol_errors")
-                    writer.write(encode_frame(error_frame(
-                        f"frame exceeds {MAX_FRAME_BYTES} bytes"
-                    )))
-                    break
-                if not line:
-                    break
-                if not line.strip():
-                    continue
-                self.counters.bump("frames")
-                reply = await self._handle_line(line)
-                writer.write(encode_frame(reply))
-                await writer.drain()
+            await self._pump(reader, send)
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -487,32 +622,287 @@ class StreamServer:
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
-    async def _handle_line(self, line: bytes) -> dict:
+    async def _pump(self, reader, send) -> None:
+        """Shared transport loop (TCP and stdin speak the same frames).
+
+        Frames are read and *staged* strictly in arrival order on the
+        event loop — feed/close land in their shard queue here, so
+        per-session order survives pipelining — while a sender task
+        writes replies in the same order as their requests.  The reply
+        queue is bounded by ``config.pipeline``: a client that fires
+        frames faster than they resolve eventually stalls the reader,
+        and TCP flow control carries the backpressure home.
+        """
+        loop = asyncio.get_running_loop()
+        conn = _ConnState()
+        replies: asyncio.Queue = asyncio.Queue(maxsize=self.config.pipeline)
+        sender = loop.create_task(self._reply_sender(replies, send))
         try:
-            frame = parse_request(
-                decode_frame(line),
-                max_chunk_steps=self.config.max_chunk_steps,
+            while True:
+                item = await self._read_frame(reader)
+                if item is None:
+                    break
+                kind, payload = item
+                if kind == "fatal":
+                    self.counters.bump("protocol_errors")
+                    await replies.put(
+                        ("json", _ready(error_frame(payload)))
+                    )
+                    break
+                self.counters.bump("frames")
+                proto = "bin" if kind == "bin" else "json"
+                try:
+                    finish = await self._stage(conn, kind, payload)
+                except ProtocolError as exc:
+                    self.counters.bump("protocol_errors")
+                    finish = _ready(error_frame(str(exc)))
+                except (KeyError, ValueError, RuntimeError) as exc:
+                    self.counters.bump("errors")
+                    message = exc.args[0] if exc.args else str(exc)
+                    finish = _ready(error_frame(str(message)))
+                await replies.put((proto, finish))
+        finally:
+            await replies.put(None)
+            await sender
+
+    async def _reply_sender(self, replies: asyncio.Queue, send) -> None:
+        """Write replies strictly in request order.
+
+        Each queue item is ``(proto, awaitable)``; the awaitable
+        produces the reply dict (feed/close block on their shard
+        future).  A dead peer stops the writes but not the consumption:
+        staged shard work still resolves, so nothing leaks.
+        """
+        broken = False
+        while True:
+            item = await replies.get()
+            if item is None:
+                return
+            proto, finish = item
+            try:
+                reply = await finish
+            except ProtocolError as exc:
+                self.counters.bump("protocol_errors")
+                reply = error_frame(str(exc))
+            except (KeyError, ValueError, RuntimeError) as exc:
+                self.counters.bump("errors")
+                message = exc.args[0] if exc.args else str(exc)
+                reply = error_frame(str(message))
+            if broken:
+                continue
+            data = encode_frame(reply)
+            try:
+                await send(data)
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                broken = True
+            else:
+                self.pool.metrics.record_wire(proto, bytes_out=len(data))
+
+    async def _read_frame(self, reader):
+        """One frame off the wire.
+
+        Returns ``("json", line)``, ``("bin", (opcode, flags,
+        payload))``, ``("fatal", message)`` on unrecoverable framing
+        loss, or ``None`` at EOF.  v2 binary frames are detected by
+        their magic byte — 0xA7 can never open a JSON line — so both
+        protocol generations share one socket.
+        """
+        try:
+            first = await reader.readexactly(1)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return None
+        if first[0] == BIN_MAGIC:
+            try:
+                header = first + await reader.readexactly(
+                    BIN_HEADER.size - 1
+                )
+            except asyncio.IncompleteReadError:
+                return None
+            _magic, version, opcode, flags, length = BIN_HEADER.unpack(
+                header
             )
-        except ProtocolError as exc:
-            self.counters.bump("protocol_errors")
-            return error_frame(str(exc))
+            if version != BIN_VERSION:
+                return "fatal", (
+                    f"unsupported binary protocol version {version}"
+                )
+            if length > MAX_FRAME_BYTES:
+                return "fatal", f"frame exceeds {MAX_FRAME_BYTES} bytes"
+            try:
+                payload = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                return None
+            self.pool.metrics.record_wire(
+                "bin", frames_in=1, bytes_in=BIN_HEADER.size + length
+            )
+            return "bin", (opcode, flags, payload)
+        if first == b"\n":
+            return await self._read_frame(reader)
         try:
-            if isinstance(frame, OpenFrame):
-                return await self._handle_open(frame)
-            if isinstance(frame, FeedFrame):
-                return await self._handle_feed(frame)
-            if isinstance(frame, CloseFrame):
-                return await self._handle_close(frame)
-            if isinstance(frame, MetricsFrame):
-                return await self._handle_metrics(frame)
-            return await self._handle_stats(frame)
-        except ProtocolError as exc:
-            self.counters.bump("protocol_errors")
-            return error_frame(str(exc))
-        except (KeyError, ValueError, RuntimeError) as exc:
-            self.counters.bump("errors")
-            message = exc.args[0] if exc.args else str(exc)
-            return error_frame(str(message))
+            line = first + await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            return "fatal", f"frame exceeds {MAX_FRAME_BYTES} bytes"
+        if not line.strip():
+            return await self._read_frame(reader)
+        self.pool.metrics.record_wire(
+            "json", frames_in=1, bytes_in=len(line)
+        )
+        return "json", line
+
+    async def _stage(self, conn: _ConnState, kind: str, payload):
+        """Parse and admit one frame in read order; return the
+        awaitable that produces its reply.
+
+        Feed and close enter their shard's bounded queue *here*, so a
+        backed-up shard stalls the reader (bounded memory), and two
+        frames for one session can never reorder no matter how deep the
+        client pipelines.
+        """
+        if kind == "bin":
+            opcode, flags, data = payload
+            if self.config.proto == "json":
+                raise ProtocolError(
+                    "binary frames are disabled (server runs "
+                    "--proto json)"
+                )
+            return await self._stage_bin_feed(conn, opcode, flags, data)
+        frame = parse_request(
+            decode_frame(payload),
+            max_chunk_steps=self.config.max_chunk_steps,
+        )
+        if isinstance(frame, FeedFrame):
+            return await self._stage_feed(frame)
+        if isinstance(frame, CloseFrame):
+            return await self._stage_close(frame)
+        if isinstance(frame, OpenFrame):
+            # Opens run to completion at stage time: a pipelined burst
+            # of open-then-feed must find the session registered when
+            # the feed stages one frame later.
+            return _ready(await self._handle_open(frame))
+        if isinstance(frame, MetricsFrame):
+            return self._handle_metrics(frame)
+        return self._handle_stats(frame)
+
+    def _session_of(self, session: str) -> tuple[int, int]:
+        with self._sessions_lock:
+            try:
+                return self._sessions[session]
+            except KeyError:
+                raise KeyError(
+                    f"unknown session id {session!r}"
+                ) from None
+
+    async def _enqueue_feed(
+        self, session: str, shard: int, lanes, trace=None
+    ) -> asyncio.Future:
+        future = asyncio.get_running_loop().create_future()
+        await self._queues[shard].put(
+            _Job(
+                kind="feed",
+                session=session,
+                lanes=lanes,
+                future=future,
+                enqueued=time.perf_counter(),
+                trace=trace,
+            )
+        )
+        return future
+
+    async def _finish_feed(
+        self, session: str, future: asyncio.Future, extra: dict
+    ) -> dict:
+        summary = await future
+        return ok_frame(
+            "feed",
+            session=session,
+            start=summary.start,
+            steps=summary.steps,
+            hypers=summary.hypers,
+            cost=summary.cost,
+            cumulative_cost=summary.cumulative_cost,
+            **extra,
+        )
+
+    async def _stage_feed(self, frame: FeedFrame):
+        self.counters.bump("feeds")
+        width, shard = self._session_of(frame.session)
+        masks, count, encoding = frame.masks, frame.count, frame.encoding
+        lanes = _EncodedChunk(
+            "json",
+            lambda: decode_mask_chunk(
+                masks, count, width, encoding=encoding
+            ),
+        )
+        future = await self._enqueue_feed(
+            frame.session, shard, lanes, frame.trace
+        )
+        return self._finish_feed(frame.session, future, _echo(frame))
+
+    async def _stage_bin_feed(
+        self, conn: _ConnState, opcode: int, flags: int, data: bytes
+    ):
+        self.counters.bump("feeds")
+        bframe = parse_bin_feed(
+            opcode, flags, data,
+            max_chunk_steps=self.config.max_chunk_steps,
+        )
+        width, shard = self._session_of(bframe.session)
+        if bframe.interned:
+            # Interned sections are small (first-seen rows plus an id
+            # row) and ordering-critical — the global-arena append and
+            # the id map must advance in frame order — so they resolve
+            # at stage time, not in the drain executor.
+            t0 = time.perf_counter()
+            new_lanes, ids = bframe.interned_parts(width)
+            idmap = conn.idmap(width)
+            if bframe.base_epoch != len(idmap):
+                raise ProtocolError(
+                    f"interned feed base epoch {bframe.base_epoch} does "
+                    f"not match the connection's table "
+                    f"({len(idmap)} rows)"
+                )
+            if new_lanes.shape[0]:
+                idmap.extend(arena_for(width).intern_rows(new_lanes))
+            lanes = InternedChunk(width, idmap.translate(ids))
+            self.pool.metrics.record_wire(
+                "bin", decode_seconds=time.perf_counter() - t0
+            )
+        else:
+            lanes = _EncodedChunk(
+                "bin", lambda: bframe.raw_lanes(width)
+            )
+        future = await self._enqueue_feed(bframe.session, shard, lanes)
+        return self._finish_feed(bframe.session, future, {})
+
+    async def _stage_close(self, frame: CloseFrame):
+        self.counters.bump("closes")
+        _width, shard = self._session_of(frame.session)
+        future = asyncio.get_running_loop().create_future()
+        await self._queues[shard].put(
+            _Job(
+                kind="close",
+                session=frame.session,
+                future=future,
+                enqueued=time.perf_counter(),
+                trace=frame.trace,
+            )
+        )
+        return self._finish_close(frame, future)
+
+    async def _finish_close(
+        self, frame: CloseFrame, future: asyncio.Future
+    ) -> dict:
+        run = await future
+        with self._sessions_lock:
+            self._sessions.pop(frame.session, None)
+        return ok_frame(
+            "close",
+            session=frame.session,
+            solver=run.solver,
+            steps=run.schedule.n,
+            hypers=run.schedule.r,
+            cost=run.cost,
+            **_echo(frame),
+        )
 
     async def _handle_open(self, frame: OpenFrame) -> dict:
         self.counters.bump("opens")
@@ -557,70 +947,19 @@ class StreamServer:
         )
         with self._sessions_lock:
             self._sessions[sid] = (frame.width, shard)
-        return ok_frame(
+        reply = ok_frame(
             "open", session=sid, shard=shard, **_echo(frame)
         )
-
-    async def _handle_feed(self, frame: FeedFrame) -> dict:
-        self.counters.bump("feeds")
-        with self._sessions_lock:
-            if frame.session not in self._sessions:
-                raise KeyError(f"unknown session id {frame.session!r}")
-            width, shard = self._sessions[frame.session]
-        lanes = decode_mask_chunk(
-            frame.masks, frame.count, width, encoding=frame.encoding
-        )
-        future = asyncio.get_running_loop().create_future()
-        await self._queues[shard].put(
-            _Job(
-                kind="feed",
-                session=frame.session,
-                lanes=lanes,
-                future=future,
-                enqueued=time.perf_counter(),
-                trace=frame.trace,
+        if frame.proto == PROTO_BIN:
+            # Negotiation: the client asked for wire protocol v2;
+            # echoing proto=2 green-lights binary feed frames on this
+            # connection.  A "--proto json" server answers 1 and the
+            # client stays on JSON.  v1 clients never send the field
+            # and never see it.
+            reply["proto"] = (
+                PROTO_BIN if self.config.proto == "auto" else PROTO_JSON
             )
-        )
-        summary = await future
-        return ok_frame(
-            "feed",
-            session=frame.session,
-            start=summary.start,
-            steps=summary.steps,
-            hypers=summary.hypers,
-            cost=summary.cost,
-            cumulative_cost=summary.cumulative_cost,
-            **_echo(frame),
-        )
-
-    async def _handle_close(self, frame: CloseFrame) -> dict:
-        self.counters.bump("closes")
-        with self._sessions_lock:
-            if frame.session not in self._sessions:
-                raise KeyError(f"unknown session id {frame.session!r}")
-            _width, shard = self._sessions[frame.session]
-        future = asyncio.get_running_loop().create_future()
-        await self._queues[shard].put(
-            _Job(
-                kind="close",
-                session=frame.session,
-                future=future,
-                enqueued=time.perf_counter(),
-                trace=frame.trace,
-            )
-        )
-        run = await future
-        with self._sessions_lock:
-            self._sessions.pop(frame.session, None)
-        return ok_frame(
-            "close",
-            session=frame.session,
-            solver=run.solver,
-            steps=run.schedule.n,
-            hypers=run.schedule.r,
-            cost=run.cost,
-            **_echo(frame),
-        )
+        return reply
 
     async def _handle_stats(self, _frame: StatsFrame) -> dict:
         self.counters.bump("stats_calls")
@@ -702,6 +1041,25 @@ class StreamServer:
             "trace_spans_total": trace["recorded"],
             "trace_slow_spans_total": trace["slow"],
         })
+        wire = engine.get("wire", {})
+        counters.update({
+            "wire_frames_in_total": [
+                ({"proto": proto}, series["frames_in"])
+                for proto, series in wire.items()
+            ],
+            "wire_bytes_in_total": [
+                ({"proto": proto}, series["bytes_in"])
+                for proto, series in wire.items()
+            ],
+            "wire_bytes_out_total": [
+                ({"proto": proto}, series["bytes_out"])
+                for proto, series in wire.items()
+            ],
+            "wire_decode_seconds_total": [
+                ({"proto": proto}, series["decode_s"])
+                for proto, series in wire.items()
+            ],
+        })
         gauges = {
             "uptime_seconds": time.monotonic() - self._started_mono,
             "sessions": sum(occupancy.values()),
@@ -753,8 +1111,10 @@ class StreamServer:
     async def serve_stdin(self) -> None:
         """Speak the frame protocol over stdin/stdout (POSIX pipes).
 
-        The same handler as TCP connections — ``repro serve --stdin``
-        turns any line-oriented parent process into a client.
+        The same pump as TCP connections — ``repro serve --stdin``
+        turns any line-oriented parent process into a client, and since
+        PR 7 the pipe accepts v2 binary frames too (replies are always
+        JSON lines either way).
         """
         import sys
 
@@ -763,26 +1123,13 @@ class StreamServer:
         await loop.connect_read_pipe(
             lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
         )
-        while True:
-            try:
-                line = await reader.readline()
-            except (asyncio.LimitOverrunError, ValueError):
-                self.counters.bump("protocol_errors")
-                sys.stdout.write(
-                    encode_frame(error_frame(
-                        f"frame exceeds {MAX_FRAME_BYTES} bytes"
-                    )).decode()
-                )
-                sys.stdout.flush()
-                break
-            if not line:
-                break
-            if not line.strip():
-                continue
-            self.counters.bump("frames")
-            reply = await self._handle_line(line)
-            sys.stdout.write(encode_frame(reply).decode())
-            sys.stdout.flush()
+        out = sys.stdout.buffer
+
+        async def send(data: bytes) -> None:
+            out.write(data)
+            out.flush()
+
+        await self._pump(reader, send)
 
 
 class ServerThread:

@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.core.switches import SwitchUniverse
 from repro.engine.batch import SHARED_LANES_MIN_BYTES, _attach_shared
+from repro.engine.intern import InternedChunk, arena_for, arena_stats
 from repro.engine.metrics import DETERMINISTIC_FAMILIES, EngineMetrics
 from repro.engine.stream import StreamBatch, StreamHub
 from repro.obs.histogram import HistogramFamily
@@ -188,10 +189,18 @@ def _shard_worker(conn):  # pragma: no cover - exercised in a child process
                     scheduler, universe, w, session_id=session_id
                 )))
             elif op == "feed_many":
-                chunks = msg[1]
+                _op, chunks, interned, deltas = msg
+                # Extend the replica arenas *before* any chunk resolves:
+                # the parent ships exactly the rows appended since this
+                # shard's last synced epoch (rows inherited on fork
+                # overlap the first delta and are skipped).
+                for width, (upto, rows) in deltas.items():
+                    arena_for(width).extend_to(upto, rows)
                 shm = None
                 if isinstance(chunks, _SharedChunks):
                     chunks, shm = chunks.materialize()
+                if interned:
+                    chunks = {**chunks, **interned}
                 try:
                     batches = hub.feed_many(chunks)
                 finally:
@@ -237,6 +246,10 @@ class _ProcShard:
         self._proc.start()
         child.close()
         self.lock = threading.Lock()
+        #: width -> highest global-arena epoch this worker's replica
+        #: has been extended to (per-shard calls are serialized — one
+        #: drainer per shard — so read-then-ship is race-free).
+        self.synced: dict[int, int] = {}
 
     def _call(self, *msg):
         with self.lock:
@@ -250,8 +263,10 @@ class _ProcShard:
     def open(self, scheduler, universe, w, session_id):
         return self._call("open", scheduler, universe, w, session_id)
 
-    def feed_many(self, chunks) -> dict[str, BatchSummary]:
-        return self._call("feed_many", chunks)
+    def feed_many(self, chunks, interned=None, deltas=None):
+        return self._call(
+            "feed_many", chunks, interned or {}, deltas or {}
+        )
 
     def finish(self, session_id) -> OnlineRun:
         return self._call("finish", session_id)
@@ -430,28 +445,67 @@ class ShardPool:
     def _feed_shard(self, shard, chunks) -> dict[str, BatchSummary]:
         """One shard drain cycle, no metrics (callers time themselves)."""
         worker = self._shards[shard]
-        payload = chunks
-        shm = None
-        if worker.kind == "proc":
-            payload, shm = self._pack_cycle(chunks)
+        if worker.kind != "proc":
+            return worker.feed_many(chunks)
+        payload, interned, deltas, shm = self._pack_cycle(worker, chunks)
         try:
-            return worker.feed_many(payload)
+            return worker.feed_many(payload, interned, deltas)
         finally:
             if shm is not None:
                 shm.close()
                 shm.unlink()
 
-    def _pack_cycle(self, chunks):
-        """Pick the pipe payload for one process-shard drain cycle."""
+    def _arena_deltas(self, worker, interned):
+        """Rows the worker's replica arenas are missing for ``interned``.
+
+        The ids in an :class:`InternedChunk` were minted at stage time,
+        so every referenced row sits below the arena's *current* epoch;
+        shipping ``snapshot_since(synced)`` therefore covers them all.
+        Per-shard serialization (one drainer per shard) makes the
+        read-advance of ``worker.synced`` race-free.
+        """
+        deltas = {}
+        for width in {c.width for c in interned.values()}:
+            synced = worker.synced.get(width, 0)
+            upto, rows = arena_for(width).snapshot_since(synced)
+            if upto > synced:
+                deltas[width] = (upto, rows)
+                worker.synced[width] = upto
+        return deltas
+
+    def _pack_cycle(self, worker, chunks):
+        """Pick the pipe payload for one process-shard drain cycle.
+
+        Returns ``(payload, interned, deltas, shm)``: the non-interned
+        chunks (a dict or one :class:`_SharedChunks` handle), the
+        interned chunks (ids only — the arena deltas carry any rows the
+        replica is missing), and the shared segment to unlink, if any.
+        """
+        interned = {
+            sid: chunk for sid, chunk in chunks.items()
+            if isinstance(chunk, InternedChunk)
+        }
+        rest = {
+            sid: chunk for sid, chunk in chunks.items()
+            if sid not in interned
+        }
+        deltas = self._arena_deltas(worker, interned)
+        if interned:
+            self.metrics.record_shipment(shipped=(
+                sum(c.ids.nbytes for c in interned.values())
+                + sum(rows.nbytes for _upto, rows in deltas.values())
+            ))
+        if not rest:
+            return {}, interned, deltas, None
         lane_chunks = {
             sid: np.ascontiguousarray(lanes, dtype=np.uint64)
-            for sid, lanes in chunks.items()
+            for sid, lanes in rest.items()
             if isinstance(lanes, np.ndarray) and lanes.ndim == 2
         }
-        if len(lane_chunks) != len(chunks):
+        if len(lane_chunks) != len(rest):
             # Mixed mask-list input: pickle the lot (CLI convenience
             # path; the server always feeds decoded lanes).
-            return chunks, None
+            return rest, interned, deltas, None
         nbytes = sum(lanes.nbytes for lanes in lane_chunks.values())
         share = (
             self.shared_lanes
@@ -460,17 +514,17 @@ class ShardPool:
         )
         if not share:
             self.metrics.record_shipment(shipped=nbytes)
-            return lane_chunks, None
+            return lane_chunks, interned, deltas, None
         try:
             handle, shm = _SharedChunks.publish(lane_chunks)
         except Exception:  # pragma: no cover - no /dev/shm etc.
             self.metrics.record_shipment(shipped=nbytes)
-            return lane_chunks, None
+            return lane_chunks, interned, deltas, None
         self.metrics.record_shipment(
             shipped=len(pickle.dumps(handle, pickle.HIGHEST_PROTOCOL)),
             shared=nbytes,
         )
-        return handle, shm
+        return handle, interned, deltas, shm
 
     def feed_many(self, chunks) -> dict[str, BatchSummary]:
         """Serve one chunk per session, shards advanced concurrently.
@@ -576,6 +630,7 @@ class ShardPool:
             },
             "shards": shards,
             "sessions": sum(occupancy),
+            "arenas": arena_stats(),
         }
 
     def close(self) -> None:

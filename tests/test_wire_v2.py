@@ -1,0 +1,524 @@
+"""Wire protocol v2: binary frames, intern arenas, negotiation.
+
+Three layers of pinning:
+
+* **golden frames** (``tests/data/wire_v1_frames.jsonl``,
+  ``wire_v2_raw.bin``, ``wire_v2_interned.bin``) — the byte-exact wire
+  form of canonical v1 and v2 frames.  Re-encoding the same inputs must
+  reproduce the stored bytes bit for bit (a codec change that silently
+  breaks old clients fails here first).  The binary fixtures are
+  non-deflated on purpose: zlib output may vary across library
+  versions, so compression is pinned by round-trip properties instead.
+* **property round-trips** — raw/interned × deflate binary frames
+  survive encode → parse → resolve across universe widths spanning
+  every lane-count boundary.
+* **served behavior** — a v1-only client completes the full
+  open/feed/close/stats flow against a v2 server unchanged; v2 clients
+  (raw, interned, deflated, pipelined) produce bit-identical costs to
+  the single-hub oracle over thread *and* process shard pools; epoch
+  drift and malformed binary frames earn error replies on a surviving
+  connection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.packed import lane_count, masks_to_lanes
+from repro.core.switches import SwitchUniverse
+from repro.engine.intern import MaskArena, arena_for, arena_stats
+from repro.engine.stream import StreamSession
+from repro.serve.client import ServeClient
+from repro.serve.protocol import (
+    ARENA_PROBE_ROWS,
+    BIN_FLAG_DEFLATE,
+    BIN_FLAG_INTERNED,
+    BIN_HEADER,
+    BIN_MAGIC,
+    BIN_OP_FEED,
+    BIN_VERSION,
+    ClientArena,
+    ProtocolError,
+    encode_feed_bin,
+    encode_frame,
+    encode_mask_chunk,
+    parse_bin_feed,
+    policy_from_spec,
+)
+from repro.serve.server import ServeConfig, ServerThread
+
+DATA = pathlib.Path(__file__).parent / "data"
+
+#: Universe sizes straddling every lane-count boundary.
+BOUNDARY_SIZES = [1, 7, 63, 64, 65, 127, 128, 129, 150, 200]
+
+masks_for = st.sampled_from(BOUNDARY_SIZES).flatmap(
+    lambda width: st.tuples(
+        st.just(width),
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << width) - 1),
+            min_size=1,
+            max_size=24,
+        ),
+    )
+)
+
+
+def _split_frames(blob: bytes) -> list[tuple[int, int, bytes]]:
+    """Split concatenated binary frames into (opcode, flags, payload)."""
+    frames = []
+    pos = 0
+    while pos < len(blob):
+        magic, version, opcode, flags, length = BIN_HEADER.unpack_from(
+            blob, pos
+        )
+        assert magic == BIN_MAGIC and version == BIN_VERSION
+        pos += BIN_HEADER.size
+        frames.append((opcode, flags, blob[pos : pos + length]))
+        pos += length
+    return frames
+
+
+# ---------------------------------------------------------------------------
+# Golden fixtures: the canonical frames and their byte-exact builders
+# ---------------------------------------------------------------------------
+
+#: The v1 fixture conversation (dict insertion order is the wire order).
+V1_FRAMES = [
+    {"op": "open", "policy": "rent_or_buy", "width": 8, "w": 4.0,
+     "session": "golden", "alpha": 1.0, "memory": 4},
+    {"op": "feed", "session": "golden", "count": 3,
+     "masks": encode_mask_chunk([0b101, 0b11, 0b10000000], 8),
+     "encoding": "b64"},
+    {"op": "feed", "session": "golden", "count": 2,
+     "masks": encode_mask_chunk([0b1, 0b101], 8, encoding="hex"),
+     "encoding": "hex"},
+    {"op": "close", "session": "golden"},
+    {"op": "stats"},
+]
+
+#: Masks behind the v2 fixtures (width 96 = two lanes per row).
+V2_WIDTH = 96
+V2_RAW_MASKS = [0b101, (1 << 95) | 0b11, 1 << 64]
+V2_INTERNED_CHUNKS = [
+    [0b111, 0b101, 0b111, (1 << 70) | 1],   # 3 fresh rows, one repeat
+    [0b101, 0b101, (1 << 70) | 1, 1 << 90],  # 1 fresh row, three hits
+]
+
+
+def v1_fixture_bytes() -> bytes:
+    return b"".join(encode_frame(frame) for frame in V1_FRAMES)
+
+
+def v2_raw_fixture_bytes() -> bytes:
+    lanes = masks_to_lanes(V2_RAW_MASKS, V2_WIDTH)
+    return encode_feed_bin("golden", lanes, V2_WIDTH, deflate=False)
+
+
+def v2_interned_fixture_bytes() -> bytes:
+    arena = ClientArena(V2_WIDTH)
+    return b"".join(
+        encode_feed_bin(
+            "golden",
+            masks_to_lanes(chunk, V2_WIDTH),
+            V2_WIDTH,
+            arena=arena,
+            deflate=False,
+        )
+        for chunk in V2_INTERNED_CHUNKS
+    )
+
+
+class TestGoldenFrames:
+    def test_v1_frames_byte_exact(self):
+        assert (DATA / "wire_v1_frames.jsonl").read_bytes() == (
+            v1_fixture_bytes()
+        )
+
+    def test_v2_raw_frame_byte_exact(self):
+        assert (DATA / "wire_v2_raw.bin").read_bytes() == (
+            v2_raw_fixture_bytes()
+        )
+
+    def test_v2_interned_frames_byte_exact(self):
+        assert (DATA / "wire_v2_interned.bin").read_bytes() == (
+            v2_interned_fixture_bytes()
+        )
+
+    def test_v2_raw_fixture_parses(self):
+        ((opcode, flags, payload),) = _split_frames(
+            (DATA / "wire_v2_raw.bin").read_bytes()
+        )
+        assert opcode == BIN_OP_FEED and flags == 0
+        frame = parse_bin_feed(opcode, flags, payload)
+        assert frame.session == "golden"
+        assert not frame.interned and not frame.deflated
+        lanes = frame.raw_lanes(V2_WIDTH)
+        assert np.array_equal(
+            lanes, masks_to_lanes(V2_RAW_MASKS, V2_WIDTH)
+        )
+
+    def test_v2_interned_fixture_parses(self):
+        frames = _split_frames(
+            (DATA / "wire_v2_interned.bin").read_bytes()
+        )
+        assert len(frames) == 2
+        table = np.empty((0, lane_count(V2_WIDTH)), dtype=np.uint64)
+        for (opcode, flags, payload), chunk in zip(
+            frames, V2_INTERNED_CHUNKS
+        ):
+            assert flags == BIN_FLAG_INTERNED
+            frame = parse_bin_feed(opcode, flags, payload)
+            assert frame.base_epoch == table.shape[0]
+            new_lanes, ids = frame.interned_parts(V2_WIDTH)
+            table = np.concatenate([table, new_lanes])
+            assert np.array_equal(
+                table[ids], masks_to_lanes(chunk, V2_WIDTH)
+            )
+        # 3 fresh + 1 fresh distinct rows across the two chunks.
+        assert table.shape[0] == 4
+
+
+# ---------------------------------------------------------------------------
+# Property round-trips
+# ---------------------------------------------------------------------------
+
+
+class TestBinaryRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(masks_for, st.sampled_from([None, False, True]))
+    def test_raw_frames_survive_the_wire(self, width_masks, deflate):
+        width, masks = width_masks
+        lanes = masks_to_lanes(masks, width)
+        wire = encode_feed_bin("s", lanes, width, deflate=deflate)
+        ((opcode, flags, payload),) = _split_frames(wire)
+        frame = parse_bin_feed(opcode, flags, payload)
+        assert frame.count == len(masks)
+        assert frame.deflated == bool(flags & BIN_FLAG_DEFLATE)
+        assert np.array_equal(frame.raw_lanes(width), lanes)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.sampled_from(BOUNDARY_SIZES),
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=7),
+                min_size=1,
+                max_size=12,
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        st.sampled_from([None, False, True]),
+    )
+    def test_interned_sequence_round_trip(self, width, picks, deflate):
+        # Draw masks from a tiny pool so chunks actually repeat rows.
+        pool = [((1 << width) - 1) & ((i * 0x9E3779B9) | 1) for i in
+                range(8)]
+        chunks = [[pool[i] for i in chunk] for chunk in picks]
+        client = ClientArena(width)
+        table = np.empty((0, lane_count(width)), dtype=np.uint64)
+        for chunk in chunks:
+            lanes = masks_to_lanes(chunk, width)
+            wire = encode_feed_bin(
+                "s", lanes, width, arena=client, deflate=deflate
+            )
+            ((opcode, flags, payload),) = _split_frames(wire)
+            frame = parse_bin_feed(opcode, flags, payload)
+            assert flags & BIN_FLAG_INTERNED
+            assert frame.base_epoch == table.shape[0]
+            new_lanes, ids = frame.interned_parts(width)
+            table = np.concatenate([table, new_lanes])
+            assert np.array_equal(table[ids], lanes)
+        assert table.shape[0] == client.epoch <= 8
+
+    def test_bad_section_length_rejected(self):
+        lanes = masks_to_lanes([1, 2, 3], 8)
+        wire = encode_feed_bin("s", lanes, 8, deflate=False)
+        ((opcode, flags, payload),) = _split_frames(wire)
+        frame = parse_bin_feed(opcode, flags, payload[:-4])
+        with pytest.raises(ProtocolError, match="expected"):
+            frame.raw_lanes(8)
+
+    def test_out_of_universe_bits_rejected(self):
+        lanes = masks_to_lanes([1 << 9], 16)
+        wire = encode_feed_bin("s", lanes, 16, deflate=False)
+        ((opcode, flags, payload),) = _split_frames(wire)
+        with pytest.raises(ProtocolError, match="beyond"):
+            parse_bin_feed(opcode, flags, payload).raw_lanes(8)
+
+    def test_unknown_opcode_and_flags_rejected(self):
+        lanes = masks_to_lanes([1], 8)
+        wire = encode_feed_bin("s", lanes, 8, deflate=False)
+        ((opcode, flags, payload),) = _split_frames(wire)
+        with pytest.raises(ProtocolError, match="opcode"):
+            parse_bin_feed(99, flags, payload)
+        with pytest.raises(ProtocolError, match="flags"):
+            parse_bin_feed(opcode, 0x80, payload)
+
+    def test_corrupt_deflate_rejected(self):
+        lanes = masks_to_lanes([1, 2, 3, 1, 2, 3], 8)
+        wire = encode_feed_bin("s", lanes, 8, deflate=True)
+        ((opcode, flags, payload),) = _split_frames(wire)
+        assert flags & BIN_FLAG_DEFLATE
+        broken = payload[:-3] + b"\x00\x00\x00"
+        frame = parse_bin_feed(opcode, flags, broken)
+        with pytest.raises(ProtocolError, match="deflate|expected"):
+            frame.raw_lanes(8)
+
+
+class TestClientArena:
+    def test_dedup_and_epoch(self):
+        arena = ClientArena(8)
+        base, new_lanes, ids = arena.intern(
+            masks_to_lanes([3, 5, 3, 7], 8)
+        )
+        assert base == 0 and new_lanes.shape[0] == 3
+        assert list(ids) == [0, 1, 0, 2]
+        base, new_lanes, ids = arena.intern(masks_to_lanes([7, 9], 8))
+        assert base == 3 and new_lanes.shape[0] == 1
+        assert list(ids) == [2, 3]
+        assert arena.epoch == 4
+
+    def test_overflow_goes_raw(self):
+        arena = ClientArena(8, cap=2)
+        assert arena.intern(masks_to_lanes([1, 2, 3], 8)) is None
+        assert not arena.active
+        assert arena.epoch == 0  # nothing committed
+
+    def test_divergent_stream_gives_up(self):
+        arena = ClientArena(64)
+        lanes = masks_to_lanes(
+            list(range(1, ARENA_PROBE_ROWS + 1)), 64
+        )
+        assert arena.intern(lanes) is None
+        assert not arena.active
+        assert arena.intern(masks_to_lanes([1, 1], 64)) is None
+
+    def test_repetitive_stream_keeps_interning(self):
+        arena = ClientArena(64)
+        chunk = masks_to_lanes([1, 2, 3, 4] * 300, 64)
+        assert arena.intern(chunk) is not None
+        assert arena.active
+        assert arena.rows_seen == 1200 and arena.epoch == 4
+
+
+class TestMaskArena:
+    def test_intern_gather_round_trip(self):
+        arena = MaskArena(96)
+        masks = [0b101, 1 << 90, 0b101, 7]
+        ids = arena.intern_masks(masks)
+        assert arena.epoch == 3
+        assert list(ids) == [0, 1, 0, 2]
+        assert arena.masks_for(ids) == tuple(masks)
+        assert np.array_equal(
+            arena.rows(ids), masks_to_lanes(masks, 96)
+        )
+
+    def test_unknown_id_rejected(self):
+        arena = MaskArena(8)
+        arena.intern_masks([1])
+        with pytest.raises(KeyError, match="beyond epoch"):
+            arena.rows(np.array([1], dtype=np.uint32))
+
+    def test_snapshot_and_extend_replica_sync(self):
+        source, replica = MaskArena(8), MaskArena(8)
+        source.intern_masks([1, 2, 3])
+        upto, rows = source.snapshot_since(0)
+        replica.extend_to(upto, rows)
+        source.intern_masks([4, 2, 5])
+        upto2, rows2 = source.snapshot_since(upto)
+        assert rows2.shape[0] == 2  # only the fresh rows ship
+        replica.extend_to(upto2, rows2)
+        assert replica.epoch == source.epoch == 5
+        assert replica.masks_for(range(5)) == source.masks_for(range(5))
+
+    def test_extend_overlap_skips_and_gap_rejected(self):
+        source, replica = MaskArena(8), MaskArena(8)
+        source.intern_masks([1, 2, 3, 4])
+        upto, rows = source.snapshot_since(0)
+        # Fork-style overlap: replica already holds a prefix, so the
+        # delta's first two rows must be skipped, not duplicated.
+        replica.intern_masks([1, 2])
+        replica.extend_to(upto, rows)
+        assert replica.epoch == 4
+        assert replica.masks_for(range(4)) == (1, 2, 3, 4)
+        # Stale delta is a no-op.
+        replica.extend_to(upto, rows)
+        assert replica.epoch == 4
+        # A delta starting beyond the replica's epoch is a hard error.
+        gappy = MaskArena(8)
+        with pytest.raises(ValueError, match="arena gap"):
+            gappy.extend_to(6, rows)
+
+    def test_registry_is_per_width(self):
+        assert arena_for(8) is arena_for(8)
+        assert arena_for(8) is not arena_for(16)
+        arena_for(8).intern_masks([1, 2])
+        assert arena_stats() == {8: 2, 16: 0}
+
+
+# ---------------------------------------------------------------------------
+# Served behavior
+# ---------------------------------------------------------------------------
+
+WIDTH = 40
+TRACE = [
+    ((1 << (i % 7)) | (0b101 if i % 3 else (1 << 30)))
+    for i in range(180)
+]
+
+
+def _oracle_cost(masks=TRACE, width=WIDTH, w=5.0) -> float:
+    session = StreamSession(
+        policy_from_spec("rent_or_buy", w, {}),
+        SwitchUniverse.of_size(width),
+        w,
+    )
+    for mask in masks:
+        session.feed(mask)
+    return session.finish().cost
+
+
+@pytest.fixture(scope="module")
+def oracle_cost() -> float:
+    return _oracle_cost()
+
+
+class TestServedProtocolV2:
+    @pytest.mark.parametrize("procs", [False, True])
+    @pytest.mark.parametrize(
+        "proto,deflate", [("json", None), ("bin", False), ("bin", True)]
+    )
+    def test_costs_bit_identical_across_protocols(
+        self, procs, proto, deflate, oracle_cost
+    ):
+        config = ServeConfig(shards=2, shard_procs=procs)
+        with ServerThread(config) as (host, port):
+            with ServeClient(
+                host, port, proto=proto, deflate=deflate
+            ) as client:
+                sid = client.open(width=WIDTH, w=5.0)
+                assert client.proto == proto
+                for lo in range(0, len(TRACE), 45):
+                    client.feed(sid, TRACE[lo : lo + 45])
+                assert client.close_session(sid).cost == oracle_cost
+
+    def test_v1_client_full_flow_against_v2_server(self):
+        """A pre-v2 client (no proto field, JSON frames only) must see
+        exactly the old protocol."""
+        with ServerThread(ServeConfig(shards=2)) as (host, port):
+            with ServeClient(host, port, proto="json") as client:
+                sid = client.open(
+                    policy="window", width=16, w=4.0, k=4,
+                    session_id="v1-user",
+                )
+                assert sid == "v1-user"
+                result = client.feed(sid, [3, 5, 3])
+                assert result.steps == 3
+                closed = client.close_session(sid)
+                assert closed.steps == 3
+                stats = client.stats()
+                assert stats["server"]["feeds"] == 1
+                # The server never saw (or sent) a binary byte.
+                assert client.proto == "json"
+                assert stats["engine"]["wire"]["bin"]["frames_in"] == 0
+
+    def test_pipelined_feeds_match_sequential(self, oracle_cost):
+        with ServerThread(ServeConfig(shards=2)) as (host, port):
+            with ServeClient(host, port, proto="bin") as client:
+                sids = [
+                    client.open(width=WIDTH, w=5.0, session_id=f"p{i}")
+                    for i in range(5)
+                ]
+                for lo in range(0, len(TRACE), 36):
+                    results = client.feed_pipelined([
+                        (sid, TRACE[lo : lo + 36]) for sid in sids
+                    ])
+                    assert [r.session for r in results] == sids
+                for sid in sids:
+                    assert client.close_session(sid).cost == oracle_cost
+
+    def test_epoch_mismatch_rejected_connection_survives(self):
+        with ServerThread(ServeConfig(shards=1)) as (host, port):
+            with ServeClient(host, port, proto="bin") as client:
+                sid = client.open(width=8, w=2.0)
+                client.feed(sid, [1, 2, 1])
+                # Forge an interned frame whose base epoch is ahead of
+                # the connection's table.
+                arena = ClientArena(8)
+                arena.intern(masks_to_lanes([9, 9, 9], 8))
+                rogue = encode_feed_bin(
+                    sid,
+                    masks_to_lanes([3, 3], 8),
+                    8,
+                    arena=arena,
+                    deflate=False,
+                )
+                client._send(rogue)
+                reply = client._recv_reply()
+                assert not reply["ok"]
+                assert "base epoch" in reply["error"]
+                # The connection (and session) still work — the
+                # server's id map was not advanced by the rejected
+                # frame, so the client's real arena is still in sync.
+                assert client.stats()["ok"]
+                assert client.feed(sid, [1]).steps == 1
+                assert client.close_session(sid).steps == 4
+
+    def test_malformed_binary_payload_rejected(self):
+        with ServerThread(ServeConfig(shards=1)) as (host, port):
+            with ServeClient(host, port, proto="bin") as client:
+                sid = client.open(width=8, w=2.0)
+                wire = bytearray(
+                    encode_feed_bin(
+                        sid, masks_to_lanes([1, 2], 8), 8, deflate=False
+                    )
+                )
+                wire[-8:] = b""  # truncate the lane section
+                header = wire[: BIN_HEADER.size]
+                magic, version, opcode, flags, _ = BIN_HEADER.unpack(
+                    bytes(header)
+                )
+                payload = bytes(wire[BIN_HEADER.size :])
+                client._send(
+                    BIN_HEADER.pack(
+                        magic, version, opcode, flags, len(payload)
+                    )
+                    + payload
+                )
+                reply = client._recv_reply()
+                assert not reply["ok"]
+                # The connection survives payload-level garbage.
+                assert client.feed(sid, [1, 2]).steps == 2
+
+    def test_wire_counters_track_both_protocols(self):
+        with ServerThread(ServeConfig(shards=1)) as (host, port):
+            with ServeClient(host, port, proto="bin") as client:
+                sid = client.open(width=8, w=2.0)
+                client.feed(sid, [1, 2, 3])
+                client.close_session(sid)
+                wire = client.stats()["engine"]["wire"]
+            assert wire["bin"]["frames_in"] == 1
+            assert wire["bin"]["bytes_in"] > 0
+            assert wire["json"]["frames_in"] >= 3  # open/close/stats
+            assert wire["json"]["bytes_out"] > 0
+
+    def test_server_arena_shared_across_connections(self):
+        """Two connections interning the same masks share global rows."""
+        with ServerThread(ServeConfig(shards=1)) as (host, port):
+            for _ in range(2):
+                with ServeClient(
+                    host, port, proto="bin", deflate=False
+                ) as client:
+                    sid = client.open(width=24, w=3.0)
+                    client.feed(sid, [1, 2, 3, 1])
+                    client.close_session(sid)
+            with ServeClient(host, port) as probe:
+                arenas = probe.stats()["arenas"]
+            # Same three distinct rows from both connections.
+            assert arenas == {"24": 3}

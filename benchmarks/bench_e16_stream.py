@@ -48,16 +48,24 @@ MIN_SPEEDUP = 5.0
 
 
 def _drifting_masks(
-    width: int, n: int, seed, *, phase: int = 150, noise: float = 0.003
+    width: int,
+    n: int,
+    seed,
+    *,
+    phase: int = 150,
+    noise: float = 0.003,
+    offset: int = 0,
 ) -> list[int]:
     """A phased stream: a ~12-switch working set that drifts every
     ``phase`` steps, plus occasional noise bits — the regime online
-    policies are built for (stable phases, abrupt changes)."""
+    policies are built for (stable phases, abrupt changes).  ``offset``
+    staggers the drift boundary (a fleet of real sessions is not
+    phase-locked; the fused-hub bench gives each session its own)."""
     rng = make_rng(seed)
     masks = []
     working = set(int(x) for x in rng.choice(width, size=12, replace=False))
     for i in range(n):
-        if i % phase == 0 and i:
+        if i % phase == offset % phase and i > offset % phase:
             drop = min(len(working), int(rng.integers(3, 7)))
             for s in list(rng.permutation(sorted(working))[:drop]):
                 working.discard(int(s))
@@ -158,7 +166,9 @@ def test_bench_stream_single_session(benchmark, smoke):
     assert min(accept.values()) >= min_speedup
 
 
-def test_bench_stream_hub_many_sessions(benchmark, smoke, sessions_axis):
+def test_bench_stream_hub_many_sessions(
+    benchmark, smoke, sessions_axis, bench_artifact
+):
     width = 96
     per_session = 500 if smoke else 2_000
     fleet_sizes = [1, 4, 8] if smoke else [1, 8, 16, 64]
@@ -169,6 +179,7 @@ def test_bench_stream_hub_many_sessions(benchmark, smoke, sessions_axis):
     w = float(width)
 
     rows = []
+    trajectory = []
     for fleet in fleet_sizes:
         hub = StreamHub()
         feeds = {}
@@ -199,6 +210,13 @@ def test_bench_stream_hub_many_sessions(benchmark, smoke, sessions_axis):
             round(1e3 * elapsed, 1),
             f"{total / elapsed:,.0f}",
         ])
+        trajectory.append({
+            "sessions": fleet,
+            "chunk": chunk,
+            "steps_per_s": total / elapsed,
+            "fused_fraction": hub.metrics.stream_fused_fraction,
+        })
+    bench_artifact.record("e16", "hub_many_sessions", trajectory)
 
     def once():
         hub = StreamHub()
@@ -217,6 +235,223 @@ def test_bench_stream_hub_many_sessions(benchmark, smoke, sessions_axis):
         ["sessions", "total steps", "hyper rate", "wall ms", "steps/s"],
         rows,
         title="E16: StreamHub aggregate throughput (mixed policies)",
+    ))
+
+
+#: Fused-hub acceptance: fused sweep ≥ 3× the sequential per-session
+#: hub loop at 256 sessions × 64-step chunks (≥ 2× in smoke mode,
+#: where the fleet is smaller and fixed costs amortize worse).
+FUSED_MIN_SPEEDUP = 3.0
+FUSED_MIN_SPEEDUP_SMOKE = 2.0
+
+
+def test_bench_stream_fused_hub(
+    benchmark, smoke, sessions_axis, bench_artifact
+):
+    """Fused multi-cursor sweep vs the per-session hub loop.
+
+    One ``StreamHub`` serves a fleet of mixed-policy sessions in
+    64-step drain cycles — the serving-shard shape, where the
+    per-session Python loop (not the lane math) is the bottleneck.
+    The fused path stacks same-shape cursors into ``(S, C, L)`` blocks
+    and advances every quiet session in one NumPy sweep; sessions
+    whose chunk triggers replay through galloping ``step_many``.
+    Drift boundaries are staggered per session, so trigger cost
+    spreads across cycles the way unsynchronized fleets spread it.
+
+    Speed changes, answers never: both hubs must produce identical
+    per-session costs, and every session is cross-checked against the
+    step-by-step scalar oracle.
+    """
+    width = 96
+    chunk = 64
+    fleet = 64 if smoke else 256
+    rounds = 8 if smoke else 24
+    phase = 450 if smoke else 1200
+    window_k = 512 if smoke else 1024
+    min_speedup = FUSED_MIN_SPEEDUP_SMOKE if smoke else FUSED_MIN_SPEEDUP
+    if sessions_axis:
+        fleet = max(fleet, sessions_axis)
+    steps = chunk * (rounds + 1)  # one untimed warmup round
+    universe = SwitchUniverse.of_size(width)
+    w = float(width)
+
+    mask_traces = {
+        f"u{s}": _drifting_masks(
+            width, steps, seed=s, phase=phase, noise=3e-4,
+            offset=(s * 131) % phase,
+        )
+        for s in range(fleet)
+    }
+    lane_traces = {
+        sid: masks_to_lanes(masks, width)
+        for sid, masks in mask_traces.items()
+    }
+
+    def scheduler_for(s):
+        if s % 4 == 3:
+            return WindowScheduler(k=window_k)
+        return RentOrBuyScheduler(w, alpha=6.0, memory=8)
+
+    def run(fused):
+        hub = StreamHub(fused=fused)
+        for s, sid in enumerate(lane_traces):
+            hub.open(scheduler_for(s), universe, w, session_id=sid)
+        hub.feed_many(
+            {sid: ln[:chunk] for sid, ln in lane_traces.items()}
+        )
+        t0 = time.perf_counter()
+        for r in range(1, rounds + 1):
+            lo = r * chunk
+            hub.feed_many(
+                {sid: ln[lo:lo + chunk] for sid, ln in lane_traces.items()}
+            )
+        elapsed = time.perf_counter() - t0
+        assert hub.total_steps == fleet * steps  # O(1) running counters
+        costs = {sid: r.cost for sid, r in hub.finish_all().items()}
+        return fleet * chunk * rounds / elapsed, costs, hub.metrics
+
+    # Best of three per path — ratios of noisy timings are noisy.
+    seq_rate = fused_rate = 0.0
+    for _rep in range(3):
+        rate, seq_costs, seq_metrics = run(fused=False)
+        seq_rate = max(seq_rate, rate)
+        rate, fused_costs, fused_metrics = run(fused=True)
+        fused_rate = max(fused_rate, rate)
+    assert fused_costs == seq_costs
+    assert seq_metrics.stream_fused == 0
+    fused_n = fused_metrics.stream_fused
+    fallback_n = fused_metrics.stream_fused_fallback
+    assert fused_n + fallback_n == fleet * (rounds + 1)
+    fraction = fused_metrics.stream_fused_fraction
+
+    # The scalar oracle replays every session one mask at a time —
+    # per-session costs must be bit-identical on the benchmarked shape.
+    for s, (sid, masks) in enumerate(mask_traces.items()):
+        oracle = StreamSession(
+            ScalarOnly(scheduler_for(s)), universe, w
+        )
+        for mask in masks:
+            oracle.feed(mask)
+        assert oracle.cost == fused_costs[sid]
+
+    def once():
+        hub = StreamHub()
+        for s, sid in enumerate(lane_traces):
+            hub.open(scheduler_for(s), universe, w, session_id=sid)
+        hub.feed_many(
+            {sid: ln[:chunk] for sid, ln in lane_traces.items()}
+        )
+        return hub.total_steps
+
+    benchmark.pedantic(once, iterations=1, rounds=1)
+
+    speedup = fused_rate / seq_rate
+    bench_artifact.record("e16", "fused_hub", [{
+        "sessions": fleet,
+        "chunk": chunk,
+        "rounds": rounds,
+        "seq_steps_per_s": seq_rate,
+        "fused_steps_per_s": fused_rate,
+        "speedup": speedup,
+        "fused_fraction": fraction,
+    }])
+    print()
+    print(format_table(
+        ["sessions", "chunk", "seq steps/s", "fused steps/s",
+         "speedup", "fused", "fallback", "fused %"],
+        [[
+            fleet,
+            chunk,
+            f"{seq_rate:,.0f}",
+            f"{fused_rate:,.0f}",
+            f"{speedup:.2f}×",
+            fused_n,
+            fallback_n,
+            f"{fraction:.1%}",
+        ]],
+        title="E16: fused multi-cursor sweep vs sequential hub "
+              f"(mixed policies, staggered drift every {phase} steps)",
+    ))
+    assert speedup >= min_speedup
+
+
+def test_bench_scan_bounds_sweep(benchmark, smoke, bench_artifact):
+    """Galloping-scan bound sweep — tune the fallback path with data.
+
+    A triggering chunk replays through ``step_many``, whose galloping
+    scan doubles from ``scan_min`` up to ``scan_max``; those bounds
+    set the fused fallback cost.  The sweep runs a hectic stream (the
+    trigger-heavy regime where the scan restarts often) and a calm one
+    across bound settings: costs must be identical everywhere — the
+    scan is a search strategy, never an answer — and the table shows
+    what each setting costs per step so the defaults are an informed
+    choice, not a guess.
+    """
+    width = 96
+    n = 2_000 if smoke else 10_000
+    chunk = 64
+    reps = 2 if smoke else 3
+    universe = SwitchUniverse.of_size(width)
+    w = float(width)
+    grid = [(1, 64), (8, 512), (32, 2048), (128, 4096), (512, 4096)]
+
+    rows = []
+    trajectory = []
+    for phase in (60, 600):
+        masks = _drifting_masks(width, n, seed=3, phase=phase, noise=0.001)
+        lanes = masks_to_lanes(masks, width)
+        baseline_cost = None
+        for scan_min, scan_max in grid:
+            best = float("inf")
+            for _rep in range(reps):
+                session = StreamSession(
+                    RentOrBuyScheduler(
+                        w, alpha=2.0, memory=8,
+                        scan_min=scan_min, scan_max=scan_max,
+                    ),
+                    universe, w,
+                )
+                t0 = time.perf_counter()
+                for lo in range(0, n, chunk):
+                    session.feed_many(lanes[lo:lo + chunk])
+                best = min(best, time.perf_counter() - t0)
+            if baseline_cost is None:
+                baseline_cost = session.cost
+            assert session.cost == baseline_cost
+            rows.append([
+                phase,
+                scan_min,
+                scan_max,
+                round(1e6 * best / n, 2),
+            ])
+            trajectory.append({
+                "phase": phase,
+                "scan_min": scan_min,
+                "scan_max": scan_max,
+                "us_per_step": 1e6 * best / n,
+            })
+
+    def once():
+        session = StreamSession(
+            RentOrBuyScheduler(w, alpha=2.0, memory=8, scan_min=1,
+                               scan_max=64),
+            universe, w,
+        )
+        session.feed_many(masks_to_lanes(
+            _drifting_masks(width, chunk, seed=3), width
+        ))
+        return session.cost
+
+    benchmark.pedantic(once, iterations=1, rounds=1)
+
+    bench_artifact.record("e16", "scan_bounds", trajectory)
+    print()
+    print(format_table(
+        ["phase len", "scan_min", "scan_max", "µs/step"],
+        rows,
+        title=f"E16: galloping scan bounds sweep (n={n}, chunk={chunk}, "
+              "identical costs everywhere)",
     ))
 
 

@@ -64,7 +64,9 @@ def _mixed_scheduler(s: int, w: float):
     )
 
 
-def test_bench_serve_sessions_knee(benchmark, smoke, sessions_axis):
+def test_bench_serve_sessions_knee(
+    benchmark, smoke, sessions_axis, bench_artifact
+):
     """Aggregate steps/s of one hub shard as the fleet grows."""
     per_session = 400 if smoke else 1_500
     chunk = 512
@@ -74,6 +76,7 @@ def test_bench_serve_sessions_knee(benchmark, smoke, sessions_axis):
     widths = [96] if smoke else [96, 256]
 
     rows = []
+    trajectory = []
     for width in widths:
         universe = SwitchUniverse.of_size(width)
         w = float(width)
@@ -101,6 +104,12 @@ def test_bench_serve_sessions_knee(benchmark, smoke, sessions_axis):
                 round(1e3 * elapsed, 1),
                 f"{total / elapsed:,.0f}",
             ])
+            trajectory.append({
+                "width": width,
+                "sessions": sessions,
+                "steps_per_s": total / elapsed,
+            })
+    bench_artifact.record("e17", "sessions_knee", trajectory)
 
     def once():
         width = widths[0]
@@ -127,7 +136,7 @@ def test_bench_serve_sessions_knee(benchmark, smoke, sessions_axis):
     ))
 
 
-def test_bench_serve_shard_scaling(benchmark, smoke):
+def test_bench_serve_shard_scaling(benchmark, smoke, bench_artifact):
     """Calm-phase workload across 1/2/4 thread and process shards."""
     width = 256
     per_session = 1_000 if smoke else 4_000
@@ -139,6 +148,7 @@ def test_bench_serve_shard_scaling(benchmark, smoke):
     cores = _usable_cores()
 
     rows = []
+    trajectory = []
     reference_costs = None
     reference_hists = None
     proc_rates: dict[int, float] = {}
@@ -185,6 +195,12 @@ def test_bench_serve_shard_scaling(benchmark, smoke):
                 round(1e3 * elapsed, 1),
                 f"{rate:,.0f}",
             ])
+            trajectory.append({
+                "kind": "proc" if procs else "thread",
+                "shards": shards,
+                "steps_per_s": rate,
+            })
+    bench_artifact.record("e17", "shard_scaling", trajectory)
 
     def once():
         with ShardPool(2) as pool:
@@ -211,7 +227,7 @@ def test_bench_serve_shard_scaling(benchmark, smoke):
               f"cannot express {SCALING_SHARDS}-way parallelism)")
 
 
-def test_bench_serve_loopback_requests(benchmark, smoke):
+def test_bench_serve_loopback_requests(benchmark, smoke, bench_artifact):
     """Requests/s through live TCP serving, verified per session.
 
     Each shard count runs under both wire protocols — v1 JSON frames
@@ -228,6 +244,7 @@ def test_bench_serve_loopback_requests(benchmark, smoke):
     protos = [("json", False), ("bin", True)]
 
     rows = []
+    trajectory = []
     bytes_out: dict[tuple[int, str], int] = {}
     for shards in shard_counts:
         for proto, pipeline in protos:
@@ -254,6 +271,7 @@ def test_bench_serve_loopback_requests(benchmark, smoke):
                     decode_s = telemetry["metrics"]["engine"]["wire"][
                         proto
                     ]["decode_s"]
+                    stream = telemetry["metrics"]["engine"]["stream"]
             drain = Histogram.from_wire_aggregate(
                 wire.get("drain_cycle_seconds")
             )
@@ -280,7 +298,17 @@ def test_bench_serve_loopback_requests(benchmark, smoke):
                 f"/ {lat.p99 * ms:.1f}",
                 f"{drain.p50 * ms:.1f} / {drain.p95 * ms:.1f} "
                 f"/ {drain.p99 * ms:.1f}",
+                f"{stream['fused_fraction']:.1%}",
             ])
+            trajectory.append({
+                "shards": shards,
+                "proto": proto,
+                "sessions": result.sessions,
+                "frames_per_s": result.frames_per_s,
+                "steps_per_s": result.steps_per_s,
+                "fused_fraction": stream["fused_fraction"],
+            })
+    bench_artifact.record("e17", "loopback_requests", trajectory)
 
     # Wire-protocol acceptance: identical traffic, ≥2× fewer request
     # bytes under v2 at every shard count.
@@ -299,7 +327,7 @@ def test_bench_serve_loopback_requests(benchmark, smoke):
     print(format_table(
         ["shards", "proto", "sessions", "frames", "wall s", "frames/s",
          "steps/s", "req bytes", "decode ms",
-         "client p50/p95/p99 ms", "drain p50/p95/p99 ms"],
+         "client p50/p95/p99 ms", "drain p50/p95/p99 ms", "fused %"],
         rows,
         title=f"E17: loopback serving, {clients} clients, "
               f"chunk={chunk} (costs verified vs single hub; "

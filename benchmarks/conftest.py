@@ -13,6 +13,10 @@ meaningless in that mode — it exists so CI can execute every
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.analysis.experiments import run_counter_experiment
@@ -52,6 +56,62 @@ def sessions_axis(request) -> int | None:
     if value is not None and value < 1:
         raise pytest.UsageError("--sessions must be at least 1")
     return value
+
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+class BenchArtifact:
+    """Collects perf-trajectory rows into ``BENCH_<exp>.json`` files.
+
+    Benchmarks call :meth:`record` with raw (unformatted) numbers; at
+    session end each experiment's tables land in one JSON artifact at
+    the repo root, merged table-by-table with whatever a previous run
+    left there — so a smoke run refreshes only the tables it actually
+    produced and the full-mode numbers survive next to them.  Each
+    table row carries the mode it was measured under, because smoke
+    numbers are rot checks, not baselines.
+    """
+
+    def __init__(self, smoke: bool):
+        self.smoke = smoke
+        self._tables: dict[str, dict[str, list[dict]]] = {}
+
+    def record(self, experiment: str, table: str, rows: list[dict]) -> None:
+        tagged = [{**row, "smoke": self.smoke} for row in rows]
+        self._tables.setdefault(experiment, {})[table] = tagged
+
+    def flush(self, root: Path = _REPO_ROOT) -> list[Path]:
+        written = []
+        for experiment, tables in sorted(self._tables.items()):
+            path = root / f"BENCH_{experiment}.json"
+            merged: dict[str, list[dict]] = {}
+            if path.exists():
+                try:
+                    old = json.loads(path.read_text())
+                    if isinstance(old.get("tables"), dict):
+                        merged.update(old["tables"])
+                except (ValueError, OSError):
+                    pass  # refuse to let a corrupt artifact kill the run
+            merged.update(tables)
+            path.write_text(json.dumps({
+                "experiment": experiment,
+                "generated": time.strftime(
+                    "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+                ),
+                "smoke": self.smoke,
+                "tables": merged,
+            }, indent=2) + "\n")
+            written.append(path)
+        return written
+
+
+@pytest.fixture(scope="session")
+def bench_artifact(smoke) -> BenchArtifact:
+    """Session-wide perf-trajectory recorder (flushed at exit)."""
+    artifact = BenchArtifact(smoke)
+    yield artifact
+    artifact.flush()
 
 
 @pytest.fixture(scope="session")

@@ -508,6 +508,8 @@ CORE_SERIES = (
     "repro_server_opens_total",
     "repro_server_feeds_total",
     "repro_stream_steps_total",
+    "repro_stream_fused_sessions_total",
+    "repro_stream_fused_fallback_total",
     "repro_feed_latency_seconds_count",
     "repro_drain_cycle_seconds_count",
     "repro_stream_chunk_steps_count",
@@ -616,6 +618,7 @@ def cmd_serve_bench(args) -> int:
                     for proto, series in
                     telemetry["metrics"]["engine"]["wire"].items()
                 }
+                stream = telemetry["metrics"]["engine"]["stream"]
         drain = Histogram.from_wire_aggregate(
             wire.get("drain_cycle_seconds")
         )
@@ -629,6 +632,7 @@ def cmd_serve_bench(args) -> int:
             result.steps,
             round(result.wall_s, 2),
             f"{result.steps_per_s:,.0f}",
+            f"{stream['fused_fraction']:.1%}",
             f"{result.frames_per_s:,.0f}",
             f"{result.bytes_out:,}",
             f"{decode_ms:.1f}",
@@ -645,6 +649,9 @@ def cmd_serve_bench(args) -> int:
             "steps": result.steps,
             "wall_s": result.wall_s,
             "steps_per_s": result.steps_per_s,
+            "fused_sessions": stream["fused_sessions"],
+            "fused_fallback": stream["fused_fallback"],
+            "fused_fraction": stream["fused_fraction"],
             "frames_per_s": result.frames_per_s,
             "bytes_out": result.bytes_out,
             "bytes_in": result.bytes_in,
@@ -660,7 +667,7 @@ def cmd_serve_bench(args) -> int:
     kind = "proc" if args.shard_procs else "thread"
     print(format_table(
         ["shards", "proto", "sessions", "steps", "wall s", "steps/s",
-         "frames/s", "req bytes", "decode ms",
+         "fused %", "frames/s", "req bytes", "decode ms",
          "client p50/p95/p99 ms", "drain p50/p95/p99 ms", "verified"],
         rows,
         title=f"serve-bench: loopback, {kind} shards, "

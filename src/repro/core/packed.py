@@ -919,6 +919,51 @@ class PackedStream:
         """Append one requirement given as a Python int bitmask."""
         self.append_lanes(masks_to_lanes([mask], self.width)[0])
 
+    def _window_commit_short(
+        self, lanes: np.ndarray, chunk_union: np.ndarray | None = None
+    ) -> None:
+        """Two-stack window update for a chunk shorter than ``history``.
+
+        Must run *after* ``self.n`` already counts the chunk.  The
+        whole chunk enters the back stack in one push (its union is
+        one lane OR), and the same number of rows leaves the front
+        stack in one pop — O(L) per chunk instead of per row.  When
+        the front stack cannot cover the pops (the scalar path would
+        flip mid-chunk) the window is re-flipped wholesale: the
+        resulting front/back *split* differs from the per-row path's,
+        but every readable quantity — ring rows, ``tail_rows``,
+        ``window_union_lanes`` — is bit-identical, which is what the
+        cursor decisions depend on.
+        """
+        h = self.history
+        C = lanes.shape[0]
+        pos = self._ring_pos
+        if pos + C <= h:
+            self._ring[pos : pos + C] = lanes
+        else:
+            split = h - pos
+            self._ring[pos:] = lanes[:split]
+            self._ring[: C - split] = lanes[split:]
+        self._ring_pos = (pos + C) % h
+        if self._win_len + C <= h or (
+            self._win_len == h and self._front_n >= C
+        ):
+            if chunk_union is None:
+                chunk_union = np.bitwise_or.reduce(lanes, axis=0)
+            if self._win_len < h:
+                self._win_len += C
+            else:
+                self._front_n -= C
+            self._back_union = self._back_union | chunk_union
+            self._back_n += C
+        else:
+            # Warmup crossing or front exhausted mid-chunk: flip the
+            # whole window into fresh suffix unions (the amortized
+            # O(h·L) event the scalar path pays one row at a time).
+            self._win_len = min(h, self.n)
+            self._back_n = self._win_len
+            self._flip()
+
     def extend(self, lanes: np.ndarray) -> None:
         """Append a ``(C, L)`` chunk in one vectorized update."""
         lanes = np.ascontiguousarray(lanes, dtype=np.uint64)
@@ -927,27 +972,93 @@ class PackedStream:
         C = lanes.shape[0]
         if C == 0:
             return
-        if self.history and C < self.history:
-            # Short chunk: the per-row path keeps the two-stack state
-            # exact and is bounded by history · L lane work.
-            for row in lanes:
-                self.append_lanes(row)
-            return
-        self._total = self._total | np.bitwise_or.reduce(lanes, axis=0)
+        union = np.bitwise_or.reduce(lanes, axis=0)
+        self._total = self._total | union
         self._total_size = int(
             popcount_u64(self._total).sum(dtype=np.int64)
         )
         self.n += C
-        if self.history:
-            # The chunk covers the whole window: rebuild ring + stacks.
-            tail = lanes[-self.history :]
-            self._ring[: tail.shape[0]] = tail
-            self._ring_pos = tail.shape[0] % self.history
-            self._win_len = min(self.history, self.n)
-            self._front_suffix = np.zeros((0, self._L), dtype=np.uint64)
-            self._front_n = 0
-            self._back_union = np.bitwise_or.reduce(tail, axis=0)
-            self._back_n = tail.shape[0]
+        if not self.history:
+            return
+        if C < self.history:
+            self._window_commit_short(lanes, chunk_union=union)
+            return
+        # The chunk covers the whole window: rebuild ring + stacks.
+        tail = lanes[-self.history :]
+        self._ring[: tail.shape[0]] = tail
+        self._ring_pos = tail.shape[0] % self.history
+        self._win_len = min(self.history, self.n)
+        self._front_suffix = np.zeros((0, self._L), dtype=np.uint64)
+        self._front_n = 0
+        self._back_union = np.bitwise_or.reduce(tail, axis=0)
+        self._back_n = tail.shape[0]
+
+    @classmethod
+    def extend_many(
+        cls,
+        streams,
+        block: np.ndarray,
+        *,
+        unions: np.ndarray | None = None,
+    ) -> None:
+        """Commit one same-length chunk per stream in a fused update.
+
+        ``block`` stacks one ``(C, L)`` chunk per stream into
+        ``(S, C, L)``; every stream must share the lane width and
+        ``history``.  Bit-identical to calling :meth:`extend` per
+        stream — the running unions, popcounts, ring rebuilds and
+        two-stack window state are just computed across all streams in
+        whole-array NumPy passes instead of S separate dispatch
+        cascades (this is the stream half of the fused multi-session
+        sweep; :meth:`sweep_many` in :mod:`repro.solvers.online` is the
+        policy half).  ``unions`` optionally passes precomputed
+        ``(S, L)`` per-chunk unions so a caller that already reduced
+        the block does not pay the pass twice.
+
+        Chunks shorter than ``history`` batch the totals the same way
+        and run the amortized :meth:`_window_commit_short` per stream
+        (one back push + one front pop per chunk, not per row).
+        """
+        S, C, L = block.shape
+        if len(streams) != S:
+            raise ValueError("one chunk per stream required")
+        if S == 0 or C == 0:
+            return
+        h = streams[0].history
+        for st in streams:
+            if st._L != L or st.history != h:
+                raise ValueError(
+                    "fused extend requires equal lane width and history"
+                )
+        if unions is None:
+            unions = np.bitwise_or.reduce(block, axis=1)
+        totals = np.stack([st._total for st in streams])
+        np.bitwise_or(totals, unions, out=totals)
+        total_sizes = popcount_u64(totals).sum(axis=1, dtype=np.int64)
+        if h and C < h:
+            for s, st in enumerate(streams):
+                st._total = totals[s]
+                st._total_size = int(total_sizes[s])
+                st.n += C
+                st._window_commit_short(block[s], chunk_union=unions[s])
+            return
+        if h:
+            tails = block[:, C - h :, :]
+            tail_unions = np.bitwise_or.reduce(tails, axis=1)
+            empty_front = np.zeros((0, L), dtype=np.uint64)
+        for s, st in enumerate(streams):
+            st._total = totals[s]
+            st._total_size = int(total_sizes[s])
+            st.n += C
+            if h:
+                st._ring[:h] = tails[s]
+                st._ring_pos = 0
+                st._win_len = h
+                st._front_suffix = empty_front
+                st._front_n = 0
+                st._back_union = tail_unions[s]
+                st._back_n = h
+        return
 
     def push(self, lanes: np.ndarray) -> tuple[np.ndarray, int]:
         """Commit a chunk; return ``(ext, off)`` for batched cursors.

@@ -51,6 +51,11 @@ HISTOGRAM_FAMILIES: dict[str, tuple[str, str, tuple[str, ...]]] = {
         "value", "Final cost per closed streaming session", ("solver",)),
     "session_steps": (
         "value", "Total steps per closed streaming session", ("solver",)),
+    # Deliberately NOT in DETERMINISTIC_FAMILIES: sharding splits a
+    # fleet, so group sizes depend on placement even though every
+    # per-session answer is placement-independent.
+    "fused_group_sessions": (
+        "value", "Sessions per fused multi-session sweep group", ()),
 }
 
 #: Families over deterministic quantities (no wall clock): a shard
@@ -129,6 +134,11 @@ class EngineMetrics:
         self.stream_steps = 0
         self.stream_hypers = 0
         self.stream_time = 0.0
+        # Fused multi-session sweep accounting: session-chunks that
+        # completed inside the fused kernel vs ones that triggered and
+        # replayed through the per-session galloping path.
+        self.stream_fused = 0
+        self.stream_fused_fallback = 0
         # Wire accounting per protocol, pre-seeded so the exposition
         # renders the v1/v2 series (at zero) on an idle server.
         # proto -> [frames_in, bytes_in, bytes_out, decode_seconds]
@@ -280,9 +290,46 @@ class EngineMetrics:
                             seconds, shard=str(drain_shard)
                         )
                 if chunk_steps:
-                    fam = self.hist["stream_chunk_steps"]
-                    for n in chunk_steps:
-                        fam.observe(n)
+                    # One bucket-count pass over the whole batch; step
+                    # counts are small ints, so the float total stays
+                    # exact and the family remains deterministic.
+                    self.hist["stream_chunk_steps"].labels().observe_many(
+                        chunk_steps
+                    )
+
+    def record_fused(
+        self,
+        *,
+        sessions: int = 0,
+        fallback: int = 0,
+        group_sizes=(),
+    ) -> None:
+        """Count one fused multi-session sweep dispatch.
+
+        ``sessions`` completed entirely inside the fused kernel;
+        ``fallback`` triggered and replayed through their own galloping
+        ``step_many``.  ``group_sizes`` are the per-group session
+        counts of the dispatch (histogram ``fused_group_sessions`` —
+        placement-dependent by nature, so not a deterministic family).
+        """
+        with self._lock:
+            self.stream_fused += int(sessions)
+            self.stream_fused_fallback += int(fallback)
+            if self.histograms_enabled and group_sizes:
+                self.hist["fused_group_sessions"].labels().observe_many(
+                    group_sizes
+                )
+
+    def _stream_fused_fraction(self) -> float:
+        total = self.stream_fused + self.stream_fused_fallback
+        return self.stream_fused / total if total else 0.0
+
+    @property
+    def stream_fused_fraction(self) -> float:
+        """Fraction of fused-eligible session-chunks that completed in
+        the fused sweep (0.0 when the fused path never ran)."""
+        with self._lock:
+            return self._stream_fused_fraction()
 
     def record_session_close(
         self,
@@ -422,6 +469,9 @@ class EngineMetrics:
                     "wall_time_s": self.stream_time,
                     "steps_per_s": self._stream_steps_per_s(),
                     "hyper_rate": self._stream_hyper_rate(),
+                    "fused_sessions": self.stream_fused,
+                    "fused_fallback": self.stream_fused_fallback,
+                    "fused_fraction": self._stream_fused_fraction(),
                 },
                 "wire": {
                     proto: {
@@ -507,6 +557,13 @@ class EngineMetrics:
                 ["stream throughput",
                  f"{stream['steps_per_s']:.0f} steps/s"]
             )
+            if stream["fused_sessions"] or stream["fused_fallback"]:
+                rows.append(
+                    ["fused sweep",
+                     f"{stream['fused_sessions']} fused / "
+                     f"{stream['fused_fallback']} fallback "
+                     f"({stream['fused_fraction']:.1%} fused)"]
+                )
             feed = snap["histograms"]["feed_latency_seconds"]
             if feed["count"]:
                 rows.append(

@@ -266,6 +266,38 @@ class StreamSession:
             sizes=batch.sizes,
         )
 
+    def _commit_fused(
+        self,
+        log,
+        steps: int,
+        hyper_flags: np.ndarray,
+        sizes: np.ndarray,
+        chunk_cost: float,
+        new_cost: float,
+    ) -> StreamBatch:
+        """Book a chunk the fused multi-session sweep already served.
+
+        The cursor and stream state were advanced inside
+        ``sweep_many`` (the chunk was *quiet*: zero hypers), and the
+        hub computed the seeded cost cumsum for all quiet sessions in
+        one batched pass — this just appends the requirement log and
+        folds the totals in.  ``hyper_flags``/``sizes`` are shared
+        read-only arrays (one zeros vector and one broadcast row per
+        fused group, not per session)."""
+        start = self._n
+        self._chunks.append(log)
+        self._n += steps
+        self._cost = new_cost
+        return StreamBatch(
+            start=start,
+            steps=steps,
+            hypers=0,
+            cost=chunk_cost,
+            cumulative_cost=new_cost,
+            hyper_flags=hyper_flags,
+            sizes=sizes,
+        )
+
     def feed_many(self, masks) -> StreamBatch:
         """Serve a chunk of requirements in one vectorized call.
 
@@ -394,6 +426,7 @@ class StreamHub:
         metrics: EngineMetrics | None = None,
         retain_runs: bool = True,
         tracer=None,
+        fused: bool = True,
     ):
         """``retain_runs=False`` drops finished runs after handing them
         to the caller (and releases their session ids for reuse) — the
@@ -401,13 +434,31 @@ class StreamHub:
         every closed session forever would leak O(steps) per user.
         ``tracer`` is an optional
         :class:`~repro.obs.trace.TraceRecorder`; the hub records
-        open/feed/close spans into it."""
+        open/feed/close spans into it.  ``fused=False`` disables the
+        fused multi-session sweep and advances sessions back to back —
+        the sequential baseline benchmark E16 measures the fused path
+        against (answers are bit-identical either way)."""
         self.metrics = metrics if metrics is not None else EngineMetrics()
         self.retain_runs = retain_runs
         self.tracer = tracer
+        self.fused = fused
         self._sessions: dict[str, StreamSession] = {}
         self._runs: dict[str, OnlineRun] = {}
         self._auto_id = count()
+        # O(1) fleet totals (satellite of the fused-sweep PR): steps
+        # and hypers of live sessions and retained runs, maintained on
+        # feed/close instead of re-summed per stats scrape.  Exact for
+        # hub-routed traffic, which is the only kind there is — the
+        # shard/serve layers never feed a session behind the hub's
+        # back.
+        self._live_steps = 0
+        self._live_hypers = 0
+        self._closed_steps = 0
+        self._closed_hypers = 0
+        #: (fused, fallback, group sizes) of the most recent
+        #: :meth:`feed_many` — shard drain cycles ship this upstream so
+        #: a pool's parent metrics see per-cycle fused counts.
+        self._last_fused: tuple[int, int, tuple[int, ...]] = (0, 0, ())
 
     # -- session management ------------------------------------------------
 
@@ -455,6 +506,8 @@ class StreamHub:
         start = time.perf_counter()
         event = session.feed(mask)
         elapsed = time.perf_counter() - start
+        self._live_steps += 1
+        self._live_hypers += 1 if event.hyper else 0
         self.metrics.record_stream(
             steps=1,
             hypers=1 if event.hyper else 0,
@@ -472,26 +525,50 @@ class StreamHub:
 
         ``chunks`` maps session ids to whatever
         :meth:`StreamSession.feed_many` accepts (mask iterables or
-        lane-packed arrays).  Sessions are advanced back to back; the
-        call's wall time and aggregate step/hyper counts land in the
-        hub metrics.
+        lane-packed arrays).  With :attr:`fused` (the default) the hub
+        groups same-shape lane chunks — same cursor kind, lane width,
+        history and chunk length — and advances each group through the
+        policy's fused ``sweep_many`` kernel: every session whose
+        chunk triggers nothing completes in one struct-of-arrays NumPy
+        pass, and only triggering sessions replay their chunk through
+        the per-session galloping ``step_many`` (bit-identical
+        decisions either way).  The call's wall time, aggregate
+        step/hyper counts and fused/fallback session counts land in
+        the hub metrics.
         """
         sessions = {sid: self.session(sid) for sid in chunks}
         out: dict[str, StreamBatch] = {}
         start = time.perf_counter()
+        fused = fallback = 0
+        group_sizes: tuple[int, ...] = ()
+        if self.fused and len(chunks) > 1:
+            fused, fallback, group_sizes = self._feed_many_fused(
+                sessions, chunks, out
+            )
+        else:
+            for sid, masks in chunks.items():
+                out[sid] = sessions[sid].feed_many(masks)
+        if len(out) != len(chunks):  # pragma: no cover - defensive
+            raise RuntimeError("fused dispatch lost a session chunk")
+        out = {sid: out[sid] for sid in chunks}  # caller's order
         steps = hypers = 0
-        for sid, masks in chunks.items():
-            batch = sessions[sid].feed_many(masks)
+        for batch in out.values():
             steps += batch.steps
             hypers += batch.hypers
-            out[sid] = batch
         elapsed = time.perf_counter() - start
+        self._live_steps += steps
+        self._live_hypers += hypers
+        self._last_fused = (fused, fallback, group_sizes)
         self.metrics.record_stream(
             steps=steps,
             hypers=hypers,
             seconds=elapsed,
             chunk_steps=tuple(b.steps for b in out.values()),
         )
+        if fused or fallback:
+            self.metrics.record_fused(
+                sessions=fused, fallback=fallback, group_sizes=group_sizes
+            )
         if self.tracer is not None:
             self.tracer.record(
                 "feed",
@@ -501,20 +578,134 @@ class StreamHub:
             )
         return out
 
+    def _feed_many_fused(
+        self,
+        sessions: dict[str, StreamSession],
+        chunks: Mapping[str, object],
+        out: dict[str, StreamBatch],
+    ) -> tuple[int, int, tuple[int, ...]]:
+        """Group-and-sweep core of the fused :meth:`feed_many` path.
+
+        Eligible chunks (lane-packed, on a batched-cursor session) are
+        grouped by ``(cursor kind, lane width, history, chunk len)`` —
+        the shape a single stacked ``(S, C, L)`` sweep needs; history
+        equality pins ``memory``/``k``, while ``w``/``alpha`` may vary
+        inside a group (the sweep gathers them as vectors).  Everything
+        else — mask iterables, interned chunks for the wrong universe,
+        empty or singleton groups — takes the per-session path
+        unchanged.  Returns (fused, fallback, group sizes) session
+        counts; per-session batches land in ``out``.
+        """
+        groups: dict[tuple, list[tuple[str, np.ndarray, object]]] = {}
+        plain: list[str] = []
+        for sid, masks in chunks.items():
+            session = sessions[sid]
+            cursor = session._batched
+            lanes = None
+            log = None
+            if cursor is not None and not session._finished:
+                if isinstance(masks, InternedChunk):
+                    if masks.width == session.universe.size:
+                        lanes = masks.resolve()
+                        log = masks
+                elif (
+                    isinstance(masks, np.ndarray)
+                    and masks.ndim == 2
+                    and masks.dtype == np.uint64
+                ):
+                    # No ascontiguousarray here: np.stack copies the
+                    # rows into the owned block either way.
+                    lanes = masks
+            stream = cursor.stream if cursor is not None else None
+            if (
+                lanes is None
+                or lanes.shape[0] == 0
+                or lanes.shape[1] != stream.lane_width
+                or not hasattr(type(cursor), "sweep_many")
+            ):
+                plain.append(sid)
+                continue
+            key = (
+                type(cursor),
+                lanes.shape[1],
+                stream.history,
+                lanes.shape[0],
+            )
+            groups.setdefault(key, []).append((sid, lanes, log))
+        for sid in plain:
+            out[sid] = sessions[sid].feed_many(chunks[sid])
+        fused = fallback = 0
+        group_sizes: list[int] = []
+        for (cursor_cls, _L, _hist, C), members in groups.items():
+            if len(members) == 1:
+                # A lone session gains nothing from stacking; skip the
+                # probe and keep single-session hubs at their old cost.
+                sid, lanes, log = members[0]
+                out[sid] = sessions[sid].feed_many(
+                    log if log is not None else lanes
+                )
+                continue
+            block = np.stack([lanes for _sid, lanes, _log in members])
+            cursors = [sessions[sid]._batched for sid, _lanes, _log in members]
+            sweep = cursor_cls.sweep_many(cursors, block)
+            quiet_idx = np.flatnonzero(sweep.advanced)
+            if quiet_idx.size:
+                # Batched bookkeeping: one seeded cost cumsum across
+                # all quiet sessions (row-wise it is exactly the
+                # scalar session's concatenate-and-cumsum), shared
+                # zero hyper flags, one broadcast sizes matrix whose
+                # read-only rows become each session's per-step sizes.
+                costs = np.empty((quiet_idx.size, C + 1), dtype=np.float64)
+                costs[:, 0] = [
+                    sessions[members[s][0]]._cost for s in quiet_idx
+                ]
+                costs[:, 1:] = sweep.sizes[quiet_idx, None]
+                cum = np.cumsum(costs, axis=1)
+                new_costs = cum[:, -1].tolist()
+                chunk_costs = (cum[:, -1] - cum[:, 0]).tolist()
+                sizes_rows = np.broadcast_to(
+                    sweep.sizes[quiet_idx, None], (quiet_idx.size, C)
+                )
+                zero_flags = np.zeros(C, dtype=bool)
+                zero_flags.setflags(write=False)
+                for j, s in enumerate(quiet_idx):
+                    sid, lanes, log = members[s]
+                    out[sid] = sessions[sid]._commit_fused(
+                        log if log is not None else block[s],
+                        C,
+                        zero_flags,
+                        sizes_rows[j],
+                        chunk_costs[j],
+                        new_costs[j],
+                    )
+            for s in np.flatnonzero(~sweep.advanced):
+                sid, lanes, log = members[s]
+                out[sid] = sessions[sid].feed_many(
+                    log if log is not None else lanes
+                )
+            fused += int(quiet_idx.size)
+            fallback += len(members) - int(quiet_idx.size)
+            group_sizes.append(len(members))
+        return fused, fallback, tuple(group_sizes)
+
+    @property
+    def last_fused(self) -> tuple[int, int, tuple[int, ...]]:
+        """(fused, fallback, group sizes) of the latest feed_many."""
+        return self._last_fused
+
     # -- aggregate accounting ----------------------------------------------
 
     @property
     def total_steps(self) -> int:
-        """Steps served by live and finished sessions."""
-        return sum(s.steps for s in self._sessions.values()) + sum(
-            run.schedule.n for run in self._runs.values()
-        )
+        """Steps served by live and retained finished sessions.
+
+        O(1): running counters updated on feed and close, not a
+        re-sum over sessions per stats scrape."""
+        return self._live_steps + self._closed_steps
 
     @property
     def total_hypers(self) -> int:
-        return sum(s.hyper_count for s in self._sessions.values()) + sum(
-            run.schedule.r for run in self._runs.values()
-        )
+        return self._live_hypers + self._closed_hypers
 
     @property
     def total_cost(self) -> float:
@@ -544,8 +735,12 @@ class StreamHub:
         )
         if self.tracer is not None:
             self.tracer.record("close", session=session_id, steps=run.schedule.n)
+        self._live_steps -= run.schedule.n
+        self._live_hypers -= run.schedule.r
         if self.retain_runs:
             self._runs[session_id] = run
+            self._closed_steps += run.schedule.n
+            self._closed_hypers += run.schedule.r
         del self._sessions[session_id]
         return run
 

@@ -1038,6 +1038,8 @@ class StreamServer:
             "stream_closed_total": engine["stream"]["closed"],
             "stream_steps_total": engine["stream"]["steps"],
             "stream_hypers_total": engine["stream"]["hypers"],
+            "stream_fused_sessions_total": engine["stream"]["fused_sessions"],
+            "stream_fused_fallback_total": engine["stream"]["fused_fallback"],
             "trace_spans_total": trace["recorded"],
             "trace_slow_spans_total": trace["slow"],
         })

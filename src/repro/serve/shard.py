@@ -154,10 +154,17 @@ class _ThreadShard:
                 scheduler, universe, w, session_id=session_id
             )
 
-    def feed_many(self, chunks) -> dict[str, BatchSummary]:
+    def feed_many(self, chunks):
+        """One drain cycle: summaries plus the hub's fused/fallback
+        session counts for that cycle (the pool re-records them in the
+        parent metrics so thread and process shards report alike)."""
         with self.lock:
             batches = self.hub.feed_many(chunks)
-        return {sid: _summarize(batch) for sid, batch in batches.items()}
+            fused = self.hub.last_fused
+        return (
+            {sid: _summarize(batch) for sid, batch in batches.items()},
+            fused,
+        )
 
     def finish(self, session_id) -> OnlineRun:
         with self.lock:
@@ -206,9 +213,13 @@ def _shard_worker(conn):  # pragma: no cover - exercised in a child process
                 finally:
                     if shm is not None:
                         shm.close()
-                conn.send(("ok", {
-                    sid: _summarize(batch) for sid, batch in batches.items()
-                }))
+                conn.send(("ok", (
+                    {
+                        sid: _summarize(batch)
+                        for sid, batch in batches.items()
+                    },
+                    hub.last_fused,
+                )))
             elif op == "finish":
                 conn.send(("ok", hub.finish(msg[1])))
             elif op == "metrics":
@@ -443,17 +454,25 @@ class ShardPool:
         return out
 
     def _feed_shard(self, shard, chunks) -> dict[str, BatchSummary]:
-        """One shard drain cycle, no metrics (callers time themselves)."""
+        """One shard drain cycle, no latency metrics (callers time
+        themselves); the cycle's fused/fallback counts are folded into
+        the pool metrics here, where both shard kinds converge."""
         worker = self._shards[shard]
         if worker.kind != "proc":
-            return worker.feed_many(chunks)
-        payload, interned, deltas, shm = self._pack_cycle(worker, chunks)
-        try:
-            return worker.feed_many(payload, interned, deltas)
-        finally:
-            if shm is not None:
-                shm.close()
-                shm.unlink()
+            out, fused = worker.feed_many(chunks)
+        else:
+            payload, interned, deltas, shm = self._pack_cycle(worker, chunks)
+            try:
+                out, fused = worker.feed_many(payload, interned, deltas)
+            finally:
+                if shm is not None:
+                    shm.close()
+                    shm.unlink()
+        if fused[0] or fused[1]:
+            self.metrics.record_fused(
+                sessions=fused[0], fallback=fused[1], group_sizes=fused[2]
+            )
+        return out
 
     def _arena_deltas(self, worker, interned):
         """Rows the worker's replica arenas are missing for ``interned``.

@@ -71,6 +71,7 @@ from repro.util.bitset import popcount_u64
 
 __all__ = [
     "CursorBatch",
+    "FusedSweep",
     "OnlineRun",
     "RentOrBuyScheduler",
     "ScalarOnly",
@@ -144,6 +145,41 @@ class CursorBatch:
         if self.installed.shape[0] == 0:
             return []
         return lanes_to_masks(self.installed)
+
+
+@dataclass(frozen=True)
+class FusedSweep:
+    """Result of a fused multi-cursor sweep over same-shape chunks.
+
+    ``sweep_many`` advances every *quiet* cursor — one whose chunk
+    contains no trigger at all — entirely inside one struct-of-arrays
+    NumPy pass; a cursor with any trigger in the chunk is left
+    untouched so the caller can replay that chunk through the cursor's
+    own galloping :meth:`step_many` (the decisions are bit-identical
+    either way, the fused pass just declines to unpick mid-chunk
+    installs).
+
+    Attributes
+    ----------
+    advanced:
+        ``(S,)`` bool — True where the cursor completed in the fused
+        pass (its stream and policy state are already committed).
+    sizes:
+        ``(S,)`` int64 — the frozen hypercontext popcount ``|h|`` that
+        served every step of an advanced cursor's chunk (meaningless
+        for cursors left to the fallback).
+    """
+
+    advanced: np.ndarray
+    sizes: np.ndarray
+
+    @property
+    def fused_count(self) -> int:
+        return int(np.count_nonzero(self.advanced))
+
+    @property
+    def fallback_count(self) -> int:
+        return int(self.advanced.shape[0]) - self.fused_count
 
 
 def _empty_batch(L: int) -> CursorBatch:
@@ -258,6 +294,8 @@ class _BatchedRentOrBuyCursor:
         "alpha",
         "memory",
         "stream",
+        "scan_min",
+        "scan_max",
         "multi_trigger_hits",
         "_cur",
         "_cur_size",
@@ -272,14 +310,37 @@ class _BatchedRentOrBuyCursor:
     #: small sweep that doubles while no trigger is found (total rows
     #: touched stay within ~2× the segment length either way).  State
     #: carries across sweep windows exactly as it does across chunks,
-    #: so the bounds only shape the work, never the decisions.
+    #: so the bounds only shape the work, never the decisions.  The
+    #: class attributes are defaults; per-scheduler tunables
+    #: (``RentOrBuyScheduler(scan_min=..., scan_max=...)``) override
+    #: them per cursor — bench E16 sweeps the grid.
     _SCAN_MIN = 128
     _SCAN_MAX = 4096
 
-    def __init__(self, w: float, alpha: float, memory: int, width: int):
+    def __init__(
+        self,
+        w: float,
+        alpha: float,
+        memory: int,
+        width: int,
+        *,
+        scan_min: int | None = None,
+        scan_max: int | None = None,
+    ):
         self.w = w
         self.alpha = alpha
         self.memory = memory
+        self.scan_max = self._SCAN_MAX if scan_max is None else int(scan_max)
+        if scan_min is None:
+            # A lone small scan_max implies the window ceiling; don't
+            # make the caller restate the floor to satisfy min ≤ max.
+            self.scan_min = min(self._SCAN_MIN, self.scan_max)
+        else:
+            self.scan_min = int(scan_min)
+        if self.scan_min < 1:
+            raise ValueError("scan_min must be at least 1")
+        if self.scan_max < self.scan_min:
+            raise ValueError("scan_max must be at least scan_min")
         self.stream = PackedStream(width, history=memory - 1)
         L = self.stream.lane_width
         self._cur = np.zeros(L, dtype=np.uint64)
@@ -312,7 +373,7 @@ class _BatchedRentOrBuyCursor:
         cur, cur_size = self._cur, self._cur_size
         served, regret = self._served, self._regret
         pos = 0
-        scan = self._SCAN_MIN
+        scan = self.scan_min
         ncur = ~cur
         while pos < C:
             stop = min(C, pos + scan)
@@ -335,10 +396,10 @@ class _BatchedRentOrBuyCursor:
                 served = acc[-1]
                 regret = float(csum[-1])
                 pos = stop
-                scan = min(scan * 2, self._SCAN_MAX)
+                scan = min(scan * 2, self.scan_max)
                 continue
             t = pos + hit
-            scan = self._SCAN_MIN
+            scan = self.scan_min
             sizes[pos:t] = cur_size
             # Working set = this requirement ∪ the last (memory-1) ones,
             # read off the history-prefixed chunk.
@@ -420,6 +481,84 @@ class _BatchedRentOrBuyCursor:
             installed_arr = np.zeros((0, L), dtype=np.uint64)
         return CursorBatch(hyper=hyper, sizes=sizes, installed=installed_arr)
 
+    @classmethod
+    def sweep_many(cls, cursors, block: np.ndarray) -> FusedSweep:
+        """Advance every quiet cursor over its chunk in one fused pass.
+
+        ``block`` stacks one same-length ``(C, L)`` chunk per cursor
+        into ``(S, C, L)``; all cursors must share the lane width and
+        ``memory`` (the hub's group key guarantees it — ``w``/``alpha``
+        may vary and are gathered as vectors).  A cursor is *quiet*
+        when its chunk contains no trigger: not the forced first step,
+        no misfit, no regret overflow.  Quiet cursors commit their
+        entire chunk here — served union, regret, packed stream — with
+        zero per-step Python; the rest are left untouched for the
+        caller to replay through :meth:`step_many`.
+
+        Exactness mirrors ``step_many``: served ⊆ cur makes the final
+        chunk union escape ``cur`` exactly when any prefix union does
+        (monotone), so the cheap ``(S, L)`` probe rules misfits in or
+        out without the prefix accumulate; the regret cumsum adds only
+        integers (exactly representable in float64), so the vectorized
+        sum equals the scalar sequential accumulation bit for bit.
+        """
+        S, C, L = block.shape
+        cur = np.stack([c._cur for c in cursors])
+        n0 = np.fromiter(
+            (c.stream.n for c in cursors), count=S, dtype=np.int64
+        )
+        unions = np.bitwise_or.reduce(block, axis=1)
+        misfit = ((unions & ~cur) != 0).any(axis=1)
+        quiet = (n0 > 0) & ~misfit
+        cand = np.flatnonzero(quiet)
+        if cand.size:
+            # Exact regret sweep, candidates only: prefix unions over
+            # the chunk (seeded with the carried served union), popcount
+            # deficits, carried-regret cumsum, threshold test per step.
+            sub = block[cand]
+            served = np.stack([cursors[i]._served for i in cand])
+            cur_size = np.fromiter(
+                (cursors[i]._cur_size for i in cand),
+                count=cand.size,
+                dtype=np.int64,
+            )
+            regret = np.fromiter(
+                (cursors[i]._regret for i in cand),
+                count=cand.size,
+                dtype=np.float64,
+            )
+            threshold = np.fromiter(
+                (cursors[i].alpha * cursors[i].w for i in cand),
+                count=cand.size,
+                dtype=np.float64,
+            )
+            acc = np.bitwise_or.accumulate(sub, axis=1)
+            np.bitwise_or(acc, served[:, None, :], out=acc)
+            pc = popcount_u64(acc).sum(axis=2, dtype=np.int64)
+            csum = np.cumsum(
+                cur_size[:, None] - pc, axis=1, dtype=np.float64
+            )
+            csum += regret[:, None]
+            overflow = (csum > threshold[:, None]).any(axis=1)
+            quiet[cand[overflow]] = False
+            ok = np.flatnonzero(~overflow)
+            if ok.size:
+                finals = acc[ok, -1, :]  # fancy index → owned (Sq, L)
+                final_regret = csum[ok, -1]
+                for j, i in enumerate(cand[ok]):
+                    c = cursors[i]
+                    c._served = finals[j]
+                    c._regret = float(final_regret[j])
+                PackedStream.extend_many(
+                    [cursors[i].stream for i in cand[ok]],
+                    sub[ok],
+                    unions=unions[cand[ok]],
+                )
+        sizes = np.fromiter(
+            (c._cur_size for c in cursors), count=S, dtype=np.int64
+        )
+        return FusedSweep(advanced=quiet, sizes=sizes)
+
 
 class RentOrBuyScheduler:
     """Regret-bounded online policy (ski rental generalization).
@@ -433,16 +572,37 @@ class RentOrBuyScheduler:
     last ``memory`` requirements (its estimate of the new working set).
     """
 
-    def __init__(self, w: float, *, alpha: float = 1.0, memory: int = 4):
+    def __init__(
+        self,
+        w: float,
+        *,
+        alpha: float = 1.0,
+        memory: int = 4,
+        scan_min: int | None = None,
+        scan_max: int | None = None,
+    ):
         if w <= 0:
             raise ValueError("w must be positive")
         if alpha <= 0:
             raise ValueError("alpha must be positive")
         if memory < 1:
             raise ValueError("memory must be at least 1")
+        if scan_min is not None and scan_min < 1:
+            raise ValueError("scan_min must be at least 1")
+        if (
+            scan_min is not None
+            and scan_max is not None
+            and scan_max < scan_min
+        ):
+            raise ValueError("scan_max must be at least scan_min")
         self.w = w
         self.alpha = alpha
         self.memory = memory
+        #: Galloping sweep bounds for the batched cursor; ``None``
+        #: defers to the cursor-class defaults.  Pure performance
+        #: tunables — decisions never depend on them.
+        self.scan_min = scan_min
+        self.scan_max = scan_max
         self.name = f"rent_or_buy(alpha={alpha}, memory={memory})"
 
     def cursor(self) -> _RentOrBuyCursor:
@@ -450,7 +610,14 @@ class RentOrBuyScheduler:
 
     def batched_cursor(self, width: int) -> _BatchedRentOrBuyCursor:
         """Lane-packed cursor over a ``width``-switch universe."""
-        return _BatchedRentOrBuyCursor(self.w, self.alpha, self.memory, width)
+        return _BatchedRentOrBuyCursor(
+            self.w,
+            self.alpha,
+            self.memory,
+            width,
+            scan_min=self.scan_min,
+            scan_max=self.scan_max,
+        )
 
     def plan(self, seq: RequirementSequence) -> SingleTaskSchedule:
         return plan_with_cursor(self.cursor(), seq)
@@ -550,6 +717,43 @@ class _BatchedWindowCursor:
         else:  # pragma: no cover - a chunk always installs on first feed
             installed_arr = np.zeros((0, L), dtype=np.uint64)
         return CursorBatch(hyper=hyper, sizes=sizes, installed=installed_arr)
+
+    @classmethod
+    def sweep_many(cls, cursors, block: np.ndarray) -> FusedSweep:
+        """Advance every quiet cursor over its chunk in one fused pass.
+
+        ``block`` is ``(S, C, L)``, one chunk per cursor; all cursors
+        share the lane width and cadence ``k`` (hub group key).  A
+        window cursor is quiet when no cadence boundary falls inside
+        ``[n, n + C)`` — which also covers the forced first step, since
+        step 0 *is* a boundary — and its chunk union stays inside the
+        current hypercontext (misfits are monotone in the prefix union,
+        as in the rent-or-buy sweep).  Note a cadence ``k < C`` can
+        never be quiet, so fleets fed chunks at or above their cadence
+        always take the galloping fallback.
+        """
+        S, C, L = block.shape
+        k = cursors[0].k
+        n0 = np.fromiter(
+            (c.stream.n for c in cursors), count=S, dtype=np.int64
+        )
+        rem = n0 % k
+        gap = np.where(rem == 0, 0, k - rem)  # steps to next boundary
+        cur = np.stack([c._cur for c in cursors])
+        unions = np.bitwise_or.reduce(block, axis=1)
+        misfit = ((unions & ~cur) != 0).any(axis=1)
+        quiet = (gap >= C) & ~misfit
+        ok = np.flatnonzero(quiet)
+        if ok.size:
+            PackedStream.extend_many(
+                [cursors[i].stream for i in ok],
+                block[ok],
+                unions=unions[ok],
+            )
+        sizes = np.fromiter(
+            (c._cur_size for c in cursors), count=S, dtype=np.int64
+        )
+        return FusedSweep(advanced=quiet, sizes=sizes)
 
 
 class WindowScheduler:

@@ -78,8 +78,12 @@ class BenchArtifact:
         self._tables: dict[str, dict[str, list[dict]]] = {}
 
     def record(self, experiment: str, table: str, rows: list[dict]) -> None:
+        """Add rows to a table; repeated calls within a session append
+        (parametrized benches record one row per cell)."""
         tagged = [{**row, "smoke": self.smoke} for row in rows]
-        self._tables.setdefault(experiment, {})[table] = tagged
+        self._tables.setdefault(experiment, {}).setdefault(
+            table, []
+        ).extend(tagged)
 
     def flush(self, root: Path = _REPO_ROOT) -> list[Path]:
         written = []
@@ -93,6 +97,17 @@ class BenchArtifact:
                         merged.update(old["tables"])
                 except (ValueError, OSError):
                     pass  # refuse to let a corrupt artifact kill the run
+            # Replace only the rows measured under *this* session's
+            # mode: a smoke run refreshes the smoke rows of the tables
+            # it produced and leaves the full-mode baselines in place
+            # (and vice versa), so one artifact carries both and the
+            # CI regression guard always finds a like-for-like row.
+            for table, rows in tables.items():
+                kept = [
+                    row for row in merged.get(table, [])
+                    if row.get("smoke") != self.smoke
+                ]
+                tables[table] = kept + rows
             merged.update(tables)
             path.write_text(json.dumps({
                 "experiment": experiment,

@@ -56,6 +56,7 @@ from repro.analysis.figures import render_fig2, render_fig3
 from repro.analysis.report import counter_cost_table, paper_comparison_table
 from repro.analysis.trace_stats import demand_profile, detect_period
 from repro.core.cost_single import no_hyper_cost
+from repro.core.packed import masks_to_lanes
 from repro.engine.batch import BatchEngine
 from repro.engine.registry import default_registry
 from repro.engine.requests import SolveRequest
@@ -365,7 +366,12 @@ def cmd_stream(args) -> int:
             except ValueError as exc:
                 print(exc, file=sys.stderr)
                 return 2
-            masks = list(seq.masks) * args.repeat
+            # Pack once per app: lane chunks take the hub's fused
+            # epoch-sweep path, the way serve ingest feeds it; scalar
+            # (--scalar) sessions unpack them transparently.
+            masks = masks_to_lanes(
+                list(seq.masks) * args.repeat, seq.universe.size
+            )
             for r in range(args.sessions):
                 sid = pool.open(policy, seq.universe, w,
                                 session_id=f"{app}/{r}")
@@ -510,6 +516,8 @@ CORE_SERIES = (
     "repro_stream_steps_total",
     "repro_stream_fused_sessions_total",
     "repro_stream_fused_fallback_total",
+    "repro_stream_replay_epochs_total",
+    "repro_stream_replay_triggers_total",
     "repro_feed_latency_seconds_count",
     "repro_drain_cycle_seconds_count",
     "repro_stream_chunk_steps_count",
@@ -652,6 +660,8 @@ def cmd_serve_bench(args) -> int:
             "fused_sessions": stream["fused_sessions"],
             "fused_fallback": stream["fused_fallback"],
             "fused_fraction": stream["fused_fraction"],
+            "replay_epochs": stream["replay_epochs"],
+            "replay_triggers": stream["replay_triggers"],
             "frames_per_s": result.frames_per_s,
             "bytes_out": result.bytes_out,
             "bytes_in": result.bytes_in,

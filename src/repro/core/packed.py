@@ -1000,8 +1000,9 @@ class PackedStream:
         block: np.ndarray,
         *,
         unions: np.ndarray | None = None,
+        lengths=None,
     ) -> None:
-        """Commit one same-length chunk per stream in a fused update.
+        """Commit one chunk per stream in a fused update.
 
         ``block`` stacks one ``(C, L)`` chunk per stream into
         ``(S, C, L)``; every stream must share the lane width and
@@ -1014,6 +1015,12 @@ class PackedStream:
         policy half).  ``unions`` optionally passes precomputed
         ``(S, L)`` per-chunk unions so a caller that already reduced
         the block does not pay the pass twice.
+
+        ``lengths`` commits *ragged* chunks from one zero-padded stack:
+        stream ``s`` takes ``block[s, :lengths[s]]``.  Zero padding ORs
+        as the identity, so the batched totals pass is unchanged (a
+        padded ``unions`` equals the unpadded one); only the per-stream
+        window commit walks each stream's true length.
 
         Chunks shorter than ``history`` batch the totals the same way
         and run the amortized :meth:`_window_commit_short` per stream
@@ -1035,6 +1042,34 @@ class PackedStream:
         totals = np.stack([st._total for st in streams])
         np.bitwise_or(totals, unions, out=totals)
         total_sizes = popcount_u64(totals).sum(axis=1, dtype=np.int64)
+        if lengths is not None:
+            lengths = np.asarray(lengths, dtype=np.int64)
+            if lengths.shape != (S,) or (lengths < 1).any() or (
+                lengths > C
+            ).any():
+                raise ValueError(
+                    "lengths must hold one value in [1, C] per stream"
+                )
+            for s, st in enumerate(streams):
+                n_s = int(lengths[s])
+                st._total = totals[s]
+                st._total_size = int(total_sizes[s])
+                st.n += n_s
+                if not h:
+                    continue
+                chunk = block[s, :n_s]
+                if n_s < h:
+                    st._window_commit_short(chunk, chunk_union=unions[s])
+                else:
+                    tail = chunk[n_s - h :]
+                    st._ring[:h] = tail
+                    st._ring_pos = 0
+                    st._win_len = h
+                    st._front_suffix = np.zeros((0, L), dtype=np.uint64)
+                    st._front_n = 0
+                    st._back_union = np.bitwise_or.reduce(tail, axis=0)
+                    st._back_n = h
+            return
         if h and C < h:
             for s, st in enumerate(streams):
                 st._total = totals[s]

@@ -135,10 +135,17 @@ class EngineMetrics:
         self.stream_hypers = 0
         self.stream_time = 0.0
         # Fused multi-session sweep accounting: session-chunks that
-        # completed inside the fused kernel vs ones that triggered and
-        # replayed through the per-session galloping path.
+        # completed inside the epoch-synchronous fused kernel vs
+        # ineligible ones (mask iterables, foreign-universe interned
+        # chunks, non-batched cursors) served on the per-session path.
         self.stream_fused = 0
         self.stream_fused_fallback = 0
+        # Batched trigger replay: epochs the fused kernel iterated and
+        # triggers it resolved in batched install passes — the hectic
+        # half of the workload that used to eject to per-session
+        # Python.
+        self.stream_replay_epochs = 0
+        self.stream_replay_triggers = 0
         # Wire accounting per protocol, pre-seeded so the exposition
         # renders the v1/v2 series (at zero) on an idle server.
         # proto -> [frames_in, bytes_in, bytes_out, decode_seconds]
@@ -303,18 +310,25 @@ class EngineMetrics:
         sessions: int = 0,
         fallback: int = 0,
         group_sizes=(),
+        epochs: int = 0,
+        triggers: int = 0,
     ) -> None:
         """Count one fused multi-session sweep dispatch.
 
-        ``sessions`` completed entirely inside the fused kernel;
-        ``fallback`` triggered and replayed through their own galloping
-        ``step_many``.  ``group_sizes`` are the per-group session
-        counts of the dispatch (histogram ``fused_group_sessions`` —
+        ``sessions`` completed inside the epoch-synchronous fused
+        kernel (triggering chunks included — batched trigger replay
+        keeps them stacked); ``fallback`` were ineligible and served on
+        the per-session path.  ``epochs``/``triggers`` are the
+        dispatch's trigger-epoch iterations and batched-install trigger
+        resolutions.  ``group_sizes`` are the per-group session counts
+        of the dispatch (histogram ``fused_group_sessions`` —
         placement-dependent by nature, so not a deterministic family).
         """
         with self._lock:
             self.stream_fused += int(sessions)
             self.stream_fused_fallback += int(fallback)
+            self.stream_replay_epochs += int(epochs)
+            self.stream_replay_triggers += int(triggers)
             if self.histograms_enabled and group_sizes:
                 self.hist["fused_group_sessions"].labels().observe_many(
                     group_sizes
@@ -472,6 +486,8 @@ class EngineMetrics:
                     "fused_sessions": self.stream_fused,
                     "fused_fallback": self.stream_fused_fallback,
                     "fused_fraction": self._stream_fused_fraction(),
+                    "replay_epochs": self.stream_replay_epochs,
+                    "replay_triggers": self.stream_replay_triggers,
                 },
                 "wire": {
                     proto: {
@@ -563,6 +579,12 @@ class EngineMetrics:
                      f"{stream['fused_sessions']} fused / "
                      f"{stream['fused_fallback']} fallback "
                      f"({stream['fused_fraction']:.1%} fused)"]
+                )
+            if stream["replay_epochs"]:
+                rows.append(
+                    ["trigger replay",
+                     f"{stream['replay_triggers']} triggers / "
+                     f"{stream['replay_epochs']} epochs"]
                 )
             feed = snap["histograms"]["feed_latency_seconds"]
             if feed["count"]:

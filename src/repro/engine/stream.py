@@ -147,6 +147,17 @@ class StreamSession:
         else:
             self._batched = None
             self._cursor = scheduler.cursor()
+        # Session-invariant half of the fused group key, precomputed so
+        # the hub's per-chunk eligibility test only inspects the chunk.
+        if self._batched is not None and hasattr(
+            type(self._batched), "sweep_many"
+        ):
+            stream = self._batched.stream
+            self._fuse_key = (
+                type(self._batched), stream.lane_width, stream.history
+            )
+        else:
+            self._fuse_key = None
         self._chunks: list[np.ndarray] = []  # lane rows of every fed chunk
         self._scalar_masks: list[int] = []  # scalar-path requirement log
         self._n = 0
@@ -274,24 +285,35 @@ class StreamSession:
         sizes: np.ndarray,
         chunk_cost: float,
         new_cost: float,
+        hyper_steps=(),
+        hyper_masks=(),
     ) -> StreamBatch:
         """Book a chunk the fused multi-session sweep already served.
 
         The cursor and stream state were advanced inside
-        ``sweep_many`` (the chunk was *quiet*: zero hypers), and the
-        hub computed the seeded cost cumsum for all quiet sessions in
-        one batched pass — this just appends the requirement log and
-        folds the totals in.  ``hyper_flags``/``sizes`` are shared
-        read-only arrays (one zeros vector and one broadcast row per
-        fused group, not per session)."""
+        ``sweep_many`` — quiet sessions in its first epoch, triggering
+        ones through batched trigger replay — and the hub computed the
+        seeded cost cumsum for the whole group in one batched pass;
+        this just appends the requirement log, records the chunk's
+        installs and folds the totals in.  ``hyper_flags``/``sizes``
+        are read-only row views into the sweep's shared arrays, and
+        ``hyper_steps``/``hyper_masks`` are this session's slice of the
+        group's flat install records (chunk-relative steps, int
+        masks)."""
         start = self._n
         self._chunks.append(log)
         self._n += steps
         self._cost = new_cost
+        hypers = len(hyper_steps)
+        if hypers:
+            # hyper_steps arrive as chunk-relative Python ints (the hub
+            # flattens the group's install columns once with .tolist()).
+            self._hyper_steps.extend(start + i for i in hyper_steps)
+            self._hyper_masks.extend(hyper_masks)
         return StreamBatch(
             start=start,
             steps=steps,
-            hypers=0,
+            hypers=hypers,
             cost=chunk_cost,
             cumulative_cost=new_cost,
             hyper_flags=hyper_flags,
@@ -455,10 +477,13 @@ class StreamHub:
         self._live_hypers = 0
         self._closed_steps = 0
         self._closed_hypers = 0
-        #: (fused, fallback, group sizes) of the most recent
-        #: :meth:`feed_many` — shard drain cycles ship this upstream so
-        #: a pool's parent metrics see per-cycle fused counts.
-        self._last_fused: tuple[int, int, tuple[int, ...]] = (0, 0, ())
+        #: (fused, fallback, group sizes, replay epochs, triggers) of
+        #: the most recent :meth:`feed_many` — shard drain cycles ship
+        #: this upstream so a pool's parent metrics see per-cycle fused
+        #: counts and replay-epoch telemetry.
+        self._last_fused: tuple[int, int, tuple[int, ...], int, int] = (
+            0, 0, (), 0, 0,
+        )
 
     # -- session management ------------------------------------------------
 
@@ -526,24 +551,25 @@ class StreamHub:
         ``chunks`` maps session ids to whatever
         :meth:`StreamSession.feed_many` accepts (mask iterables or
         lane-packed arrays).  With :attr:`fused` (the default) the hub
-        groups same-shape lane chunks — same cursor kind, lane width,
-        history and chunk length — and advances each group through the
-        policy's fused ``sweep_many`` kernel: every session whose
-        chunk triggers nothing completes in one struct-of-arrays NumPy
-        pass, and only triggering sessions replay their chunk through
-        the per-session galloping ``step_many`` (bit-identical
-        decisions either way).  The call's wall time, aggregate
-        step/hyper counts and fused/fallback session counts land in
-        the hub metrics.
+        groups compatible lane chunks — same cursor kind, lane width
+        and history; chunk lengths may be ragged — and advances each
+        group through the policy's epoch-synchronous ``sweep_many``
+        kernel: quiet sessions complete in the first struct-of-arrays
+        epoch, and triggering sessions stay stacked through batched
+        trigger replay instead of ejecting to per-session Python
+        (bit-identical decisions either way).  The call's wall time,
+        aggregate step/hyper counts, fused/fallback session counts and
+        replay-epoch/trigger totals land in the hub metrics.
         """
         sessions = {sid: self.session(sid) for sid in chunks}
         out: dict[str, StreamBatch] = {}
         start = time.perf_counter()
         fused = fallback = 0
         group_sizes: tuple[int, ...] = ()
-        if self.fused and len(chunks) > 1:
-            fused, fallback, group_sizes = self._feed_many_fused(
-                sessions, chunks, out
+        epochs = triggers = 0
+        if self.fused:
+            fused, fallback, group_sizes, epochs, triggers = (
+                self._feed_many_fused(sessions, chunks, out)
             )
         else:
             for sid, masks in chunks.items():
@@ -558,7 +584,7 @@ class StreamHub:
         elapsed = time.perf_counter() - start
         self._live_steps += steps
         self._live_hypers += hypers
-        self._last_fused = (fused, fallback, group_sizes)
+        self._last_fused = (fused, fallback, group_sizes, epochs, triggers)
         self.metrics.record_stream(
             steps=steps,
             hypers=hypers,
@@ -567,7 +593,11 @@ class StreamHub:
         )
         if fused or fallback:
             self.metrics.record_fused(
-                sessions=fused, fallback=fallback, group_sizes=group_sizes
+                sessions=fused,
+                fallback=fallback,
+                group_sizes=group_sizes,
+                epochs=epochs,
+                triggers=triggers,
             )
         if self.tracer is not None:
             self.tracer.record(
@@ -583,114 +613,124 @@ class StreamHub:
         sessions: dict[str, StreamSession],
         chunks: Mapping[str, object],
         out: dict[str, StreamBatch],
-    ) -> tuple[int, int, tuple[int, ...]]:
+    ) -> tuple[int, int, tuple[int, ...], int, int]:
         """Group-and-sweep core of the fused :meth:`feed_many` path.
 
         Eligible chunks (lane-packed, on a batched-cursor session) are
-        grouped by ``(cursor kind, lane width, history, chunk len)`` —
-        the shape a single stacked ``(S, C, L)`` sweep needs; history
-        equality pins ``memory``/``k``, while ``w``/``alpha`` may vary
-        inside a group (the sweep gathers them as vectors).  Everything
-        else — mask iterables, interned chunks for the wrong universe,
-        empty or singleton groups — takes the per-session path
-        unchanged.  Returns (fused, fallback, group sizes) session
-        counts; per-session batches land in ``out``.
+        grouped by ``(cursor kind, lane width, history)`` — ragged
+        chunk lengths fuse into one zero-padded stack, so sessions that
+        differ only in chunk length (including singletons left alone by
+        the old equal-length grouping) share a sweep; history equality
+        pins ``memory``/``k``, while ``w``/``alpha`` may vary inside a
+        group (the sweep gathers them as vectors).  Every group member
+        completes inside the epoch-synchronous ``sweep_many`` kernel —
+        triggering sessions included — and the hub books the whole
+        group with one seeded cost cumsum and one flat installed-mask
+        conversion.  Only ineligible traffic — mask iterables, interned
+        chunks for the wrong universe, empty chunks, non-batched
+        cursors — takes the per-session path.  Returns
+        (fused, fallback, group sizes, replay epochs, triggers);
+        per-session batches land in ``out``.
         """
         groups: dict[tuple, list[tuple[str, np.ndarray, object]]] = {}
         plain: list[str] = []
         for sid, masks in chunks.items():
             session = sessions[sid]
-            cursor = session._batched
+            key = session._fuse_key
             lanes = None
             log = None
-            if cursor is not None and not session._finished:
-                if isinstance(masks, InternedChunk):
+            if key is not None and not session._finished:
+                if isinstance(masks, np.ndarray):
+                    # No ascontiguousarray here: the stacked group
+                    # block copies the rows into owned storage anyway.
+                    if masks.ndim == 2 and masks.dtype == np.uint64:
+                        lanes = masks
+                elif isinstance(masks, InternedChunk):
                     if masks.width == session.universe.size:
                         lanes = masks.resolve()
                         log = masks
-                elif (
-                    isinstance(masks, np.ndarray)
-                    and masks.ndim == 2
-                    and masks.dtype == np.uint64
-                ):
-                    # No ascontiguousarray here: np.stack copies the
-                    # rows into the owned block either way.
-                    lanes = masks
-            stream = cursor.stream if cursor is not None else None
             if (
                 lanes is None
                 or lanes.shape[0] == 0
-                or lanes.shape[1] != stream.lane_width
-                or not hasattr(type(cursor), "sweep_many")
+                or lanes.shape[1] != key[1]
             ):
                 plain.append(sid)
                 continue
-            key = (
-                type(cursor),
-                lanes.shape[1],
-                stream.history,
-                lanes.shape[0],
-            )
             groups.setdefault(key, []).append((sid, lanes, log))
         for sid in plain:
             out[sid] = sessions[sid].feed_many(chunks[sid])
-        fused = fallback = 0
+        fused = len(chunks) - len(plain)
+        fallback = len(plain)
         group_sizes: list[int] = []
-        for (cursor_cls, _L, _hist, C), members in groups.items():
-            if len(members) == 1:
-                # A lone session gains nothing from stacking; skip the
-                # probe and keep single-session hubs at their old cost.
-                sid, lanes, log = members[0]
-                out[sid] = sessions[sid].feed_many(
-                    log if log is not None else lanes
+        epochs = triggers = 0
+        for (cursor_cls, L, _hist), members in groups.items():
+            lengths = np.fromiter(
+                (lanes.shape[0] for _sid, lanes, _log in members),
+                count=len(members),
+                dtype=np.int64,
+            )
+            Cmax = int(lengths.max())
+            if int(lengths.min()) == Cmax:
+                block = np.stack([lanes for _sid, lanes, _log in members])
+            else:
+                block = np.zeros(
+                    (len(members), Cmax, L), dtype=np.uint64
                 )
-                continue
-            block = np.stack([lanes for _sid, lanes, _log in members])
-            cursors = [sessions[sid]._batched for sid, _lanes, _log in members]
-            sweep = cursor_cls.sweep_many(cursors, block)
-            quiet_idx = np.flatnonzero(sweep.advanced)
-            if quiet_idx.size:
-                # Batched bookkeeping: one seeded cost cumsum across
-                # all quiet sessions (row-wise it is exactly the
-                # scalar session's concatenate-and-cumsum), shared
-                # zero hyper flags, one broadcast sizes matrix whose
-                # read-only rows become each session's per-step sizes.
-                costs = np.empty((quiet_idx.size, C + 1), dtype=np.float64)
-                costs[:, 0] = [
-                    sessions[members[s][0]]._cost for s in quiet_idx
-                ]
-                costs[:, 1:] = sweep.sizes[quiet_idx, None]
-                cum = np.cumsum(costs, axis=1)
-                new_costs = cum[:, -1].tolist()
-                chunk_costs = (cum[:, -1] - cum[:, 0]).tolist()
-                sizes_rows = np.broadcast_to(
-                    sweep.sizes[quiet_idx, None], (quiet_idx.size, C)
+                for s, (_sid, lanes, _log) in enumerate(members):
+                    block[s, : lanes.shape[0]] = lanes
+            cursors = [
+                sessions[sid]._batched for sid, _lanes, _log in members
+            ]
+            sweep = cursor_cls.sweep_many(cursors, block, lengths=lengths)
+            epochs += sweep.epochs
+            triggers += sweep.triggers
+            # Batched bookkeeping for the whole group: one seeded cost
+            # cumsum (row-wise it is exactly the scalar session's
+            # concatenate-and-cumsum — padding columns add 0.0, so the
+            # final column is every ragged session's total), one flat
+            # lanes→masks conversion for all installs, per-session
+            # slices off the shared arrays.
+            S = len(members)
+            w_vec = np.fromiter(
+                (sessions[sid].w for sid, _lanes, _log in members),
+                count=S,
+                dtype=np.float64,
+            )
+            costs = np.empty((S, Cmax + 1), dtype=np.float64)
+            costs[:, 0] = [sessions[sid]._cost for sid, _l, _g in members]
+            costs[:, 1:] = sweep.sizes + np.where(
+                sweep.hyper, w_vec[:, None], 0.0
+            )
+            cum = np.cumsum(costs, axis=1)
+            new_costs = cum[:, -1].tolist()
+            chunk_costs = (cum[:, -1] - cum[:, 0]).tolist()
+            offsets = np.zeros(S + 1, dtype=np.int64)
+            np.cumsum(sweep.installed_counts, out=offsets[1:])
+            offs = offsets.tolist()
+            flat_masks = (
+                lanes_to_masks(sweep.installed) if sweep.triggers else []
+            )
+            step_list = np.nonzero(sweep.hyper)[1].tolist()
+            for s, (sid, lanes, log) in enumerate(members):
+                n_s = int(lengths[s])
+                o0, o1 = offs[s], offs[s + 1]
+                out[sid] = sessions[sid]._commit_fused(
+                    log if log is not None else block[s, :n_s],
+                    n_s,
+                    sweep.hyper[s, :n_s],
+                    sweep.sizes[s, :n_s],
+                    chunk_costs[s],
+                    new_costs[s],
+                    hyper_steps=step_list[o0:o1],
+                    hyper_masks=flat_masks[o0:o1],
                 )
-                zero_flags = np.zeros(C, dtype=bool)
-                zero_flags.setflags(write=False)
-                for j, s in enumerate(quiet_idx):
-                    sid, lanes, log = members[s]
-                    out[sid] = sessions[sid]._commit_fused(
-                        log if log is not None else block[s],
-                        C,
-                        zero_flags,
-                        sizes_rows[j],
-                        chunk_costs[j],
-                        new_costs[j],
-                    )
-            for s in np.flatnonzero(~sweep.advanced):
-                sid, lanes, log = members[s]
-                out[sid] = sessions[sid].feed_many(
-                    log if log is not None else lanes
-                )
-            fused += int(quiet_idx.size)
-            fallback += len(members) - int(quiet_idx.size)
-            group_sizes.append(len(members))
-        return fused, fallback, tuple(group_sizes)
+            group_sizes.append(S)
+        return fused, fallback, tuple(group_sizes), epochs, triggers
 
     @property
-    def last_fused(self) -> tuple[int, int, tuple[int, ...]]:
-        """(fused, fallback, group sizes) of the latest feed_many."""
+    def last_fused(self) -> tuple[int, int, tuple[int, ...], int, int]:
+        """(fused, fallback, group sizes, replay epochs, triggers) of
+        the latest :meth:`feed_many`."""
         return self._last_fused
 
     # -- aggregate accounting ----------------------------------------------

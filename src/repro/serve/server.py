@@ -1040,6 +1040,10 @@ class StreamServer:
             "stream_hypers_total": engine["stream"]["hypers"],
             "stream_fused_sessions_total": engine["stream"]["fused_sessions"],
             "stream_fused_fallback_total": engine["stream"]["fused_fallback"],
+            "stream_replay_epochs_total": engine["stream"]["replay_epochs"],
+            "stream_replay_triggers_total": (
+                engine["stream"]["replay_triggers"]
+            ),
             "trace_spans_total": trace["recorded"],
             "trace_slow_spans_total": trace["slow"],
         })

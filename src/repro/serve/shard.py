@@ -470,7 +470,11 @@ class ShardPool:
                     shm.unlink()
         if fused[0] or fused[1]:
             self.metrics.record_fused(
-                sessions=fused[0], fallback=fused[1], group_sizes=fused[2]
+                sessions=fused[0],
+                fallback=fused[1],
+                group_sizes=fused[2],
+                epochs=fused[3],
+                triggers=fused[4],
             )
         return out
 

@@ -149,37 +149,187 @@ class CursorBatch:
 
 @dataclass(frozen=True)
 class FusedSweep:
-    """Result of a fused multi-cursor sweep over same-shape chunks.
+    """Result of a fused multi-cursor sweep over stacked chunks.
 
-    ``sweep_many`` advances every *quiet* cursor — one whose chunk
-    contains no trigger at all — entirely inside one struct-of-arrays
-    NumPy pass; a cursor with any trigger in the chunk is left
-    untouched so the caller can replay that chunk through the cursor's
-    own galloping :meth:`step_many` (the decisions are bit-identical
-    either way, the fused pass just declines to unpick mid-chunk
-    installs).
+    ``sweep_many`` is an epoch-synchronous resumable kernel: *every*
+    cursor in the stack completes its chunk here — quiet ones in the
+    first epoch, triggering ones through as many trigger epochs as the
+    densest chunk needs — so there is no per-session replay path left.
+    Cursor and stream state are committed on return; the caller only
+    books per-session accounting off the arrays below.
 
     Attributes
     ----------
-    advanced:
-        ``(S,)`` bool — True where the cursor completed in the fused
-        pass (its stream and policy state are already committed).
+    hyper:
+        ``(S, Cmax)`` bool — True where a session hyperreconfigured
+        before serving the step (read-only; rows are shared views).
     sizes:
-        ``(S,)`` int64 — the frozen hypercontext popcount ``|h|`` that
-        served every step of an advanced cursor's chunk (meaningless
-        for cursors left to the fallback).
+        ``(S, Cmax)`` int64 — per-step hypercontext popcount ``|h|``
+        serving each step (read-only; zero beyond a session's length).
+    installed:
+        ``(T, L)`` uint64 — installed hypercontext lanes of all
+        ``T`` triggers, session-major and in step order within each
+        session (matching ``np.nonzero(hyper)``).
+    installed_counts:
+        ``(S,)`` int64 — triggers per session; cumulative sums slice
+        ``installed`` into per-session runs.
+    lengths:
+        ``(S,)`` int64 — per-session chunk lengths (ragged stacks are
+        zero-padded to ``Cmax``; columns at or past a session's length
+        are dead).
+    epochs:
+        Trigger-epoch iterations the kernel ran for this stack.
     """
 
-    advanced: np.ndarray
+    hyper: np.ndarray
     sizes: np.ndarray
+    installed: np.ndarray
+    installed_counts: np.ndarray
+    lengths: np.ndarray
+    epochs: int
 
     @property
-    def fused_count(self) -> int:
-        return int(np.count_nonzero(self.advanced))
+    def sessions(self) -> int:
+        return int(self.hyper.shape[0])
 
     @property
-    def fallback_count(self) -> int:
-        return int(self.advanced.shape[0]) - self.fused_count
+    def triggers(self) -> int:
+        return int(self.installed.shape[0])
+
+
+def _stack_rows(cursors, attr: str, S: int, L: int) -> np.ndarray:
+    """Stack one ``(L,)`` lane row per cursor into ``(S, L)``.
+
+    A sweep epilogue leaves each cursor's state as a row view of the
+    sweep's struct-of-arrays (and stamps ``_row``); when the same group
+    returns with every view intact — the steady serving state — the
+    previous array IS the stack, so it is reused instead of rebuilt.
+    Any per-session step in between replaces the cursor's row with a
+    fresh array, which defeats the aliasing check and falls back to a
+    fresh ``np.stack``.
+    """
+    base = getattr(cursors[0], attr).base
+    if base is not None and base.shape == (S, L):
+        for s, c in enumerate(cursors):
+            if c._row != s or getattr(c, attr).base is not base:
+                break
+        else:
+            return base
+    return np.stack([getattr(c, attr) for c in cursors])
+
+
+def _gather_windows(
+    cursors, block: np.ndarray, rows: np.ndarray, t: np.ndarray,
+    H: int, window: np.ndarray,
+) -> np.ndarray:
+    """Working-set window union ending at each trigger step.
+
+    Each install's estimate is the OR over chunk steps ``t-H .. t``.
+    Triggers at least ``H`` columns into the chunk gather their whole
+    window off ``block`` in one vectorized pass (``window`` is
+    ``arange(H + 1)``); triggers nearer the front reach into the
+    session's pre-chunk stream history row by row — sessions younger
+    than ``H`` steps clamp exactly like the scalar cursors.  Building
+    only the windows that actually install keeps quiet sweeps free of
+    the ``(S, H + Cmax, L)`` history-prefixed block they would never
+    read.
+    """
+    L = block.shape[2]
+    if H == 0:
+        return block[rows, t]
+    ws = np.empty((rows.size, L), dtype=np.uint64)
+    front = t < H
+    inner = ~front
+    if inner.any():
+        r2 = rows[inner]
+        t2 = t[inner]
+        ws[inner] = np.bitwise_or.reduce(
+            block[r2[:, None], (t2 - H)[:, None] + window], axis=1
+        )
+    for j in np.flatnonzero(front):
+        s = int(rows[j])
+        tj = int(t[j])
+        acc = np.bitwise_or.reduce(block[s, : tj + 1], axis=0)
+        tail = cursors[s].stream.tail_rows(H - tj)
+        if tail.shape[0]:
+            acc = acc | np.bitwise_or.reduce(tail, axis=0)
+        ws[j] = acc
+    return ws
+
+
+def _assemble_installs(
+    inst_sess: list, inst_step: list, inst_lanes: list, S: int, L: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten per-epoch install records into session-major step order."""
+    if not inst_sess:
+        return (
+            np.zeros((0, L), dtype=np.uint64),
+            np.zeros(S, dtype=np.int64),
+        )
+    sess = np.concatenate(inst_sess)
+    steps = np.concatenate(inst_step)
+    lanes = np.concatenate(inst_lanes, axis=0)
+    order = np.lexsort((steps, sess))
+    counts = np.bincount(sess, minlength=S).astype(np.int64)
+    return lanes[order], counts
+
+
+#: Stack-size crossover for ``sweep_many``: groups at or below this
+#: many sessions are served by one scalar-batched ``step_many`` call
+#: per cursor instead of the epoch kernel.  The kernel's win is
+#: amortizing per-epoch NumPy spans over many rows; below the
+#: crossover (measured on the E16 hub workload: parity near S=16,
+#: ~2-3× loss by S≤4) the short per-cursor loop IS the
+#: vectorization-optimal plan.  Decisions are bit-identical either
+#: way; the equivalence suite pins the constant to 0 to keep the
+#: epoch kernel under adversarial coverage at every fleet size.
+SMALL_STACK_SESSIONS = 8
+
+
+def _sweep_small(cursors, block: np.ndarray, lengths) -> FusedSweep:
+    """Serve a small stack with one ``step_many`` call per cursor.
+
+    Same decisions as the epoch kernel, repackaged as a
+    :class:`FusedSweep`; installs are already session-major and in
+    step order.  The densest cursor's install count stands in for the
+    epoch count — exactly what the kernel would have iterated.
+    """
+    S, Cmax, L = block.shape
+    lengths = _sweep_lengths(S, Cmax, lengths)
+    hyper = np.zeros((S, Cmax), dtype=bool)
+    sizes = np.zeros((S, Cmax), dtype=np.int64)
+    counts = np.zeros(S, dtype=np.int64)
+    installed = []
+    epochs = 0
+    for s, c in enumerate(cursors):
+        n = int(lengths[s])
+        batch = c.step_many(block[s, :n])
+        hyper[s, :n] = batch.hyper
+        sizes[s, :n] = batch.sizes
+        counts[s] = batch.installed.shape[0]
+        installed.append(batch.installed)
+        epochs = max(epochs, int(counts[s]))
+    hyper.setflags(write=False)
+    sizes.setflags(write=False)
+    return FusedSweep(
+        hyper=hyper,
+        sizes=sizes,
+        installed=np.concatenate(installed, axis=0)
+        if installed
+        else np.zeros((0, L), dtype=np.uint64),
+        installed_counts=counts,
+        lengths=lengths,
+        epochs=epochs,
+    )
+
+
+def _sweep_lengths(S: int, Cmax: int, lengths) -> np.ndarray:
+    if lengths is None:
+        return np.full(S, Cmax, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.shape != (S,) or (lengths < 1).any() or (lengths > Cmax).any():
+        raise ValueError("lengths must hold one value in [1, Cmax] per chunk")
+    return lengths
 
 
 def _empty_batch(L: int) -> CursorBatch:
@@ -301,6 +451,7 @@ class _BatchedRentOrBuyCursor:
         "_cur_size",
         "_served",
         "_regret",
+        "_row",
     )
 
     #: Galloping sweep bounds: prefix unions are recomputed from each
@@ -347,6 +498,9 @@ class _BatchedRentOrBuyCursor:
         self._cur_size = 0
         self._served = np.zeros(L, dtype=np.uint64)
         self._regret = 0.0
+        #: Row index this cursor held in the last fused sweep's
+        #: struct-of-arrays (see ``_stack_rows``); -1 before any sweep.
+        self._row = -1
         #: Triggers resolved by the multi-trigger fast path (hectic
         #: streams resolve several misfits per sweep window without
         #: recomputing the prefix-union/popcount/cumsum passes).
@@ -482,82 +636,201 @@ class _BatchedRentOrBuyCursor:
         return CursorBatch(hyper=hyper, sizes=sizes, installed=installed_arr)
 
     @classmethod
-    def sweep_many(cls, cursors, block: np.ndarray) -> FusedSweep:
-        """Advance every quiet cursor over its chunk in one fused pass.
+    def sweep_many(cls, cursors, block: np.ndarray, lengths=None) -> FusedSweep:
+        """Advance every cursor over its whole chunk, epoch by epoch.
 
-        ``block`` stacks one same-length ``(C, L)`` chunk per cursor
-        into ``(S, C, L)``; all cursors must share the lane width and
-        ``memory`` (the hub's group key guarantees it — ``w``/``alpha``
-        may vary and are gathered as vectors).  A cursor is *quiet*
-        when its chunk contains no trigger: not the forced first step,
-        no misfit, no regret overflow.  Quiet cursors commit their
-        entire chunk here — served union, regret, packed stream — with
-        zero per-step Python; the rest are left untouched for the
-        caller to replay through :meth:`step_many`.
+        ``block`` stacks one ``(C_s, L)`` chunk per cursor into
+        ``(S, Cmax, L)`` (ragged chunks zero-padded on the right, their
+        true lengths in ``lengths``); all cursors must share the lane
+        width and ``memory`` — the hub's group key guarantees it, while
+        ``w``/``alpha`` may vary and are gathered as vectors.
 
-        Exactness mirrors ``step_many``: served ⊆ cur makes the final
-        chunk union escape ``cur`` exactly when any prefix union does
-        (monotone), so the cheap ``(S, L)`` probe rules misfits in or
-        out without the prefix accumulate; the regret cumsum adds only
-        integers (exactly representable in float64), so the vectorized
-        sum equals the scalar sequential accumulation bit for bit.
+        The kernel is *resumable*: per-session offsets ``pos`` track
+        how far each chunk has been served.  Each epoch scans a shared
+        column window — rows before a session's offset are masked to
+        zero, so one prefix accumulate from column 0 serves every
+        resume point at once (zero rows OR as the identity, and
+        served ⊆ cur keeps masked prefixes misfit-free) — locates every
+        session's *next* trigger (misfit, regret overflow, or the
+        forced first step) with one argmax, and resolves all due
+        triggers in one batched install pass: working-set windows
+        gathered off the block (pre-chunk stream history for triggers
+        near the chunk front), popcounts, served resets, regret
+        resets.  Sessions with no trigger in the window
+        bank their served union and regret and resume next epoch.  The
+        outer loop therefore runs once per *trigger epoch* (bounded by
+        the densest chunk), never per session × step.
+
+        Exactness mirrors ``step_many``: the regret cumsum adds only
+        integers (exactly representable in float64) to the carried
+        float regret, so any summation order reproduces the scalar
+        sequential accumulation bit for bit, and carried regret never
+        exceeds the threshold, so masked prefix columns can never
+        trigger.  Cursor and stream state are committed on return —
+        there is nothing left to replay.
         """
-        S, C, L = block.shape
-        cur = np.stack([c._cur for c in cursors])
+        S, Cmax, L = block.shape
+        if S <= SMALL_STACK_SESSIONS:
+            return _sweep_small(cursors, block, lengths)
+        lengths = _sweep_lengths(S, Cmax, lengths)
+        memory = cursors[0].memory
+        H = memory - 1
+        cur = _stack_rows(cursors, "_cur", S, L)
+        cur_size = np.fromiter(
+            (c._cur_size for c in cursors), count=S, dtype=np.int64
+        )
+        served = _stack_rows(cursors, "_served", S, L)
+        regret = np.fromiter(
+            (c._regret for c in cursors), count=S, dtype=np.float64
+        )
+        threshold = np.fromiter(
+            (c.alpha * c.w for c in cursors), count=S, dtype=np.float64
+        )
         n0 = np.fromiter(
             (c.stream.n for c in cursors), count=S, dtype=np.int64
         )
-        unions = np.bitwise_or.reduce(block, axis=1)
-        misfit = ((unions & ~cur) != 0).any(axis=1)
-        quiet = (n0 > 0) & ~misfit
-        cand = np.flatnonzero(quiet)
-        if cand.size:
-            # Exact regret sweep, candidates only: prefix unions over
-            # the chunk (seeded with the carried served union), popcount
-            # deficits, carried-regret cumsum, threshold test per step.
-            sub = block[cand]
-            served = np.stack([cursors[i]._served for i in cand])
-            cur_size = np.fromiter(
-                (cursors[i]._cur_size for i in cand),
-                count=cand.size,
-                dtype=np.int64,
-            )
-            regret = np.fromiter(
-                (cursors[i]._regret for i in cand),
-                count=cand.size,
-                dtype=np.float64,
-            )
-            threshold = np.fromiter(
-                (cursors[i].alpha * cursors[i].w for i in cand),
-                count=cand.size,
-                dtype=np.float64,
-            )
-            acc = np.bitwise_or.accumulate(sub, axis=1)
-            np.bitwise_or(acc, served[:, None, :], out=acc)
-            pc = popcount_u64(acc).sum(axis=2, dtype=np.int64)
-            csum = np.cumsum(
-                cur_size[:, None] - pc, axis=1, dtype=np.float64
-            )
-            csum += regret[:, None]
-            overflow = (csum > threshold[:, None]).any(axis=1)
-            quiet[cand[overflow]] = False
-            ok = np.flatnonzero(~overflow)
-            if ok.size:
-                finals = acc[ok, -1, :]  # fancy index → owned (Sq, L)
-                final_regret = csum[ok, -1]
-                for j, i in enumerate(cand[ok]):
-                    c = cursors[i]
-                    c._served = finals[j]
-                    c._regret = float(final_regret[j])
-                PackedStream.extend_many(
-                    [cursors[i].stream for i in cand[ok]],
-                    sub[ok],
-                    unions=unions[cand[ok]],
+        hyper = np.zeros((S, Cmax), dtype=bool)
+        sizes = np.zeros((S, Cmax), dtype=np.int64)
+        pos = np.zeros(S, dtype=np.int64)
+        active = pos < lengths
+        inst_sess: list[np.ndarray] = []
+        inst_step: list[np.ndarray] = []
+        inst_lanes: list[np.ndarray] = []
+        window = np.arange(H + 1)
+        scan_min = cursors[0].scan_min
+        scan_max = max(cursors[0].scan_max, scan_min)
+        scan = scan_min
+        zero = np.uint64(0)
+        epochs = 0
+        while True:
+            a = np.flatnonzero(active)
+            if a.size == 0:
+                break
+            epochs += 1
+            pa = pos[a]
+            la = lengths[a]
+            lo = int(pa.min())
+            hi = min(Cmax, lo + scan)
+            span = hi - lo
+            # Uniform epochs — every row resumes at ``lo`` and the whole
+            # window is in-bounds (the common calm case, and always the
+            # first epoch of an equal-length sweep) — skip the live mask
+            # entirely and read the block through views instead of
+            # fancy-index copies.
+            uniform = bool((pa == lo).all()) and bool((la >= hi).all())
+            full = a.size == S
+            sub = block[:, lo:hi] if full else block[a, lo:hi]
+            if uniform:
+                live = None
+                acc = np.bitwise_or.accumulate(sub, axis=1)
+            else:
+                cols = np.arange(lo, hi)
+                live = (cols >= pa[:, None]) & (cols < la[:, None])
+                acc = np.bitwise_or.accumulate(
+                    np.where(live[:, :, None], sub, zero), axis=1
                 )
-        sizes = np.fromiter(
-            (c._cur_size for c in cursors), count=S, dtype=np.int64
+            np.bitwise_or(
+                acc,
+                served[:, None, :] if full else served[a, None, :],
+                out=acc,
+            )
+            curg = cur if full else cur[a]
+            misfit = ((acc & ~curg[:, None, :]) != zero).any(axis=2)
+            pc = popcount_u64(acc).sum(axis=2, dtype=np.int64)
+            deficit = cur_size[a, None] - pc
+            if not uniform:
+                deficit = np.where(live, deficit, 0)
+            csum = np.cumsum(deficit, axis=1, dtype=np.float64)
+            csum += regret[a, None]
+            trigger = misfit | (csum > threshold[a, None])
+            if not uniform:
+                trigger &= live
+            forced = (n0[a] == 0) & (pa == 0)
+            if forced.any():
+                # The first global step always installs; pos == 0
+                # forces lo == 0, so column 0 is window column 0.
+                trigger[forced, 0] = True
+            hitcol = np.argmax(trigger, axis=1)
+            has = trigger[np.arange(a.size), hitcol]
+            nt = np.flatnonzero(~has)
+            if nt.size:
+                # No trigger in the window: serve every live column at
+                # the frozen size, bank served/regret at the last one,
+                # resume from the window edge (or finish the chunk).
+                rows = a[nt]
+                if uniform:
+                    sizes[rows, lo:hi] += cur_size[rows, None]
+                    served[rows] = acc[nt, -1]
+                    regret[rows] = csum[nt, -1]
+                    pos[rows] = hi
+                else:
+                    sizes[rows, lo:hi] += live[nt] * cur_size[rows, None]
+                    adv = np.minimum(la[nt], hi)
+                    moved = adv > pa[nt]
+                    if moved.any():
+                        mr = nt[moved]
+                        last = adv[moved] - 1 - lo
+                        served[a[mr]] = acc[mr, last]
+                        regret[a[mr]] = csum[mr, last]
+                        pos[a[mr]] = adv[moved]
+                active[rows] = pos[rows] < lengths[rows]
+            tr = np.flatnonzero(has)
+            if tr.size:
+                rows = a[tr]
+                tcol = hitcol[tr]
+                t = lo + tcol
+                # Quiet prefix [pos, t) at the old frozen size...
+                prefix = np.arange(span) < tcol[:, None]
+                if not uniform:
+                    prefix &= live[tr]
+                sizes[rows, lo:hi] += prefix * cur_size[rows, None]
+                # ...then one batched install: working set = this
+                # requirement ∪ the last (memory-1).  Triggers deep
+                # enough into the chunk read their whole window off the
+                # block in one gather; the rare ones near the front
+                # (t < H) reach into per-stream history row by row.
+                ws = _gather_windows(cursors, block, rows, t, H, window)
+                cur[rows] = ws
+                new_sizes = popcount_u64(ws).sum(axis=1, dtype=np.int64)
+                cur_size[rows] = new_sizes
+                served[rows] = block[rows, t]
+                regret[rows] = 0.0
+                hyper[rows, t] = True
+                sizes[rows, t] = new_sizes
+                inst_sess.append(rows)
+                inst_step.append(t)
+                inst_lanes.append(ws)
+                pos[rows] = t + 1
+                active[rows] = pos[rows] < lengths[rows]
+                scan = scan_min
+            else:
+                scan = min(scan * 2, scan_max)
+        for s, c in enumerate(cursors):
+            c._cur = cur[s]
+            c._cur_size = int(cur_size[s])
+            c._served = served[s]
+            c._regret = float(regret[s])
+            c._row = s
+        unions = np.bitwise_or.reduce(block, axis=1)
+        PackedStream.extend_many(
+            [c.stream for c in cursors],
+            block,
+            unions=unions,
+            lengths=None if int(lengths.min()) == Cmax else lengths,
         )
-        return FusedSweep(advanced=quiet, sizes=sizes)
+        installed, counts = _assemble_installs(
+            inst_sess, inst_step, inst_lanes, S, L
+        )
+        hyper.setflags(write=False)
+        sizes.setflags(write=False)
+        return FusedSweep(
+            hyper=hyper,
+            sizes=sizes,
+            installed=installed,
+            installed_counts=counts,
+            lengths=lengths,
+            epochs=epochs,
+        )
 
 
 class RentOrBuyScheduler:
@@ -656,13 +929,14 @@ class _BatchedWindowCursor:
     off the history-prefixed chunk.
     """
 
-    __slots__ = ("k", "stream", "_cur", "_cur_size")
+    __slots__ = ("k", "stream", "_cur", "_cur_size", "_row")
 
     def __init__(self, k: int, width: int):
         self.k = k
         self.stream = PackedStream(width, history=k)
         self._cur = np.zeros(self.stream.lane_width, dtype=np.uint64)
         self._cur_size = 0
+        self._row = -1
 
     @property
     def current(self) -> int:
@@ -719,41 +993,136 @@ class _BatchedWindowCursor:
         return CursorBatch(hyper=hyper, sizes=sizes, installed=installed_arr)
 
     @classmethod
-    def sweep_many(cls, cursors, block: np.ndarray) -> FusedSweep:
-        """Advance every quiet cursor over its chunk in one fused pass.
+    def sweep_many(cls, cursors, block: np.ndarray, lengths=None) -> FusedSweep:
+        """Advance every cursor over its whole chunk, epoch by epoch.
 
-        ``block`` is ``(S, C, L)``, one chunk per cursor; all cursors
-        share the lane width and cadence ``k`` (hub group key).  A
-        window cursor is quiet when no cadence boundary falls inside
-        ``[n, n + C)`` — which also covers the forced first step, since
-        step 0 *is* a boundary — and its chunk union stays inside the
-        current hypercontext (misfits are monotone in the prefix union,
-        as in the rent-or-buy sweep).  Note a cadence ``k < C`` can
-        never be quiet, so fleets fed chunks at or above their cadence
-        always take the galloping fallback.
+        ``block`` is ``(S, Cmax, L)``, one zero-padded chunk per cursor
+        (true lengths in ``lengths``); all cursors share the lane width
+        and cadence ``k`` (hub group key pins both).  Same resumable
+        shape as the rent-or-buy kernel, with the policy's two trigger
+        kinds instead: cadence boundaries sit at known global indices
+        (one modular arithmetic pass per window) and misfits are
+        per-row AND-any tests against the frozen hypercontext — no
+        prefix accumulate or regret state at all.  Every due trigger
+        resolves in one batched install pass (rolling ``k+1``-wide
+        window unions gathered off the block and, for triggers nearer
+        the front than ``k``, the pre-chunk stream history), and the
+        sweep resumes from per-session offsets; a cadence ``k < C``
+        triggers every epoch and still never leaves the kernel.
         """
-        S, C, L = block.shape
+        S, Cmax, L = block.shape
+        if S <= SMALL_STACK_SESSIONS:
+            return _sweep_small(cursors, block, lengths)
+        lengths = _sweep_lengths(S, Cmax, lengths)
         k = cursors[0].k
+        cur = _stack_rows(cursors, "_cur", S, L)
+        cur_size = np.fromiter(
+            (c._cur_size for c in cursors), count=S, dtype=np.int64
+        )
         n0 = np.fromiter(
             (c.stream.n for c in cursors), count=S, dtype=np.int64
         )
-        rem = n0 % k
-        gap = np.where(rem == 0, 0, k - rem)  # steps to next boundary
-        cur = np.stack([c._cur for c in cursors])
+        hyper = np.zeros((S, Cmax), dtype=bool)
+        sizes = np.zeros((S, Cmax), dtype=np.int64)
+        pos = np.zeros(S, dtype=np.int64)
+        active = pos < lengths
+        inst_sess: list[np.ndarray] = []
+        inst_step: list[np.ndarray] = []
+        inst_lanes: list[np.ndarray] = []
+        window = np.arange(k + 1)
+        # Cadence boundaries are at most k apart, so a 2k window always
+        # catches every session's next one regardless of phase; wider
+        # scans would only touch columns a trigger resets anyway.
+        scan = max(2 * k, 16)
+        zero = np.uint64(0)
+        epochs = 0
+        while True:
+            a = np.flatnonzero(active)
+            if a.size == 0:
+                break
+            epochs += 1
+            pa = pos[a]
+            la = lengths[a]
+            lo = int(pa.min())
+            hi = min(Cmax, lo + scan)
+            cols = np.arange(lo, hi)
+            span = hi - lo
+            # Same uniform fast path as the rent-or-buy kernel: when
+            # every row resumes at ``lo`` with the whole window
+            # in-bounds, skip the live mask and index through views.
+            uniform = bool((pa == lo).all()) and bool((la >= hi).all())
+            full = a.size == S
+            sub = block[:, lo:hi] if full else block[a, lo:hi]
+            curg = cur if full else cur[a]
+            misfit = ((sub & ~curg[:, None, :]) != zero).any(axis=2)
+            cadence = ((n0[a, None] + cols) % k) == 0
+            trigger = misfit | cadence
+            if uniform:
+                live = None
+            else:
+                live = (cols >= pa[:, None]) & (cols < la[:, None])
+                trigger &= live
+            hitcol = np.argmax(trigger, axis=1)
+            has = trigger[np.arange(a.size), hitcol]
+            nt = np.flatnonzero(~has)
+            if nt.size:
+                rows = a[nt]
+                if uniform:
+                    sizes[rows, lo:hi] += cur_size[rows, None]
+                    pos[rows] = hi
+                else:
+                    sizes[rows, lo:hi] += live[nt] * cur_size[rows, None]
+                    adv = np.minimum(la[nt], hi)
+                    moved = adv > pa[nt]
+                    if moved.any():
+                        pos[a[nt[moved]]] = adv[moved]
+                active[rows] = pos[rows] < lengths[rows]
+            tr = np.flatnonzero(has)
+            if tr.size:
+                rows = a[tr]
+                tcol = hitcol[tr]
+                t = lo + tcol
+                prefix = np.arange(span) < tcol[:, None]
+                if not uniform:
+                    prefix &= live[tr]
+                sizes[rows, lo:hi] += prefix * cur_size[rows, None]
+                # Estimate = this requirement ∪ the previous window
+                # (the last min(i, k) requirements), stale bits and all.
+                est = _gather_windows(cursors, block, rows, t, k, window)
+                cur[rows] = est
+                new_sizes = popcount_u64(est).sum(axis=1, dtype=np.int64)
+                cur_size[rows] = new_sizes
+                hyper[rows, t] = True
+                sizes[rows, t] = new_sizes
+                inst_sess.append(rows)
+                inst_step.append(t)
+                inst_lanes.append(est)
+                pos[rows] = t + 1
+                active[rows] = pos[rows] < lengths[rows]
+        for s, c in enumerate(cursors):
+            c._cur = cur[s]
+            c._cur_size = int(cur_size[s])
+            c._row = s
         unions = np.bitwise_or.reduce(block, axis=1)
-        misfit = ((unions & ~cur) != 0).any(axis=1)
-        quiet = (gap >= C) & ~misfit
-        ok = np.flatnonzero(quiet)
-        if ok.size:
-            PackedStream.extend_many(
-                [cursors[i].stream for i in ok],
-                block[ok],
-                unions=unions[ok],
-            )
-        sizes = np.fromiter(
-            (c._cur_size for c in cursors), count=S, dtype=np.int64
+        PackedStream.extend_many(
+            [c.stream for c in cursors],
+            block,
+            unions=unions,
+            lengths=None if int(lengths.min()) == Cmax else lengths,
         )
-        return FusedSweep(advanced=quiet, sizes=sizes)
+        installed, counts = _assemble_installs(
+            inst_sess, inst_step, inst_lanes, S, L
+        )
+        hyper.setflags(write=False)
+        sizes.setflags(write=False)
+        return FusedSweep(
+            hyper=hyper,
+            sizes=sizes,
+            installed=installed,
+            installed_counts=counts,
+            lengths=lengths,
+            epochs=epochs,
+        )
 
 
 class WindowScheduler:

@@ -1,16 +1,18 @@
 """Equivalence suite for the fused multi-cursor sweep kernel.
 
 The scalar cursors remain the correctness oracle; the fused
-``sweep_many`` path — grouped struct-of-arrays sweeps over whole
-fleets inside :meth:`StreamHub.feed_many` — must reproduce the
-sequential per-session path (and therefore the scalar oracle) *bit
-for bit*: across mixed universe widths straddling the lane boundary,
-mixed policies and hyper-parameters, chunkings from single steps to
-4096-step blocks, and adversarial trigger-every-chunk streams.  The
-suite also pins the satellite contracts of the same PR: batched
-``PackedStream.extend_many`` vs per-stream ``extend``, the O(1)
-``total_steps``/``total_hypers`` counters, the galloping-scan bound
-tunables, and shard-placement independence through the fused path.
+``sweep_many`` path — epoch-synchronous struct-of-arrays sweeps over
+whole fleets inside :meth:`StreamHub.feed_many`, batched trigger
+replay included — must reproduce the sequential per-session path (and
+therefore the scalar oracle) *bit for bit*: across mixed universe
+widths straddling the lane boundary, mixed policies and
+hyper-parameters, chunkings from single steps to 4096-step blocks,
+ragged per-session chunk lengths, and adversarial trigger-every-step
+streams.  The suite also pins the satellite contracts of the fused
+PRs: batched ``PackedStream.extend_many`` vs per-stream ``extend``
+(ragged lengths included), the O(1) ``total_steps``/``total_hypers``
+counters, the galloping-scan bound tunables, and shard-placement
+independence through the fused path.
 """
 
 import numpy as np
@@ -21,6 +23,7 @@ from repro.core.packed import PackedStream, masks_to_lanes
 from repro.core.switches import SwitchUniverse
 from repro.engine.stream import StreamHub, StreamSession
 from repro.serve.shard import ShardPool
+from repro.solvers import online
 from repro.solvers.online import (
     RentOrBuyScheduler,
     ScalarOnly,
@@ -30,6 +33,18 @@ from repro.util.rng import make_rng
 
 #: Universe sizes straddling the uint64 lane boundary.
 BOUNDARY_WIDTHS = [63, 64, 65]
+
+
+@pytest.fixture(autouse=True)
+def force_epoch_kernel(request, monkeypatch):
+    """Pin the small-stack crossover to 0 so every fleet in this suite
+    drives the epoch kernel — the adversarial cases exist to cover it,
+    and production fleets below ``SMALL_STACK_SESSIONS`` would
+    otherwise delegate to per-cursor ``step_many``.  Tests marked
+    ``default_crossover`` keep the production threshold."""
+    if "default_crossover" in request.keywords:
+        return
+    monkeypatch.setattr(online, "SMALL_STACK_SESSIONS", 0)
 
 
 def _drift_masks(width, n, seed, *, phase=40, flip=0.05):
@@ -203,10 +218,10 @@ class TestFusedHubEquivalence:
         m = hub.metrics
         assert m.stream_fused + m.stream_fused_fallback > 0
 
-    def test_trigger_heavy_stream_all_fallback(self):
-        """Adversarial streams that misfit every chunk: the fused probe
-        must hand every session to the galloping fallback and still be
-        bit-identical to the oracle."""
+    def test_trigger_heavy_stream_fuses_with_batched_replay(self):
+        """Adversarial streams that misfit every chunk: batched trigger
+        replay keeps every session inside the kernel — zero per-session
+        fallback — and stays bit-identical to the oracle."""
         width = 64
         universe = SwitchUniverse.of_size(width)
         w = 4.0
@@ -214,7 +229,8 @@ class TestFusedHubEquivalence:
         fleet = {}
         for idx in range(4):
             # Alternate two disjoint masks: served never covers the
-            # next requirement, so every chunk escapes the quiet test.
+            # next requirement, so every chunk used to escape the old
+            # quiet-only sweep.
             a = 0x5555555555555555 >> idx
             b = ~a & universe.full_mask
             masks = [a if i % 2 == 0 else b for i in range(n)]
@@ -229,14 +245,20 @@ class TestFusedHubEquivalence:
         fused_costs, fused_scheds, hub = _run_hub(
             fleet, fused=True, chunk_sizes=sizes
         )
-        assert hub.metrics.stream_fused == 0
-        assert hub.metrics.stream_fused_fallback == len(fleet) * len(sizes)
+        assert hub.metrics.stream_fused == len(fleet) * len(sizes)
+        assert hub.metrics.stream_fused_fallback == 0
+        assert hub.metrics.stream_replay_epochs > 0
+        assert hub.metrics.stream_replay_triggers > 0
         for sid, (u, _w, s, masks, _l) in fleet.items():
             cost, sched = _oracle(
                 u, w, RentOrBuyScheduler(w, alpha=0.5, memory=1), masks
             )
             assert fused_costs[sid] == cost
             assert fused_scheds[sid] == sched
+        # Replay telemetry counts real installs: every session installs
+        # at least once, and the counter is bounded by total steps.
+        total_installs = sum(len(s) for s in fused_scheds.values())
+        assert hub.metrics.stream_replay_triggers == total_installs
 
     def test_fused_flag_off_never_records_fused(self):
         width = 66
@@ -255,7 +277,202 @@ class TestFusedHubEquivalence:
         hub.feed_many({f"u{idx}": lanes for idx in range(3)})
         assert hub.metrics.stream_fused == 0
         assert hub.metrics.stream_fused_fallback == 0
-        assert hub.last_fused == (0, 0, ())
+        assert hub.last_fused == (0, 0, (), 0, 0)
+
+
+class TestBatchedTriggerReplay:
+    """Adversarial epoch-replay cases: hectic phases, mixed fleets,
+    ragged chunk lengths.  Every case pins fused ≡ sequential ≡ scalar."""
+
+    @pytest.mark.parametrize("width", BOUNDARY_WIDTHS)
+    def test_every_step_window_trigger(self, width):
+        """WindowScheduler(k=1) installs on every step — the densest
+        possible trigger epoch sequence."""
+        universe = SwitchUniverse.of_size(width)
+        w = 2.0
+        n, chunk = 160, 32
+        fleet = {}
+        rng = make_rng(width)
+        for idx in range(3):
+            masks = [
+                int.from_bytes(rng.bytes((width + 7) // 8), "little")
+                & universe.full_mask
+                for _ in range(n)
+            ]
+            fleet[f"u{idx}"] = (
+                universe, w, WindowScheduler(k=1), masks,
+                masks_to_lanes(masks, width),
+            )
+        sizes = [chunk] * (n // chunk)
+        fused_costs, fused_scheds, hub = _run_hub(
+            fleet, fused=True, chunk_sizes=sizes
+        )
+        assert hub.metrics.stream_fused == len(fleet) * len(sizes)
+        assert hub.metrics.stream_fused_fallback == 0
+        # k=1 cadence fires every step.
+        assert hub.metrics.stream_replay_triggers == len(fleet) * n
+        for sid, (u, _w, _s, masks, _l) in fleet.items():
+            cost, sched = _oracle(u, w, WindowScheduler(k=1), masks)
+            assert fused_costs[sid] == cost
+            assert fused_scheds[sid] == sched
+            assert len(sched) == n
+
+    def test_mixed_quiet_and_hectic_sessions_one_group(self):
+        """Calm and every-step-trigger sessions sharing one group key
+        sweep together: the quiet rows coast to the epoch horizon while
+        the hectic rows replay, with no cross-contamination."""
+        width = 65
+        universe = SwitchUniverse.of_size(width)
+        w = 6.0
+        n, chunk = 240, 48
+        scheduler = RentOrBuyScheduler(w, alpha=0.5, memory=1)
+        a = (0x5555555555555555 << 1) & universe.full_mask
+        b = ~a & universe.full_mask
+        fleet = {}
+        for idx in range(6):
+            if idx % 2 == 0:
+                masks = [a] * n  # quiet after the first install
+            else:
+                masks = [a if i % 2 == 0 else b for i in range(n)]
+            fleet[f"u{idx}"] = (
+                universe,
+                w,
+                RentOrBuyScheduler(w, alpha=0.5, memory=1),
+                masks,
+                masks_to_lanes(masks, width),
+            )
+        sizes = [chunk] * (n // chunk)
+        fused_costs, fused_scheds, hub = _run_hub(
+            fleet, fused=True, chunk_sizes=sizes
+        )
+        seq_costs, seq_scheds, _ = _run_hub(
+            fleet, fused=False, chunk_sizes=sizes
+        )
+        assert fused_costs == seq_costs
+        assert fused_scheds == seq_scheds
+        assert hub.metrics.stream_fused == len(fleet) * len(sizes)
+        assert hub.metrics.stream_fused_fallback == 0
+        # All six sessions share (type, lanes, history): one group.
+        assert hub.last_fused[2] == (len(fleet),)
+        for sid, (u, _w, _s, masks, _l) in fleet.items():
+            cost, sched = _oracle(
+                u, w, RentOrBuyScheduler(w, alpha=0.5, memory=1), masks
+            )
+            assert fused_costs[sid] == cost
+            assert fused_scheds[sid] == sched
+
+    @pytest.mark.parametrize("width", BOUNDARY_WIDTHS)
+    def test_ragged_chunk_lengths_fuse_in_one_group(self, width):
+        """Sessions with different chunk lengths in the same feed_many
+        call fuse under the length-free group key — including lone
+        sessions that previously short-circuited — and reproduce the
+        oracle bit for bit."""
+        universe = SwitchUniverse.of_size(width)
+        w = float(width)
+        lengths = [37, 64, 101, 5, 128]
+        scheduler_args = dict(alpha=1.0, memory=3)
+        fleet = {}
+        for idx, total in enumerate(lengths):
+            masks = _drift_masks(width, total, seed=idx * 11 + width, phase=9)
+            fleet[f"u{idx}"] = (
+                universe,
+                w,
+                RentOrBuyScheduler(w, **scheduler_args),
+                masks,
+                masks_to_lanes(masks, width),
+            )
+        for fused in (True, False):
+            hub = StreamHub(fused=fused)
+            for sid, (u, _w, s, _m, _l) in fleet.items():
+                hub.open(s, u, w, session_id=sid)
+            pos = {sid: 0 for sid in fleet}
+            # Ragged rounds: session idx advances by a per-session
+            # stride, so each feed_many carries mixed chunk lengths.
+            strides = [7, 16, 23, 1, 31]
+            while any(pos[sid] < len(fleet[sid][3]) for sid in fleet):
+                chunks = {}
+                for idx, sid in enumerate(fleet):
+                    lo = pos[sid]
+                    ln = fleet[sid][4]
+                    if lo >= len(ln):
+                        continue
+                    chunks[sid] = ln[lo : lo + strides[idx]]
+                    pos[sid] = lo + len(chunks[sid])
+                hub.feed_many(chunks)
+            if fused:
+                assert hub.metrics.stream_fused > 0
+                assert hub.metrics.stream_fused_fallback == 0
+                # The final round is a lone leftover session — the old
+                # singleton short-circuit would have skipped it.
+                assert max(hub.last_fused[2], default=0) >= 1
+            runs = hub.finish_all()
+            for sid, (u, _w, _s, masks, _l) in fleet.items():
+                cost, sched = _oracle(
+                    u, w, RentOrBuyScheduler(w, **scheduler_args), masks
+                )
+                assert runs[sid].cost == cost
+                assert runs[sid].schedule.hyper_steps == sched
+
+    def test_lone_session_group_fuses(self):
+        """A single-session feed_many goes through the kernel: the
+        lone-session short-circuit is gone."""
+        width = 64
+        universe = SwitchUniverse.of_size(width)
+        w = 3.0
+        masks = _drift_masks(width, 200, seed=3, phase=25)
+        lanes = masks_to_lanes(masks, width)
+        hub = StreamHub(fused=True)
+        sid = hub.open(
+            RentOrBuyScheduler(w, alpha=1.0, memory=2), universe, w
+        )
+        for lo in range(0, 200, 50):
+            hub.feed_many({sid: lanes[lo : lo + 50]})
+        assert hub.metrics.stream_fused == 4
+        assert hub.metrics.stream_fused_fallback == 0
+        cost, sched = _oracle(
+            universe, w, RentOrBuyScheduler(w, alpha=1.0, memory=2), masks
+        )
+        run = hub.finish(sid)
+        assert run.cost == cost
+        assert run.schedule.hyper_steps == sched
+
+    @pytest.mark.default_crossover
+    def test_small_stack_crossover_is_equivalent(self):
+        """At the production threshold, small groups delegate to
+        per-cursor ``step_many`` inside the sweep contract: the hub
+        still reports every session fused (no fallback branch), replay
+        telemetry still counts real installs, and decisions match the
+        oracle bit for bit."""
+        assert online.SMALL_STACK_SESSIONS > 0
+        width = 65
+        universe = SwitchUniverse.of_size(width)
+        w = 4.0
+        n, chunk = 192, 48
+        fleet = {}
+        for idx in range(online.SMALL_STACK_SESSIONS):
+            masks = _drift_masks(width, n, seed=idx, phase=9)
+            fleet[f"u{idx}"] = (
+                universe,
+                w,
+                RentOrBuyScheduler(w, alpha=1.0, memory=2),
+                masks,
+                masks_to_lanes(masks, width),
+            )
+        sizes = [chunk] * (n // chunk)
+        fused_costs, fused_scheds, hub = _run_hub(
+            fleet, fused=True, chunk_sizes=sizes
+        )
+        assert hub.metrics.stream_fused == len(fleet) * len(sizes)
+        assert hub.metrics.stream_fused_fallback == 0
+        total_installs = sum(len(s) for s in fused_scheds.values())
+        assert hub.metrics.stream_replay_triggers == total_installs
+        assert hub.metrics.stream_replay_epochs > 0
+        for sid, (u, _w, _s, masks, _l) in fleet.items():
+            cost, sched = _oracle(
+                u, w, RentOrBuyScheduler(w, alpha=1.0, memory=2), masks
+            )
+            assert fused_costs[sid] == cost
+            assert fused_scheds[sid] == sched
 
 
 class TestExtendMany:
@@ -432,12 +649,11 @@ class TestShardPlacementIndependence:
                     sid: run.cost
                     for sid, run in pool.finish_all().items()
                 }
-            # Placement may leave a shape alone on its shard; singleton
-            # groups skip the probe and count as neither, so the exact
-            # split is placement-dependent — only the ceiling and the
-            # "calm stretches actually fused" floor are invariant.
-            assert fused + fallback <= sessions * (steps // chunk)
-            assert fused > 0
+            # Lone sessions fuse too now, so every eligible chunk goes
+            # through the kernel regardless of placement: the split is
+            # exact and placement-invariant.
+            assert fused == sessions * (steps // chunk)
+            assert fallback == 0
             if reference is None:
                 reference = costs
             else:

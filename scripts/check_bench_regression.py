@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Guard the perf trajectory: fail CI on a benchmark throughput cliff.
 
-The bench harness writes ``BENCH_e16.json`` / ``BENCH_e17.json``
-artifacts at the repo root (see ``benchmarks/conftest.py``), and those
+The bench harness writes ``BENCH_e16.json`` / ``BENCH_e17.json`` /
+``BENCH_e19.json`` artifacts at the repo root (see
+``benchmarks/conftest.py``), and those
 artifacts are committed — they *are* the performance baseline of the
 last merged PR.  This script compares a freshly measured artifact
 against the committed baseline row by row and exits nonzero when any
@@ -26,7 +27,7 @@ from already are, and guarding both double-counts one slowdown.
 
 Usage (mirrors the CI bench-smoke job)::
 
-    cp BENCH_e16.json BENCH_e17.json .bench-baseline/   # committed
+    cp BENCH_e16.json BENCH_e17.json BENCH_e19.json .bench-baseline/
     pytest benchmarks --smoke                           # rewrites them
     python scripts/check_bench_regression.py \
         --baseline .bench-baseline --fresh . --tolerance 0.30
@@ -39,7 +40,7 @@ import json
 import sys
 from pathlib import Path
 
-ARTIFACTS = ("BENCH_e16.json", "BENCH_e17.json")
+ARTIFACTS = ("BENCH_e16.json", "BENCH_e17.json", "BENCH_e19.json")
 
 
 def _is_metric(field: str) -> bool:

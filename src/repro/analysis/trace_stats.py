@@ -81,8 +81,11 @@ def detect_period(seq: RequirementSequence, *, skip: int = 0) -> int | None:
 
     Loop-structured programs produce periodic requirement traces after
     their first iteration; ``skip`` ignores the aperiodic prefix.
-    Returns ``None`` when no period < n/2 exists.
+    Returns ``None`` when no period < n/2 exists (in particular for
+    empty or single-step suffixes).
     """
+    if skip < 0:
+        raise ValueError("skip must be non-negative")
     masks = seq.masks[skip:]
     n = len(masks)
     for p in range(1, n // 2 + 1):

@@ -32,6 +32,9 @@ Subcommands cover the common workflows without writing Python:
   costs against a single-hub replay;
 * ``repro solvers`` — list the registered solver zoo with capability
   tags;
+* ``repro portfolio`` — inspect a portfolio run ledger
+  (``repro batch --ledger`` grows one), dump the learned per-bucket
+  model, or replay decisions offline with any strategy/seed;
 * ``repro experiment`` — the full paper reproduction (E1–E3 artifacts);
 * ``repro stats <app>`` — trace statistics and phase structure;
 * ``repro bench`` — run the benchmark smoke suite (every ``bench_e*``
@@ -247,12 +250,30 @@ def cmd_batch(args) -> int:
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
+    state = None
+    if getattr(args, "ledger", None):
+        from pathlib import Path
+
+        from repro.portfolio import PortfolioState, set_default_state
+
+        ledger_path = Path(args.ledger)
+        if ledger_path.exists():
+            try:
+                state = PortfolioState.load(ledger_path)
+            except ValueError as exc:
+                print(f"bad ledger {ledger_path}: {exc}", file=sys.stderr)
+                return 2
+        else:
+            state = PortfolioState()
+        set_default_state(state)
     requests, labels = _batch_requests(
         apps, naive=args.naive, solver=args.solver, solver_kwargs=solver_kwargs
     )
     requests = requests * args.repeat
     labels = labels * args.repeat
     results = engine.solve_batch(requests)
+    if state is not None:
+        state.save(args.ledger)
     if args.json:
         payload = engine.metrics.snapshot(engine.cache.stats)
         payload["results"] = [
@@ -527,6 +548,9 @@ CORE_SERIES = (
     "repro_wire_bytes_in_total",
     "repro_wire_bytes_out_total",
     "repro_wire_decode_seconds_total",
+    # the portfolio decision counter renders an unlabeled zero row
+    # until the first decision, so the series exists on an idle server.
+    "repro_portfolio_decisions_total",
 )
 
 
@@ -692,6 +716,163 @@ def cmd_solvers(_args) -> int:
         ["solver", "kind", "exact", "cost model", "tags"],
         default_registry().describe(),
         title="registered solvers",
+    ))
+    return 0
+
+
+def cmd_portfolio(args) -> int:
+    from pathlib import Path
+
+    from repro.portfolio import PortfolioState
+
+    path = Path(args.ledger)
+    if not path.exists():
+        print(f"no ledger at {path}", file=sys.stderr)
+        return 2
+    try:
+        state = PortfolioState.load(path)
+    except ValueError as exc:
+        print(f"bad ledger {path}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "inspect":
+        per_solver: dict[str, dict] = {}
+        buckets = set()
+        for rec in state.ledger:
+            buckets.add(rec.features.bucket())
+            entry = per_solver.setdefault(
+                rec.solver,
+                {"runs": 0, "failures": 0, "runtime": 0.0, "costs": []},
+            )
+            entry["runs"] += 1
+            entry["runtime"] += rec.runtime
+            if rec.ok:
+                entry["costs"].append(rec.cost)
+            else:
+                entry["failures"] += 1
+        if args.json:
+            payload = {
+                "ledger": str(path),
+                "records": len(state.ledger),
+                "buckets": sorted(buckets),
+                "solvers": {
+                    name: {
+                        "runs": e["runs"],
+                        "failures": e["failures"],
+                        "mean_runtime_s": e["runtime"] / e["runs"],
+                        "mean_cost": (
+                            sum(e["costs"]) / len(e["costs"])
+                            if e["costs"] else None
+                        ),
+                    }
+                    for name, e in sorted(per_solver.items())
+                },
+            }
+            json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+            print()
+            return 0
+        rows = [
+            [
+                name,
+                e["runs"],
+                e["failures"],
+                f"{e['runtime'] / e['runs'] * 1e3:.1f} ms",
+                (f"{sum(e['costs']) / len(e['costs']):.1f}"
+                 if e["costs"] else "-"),
+            ]
+            for name, e in sorted(per_solver.items())
+        ]
+        print(format_table(
+            ["solver", "runs", "failures", "mean runtime", "mean cost"],
+            rows,
+            title=f"ledger {path}: {len(state.ledger)} records, "
+                  f"{len(buckets)} feature bucket(s)",
+        ))
+        return 0
+
+    if args.action == "model":
+        snapshot = state.model.snapshot()
+        if args.json:
+            json.dump(snapshot, sys.stdout, indent=2, sort_keys=True)
+            print()
+            return 0
+        rows = [
+            [
+                bucket,
+                solver,
+                arm["runs"],
+                arm["failures"],
+                (f"{arm['runtime_p50_s'] * 1e3:.1f} ms"
+                 if arm["runtime_p50_s"] is not None else "-"),
+                (f"{arm['cost_p50']:.1f}"
+                 if arm["cost_p50"] is not None else "-"),
+            ]
+            for bucket, solvers in sorted(snapshot.items())
+            for solver, arm in sorted(solvers.items())
+        ]
+        print(format_table(
+            ["bucket", "solver", "runs", "failures", "runtime p50",
+             "cost p50"],
+            rows,
+            title=f"portfolio model from {path}",
+        ))
+        return 0
+
+    # replay: re-run the decision offline for every feature bucket the
+    # ledger has seen, with the model the full ledger implies.  Uses
+    # the same seeded rng scheme as the live engine, so a fixed
+    # --seed reproduces the live choices bit-for-bit.
+    import numpy as np
+
+    from repro.portfolio import make_strategy, portfolio_candidates
+
+    try:
+        strategy = make_strategy(args.strategy)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    candidates = portfolio_candidates(default_registry())
+    representatives: dict[str, object] = {}
+    for rec in state.ledger:
+        representatives.setdefault(rec.features.bucket(), rec.features)
+    decisions = []
+    for index, (bucket, features) in enumerate(
+        sorted(representatives.items())
+    ):
+        rng = np.random.default_rng([args.seed & 0x7FFFFFFF, index])
+        rng.integers(2 ** 31)  # solver seed draw, as the engine does
+        decision = strategy.decide(state.model, features, candidates, rng)
+        decisions.append((bucket, decision))
+    if args.json:
+        payload = [
+            {
+                "bucket": bucket,
+                "strategy": d.strategy,
+                "chosen": d.chosen[0] if d.chosen else None,
+                "ranking": list(d.chosen),
+                "mode": d.mode,
+                "explore": d.explore,
+                "reason": d.reason,
+            }
+            for bucket, d in decisions
+        ]
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    rows = [
+        [
+            bucket,
+            d.chosen[0] if d.chosen else "-",
+            d.mode,
+            "yes" if d.explore else "no",
+            d.reason,
+        ]
+        for bucket, d in decisions
+    ]
+    print(format_table(
+        ["bucket", "choice", "mode", "explore", "reason"],
+        rows,
+        title=f"offline replay: strategy={args.strategy} seed={args.seed}",
     ))
     return 0
 
@@ -865,6 +1046,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--anneal-restart-workers", type=int, default=1, metavar="K",
         help="annealing solvers: processes the restarts fan across "
              "(bit-identical to sequential)",
+    )
+    p_batch.add_argument(
+        "--ledger", metavar="PATH",
+        help="portfolio run ledger: load learned state before solving, "
+             "save the grown ledger after (created if missing)",
     )
     p_batch.set_defaults(func=cmd_batch)
 
@@ -1064,6 +1250,34 @@ def build_parser() -> argparse.ArgumentParser:
         "solvers", help="list the registered solver zoo"
     )
     p_solvers.set_defaults(func=cmd_solvers)
+
+    p_portfolio = sub.add_parser(
+        "portfolio",
+        help="inspect a portfolio run ledger, dump its learned model, "
+             "or replay decisions offline",
+    )
+    p_portfolio.add_argument(
+        "action", choices=["inspect", "model", "replay"],
+        help="inspect: per-solver ledger summary; model: learned "
+             "per-bucket predictions; replay: re-run the decision for "
+             "every seen feature bucket",
+    )
+    p_portfolio.add_argument(
+        "--ledger", metavar="PATH", required=True,
+        help="ledger JSON written by `repro batch --ledger` or "
+             "PortfolioState.save()",
+    )
+    p_portfolio.add_argument(
+        "--strategy", default="best",
+        help="replay strategy spec: best[:tol] | egreedy[:eps] | "
+             "ucb[:c] | race[:budget][,k=K][,restarts=R]",
+    )
+    p_portfolio.add_argument(
+        "--seed", type=int, default=0,
+        help="replay decision seed (same scheme as the live engine)",
+    )
+    p_portfolio.add_argument("--json", action="store_true")
+    p_portfolio.set_defaults(func=cmd_portfolio)
 
     p_exp = sub.add_parser(
         "experiment", help="run the full paper reproduction"

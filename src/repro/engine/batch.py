@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import os
 import pickle
 import signal
 import threading
@@ -49,7 +50,12 @@ from repro.core.packed import PackedProblem
 from repro.engine.cache import MISS, ResultCache
 from repro.engine.intern import intern_chunk, restore_chunk
 from repro.engine.metrics import EngineMetrics
-from repro.engine.registry import TAG_PACKED, SolverRegistry, default_registry
+from repro.engine.registry import (
+    TAG_META,
+    TAG_PACKED,
+    SolverRegistry,
+    default_registry,
+)
 from repro.engine.requests import (
     EngineResult,
     SolveRequest,
@@ -313,6 +319,17 @@ class BatchEngine:
     tracer:
         Optional :class:`~repro.obs.trace.TraceRecorder`; one ``solve``
         span per solved request (solver name, latency, error flag).
+    portfolio_learn:
+        Feed the portfolio plane (see :mod:`repro.portfolio`): every
+        finished concrete multi-task solve appends one run-ledger row
+        (successes with their cost, errors/timeouts as failures), and
+        ``portfolio`` results solved in worker processes have their
+        decision records folded into the parent state.  ``False`` for
+        engines that must not touch the learned state (the portfolio's
+        own race engine, baseline measurements).
+    portfolio_state:
+        Explicit :class:`~repro.portfolio.engine.PortfolioState` to
+        learn into; ``None`` uses the process-wide default state.
     """
 
     def __init__(
@@ -329,6 +346,8 @@ class BatchEngine:
         shared_lanes: bool | None = None,
         intern_masks: bool = True,
         tracer=None,
+        portfolio_learn: bool = True,
+        portfolio_state=None,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -345,6 +364,8 @@ class BatchEngine:
         self.tracer = tracer
         self.shared_lanes = shared_lanes
         self.intern_masks = intern_masks
+        self.portfolio_learn = portfolio_learn
+        self.portfolio_state = portfolio_state
         # Lane-packed compiles, keyed on the problem structure (solver
         # and parameters excluded): one compile serves every solver and
         # every batch that asks about the same instance.
@@ -404,6 +425,7 @@ class BatchEngine:
                     solver_stats = getattr(value, "stats", None)
                     if solver_stats:
                         self.metrics.record_evaluator_stats(solver_stats)
+                    self._learn_solve(requests[i], value, elapsed)
                     canonical_value = to_canonical_result(value, forms[i])
                     self.cache.put(forms[i].key, canonical_value)
                     results[i] = EngineResult(
@@ -414,6 +436,9 @@ class BatchEngine:
                     )
                 else:
                     self.metrics.record_error(timeout=timed_out)
+                    self._learn_failure(
+                        requests[i], error, timed_out, elapsed
+                    )
                     results[i] = EngineResult(
                         request=requests[i],
                         error=error,
@@ -457,6 +482,88 @@ class BatchEngine:
         return results  # type: ignore[return-value]
 
     # -- internals ---------------------------------------------------------
+
+    def _learning_target(self, request):
+        """(state, spec) when this request should feed the run ledger.
+
+        Only concrete (non-meta) multi-task switch-cost solvers produce
+        directly attributable rows; ``portfolio`` requests contribute
+        through their shipped decision records instead.
+        """
+        if not self.portfolio_learn or request.kind != "multi":
+            return None
+        try:
+            spec = self.registry.get(request.solver)
+        except KeyError:
+            return None
+        if TAG_META in spec.tags or spec.cost_model != "switch":
+            return None
+        return self._resolve_portfolio_state(), spec
+
+    def _resolve_portfolio_state(self):
+        if self.portfolio_state is not None:
+            return self.portfolio_state
+        from repro.portfolio.engine import default_state
+
+        return default_state()
+
+    def _learn_solve(self, request, value, elapsed):
+        """Feed the portfolio plane from one successful solve.
+
+        A ``portfolio`` result carries its own decision block: absorb
+        the attempt records when the solve ran in another process (the
+        solver already recorded them locally otherwise) and bump the
+        decision counters.  Any other concrete multi-task solve becomes
+        one warmup ledger row.
+        """
+        if not self.portfolio_learn or request.kind != "multi":
+            return
+        pstats = (getattr(value, "stats", None) or {}).get("portfolio")
+        if pstats is not None:
+            rows = pstats.get("records", ())
+            if pstats.get("recorded_pid") != os.getpid():
+                self._resolve_portfolio_state().absorb(rows)
+            self.metrics.record_portfolio(
+                solver=pstats.get("chosen", "?"),
+                seconds=float(pstats.get("decision_s", elapsed)),
+                raced=pstats.get("mode") == "race",
+                explored=bool(pstats.get("explore")),
+                records=len(rows),
+            )
+            return
+        target = self._learning_target(request)
+        if target is None:
+            return
+        from repro.portfolio.features import multi_features
+        from repro.portfolio.records import RunRecord
+
+        state, spec = target
+        state.record(RunRecord(
+            features=multi_features(request.system, request.seqs),
+            solver=spec.name,
+            runtime=elapsed,
+            cost=value.cost,
+            ok=True,
+        ))
+        self.metrics.record_portfolio_rows(1)
+
+    def _learn_failure(self, request, error, timed_out, elapsed):
+        """Record one failed concrete solve as a ledger failure row."""
+        target = self._learning_target(request)
+        if target is None:
+            return
+        from repro.portfolio.features import multi_features
+        from repro.portfolio.records import RunRecord
+
+        state, spec = target
+        state.record(RunRecord(
+            features=multi_features(request.system, request.seqs),
+            solver=spec.name,
+            runtime=elapsed,
+            ok=False,
+            error="timeout" if timed_out else error,
+        ))
+        self.metrics.record_portfolio_rows(1)
 
     def _materialize(self, request, form, canonical_value, *, cached, elapsed):
         return EngineResult(

@@ -21,6 +21,7 @@ exactly too, but their observations are timing-dependent by nature.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from collections.abc import Mapping
@@ -56,6 +57,8 @@ HISTOGRAM_FAMILIES: dict[str, tuple[str, str, tuple[str, ...]]] = {
     # per-session answer is placement-independent.
     "fused_group_sessions": (
         "value", "Sessions per fused multi-session sweep group", ()),
+    "portfolio_decision_seconds": (
+        "time", "Portfolio decide+solve+verify latency", ("solver",)),
 }
 
 #: Families over deterministic quantities (no wall clock): a shard
@@ -64,6 +67,21 @@ DETERMINISTIC_FAMILIES: tuple[str, ...] = (
     "stream_chunk_steps",
     "session_cost",
     "session_steps",
+)
+
+#: Scalar counters serialized by :meth:`EngineMetrics.snapshot_json`
+#: (everything a restarted process needs to resume its totals).
+_SCALAR_COUNTERS: tuple[str, ...] = (
+    "requests", "solved", "cache_hits", "errors", "timeouts", "batches",
+    "wall_time", "delta_applies", "delta_full_evals",
+    "packed_compiles", "packed_reuses",
+    "packed_bytes_shipped", "packed_bytes_shared",
+    "intern_masks_total", "intern_masks_unique",
+    "intern_bytes_before", "intern_bytes_after",
+    "stream_sessions", "stream_closed", "stream_steps", "stream_hypers",
+    "stream_time", "stream_fused", "stream_fused_fallback",
+    "stream_replay_epochs", "stream_replay_triggers",
+    "portfolio_races", "portfolio_explores", "portfolio_records",
 )
 
 
@@ -153,6 +171,12 @@ class EngineMetrics:
             "json": [0, 0, 0, 0.0],
             "bin": [0, 0, 0, 0.0],
         }
+        # Portfolio accounting: decisions per chosen solver, race /
+        # exploration counts, and ledger rows fed to the learned state.
+        self.portfolio_decisions: dict[str, int] = {}
+        self.portfolio_races = 0
+        self.portfolio_explores = 0
+        self.portfolio_records = 0
 
     # -- recording ---------------------------------------------------------
 
@@ -192,6 +216,42 @@ class EngineMetrics:
             with self._lock:
                 self.delta_applies += applies
                 self.delta_full_evals += full
+
+    def record_portfolio(
+        self,
+        *,
+        solver: str,
+        seconds: float,
+        raced: bool = False,
+        explored: bool = False,
+        records: int = 0,
+    ) -> None:
+        """Count one portfolio decision.
+
+        ``solver`` is the concrete solver the portfolio handed the
+        request to (the label of the ``portfolio_decisions`` counter
+        and the ``portfolio_decision_seconds`` histogram); ``records``
+        is how many run-ledger rows the decision contributed.
+        """
+        with self._lock:
+            self.portfolio_decisions[solver] = (
+                self.portfolio_decisions.get(solver, 0) + 1
+            )
+            if raced:
+                self.portfolio_races += 1
+            if explored:
+                self.portfolio_explores += 1
+            self.portfolio_records += int(records)
+            if self.histograms_enabled:
+                self.hist["portfolio_decision_seconds"].observe(
+                    seconds, solver=solver
+                )
+
+    def record_portfolio_rows(self, count: int = 1) -> None:
+        """Count run-ledger rows fed outside a portfolio decision
+        (warmup learning from concrete solver runs)."""
+        with self._lock:
+            self.portfolio_records += int(count)
 
     def record_packed(self, *, reused: bool) -> None:
         """Count one PackedProblem request by the batch engine.
@@ -367,6 +427,65 @@ class EngineMetrics:
                 if steps is not None:
                     self.hist["session_steps"].observe(steps, **label)
 
+    # -- persistence -------------------------------------------------------
+
+    def snapshot_json(self) -> str:
+        """Lossless JSON form of the full metrics state.
+
+        Everything exact round-trips bit-for-bit through
+        :meth:`from_json` (ints stay ints, histogram bucket counts are
+        integers, and Python's JSON float round-trip is exact), so
+        ``from_json(snapshot_json())`` rebuilds metrics whose
+        ``snapshot_json()`` is byte-identical — the persistence
+        contract the portfolio run-ledger tests lean on too.
+        """
+        with self._lock:
+            payload = {
+                "version": 1,
+                "counters": {
+                    name: getattr(self, name) for name in _SCALAR_COUNTERS
+                },
+                "wire": {
+                    proto: list(row) for proto, row in self.wire.items()
+                },
+                "portfolio_decisions": dict(self.portfolio_decisions),
+                "latency": self.latency.to_wire(),
+                "histograms": {
+                    name: fam.to_wire() for name, fam in self.hist.items()
+                },
+            }
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EngineMetrics":
+        """Rebuild an :class:`EngineMetrics` from :meth:`snapshot_json`."""
+        data = json.loads(text)
+        if data.get("version") != 1:
+            raise ValueError(
+                f"unsupported metrics snapshot version {data.get('version')!r}"
+            )
+        metrics = cls()
+        for name in _SCALAR_COUNTERS:
+            if name in data["counters"]:
+                setattr(metrics, name, data["counters"][name])
+        metrics.wire = {
+            str(proto): [row[0], row[1], row[2], float(row[3])]
+            for proto, row in data["wire"].items()
+        }
+        metrics.portfolio_decisions = {
+            str(name): int(count)
+            for name, count in data["portfolio_decisions"].items()
+        }
+        restored = Histogram.from_wire(data["latency"])
+        metrics.latency.counts = list(restored.counts)
+        metrics.latency.count = restored.count
+        metrics.latency.total = restored.total
+        metrics.latency._min = restored._min
+        metrics.latency._max = restored._max
+        for name, wire in data["histograms"].items():
+            metrics.hist[name] = HistogramFamily.from_wire(wire)
+        return metrics
+
     def hist_wire(self, names=None) -> dict:
         """Mergeable wire snapshots of the named histogram families
         (all of them by default) — what process shards ship over their
@@ -498,6 +617,14 @@ class EngineMetrics:
                     }
                     for proto, row in sorted(self.wire.items())
                 },
+                "portfolio": {
+                    "decisions": dict(sorted(
+                        self.portfolio_decisions.items()
+                    )),
+                    "races": self.portfolio_races,
+                    "explores": self.portfolio_explores,
+                    "records": self.portfolio_records,
+                },
                 "histograms": {
                     name: fam.snapshot() for name, fam in self.hist.items()
                 },
@@ -593,6 +720,18 @@ class EngineMetrics:
                      f"{feed['p50'] * 1e3:.2f} / {feed['p95'] * 1e3:.2f} / "
                      f"{feed['p99'] * 1e3:.2f} ms"]
                 )
+        portfolio = snap["portfolio"]
+        if portfolio["decisions"]:
+            picks = ", ".join(
+                f"{name}×{count}"
+                for name, count in portfolio["decisions"].items()
+            )
+            rows.append(
+                ["portfolio decisions",
+                 f"{picks} ({portfolio['races']} raced, "
+                 f"{portfolio['explores']} explored, "
+                 f"{portfolio['records']} ledger rows)"]
+            )
         for proto, wire in snap["wire"].items():
             if wire["frames_in"]:
                 rows.append(

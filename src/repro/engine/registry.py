@@ -130,6 +130,15 @@ class SolverRegistry:
         return len(self._specs)
 
     def names(self, kind: str | None = None) -> tuple[str, ...]:
+        """Registered solver names, **sorted by name**.
+
+        Ordering guarantee: every enumeration this registry exposes —
+        :meth:`names`, :meth:`select`, :meth:`describe` — is sorted by
+        solver name, never by registration order.  Consumers that
+        tie-break between equivalent solvers (the portfolio's
+        deterministic rankings, ``auto``'s candidate walk) rely on this
+        being stable across processes and registration histories.
+        """
         return tuple(
             sorted(
                 name
@@ -146,7 +155,9 @@ class SolverRegistry:
         tags: Iterable[str] = (),
         without_tags: Iterable[str] = (),
     ) -> list[SolverSpec]:
-        """All specs matching every given constraint, sorted by name."""
+        """All specs matching every given constraint, **sorted by name**
+        (the same ordering guarantee as :meth:`names` — registration
+        order is never observable)."""
         tags = frozenset(tags)
         without = frozenset(without_tags)
         out = [
@@ -284,6 +295,12 @@ def _mt_auto(system, seqs, model=None, **params):
     return solve_mt_auto(system, seqs, model, **params)
 
 
+def _mt_portfolio(system, seqs, model=None, **params):
+    from repro.portfolio.engine import solve_mt_portfolio
+
+    return solve_mt_portfolio(system, seqs, model, **params)
+
+
 _DEFAULT_SPECS = (
     SolverSpec(
         name="single_dp",
@@ -365,6 +382,16 @@ _DEFAULT_SPECS = (
         # Stochastic: the heuristic tier forwards the seed parameter.
         tags=frozenset({TAG_META, TAG_STOCHASTIC}),
         description="tiered dispatch: exhaustive → exact DP → heuristics",
+    ),
+    SolverSpec(
+        name="portfolio",
+        kind="multi",
+        fn=_mt_portfolio,
+        exact=False,
+        # Stochastic: exploration draws and forwarded solver seeds
+        # derive from the seed parameter (bit-reproducible per seed).
+        tags=frozenset({TAG_META, TAG_STOCHASTIC}),
+        description="adaptive portfolio: learned pick/race over the zoo",
     ),
 )
 

@@ -1,0 +1,157 @@
+"""Per-solver runtime/quality predictors over feature buckets.
+
+No learning framework: every (bucket, solver) arm keeps two mergeable
+log-bucketed histograms from :mod:`repro.obs.histogram` — runtime on
+the time scheme, verified cost on the value scheme — plus run/failure
+counts.  Predictions are median (p50) quantile estimates, which is all
+the selection strategies need: they compare solvers *within one
+bucket*, where costs refer to structurally similar instances.
+
+Observations are recorded under the full fallback-bucket chain of
+their features (see
+:meth:`~repro.portfolio.features.WorkloadFeatures.fallback_buckets`),
+and predictions walk the same chain finest-first, so an unseen fine
+bucket inherits the coarser prior instead of returning nothing.  The
+model is a pure function of the :class:`~repro.portfolio.records.RunLedger`
+— rebuilding from a persisted ledger reproduces it exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import NamedTuple
+
+from repro.obs.histogram import TIME_SCHEME, VALUE_SCHEME, Histogram
+from repro.portfolio.features import WorkloadFeatures
+from repro.portfolio.records import RunLedger, RunRecord
+
+__all__ = ["PortfolioModel", "Prediction"]
+
+
+class Prediction(NamedTuple):
+    """A point estimate plus how many observations back it.
+
+    ``support == 0`` means the model has never seen this (bucket,
+    solver) pair at any fallback resolution; ``value`` is then
+    ``inf`` so unknown arms never win a comparison by accident.
+    """
+
+    value: float
+    support: int
+
+
+class _Arm:
+    """Statistics of one (bucket, solver) pair."""
+
+    __slots__ = ("runtime", "cost", "runs", "failures")
+
+    def __init__(self):
+        self.runtime = Histogram(TIME_SCHEME)
+        self.cost = Histogram(VALUE_SCHEME)
+        self.runs = 0
+        self.failures = 0
+
+    def observe(self, record: RunRecord) -> None:
+        self.runs += 1
+        self.runtime.observe(max(0.0, record.runtime))
+        if record.ok:
+            self.cost.observe(record.cost)
+        else:
+            self.failures += 1
+
+    @property
+    def successes(self) -> int:
+        return self.runs - self.failures
+
+
+class PortfolioModel:
+    """Learned per-solver performance statistics; all methods thread-safe."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._arms: dict[tuple[str, str], _Arm] = {}
+
+    @classmethod
+    def from_ledger(cls, ledger: RunLedger) -> "PortfolioModel":
+        model = cls()
+        for record in ledger.rows():
+            model.observe(record)
+        return model
+
+    def observe(self, record: RunRecord) -> None:
+        with self._lock:
+            for bucket in record.features.fallback_buckets():
+                key = (bucket, record.solver)
+                arm = self._arms.get(key)
+                if arm is None:
+                    arm = self._arms[key] = _Arm()
+                arm.observe(record)
+
+    # -- queries -----------------------------------------------------------
+
+    def _walk(self, solver: str, features: WorkloadFeatures):
+        """Arms along the fallback chain, finest-first."""
+        for bucket in features.fallback_buckets():
+            arm = self._arms.get((bucket, solver))
+            if arm is not None:
+                yield arm
+
+    def predict_runtime(
+        self, solver: str, features: WorkloadFeatures
+    ) -> Prediction:
+        """Median observed runtime (seconds) at the finest known bucket."""
+        with self._lock:
+            for arm in self._walk(solver, features):
+                if arm.runs:
+                    return Prediction(arm.runtime.p50, arm.runs)
+        return Prediction(float("inf"), 0)
+
+    def predict_cost(
+        self, solver: str, features: WorkloadFeatures
+    ) -> Prediction:
+        """Median verified cost at the finest bucket with a success."""
+        with self._lock:
+            for arm in self._walk(solver, features):
+                if arm.successes:
+                    return Prediction(arm.cost.p50, arm.successes)
+        return Prediction(float("inf"), 0)
+
+    def failure_rate(self, solver: str, features: WorkloadFeatures) -> float:
+        """Failure fraction at the finest bucket with any runs (0.0 cold)."""
+        with self._lock:
+            for arm in self._walk(solver, features):
+                if arm.runs:
+                    return arm.failures / arm.runs
+        return 0.0
+
+    def runs(self, solver: str, features: WorkloadFeatures) -> int:
+        """Runs recorded at the *finest* bucket of these features."""
+        with self._lock:
+            arm = self._arms.get((features.bucket(), solver))
+            return arm.runs if arm is not None else 0
+
+    def solvers(self) -> tuple[str, ...]:
+        """All solver names the model has observations for, sorted."""
+        with self._lock:
+            return tuple(sorted({solver for _b, solver in self._arms}))
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump: bucket → solver → summary row.
+
+        The ``repro portfolio model`` CLI renders this; buckets include
+        the fallback levels (they are separate arms by design).
+        """
+        out: dict[str, dict[str, dict]] = {}
+        with self._lock:
+            for (bucket, solver), arm in sorted(self._arms.items()):
+                out.setdefault(bucket, {})[solver] = {
+                    "runs": arm.runs,
+                    "failures": arm.failures,
+                    "runtime_p50_s": arm.runtime.p50 if arm.runs else 0.0,
+                    "cost_p50": arm.cost.p50 if arm.successes else None,
+                }
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return f"PortfolioModel({len(self._arms)} arms)"

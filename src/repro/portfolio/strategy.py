@@ -1,0 +1,352 @@
+"""Selection policies over the learned portfolio model.
+
+Every strategy answers one question deterministically: given the model,
+a feature vector and the candidate solver names, in which order should
+solvers be tried?  The returned :class:`Decision` carries the full
+ranking — execution (``repro.portfolio.engine``) walks it front to
+back, so a failing or unverifiable front-runner falls back to the next
+candidate instead of failing the request.
+
+Determinism is a contract: candidates are always considered in sorted
+name order, ties break by name, and the only randomness
+(:class:`EpsilonGreedy` exploration) comes from the caller-provided
+seeded generator.  Two calls with equal model state, features,
+candidates and generator state return identical decisions —
+bit-reproducible under a seed, replayable offline via
+``repro portfolio replay``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.portfolio.features import WorkloadFeatures
+from repro.portfolio.model import PortfolioModel
+
+__all__ = [
+    "BestPredicted",
+    "DeadlineRace",
+    "Decision",
+    "EpsilonGreedy",
+    "Strategy",
+    "UCB1",
+    "make_strategy",
+    "rank_candidates",
+]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One strategy verdict.
+
+    ``chosen`` is the full candidate ranking (front runner first);
+    ``mode`` is ``"pick"`` (run front to back, first verified answer
+    wins) or ``"race"`` (run the whole ``chosen`` tuple under
+    ``budget`` seconds, best-ranked verified finisher wins, up to
+    ``restarts`` extra rounds with a doubled budget).
+    """
+
+    strategy: str
+    chosen: tuple[str, ...]
+    mode: str = "pick"
+    explore: bool = False
+    reason: str = ""
+    budget: float | None = None
+    restarts: int = 0
+
+
+def rank_candidates(
+    model: PortfolioModel,
+    features: WorkloadFeatures,
+    candidates,
+    *,
+    cost_tolerance: float = 0.05,
+    max_failure_rate: float = 0.5,
+) -> tuple[str, ...]:
+    """Deterministic candidate ranking, best bet first.
+
+    Solvers with a known cost and an acceptable failure rate come
+    first — those within ``cost_tolerance`` of the best predicted cost
+    ordered by predicted runtime (the latency win the portfolio is
+    after), costlier ones after by predicted cost.  Cold solvers (no
+    observations at any bucket resolution) follow in name order, and
+    known-flaky solvers (failure rate above ``max_failure_rate``) go
+    last.  Ties always break by name.
+    """
+    names = sorted(candidates)
+    if not names:
+        raise ValueError("no candidate solvers to rank")
+    known: list[tuple[str, float, float]] = []  # (name, cost, runtime)
+    cold: list[str] = []
+    flaky: list[tuple[float, str]] = []
+    for name in names:
+        failure = model.failure_rate(name, features)
+        cost = model.predict_cost(name, features)
+        runtime = model.predict_runtime(name, features)
+        if runtime.support == 0 and cost.support == 0:
+            cold.append(name)
+        elif failure > max_failure_rate or cost.support == 0:
+            flaky.append((failure, name))
+        else:
+            known.append((name, cost.value, runtime.value))
+    ordered: list[str] = []
+    if known:
+        best_cost = min(cost for _n, cost, _r in known)
+        bar = best_cost * (1.0 + cost_tolerance) + 1e-9
+        acceptable = [row for row in known if row[1] <= bar]
+        rest = [row for row in known if row[1] > bar]
+        acceptable.sort(key=lambda row: (row[2], row[0]))
+        rest.sort(key=lambda row: (row[1], row[2], row[0]))
+        ordered.extend(name for name, _c, _r in acceptable + rest)
+    ordered.extend(cold)
+    ordered.extend(name for _f, name in sorted(flaky))
+    return tuple(ordered)
+
+
+class Strategy:
+    """Base: subclasses implement :meth:`decide`."""
+
+    name = "strategy"
+
+    def decide(
+        self,
+        model: PortfolioModel,
+        features: WorkloadFeatures,
+        candidates,
+        rng,
+    ) -> Decision:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BestPredicted(Strategy):
+    """Pure exploitation: run the ranking front to back."""
+
+    cost_tolerance: float = 0.05
+    max_failure_rate: float = 0.5
+    name: str = field(default="best", init=False)
+
+    def decide(self, model, features, candidates, rng) -> Decision:
+        ranking = rank_candidates(
+            model,
+            features,
+            candidates,
+            cost_tolerance=self.cost_tolerance,
+            max_failure_rate=self.max_failure_rate,
+        )
+        return Decision(
+            strategy=self.name,
+            chosen=ranking,
+            reason=f"best predicted in {features.bucket()}",
+        )
+
+
+@dataclass(frozen=True)
+class EpsilonGreedy(Strategy):
+    """Exploit the ranking, but explore the least-tried arm with
+    probability ``epsilon`` (drawn from the caller's seeded rng)."""
+
+    epsilon: float = 0.1
+    cost_tolerance: float = 0.05
+    max_failure_rate: float = 0.5
+    name: str = field(default="egreedy", init=False)
+
+    def __post_init__(self):
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ValueError("epsilon must be within [0, 1]")
+
+    def decide(self, model, features, candidates, rng) -> Decision:
+        ranking = rank_candidates(
+            model,
+            features,
+            candidates,
+            cost_tolerance=self.cost_tolerance,
+            max_failure_rate=self.max_failure_rate,
+        )
+        if len(ranking) > 1 and float(rng.random()) < self.epsilon:
+            least = min(ranking, key=lambda s: (model.runs(s, features), s))
+            if least != ranking[0]:
+                rest = tuple(s for s in ranking if s != least)
+                return Decision(
+                    strategy=self.name,
+                    chosen=(least, *rest),
+                    explore=True,
+                    reason=f"explore least-tried {least!r}",
+                )
+        return Decision(
+            strategy=self.name,
+            chosen=ranking,
+            reason=f"exploit ranking in {features.bucket()}",
+        )
+
+
+@dataclass(frozen=True)
+class UCB1(Strategy):
+    """UCB1 bandit on cost quality with a visit-count bonus.
+
+    The exploitation term is ``best_cost / predicted_cost`` (1.0 for
+    the cheapest arm), the exploration bonus the classic
+    ``c·sqrt(ln N / n)`` over finest-bucket visit counts.  Unvisited
+    arms are tried first, in name order — no randomness at all.
+    """
+
+    c: float = 1.0
+    max_failure_rate: float = 0.5
+    name: str = field(default="ucb", init=False)
+
+    def decide(self, model, features, candidates, rng) -> Decision:
+        names = sorted(candidates)
+        if not names:
+            raise ValueError("no candidate solvers to rank")
+        visits = {s: model.runs(s, features) for s in names}
+        unvisited = [s for s in names if visits[s] == 0]
+        fallback = rank_candidates(
+            model, features, names, max_failure_rate=self.max_failure_rate
+        )
+        if unvisited:
+            first = unvisited[0]
+            rest = tuple(s for s in fallback if s != first)
+            return Decision(
+                strategy=self.name,
+                chosen=(first, *rest),
+                explore=True,
+                reason=f"ucb init {first!r}",
+            )
+        total = sum(visits.values())
+        costs = {s: model.predict_cost(s, features) for s in names}
+        finite = [p.value for p in costs.values() if math.isfinite(p.value)]
+        best_cost = min(finite) if finite else 1.0
+
+        def score(s: str) -> float:
+            pred = costs[s]
+            quality = (
+                (best_cost / pred.value)
+                if math.isfinite(pred.value) and pred.value > 0
+                else (1.0 if pred.value == 0 else 0.0)
+            )
+            bonus = self.c * math.sqrt(math.log(max(2, total)) / visits[s])
+            return quality + bonus
+
+        ranked = sorted(
+            names,
+            key=lambda s: (
+                -score(s),
+                model.predict_runtime(s, features).value,
+                s,
+            ),
+        )
+        return Decision(
+            strategy=self.name,
+            chosen=tuple(ranked),
+            reason=f"ucb scores over {total} visits",
+        )
+
+
+@dataclass(frozen=True)
+class DeadlineRace(Strategy):
+    """Race the top-k ranked solvers under a wall-clock budget.
+
+    Execution runs all ``top_k`` front-runners with a per-solver
+    ``budget``-second timeout (in parallel via
+    :class:`~repro.engine.batch.BatchEngine` workers where the platform
+    allows, sequentially with early exit otherwise); the best-*ranked*
+    verified finisher wins — rank order, not wall-clock order, decides,
+    so the outcome is reproducible.  If nobody finishes, the budget
+    doubles for up to ``restarts`` extra rounds, and a final unbounded
+    run of the full ranking guarantees an answer.
+    """
+
+    budget: float = 1.0
+    top_k: int = 2
+    restarts: int = 1
+    cost_tolerance: float = 0.05
+    max_failure_rate: float = 0.5
+    name: str = field(default="race", init=False)
+
+    def __post_init__(self):
+        if self.budget <= 0:
+            raise ValueError("budget must be positive")
+        if self.top_k < 1:
+            raise ValueError("top_k must be at least 1")
+        if self.restarts < 0:
+            raise ValueError("restarts must be non-negative")
+
+    def decide(self, model, features, candidates, rng) -> Decision:
+        ranking = rank_candidates(
+            model,
+            features,
+            candidates,
+            cost_tolerance=self.cost_tolerance,
+            max_failure_rate=self.max_failure_rate,
+        )
+        return Decision(
+            strategy=self.name,
+            chosen=ranking[: self.top_k],
+            mode="race",
+            budget=self.budget,
+            restarts=self.restarts,
+            reason=f"race top-{min(self.top_k, len(ranking))} "
+                   f"under {self.budget:g}s",
+        )
+
+
+def make_strategy(spec: str) -> Strategy:
+    """Parse a strategy spec string.
+
+    Formats (the bare value names the strategy's primary parameter)::
+
+        best            best:tol=0.1
+        egreedy         egreedy:0.2        egreedy:epsilon=0.2
+        ucb             ucb:2.0            ucb:c=2.0
+        race            race:0.5           race:budget=0.5,k=3,restarts=2
+    """
+    name, _, argtext = str(spec).partition(":")
+    name = name.strip().lower()
+    args: dict[str, str] = {}
+    primary: str | None = None
+    if argtext.strip():
+        for part in argtext.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" in part:
+                key, _, value = part.partition("=")
+                args[key.strip()] = value.strip()
+            elif primary is None:
+                primary = part
+            else:
+                raise ValueError(f"bad strategy spec {spec!r}")
+    try:
+        if name == "best":
+            tol = float(primary if primary is not None else args.pop("tol", 0.05))
+            strategy: Strategy = BestPredicted(cost_tolerance=tol)
+        elif name == "egreedy":
+            eps = float(
+                primary if primary is not None else args.pop("epsilon", 0.1)
+            )
+            strategy = EpsilonGreedy(epsilon=eps)
+        elif name == "ucb":
+            c = float(primary if primary is not None else args.pop("c", 1.0))
+            strategy = UCB1(c=c)
+        elif name == "race":
+            budget = float(
+                primary if primary is not None else args.pop("budget", 1.0)
+            )
+            strategy = DeadlineRace(
+                budget=budget,
+                top_k=int(args.pop("k", args.pop("top_k", 2))),
+                restarts=int(args.pop("restarts", 1)),
+            )
+        else:
+            raise ValueError(
+                f"unknown strategy {name!r}; "
+                "choose from best, egreedy, ucb, race"
+            )
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"bad strategy spec {spec!r}: {exc}") from None
+    if args:
+        raise ValueError(
+            f"bad strategy spec {spec!r}: unknown options {sorted(args)}"
+        )
+    return strategy

@@ -1066,6 +1066,21 @@ class StreamServer:
                 for proto, series in wire.items()
             ],
         })
+        portfolio = engine.get("portfolio", {})
+        decisions = portfolio.get("decisions", {})
+        counters.update({
+            # Labeled per chosen solver once decisions flow; the
+            # unlabeled zero row keeps the series present (and the CI
+            # boot-check green) on an idle server.
+            "portfolio_decisions_total": (
+                [({"solver": name}, count)
+                 for name, count in sorted(decisions.items())]
+                or [({}, 0)]
+            ),
+            "portfolio_races_total": portfolio.get("races", 0),
+            "portfolio_explores_total": portfolio.get("explores", 0),
+            "portfolio_records_total": portfolio.get("records", 0),
+        })
         gauges = {
             "uptime_seconds": time.monotonic() - self._started_mono,
             "sessions": sum(occupancy.values()),

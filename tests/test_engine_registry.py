@@ -103,7 +103,9 @@ class TestDefaultRegistry:
             kind="multi", exact=True, without_tags={TAG_TINY_ONLY}
         )
         assert all(s.name != "mt_exhaustive" for s in scalable_exact)
-        assert {s.name for s in reg.select(tags={TAG_META})} == {"auto"}
+        assert {s.name for s in reg.select(tags={TAG_META})} == {
+            "auto", "portfolio",
+        }
 
     def test_multi_solve_matches_direct_call(self):
         reg = default_registry()
@@ -174,6 +176,39 @@ class TestDefaultRegistry:
         res = reg.solve_multi("auto", system, seqs)
         assert calls == ["custom-greedy"]
         assert res.solver.startswith("auto[")
+
+    def test_names_and_select_sorted_by_name(self):
+        """The documented ordering contract: names(), select() and
+        describe() all iterate alphabetically, independent of
+        registration order."""
+        reg = SolverRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            reg.register(SolverSpec(
+                name=name, kind="single", fn=_dummy_single, exact=True,
+            ))
+        assert reg.names() == ("alpha", "mid", "zeta")
+        assert [s.name for s in reg.select()] == ["alpha", "mid", "zeta"]
+        assert [row[0] for row in reg.describe()] == ["alpha", "mid", "zeta"]
+        # the shared zoo honours the same contract
+        zoo = default_registry()
+        assert list(zoo.names()) == sorted(zoo.names())
+        assert [s.name for s in zoo.select()] == sorted(zoo.names())
+
+    def test_portfolio_spec_registered(self):
+        reg = default_registry()
+        spec = reg.get("portfolio")
+        assert spec.kind == "multi"
+        assert not spec.exact
+        assert TAG_META in spec.tags
+        assert "stochastic" in spec.tags
+        # the portfolio never dispatches to itself or other meta solvers
+        from repro.portfolio import portfolio_candidates
+
+        candidates = portfolio_candidates(reg)
+        assert candidates == tuple(sorted(candidates))
+        assert "portfolio" not in candidates
+        assert "auto" not in candidates
+        assert {"mt_greedy", "mt_genetic", "mt_annealing"} <= set(candidates)
 
     def test_registry_picklable_without_lock(self):
         import pickle

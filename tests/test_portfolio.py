@@ -1,0 +1,426 @@
+"""Tests for the adaptive algorithm portfolio (repro.portfolio)."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import make_instance
+from repro.engine.batch import BatchEngine
+from repro.engine.metrics import EngineMetrics
+from repro.engine.registry import (
+    SolverRegistry,
+    SolverSpec,
+    TAG_META,
+    default_registry,
+)
+from repro.engine.requests import SolveRequest
+from repro.portfolio import (
+    BestPredicted,
+    DeadlineRace,
+    EpsilonGreedy,
+    PortfolioModel,
+    PortfolioState,
+    RunLedger,
+    RunRecord,
+    UCB1,
+    WorkloadFeatures,
+    make_strategy,
+    multi_features,
+    portfolio_candidates,
+    rank_candidates,
+    reset_default_state,
+    set_default_state,
+    solve_mt_portfolio,
+)
+from repro.portfolio.features import FEATURE_PREFIX_STEPS, single_features
+from repro.solvers.base import MTSolveResult
+from repro.solvers.mt_greedy import solve_mt_greedy_merge
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    """Isolate the process-wide learned state per test."""
+    reset_default_state()
+    yield
+    reset_default_state()
+
+
+def _instance(m=3, n=10, u=6, seed=0):
+    return make_instance(m, n, u, seed=seed)
+
+
+# --- module level so specs pickle by reference into fork workers ---
+
+def _bad_cost_solver(system, seqs, model=None, **params):
+    """Returns a valid schedule with a deliberately wrong cost."""
+    res = solve_mt_greedy_merge(system, seqs, model)
+    return MTSolveResult(
+        schedule=res.schedule,
+        cost=res.cost + 123.0,
+        optimal=False,
+        solver="bad_cost",
+    )
+
+
+def _boom_solver(system, seqs, model=None, **params):
+    raise RuntimeError("boom")
+
+
+def _zoo_with(name, fn):
+    reg = SolverRegistry()
+    for known in ("mt_greedy", "mt_genetic", "mt_annealing"):
+        reg.register(default_registry().get(known))
+    reg.register(SolverSpec(name=name, kind="multi", fn=fn, exact=False))
+    return reg
+
+
+class TestFeatures:
+    def test_deterministic_and_bounded(self):
+        system, seqs = _instance()
+        f1 = multi_features(system, seqs)
+        f2 = multi_features(system, seqs)
+        assert f1 == f2
+        assert f1.kind == "multi" and f1.m == system.m
+        assert 0.0 <= f1.sparsity <= 1.0
+        assert f1.max_demand <= f1.universe_size
+
+    def test_prefix_caps_work(self):
+        system, seqs = _instance(m=2, n=400, u=6, seed=1)
+        full = multi_features(system, seqs, prefix=400)
+        capped = multi_features(system, seqs, prefix=16)
+        # n (a real instance property) is unaffected by the prefix cap
+        assert full.n == capped.n == 400
+        assert FEATURE_PREFIX_STEPS == 256  # hot-path bound stays put
+
+    def test_bucket_fallback_chain(self):
+        system, seqs = _instance()
+        f = multi_features(system, seqs)
+        chain = f.fallback_buckets()
+        assert chain[0] == f.bucket()
+        assert chain[-1] == "multi"
+        # each fallback is a strict prefix of the finer one
+        for fine, coarse in zip(chain, chain[1:]):
+            assert fine.startswith(coarse)
+
+    def test_dict_round_trip(self):
+        system, seqs = _instance()
+        f = multi_features(system, seqs)
+        assert WorkloadFeatures.from_dict(f.to_dict()) == f
+
+    def test_single_features(self):
+        _system, seqs = _instance()
+        f = single_features(seqs[0])
+        assert f.kind == "single" and f.m == 1
+
+
+class TestLedgerAndModel:
+    def _record(self, solver="mt_greedy", ok=True, runtime=0.01, cost=40.0):
+        system, seqs = _instance()
+        return RunRecord(
+            features=multi_features(system, seqs),
+            solver=solver,
+            runtime=runtime,
+            cost=cost,
+            ok=ok,
+            error=None if ok else "boom",
+        )
+
+    def test_json_round_trip(self):
+        ledger = RunLedger()
+        ledger.append(self._record())
+        ledger.append(self._record(solver="mt_genetic", runtime=0.1, cost=39.0))
+        clone = RunLedger.from_json(ledger.to_json())
+        assert len(clone) == 2
+        assert clone.to_json() == ledger.to_json()
+
+    def test_bad_version_rejected(self):
+        payload = json.loads(RunLedger().to_json())
+        payload["version"] = 999
+        with pytest.raises(ValueError):
+            RunLedger.from_json(json.dumps(payload))
+
+    def test_model_predictions_and_fallback(self):
+        model = PortfolioModel()
+        rec = self._record(runtime=0.02, cost=41.0)
+        model.observe(rec)
+        f = rec.features
+        pred = model.predict_runtime("mt_greedy", f)
+        assert pred.support == 1
+        assert pred.value == pytest.approx(0.02, rel=0.6)
+        assert model.predict_cost("mt_greedy", f).value == pytest.approx(
+            41.0, rel=0.5
+        )
+        # an unseen-but-related workload falls back to a coarser bucket
+        system2, seqs2 = _instance(m=3, n=10, u=6, seed=3)
+        f2 = multi_features(system2, seqs2)
+        assert model.predict_runtime("mt_greedy", f2).support >= 1
+        # a wholly unknown solver predicts cold
+        cold = model.predict_runtime("mt_exact", f)
+        assert cold.support == 0 and math.isinf(cold.value)
+
+    def test_failure_rate(self):
+        model = PortfolioModel()
+        model.observe(self._record(ok=False))
+        model.observe(self._record(ok=True))
+        f = self._record().features
+        assert model.failure_rate("mt_greedy", f) == pytest.approx(0.5)
+        assert model.failure_rate("mt_exact", f) == 0.0
+
+
+class TestStrategies:
+    def _model_with(self, rows):
+        ledger = RunLedger()
+        system, seqs = _instance()
+        f = multi_features(system, seqs)
+        for solver, runtime, cost, ok in rows:
+            ledger.append(RunRecord(
+                features=f, solver=solver, runtime=runtime, cost=cost, ok=ok,
+                error=None if ok else "x",
+            ))
+        return PortfolioModel.from_ledger(ledger), f
+
+    def test_rank_prefers_fast_among_cost_ties(self):
+        model, f = self._model_with([
+            ("mt_greedy", 0.005, 40.0, True),
+            ("mt_genetic", 0.100, 40.0, True),
+        ])
+        ranking = rank_candidates(model, f, ("mt_genetic", "mt_greedy"))
+        assert ranking[0] == "mt_greedy"
+
+    def test_rank_prefers_cheaper_cost_outside_tolerance(self):
+        model, f = self._model_with([
+            ("mt_greedy", 0.005, 60.0, True),
+            ("mt_genetic", 0.100, 40.0, True),
+        ])
+        ranking = rank_candidates(model, f, ("mt_genetic", "mt_greedy"))
+        assert ranking[0] == "mt_genetic"
+
+    def test_rank_demotes_flaky(self):
+        model, f = self._model_with([
+            ("mt_greedy", 0.005, 40.0, False),
+            ("mt_greedy", 0.005, 40.0, False),
+            ("mt_genetic", 0.100, 40.0, True),
+        ])
+        ranking = rank_candidates(model, f, ("mt_genetic", "mt_greedy"))
+        assert ranking[-1] == "mt_greedy"
+
+    def test_epsilon_greedy_is_seed_deterministic(self):
+        model, f = self._model_with([("mt_greedy", 0.005, 40.0, True)])
+        strat = EpsilonGreedy(epsilon=1.0)
+        pool = ("mt_annealing", "mt_genetic", "mt_greedy")
+        picks = []
+        for _ in range(2):
+            rng = np.random.default_rng([42, 0])
+            picks.append(strat.decide(model, f, pool, rng).chosen)
+        assert picks[0] == picks[1]
+
+    def test_ucb_tries_unvisited_first(self):
+        model, f = self._model_with([("mt_greedy", 0.005, 40.0, True)])
+        rng = np.random.default_rng(0)
+        d = UCB1().decide(
+            model, f, ("mt_greedy", "mt_annealing", "mt_genetic"), rng
+        )
+        assert d.chosen[0] == "mt_annealing"  # alphabetically first cold arm
+        assert d.explore
+
+    def test_race_decision_shape(self):
+        model, f = self._model_with([])
+        rng = np.random.default_rng(0)
+        d = DeadlineRace(budget=0.5, top_k=2).decide(
+            model, f, ("mt_greedy", "mt_genetic", "mt_annealing"), rng
+        )
+        assert d.mode == "race" and len(d.chosen) == 2
+        assert d.budget == pytest.approx(0.5)
+
+    def test_make_strategy_parsing(self):
+        assert isinstance(make_strategy("best"), BestPredicted)
+        assert make_strategy("egreedy:0.25").epsilon == pytest.approx(0.25)
+        assert make_strategy("ucb:1.5").c == pytest.approx(1.5)
+        race = make_strategy("race:2.0,k=3,restarts=2")
+        assert (race.budget, race.top_k, race.restarts) == (2.0, 3, 2)
+        with pytest.raises(ValueError):
+            make_strategy("nonsense")
+        with pytest.raises(ValueError):
+            make_strategy("egreedy:2.0")
+
+
+class TestSolvePortfolio:
+    def test_pick_returns_verified_answer(self):
+        system, seqs = _instance()
+        state = PortfolioState()
+        res = solve_mt_portfolio(
+            system, seqs, state=state, candidates=("mt_greedy",)
+        )
+        assert res.solver == "portfolio[mt_greedy]"
+        direct = solve_mt_greedy_merge(system, seqs, None)
+        assert res.cost == pytest.approx(direct.cost)
+        p = res.stats["portfolio"]
+        assert p["verified"] and p["chosen"] == "mt_greedy"
+        assert len(state.ledger) == 1
+
+    def test_decisions_bit_reproducible(self):
+        system, seqs = _instance()
+        runs = []
+        for _ in range(2):
+            state = PortfolioState()
+            chosen = []
+            for seed_instance in (1, 2, 3):
+                sys2, seqs2 = _instance(seed=seed_instance)
+                res = solve_mt_portfolio(
+                    sys2, seqs2, seed=7, strategy="egreedy:0.5",
+                    state=state,
+                    candidates=("mt_greedy", "mt_genetic", "mt_annealing"),
+                )
+                chosen.append(res.stats["portfolio"]["chosen"])
+            runs.append(chosen)
+        assert runs[0] == runs[1]
+
+    def test_falls_through_failing_solver(self):
+        system, seqs = _instance()
+        reg = _zoo_with("aa_boom", _boom_solver)
+        state = PortfolioState()
+        res = solve_mt_portfolio(
+            system, seqs, state=state, registry=reg,
+            candidates=("aa_boom", "mt_greedy"),
+        )
+        assert res.solver == "portfolio[mt_greedy]"
+        rows = state.ledger.rows(solver="aa_boom")
+        assert len(rows) == 1 and not rows[0].ok
+
+    def test_oracle_rejects_wrong_cost(self):
+        system, seqs = _instance()
+        reg = _zoo_with("aa_bad", _bad_cost_solver)
+        state = PortfolioState()
+        res = solve_mt_portfolio(
+            system, seqs, state=state, registry=reg,
+            candidates=("aa_bad", "mt_greedy"),
+        )
+        # the wrong-cost answer is never surfaced
+        assert res.solver == "portfolio[mt_greedy]"
+        direct = solve_mt_greedy_merge(system, seqs, None)
+        assert res.cost == pytest.approx(direct.cost)
+        bad = state.ledger.rows(solver="aa_bad")
+        assert len(bad) == 1 and not bad[0].ok
+
+    def test_race_never_returns_unverified(self):
+        system, seqs = _instance()
+        reg = _zoo_with("aa_bad", _bad_cost_solver)
+        state = PortfolioState()
+        res = solve_mt_portfolio(
+            system, seqs, state=state, registry=reg,
+            strategy="race:5.0,k=2", candidates=("aa_bad", "mt_greedy"),
+        )
+        assert res.stats["portfolio"]["mode"] == "race"
+        assert res.stats["portfolio"]["verified"]
+        assert res.solver == "portfolio[mt_greedy]"
+        direct = solve_mt_greedy_merge(system, seqs, None)
+        assert res.cost == pytest.approx(direct.cost)
+
+    def test_all_fail_raises(self):
+        system, seqs = _instance()
+        reg = _zoo_with("aa_boom", _boom_solver)
+        with pytest.raises(RuntimeError):
+            solve_mt_portfolio(
+                system, seqs, state=PortfolioState(), registry=reg,
+                candidates=("aa_boom",),
+            )
+
+    def test_default_candidates_exclude_meta(self):
+        pool = portfolio_candidates(default_registry())
+        assert "portfolio" not in pool and "auto" not in pool
+        meta_names = {
+            s.name for s in default_registry().select(tags={TAG_META})
+        }
+        assert not meta_names & set(pool)
+
+
+class TestBatchIntegration:
+    def _request(self, seed=0, solver="portfolio", **kwargs):
+        system, seqs = _instance(seed=seed)
+        return SolveRequest.multi(system, seqs, None, solver=solver, **kwargs)
+
+    def test_inline_solve_learns_once(self):
+        state = PortfolioState()
+        set_default_state(state)
+        engine = BatchEngine(workers=1, cache_size=0)
+        results = engine.solve_batch([self._request(
+            strategy="best", candidates=("mt_greedy",),
+        )])
+        assert results[0].ok
+        assert len(state.ledger) == 1  # no double-count from absorb
+        snap = engine.metrics.snapshot()
+        assert snap["portfolio"]["decisions"] == {"mt_greedy": 1}
+
+    def test_worker_solve_absorbed_into_parent(self):
+        state = PortfolioState()
+        set_default_state(state)
+        engine = BatchEngine(workers=2, cache_size=0)
+        reqs = [
+            self._request(seed=s, strategy="best", candidates=("mt_greedy",))
+            for s in (1, 2)
+        ]
+        results = engine.solve_batch(reqs)
+        assert all(r.ok for r in results)
+        assert len(state.ledger) == 2
+        snap = engine.metrics.snapshot()
+        assert sum(snap["portfolio"]["decisions"].values()) == 2
+
+    def test_concrete_solver_runs_feed_ledger(self):
+        state = PortfolioState()
+        set_default_state(state)
+        engine = BatchEngine(workers=1, cache_size=0)
+        engine.solve_batch([self._request(solver="mt_greedy")])
+        rows = state.ledger.rows(solver="mt_greedy")
+        assert len(rows) == 1 and rows[0].ok
+
+    def test_learning_can_be_disabled(self):
+        state = PortfolioState()
+        set_default_state(state)
+        engine = BatchEngine(workers=1, cache_size=0, portfolio_learn=False)
+        engine.solve_batch([self._request(solver="mt_greedy")])
+        assert len(state.ledger) == 0
+
+
+class TestStatePersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        system, seqs = _instance()
+        state = PortfolioState()
+        solve_mt_portfolio(
+            system, seqs, state=state, candidates=("mt_greedy",)
+        )
+        path = state.save(tmp_path / "ledger.json")
+        clone = PortfolioState.load(path)
+        assert len(clone.ledger) == len(state.ledger)
+        f = multi_features(system, seqs)
+        assert clone.model.runs("mt_greedy", f) == state.model.runs(
+            "mt_greedy", f
+        )
+
+
+class TestMetricsSnapshotJson:
+    def test_round_trip_is_lossless(self):
+        m = EngineMetrics()
+        m.record_request(cached=False)
+        m.record_solve(0.012, solver="mt_greedy")
+        m.record_request(cached=True)
+        m.record_error(timeout=True)
+        m.record_portfolio(
+            solver="mt_greedy", seconds=0.05, raced=True, explored=False,
+            records=3,
+        )
+        m.record_portfolio_rows(2)
+        m.record_wire("bin", frames_in=4, bytes_in=100, bytes_out=80)
+        text = m.snapshot_json()
+        clone = EngineMetrics.from_json(text)
+        assert clone.snapshot_json() == text
+        assert clone.portfolio_decisions == {"mt_greedy": 1}
+        assert clone.portfolio_races == 1
+        assert clone.snapshot()["portfolio"] == m.snapshot()["portfolio"]
+
+    def test_bad_version_rejected(self):
+        payload = json.loads(EngineMetrics().snapshot_json())
+        payload["version"] = 999
+        with pytest.raises(ValueError):
+            EngineMetrics.from_json(json.dumps(payload))

@@ -218,6 +218,10 @@ class TestServeTelemetry:
             series = parse_exposition(reply["exposition"])
             assert series["repro_server_opens_total"][0][1] == 3
             assert "repro_drain_cycle_seconds_count" in series
+            # portfolio counters export even on an idle portfolio
+            # (zero-row fallback keeps the scrape contract green)
+            assert "repro_portfolio_decisions_total" in series
+            assert series["repro_portfolio_records_total"][0][1] == 0
             # Frame stayed within the protocol's 1 MiB line budget.
             assert len(json.dumps(reply)) < 1 << 20
 

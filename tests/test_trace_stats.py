@@ -1,6 +1,7 @@
 """Tests for trace statistics (repro.analysis.trace_stats)."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.analysis.trace_stats import (
     demand_profile,
@@ -55,6 +56,72 @@ class TestDetectPeriod:
     def test_constant_sequence_period_one(self):
         seq = RequirementSequence(U, [5] * 6)
         assert detect_period(seq) == 1
+
+    def test_empty_and_single_step(self):
+        assert detect_period(RequirementSequence(U, [])) is None
+        assert detect_period(RequirementSequence(U, [3])) is None
+
+    def test_negative_skip_rejected(self):
+        seq = RequirementSequence(U, [1, 2] * 4)
+        with pytest.raises(ValueError):
+            detect_period(seq, skip=-1)
+
+    def test_skip_past_end_is_none(self):
+        seq = RequirementSequence(U, [1, 2] * 4)
+        assert detect_period(seq, skip=100) is None
+
+
+masks_lists = st.lists(st.integers(min_value=0, max_value=255), max_size=24)
+
+
+class TestTraceStatsProperties:
+    """Hypothesis invariants over arbitrary 8-switch traces."""
+
+    @given(masks=masks_lists, skip=st.integers(min_value=0, max_value=30))
+    @settings(deadline=None, max_examples=50)
+    def test_detected_period_is_valid_and_minimal(self, masks, skip):
+        seq = RequirementSequence(U, masks)
+        p = detect_period(seq, skip=skip)
+        suffix = masks[skip:]
+        if p is None:
+            return
+        assert 1 <= p <= len(suffix) // 2
+        assert all(
+            suffix[i] == suffix[i + p] for i in range(len(suffix) - p)
+        )
+        for smaller in range(1, p):
+            assert not all(
+                suffix[i] == suffix[i + smaller]
+                for i in range(len(suffix) - smaller)
+            )
+
+    @given(masks=masks_lists)
+    @settings(deadline=None, max_examples=50)
+    def test_segments_partition_and_cover_union(self, masks):
+        seq = RequirementSequence(U, masks)
+        segments = segment_phases(seq)
+        expected_start = 0
+        union = 0
+        for s in segments:
+            assert s.start == expected_start
+            assert s.stop > s.start
+            expected_start = s.stop
+            union |= s.working_set_mask
+        assert expected_start == len(masks)
+        all_bits = 0
+        for m in masks:
+            all_bits |= m
+        assert union == all_bits
+
+    @given(masks=masks_lists)
+    @settings(deadline=None, max_examples=50)
+    def test_demand_profile_bounds(self, masks):
+        seq = RequirementSequence(U, masks)
+        p = demand_profile(seq)
+        assert p.n == len(masks)
+        assert 0.0 <= p.mean_demand <= p.max_demand or p.n == 0
+        assert p.max_demand <= p.universe_size
+        assert 0.0 <= p.sparsity <= 1.0
 
 
 class TestSegmentPhases:
